@@ -1,0 +1,57 @@
+// Equivalence-handling ablation — methodological transparency for the
+// substitution documented in DESIGN.md: the paper marked equivalent
+// mutants by *manual analysis* of survivors; this reproduction presumes
+// equivalence via an amplified probe suite.  The bench shows how the
+// Table 2 score moves under three treatments of survivors:
+//
+//   none            — no equivalence marking at all (score = killed/total,
+//                     the most conservative reading)
+//   probe (ours)    — survivors re-tried against the amplified probe;
+//                     probe-undistinguishable + executed => equivalent
+//   oracle-claimed  — every survivor counted equivalent (the most
+//                     generous reading; an upper bound, not a method)
+#include "bench_util.h"
+
+int main() {
+    using namespace stc;
+    bench::banner("Equivalence ablation — how survivor treatment moves the score");
+
+    bench::Experiment experiment;
+    const auto suite = experiment.full_suite();
+    const auto probe = experiment.probe_suite();
+    const auto mutants =
+        mutation::enumerate_mutants(mfc::descriptors(), "CSortableObList");
+    const mutation::MutationEngine engine(experiment.registry);
+
+    const auto no_probe = engine.run(suite, mutants, nullptr);
+    const auto with_probe = engine.run(suite, mutants, &probe);
+
+    const std::size_t survivors = no_probe.total() - no_probe.killed();
+    const double none_score =
+        static_cast<double>(no_probe.killed()) / static_cast<double>(no_probe.total());
+    const double generous_score =
+        static_cast<double>(no_probe.killed()) /
+        static_cast<double>(no_probe.total() - survivors);
+
+    support::TextTable table({"Treatment of survivors", "#equivalent", "Score"});
+    table.set_align(0, support::Align::Left);
+    table.add_row({"none (killed/total)", "0", support::percent(none_score)});
+    table.add_row({"probe-presumed (this reproduction)",
+                   std::to_string(with_probe.equivalent()),
+                   support::percent(with_probe.score())});
+    table.add_row({"all survivors equivalent (upper bound)",
+                   std::to_string(survivors), support::percent(generous_score)});
+    table.render(std::cout);
+
+    std::cout << "\nthe paper's manual analysis found 19 equivalents of 700 "
+                 "(2.7%); the probe presumes "
+              << with_probe.equivalent() << " of " << with_probe.total() << " ("
+              << support::percent(static_cast<double>(with_probe.equivalent()) /
+                                  static_cast<double>(with_probe.total()))
+              << ") — and even the most conservative reading (no equivalence "
+                 "marking at all)\nkeeps Experiment 1 far above Experiment 2's "
+                 "74.8%, so the reproduction's conclusions do not\nhinge on the "
+                 "substitution.\n";
+
+    return (none_score > 0.85 && with_probe.score() >= none_score) ? 0 : 1;
+}

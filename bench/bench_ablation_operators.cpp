@@ -1,0 +1,72 @@
+// Operator-set ablation — §4 justifies using only the "essential"
+// IndVar operators "to reduce time and cost of the mutation analysis".
+// This bench quantifies that trade on both experiment classes: mutant
+// population (≈ analysis cost) and what the complementary DirVar group
+// (interface-variable mutation) adds.
+#include "bench_util.h"
+
+int main() {
+    using namespace stc;
+    bench::banner("Operator ablation — essential IndVar subset vs extended set");
+
+    bench::Experiment experiment;
+    const auto suite = experiment.full_suite();
+    const auto probe = experiment.probe_suite();
+    const mutation::MutationEngine engine(experiment.registry);
+
+    struct Row {
+        const char* name;
+        std::vector<mutation::Operator> operators;
+    };
+    const Row rows[] = {
+        {"IndVar only (paper, Table 1)",
+         {mutation::kAllOperators.begin(), mutation::kAllOperators.end()}},
+        {"DirVar only (complement)",
+         {mutation::kDirVarOperators.begin(), mutation::kDirVarOperators.end()}},
+        {"extended (IndVar + DirVar)",
+         {mutation::kExtendedOperators.begin(), mutation::kExtendedOperators.end()}},
+    };
+
+    support::TextTable table(
+        {"Operator set", "#mutants", "#killed", "#equivalent", "Score"});
+    table.set_align(0, support::Align::Left);
+
+    std::size_t essential_population = 0;
+    std::size_t extended_population = 0;
+    for (const Row& row : rows) {
+        const auto mutants = mutation::enumerate_mutants(
+            mfc::descriptors(), "CSortableObList", row.operators);
+        auto base = mutation::enumerate_mutants(mfc::descriptors(), "CObList",
+                                                row.operators);
+        auto all = mutants;
+        all.insert(all.end(), base.begin(), base.end());
+
+        const auto run = engine.run(suite, all, &probe);
+        table.add_row({row.name, std::to_string(all.size()),
+                       std::to_string(run.killed()), std::to_string(run.equivalent()),
+                       support::percent(run.score())});
+
+        if (std::string(row.name).find("IndVar only") != std::string::npos) {
+            essential_population = all.size();
+        }
+        if (std::string(row.name).find("extended") != std::string::npos) {
+            extended_population = all.size();
+        }
+    }
+    table.render(std::cout);
+
+    std::cout << "\nthe essential subset is "
+              << support::percent(static_cast<double>(essential_population) /
+                                  static_cast<double>(extended_population))
+              << " of the extended population — on these classes the DirVar "
+                 "complement is naturally tiny\n"
+                 "(the mutated sort/find methods take no parameters; only "
+                 "CObList::AddHead's newElement and\n"
+                 "CObList::RemoveAt's position are interface variables), "
+                 "which is itself evidence for the paper's\n"
+                 "choice of the IndVar subset on this kind of component.  "
+                 "See the interclass bench for a component\n"
+                 "(Wallet) where parameter mutation carries more weight.\n";
+
+    return essential_population < extended_population ? 0 : 1;
+}

@@ -1,0 +1,45 @@
+// Figures 6-7 reproduction — the generated C++ driver source: the
+// template-function test case (Fig. 6) and the executable suite (Fig. 7)
+// for the Product component, exactly the artifact the paper's Concat
+// tool emitted.
+#include <iostream>
+
+#include "product_component.h"
+#include "stc/codegen/driver_codegen.h"
+#include "stc/core/self_testable.h"
+#include "bench_util.h"
+
+int main() {
+    using namespace stc;
+    bench::banner("Figures 6-7 — generated driver source for Product");
+
+    core::SelfTestableComponent component(examples::product_spec(),
+                                          examples::product_binding());
+    driver::GeneratorOptions options;
+    options.seed = 2001;
+    options.enumeration.max_node_visits = 1;
+    const auto suite = component.generate_tests(options);
+
+    codegen::CodegenOptions cg;
+    cg.includes = {"product.h"};
+    cg.usings = {"stc::examples"};
+    const codegen::DriverCodegen generator(component.spec(), cg);
+
+    std::cout << "\n--- Fig. 6: one test case ------------------------------\n"
+              << generator.test_case_source(suite.cases.front());
+
+    const std::string full = generator.suite_source(suite);
+    std::cout << "\n--- Fig. 7: executable suite (head and main) -----------\n";
+    // Print the prologue and the main() block only; the full text goes to
+    // the driver file a consumer would compile.
+    const auto main_pos = full.find("int main()");
+    std::cout << full.substr(0, full.find("// Transaction:")) << "...\n"
+              << (main_pos == std::string::npos ? "" : full.substr(main_pos));
+
+    std::cout << "\nsuite: " << suite.size() << " test case(s), "
+              << full.size() << " bytes of source; tester-completion hooks:";
+    for (const auto& cls : generator.completion_classes(suite)) std::cout << " " << cls;
+    std::cout << "\n(the integration test compiles and runs this source end to end)\n";
+
+    return suite.size() > 0 ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+// Test-model ablation — §3.2's modeling argument, quantified.
+//
+// The paper chooses the transaction flow model over the "more commonly
+// used" finite state machine because the TFM "scales up easier".  This
+// bench builds the natural FSM abstraction of CSortableObList — object
+// states Empty / One / Many (the classic count abstraction, already
+// lossy: Many -Remove-> One conflates counts) — derives an
+// all-transitions suite from it, and compares model size, suite size,
+// and fault-revealing power against the paper's TFM transaction suite
+// on the same 730 interface mutants.
+#include "bench_util.h"
+#include "stc/fsm/state_machine.h"
+
+namespace {
+
+/// Count abstraction of the sortable list.  Method ids follow
+/// mfc::sortable_spec(): m3 AddHead, m4 AddTail, m5 RemoveHead,
+/// m6 RemoveTail, m7 RemoveAt, m8 GetCount, m9 FindIndex, m10 RemoveAll,
+/// m11 IsEmpty, m12..m14 sorts, m15/m16 FindMax/Min.
+stc::fsm::StateMachine sortable_machine() {
+    stc::fsm::StateMachine::Builder b;
+    b.state("Empty", /*initial*/ true, /*final*/ true);
+    b.state("One", false, true);
+    b.state("Many", false, true);
+
+    // Adds.
+    b.transition("Empty", "m3", "One").transition("Empty", "m4", "One");
+    b.transition("One", "m3", "Many").transition("One", "m4", "Many");
+    b.transition("Many", "m3", "Many").transition("Many", "m4", "Many");
+    // Removals (conservative: Many -remove-> One conflates counts > 2).
+    b.transition("One", "m5", "Empty").transition("One", "m6", "Empty");
+    b.transition("Many", "m5", "One").transition("Many", "m6", "One");
+    b.transition("Many", "m7", "One").transition("One", "m7", "Empty");
+    b.transition("Many", "m10", "Empty").transition("One", "m10", "Empty");
+    // Queries (self loops).
+    b.transition("Empty", "m8", "Empty").transition("Empty", "m11", "Empty");
+    b.transition("One", "m8", "One").transition("Many", "m8", "Many");
+    b.transition("One", "m9", "One").transition("Many", "m9", "Many");
+    // Sorts and min/max.
+    b.transition("One", "m12", "One").transition("Many", "m12", "Many");
+    b.transition("Many", "m13", "Many").transition("One", "m14", "One");
+    b.transition("Many", "m14", "Many").transition("One", "m13", "One");
+    b.transition("One", "m15", "One").transition("Many", "m15", "Many");
+    b.transition("One", "m16", "One").transition("Many", "m16", "Many");
+    return b.build();
+}
+
+}  // namespace
+
+int main() {
+    using namespace stc;
+    bench::banner("Test-model ablation — FSM (all-transitions) vs TFM (paper)");
+
+    bench::Experiment experiment;
+    const auto spec = mfc::sortable_spec();
+    const auto mutants =
+        mutation::enumerate_mutants(mfc::descriptors(), "CSortableObList");
+    const auto probe = experiment.probe_suite();
+    const mutation::MutationEngine engine(experiment.registry);
+
+    // FSM suite.
+    const auto machine = sortable_machine();
+    fsm::FsmSuiteOptions fsm_options;
+    fsm_options.constructor_id = "m1";
+    fsm_options.destructor_id = "m2";
+    fsm_options.max_tour_length = 8;
+    const auto completions = mfc::make_completions(experiment.pool);
+    const auto fsm_suite =
+        fsm::generate_fsm_suite(machine, spec, fsm_options, &completions);
+    const auto fsm_run = engine.run(fsm_suite, mutants, &probe);
+
+    // TFM suite (the paper's).
+    const auto tfm_suite = experiment.full_suite();
+    const auto tfm_run = engine.run(tfm_suite, mutants, &probe);
+
+    support::TextTable table({"Model", "states/nodes", "transitions/links",
+                              "test cases", "#killed", "Score"});
+    table.set_align(0, support::Align::Left);
+    table.add_row({"FSM, all-transitions",
+                   std::to_string(machine.states().size()),
+                   std::to_string(machine.transitions().size()),
+                   std::to_string(fsm_suite.size()),
+                   std::to_string(fsm_run.killed()),
+                   support::percent(fsm_run.score())});
+    table.add_row({"TFM, all-transactions (paper)",
+                   std::to_string(tfm_suite.model_nodes),
+                   std::to_string(tfm_suite.model_links),
+                   std::to_string(tfm_suite.size()),
+                   std::to_string(tfm_run.killed()),
+                   support::percent(tfm_run.score())});
+    table.render(std::cout);
+
+    std::cout << "\nnotes:\n"
+                 "  - the FSM must already abstract counts (Many -remove-> One\n"
+                 "    conflates every count > 2), while the TFM needs no state\n"
+                 "    abstraction at all — the scaling argument of §3.2;\n"
+                 "  - all-transitions is a per-edge criterion, so its suite is\n"
+                 "    small and its kill power sits near the TFM's all-links\n"
+                 "    ablation, well below transaction coverage.\n";
+
+    const bool shape_holds = fsm_run.baseline_clean && tfm_run.baseline_clean &&
+                             tfm_run.score() >= fsm_run.score() &&
+                             fsm_suite.size() < tfm_suite.size();
+    return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+// Performance microbenchmarks (google-benchmark): throughput of the
+// framework's hot paths — transaction enumeration, suite generation,
+// suite execution, and per-mutant analysis.  Not a paper table; included
+// so regressions in the reproduction harness itself are visible.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "stc/tspec/parser.h"
+
+namespace {
+
+using namespace stc;
+
+void BM_EnumerateTransactions(benchmark::State& state) {
+    const auto graph = mfc::sortable_spec().build_tfm();
+    tfm::EnumerationOptions options;
+    options.max_node_visits = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(graph.enumerate_transactions(options));
+    }
+}
+BENCHMARK(BM_EnumerateTransactions)->Arg(1)->Arg(2);
+
+void BM_GenerateSuite(benchmark::State& state) {
+    bench::Experiment experiment;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(experiment.full_suite());
+    }
+}
+BENCHMARK(BM_GenerateSuite);
+
+void BM_RunSuite(benchmark::State& state) {
+    bench::Experiment experiment;
+    const auto suite = experiment.full_suite();
+    const driver::TestRunner runner(experiment.registry);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runner.run(suite));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(suite.size()));
+}
+BENCHMARK(BM_RunSuite);
+
+void BM_MutantAnalysis(benchmark::State& state) {
+    // Cost per mutant: one suite run under an active mutant.
+    bench::Experiment experiment;
+    const auto suite = experiment.full_suite();
+    const auto mutants = mutation::enumerate_mutants(mfc::descriptors(), "CObList");
+    const driver::TestRunner runner(experiment.registry);
+    std::size_t index = 0;
+    for (auto _ : state) {
+        const mutation::MutantActivation activation(mutants[index % mutants.size()]);
+        benchmark::DoNotOptimize(runner.run(suite));
+        ++index;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MutantAnalysis);
+
+void BM_ParseTspec(benchmark::State& state) {
+    const std::string text =
+        tspec::print_tspec(mfc::sortable_spec());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tspec::parse_tspec(text));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_ParseTspec);
+
+void BM_InstrumentationOverhead(benchmark::State& state) {
+    // Cost of the mutant-schemata use() sites with no active mutant: the
+    // price a production build pays when BIT stays compiled in.
+    mfc::ElementPool pool;
+    std::vector<mfc::CObject*> elements;
+    for (int i = 0; i < 64; ++i) elements.push_back(pool.make(64 - i));
+    for (auto _ : state) {
+        mfc::CSortableObList list;
+        for (auto* e : elements) list.AddHead(e);
+        list.Sort1();
+        benchmark::DoNotOptimize(list.FindMax());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_InstrumentationOverhead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

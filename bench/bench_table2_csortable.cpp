@@ -1,0 +1,63 @@
+// Table 2 reproduction — Experiment 1 of §4.
+//
+// Interface mutants are seeded into the five methods of CSortableObList
+// (Sort1, Sort2, ShellSort, FindMax, FindMin) and the consumer's
+// generated suite (transaction coverage over the 16-node / 43-link test
+// model) is applied to each mutant.  The paper reports per-operator
+// mutation scores of 85.7-98.2% with a 95.7% total over 700 mutants (19
+// equivalent), 59 of the 652 kills coming from assertion violations.
+//
+// Differences from the paper are documented in DESIGN.md §1: mutants are
+// enumerated mechanically (schemata), not hand-seeded, so the absolute
+// counts differ; equivalence is probe-presumed, not manually analyzed.
+#include "bench_util.h"
+
+int main() {
+    using namespace stc;
+    bench::banner("Table 2 — mutation analysis of CSortableObList (Experiment 1)");
+
+    bench::Experiment experiment;
+    const auto suite = experiment.full_suite();
+    const auto probe = experiment.probe_suite();
+    const auto plan = experiment.incremental_plan(suite);
+
+    std::cout << "\ntest model and suite (seed " << suite.seed << "):\n";
+    bench::compare("TFM nodes", "16", std::to_string(suite.model_nodes));
+    bench::compare("TFM links", "43", std::to_string(suite.model_links));
+    bench::compare("new test cases (retested transactions)", "233",
+                   std::to_string(plan.new_cases()));
+    bench::compare("test cases reused from CObList", "329",
+                   std::to_string(plan.reused_cases()));
+
+    const auto mutants =
+        mutation::enumerate_mutants(mfc::descriptors(), "CSortableObList");
+    std::cout << "\nmutants enumerated: " << mutants.size() << " (paper: 700)\n";
+
+    const mutation::MutationEngine engine(experiment.registry);
+    const auto run = engine.run(suite, mutants, &probe);
+    std::cout << "baseline clean: " << (run.baseline_clean ? "yes" : "no") << "\n\n";
+
+    const auto table = mutation::MutationTable::build(run);
+    table.render(std::cout, run);
+
+    std::cout << "\npaper vs measured (totals):\n";
+    bench::compare("#mutants", "700", std::to_string(run.total()));
+    bench::compare("#killed", "652", std::to_string(run.killed()));
+    bench::compare("#equivalent", "19", std::to_string(run.equivalent()));
+    bench::compare("mutation score", "95.7%", support::percent(run.score()));
+    bench::compare(
+        "kills due to assertion violation", "59 of 652",
+        std::to_string(run.kills_by(oracle::KillReason::Assertion)) + " of " +
+            std::to_string(run.killed()));
+
+    std::cout << "\nper-operator scores (paper: BitNeg 85.7%, RepGlob 94.4%, "
+                 "RepLoc 98.2%, RepExt 97%, RepReq 95.8%)\n";
+
+    std::cout << "\nassertion-placement guidance (cf. ASSERT++, §5):\n";
+    mutation::MutationTable::render_assertion_guidance(std::cout, run);
+
+    std::cout << "\ncsv:\n";
+    table.render_csv(std::cout);
+
+    return run.baseline_clean && run.score() > 0.85 ? 0 : 1;
+}

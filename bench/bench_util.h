@@ -1,0 +1,72 @@
+// Shared scaffolding for the reproduction benches: builds the
+// self-testable MFC components, the suites of the paper's experiments,
+// and prints paper-vs-measured comparison blocks.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "stc/core/self_testable.h"
+#include "stc/history/incremental.h"
+#include "stc/history/version_diff.h"
+#include "stc/mfc/component.h"
+#include "stc/mutation/engine.h"
+#include "stc/mutation/report.h"
+#include "stc/support/strings.h"
+#include "stc/support/table.h"
+
+namespace bench {
+
+/// Everything the two experiments share.  The element pool must outlive
+/// every suite generated from it.
+struct Experiment {
+    stc::mfc::ElementPool pool;
+    stc::core::SelfTestableComponent base;
+    stc::core::SelfTestableComponent derived;
+    stc::reflect::Registry registry;
+
+    Experiment()
+        : base(stc::mfc::coblist_spec(), stc::mfc::coblist_binding()),
+          derived(stc::mfc::sortable_spec(), stc::mfc::sortable_binding()) {
+        base.set_completions(stc::mfc::make_completions(pool));
+        derived.set_completions(stc::mfc::make_completions(pool));
+        stc::mfc::register_mfc(registry);
+    }
+
+    /// The consumer's full suite for CSortableObList (Experiment 1 input).
+    [[nodiscard]] stc::driver::TestSuite full_suite(std::uint64_t seed = 20010701) {
+        stc::driver::GeneratorOptions options;
+        options.seed = seed;
+        return derived.generate_tests(options);
+    }
+
+    /// Amplified probe used only for equivalence separation.
+    [[nodiscard]] stc::driver::TestSuite probe_suite() {
+        stc::driver::GeneratorOptions options;
+        options.seed = 987654321;
+        options.cases_per_transaction = 2;
+        return derived.generate_tests(options);
+    }
+
+    /// The §3.4.2 incremental suite (Experiment 2 input).
+    [[nodiscard]] stc::history::IncrementalPlan incremental_plan(
+        const stc::driver::TestSuite& full) {
+        return derived.incremental_plan(full);
+    }
+};
+
+/// One "paper vs measured" comparison line.
+inline void compare(const std::string& what, const std::string& paper,
+                    const std::string& measured) {
+    std::cout << "  " << what << ": paper " << paper << "  |  measured " << measured
+              << "\n";
+}
+
+inline void banner(const std::string& title) {
+    std::cout << "\n==================================================================\n"
+              << title
+              << "\n==================================================================\n";
+}
+
+}  // namespace bench

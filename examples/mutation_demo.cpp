@@ -1,0 +1,51 @@
+// Mutation-analysis walk-through (§4): enumerate the interface mutants
+// of CObList's instrumented methods, activate them one at a time, and
+// watch the generated suite kill them — printing a per-method x
+// per-operator table in the shape of the paper's Tables 2/3.
+#include <iostream>
+
+#include "stc/core/self_testable.h"
+#include "stc/mfc/component.h"
+#include "stc/mutation/engine.h"
+#include "stc/mutation/report.h"
+
+int main() {
+    using namespace stc;
+
+    mfc::ElementPool elements;
+    core::SelfTestableComponent component(mfc::coblist_spec(), mfc::coblist_binding());
+    component.set_completions(mfc::make_completions(elements));
+
+    const auto suite = component.generate_tests();
+    std::cout << "suite: " << suite.size() << " test case(s) over "
+              << suite.model_nodes << " node(s) / " << suite.model_links
+              << " link(s)\n\n";
+
+    // Show a few concrete mutants so the fault model is tangible.
+    const auto mutants = mutation::enumerate_mutants(mfc::descriptors(), "CObList");
+    std::cout << "enumerated " << mutants.size()
+              << " interface mutants; examples:\n";
+    for (std::size_t i = 0; i < mutants.size(); i += mutants.size() / 5) {
+        std::cout << "  " << mutants[i].id() << "\n";
+    }
+    std::cout << "\n";
+
+    // Probe suite: a larger, differently seeded sweep used only to
+    // separate equivalent mutants from genuinely missed ones.
+    driver::GeneratorOptions probe_options;
+    probe_options.seed = 20011202;
+    probe_options.cases_per_transaction = 2;
+    const auto probe = component.generate_tests(probe_options);
+
+    reflect::Registry registry;
+    mfc::register_mfc(registry);
+    const mutation::MutationEngine engine(registry);
+    const auto run = engine.run(suite, mutants, &probe);
+
+    std::cout << "baseline clean: " << (run.baseline_clean ? "yes" : "no") << "\n\n";
+    const auto table = mutation::MutationTable::build(run);
+    table.render(std::cout, run);
+
+    std::cout << "\nmutation score: " << run.score() * 100.0 << "%\n";
+    return run.baseline_clean ? 0 : 1;
+}

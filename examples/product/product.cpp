@@ -1,0 +1,95 @@
+#include "product.h"
+
+#include <sstream>
+
+#include "stc/bit/assertions.h"
+
+namespace stc::examples {
+
+StockDatabase& StockDatabase::instance() {
+    static StockDatabase db;
+    return db;
+}
+
+bool StockDatabase::insert(Product* product) { return rows_.insert(product).second; }
+
+bool StockDatabase::remove(Product* product) { return rows_.erase(product) != 0; }
+
+bool StockDatabase::contains(const Product* product) const {
+    return rows_.count(const_cast<Product*>(product)) != 0;
+}
+
+void StockDatabase::clear() { rows_.clear(); }
+
+Product::Product() : name_("unnamed") {}
+
+Product::Product(int q, const char* n, float p, Provider* prv)
+    : qty_(q), name_(n != nullptr ? n : ""), price_(p), prov_(prv) {
+    STC_PRECONDITION(q >= 0 && q <= kMaxQty);
+    STC_PRECONDITION(p >= 0.0F);
+}
+
+Product::Product(const char* n) : name_(n != nullptr ? n : "") {
+    STC_PRECONDITION(n != nullptr);
+}
+
+Product::~Product() {
+    // Leaving the database on destruction keeps the simulated rows from
+    // dangling across test cases.
+    StockDatabase::instance().remove(this);
+}
+
+void Product::UpdateName(const char* n) {
+    STC_PRECONDITION(n != nullptr);
+    name_ = n;
+    STC_POSTCONDITION(name_.size() <= kMaxNameLen);
+}
+
+void Product::UpdateQty(int q) {
+    STC_PRECONDITION(q >= 0 && q <= kMaxQty);
+    qty_ = q;
+}
+
+void Product::UpdatePrice(float p) {
+    STC_PRECONDITION(p >= 0.0F);
+    price_ = p;
+}
+
+void Product::UpdateProv(Provider* prv) {
+    STC_PRECONDITION(prv != nullptr);
+    prov_ = prv;
+}
+
+std::string Product::ShowAttributes() const {
+    std::ostringstream os;
+    Reporter(os);
+    return os.str();
+}
+
+int Product::InsertProduct() {
+    const bool inserted = StockDatabase::instance().insert(this);
+    STC_POSTCONDITION(in_database());
+    return inserted ? 1 : 0;
+}
+
+Product* Product::RemoveProduct() {
+    if (!in_database()) return nullptr;
+    StockDatabase::instance().remove(this);
+    STC_POSTCONDITION(!in_database());
+    return this;
+}
+
+bool Product::in_database() const { return StockDatabase::instance().contains(this); }
+
+void Product::InvariantTest() const {
+    STC_CLASS_INVARIANT(qty_ >= 0 && qty_ <= kMaxQty && price_ >= 0.0F &&
+                        name_.size() <= kMaxNameLen);
+}
+
+void Product::Reporter(std::ostream& os) const {
+    os << "Product{qty=" << qty_ << ", name=" << name_ << ", price=" << price_
+       << ", prov=" << (prov_ != nullptr ? prov_->name() : "<none>")
+       << ", in_db=" << (in_database() ? "yes" : "no") << "}";
+}
+
+}  // namespace stc::examples

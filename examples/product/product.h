@@ -1,0 +1,96 @@
+// The paper's running example (Fig. 1): class Product from the stock
+// control system of a warehouse, made self-testable.  The product is
+// obtained from a Provider; products can be inserted into / removed from
+// the stock database (simulated in-memory — the paper's case study used
+// a real application database).
+#pragma once
+
+#include <ostream>
+#include <set>
+#include <string>
+
+#include "stc/bit/built_in_test.h"
+
+namespace stc::examples {
+
+/// Supplier of a product (the paper: "another class of this system that
+/// does not matter for this example").
+class Provider {
+public:
+    Provider(int id, std::string name) : id_(id), name_(std::move(name)) {}
+
+    [[nodiscard]] int id() const noexcept { return id_; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+private:
+    int id_;
+    std::string name_;
+};
+
+class Product;
+
+/// In-memory stand-in for the warehouse stock database.
+class StockDatabase {
+public:
+    [[nodiscard]] static StockDatabase& instance();
+
+    /// Returns true when the product was inserted (false: already there).
+    bool insert(Product* product);
+    /// Returns true when the product was present and removed.
+    bool remove(Product* product);
+    [[nodiscard]] bool contains(const Product* product) const;
+    [[nodiscard]] std::size_t size() const noexcept { return rows_.size(); }
+    void clear();
+
+private:
+    std::set<Product*> rows_;
+};
+
+/// Fig. 1's class, with the BIT capabilities of §3.3 added by its
+/// producer: BuiltInTest inheritance, class invariant (quantity/price
+/// ranges, bounded name) and a Reporter dumping the attributes.
+class Product : public bit::BuiltInTest {
+public:
+    static constexpr int kMaxQty = 99999;
+    static constexpr std::size_t kMaxNameLen = 30;
+
+    Product();
+    Product(int q, const char* n, float p, Provider* prv);
+    explicit Product(const char* n);
+    ~Product() override;
+
+    Product(const Product&) = delete;
+    Product& operator=(const Product&) = delete;
+
+    // Update methods (Fig. 1).
+    void UpdateName(const char* n);
+    void UpdateQty(int q);
+    void UpdatePrice(float p);
+    void UpdateProv(Provider* prv);
+
+    /// Access method.  The paper's version printed to the console; this
+    /// one returns the text so drivers can capture it deterministically.
+    [[nodiscard]] std::string ShowAttributes() const;
+
+    // Insert/delete from database (Fig. 1).
+    int InsertProduct();
+    Product* RemoveProduct();
+
+    [[nodiscard]] int qty() const noexcept { return qty_; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] float price() const noexcept { return price_; }
+    [[nodiscard]] Provider* provider() const noexcept { return prov_; }
+    [[nodiscard]] bool in_database() const;
+
+    // Built-in test capabilities.
+    void InvariantTest() const override;
+    void Reporter(std::ostream& os) const override;
+
+private:
+    int qty_ = 0;
+    std::string name_;
+    float price_ = 0.0F;
+    Provider* prov_ = nullptr;
+};
+
+}  // namespace stc::examples

@@ -1,0 +1,133 @@
+#include "product_component.h"
+
+#include "stc/reflect/binder.h"
+#include "stc/support/error.h"
+#include "stc/tspec/builder.h"
+#include "stc/tspec/parser.h"
+
+namespace stc::examples {
+
+using domain::Value;
+using reflect::Args;
+using tspec::MethodCategory;
+
+Provider* ProviderPool::make(int id) {
+    providers_.push_back(
+        std::make_unique<Provider>(id, "provider-" + std::to_string(id)));
+    return providers_.back().get();
+}
+
+driver::CompletionRegistry::Completion ProviderPool::completion() {
+    return [this](support::Pcg32& rng) {
+        Provider* provider = make(static_cast<int>(rng.uniform(1, 99)));
+        return Value::make_pointer(provider, "Provider");
+    };
+}
+
+std::string product_tspec_text() {
+    // Fig. 3's record format, verbatim style.
+    return R"(// t-spec for the Product component (paper Figs. 1-3)
+Class ('Product', No, <empty>, ['product.cpp'])
+
+Attribute ('qty', range, 0, 99999)
+Attribute ('name', string, 0, 30)
+Attribute ('price', range, 0.0, 99999.0)
+Attribute ('prov', pointer, 'Provider')
+
+Method (m1, 'Product', <empty>, constructor, 0)
+Method (m2, 'Product', <empty>, constructor, 4)
+Parameter (m2, 'q', range, 0, 99999)
+Parameter (m2, 'n', string, ['Mary', 'soap', 'towel', 'bread'])
+Parameter (m2, 'p', range, 0.01, 9999.99)
+Parameter (m2, 'prv', pointer, 'Provider')
+Method (m3, 'Product', <empty>, constructor, 1)
+Parameter (m3, 'n', string, 1, 30)
+Method (m4, '~Product', <empty>, destructor, 0)
+Method (m5, 'UpdateName', <empty>, new, 1)
+Parameter (m5, 'n', string, ['p1', 'p2', 'p3'])
+Method (m6, 'UpdateQty', <empty>, new, 1)
+Parameter (m6, 'q', range, 0, 99999)
+Method (m7, 'UpdatePrice', <empty>, new, 1)
+Parameter (m7, 'p', range, 0.01, 9999.99)
+Method (m8, 'UpdateProv', <empty>, new, 1)
+Parameter (m8, 'prv', pointer, 'Provider')
+Method (m9, 'ShowAttributes', 'string', new, 0)
+Method (m10, 'InsertProduct', 'int', new, 0)
+Method (m11, 'RemoveProduct', 'Product*', new, 0)
+
+Node (n1, Yes, 2, [m1])
+Node (n2, Yes, 2, [m2])
+Node (n3, Yes, 2, [m3])
+Node (n4, No, 2, [m5])
+Node (n5, No, 1, [m6])
+Node (n6, No, 1, [m7])
+Node (n7, No, 2, [m8])
+Node (n8, No, 2, [m9])
+Node (n9, No, 2, [m10])
+Node (n10, No, 1, [m11])
+Node (n11, No, 0, [m4])
+
+Edge (n1, n4)
+Edge (n1, n5)
+Edge (n2, n8)
+Edge (n2, n9)
+Edge (n3, n5)
+Edge (n3, n6)
+Edge (n4, n5)
+Edge (n4, n9)
+Edge (n5, n6)
+Edge (n6, n7)
+Edge (n7, n8)
+Edge (n7, n9)
+Edge (n8, n10)
+Edge (n8, n11)
+Edge (n9, n8)
+Edge (n9, n10)
+Edge (n10, n11)
+)";
+}
+
+tspec::ComponentSpec product_spec() {
+    tspec::ComponentSpec spec = tspec::parse_tspec(product_tspec_text());
+    spec.ensure_valid();
+    return spec;
+}
+
+reflect::ClassBinding product_binding() {
+    reflect::Binder<Product> b("Product");
+    b.ctor<>();
+    b.ctor<int, const char*, float, Provider*>();
+    b.ctor<const char*>();
+    b.method("UpdateName", &Product::UpdateName);
+    b.method("UpdateQty", &Product::UpdateQty);
+    b.method("UpdatePrice", &Product::UpdatePrice);
+    b.method("UpdateProv", &Product::UpdateProv);
+    b.method("ShowAttributes", &Product::ShowAttributes);
+    b.method("InsertProduct", &Product::InsertProduct);
+    b.custom("RemoveProduct", 0, [](Product& product, const Args&) {
+        Product* removed = product.RemoveProduct();
+        return Value::make_string(removed != nullptr ? "removed" : "<absent>");
+    });
+    return b.take();
+}
+
+driver::CompletionRegistry product_completions(ProviderPool& pool) {
+    driver::CompletionRegistry out;
+    out.provide("Provider", pool.completion());
+    return out;
+}
+
+tfm::Transaction product_use_case_path(const tfm::Graph& graph) {
+    // "1. Create a Product object. 2. Obtain data about this product from
+    //  the database. 3. Remove the product from the database. 4. Destroy
+    //  the object."  (§3.2)
+    tfm::Transaction t;
+    for (const char* id : {"n2", "n8", "n10", "n11"}) {
+        const auto node = graph.find_node(id);
+        if (!node) throw SpecError(std::string("use-case node missing: ") + id);
+        t.path.push_back(*node);
+    }
+    return t;
+}
+
+}  // namespace stc::examples

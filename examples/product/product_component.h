@@ -1,0 +1,46 @@
+// Self-testable packaging of the Product component: the t-spec of
+// Fig. 3 (interface + value domains + the Fig. 2 TFM), the reflection
+// binding, and the Provider completion — everything §3.1's producer
+// tasks require.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "product.h"
+#include "stc/driver/generator.h"
+#include "stc/reflect/class_binding.h"
+#include "stc/tfm/graph.h"
+#include "stc/tspec/model.h"
+
+namespace stc::examples {
+
+/// Arena of Provider objects used to complete 'Provider' parameters.
+class ProviderPool {
+public:
+    Provider* make(int id);
+    [[nodiscard]] driver::CompletionRegistry::Completion completion();
+    [[nodiscard]] std::size_t size() const noexcept { return providers_.size(); }
+
+private:
+    std::vector<std::unique_ptr<Provider>> providers_;
+};
+
+/// The t-spec of Fig. 3 (programmatic form).
+[[nodiscard]] tspec::ComponentSpec product_spec();
+
+/// The same t-spec as Fig. 3's text format (exercises the parser path).
+[[nodiscard]] std::string product_tspec_text();
+
+/// Reflection binding for Product.
+[[nodiscard]] reflect::ClassBinding product_binding();
+
+/// Completions (Provider parameters) wired to `pool`.
+[[nodiscard]] driver::CompletionRegistry product_completions(ProviderPool& pool);
+
+/// The use-case scenario path of Fig. 2 ("create, obtain data, remove
+/// from database, destroy") as a transaction over `graph` — used by the
+/// figure bench to highlight it in the DOT rendering.
+[[nodiscard]] tfm::Transaction product_use_case_path(const tfm::Graph& graph);
+
+}  // namespace stc::examples

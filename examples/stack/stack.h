@@ -1,0 +1,75 @@
+// A self-testable *generic* component: the template-class case of
+// §3.4.1, where "it is necessary that the tester indicate a set of
+// possible types that he/she wants to use to create an instance".
+//
+// CTypedStack<T> is a bounded LIFO stack with BIT capabilities; the
+// accompanying t-spec (stack_component.h) declares the instantiation
+// types via a TemplateParam record, and the driver generates one suite
+// per instantiation.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "stc/bit/assertions.h"
+#include "stc/bit/built_in_test.h"
+
+namespace stc::examples {
+
+template <typename T>
+class CTypedStack : public bit::BuiltInTest {
+public:
+    explicit CTypedStack(int capacity = 16) : capacity_(capacity) {
+        STC_PRECONDITION(capacity >= 1);
+        items_.reserve(static_cast<std::size_t>(capacity));
+    }
+
+    void Push(T value) {
+        STC_PRECONDITION(!IsFull());
+        items_.push_back(value);
+        STC_POSTCONDITION(!IsEmpty());
+    }
+
+    T Pop() {
+        STC_PRECONDITION(!IsEmpty());
+        T out = items_.back();
+        items_.pop_back();
+        return out;
+    }
+
+    [[nodiscard]] T Top() const {
+        STC_PRECONDITION(!IsEmpty());
+        return items_.back();
+    }
+
+    [[nodiscard]] int Size() const noexcept { return static_cast<int>(items_.size()); }
+    [[nodiscard]] bool IsEmpty() const noexcept { return items_.empty(); }
+    [[nodiscard]] bool IsFull() const noexcept {
+        return static_cast<int>(items_.size()) >= capacity_;
+    }
+
+    void Clear() {
+        items_.clear();
+        STC_POSTCONDITION(IsEmpty());
+    }
+
+    void InvariantTest() const override {
+        STC_CLASS_INVARIANT(static_cast<int>(items_.size()) <= capacity_ &&
+                            capacity_ >= 1);
+    }
+
+    void Reporter(std::ostream& os) const override {
+        os << "CTypedStack size=" << items_.size() << "/" << capacity_ << " [";
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            if (i != 0) os << ", ";
+            os << items_[i];
+        }
+        os << "]";
+    }
+
+private:
+    std::vector<T> items_;
+    int capacity_;
+};
+
+}  // namespace stc::examples

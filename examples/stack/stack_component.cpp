@@ -1,0 +1,67 @@
+#include "stack_component.h"
+
+#include "stc/reflect/binder.h"
+#include "stc/tspec/builder.h"
+
+namespace stc::examples {
+
+using tspec::MethodCategory;
+
+tspec::ComponentSpec stack_spec() {
+    tspec::SpecBuilder b("CTypedStack");
+    b.template_param("T", {"int", "double"});
+    b.attr_range("capacity_", 1, 1024);
+
+    b.method("m1", "CTypedStack", MethodCategory::Constructor)
+        .param_range("capacity", 4, 16);
+    b.method("m2", "~CTypedStack", MethodCategory::Destructor);
+    b.method("m3", "Push", MethodCategory::New).param_range("value", 0, 100);
+    b.method("m4", "Pop", MethodCategory::New, "T");
+    b.method("m5", "Top", MethodCategory::New, "T");
+    b.method("m6", "Size", MethodCategory::New, "int");
+    b.method("m7", "Clear", MethodCategory::New);
+    b.method("m8", "IsEmpty", MethodCategory::New, "BOOL");
+
+    // TFM: create -> push (loop) -> {pop | top | clear} -> queries -> die.
+    // Every path pops at most as often as it pushed, so the MFC-style
+    // preconditions hold on the healthy component.
+    b.node("n1", true, {"m1"});
+    b.node("n2", false, {"m3"});        // Push
+    b.node("n3", false, {"m4"});        // Pop
+    b.node("n4", false, {"m5"});        // Top
+    b.node("n5", false, {"m6", "m8"});  // Size + IsEmpty
+    b.node("n6", false, {"m7"});        // Clear
+    b.node("n7", false, {"m2"});        // death
+
+    b.edge("n1", "n2").edge("n1", "n5");
+    b.edge("n2", "n2").edge("n2", "n3").edge("n2", "n4").edge("n2", "n6");
+    b.edge("n3", "n5").edge("n3", "n7");
+    b.edge("n4", "n3").edge("n4", "n5");
+    b.edge("n5", "n7");
+    b.edge("n6", "n5");
+    return b.build();
+}
+
+namespace {
+
+template <typename T>
+reflect::ClassBinding bind_stack(const std::string& instantiated_name) {
+    reflect::Binder<CTypedStack<T>> b(instantiated_name);
+    b.template ctor<int>();
+    b.method("Push", &CTypedStack<T>::Push);
+    b.method("Pop", &CTypedStack<T>::Pop);
+    b.method("Top", &CTypedStack<T>::Top);
+    b.method("Size", &CTypedStack<T>::Size);
+    b.method("Clear", &CTypedStack<T>::Clear);
+    b.method("IsEmpty", &CTypedStack<T>::IsEmpty);
+    return b.take();
+}
+
+}  // namespace
+
+void register_stack_instantiations(reflect::Registry& registry) {
+    registry.add(bind_stack<int>("CTypedStack<int>"));
+    registry.add(bind_stack<double>("CTypedStack<double>"));
+}
+
+}  // namespace stc::examples

@@ -1,0 +1,20 @@
+// Self-testable packaging of the generic CTypedStack<T> component: the
+// t-spec with its TemplateParam record, and reflection bindings for the
+// instantiations the tester requested (int and double).
+#pragma once
+
+#include "stack.h"
+#include "stc/reflect/class_binding.h"
+#include "stc/tspec/model.h"
+
+namespace stc::examples {
+
+/// t-spec for the generic class, including
+/// TemplateParam('T', ['int', 'double']).
+[[nodiscard]] tspec::ComponentSpec stack_spec();
+
+/// Bindings for the requested instantiations, registered under their
+/// instantiated names "CTypedStack<int>" / "CTypedStack<double>".
+void register_stack_instantiations(reflect::Registry& registry);
+
+}  // namespace stc::examples

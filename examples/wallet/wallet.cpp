@@ -1,0 +1,101 @@
+#include "wallet.h"
+
+#include "stc/mutation/frame.h"
+
+namespace stc::examples {
+
+using mutation::int_type;
+using mutation::MethodDescriptor;
+using mutation::MutFrame;
+using mutation::pointer_type;
+
+namespace {
+
+// Interface-mutation descriptors.  Site ordinals follow the use() calls
+// in the bodies below.  The ledger pointer use is the interesting one:
+// a mutant replacing it by NULL drops the write-through silently —
+// detectable only when the collaborating Ledger is observed (the §6
+// interclass argument).
+
+const MethodDescriptor& deposit_desc() {
+    static const MethodDescriptor d =
+        MethodDescriptor::Builder("Wallet", "Deposit")
+            .param("amount", int_type())
+            .local("credited", int_type())
+            .attr("balance_", int_type(), true)
+            .attr("ledger_", pointer_type("Ledger"), true)
+            .site("balance_", "old balance")    // s0
+            .site("credited", "amount added")   // s1
+            .site("ledger_", "write-through")   // s2
+            .site("credited", "amount booked")  // s3
+            .interface_site("amount", "credit") // s4 (DirVar)
+            .build();
+    return d;
+}
+
+const MethodDescriptor& withdraw_desc() {
+    static const MethodDescriptor d =
+        MethodDescriptor::Builder("Wallet", "Withdraw")
+            .param("amount", int_type())
+            .local("taken", int_type())
+            .attr("balance_", int_type(), true)
+            .attr("ledger_", pointer_type("Ledger"), true)
+            .site("balance_", "overdraw test")  // s0
+            .site("balance_", "old balance")    // s1
+            .site("taken", "amount deducted")   // s2
+            .site("ledger_", "write-through")   // s3
+            .site("taken", "booking test")      // s4
+            .site("taken", "amount booked")     // s5
+            .site("taken", "return value")      // s6
+            .interface_site("amount", "overdraw lhs")  // s7 (DirVar)
+            .interface_site("amount", "amount taken")  // s8 (DirVar)
+            .build();
+    return d;
+}
+
+}  // namespace
+
+void Wallet::Deposit(int amount) {
+    STC_PRECONDITION(amount > 0);
+
+    MutFrame frame(deposit_desc());
+    int credited = 0;
+    frame.bind("credited", &credited);
+    frame.bind("balance_", &balance_);
+    frame.bind_ptr("ledger_", &ledger_);
+
+    credited = frame.use(4, amount);
+    balance_ = frame.use(0, balance_) + frame.use(1, credited);
+    Ledger* ledger = frame.use_ptr(2, ledger_);
+    if (ledger != nullptr) ledger->Record(frame.use(3, credited));
+
+    STC_POSTCONDITION(balance_ > 0);
+}
+
+int Wallet::Withdraw(int amount) {
+    STC_PRECONDITION(amount > 0);
+
+    MutFrame frame(withdraw_desc());
+    int taken = 0;
+    frame.bind("taken", &taken);
+    frame.bind("balance_", &balance_);
+    frame.bind_ptr("ledger_", &ledger_);
+
+    taken = frame.use(7, amount) > frame.use(0, balance_) ? balance_
+                                                           : frame.use(8, amount);
+    balance_ = frame.use(1, balance_) - frame.use(2, taken);
+    Ledger* ledger = frame.use_ptr(3, ledger_);
+    if (ledger != nullptr && frame.use(4, taken) > 0) {
+        ledger->Record(-frame.use(5, taken));
+    }
+
+    STC_POSTCONDITION(balance_ >= 0);
+    return frame.use(6, taken);
+}
+
+void register_wallet_descriptors(mutation::DescriptorRegistry& registry) {
+    registry.add(&deposit_desc());
+    registry.add(&withdraw_desc());
+}
+
+}  // namespace stc::examples

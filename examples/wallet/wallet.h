@@ -1,0 +1,85 @@
+// Two collaborating self-testable classes used by the interclass
+// example and tests: a Wallet whose deposits/withdrawals write through
+// to an attached Ledger — a genuine cross-class interaction (the ledger
+// pointer flows in as a method parameter bound to another role).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "stc/bit/assertions.h"
+#include "stc/bit/built_in_test.h"
+#include "stc/mutation/descriptor.h"
+
+namespace stc::examples {
+
+/// Append-only record of balance movements.
+class Ledger : public bit::BuiltInTest {
+public:
+    Ledger() = default;
+
+    void Record(int delta) { entries_.push_back(delta); }
+
+    [[nodiscard]] int Count() const noexcept { return static_cast<int>(entries_.size()); }
+
+    /// Sum of all recorded movements.
+    [[nodiscard]] int Total() const noexcept {
+        int total = 0;
+        for (int d : entries_) total += d;
+        return total;
+    }
+
+    void InvariantTest() const override {
+        STC_CLASS_INVARIANT(entries_.size() < 100000);
+    }
+
+    void Reporter(std::ostream& os) const override {
+        os << "Ledger{count=" << Count() << ", total=" << Total() << "}";
+    }
+
+private:
+    std::vector<int> entries_;
+};
+
+/// A balance that never goes negative; movements are mirrored into the
+/// attached ledger, so "wallet balance == ledger total" is a cross-class
+/// property the interclass suite can check.
+class Wallet : public bit::BuiltInTest {
+public:
+    Wallet() = default;
+
+    /// Attach the audit ledger (an interclass parameter).
+    void Attach(Ledger* ledger) {
+        STC_PRECONDITION(ledger != nullptr);
+        ledger_ = ledger;
+    }
+
+    /// Add funds; recorded when a ledger is attached.  Instrumented with
+    /// interface-mutation sites (interclass mutation experiments).
+    void Deposit(int amount);
+
+    /// Withdraw up to `amount`; returns what was actually withdrawn
+    /// (never overdraws).  Instrumented.
+    int Withdraw(int amount);
+
+    [[nodiscard]] int Balance() const noexcept { return balance_; }
+    [[nodiscard]] bool Audited() const noexcept { return ledger_ != nullptr; }
+
+    void InvariantTest() const override { STC_CLASS_INVARIANT(balance_ >= 0); }
+
+    void Reporter(std::ostream& os) const override {
+        os << "Wallet{balance=" << balance_
+           << ", audited=" << (ledger_ != nullptr ? "yes" : "no") << "}";
+    }
+
+private:
+    int balance_ = 0;
+    Ledger* ledger_ = nullptr;
+};
+
+/// Register Wallet's mutation descriptors (Deposit, Withdraw) — the
+/// targets of the interclass mutation experiment.
+void register_wallet_descriptors(mutation::DescriptorRegistry& registry);
+
+}  // namespace stc::examples

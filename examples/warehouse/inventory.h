@@ -1,0 +1,79 @@
+// Reuse by composition (§2.1): "an attribute is declared as a class ...
+// In this case, test resources can be reused without modifications."
+//
+// Inventory is a self-testable component that *composes* the
+// self-testable CSortableObList: the list is an attribute, its own
+// embedded test resources remain valid untouched, and Inventory's
+// built-in test capabilities delegate to the composed component's BIT —
+// the invariant of the whole includes the invariant of the part.
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "stc/bit/assertions.h"
+#include "stc/bit/built_in_test.h"
+#include "stc/mfc/sortable.h"
+
+namespace stc::examples {
+
+/// Warehouse stock ledger: items (SKUs) held in a sorted list so the
+/// cheapest item ships first.
+class Inventory : public bit::BuiltInTest {
+public:
+    Inventory() = default;
+
+    /// Receive an item with the given SKU into stock.
+    void Receive(int sku) {
+        STC_PRECONDITION(sku >= 0);
+        items_.push_back(std::make_unique<mfc::CInt>(sku));
+        stock_.AddTail(items_.back().get());
+        ++received_;
+    }
+
+    /// Ship the lowest-SKU item; returns its SKU.  No-op (-1) when empty
+    /// — the defensive behaviour the consumer's tester would write.
+    int Ship() {
+        if (stock_.IsEmpty()) return -1;
+        stock_.Sort1();
+        auto* item = dynamic_cast<mfc::CInt*>(stock_.RemoveHead());
+        ++shipped_;
+        STC_POSTCONDITION(item != nullptr);
+        return item->value();
+    }
+
+    [[nodiscard]] int OnHand() const { return stock_.GetCount(); }
+    [[nodiscard]] int Received() const noexcept { return received_; }
+    [[nodiscard]] int Shipped() const noexcept { return shipped_; }
+
+    /// Lowest SKU currently in stock (-1 when empty).
+    [[nodiscard]] int CheapestSku() const {
+        if (stock_.IsEmpty()) return -1;
+        return dynamic_cast<mfc::CInt*>(stock_.FindMin())->value();
+    }
+
+    // ---- Built-in test capabilities (delegating composition) ----------
+    void InvariantTest() const override {
+        // Inventory's own book-keeping invariant...
+        STC_CLASS_INVARIANT(received_ - shipped_ == OnHand() && shipped_ >= 0);
+        // ...and the composed component's invariant, through its BIT
+        // interface: the part's test resources reused without change.
+        stock_.InvariantTest();
+    }
+
+    void Reporter(std::ostream& os) const override {
+        os << "Inventory{on_hand=" << OnHand() << ", received=" << received_
+           << ", shipped=" << shipped_ << ", stock=";
+        stock_.Reporter(os);
+        os << "}";
+    }
+
+private:
+    mfc::CSortableObList stock_;
+    std::vector<std::unique_ptr<mfc::CInt>> items_;  ///< element ownership
+    int received_ = 0;
+    int shipped_ = 0;
+};
+
+}  // namespace stc::examples

@@ -1,0 +1,45 @@
+#include "inventory_component.h"
+
+#include "stc/reflect/binder.h"
+#include "stc/tspec/builder.h"
+
+namespace stc::examples {
+
+using tspec::MethodCategory;
+
+tspec::ComponentSpec inventory_spec() {
+    tspec::SpecBuilder b("Inventory");
+    b.method("m1", "Inventory", MethodCategory::Constructor);
+    b.method("m2", "~Inventory", MethodCategory::Destructor);
+    b.method("m3", "Receive", MethodCategory::New).param_range("sku", 0, 9999);
+    b.method("m4", "Ship", MethodCategory::New, "int");
+    b.method("m5", "OnHand", MethodCategory::New, "int");
+    b.method("m6", "CheapestSku", MethodCategory::New, "int");
+
+    // Receive/ship lifecycle.  Ship is defensive on empty stock, so every
+    // path is executable.
+    b.node("n1", true, {"m1"});
+    b.node("n2", false, {"m3"});  // Receive
+    b.node("n3", false, {"m4"});  // Ship
+    b.node("n4", false, {"m5"});  // OnHand
+    b.node("n5", false, {"m6"});  // CheapestSku
+    b.node("n6", false, {"m2"});  // death
+    b.edge("n1", "n2").edge("n1", "n3");
+    b.edge("n2", "n2").edge("n2", "n3").edge("n2", "n5");
+    b.edge("n3", "n3").edge("n3", "n4");
+    b.edge("n4", "n6").edge("n4", "n2");
+    b.edge("n5", "n3").edge("n5", "n6");
+    return b.build();
+}
+
+reflect::ClassBinding inventory_binding() {
+    reflect::Binder<Inventory> b("Inventory");
+    b.ctor<>();
+    b.method("Receive", &Inventory::Receive);
+    b.method("Ship", &Inventory::Ship);
+    b.method("OnHand", &Inventory::OnHand);
+    b.method("CheapestSku", &Inventory::CheapestSku);
+    return b.take();
+}
+
+}  // namespace stc::examples

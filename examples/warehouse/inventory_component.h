@@ -1,0 +1,15 @@
+// Self-testable packaging of Inventory (t-spec + binding).
+#pragma once
+
+#include "inventory.h"
+#include "stc/reflect/class_binding.h"
+#include "stc/tspec/model.h"
+
+namespace stc::examples {
+
+/// t-spec for Inventory: receive/ship lifecycle with queries.
+[[nodiscard]] tspec::ComponentSpec inventory_spec();
+
+[[nodiscard]] reflect::ClassBinding inventory_binding();
+
+}  // namespace stc::examples

@@ -1,0 +1,44 @@
+// Composition reuse (§2.1): Inventory composes the self-testable
+// CSortableObList as an attribute.  The consumer first accepts the
+// composed part by running ITS embedded tests unchanged, then runs the
+// whole's own suite — whose invariant delegates to the part's BIT.
+#include <iostream>
+
+#include "inventory_component.h"
+#include "stc/core/self_testable.h"
+#include "stc/mfc/component.h"
+
+int main() {
+    using namespace stc;
+
+    // ---- Step 1: accept the composed part with its own test resources ----
+    mfc::ElementPool elements;
+    core::SelfTestableComponent part(mfc::sortable_spec(), mfc::sortable_binding());
+    part.set_completions(mfc::make_completions(elements));
+    const auto part_report = part.self_test();
+    std::cout << "== composed part: CSortableObList (tests reused unchanged) ==\n"
+              << part_report.summary() << "\n";
+
+    // ---- Step 2: self-test the whole -------------------------------------
+    core::SelfTestableComponent whole(examples::inventory_spec(),
+                                      examples::inventory_binding());
+    const auto whole_report = whole.self_test();
+    std::cout << "== composing whole: Inventory ==\n" << whole_report.summary();
+    std::cout << "\n(the Inventory invariant delegates to the composed list's "
+                 "InvariantTest — the part's BIT keeps guarding it inside the "
+                 "whole)\n\n";
+
+    // ---- Step 3: normal application use -----------------------------------
+    examples::Inventory inventory;
+    for (int sku : {450, 12, 890, 333}) inventory.Receive(sku);
+    std::cout << "== warehouse run ==\n"
+              << "on hand after receiving: " << inventory.OnHand() << "\n"
+              << "cheapest SKU: " << inventory.CheapestSku() << "\n"
+              << "shipped: " << inventory.Ship() << ", " << inventory.Ship() << "\n"
+              << "on hand now: " << inventory.OnHand() << "\n";
+
+    const bool ok = part_report.all_passed() && whole_report.all_passed() &&
+                    inventory.OnHand() == 2 && inventory.CheapestSku() == 450;
+    std::cout << (ok ? "composition scenario OK\n" : "FAILED\n");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+#include <sstream>
+
+#include "stc/bit/assertions.h"
+#include "stc/bit/built_in_test.h"
+
+namespace stc::bit {
+
+thread_local int TestMode::depth_ = 0;
+
+std::string BuiltInTest::report() const {
+    std::ostringstream os;
+    Reporter(os);
+    return os.str();
+}
+
+const char* to_string(AssertionKind kind) noexcept {
+    switch (kind) {
+        case AssertionKind::Invariant: return "Invariant";
+        case AssertionKind::Precondition: return "Pre-condition";
+        case AssertionKind::Postcondition: return "Post-condition";
+    }
+    return "?";
+}
+
+AssertionViolation::AssertionViolation(AssertionKind kind, std::string expression,
+                                       std::string file, int line)
+    : Error(std::string(to_string(kind)) + " is violated! (" + expression + " at " +
+            file + ":" + std::to_string(line) + ")"),
+      kind_(kind),
+      expression_(std::move(expression)),
+      file_(std::move(file)),
+      line_(line) {}
+
+AssertionStats& AssertionStats::instance() noexcept {
+    static thread_local AssertionStats stats;
+    return stats;
+}
+
+void AssertionStats::record_check(AssertionKind kind) noexcept {
+    ++by_kind_[static_cast<std::size_t>(kind)].checked;
+}
+
+void AssertionStats::record_violation(AssertionKind kind) noexcept {
+    ++by_kind_[static_cast<std::size_t>(kind)].violated;
+}
+
+void AssertionStats::reset() noexcept {
+    const int keep = suppress_depth_;
+    *this = AssertionStats{};
+    suppress_depth_ = keep;
+}
+
+AssertionStats::Counters AssertionStats::counters(AssertionKind kind) const noexcept {
+    return by_kind_[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t AssertionStats::total_checked() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& c : by_kind_) total += c.checked;
+    return total;
+}
+
+std::uint64_t AssertionStats::total_violated() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& c : by_kind_) total += c.violated;
+    return total;
+}
+
+namespace detail {
+
+bool assertions_active() noexcept {
+    return TestMode::enabled() && !AssertionStats::instance().suppressed();
+}
+
+void check(AssertionKind kind, bool ok, const char* expression, const char* file,
+           int line) {
+    auto& stats = AssertionStats::instance();
+    stats.record_check(kind);
+    if (!ok) {
+        stats.record_violation(kind);
+        throw AssertionViolation(kind, expression, file, line);
+    }
+}
+
+}  // namespace detail
+
+}  // namespace stc::bit

@@ -1,0 +1,119 @@
+// Concat's assertion macro library — paper Fig. 5.
+//
+// The paper implements ClassInvariant / PreCondition / PostCondition as
+// macros that throw when the user-supplied predicate is false; they form
+// the *partial oracle* of the generated test drivers (§2.2, §3.3).  This
+// version adds:
+//   - a typed exception (AssertionViolation) carrying the kind, the
+//     violated expression and the source location;
+//   - global assertion statistics (checked / violated counts) consumed
+//     by the mutation benches to attribute kills to the assertion
+//     oracle, reproducing the paper's "59 of 652 kills were due to
+//     assertion violation" accounting;
+//   - gating on test mode and on the STC_BIT_DISABLED compile directive
+//     (the paper's BIT access control).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "stc/bit/built_in_test.h"
+#include "stc/support/error.h"
+
+namespace stc::bit {
+
+/// Which kind of contract was violated.
+enum class AssertionKind { Invariant, Precondition, Postcondition };
+
+[[nodiscard]] const char* to_string(AssertionKind kind) noexcept;
+
+/// Thrown by the assertion macros when a predicate is false in test mode.
+/// The generated driver catches it and records the failing test case and
+/// the method being executed (Fig. 6).
+class AssertionViolation : public Error {
+public:
+    AssertionViolation(AssertionKind kind, std::string expression, std::string file,
+                       int line);
+
+    [[nodiscard]] AssertionKind assertion_kind() const noexcept { return kind_; }
+    [[nodiscard]] const std::string& expression() const noexcept { return expression_; }
+    [[nodiscard]] const std::string& file() const noexcept { return file_; }
+    [[nodiscard]] int line() const noexcept { return line_; }
+
+private:
+    AssertionKind kind_;
+    std::string expression_;
+    std::string file_;
+    int line_;
+};
+
+/// Global (per-thread) assertion counters, reset per test session.
+class AssertionStats {
+public:
+    struct Counters {
+        std::uint64_t checked = 0;
+        std::uint64_t violated = 0;
+    };
+
+    static AssertionStats& instance() noexcept;
+
+    void record_check(AssertionKind kind) noexcept;
+    void record_violation(AssertionKind kind) noexcept;
+    void reset() noexcept;
+
+    [[nodiscard]] Counters counters(AssertionKind kind) const noexcept;
+    [[nodiscard]] std::uint64_t total_checked() const noexcept;
+    [[nodiscard]] std::uint64_t total_violated() const noexcept;
+
+    /// True when assertion checking is currently suppressed (used by the
+    /// oracle ablation bench to run with the assertion oracle off).
+    [[nodiscard]] bool suppressed() const noexcept { return suppress_depth_ > 0; }
+
+private:
+    friend class AssertionSuppressGuard;
+    std::array<Counters, 3> by_kind_{};
+    int suppress_depth_ = 0;
+};
+
+/// RAII suppression of assertion checking (ablation studies).
+class AssertionSuppressGuard {
+public:
+    AssertionSuppressGuard() noexcept { ++AssertionStats::instance().suppress_depth_; }
+    ~AssertionSuppressGuard() { --AssertionStats::instance().suppress_depth_; }
+
+    AssertionSuppressGuard(const AssertionSuppressGuard&) = delete;
+    AssertionSuppressGuard& operator=(const AssertionSuppressGuard&) = delete;
+};
+
+namespace detail {
+/// Implements the macro bodies; returns true when the predicate should
+/// actually be evaluated (test mode on, not suppressed, BIT compiled in).
+[[nodiscard]] bool assertions_active() noexcept;
+void check(AssertionKind kind, bool ok, const char* expression, const char* file,
+           int line);
+}  // namespace detail
+
+}  // namespace stc::bit
+
+// The paper's Fig. 5 macros.  `exp` is the user-provided predicate.
+#ifndef STC_BIT_DISABLED
+#define STC_BIT_ASSERT_IMPL(kind, exp)                                        \
+    do {                                                                      \
+        if (::stc::bit::detail::assertions_active()) {                        \
+            ::stc::bit::detail::check(kind, static_cast<bool>(exp), #exp,     \
+                                      __FILE__, __LINE__);                    \
+        }                                                                     \
+    } while (false)
+#else
+#define STC_BIT_ASSERT_IMPL(kind, exp) \
+    do {                               \
+    } while (false)
+#endif
+
+#define STC_CLASS_INVARIANT(exp) \
+    STC_BIT_ASSERT_IMPL(::stc::bit::AssertionKind::Invariant, exp)
+#define STC_PRECONDITION(exp) \
+    STC_BIT_ASSERT_IMPL(::stc::bit::AssertionKind::Precondition, exp)
+#define STC_POSTCONDITION(exp) \
+    STC_BIT_ASSERT_IMPL(::stc::bit::AssertionKind::Postcondition, exp)

@@ -1,0 +1,23 @@
+// Opt-in aliases with the exact macro names of the paper's Fig. 5
+// ("Concat's macro library").  The primary API uses the STC_-prefixed
+// names to stay collision-free in larger programs; include this header
+// in component code that wants to read like the paper:
+//
+//   ClassInvariant(count_ >= 0);
+//   PreCondition(!IsEmpty());
+//   PostCondition(balance_ >= 0);
+//
+// Semantics are identical to the STC_ macros: the predicate is evaluated
+// only in test mode, and a false predicate throws AssertionViolation
+// ("<kind> is violated!", as in Fig. 5).
+#pragma once
+
+#include "stc/bit/assertions.h"
+
+#ifdef ClassInvariant
+#error "ClassInvariant is already defined; cannot provide the Fig. 5 alias"
+#endif
+
+#define ClassInvariant(exp) STC_CLASS_INVARIANT(exp)
+#define PreCondition(exp) STC_PRECONDITION(exp)
+#define PostCondition(exp) STC_POSTCONDITION(exp)

@@ -1,0 +1,45 @@
+// Umbrella header: the complete public API of the Concat self-testable
+// component framework.  Include this for everything, or the individual
+// module headers for finer-grained dependencies.
+#pragma once
+
+// Foundations.
+#include "stc/support/contracts.h"   // IWYU pragma: export
+#include "stc/support/error.h"       // IWYU pragma: export
+#include "stc/support/rng.h"         // IWYU pragma: export
+#include "stc/support/strings.h"     // IWYU pragma: export
+#include "stc/support/table.h"       // IWYU pragma: export
+
+// Value domains and the t-spec.
+#include "stc/domain/domain.h"       // IWYU pragma: export
+#include "stc/domain/value.h"        // IWYU pragma: export
+#include "stc/tspec/builder.h"       // IWYU pragma: export
+#include "stc/tspec/model.h"         // IWYU pragma: export
+#include "stc/tspec/parser.h"        // IWYU pragma: export
+
+// Test models.
+#include "stc/tfm/coverage.h"        // IWYU pragma: export
+#include "stc/tfm/graph.h"           // IWYU pragma: export
+
+// Built-in test capabilities.
+#include "stc/bit/assertions.h"      // IWYU pragma: export
+#include "stc/bit/built_in_test.h"   // IWYU pragma: export
+
+// Reflection substitute and the driver.
+#include "stc/driver/generator.h"    // IWYU pragma: export
+#include "stc/driver/runner.h"       // IWYU pragma: export
+#include "stc/driver/suite_io.h"     // IWYU pragma: export
+#include "stc/driver/template_suite.h"  // IWYU pragma: export
+#include "stc/reflect/binder.h"      // IWYU pragma: export
+#include "stc/reflect/class_binding.h"  // IWYU pragma: export
+
+// Oracles, history, mutation.
+#include "stc/history/incremental.h"  // IWYU pragma: export
+#include "stc/mutation/engine.h"      // IWYU pragma: export
+#include "stc/mutation/report.h"      // IWYU pragma: export
+#include "stc/oracle/golden_io.h"     // IWYU pragma: export
+#include "stc/oracle/oracle.h"        // IWYU pragma: export
+
+// The component facade.
+#include "stc/core/quality.h"        // IWYU pragma: export
+#include "stc/core/self_testable.h"  // IWYU pragma: export

@@ -1,0 +1,42 @@
+// Test-quality estimation.
+//
+// Related work the paper discusses (Le Traon et al., §5) attaches a
+// mutation-analysis quality estimate to each self-test, "either to guide
+// in the choice of a component, or to help reaching a test adequacy
+// criteria".  This module provides that figure for any self-testable
+// component whose substrate is instrumented with mutation descriptors:
+// the suite's mutation score plus its kill/coverage breakdown.
+#pragma once
+
+#include "stc/core/self_testable.h"
+#include "stc/mutation/engine.h"
+
+namespace stc::core {
+
+/// Quality of one test suite, measured by interface mutation.
+struct TestQuality {
+    std::size_t mutants = 0;
+    std::size_t killed = 0;
+    std::size_t equivalent = 0;
+    std::size_t not_covered = 0;
+    std::size_t kills_by_crash = 0;
+    std::size_t kills_by_assertion = 0;
+    std::size_t kills_by_output = 0;
+    bool baseline_clean = false;
+
+    /// The mutation score: killed / (mutants - equivalent).
+    double score = 0.0;
+
+    [[nodiscard]] std::string summary() const;
+};
+
+/// Estimate the quality of `suite` for `component` using the interface
+/// mutants of the component's class found in `descriptors`.  The
+/// optional probe suite separates equivalent mutants from missed ones
+/// (see stc::mutation::MutationEngine).
+[[nodiscard]] TestQuality estimate_quality(
+    const SelfTestableComponent& component,
+    const mutation::DescriptorRegistry& descriptors, const driver::TestSuite& suite,
+    const driver::TestSuite* probe = nullptr, mutation::EngineOptions options = {});
+
+}  // namespace stc::core

@@ -1,0 +1,82 @@
+// The self-testable component abstraction — the paper's §3.1 methodology
+// as a public API.
+//
+// Producer side (performed once, by whoever ships the component):
+//   1. construct the test model (TFM) and the t-spec, embed them;
+//   2. instrument the class with BIT capabilities (inherit BuiltInTest,
+//      add assertions) — done in the component's own code;
+//   3. register the reflection binding so generated tests are executable.
+//
+// Consumer side (performed on every reuse):
+//   1. generate test cases from the embedded t-spec;
+//   2. compile in test mode (here: enter test mode at runtime);
+//   3. execute the tests;
+//   4. analyze the results.
+// All four consumer tasks are one call: self_test().
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "stc/driver/generator.h"
+#include "stc/driver/runner.h"
+#include "stc/history/incremental.h"
+#include "stc/reflect/class_binding.h"
+#include "stc/tspec/model.h"
+
+namespace stc::core {
+
+/// Analysis summary of one self-test session (consumer task 4).
+struct SelfTestReport {
+    driver::TestSuite suite;     ///< what was generated
+    driver::SuiteResult result;  ///< what happened
+    std::uint64_t assertions_checked = 0;
+    std::uint64_t assertions_violated = 0;
+
+    [[nodiscard]] bool all_passed() const noexcept {
+        return result.failed() == 0;
+    }
+
+    /// Human-readable summary block (model size, cases, verdict counts).
+    [[nodiscard]] std::string summary() const;
+};
+
+/// A component bundled with its embedded test resources.
+class SelfTestableComponent {
+public:
+    SelfTestableComponent(tspec::ComponentSpec spec, reflect::ClassBinding binding);
+
+    [[nodiscard]] const tspec::ComponentSpec& spec() const noexcept { return spec_; }
+    [[nodiscard]] const reflect::Registry& registry() const noexcept {
+        return registry_;
+    }
+
+    /// Provide the tester's completions for structured parameters
+    /// (consumer configuration; see §3.4.1).
+    void set_completions(driver::CompletionRegistry completions);
+
+    /// Consumer task 1: generate the test suite from the embedded t-spec.
+    [[nodiscard]] driver::TestSuite generate_tests(
+        driver::GeneratorOptions options = {}) const;
+
+    /// Consumer tasks 2-4: execute a suite in test mode and analyze.
+    [[nodiscard]] SelfTestReport self_test(const driver::TestSuite& suite,
+                                           driver::RunnerOptions runner = {}) const;
+
+    /// The whole consumer workflow in one call.
+    [[nodiscard]] SelfTestReport self_test(driver::GeneratorOptions options = {},
+                                           driver::RunnerOptions runner = {}) const;
+
+    /// Derive the subclass's incremental suite per §3.4.2 (this
+    /// component must be the subclass: its t-spec carries the
+    /// inherited/redefined/new method categories).
+    [[nodiscard]] history::IncrementalPlan incremental_plan(
+        const driver::TestSuite& full_suite) const;
+
+private:
+    tspec::ComponentSpec spec_;
+    reflect::Registry registry_;
+    std::optional<driver::CompletionRegistry> completions_;
+};
+
+}  // namespace stc::core

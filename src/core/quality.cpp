@@ -1,0 +1,45 @@
+#include "stc/core/quality.h"
+
+#include <sstream>
+
+#include "stc/support/strings.h"
+
+namespace stc::core {
+
+std::string TestQuality::summary() const {
+    std::ostringstream os;
+    os << "test quality: score " << support::percent(score) << " (" << killed << "/"
+       << (mutants - equivalent) << " non-equivalent mutants killed; " << equivalent
+       << " equivalent, " << not_covered << " not covered)\n"
+       << "  kills: crash=" << kills_by_crash << " assertion=" << kills_by_assertion
+       << " output-diff=" << kills_by_output << "\n"
+       << "  baseline " << (baseline_clean ? "clean" : "NOT CLEAN") << "\n";
+    return os.str();
+}
+
+TestQuality estimate_quality(const SelfTestableComponent& component,
+                             const mutation::DescriptorRegistry& descriptors,
+                             const driver::TestSuite& suite,
+                             const driver::TestSuite* probe,
+                             mutation::EngineOptions options) {
+    const auto mutants =
+        mutation::enumerate_mutants(descriptors, component.spec().class_name);
+    const mutation::MutationEngine engine(component.registry(), std::move(options));
+    const mutation::MutationRun run = engine.run(suite, mutants, probe);
+
+    TestQuality out;
+    out.mutants = run.total();
+    out.killed = run.killed();
+    out.equivalent = run.equivalent();
+    for (const auto& outcome : run.outcomes) {
+        out.not_covered += outcome.fate == mutation::MutantFate::NotCovered ? 1 : 0;
+    }
+    out.kills_by_crash = run.kills_by(oracle::KillReason::Crash);
+    out.kills_by_assertion = run.kills_by(oracle::KillReason::Assertion);
+    out.kills_by_output = run.kills_by(oracle::KillReason::OutputDiff);
+    out.baseline_clean = run.baseline_clean;
+    out.score = run.score();
+    return out;
+}
+
+}  // namespace stc::core

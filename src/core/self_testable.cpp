@@ -1,0 +1,74 @@
+#include "stc/core/self_testable.h"
+
+#include <sstream>
+
+#include "stc/bit/assertions.h"
+
+namespace stc::core {
+
+std::string SelfTestReport::summary() const {
+    std::ostringstream os;
+    os << "self-test of " << suite.class_name << " (seed " << suite.seed << ")\n"
+       << "  test model: " << suite.model_nodes << " node(s), " << suite.model_links
+       << " link(s), " << suite.transactions_enumerated << " transaction(s)\n"
+       << "  test cases: " << suite.size() << "\n"
+       << "  passed:     " << result.passed() << "\n"
+       << "  failed:     " << result.failed();
+    if (result.failed() != 0) {
+        os << "  (assertion=" << result.count(driver::Verdict::AssertionViolation)
+           << ", crash=" << result.count(driver::Verdict::Crash)
+           << ", exception=" << result.count(driver::Verdict::UncaughtException)
+           << ", setup=" << result.count(driver::Verdict::SetupError) << ")";
+    }
+    os << "\n  assertions: " << assertions_checked << " checked, "
+       << assertions_violated << " violated\n";
+    return os.str();
+}
+
+SelfTestableComponent::SelfTestableComponent(tspec::ComponentSpec spec,
+                                             reflect::ClassBinding binding)
+    : spec_(std::move(spec)) {
+    if (binding.name() != spec_.class_name) {
+        throw SpecError("binding is for class '" + binding.name() +
+                        "' but t-spec describes '" + spec_.class_name + "'");
+    }
+    registry_.add(std::move(binding));
+}
+
+void SelfTestableComponent::set_completions(driver::CompletionRegistry completions) {
+    completions_ = std::move(completions);
+}
+
+driver::TestSuite SelfTestableComponent::generate_tests(
+    driver::GeneratorOptions options) const {
+    driver::DriverGenerator generator(spec_, options);
+    if (completions_) generator.completions(&*completions_);
+    return generator.generate();
+}
+
+SelfTestReport SelfTestableComponent::self_test(const driver::TestSuite& suite,
+                                                driver::RunnerOptions runner) const {
+    auto& stats = bit::AssertionStats::instance();
+    const auto checked_before = stats.total_checked();
+    const auto violated_before = stats.total_violated();
+
+    SelfTestReport report;
+    report.suite = suite;
+    report.result = driver::TestRunner(registry_, runner).run(suite);
+    report.assertions_checked = stats.total_checked() - checked_before;
+    report.assertions_violated = stats.total_violated() - violated_before;
+    return report;
+}
+
+SelfTestReport SelfTestableComponent::self_test(driver::GeneratorOptions options,
+                                                driver::RunnerOptions runner) const {
+    return self_test(generate_tests(options), runner);
+}
+
+history::IncrementalPlan SelfTestableComponent::incremental_plan(
+    const driver::TestSuite& full_suite) const {
+    const history::IncrementalPlanner planner(spec_);
+    return planner.plan(full_suite);
+}
+
+}  // namespace stc::core

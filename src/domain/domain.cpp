@@ -1,0 +1,213 @@
+#include "stc/domain/domain.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "stc/support/contracts.h"
+#include "stc/support/error.h"
+
+namespace stc::domain {
+
+// ---------------------------------------------------------------- IntRange
+
+IntRangeDomain::IntRangeDomain(std::int64_t lo, std::int64_t hi) : lo_(lo), hi_(hi) {
+    if (lo > hi) throw SpecError("int range with lo > hi");
+}
+
+Value IntRangeDomain::sample(support::Pcg32& rng) const {
+    return Value::make_int(rng.uniform(lo_, hi_));
+}
+
+bool IntRangeDomain::contains(const Value& v) const {
+    return v.kind() == ValueKind::Int && v.as_int() >= lo_ && v.as_int() <= hi_;
+}
+
+std::string IntRangeDomain::describe() const {
+    return "range " + std::to_string(lo_) + ".." + std::to_string(hi_);
+}
+
+std::vector<Value> IntRangeDomain::boundary_values() const {
+    std::vector<Value> out{Value::make_int(lo_), Value::make_int(hi_)};
+    if (lo_ < 0 && hi_ > 0) out.push_back(Value::make_int(0));
+    if (hi_ > lo_) {
+        out.push_back(Value::make_int(lo_ + 1));
+        out.push_back(Value::make_int(hi_ - 1));
+    }
+    return out;
+}
+
+std::vector<Value> IntRangeDomain::invalid_values() const {
+    std::vector<Value> out;
+    if (lo_ > std::numeric_limits<std::int64_t>::min()) {
+        out.push_back(Value::make_int(lo_ - 1));
+    }
+    if (hi_ < std::numeric_limits<std::int64_t>::max()) {
+        out.push_back(Value::make_int(hi_ + 1));
+    }
+    return out;
+}
+
+// --------------------------------------------------------------- RealRange
+
+RealRangeDomain::RealRangeDomain(double lo, double hi) : lo_(lo), hi_(hi) {
+    if (lo > hi) throw SpecError("real range with lo > hi");
+}
+
+Value RealRangeDomain::sample(support::Pcg32& rng) const {
+    return Value::make_real(rng.uniform_real(lo_, hi_));
+}
+
+bool RealRangeDomain::contains(const Value& v) const {
+    if (v.kind() != ValueKind::Real && v.kind() != ValueKind::Int) return false;
+    const double x = v.as_number();
+    return x >= lo_ && x <= hi_;
+}
+
+std::string RealRangeDomain::describe() const {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "range %g..%g", lo_, hi_);
+    return buf;
+}
+
+std::vector<Value> RealRangeDomain::boundary_values() const {
+    std::vector<Value> out{Value::make_real(lo_), Value::make_real(hi_)};
+    if (lo_ < 0.0 && hi_ > 0.0) out.push_back(Value::make_real(0.0));
+    return out;
+}
+
+std::vector<Value> RealRangeDomain::invalid_values() const {
+    // Step a whole span outside so floating rounding cannot creep back in.
+    const double span = hi_ - lo_ + 1.0;
+    return {Value::make_real(lo_ - span), Value::make_real(hi_ + span)};
+}
+
+// --------------------------------------------------------------------- Set
+
+SetDomain::SetDomain(std::vector<Value> values) : values_(std::move(values)) {
+    if (values_.empty()) throw SpecError("set domain with no values");
+    const ValueKind k = values_.front().kind();
+    const bool uniform = std::all_of(values_.begin(), values_.end(),
+                                     [k](const Value& v) { return v.kind() == k; });
+    if (!uniform) throw SpecError("set domain mixes value kinds");
+}
+
+Value SetDomain::sample(support::Pcg32& rng) const {
+    return values_[rng.index(values_.size())];
+}
+
+bool SetDomain::contains(const Value& v) const {
+    return std::find(values_.begin(), values_.end(), v) != values_.end();
+}
+
+ValueKind SetDomain::kind() const noexcept { return values_.front().kind(); }
+
+std::string SetDomain::describe() const {
+    std::string out = "set {";
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += values_[i].to_source();
+    }
+    out += "}";
+    return out;
+}
+
+std::vector<Value> SetDomain::boundary_values() const { return values_; }
+
+// ------------------------------------------------------------------ String
+
+StringDomain::StringDomain(std::size_t min_len, std::size_t max_len,
+                           std::string alphabet)
+    : min_len_(min_len), max_len_(max_len), alphabet_(std::move(alphabet)) {
+    if (min_len > max_len) throw SpecError("string domain with min_len > max_len");
+    if (alphabet_.empty()) throw SpecError("string domain with empty alphabet");
+}
+
+std::string StringDomain::default_alphabet() {
+    return "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+}
+
+Value StringDomain::sample(support::Pcg32& rng) const {
+    const auto len = static_cast<std::size_t>(
+        rng.uniform(static_cast<std::int64_t>(min_len_),
+                    static_cast<std::int64_t>(max_len_)));
+    std::string s;
+    s.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) s += alphabet_[rng.index(alphabet_.size())];
+    return Value::make_string(std::move(s));
+}
+
+bool StringDomain::contains(const Value& v) const {
+    if (v.kind() != ValueKind::String) return false;
+    const std::string& s = v.as_string();
+    if (s.size() < min_len_ || s.size() > max_len_) return false;
+    return std::all_of(s.begin(), s.end(), [this](char c) {
+        return alphabet_.find(c) != std::string::npos;
+    });
+}
+
+std::string StringDomain::describe() const {
+    return "string len " + std::to_string(min_len_) + ".." + std::to_string(max_len_);
+}
+
+std::vector<Value> StringDomain::boundary_values() const {
+    std::vector<Value> out;
+    out.push_back(Value::make_string(std::string(min_len_, alphabet_.front())));
+    if (max_len_ != min_len_) {
+        out.push_back(Value::make_string(std::string(max_len_, alphabet_.back())));
+    }
+    return out;
+}
+
+std::vector<Value> StringDomain::invalid_values() const {
+    // One character too long (always invalid); too short only when a
+    // minimum exists.
+    std::vector<Value> out{
+        Value::make_string(std::string(max_len_ + 1, alphabet_.front()))};
+    if (min_len_ > 0) {
+        out.push_back(Value::make_string(std::string(min_len_ - 1, alphabet_.front())));
+    }
+    return out;
+}
+
+// ----------------------------------------------------------------- Pointer
+
+PointerDomain::PointerDomain(std::string type_name, Completion completion)
+    : type_name_(std::move(type_name)), completion_(std::move(completion)) {}
+
+Value PointerDomain::sample(support::Pcg32& rng) const {
+    if (completion_) return completion_(rng);
+    return Value::make_pointer(nullptr, type_name_);
+}
+
+bool PointerDomain::contains(const Value& v) const {
+    return v.kind() == ValueKind::Pointer || v.kind() == ValueKind::Object;
+}
+
+std::string PointerDomain::describe() const {
+    return "pointer to " + type_name_ + (completion_ ? " (completed)" : " (manual)");
+}
+
+// ----------------------------------------------------------------- Helpers
+
+DomainPtr int_range(std::int64_t lo, std::int64_t hi) {
+    return std::make_shared<IntRangeDomain>(lo, hi);
+}
+
+DomainPtr real_range(double lo, double hi) {
+    return std::make_shared<RealRangeDomain>(lo, hi);
+}
+
+DomainPtr value_set(std::vector<Value> values) {
+    return std::make_shared<SetDomain>(std::move(values));
+}
+
+DomainPtr string_domain(std::size_t min_len, std::size_t max_len) {
+    return std::make_shared<StringDomain>(min_len, max_len);
+}
+
+DomainPtr pointer_domain(std::string type_name, PointerDomain::Completion completion) {
+    return std::make_shared<PointerDomain>(std::move(type_name), std::move(completion));
+}
+
+}  // namespace stc::domain

@@ -1,0 +1,167 @@
+// Value domains — the "valid subdomain" of each attribute/parameter in a
+// t-spec (Fig. 3: allowable types are range, set, string, object,
+// pointer).  The Driver Generator samples test inputs by "randomly
+// selecting a value from the valid subdomain" (§3.4.1); object and
+// pointer kinds are structured types that the tester completes manually
+// (here: via a completion hook).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stc/domain/value.h"
+#include "stc/support/rng.h"
+
+namespace stc::domain {
+
+/// Abstract value domain: a sampleable, checkable set of Values.
+class Domain {
+public:
+    virtual ~Domain() = default;
+
+    /// Uniformly sample one value from the domain.
+    [[nodiscard]] virtual Value sample(support::Pcg32& rng) const = 0;
+
+    /// Membership test (used by property tests and by oracle-side
+    /// validation of recorded test cases).
+    [[nodiscard]] virtual bool contains(const Value& v) const = 0;
+
+    /// Kind of values this domain produces.
+    [[nodiscard]] virtual ValueKind kind() const noexcept = 0;
+
+    /// Human/spec readable description (also used when re-emitting a
+    /// t-spec).
+    [[nodiscard]] virtual std::string describe() const = 0;
+
+    /// Boundary values of the domain (empty if not meaningful).  An
+    /// extension over the paper's uniform sampling, used by the
+    /// boundary-coverage generation policy.
+    [[nodiscard]] virtual std::vector<Value> boundary_values() const { return {}; }
+
+    /// Values just *outside* the domain (empty when none can be named,
+    /// e.g. an unconstrained set).  Used to drive error-recovery
+    /// transactions: a rejected call receives one of these.
+    [[nodiscard]] virtual std::vector<Value> invalid_values() const { return {}; }
+};
+
+using DomainPtr = std::shared_ptr<const Domain>;
+
+/// Closed integer interval [lo, hi] — the t-spec `range` type with
+/// integral bounds ("for range types, indicates the lower/upper limit").
+class IntRangeDomain final : public Domain {
+public:
+    IntRangeDomain(std::int64_t lo, std::int64_t hi);
+
+    [[nodiscard]] Value sample(support::Pcg32& rng) const override;
+    [[nodiscard]] bool contains(const Value& v) const override;
+    [[nodiscard]] ValueKind kind() const noexcept override { return ValueKind::Int; }
+    [[nodiscard]] std::string describe() const override;
+    [[nodiscard]] std::vector<Value> boundary_values() const override;
+    [[nodiscard]] std::vector<Value> invalid_values() const override;
+
+    [[nodiscard]] std::int64_t lo() const noexcept { return lo_; }
+    [[nodiscard]] std::int64_t hi() const noexcept { return hi_; }
+
+private:
+    std::int64_t lo_;
+    std::int64_t hi_;
+};
+
+/// Closed real interval [lo, hi] — the t-spec `range` type with real
+/// bounds (e.g. a price).
+class RealRangeDomain final : public Domain {
+public:
+    RealRangeDomain(double lo, double hi);
+
+    [[nodiscard]] Value sample(support::Pcg32& rng) const override;
+    [[nodiscard]] bool contains(const Value& v) const override;
+    [[nodiscard]] ValueKind kind() const noexcept override { return ValueKind::Real; }
+    [[nodiscard]] std::string describe() const override;
+    [[nodiscard]] std::vector<Value> boundary_values() const override;
+    [[nodiscard]] std::vector<Value> invalid_values() const override;
+
+    [[nodiscard]] double lo() const noexcept { return lo_; }
+    [[nodiscard]] double hi() const noexcept { return hi_; }
+
+private:
+    double lo_;
+    double hi_;
+};
+
+/// Explicit finite set of values — the t-spec `set` type.
+class SetDomain final : public Domain {
+public:
+    explicit SetDomain(std::vector<Value> values);
+
+    [[nodiscard]] Value sample(support::Pcg32& rng) const override;
+    [[nodiscard]] bool contains(const Value& v) const override;
+    [[nodiscard]] ValueKind kind() const noexcept override;
+    [[nodiscard]] std::string describe() const override;
+    [[nodiscard]] std::vector<Value> boundary_values() const override;
+
+    [[nodiscard]] const std::vector<Value>& values() const noexcept { return values_; }
+
+private:
+    std::vector<Value> values_;
+};
+
+/// Random strings over an alphabet with a length interval — the t-spec
+/// `string` type.
+class StringDomain final : public Domain {
+public:
+    StringDomain(std::size_t min_len, std::size_t max_len,
+                 std::string alphabet = default_alphabet());
+
+    [[nodiscard]] static std::string default_alphabet();
+
+    [[nodiscard]] Value sample(support::Pcg32& rng) const override;
+    [[nodiscard]] bool contains(const Value& v) const override;
+    [[nodiscard]] ValueKind kind() const noexcept override { return ValueKind::String; }
+    [[nodiscard]] std::string describe() const override;
+    [[nodiscard]] std::vector<Value> boundary_values() const override;
+    [[nodiscard]] std::vector<Value> invalid_values() const override;
+
+    [[nodiscard]] std::size_t min_len() const noexcept { return min_len_; }
+    [[nodiscard]] std::size_t max_len() const noexcept { return max_len_; }
+
+private:
+    std::size_t min_len_;
+    std::size_t max_len_;
+    std::string alphabet_;
+};
+
+/// Structured type domain (t-spec `pointer` / `object`).  The paper
+/// requires the tester to complete such parameters manually; a
+/// completion hook plays the tester's role so suites remain executable.
+/// Without a hook, sampling yields a null pointer placeholder.
+class PointerDomain final : public Domain {
+public:
+    using Completion = std::function<Value(support::Pcg32&)>;
+
+    explicit PointerDomain(std::string type_name, Completion completion = {});
+
+    [[nodiscard]] Value sample(support::Pcg32& rng) const override;
+    [[nodiscard]] bool contains(const Value& v) const override;
+    [[nodiscard]] ValueKind kind() const noexcept override { return ValueKind::Pointer; }
+    [[nodiscard]] std::string describe() const override;
+
+    [[nodiscard]] const std::string& type_name() const noexcept { return type_name_; }
+    [[nodiscard]] bool has_completion() const noexcept { return static_cast<bool>(completion_); }
+
+private:
+    std::string type_name_;
+    Completion completion_;
+};
+
+/// Factory helpers.
+[[nodiscard]] DomainPtr int_range(std::int64_t lo, std::int64_t hi);
+[[nodiscard]] DomainPtr real_range(double lo, double hi);
+[[nodiscard]] DomainPtr value_set(std::vector<Value> values);
+[[nodiscard]] DomainPtr string_domain(std::size_t min_len, std::size_t max_len);
+[[nodiscard]] DomainPtr pointer_domain(std::string type_name,
+                                       PointerDomain::Completion completion = {});
+
+}  // namespace stc::domain

@@ -1,0 +1,84 @@
+// Dynamic value type flowing between the Driver Generator and the
+// reflection layer.
+//
+// The paper's t-spec (Fig. 3) types parameters and attributes as one of
+// {range, set, string, object, pointer}; generated test cases carry
+// concrete values for the numeric and string kinds, while structured
+// kinds (object/pointer) "must be completed manually by the tester"
+// (§3.4.1).  Value models all five: numeric/string values directly,
+// pointer/object values as opaque handles supplied by a completion hook.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace stc::domain {
+
+/// Discriminator for Value. Mirrors the t-spec type system.
+enum class ValueKind { Empty, Int, Real, String, Pointer, Object };
+
+[[nodiscard]] const char* to_string(ValueKind kind) noexcept;
+
+/// Opaque reference to a live object (used for object/pointer parameters
+/// that the tester or a completion hook supplied).
+struct ObjectRef {
+    void* ptr = nullptr;
+    std::string type_name;
+
+    friend bool operator==(const ObjectRef&, const ObjectRef&) = default;
+};
+
+/// A dynamically typed value: the unit of data exchanged between the
+/// driver, the reflection invokers, and the oracles.
+class Value {
+public:
+    Value() = default;
+
+    static Value make_int(std::int64_t v) { return Value(v); }
+    static Value make_real(double v) { return Value(v); }
+    static Value make_string(std::string v) { return Value(std::move(v)); }
+    static Value make_pointer(void* p, std::string type_name = {});
+    static Value make_object(void* p, std::string type_name = {});
+
+    [[nodiscard]] ValueKind kind() const noexcept;
+    [[nodiscard]] bool is_empty() const noexcept { return kind() == ValueKind::Empty; }
+
+    /// Accessors throw stc::Error on kind mismatch.
+    [[nodiscard]] std::int64_t as_int() const;
+    [[nodiscard]] double as_real() const;
+    [[nodiscard]] const std::string& as_string() const;
+    [[nodiscard]] void* as_pointer() const;
+    [[nodiscard]] const ObjectRef& as_object() const;
+
+    /// Numeric coercion: Int or Real -> double.
+    [[nodiscard]] double as_number() const;
+
+    /// Rendering for logs and generated source. Strings are quoted and
+    /// escaped so the output can be pasted into C++ code (Fig. 6 shows
+    /// the generated calls with literal arguments).
+    [[nodiscard]] std::string to_source() const;
+
+    /// Rendering for human-readable logs (strings unquoted).
+    [[nodiscard]] std::string to_display() const;
+
+    friend bool operator==(const Value&, const Value&) = default;
+
+private:
+    struct PointerTag {
+        ObjectRef ref;
+        friend bool operator==(const PointerTag&, const PointerTag&) = default;
+    };
+
+    explicit Value(std::int64_t v) : data_(v) {}
+    explicit Value(double v) : data_(v) {}
+    explicit Value(std::string v) : data_(std::move(v)) {}
+    Value(PointerTag tag) : data_(std::move(tag)) {}
+    Value(ObjectRef ref) : data_(std::move(ref)) {}
+
+    std::variant<std::monostate, std::int64_t, double, std::string, PointerTag,
+                 ObjectRef>
+        data_;
+};
+
+}  // namespace stc::domain

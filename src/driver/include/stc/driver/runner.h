@@ -1,0 +1,86 @@
+// In-process test execution.
+//
+// Runs a generated TestSuite against the component under test through
+// the reflection bindings, reproducing the control structure of the
+// paper's generated driver (Fig. 6): activate test mode, create the CUT
+// with the transaction's constructor, check the class invariant before
+// each method call and after its return, call Reporter to store the
+// object's internal state, destroy the CUT, and convert any exception
+// (assertion violation, simulated crash, ...) into a recorded verdict
+// with the name of the method that was executing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stc/bit/assertions.h"
+#include "stc/driver/test_case.h"
+#include "stc/reflect/class_binding.h"
+
+namespace stc::driver {
+
+/// Outcome of one test case.  The first three map onto the paper's kill
+/// conditions for mutation analysis (§4): crash, assertion violation,
+/// output difference (the latter judged later by an oracle against a
+/// golden run — a runner alone can only report Pass).
+enum class Verdict {
+    Pass,
+    AssertionViolation,  ///< BIT assertion raised (paper kill condition ii)
+    Crash,               ///< CrashSignal: would have crashed the process (i)
+    UncaughtException,   ///< any other exception escaping the CUT
+    SetupError,          ///< constructor/binding failure before the test body
+    ContractNotEnforced, ///< a negative call was ACCEPTED: the component
+                         ///< failed to reject an out-of-contract input
+};
+
+[[nodiscard]] const char* to_string(Verdict v) noexcept;
+
+struct TestResult {
+    std::string case_id;
+    Verdict verdict = Verdict::Pass;
+    std::string message;         ///< failure text (er.msg in Fig. 6)
+    std::string failed_method;   ///< "Method called: ..." in Fig. 6
+    std::optional<bit::AssertionKind> assertion_kind;
+    std::string report;          ///< Reporter output (observable state)
+    std::string log;             ///< per-case log in the Fig. 6 format
+
+    [[nodiscard]] bool passed() const noexcept { return verdict == Verdict::Pass; }
+};
+
+struct SuiteResult {
+    std::vector<TestResult> results;
+    std::string log;  ///< concatenation — the "Result.txt" of Fig. 6
+
+    [[nodiscard]] std::size_t count(Verdict v) const noexcept;
+    [[nodiscard]] std::size_t passed() const noexcept { return count(Verdict::Pass); }
+    [[nodiscard]] std::size_t failed() const noexcept {
+        return results.size() - passed();
+    }
+};
+
+struct RunnerOptions {
+    bool check_invariants = true;   ///< invariant before/after every call (Fig. 6)
+    bool capture_reports = true;    ///< call Reporter at end of each case
+    bool observe_each_call = false; ///< additionally capture state after every call
+    /// When non-empty, the suite log is also appended to this file — the
+    /// literal "Result.txt" behaviour of the paper's generated drivers.
+    std::string log_path;
+};
+
+/// Executes test suites against registered class bindings.
+class TestRunner {
+public:
+    explicit TestRunner(const reflect::Registry& registry, RunnerOptions options = {});
+
+    [[nodiscard]] SuiteResult run(const TestSuite& suite) const;
+    [[nodiscard]] TestResult run_case(const reflect::ClassBinding& binding,
+                                      const TestCase& test_case) const;
+
+private:
+    const reflect::Registry& registry_;
+    RunnerOptions options_;
+};
+
+}  // namespace stc::driver

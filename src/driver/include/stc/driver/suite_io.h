@@ -1,0 +1,36 @@
+// Test-suite persistence.
+//
+// The paper's motivation for built-in tests is that a component "should
+// be tested many times: by their producers, during development or
+// maintenance, and by their consumers, every time they are reused".
+// Saving the generated suite lets a consumer rerun the *identical* test
+// cases against a new release (the regression scenario Table 3 warns
+// about: "a new release of the library substitutes the old one").
+//
+// Structured (pointer/object) argument values are live pointers and do
+// not persist; they are saved as typed placeholders and must be
+// re-completed after loading (recomplete_suite), exactly like a freshly
+// generated suite whose tester completions are pending.
+#pragma once
+
+#include <iosfwd>
+
+#include "stc/driver/generator.h"
+
+namespace stc::driver {
+
+/// Write `suite` in the line-oriented concat-suite text format.
+void save_suite(std::ostream& os, const TestSuite& suite);
+
+/// Parse a suite previously written by save_suite.  Throws stc::Error on
+/// malformed input.
+[[nodiscard]] TestSuite load_suite(std::istream& is);
+
+/// Re-complete the structured placeholders of a loaded suite with the
+/// tester's completions (deterministic per seed).  Returns the number of
+/// arguments completed; cases with no remaining placeholders have their
+/// needs_completion flag cleared.
+std::size_t recomplete_suite(TestSuite& suite, const CompletionRegistry& completions,
+                             std::uint64_t seed);
+
+}  // namespace stc::driver

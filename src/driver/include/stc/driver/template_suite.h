@@ -1,0 +1,42 @@
+// Template (generic) class support — §3.4.1: "For template classes, it
+// is necessary that the tester indicate a set of possible types that
+// he/she wants to use to create an instance of that class."
+//
+// The t-spec carries those types in TemplateParam records; this module
+// expands them into one concrete suite per instantiation.  The suite's
+// class name is the instantiated name (e.g. "CStack<int>"), which is
+// also the name under which the consumer registers the instantiation's
+// reflection binding.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stc/driver/generator.h"
+
+namespace stc::driver {
+
+/// One concrete instantiation of a generic component.
+struct TemplateInstantiation {
+    /// Type names substituted per template parameter, in declaration
+    /// order of the t-spec's TemplateParam records.
+    std::vector<std::string> type_arguments;
+    /// Instantiated class name, e.g. "CStack<int>".
+    std::string instantiated_class;
+    TestSuite suite;
+};
+
+/// Instantiated name for a set of type arguments: "Base<T1, T2>".
+[[nodiscard]] std::string instantiated_name(
+    const std::string& class_name, const std::vector<std::string>& type_arguments);
+
+/// Expand a generic component's t-spec into per-instantiation suites:
+/// the cartesian product of all TemplateParam type lists.  A spec with
+/// no TemplateParam records yields exactly one instantiation with the
+/// plain class name.  Each instantiation is generated with the same
+/// options (same seed: suites are comparable across types).
+[[nodiscard]] std::vector<TemplateInstantiation> generate_template_suites(
+    const tspec::ComponentSpec& spec, GeneratorOptions options = {},
+    const CompletionRegistry* completions = nullptr);
+
+}  // namespace stc::driver

@@ -1,0 +1,66 @@
+// Test cases and test suites — the artifacts produced by the Driver
+// Generator (§3.4.1, Figs. 6-7).
+//
+// One test case exercises one transaction: it creates the object with a
+// constructor of the birth node, calls the methods along the path with
+// the generated argument values, and destroys the object at the death
+// node.  A suite bundles the test cases for one component together with
+// the generation metadata (seed, model size) the paper reports (§4:
+// "233 test cases ... for a test model composed of 16 nodes and 43
+// links").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stc/domain/value.h"
+#include "stc/tfm/graph.h"
+
+namespace stc::driver {
+
+/// One method invocation within a test case.
+struct MethodCall {
+    std::string method_id;    ///< t-spec id, e.g. "m5"
+    std::string method_name;  ///< C++ name, e.g. "UpdateQty"
+    std::vector<domain::Value> arguments;
+    bool is_constructor = false;
+    bool is_destructor = false;
+    /// Negative (error-recovery) call: the arguments deliberately violate
+    /// the contract and the component is expected to reject the call via
+    /// a precondition, leaving the object usable (§3.4.1).
+    bool expect_rejection = false;
+
+    /// Rendering used in logs and generated source, e.g.
+    /// `UpdateQty(321)` — matches the CurrentMethod strings of Fig. 6.
+    [[nodiscard]] std::string render() const;
+};
+
+/// One generated test case (Fig. 6): named "TestCase<id number>" by the
+/// Driver Generator.
+struct TestCase {
+    std::string id;                 ///< e.g. "TC0"
+    tfm::Transaction transaction;   ///< the covered path
+    std::string transaction_text;   ///< e.g. "n1 -> n4 -> n7"
+    std::vector<MethodCall> calls;  ///< constructor first, destructor last
+    bool needs_completion = false;  ///< has structured args the tester must fill
+    /// Predefined internal state applied right after construction via the
+    /// set/reset capability ("" = none; §3.3 mid-life entry testing).
+    std::string entry_state;
+
+    [[nodiscard]] const MethodCall& constructor_call() const;
+};
+
+/// An executable test suite (Fig. 7) plus generation metadata.
+struct TestSuite {
+    std::string class_name;
+    std::uint64_t seed = 0;
+    std::size_t model_nodes = 0;
+    std::size_t model_links = 0;
+    std::size_t transactions_enumerated = 0;
+    std::vector<TestCase> cases;
+
+    [[nodiscard]] std::size_t size() const noexcept { return cases.size(); }
+};
+
+}  // namespace stc::driver

@@ -1,0 +1,295 @@
+#include "stc/driver/runner.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "stc/bit/built_in_test.h"
+#include "stc/support/error.h"
+
+namespace stc::driver {
+
+const char* to_string(Verdict v) noexcept {
+    switch (v) {
+        case Verdict::Pass: return "pass";
+        case Verdict::AssertionViolation: return "assertion-violation";
+        case Verdict::Crash: return "crash";
+        case Verdict::UncaughtException: return "uncaught-exception";
+        case Verdict::SetupError: return "setup-error";
+        case Verdict::ContractNotEnforced: return "contract-not-enforced";
+    }
+    return "?";
+}
+
+std::size_t SuiteResult::count(Verdict v) const noexcept {
+    std::size_t n = 0;
+    for (const auto& r : results) n += r.verdict == v ? 1 : 0;
+    return n;
+}
+
+TestRunner::TestRunner(const reflect::Registry& registry, RunnerOptions options)
+    : registry_(registry), options_(options) {}
+
+namespace {
+
+/// Owns the CUT for the duration of one test case; destruction is
+/// best-effort (a corrupted object may crash again while dying, which the
+/// paper's per-process drivers simply absorbed at exit).
+class CutGuard {
+public:
+    CutGuard(const reflect::ClassBinding& binding, void* object) noexcept
+        : binding_(binding), object_(object) {}
+
+    ~CutGuard() { reset(); }
+
+    CutGuard(const CutGuard&) = delete;
+    CutGuard& operator=(const CutGuard&) = delete;
+
+    [[nodiscard]] void* get() const noexcept { return object_; }
+    [[nodiscard]] bool alive() const noexcept { return object_ != nullptr; }
+
+    void reset() noexcept {
+        if (object_ != nullptr) {
+            try {
+                binding_.destroy(object_);
+            } catch (...) {
+                // Swallow: the object was already failing; this mirrors the
+                // paper's crashed-driver handling.
+            }
+            object_ = nullptr;
+        }
+    }
+
+private:
+    const reflect::ClassBinding& binding_;
+    void* object_;
+};
+
+std::string capture_state(const reflect::ClassBinding& binding, void* object) {
+    bit::BuiltInTest* bit_view = binding.as_bit(object);
+    if (bit_view == nullptr) return {};
+    try {
+        return bit_view->report();
+    } catch (...) {
+        return "<Reporter failed>";
+    }
+}
+
+void check_invariant(const reflect::ClassBinding& binding, void* object) {
+    bit::BuiltInTest* bit_view = binding.as_bit(object);
+    if (bit_view != nullptr) bit_view->InvariantTest();
+}
+
+/// Deterministic rendering of a return value for the observation log.
+/// Raw addresses never appear (they vary run to run); a pointer is
+/// reduced to its null/non-null shape, which *is* deterministic for a
+/// fixed call sequence.
+std::string render_return(const domain::Value& v) {
+    switch (v.kind()) {
+        case domain::ValueKind::Pointer:
+            return v.as_pointer() == nullptr ? "<null>" : "<object>";
+        case domain::ValueKind::Object:
+            return "<object>";
+        default:
+            return v.to_display();
+    }
+}
+
+}  // namespace
+
+TestResult TestRunner::run_case(const reflect::ClassBinding& binding,
+                                const TestCase& test_case) const {
+    TestResult result;
+    result.case_id = test_case.id;
+
+    const bit::TestModeGuard test_mode;
+    std::ostringstream log;
+    std::ostringstream observations;  // return values (+ per-call state)
+    std::string state_report;         // object state before death
+
+    std::string current_method = "<none>";
+    auto record_failure = [&](Verdict verdict, const std::string& message) {
+        result.verdict = verdict;
+        result.message = message;
+        result.failed_method = current_method;
+        // Fig. 6 failure block: test case name, error message, method name.
+        log << "TestCase " << test_case.id << "\n"
+            << message << "\n"
+            << "Method called: " << current_method << "\n";
+    };
+    auto finish = [&] {
+        result.report = observations.str() + state_report;
+        result.log = log.str();
+    };
+
+    // --- Construction -----------------------------------------------------
+    const MethodCall* ctor = nullptr;
+    try {
+        ctor = &test_case.constructor_call();
+    } catch (const Error& e) {
+        record_failure(Verdict::SetupError, e.what());
+        finish();
+        return result;
+    }
+
+    void* raw = nullptr;
+    current_method = ctor->render();
+    try {
+        raw = binding.construct(ctor->arguments);
+    } catch (const bit::AssertionViolation& av) {
+        result.assertion_kind = av.assertion_kind();
+        record_failure(Verdict::AssertionViolation, av.what());
+        finish();
+        return result;
+    } catch (const CrashSignal& cs) {
+        record_failure(Verdict::Crash, cs.what());
+        finish();
+        return result;
+    } catch (const ReflectError& re) {
+        record_failure(Verdict::SetupError, re.what());
+        finish();
+        return result;
+    } catch (const std::exception& e) {
+        record_failure(Verdict::UncaughtException, e.what());
+        finish();
+        return result;
+    }
+
+    CutGuard cut(binding, raw);
+
+    // --- Optional mid-life entry: apply the predefined state (§3.3) -------
+    if (!test_case.entry_state.empty()) {
+        current_method = "<set-state:" + test_case.entry_state + ">";
+        try {
+            binding.apply_state(cut.get(), test_case.entry_state);
+        } catch (const ReflectError& re) {
+            record_failure(Verdict::SetupError, re.what());
+            finish();
+            return result;
+        } catch (const bit::AssertionViolation& av) {
+            result.assertion_kind = av.assertion_kind();
+            record_failure(Verdict::AssertionViolation, av.what());
+            finish();
+            return result;
+        } catch (const std::exception& e) {
+            record_failure(Verdict::UncaughtException, e.what());
+            finish();
+            return result;
+        }
+    }
+
+    // --- Body: methods along the transaction, invariant around each -------
+    try {
+        for (std::size_t i = 1; i < test_case.calls.size(); ++i) {
+            const MethodCall& call = test_case.calls[i];
+            current_method = call.render();
+
+            if (call.is_destructor) {
+                // Observable state is captured before death (Fig. 6 calls
+                // Reporter, then deletes the CUT).
+                if (options_.capture_reports) {
+                    state_report = capture_state(binding, cut.get());
+                }
+                cut.reset();
+                continue;
+            }
+
+            if (!cut.alive()) {
+                throw SpecError("method call after destructor in transaction " +
+                                test_case.transaction_text);
+            }
+
+            if (call.expect_rejection) {
+                // Error-recovery call: the contract must reject it and the
+                // object must remain usable afterwards.
+                bool rejected = false;
+                try {
+                    (void)binding.invoke(cut.get(), call.method_name,
+                                         call.arguments);
+                } catch (const bit::AssertionViolation& av) {
+                    rejected = av.assertion_kind() ==
+                               bit::AssertionKind::Precondition;
+                    if (!rejected) throw;  // invariant/post break: real failure
+                }
+                if (!rejected) {
+                    record_failure(Verdict::ContractNotEnforced,
+                                   "out-of-contract call was accepted");
+                    break;
+                }
+                observations << call.method_name << " -> <rejected>\n";
+                if (options_.check_invariants) check_invariant(binding, cut.get());
+                continue;
+            }
+
+            if (options_.check_invariants) check_invariant(binding, cut.get());
+            const domain::Value rv =
+                binding.invoke(cut.get(), call.method_name, call.arguments);
+            if (options_.check_invariants) check_invariant(binding, cut.get());
+
+            if (!rv.is_empty()) {
+                observations << call.method_name << " -> " << render_return(rv)
+                             << "\n";
+            }
+            if (options_.observe_each_call) {
+                observations << capture_state(binding, cut.get()) << "\n";
+            }
+        }
+
+        // Transactions whose death node has no explicit destructor method
+        // still end with the object's destruction (delete CUT in Fig. 6).
+        if (result.verdict == Verdict::Pass) {
+            if (cut.alive()) {
+                if (options_.capture_reports) {
+                    state_report = capture_state(binding, cut.get());
+                }
+                cut.reset();
+            }
+            log << "TestCase " << test_case.id << " OK!\n";
+        }
+    } catch (const bit::AssertionViolation& av) {
+        result.assertion_kind = av.assertion_kind();
+        record_failure(Verdict::AssertionViolation, av.what());
+        if (options_.capture_reports && cut.alive()) {
+            state_report = capture_state(binding, cut.get());
+        }
+    } catch (const CrashSignal& cs) {
+        record_failure(Verdict::Crash, cs.what());
+        // No state report: the object is presumed corrupted beyond observation.
+    } catch (const ReflectError& re) {
+        record_failure(Verdict::SetupError, re.what());
+    } catch (const std::exception& e) {
+        record_failure(Verdict::UncaughtException, e.what());
+        if (options_.capture_reports && cut.alive()) {
+            state_report = capture_state(binding, cut.get());
+        }
+    }
+
+    finish();
+    return result;
+}
+
+SuiteResult TestRunner::run(const TestSuite& suite) const {
+    const reflect::ClassBinding& binding = registry_.at(suite.class_name);
+
+    SuiteResult out;
+    out.results.reserve(suite.cases.size());
+    std::ostringstream log;
+    for (const TestCase& tc : suite.cases) {
+        TestResult r = run_case(binding, tc);
+        log << r.log;
+        if (!r.report.empty()) log << r.report << "\n";
+        log << "\n";
+        out.results.push_back(std::move(r));
+    }
+    out.log = log.str();
+
+    if (!options_.log_path.empty()) {
+        std::ofstream file(options_.log_path, std::ios::app);
+        if (!file) {
+            throw Error("cannot open log file: " + options_.log_path);
+        }
+        file << out.log;
+    }
+    return out;
+}
+
+}  // namespace stc::driver

@@ -1,0 +1,59 @@
+#include "stc/driver/template_suite.h"
+
+#include "stc/support/error.h"
+
+namespace stc::driver {
+
+std::string instantiated_name(const std::string& class_name,
+                              const std::vector<std::string>& type_arguments) {
+    if (type_arguments.empty()) return class_name;
+    std::string out = class_name + "<";
+    for (std::size_t i = 0; i < type_arguments.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += type_arguments[i];
+    }
+    out += ">";
+    return out;
+}
+
+std::vector<TemplateInstantiation> generate_template_suites(
+    const tspec::ComponentSpec& spec, GeneratorOptions options,
+    const CompletionRegistry* completions) {
+    // Cartesian product over the TemplateParam lists (std::map keeps the
+    // parameter order deterministic by name; a t-spec with one parameter
+    // — the common case — is unaffected).
+    std::vector<std::vector<std::string>> argument_sets{{}};
+    for (const auto& [param, types] : spec.template_bindings) {
+        if (types.empty()) {
+            throw SpecError("template parameter '" + param +
+                            "' has no instantiation types");
+        }
+        std::vector<std::vector<std::string>> next;
+        next.reserve(argument_sets.size() * types.size());
+        for (const auto& prefix : argument_sets) {
+            for (const auto& type : types) {
+                auto extended = prefix;
+                extended.push_back(type);
+                next.push_back(std::move(extended));
+            }
+        }
+        argument_sets = std::move(next);
+    }
+
+    std::vector<TemplateInstantiation> out;
+    out.reserve(argument_sets.size());
+    for (auto& args : argument_sets) {
+        TemplateInstantiation inst;
+        inst.type_arguments = args;
+        inst.instantiated_class = instantiated_name(spec.class_name, args);
+
+        DriverGenerator generator(spec, options);
+        if (completions != nullptr) generator.completions(completions);
+        inst.suite = generator.generate();
+        inst.suite.class_name = inst.instantiated_class;
+        out.push_back(std::move(inst));
+    }
+    return out;
+}
+
+}  // namespace stc::driver

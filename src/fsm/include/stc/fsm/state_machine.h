@@ -1,0 +1,114 @@
+// Finite-state-machine test models — the alternative the paper weighs
+// against the TFM (§3.2): "Another model commonly used is based on
+// finite state machines ... Our main reason to use such model [the TFM]
+// is that it scales up easier than finite state machine models."
+//
+// This module provides that comparison point: an FSM over abstract
+// object states whose events are the component's methods, with
+// all-transitions test generation (the classic transition-tour
+// criterion).  The adapter turns tours into ordinary driver::TestSuites,
+// so FSM- and TFM-derived suites run through the same runner and can be
+// compared head-to-head (bench_fsm_vs_tfm).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stc/driver/generator.h"
+#include "stc/tspec/model.h"
+
+namespace stc::fsm {
+
+/// One abstract state of the object (e.g. "Empty", "One", "Many").
+struct StateSpec {
+    std::string id;
+    bool is_initial = false;  ///< object state right after construction
+    bool is_final = false;    ///< destruction is allowed here
+};
+
+/// One transition: in `from`, the method `event` may be called and
+/// leaves the object in `to`.
+struct TransitionSpec {
+    std::string from;
+    std::string event;  ///< t-spec method id
+    std::string to;
+};
+
+/// Deterministic FSM test model.
+class StateMachine {
+public:
+    class Builder;
+
+    [[nodiscard]] const std::vector<StateSpec>& states() const noexcept {
+        return states_;
+    }
+    [[nodiscard]] const std::vector<TransitionSpec>& transitions() const noexcept {
+        return transitions_;
+    }
+
+    [[nodiscard]] const StateSpec* find_state(const std::string& id) const;
+    [[nodiscard]] std::optional<std::string> initial_state() const;
+
+    /// Problems: no/multiple initial states, no final state, dangling
+    /// state ids, nondeterminism (two transitions with the same
+    /// (from, event)), states unreachable from the initial state.
+    [[nodiscard]] std::vector<tspec::SpecDiagnostic> validate() const;
+    void ensure_valid() const;
+
+    /// All-transitions test generation: a set of event sequences, each
+    /// from the initial state to a final state, that together traverse
+    /// every transition at least once (greedy transition tour; ties
+    /// break deterministically on declaration order).  `max_tour_length`
+    /// closes a tour once it reaches that many events (before the
+    /// closing walk to a final state), yielding several shorter test
+    /// cases instead of one mega-tour.
+    [[nodiscard]] std::vector<std::vector<const TransitionSpec*>> transition_tours(
+        std::size_t max_tour_length = SIZE_MAX) const;
+
+private:
+    [[nodiscard]] std::vector<const TransitionSpec*> outgoing(
+        const std::string& state) const;
+    /// Shortest event path between states (BFS); empty when from == to,
+    /// nullopt when unreachable.
+    [[nodiscard]] std::optional<std::vector<const TransitionSpec*>> shortest_path(
+        const std::string& from, const std::string& to) const;
+
+    std::vector<StateSpec> states_;
+    std::vector<TransitionSpec> transitions_;
+    friend class Builder;
+};
+
+class StateMachine::Builder {
+public:
+    Builder& state(std::string id, bool is_initial = false, bool is_final = false);
+    Builder& transition(std::string from, std::string event, std::string to);
+
+    [[nodiscard]] StateMachine build() const;            ///< validated
+    [[nodiscard]] StateMachine build_unchecked() const;
+
+private:
+    StateMachine machine_;
+};
+
+struct FsmSuiteOptions {
+    std::uint64_t seed = 20010701;
+    std::size_t max_tour_length = SIZE_MAX;
+    /// t-spec method id of the constructor that realizes the initial
+    /// state, and of the destructor closing each tour.
+    std::string constructor_id = "m1";
+    std::string destructor_id = "m2";
+};
+
+/// Turn the transition tours into an executable TestSuite: each tour is
+/// one test case (constructor, the tour's events with generated argument
+/// values, destructor).  `spec` supplies the method signatures and value
+/// domains; `completions` plays the tester for structured parameters.
+[[nodiscard]] driver::TestSuite generate_fsm_suite(
+    const StateMachine& machine, const tspec::ComponentSpec& spec,
+    FsmSuiteOptions options = {},
+    const driver::CompletionRegistry* completions = nullptr);
+
+}  // namespace stc::fsm

@@ -1,0 +1,285 @@
+#include "stc/fsm/state_machine.h"
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "stc/support/error.h"
+
+namespace stc::fsm {
+
+const StateSpec* StateMachine::find_state(const std::string& id) const {
+    for (const auto& s : states_) {
+        if (s.id == id) return &s;
+    }
+    return nullptr;
+}
+
+std::optional<std::string> StateMachine::initial_state() const {
+    for (const auto& s : states_) {
+        if (s.is_initial) return s.id;
+    }
+    return std::nullopt;
+}
+
+std::vector<tspec::SpecDiagnostic> StateMachine::validate() const {
+    std::vector<tspec::SpecDiagnostic> out;
+
+    std::size_t initials = 0;
+    std::size_t finals = 0;
+    std::set<std::string> ids;
+    for (const auto& s : states_) {
+        if (!ids.insert(s.id).second) out.push_back({s.id, "duplicate state id"});
+        initials += s.is_initial ? 1 : 0;
+        finals += s.is_final ? 1 : 0;
+    }
+    if (initials != 1) {
+        out.push_back({"FSM", "exactly one initial state required, found " +
+                                  std::to_string(initials)});
+    }
+    if (finals == 0) out.push_back({"FSM", "no final state declared"});
+
+    std::set<std::pair<std::string, std::string>> seen;
+    for (const auto& t : transitions_) {
+        if (ids.count(t.from) == 0) out.push_back({t.from, "transition from unknown state"});
+        if (ids.count(t.to) == 0) out.push_back({t.to, "transition to unknown state"});
+        if (!seen.insert({t.from, t.event}).second) {
+            out.push_back({t.from, "nondeterministic: two transitions on event " +
+                                       t.event});
+        }
+    }
+
+    // Reachability from the initial state.
+    if (initials == 1) {
+        std::set<std::string> reached;
+        std::deque<std::string> work{*initial_state()};
+        reached.insert(*initial_state());
+        while (!work.empty()) {
+            const std::string current = work.front();
+            work.pop_front();
+            for (const auto& t : transitions_) {
+                if (t.from == current && reached.insert(t.to).second) {
+                    work.push_back(t.to);
+                }
+            }
+        }
+        for (const auto& s : states_) {
+            if (reached.count(s.id) == 0) {
+                out.push_back({s.id, "state unreachable from the initial state"});
+            }
+        }
+    }
+    return out;
+}
+
+void StateMachine::ensure_valid() const {
+    const auto problems = validate();
+    if (problems.empty()) return;
+    std::string msg = "state machine is invalid:";
+    for (const auto& p : problems) msg += "\n  [" + p.where + "] " + p.message;
+    throw SpecError(msg);
+}
+
+std::vector<const TransitionSpec*> StateMachine::outgoing(
+    const std::string& state) const {
+    std::vector<const TransitionSpec*> out;
+    for (const auto& t : transitions_) {
+        if (t.from == state) out.push_back(&t);
+    }
+    return out;
+}
+
+std::optional<std::vector<const TransitionSpec*>> StateMachine::shortest_path(
+    const std::string& from, const std::string& to) const {
+    if (from == to) return std::vector<const TransitionSpec*>{};
+    std::map<std::string, const TransitionSpec*> parent;  // state -> edge used
+    std::deque<std::string> work{from};
+    std::set<std::string> seen{from};
+    while (!work.empty()) {
+        const std::string current = work.front();
+        work.pop_front();
+        for (const TransitionSpec* t : outgoing(current)) {
+            if (!seen.insert(t->to).second) continue;
+            parent[t->to] = t;
+            if (t->to == to) {
+                std::vector<const TransitionSpec*> path;
+                for (std::string at = to; at != from;) {
+                    const TransitionSpec* edge = parent.at(at);
+                    path.insert(path.begin(), edge);
+                    at = edge->from;
+                }
+                return path;
+            }
+            work.push_back(t->to);
+        }
+    }
+    return std::nullopt;
+}
+
+std::vector<std::vector<const TransitionSpec*>> StateMachine::transition_tours(
+    std::size_t max_tour_length) const {
+    ensure_valid();
+    const std::string initial = *initial_state();
+
+    std::set<const TransitionSpec*> uncovered;
+    for (const auto& t : transitions_) uncovered.insert(&t);
+
+    auto nearest_final = [this](const std::string& from)
+        -> std::optional<std::vector<const TransitionSpec*>> {
+        std::optional<std::vector<const TransitionSpec*>> best;
+        for (const auto& s : states_) {
+            if (!s.is_final) continue;
+            const auto path = shortest_path(from, s.id);
+            if (path && (!best || path->size() < best->size())) best = path;
+        }
+        return best;
+    };
+
+    std::vector<std::vector<const TransitionSpec*>> tours;
+    // Safety bound: each tour covers >= 1 new transition, so at most
+    // |transitions| tours exist; anything beyond signals a model whose
+    // uncovered transitions are unreachable (validated against above).
+    while (!uncovered.empty() && tours.size() < transitions_.size()) {
+        std::vector<const TransitionSpec*> tour;
+        std::string current = initial;
+
+        // Greedily chain uncovered transitions; when stuck, walk the
+        // shortest path to a state that still has uncovered work.
+        for (;;) {
+            if (tour.size() >= max_tour_length) break;
+            const TransitionSpec* next = nullptr;
+            for (const TransitionSpec* t : outgoing(current)) {
+                if (uncovered.count(t) != 0) {
+                    next = t;
+                    break;
+                }
+            }
+            if (next == nullptr) {
+                // Walk the shortest path to the closest state that still
+                // has uncovered outgoing work.
+                std::optional<std::vector<const TransitionSpec*>> best;
+                for (const TransitionSpec* t : uncovered) {
+                    const auto path = shortest_path(current, t->from);
+                    if (path && (!best || path->size() < best->size())) best = path;
+                }
+                if (!best) break;          // nothing reachable from here
+                if (best->empty()) break;  // defensive: cannot make progress
+                for (const TransitionSpec* t : *best) {
+                    tour.push_back(t);
+                    uncovered.erase(t);
+                }
+                current = tour.back()->to;
+                continue;
+            }
+            tour.push_back(next);
+            uncovered.erase(next);
+            current = next->to;
+        }
+
+        // Close the tour at the nearest final state.
+        const auto closing = nearest_final(current);
+        if (closing) {
+            for (const TransitionSpec* t : *closing) {
+                tour.push_back(t);
+                uncovered.erase(t);
+            }
+        }
+        if (tour.empty()) break;  // defensive: avoid spinning
+        tours.push_back(std::move(tour));
+    }
+    return tours;
+}
+
+StateMachine::Builder& StateMachine::Builder::state(std::string id, bool is_initial,
+                                                    bool is_final) {
+    machine_.states_.push_back(StateSpec{std::move(id), is_initial, is_final});
+    return *this;
+}
+
+StateMachine::Builder& StateMachine::Builder::transition(std::string from,
+                                                         std::string event,
+                                                         std::string to) {
+    machine_.transitions_.push_back(
+        TransitionSpec{std::move(from), std::move(event), std::move(to)});
+    return *this;
+}
+
+StateMachine StateMachine::Builder::build() const {
+    machine_.ensure_valid();
+    return machine_;
+}
+
+StateMachine StateMachine::Builder::build_unchecked() const { return machine_; }
+
+driver::TestSuite generate_fsm_suite(const StateMachine& machine,
+                                     const tspec::ComponentSpec& spec,
+                                     FsmSuiteOptions options,
+                                     const driver::CompletionRegistry* completions) {
+    machine.ensure_valid();
+    const tspec::MethodSpec* ctor = spec.find_method(options.constructor_id);
+    const tspec::MethodSpec* dtor = spec.find_method(options.destructor_id);
+    if (ctor == nullptr || !ctor->is_constructor()) {
+        throw SpecError("FSM suite: '" + options.constructor_id +
+                        "' is not a constructor of " + spec.class_name);
+    }
+    if (dtor == nullptr || !dtor->is_destructor()) {
+        throw SpecError("FSM suite: '" + options.destructor_id +
+                        "' is not a destructor of " + spec.class_name);
+    }
+
+    driver::TestSuite suite;
+    suite.class_name = spec.class_name;
+    suite.seed = options.seed;
+    suite.model_nodes = machine.states().size();
+    suite.model_links = machine.transitions().size();
+
+    support::Pcg32 rng(options.seed);
+    std::size_t next_id = 0;
+
+    auto synthesize = [&](const tspec::MethodSpec& method) {
+        driver::MethodCall call;
+        call.method_id = method.id;
+        call.method_name = method.name;
+        call.is_constructor = method.is_constructor();
+        call.is_destructor = method.is_destructor();
+        for (const tspec::TypedSlot& p : method.parameters) {
+            if (p.domain) {
+                call.arguments.push_back(p.domain->sample(rng));
+                continue;
+            }
+            const driver::CompletionRegistry::Completion* completion =
+                completions == nullptr ? nullptr : completions->find(p.class_name);
+            if (completion != nullptr && *completion) {
+                call.arguments.push_back((*completion)(rng));
+            } else {
+                call.arguments.push_back(
+                    domain::Value::make_pointer(nullptr, p.class_name));
+            }
+        }
+        return call;
+    };
+
+    const auto tours = machine.transition_tours(options.max_tour_length);
+    suite.transactions_enumerated = tours.size();
+    for (const auto& tour : tours) {
+        driver::TestCase tc;
+        tc.id = "TC" + std::to_string(next_id++);
+        std::string text = "[" + *machine.initial_state() + "]";
+        tc.calls.push_back(synthesize(*ctor));
+        for (const TransitionSpec* t : tour) {
+            const tspec::MethodSpec* method = spec.find_method(t->event);
+            if (method == nullptr) {
+                throw SpecError("FSM transition references unknown method id " +
+                                t->event);
+            }
+            tc.calls.push_back(synthesize(*method));
+            text += " -" + t->event + "-> " + t->to;
+        }
+        tc.calls.push_back(synthesize(*dtor));
+        tc.transaction_text = text;
+        suite.cases.push_back(std::move(tc));
+    }
+    return suite;
+}
+
+}  // namespace stc::fsm

@@ -1,0 +1,123 @@
+// Hierarchical incremental testing (§3.4.2).
+//
+// Harrold et al.'s technique associates each test case with the feature
+// it tests and incrementally updates a parent's testing history for a
+// subclass.  The paper adapts it: a test case is associated with a
+// *transaction*.  A subclass transaction composed only of methods
+// inherited without modification (constructors and destructors excluded)
+// keeps its parent test case and is NOT rerun; transactions containing
+// new or redefined methods enter the subclass's test set — reusing the
+// parent's test case when the specification did not change, or freshly
+// generated for new methods.
+//
+// Table 3 of the paper demonstrates the risk of this economy: faults
+// later introduced into the base class can survive under the subclass's
+// incremental suite.  The planner here is what the Table 3 bench uses to
+// derive that incremental suite.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "stc/driver/test_case.h"
+#include "stc/tspec/model.h"
+
+namespace stc::history {
+
+/// What to do with a subclass transaction's test case.
+enum class ReuseDecision {
+    ReusedNotRerun,  ///< all methods inherited unmodified: keep parent's case
+    Retest,          ///< contains new/redefined methods: in the subclass set
+};
+
+[[nodiscard]] const char* to_string(ReuseDecision d) noexcept;
+
+struct TransactionClassification {
+    ReuseDecision decision = ReuseDecision::ReusedNotRerun;
+    /// The new/redefined method ids that forced a Retest (empty when
+    /// ReusedNotRerun).
+    std::vector<std::string> triggering_methods;
+};
+
+/// Partition of a full suite per the incremental technique.
+struct IncrementalPlan {
+    driver::TestSuite incremental;           ///< test cases that must run
+    std::vector<driver::TestCase> reused;    ///< parent-covered, not rerun
+
+    [[nodiscard]] std::size_t new_cases() const noexcept {
+        return incremental.cases.size();
+    }
+    [[nodiscard]] std::size_t reused_cases() const noexcept { return reused.size(); }
+};
+
+/// Classifies subclass transactions using the method categories embedded
+/// in the subclass's t-spec (constructor/destructor excluded, per §3.4.2).
+class IncrementalPlanner {
+public:
+    explicit IncrementalPlanner(tspec::ComponentSpec subclass_spec);
+
+    [[nodiscard]] TransactionClassification classify(
+        const std::vector<std::string>& method_ids) const;
+
+    [[nodiscard]] IncrementalPlan plan(const driver::TestSuite& full_suite) const;
+
+private:
+    tspec::ComponentSpec spec_;  // owned: callers may pass temporaries
+};
+
+/// Adopt a parent class's test suite for a subclass (§3.4.2's reuse
+/// direction): test cases whose methods are all inherited unmodified are
+/// rewritten to run against the subclass — the constructor/destructor
+/// calls (which "are not part of a test case") are swapped for the
+/// subclass's same-arity ones, everything else is kept verbatim.
+///
+/// Rerunning the adopted suite is what the paper's conclusion asks for:
+/// "the need to retest inherited features in the context of a subclass,
+/// even if they don't interact with modified or newly introduced
+/// features" — the countermeasure to the Table 3 gap.  Cases that cannot
+/// be adopted (methods not inherited, no matching constructor) are
+/// dropped; the returned suite contains only runnable cases.
+[[nodiscard]] driver::TestSuite adopt_parent_suite(
+    const driver::TestSuite& parent_suite, const tspec::ComponentSpec& child_spec);
+
+/// Harrold-style constraints on the inheritance relation (§3.4.2): single
+/// inheritance, redefinitions keep the parent's signature, attributes
+/// are private to the class.  Returns violations; empty == conforming.
+[[nodiscard]] std::vector<tspec::SpecDiagnostic> validate_hierarchy(
+    const tspec::ComponentSpec& parent, const tspec::ComponentSpec& child);
+
+/// Persistent testing history: one line per test case recording the
+/// transaction it exercises and the reuse decision (Harrold et al.'s
+/// testing history, keyed by transaction per the paper's adaptation).
+struct HistoryEntry {
+    std::string case_id;
+    std::string transaction_text;
+    std::vector<std::string> method_ids;
+    ReuseDecision decision = ReuseDecision::Retest;
+};
+
+class TestHistory {
+public:
+    TestHistory() = default;
+
+    /// Build from a suite; decisions computed by `planner` when given,
+    /// otherwise every entry is Retest (a fresh class with no parent).
+    static TestHistory from_suite(const driver::TestSuite& suite,
+                                  const IncrementalPlanner* planner = nullptr);
+
+    void add(HistoryEntry entry);
+    [[nodiscard]] const std::vector<HistoryEntry>& entries() const noexcept {
+        return entries_;
+    }
+    [[nodiscard]] const HistoryEntry* find(const std::string& case_id) const;
+
+    /// Text serialization (one record per line, '|' separated).
+    void save(std::ostream& os) const;
+    static TestHistory load(std::istream& is);
+
+private:
+    std::vector<HistoryEntry> entries_;
+};
+
+}  // namespace stc::history

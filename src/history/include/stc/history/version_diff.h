@@ -1,0 +1,76 @@
+// Maintenance-time test reuse: diffing two *releases* of the same
+// component's t-spec.
+//
+// The paper applies Harrold et al.'s incremental technique along the
+// inheritance axis (§3.4.2); the identical bookkeeping answers the
+// maintenance question its Table 3 discussion raises ("a new release of
+// the library substitutes the old one"): which frozen test cases are
+// still valid against the new release, which must be regenerated
+// (signatures or value domains changed), and which are obsolete
+// (methods removed).  The paper's own assumption applies: "specification
+// changes imply that the tester updates assertions and t-spec" — the
+// diff works on the two t-specs.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stc/driver/test_case.h"
+#include "stc/tspec/model.h"
+
+namespace stc::history {
+
+/// How one method changed between releases.
+enum class MethodChange {
+    Unchanged,
+    SignatureChanged,  ///< name / parameter count / parameter types differ
+    DomainChanged,     ///< same signature, but a value domain was re-declared
+    Added,             ///< only in the new release
+    Removed,           ///< only in the old release
+};
+
+[[nodiscard]] const char* to_string(MethodChange change) noexcept;
+
+/// Spec-level delta between two releases of the same class.
+struct SpecDelta {
+    std::map<std::string, MethodChange> methods;  ///< by method id
+    bool model_changed = false;  ///< TFM nodes/edges differ
+
+    [[nodiscard]] MethodChange change_of(const std::string& method_id) const;
+    [[nodiscard]] bool any_changes() const noexcept;
+};
+
+/// Compare two t-specs of the same class.  Throws stc::SpecError when
+/// the class names differ (that is not a release, it is a different
+/// component).
+[[nodiscard]] SpecDelta diff_specs(const tspec::ComponentSpec& old_spec,
+                                   const tspec::ComponentSpec& new_spec);
+
+/// What to do with a frozen test case against the new release.
+enum class ReplayDecision {
+    StillValid,  ///< touches only unchanged methods: rerun as-is
+    Regenerate,  ///< touches changed signatures/domains: values are stale
+    Obsolete,    ///< touches removed methods: drop
+};
+
+[[nodiscard]] const char* to_string(ReplayDecision d) noexcept;
+
+/// Partition of a frozen suite under a release delta.
+struct ReplayPlan {
+    driver::TestSuite still_valid;             ///< rerunnable unchanged
+    std::vector<driver::TestCase> regenerate;  ///< transactions to regenerate
+    std::vector<driver::TestCase> obsolete;    ///< dropped
+
+    [[nodiscard]] std::size_t reusable() const noexcept {
+        return still_valid.cases.size();
+    }
+};
+
+[[nodiscard]] ReplayDecision classify_case(const driver::TestCase& test_case,
+                                           const SpecDelta& delta);
+
+[[nodiscard]] ReplayPlan replan_suite(const driver::TestSuite& frozen,
+                                      const SpecDelta& delta);
+
+}  // namespace stc::history

@@ -1,0 +1,244 @@
+#include "stc/history/incremental.h"
+
+#include <istream>
+#include <ostream>
+
+#include "stc/support/error.h"
+#include "stc/support/strings.h"
+
+namespace stc::history {
+
+const char* to_string(ReuseDecision d) noexcept {
+    switch (d) {
+        case ReuseDecision::ReusedNotRerun: return "reused";
+        case ReuseDecision::Retest: return "retest";
+    }
+    return "?";
+}
+
+IncrementalPlanner::IncrementalPlanner(tspec::ComponentSpec subclass_spec)
+    : spec_(std::move(subclass_spec)) {}
+
+TransactionClassification IncrementalPlanner::classify(
+    const std::vector<std::string>& method_ids) const {
+    TransactionClassification out;
+    for (const std::string& mid : method_ids) {
+        const tspec::MethodSpec* m = spec_.find_method(mid);
+        if (m == nullptr) {
+            throw SpecError("transaction references unknown method id " + mid);
+        }
+        // Constructors and destructors are not part of the reuse decision
+        // (§3.4.2: "except for the constructor and destructor methods,
+        // which for this reason are not part of a test case").
+        if (m->is_constructor() || m->is_destructor()) continue;
+        if (m->category == tspec::MethodCategory::New ||
+            m->category == tspec::MethodCategory::Redefined) {
+            out.triggering_methods.push_back(mid);
+        }
+    }
+    out.decision = out.triggering_methods.empty() ? ReuseDecision::ReusedNotRerun
+                                                  : ReuseDecision::Retest;
+    return out;
+}
+
+IncrementalPlan IncrementalPlanner::plan(const driver::TestSuite& full_suite) const {
+    IncrementalPlan out;
+    out.incremental.class_name = full_suite.class_name;
+    out.incremental.seed = full_suite.seed;
+    out.incremental.model_nodes = full_suite.model_nodes;
+    out.incremental.model_links = full_suite.model_links;
+    out.incremental.transactions_enumerated = full_suite.transactions_enumerated;
+
+    for (const driver::TestCase& tc : full_suite.cases) {
+        std::vector<std::string> mids;
+        mids.reserve(tc.calls.size());
+        for (const auto& call : tc.calls) mids.push_back(call.method_id);
+
+        const auto cls = classify(mids);
+        if (cls.decision == ReuseDecision::Retest) {
+            out.incremental.cases.push_back(tc);
+        } else {
+            out.reused.push_back(tc);
+        }
+    }
+    return out;
+}
+
+driver::TestSuite adopt_parent_suite(const driver::TestSuite& parent_suite,
+                                     const tspec::ComponentSpec& child_spec) {
+    driver::TestSuite out;
+    out.class_name = child_spec.class_name;
+    out.seed = parent_suite.seed;
+    out.model_nodes = parent_suite.model_nodes;
+    out.model_links = parent_suite.model_links;
+    out.transactions_enumerated = parent_suite.transactions_enumerated;
+
+    // Child constructors by arity, destructor by category.
+    auto child_ctor_for = [&child_spec](std::size_t arity) -> const tspec::MethodSpec* {
+        for (const auto& m : child_spec.methods) {
+            if (m.is_constructor() && m.parameters.size() == arity) return &m;
+        }
+        return nullptr;
+    };
+    const tspec::MethodSpec* child_dtor = nullptr;
+    for (const auto& m : child_spec.methods) {
+        if (m.is_destructor()) child_dtor = &m;
+    }
+
+    std::size_t next_id = 0;
+    for (const driver::TestCase& parent_case : parent_suite.cases) {
+        driver::TestCase adopted = parent_case;
+        adopted.id = "A" + std::to_string(next_id);
+        bool adoptable = true;
+
+        for (auto& call : adopted.calls) {
+            if (call.is_constructor) {
+                const tspec::MethodSpec* ctor = child_ctor_for(call.arguments.size());
+                if (ctor == nullptr) {
+                    adoptable = false;
+                    break;
+                }
+                call.method_id = ctor->id;
+                call.method_name = ctor->name;
+                continue;
+            }
+            if (call.is_destructor) {
+                if (child_dtor == nullptr) {
+                    adoptable = false;
+                    break;
+                }
+                call.method_id = child_dtor->id;
+                call.method_name = child_dtor->name;
+                continue;
+            }
+            // Ordinary calls must be inherited unmodified in the child.
+            const tspec::MethodSpec* m = child_spec.find_method_by_name(call.method_name);
+            if (m == nullptr ||
+                m->category != tspec::MethodCategory::Inherited ||
+                m->parameters.size() != call.arguments.size()) {
+                adoptable = false;
+                break;
+            }
+            call.method_id = m->id;
+        }
+
+        if (adoptable) {
+            ++next_id;
+            out.cases.push_back(std::move(adopted));
+        }
+    }
+    return out;
+}
+
+std::vector<tspec::SpecDiagnostic> validate_hierarchy(
+    const tspec::ComponentSpec& parent, const tspec::ComponentSpec& child) {
+    std::vector<tspec::SpecDiagnostic> out;
+
+    if (child.superclass != parent.class_name) {
+        out.push_back({child.class_name,
+                       "superclass is '" + child.superclass + "', expected '" +
+                           parent.class_name + "' (single inheritance assumed)"});
+    }
+
+    for (const auto& m : child.methods) {
+        if (m.is_constructor() || m.is_destructor()) continue;
+        const tspec::MethodSpec* pm = parent.find_method_by_name(m.name);
+
+        switch (m.category) {
+            case tspec::MethodCategory::Inherited:
+            case tspec::MethodCategory::Redefined: {
+                if (pm == nullptr) {
+                    out.push_back({m.id, "marked " +
+                                             std::string(to_string(m.category)) +
+                                             " but parent has no method '" + m.name +
+                                             "'"});
+                    break;
+                }
+                // Constraint (ii): a modified method keeps the parent's
+                // argument list.
+                if (pm->parameters.size() != m.parameters.size()) {
+                    out.push_back({m.id, "redefinition changes the signature of '" +
+                                             m.name + "' (" +
+                                             std::to_string(pm->parameters.size()) +
+                                             " -> " +
+                                             std::to_string(m.parameters.size()) +
+                                             " parameters)"});
+                }
+                break;
+            }
+            case tspec::MethodCategory::New: {
+                if (pm != nullptr) {
+                    out.push_back({m.id, "marked new but parent already defines '" +
+                                             m.name + "'"});
+                }
+                break;
+            }
+            default:
+                break;
+        }
+    }
+    return out;
+}
+
+TestHistory TestHistory::from_suite(const driver::TestSuite& suite,
+                                    const IncrementalPlanner* planner) {
+    TestHistory out;
+    for (const auto& tc : suite.cases) {
+        HistoryEntry e;
+        e.case_id = tc.id;
+        e.transaction_text = tc.transaction_text;
+        for (const auto& call : tc.calls) e.method_ids.push_back(call.method_id);
+        if (planner != nullptr) {
+            e.decision = planner->classify(e.method_ids).decision;
+        }
+        out.add(std::move(e));
+    }
+    return out;
+}
+
+void TestHistory::add(HistoryEntry entry) { entries_.push_back(std::move(entry)); }
+
+const HistoryEntry* TestHistory::find(const std::string& case_id) const {
+    for (const auto& e : entries_) {
+        if (e.case_id == case_id) return &e;
+    }
+    return nullptr;
+}
+
+void TestHistory::save(std::ostream& os) const {
+    for (const auto& e : entries_) {
+        os << e.case_id << '|' << e.transaction_text << '|'
+           << support::join(e.method_ids, ",") << '|' << to_string(e.decision) << '\n';
+    }
+}
+
+TestHistory TestHistory::load(std::istream& is) {
+    TestHistory out;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (support::trim(line).empty()) continue;
+        const auto fields = support::split(line, '|');
+        if (fields.size() != 4) {
+            throw Error("test history line " + std::to_string(lineno) +
+                        ": expected 4 '|' separated fields");
+        }
+        HistoryEntry e;
+        e.case_id = fields[0];
+        e.transaction_text = fields[1];
+        if (!fields[2].empty()) e.method_ids = support::split(fields[2], ',');
+        if (fields[3] == "reused") {
+            e.decision = ReuseDecision::ReusedNotRerun;
+        } else if (fields[3] == "retest") {
+            e.decision = ReuseDecision::Retest;
+        } else {
+            throw Error("test history line " + std::to_string(lineno) +
+                        ": unknown decision '" + fields[3] + "'");
+        }
+        out.add(std::move(e));
+    }
+    return out;
+}
+
+}  // namespace stc::history

@@ -1,0 +1,171 @@
+#include "stc/history/version_diff.h"
+
+#include <set>
+
+#include "stc/support/error.h"
+
+namespace stc::history {
+
+const char* to_string(MethodChange change) noexcept {
+    switch (change) {
+        case MethodChange::Unchanged: return "unchanged";
+        case MethodChange::SignatureChanged: return "signature-changed";
+        case MethodChange::DomainChanged: return "domain-changed";
+        case MethodChange::Added: return "added";
+        case MethodChange::Removed: return "removed";
+    }
+    return "?";
+}
+
+MethodChange SpecDelta::change_of(const std::string& method_id) const {
+    const auto it = methods.find(method_id);
+    // A method the delta has never heard of behaves like a removal: the
+    // frozen case cannot be trusted against the new release.
+    return it == methods.end() ? MethodChange::Removed : it->second;
+}
+
+bool SpecDelta::any_changes() const noexcept {
+    if (model_changed) return true;
+    for (const auto& [id, change] : methods) {
+        if (change != MethodChange::Unchanged) return true;
+    }
+    return false;
+}
+
+namespace {
+
+/// Domain identity proxy: the printable description captures type and
+/// bounds; identical descriptions mean identical generation behaviour.
+std::string domain_signature(const tspec::TypedSlot& slot) {
+    std::string out = std::string(to_string(slot.type)) + ":" + slot.class_name;
+    if (slot.domain) out += ":" + slot.domain->describe();
+    return out;
+}
+
+bool same_signature(const tspec::MethodSpec& a, const tspec::MethodSpec& b) {
+    if (a.name != b.name || a.category != b.category ||
+        a.parameters.size() != b.parameters.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < a.parameters.size(); ++i) {
+        if (a.parameters[i].type != b.parameters[i].type ||
+            a.parameters[i].class_name != b.parameters[i].class_name) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool same_domains(const tspec::MethodSpec& a, const tspec::MethodSpec& b) {
+    for (std::size_t i = 0; i < a.parameters.size(); ++i) {
+        if (domain_signature(a.parameters[i]) != domain_signature(b.parameters[i])) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool same_model(const tspec::ComponentSpec& a, const tspec::ComponentSpec& b) {
+    if (a.nodes.size() != b.nodes.size() || a.edges.size() != b.edges.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+        if (a.nodes[i].id != b.nodes[i].id ||
+            a.nodes[i].is_start != b.nodes[i].is_start ||
+            a.nodes[i].method_ids != b.nodes[i].method_ids) {
+            return false;
+        }
+    }
+    for (std::size_t i = 0; i < a.edges.size(); ++i) {
+        if (a.edges[i].from != b.edges[i].from || a.edges[i].to != b.edges[i].to) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+SpecDelta diff_specs(const tspec::ComponentSpec& old_spec,
+                     const tspec::ComponentSpec& new_spec) {
+    if (old_spec.class_name != new_spec.class_name) {
+        throw SpecError("diff_specs compares releases of one class, got '" +
+                        old_spec.class_name + "' vs '" + new_spec.class_name + "'");
+    }
+
+    SpecDelta delta;
+    for (const auto& old_method : old_spec.methods) {
+        const tspec::MethodSpec* new_method = new_spec.find_method(old_method.id);
+        if (new_method == nullptr) {
+            delta.methods[old_method.id] = MethodChange::Removed;
+        } else if (!same_signature(old_method, *new_method)) {
+            delta.methods[old_method.id] = MethodChange::SignatureChanged;
+        } else if (!same_domains(old_method, *new_method)) {
+            delta.methods[old_method.id] = MethodChange::DomainChanged;
+        } else {
+            delta.methods[old_method.id] = MethodChange::Unchanged;
+        }
+    }
+    for (const auto& new_method : new_spec.methods) {
+        if (old_spec.find_method(new_method.id) == nullptr) {
+            delta.methods[new_method.id] = MethodChange::Added;
+        }
+    }
+    delta.model_changed = !same_model(old_spec, new_spec);
+    return delta;
+}
+
+const char* to_string(ReplayDecision d) noexcept {
+    switch (d) {
+        case ReplayDecision::StillValid: return "still-valid";
+        case ReplayDecision::Regenerate: return "regenerate";
+        case ReplayDecision::Obsolete: return "obsolete";
+    }
+    return "?";
+}
+
+ReplayDecision classify_case(const driver::TestCase& test_case,
+                             const SpecDelta& delta) {
+    bool needs_regeneration = false;
+    for (const auto& call : test_case.calls) {
+        switch (delta.change_of(call.method_id)) {
+            case MethodChange::Removed:
+                return ReplayDecision::Obsolete;
+            case MethodChange::SignatureChanged:
+            case MethodChange::DomainChanged:
+                needs_regeneration = true;
+                break;
+            case MethodChange::Unchanged:
+            case MethodChange::Added:
+                break;
+        }
+    }
+    return needs_regeneration ? ReplayDecision::Regenerate
+                              : ReplayDecision::StillValid;
+}
+
+ReplayPlan replan_suite(const driver::TestSuite& frozen, const SpecDelta& delta) {
+    ReplayPlan out;
+    out.still_valid.class_name = frozen.class_name;
+    out.still_valid.seed = frozen.seed;
+    out.still_valid.model_nodes = frozen.model_nodes;
+    out.still_valid.model_links = frozen.model_links;
+    out.still_valid.transactions_enumerated = frozen.transactions_enumerated;
+
+    for (const driver::TestCase& tc : frozen.cases) {
+        switch (classify_case(tc, delta)) {
+            case ReplayDecision::StillValid:
+                out.still_valid.cases.push_back(tc);
+                break;
+            case ReplayDecision::Regenerate:
+                out.regenerate.push_back(tc);
+                break;
+            case ReplayDecision::Obsolete:
+                out.obsolete.push_back(tc);
+                break;
+        }
+    }
+    return out;
+}
+
+}  // namespace stc::history

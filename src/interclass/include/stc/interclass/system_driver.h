@@ -1,0 +1,110 @@
+// Generation and execution of interclass test suites.
+//
+// A system test case exercises one transaction of the system TFM: the
+// harness constructs every role (in declaration order), applies the
+// method calls along the path — checking each live role's class
+// invariant around every call, per the Fig. 6 driver discipline — and
+// destroys the roles in reverse order.  Structured parameters whose
+// class matches another role are bound to that role's live object at
+// execution time (role references); other structured parameters go
+// through the tester's completions as usual.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stc/driver/generator.h"
+#include "stc/driver/runner.h"
+#include "stc/interclass/system_spec.h"
+#include "stc/reflect/class_binding.h"
+
+namespace stc::interclass {
+
+/// One argument of a system call: either a concrete generated value or a
+/// reference to a role's object (resolved at run time).
+struct SystemArg {
+    domain::Value value;
+    std::string role_ref;  ///< non-empty: pass this role's object
+
+    [[nodiscard]] bool is_role_ref() const noexcept { return !role_ref.empty(); }
+    [[nodiscard]] std::string render() const;
+};
+
+struct SystemMethodCall {
+    std::string role;
+    std::string method_id;
+    std::string method_name;
+    std::vector<SystemArg> arguments;
+
+    [[nodiscard]] std::string render() const;
+};
+
+struct SystemTestCase {
+    std::string id;
+    tfm::Transaction transaction;
+    std::string transaction_text;
+    /// Constructor call per role, in role-declaration order.
+    std::vector<SystemMethodCall> setup;
+    /// The transaction body.
+    std::vector<SystemMethodCall> body;
+    bool needs_completion = false;
+};
+
+struct SystemTestSuite {
+    std::string component_name;
+    std::uint64_t seed = 0;
+    std::size_t model_nodes = 0;
+    std::size_t model_links = 0;
+    std::size_t transactions_enumerated = 0;
+    std::vector<SystemTestCase> cases;
+
+    [[nodiscard]] std::size_t size() const noexcept { return cases.size(); }
+};
+
+struct SystemGeneratorOptions {
+    std::uint64_t seed = 20010701;
+    tfm::EnumerationOptions enumeration;
+    std::size_t cases_per_transaction = 1;
+};
+
+/// Generates system suites from a SystemSpec.
+class SystemDriverGenerator {
+public:
+    explicit SystemDriverGenerator(SystemSpec spec,
+                                   SystemGeneratorOptions options = {});
+
+    SystemDriverGenerator& completions(const driver::CompletionRegistry* registry);
+
+    [[nodiscard]] SystemTestSuite generate() const;
+
+    [[nodiscard]] const SystemSpec& spec() const noexcept { return spec_; }
+
+private:
+    [[nodiscard]] SystemMethodCall synthesize(const RoleSpec& role,
+                                              const tspec::MethodSpec& method,
+                                              support::Pcg32& rng,
+                                              bool* needs_completion) const;
+
+    SystemSpec spec_;
+    SystemGeneratorOptions options_;
+    const driver::CompletionRegistry* completions_ = nullptr;
+};
+
+/// Executes system suites; verdict semantics match driver::TestRunner.
+class SystemRunner {
+public:
+    SystemRunner(const reflect::Registry& registry, driver::RunnerOptions options = {});
+
+    [[nodiscard]] driver::SuiteResult run(const SystemSpec& spec,
+                                          const SystemTestSuite& suite) const;
+    [[nodiscard]] driver::TestResult run_case(const SystemSpec& spec,
+                                              const SystemTestCase& test_case) const;
+
+private:
+    const reflect::Registry& registry_;
+    driver::RunnerOptions options_;
+};
+
+}  // namespace stc::interclass

@@ -1,0 +1,21 @@
+// Persistence for interclass (system) test suites — the regression
+// workflow of suite_io extended to multi-class components: role
+// references serialize as "@role" and rebind to the live role objects on
+// replay, so a frozen system suite reruns against a new release of the
+// whole component.
+#pragma once
+
+#include <iosfwd>
+
+#include "stc/interclass/system_driver.h"
+
+namespace stc::interclass {
+
+/// Write `suite` in the concat-system-suite text format.
+void save_system_suite(std::ostream& os, const SystemTestSuite& suite);
+
+/// Parse a suite previously written by save_system_suite.  Throws
+/// stc::Error on malformed input.
+[[nodiscard]] SystemTestSuite load_system_suite(std::istream& is);
+
+}  // namespace stc::interclass

@@ -1,0 +1,295 @@
+#include "stc/interclass/system_driver.h"
+
+#include <map>
+#include <sstream>
+
+#include "stc/bit/assertions.h"
+#include "stc/support/error.h"
+
+namespace stc::interclass {
+
+std::string SystemArg::render() const {
+    if (is_role_ref()) return "@" + role_ref;
+    return value.to_source();
+}
+
+std::string SystemMethodCall::render() const {
+    std::string out = role + "." + method_name + "(";
+    for (std::size_t i = 0; i < arguments.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += arguments[i].render();
+    }
+    out += ")";
+    return out;
+}
+
+SystemDriverGenerator::SystemDriverGenerator(SystemSpec spec,
+                                             SystemGeneratorOptions options)
+    : spec_(std::move(spec)), options_(options) {}
+
+SystemDriverGenerator& SystemDriverGenerator::completions(
+    const driver::CompletionRegistry* registry) {
+    completions_ = registry;
+    return *this;
+}
+
+SystemMethodCall SystemDriverGenerator::synthesize(const RoleSpec& role,
+                                                   const tspec::MethodSpec& method,
+                                                   support::Pcg32& rng,
+                                                   bool* needs_completion) const {
+    SystemMethodCall call;
+    call.role = role.role;
+    call.method_id = method.id;
+    call.method_name = method.name;
+
+    for (const tspec::TypedSlot& p : method.parameters) {
+        SystemArg arg;
+        if (p.domain) {
+            arg.value = p.domain->sample(rng);
+        } else {
+            // Structured parameter: prefer a collaborating role of the
+            // matching class (the interclass interaction), else the
+            // tester's completion, else a pending placeholder.
+            const std::string provider = spec_.role_providing(p.class_name);
+            if (!provider.empty()) {
+                arg.role_ref = provider;
+            } else {
+                const driver::CompletionRegistry::Completion* completion =
+                    completions_ == nullptr ? nullptr
+                                            : completions_->find(p.class_name);
+                if (completion != nullptr && *completion) {
+                    arg.value = (*completion)(rng);
+                } else {
+                    arg.value = domain::Value::make_pointer(nullptr, p.class_name);
+                    *needs_completion = true;
+                }
+            }
+        }
+        call.arguments.push_back(std::move(arg));
+    }
+    return call;
+}
+
+SystemTestSuite SystemDriverGenerator::generate() const {
+    spec_.ensure_valid();
+    const tfm::Graph graph = spec_.build_tfm();
+
+    SystemTestSuite suite;
+    suite.component_name = spec_.component_name;
+    suite.seed = options_.seed;
+    suite.model_nodes = graph.node_count();
+    suite.model_links = graph.edge_count();
+
+    const auto transactions = graph.enumerate_transactions(options_.enumeration);
+    suite.transactions_enumerated = transactions.size();
+
+    support::Pcg32 rng(options_.seed);
+    std::size_t next_id = 0;
+
+    for (const tfm::Transaction& t : transactions) {
+        for (std::size_t rep = 0; rep < options_.cases_per_transaction; ++rep) {
+            SystemTestCase tc;
+            tc.id = "STC" + std::to_string(next_id++);
+            tc.transaction = t;
+            tc.transaction_text = graph.describe(t);
+
+            // Setup: one constructor call per role, declaration order.
+            for (const RoleSpec& role : spec_.roles) {
+                const tspec::ComponentSpec* cls = spec_.spec_of(role.class_name);
+                const tspec::MethodSpec* ctor = cls->find_method(role.constructor_id);
+                tc.setup.push_back(
+                    synthesize(role, *ctor, rng, &tc.needs_completion));
+            }
+
+            // Body: the calls of the nodes along the path.
+            for (tfm::NodeIndex node_index : t.path) {
+                const SystemNodeSpec* node = spec_.find_node(graph.node(node_index).id);
+                for (const SystemCall& sc : node->calls) {
+                    const RoleSpec* role = spec_.find_role(sc.role);
+                    const tspec::ComponentSpec* cls = spec_.spec_of(role->class_name);
+                    const tspec::MethodSpec* method = cls->find_method(sc.method_id);
+                    tc.body.push_back(
+                        synthesize(*role, *method, rng, &tc.needs_completion));
+                }
+            }
+            suite.cases.push_back(std::move(tc));
+        }
+    }
+    return suite;
+}
+
+SystemRunner::SystemRunner(const reflect::Registry& registry,
+                           driver::RunnerOptions options)
+    : registry_(registry), options_(options) {}
+
+namespace {
+
+/// Live role objects for one test case; reverse-order teardown.
+class RoleInstances {
+public:
+    explicit RoleInstances(const reflect::Registry& registry) : registry_(registry) {}
+
+    ~RoleInstances() {
+        for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+            try {
+                registry_.at(it->second).destroy(objects_[it->first]);
+            } catch (...) {
+                // Best effort, as in the single-class runner.
+            }
+        }
+    }
+
+    RoleInstances(const RoleInstances&) = delete;
+    RoleInstances& operator=(const RoleInstances&) = delete;
+
+    void add(const std::string& role, const std::string& class_name, void* object) {
+        objects_[role] = object;
+        order_.emplace_back(role, class_name);
+    }
+
+    [[nodiscard]] void* object(const std::string& role) const {
+        const auto it = objects_.find(role);
+        if (it == objects_.end()) {
+            throw ReflectError("no live object for role '" + role + "'");
+        }
+        return it->second;
+    }
+
+    /// Invariant of every live BIT role (Fig. 6 discipline, extended to
+    /// all collaborators).
+    void check_invariants(const reflect::Registry& registry) const {
+        for (const auto& [role, class_name] : order_) {
+            bit::BuiltInTest* view = registry.at(class_name).as_bit(objects_.at(role));
+            if (view != nullptr) view->InvariantTest();
+        }
+    }
+
+    /// Concatenated Reporter output of all roles.
+    [[nodiscard]] std::string report(const reflect::Registry& registry) const {
+        std::string out;
+        for (const auto& [role, class_name] : order_) {
+            bit::BuiltInTest* view = registry.at(class_name).as_bit(objects_.at(role));
+            if (view == nullptr) continue;
+            try {
+                out += role + ": " + view->report() + "\n";
+            } catch (...) {
+                out += role + ": <Reporter failed>\n";
+            }
+        }
+        return out;
+    }
+
+private:
+    const reflect::Registry& registry_;
+    std::map<std::string, void*> objects_;
+    std::vector<std::pair<std::string, std::string>> order_;
+};
+
+reflect::Args resolve_args(const std::vector<SystemArg>& args,
+                           const RoleInstances& roles) {
+    reflect::Args out;
+    out.reserve(args.size());
+    for (const SystemArg& a : args) {
+        if (a.is_role_ref()) {
+            out.push_back(domain::Value::make_pointer(roles.object(a.role_ref),
+                                                      a.role_ref));
+        } else {
+            out.push_back(a.value);
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+driver::TestResult SystemRunner::run_case(const SystemSpec& spec,
+                                          const SystemTestCase& test_case) const {
+    driver::TestResult result;
+    result.case_id = test_case.id;
+
+    const bit::TestModeGuard test_mode;
+    std::ostringstream log;
+    std::ostringstream observations;
+    std::string state_report;
+    std::string current_method = "<none>";
+
+    auto record_failure = [&](driver::Verdict verdict, const std::string& message) {
+        result.verdict = verdict;
+        result.message = message;
+        result.failed_method = current_method;
+        log << "TestCase " << test_case.id << "\n"
+            << message << "\n"
+            << "Method called: " << current_method << "\n";
+    };
+
+    RoleInstances roles(registry_);
+    try {
+        // Setup: construct every role.
+        for (std::size_t i = 0; i < test_case.setup.size(); ++i) {
+            const SystemMethodCall& ctor = test_case.setup[i];
+            const RoleSpec& role_spec = *spec.find_role(ctor.role);
+            current_method = ctor.render();
+            const reflect::ClassBinding& binding = registry_.at(role_spec.class_name);
+            roles.add(ctor.role, role_spec.class_name,
+                      binding.construct(resolve_args(ctor.arguments, roles)));
+        }
+
+        // Body.
+        for (const SystemMethodCall& call : test_case.body) {
+            const RoleSpec& role_spec = *spec.find_role(call.role);
+            const reflect::ClassBinding& binding = registry_.at(role_spec.class_name);
+            current_method = call.render();
+
+            if (options_.check_invariants) roles.check_invariants(registry_);
+            const domain::Value rv = binding.invoke(
+                roles.object(call.role), call.method_name,
+                resolve_args(call.arguments, roles));
+            if (options_.check_invariants) roles.check_invariants(registry_);
+
+            if (!rv.is_empty()) {
+                observations << call.role << "." << call.method_name << " -> "
+                             << (rv.kind() == domain::ValueKind::Pointer
+                                     ? (rv.as_pointer() == nullptr ? "<null>"
+                                                                   : "<object>")
+                                     : rv.to_display())
+                             << "\n";
+            }
+        }
+
+        if (options_.capture_reports) state_report = roles.report(registry_);
+        log << "TestCase " << test_case.id << " OK!\n";
+    } catch (const bit::AssertionViolation& av) {
+        result.assertion_kind = av.assertion_kind();
+        record_failure(driver::Verdict::AssertionViolation, av.what());
+        if (options_.capture_reports) state_report = roles.report(registry_);
+    } catch (const CrashSignal& cs) {
+        record_failure(driver::Verdict::Crash, cs.what());
+    } catch (const ReflectError& re) {
+        record_failure(driver::Verdict::SetupError, re.what());
+    } catch (const std::exception& e) {
+        record_failure(driver::Verdict::UncaughtException, e.what());
+        if (options_.capture_reports) state_report = roles.report(registry_);
+    }
+
+    result.report = observations.str() + state_report;
+    result.log = log.str();
+    return result;
+}
+
+driver::SuiteResult SystemRunner::run(const SystemSpec& spec,
+                                      const SystemTestSuite& suite) const {
+    driver::SuiteResult out;
+    out.results.reserve(suite.cases.size());
+    std::ostringstream log;
+    for (const SystemTestCase& tc : suite.cases) {
+        driver::TestResult r = run_case(spec, tc);
+        log << r.log;
+        if (!r.report.empty()) log << r.report << "\n";
+        log << "\n";
+        out.results.push_back(std::move(r));
+    }
+    out.log = log.str();
+    return out;
+}
+
+}  // namespace stc::interclass

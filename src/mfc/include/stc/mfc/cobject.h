@@ -1,0 +1,64 @@
+// Minimal MFC-style object model.
+//
+// The paper's empirical evaluation (§4) uses the Microsoft Foundation
+// Class CObList and a derived CSortableObList "obtained through the
+// Internet".  Neither is available; this is a from-scratch
+// re-implementation of the documented MFC surface the experiment
+// depends on: a CObject root with validity/diagnostic hooks, and a
+// comparable integer payload (CInt) used as the list element type in
+// tests and benches (the experiment only needs elements with an order).
+#pragma once
+
+#include <string>
+
+namespace stc::mfc {
+
+/// Root of the class hierarchy (MFC CObject).  Adds the two hooks the
+/// experiments rely on: AssertValid (MFC ASSERT_VALID) and ToText (the
+/// role of MFC's Dump — feeds the BIT Reporter output), plus a total
+/// order used by the sortable list.
+class CObject {
+public:
+    virtual ~CObject() = default;
+
+    /// MFC-style validity hook; default does nothing.
+    virtual void AssertValid() const {}
+
+    /// Diagnostic rendering for Reporter output; must be deterministic.
+    [[nodiscard]] virtual std::string ToText() const { return "CObject"; }
+
+    /// Three-way comparison for ordered containers: negative/zero/positive
+    /// like strcmp.  Default compares nothing (all objects equal), the
+    /// sortable list requires elements that override it.
+    [[nodiscard]] virtual int Compare(const CObject& other) const {
+        (void)other;
+        return 0;
+    }
+};
+
+/// Comparable integer payload used as the element type in the
+/// experiments (stands in for the application objects of the paper's
+/// warehouse case study).
+class CInt final : public CObject {
+public:
+    explicit CInt(int value) noexcept : value_(value) {}
+
+    [[nodiscard]] int value() const noexcept { return value_; }
+
+    [[nodiscard]] std::string ToText() const override {
+        return "CInt(" + std::to_string(value_) + ")";
+    }
+
+    [[nodiscard]] int Compare(const CObject& other) const override {
+        const auto* o = dynamic_cast<const CInt*>(&other);
+        if (o == nullptr) return 1;  // CInts order after foreign objects
+        if (value_ < o->value_) return -1;
+        if (value_ > o->value_) return 1;
+        return 0;
+    }
+
+private:
+    int value_;
+};
+
+}  // namespace stc::mfc

@@ -1,0 +1,49 @@
+// CSortableObList — the derived ordered list of the paper's experiments
+// (a third-party "sortable CObList" in the original study).  It adds the
+// five methods mutated in Table 2:
+//   Sort1()     — insertion sort by relinking nodes
+//   Sort2()     — selection sort by swapping element pointers
+//   ShellSort() — shell sort over a temporary element array
+//   FindMax()   — largest element
+//   FindMin()   — smallest element
+// All five are instrumented with interface-mutation use sites.  Insertion
+// and removal are inherited unchanged from CObList — exactly the
+// situation the paper's second experiment (Table 3) probes.
+#pragma once
+
+#include "stc/mfc/coblist.h"
+
+namespace stc::mfc {
+
+class CSortableObList : public CObList {
+public:
+    using CObList::CObList;
+
+    /// Insertion sort: relinks the nodes into ascending order (stable).
+    void Sort1();
+
+    /// Selection sort: keeps the node chain, swaps the element pointers.
+    void Sort2();
+
+    /// Shell sort over a temporary array of element pointers.
+    void ShellSort();
+
+    /// Largest / smallest element by CObject::Compare.  The list must not
+    /// be empty (MFC-style assertion precondition).
+    [[nodiscard]] CObject* FindMax() const;
+    [[nodiscard]] CObject* FindMin() const;
+
+    /// True when elements are in ascending order (corruption-safe:
+    /// returns false rather than faulting on broken links).  Sortedness
+    /// is a postcondition of the Sort* methods, not a class invariant —
+    /// unsorted states are legal between insertions.
+    [[nodiscard]] bool IsSorted() const noexcept;
+
+    [[nodiscard]] std::string ToText() const override { return "CSortableObList"; }
+};
+
+/// Register CSortableObList's mutation descriptors (the five methods of
+/// the paper's Table 2 experiment).
+void register_sortable_descriptors(mutation::DescriptorRegistry& registry);
+
+}  // namespace stc::mfc

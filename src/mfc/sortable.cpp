@@ -1,0 +1,462 @@
+#include "stc/mfc/sortable.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "stc/mutation/descriptor.h"
+
+namespace stc::mfc {
+
+using mutation::int_type;
+using mutation::MethodDescriptor;
+using mutation::MutFrame;
+using mutation::pointer_type;
+using mutation::StructuralFault;
+
+namespace {
+
+// Bounds-checked element-array access for ShellSort: an out-of-range
+// index is the in-process rendering of the buffer overrun the mutated
+// original would have committed.
+CObject*& at(std::vector<CObject*>& arr, int index) {
+    if (index < 0 || index >= static_cast<int>(arr.size())) {
+        throw StructuralFault("ShellSort: element index out of bounds");
+    }
+    return arr[static_cast<std::size_t>(index)];
+}
+
+const MethodDescriptor& sort1_desc() {
+    static const MethodDescriptor d =
+        MethodDescriptor::Builder("CSortableObList", "Sort1")
+            .local("pSortedHead", pointer_type("CNode"))
+            .local("pCur", pointer_type("CNode"))
+            .local("pNext", pointer_type("CNode"))
+            .local("pScan", pointer_type("CNode"))
+            .local("pRebuild", pointer_type("CNode"))
+            .local("pPrevNode", pointer_type("CNode"))
+            .attr("m_pNodeHead", pointer_type("CNode"), true)
+            .attr("m_pNodeTail", pointer_type("CNode"), true)
+            .attr("m_pNodeFree", pointer_type("CNode"), false)
+            .attr("m_nCount", int_type(), false)
+            .attr("m_nBlockSize", int_type(), false)
+            .site("m_pNodeHead", "start of unsorted chain")  // s0
+            .site("pCur", "outer loop test")                 // s1
+            .site("pCur", "save successor")                  // s2
+            .site("pSortedHead", "empty-sorted test")        // s3
+            .site("pCur", "compare lhs")                     // s4
+            .site("pSortedHead", "compare rhs")              // s5
+            .site("pCur", "link to front")                   // s6
+            .site("pSortedHead", "old front")                // s7
+            .site("pCur", "new front")                       // s8
+            .site("pSortedHead", "scan start")               // s9
+            .site("pScan", "scan end test")                  // s10
+            .site("pCur", "scan compare lhs")                // s11
+            .site("pScan", "scan compare rhs")               // s12
+            .site("pScan", "scan advance")                   // s13
+            .site("pCur", "splice next")                     // s14
+            .site("pScan", "splice source")                  // s15
+            .site("pScan", "splice target")                  // s16
+            .site("pCur", "spliced node")                    // s17
+            .site("pNext", "advance outer")                  // s18
+            .site("pSortedHead", "new head")                 // s19
+            .site("pSortedHead", "rebuild start")            // s20
+            .site("pRebuild", "rebuild test")                // s21
+            .site("pRebuild", "rebuild backlink")            // s22
+            .site("pPrevNode", "backlink value")             // s23
+            .site("pRebuild", "rebuild remember")            // s24
+            .site("pRebuild", "rebuild advance")             // s25
+            .site("pPrevNode", "new tail")                   // s26
+            .build();
+    return d;
+}
+
+const MethodDescriptor& sort2_desc() {
+    static const MethodDescriptor d =
+        MethodDescriptor::Builder("CSortableObList", "Sort2")
+            .local("pI", pointer_type("CNode"))
+            .local("pJ", pointer_type("CNode"))
+            .local("pMin", pointer_type("CNode"))
+            .local("pTemp", pointer_type("CObject"))
+            .attr("m_pNodeHead", pointer_type("CNode"), true)
+            .attr("m_pNodeTail", pointer_type("CNode"), false)
+            .attr("m_pNodeFree", pointer_type("CNode"), false)
+            .attr("m_nCount", int_type(), false)
+            .attr("m_nBlockSize", int_type(), false)
+            .site("m_pNodeHead", "outer start")   // s0
+            .site("pI", "outer test")             // s1
+            .site("pI", "outer advance")          // s2
+            .site("pI", "initial minimum")        // s3
+            .site("pI", "inner start")            // s4
+            .site("pJ", "inner test")             // s5
+            .site("pJ", "inner advance")          // s6
+            .site("pJ", "compare lhs")            // s7
+            .site("pMin", "compare rhs")          // s8
+            .site("pJ", "new minimum")            // s9
+            .site("pMin", "swap test lhs")        // s10
+            .site("pI", "swap test rhs")          // s11
+            .site("pI", "swap read")              // s12
+            .site("pI", "swap write")             // s13
+            .site("pMin", "swap read")            // s14
+            .site("pMin", "swap write")           // s15
+            .site("pTemp", "swap restore")        // s16
+            .build();
+    return d;
+}
+
+const MethodDescriptor& shell_sort_desc() {
+    static const MethodDescriptor d =
+        MethodDescriptor::Builder("CSortableObList", "ShellSort")
+            .local("n", int_type())
+            .local("gap", int_type())
+            .local("i", int_type())
+            .local("j", int_type())
+            .local("temp", pointer_type("CObject"))
+            .local("pWalk", pointer_type("CNode"))
+            .attr("m_pNodeHead", pointer_type("CNode"), true)
+            .attr("m_nCount", int_type(), true)
+            .attr("m_pNodeTail", pointer_type("CNode"), false)
+            .attr("m_pNodeFree", pointer_type("CNode"), false)
+            .attr("m_nBlockSize", int_type(), false)
+            .site("m_nCount", "element count")      // s0
+            .site("m_pNodeHead", "fill start")      // s1
+            .site("pWalk", "fill test")             // s2
+            .site("i", "fill index")                // s3
+            .site("pWalk", "fill read")             // s4
+            .site("i", "fill increment")            // s5
+            .site("pWalk", "fill advance")          // s6
+            .site("n", "initial gap")               // s7
+            .site("gap", "gap loop test")           // s8
+            .site("gap", "gap halving")             // s9
+            .site("gap", "i start")                 // s10
+            .site("i", "i loop test")               // s11
+            .site("n", "i loop bound")              // s12
+            .site("i", "i increment")               // s13
+            .site("i", "temp read index")           // s14
+            .site("i", "j start")                   // s15
+            .site("j", "j loop test")               // s16
+            .site("gap", "j loop bound")            // s17
+            .site("temp", "shift compare lhs")      // s18
+            .site("j", "shift compare index")       // s19
+            .site("gap", "shift compare offset")    // s20
+            .site("j", "j decrement")               // s21
+            .site("gap", "j decrement offset")      // s22
+            .site("j", "shift write index")         // s23
+            .site("j", "shift read index")          // s24
+            .site("gap", "shift read offset")       // s25
+            .site("j", "temp write index")          // s26
+            .site("temp", "temp write value")       // s27
+            .site("m_pNodeHead", "write-back start")// s28
+            .site("pWalk", "write-back test")       // s29
+            .site("pWalk", "write-back target")     // s30
+            .site("i", "write-back index")          // s31
+            .site("i", "write-back increment")      // s32
+            .site("pWalk", "write-back advance")    // s33
+            .build();
+    return d;
+}
+
+const MethodDescriptor& find_max_desc() {
+    static const MethodDescriptor d =
+        MethodDescriptor::Builder("CSortableObList", "FindMax")
+            .local("pCur", pointer_type("CNode"))
+            .local("pBest", pointer_type("CObject"))
+            .local("i", int_type())
+            .attr("m_pNodeHead", pointer_type("CNode"), true)
+            .attr("m_nCount", int_type(), true)
+            .attr("m_pNodeTail", pointer_type("CNode"), false)
+            .attr("m_pNodeFree", pointer_type("CNode"), false)
+            .attr("m_nBlockSize", int_type(), false)
+            .site("m_pNodeHead", "first element")   // s0
+            .site("m_pNodeHead", "scan start")      // s1
+            .site("i", "scan loop test")            // s2
+            .site("m_nCount", "scan loop bound")    // s3
+            .site("pBest", "compare lhs")           // s4
+            .site("pCur", "compare rhs")            // s5
+            .site("pCur", "new best")               // s6
+            .site("pCur", "scan advance")           // s7
+            .site("i", "scan increment")            // s8
+            .site("pBest", "return value")          // s9
+            .build();
+    return d;
+}
+
+const MethodDescriptor& find_min_desc() {
+    static const MethodDescriptor d =
+        MethodDescriptor::Builder("CSortableObList", "FindMin")
+            .local("pCur", pointer_type("CNode"))
+            .local("pBest", pointer_type("CObject"))
+            .local("i", int_type())
+            .attr("m_pNodeHead", pointer_type("CNode"), true)
+            .attr("m_nCount", int_type(), true)
+            .attr("m_pNodeTail", pointer_type("CNode"), false)
+            .attr("m_pNodeFree", pointer_type("CNode"), false)
+            .attr("m_nBlockSize", int_type(), false)
+            .site("m_pNodeHead", "first element")   // s0
+            .site("m_pNodeHead", "scan start")      // s1
+            .site("i", "scan loop test")            // s2
+            .site("m_nCount", "scan loop bound")    // s3
+            .site("pCur", "compare lhs")            // s4
+            .site("pBest", "compare rhs")           // s5
+            .site("pCur", "new best")               // s6
+            .site("pCur", "scan advance")           // s7
+            .site("i", "scan increment")            // s8
+            .site("pBest", "return value")          // s9
+            .build();
+    return d;
+}
+
+}  // namespace
+
+void CSortableObList::Sort1() {
+    MutFrame frame(sort1_desc());
+    bind_attrs(frame);
+    CNode* pSortedHead = nullptr;
+    CNode* pCur = nullptr;
+    CNode* pNext = nullptr;
+    CNode* pScan = nullptr;
+    CNode* pRebuild = nullptr;
+    CNode* pPrevNode = nullptr;
+    frame.bind_ptr("pSortedHead", &pSortedHead);
+    frame.bind_ptr("pCur", &pCur);
+    frame.bind_ptr("pNext", &pNext);
+    frame.bind_ptr("pScan", &pScan);
+    frame.bind_ptr("pRebuild", &pRebuild);
+    frame.bind_ptr("pPrevNode", &pPrevNode);
+
+    pCur = frame.use_ptr(0, m_pNodeHead);
+    int guard = 0;
+    while (frame.use_ptr(1, pCur) != nullptr) {
+        bump_guard(guard);
+        pNext = checked(frame.use_ptr(2, pCur))->pNext;
+        if (frame.use_ptr(3, pSortedHead) == nullptr ||
+            Less(checked(frame.use_ptr(4, pCur))->data,
+                 checked(frame.use_ptr(5, pSortedHead))->data)) {
+            checked(frame.use_ptr(6, pCur))->pNext = frame.use_ptr(7, pSortedHead);
+            pSortedHead = frame.use_ptr(8, pCur);
+        } else {
+            pScan = frame.use_ptr(9, pSortedHead);
+            int scan_guard = 0;
+            while (checked(frame.use_ptr(10, pScan))->pNext != nullptr &&
+                   !Less(checked(frame.use_ptr(11, pCur))->data,
+                         checked(checked(frame.use_ptr(12, pScan))->pNext)->data)) {
+                bump_guard(scan_guard);
+                pScan = checked(frame.use_ptr(13, pScan))->pNext;
+            }
+            checked(frame.use_ptr(14, pCur))->pNext =
+                checked(frame.use_ptr(15, pScan))->pNext;
+            checked(frame.use_ptr(16, pScan))->pNext = frame.use_ptr(17, pCur);
+        }
+        pCur = frame.use_ptr(18, pNext);
+    }
+
+    // Rebuild the doubly linked structure over the sorted chain.
+    m_pNodeHead = frame.use_ptr(19, pSortedHead);
+    pPrevNode = nullptr;
+    pRebuild = frame.use_ptr(20, pSortedHead);
+    int rebuild_guard = 0;
+    while (frame.use_ptr(21, pRebuild) != nullptr) {
+        bump_guard(rebuild_guard);
+        checked(frame.use_ptr(22, pRebuild))->pPrev = frame.use_ptr(23, pPrevNode);
+        pPrevNode = frame.use_ptr(24, pRebuild);
+        pRebuild = checked(frame.use_ptr(25, pRebuild))->pNext;
+    }
+    m_pNodeTail = frame.use_ptr(26, pPrevNode);
+
+    STC_POSTCONDITION(ValidState());
+    STC_POSTCONDITION(IsSorted());
+}
+
+void CSortableObList::Sort2() {
+    MutFrame frame(sort2_desc());
+    bind_attrs(frame);
+    CNode* pI = nullptr;
+    CNode* pJ = nullptr;
+    CNode* pMin = nullptr;
+    CObject* pTemp = nullptr;
+    frame.bind_ptr("pI", &pI);
+    frame.bind_ptr("pJ", &pJ);
+    frame.bind_ptr("pMin", &pMin);
+    frame.bind_ptr("pTemp", &pTemp);
+
+    int guard = 0;
+    for (pI = frame.use_ptr(0, m_pNodeHead); frame.use_ptr(1, pI) != nullptr;
+         pI = checked(frame.use_ptr(2, pI))->pNext) {
+        bump_guard(guard);
+        pMin = frame.use_ptr(3, pI);
+        int inner_guard = 0;
+        for (pJ = checked(frame.use_ptr(4, pI))->pNext;
+             frame.use_ptr(5, pJ) != nullptr;
+             pJ = checked(frame.use_ptr(6, pJ))->pNext) {
+            bump_guard(inner_guard);
+            if (Less(checked(frame.use_ptr(7, pJ))->data,
+                     checked(frame.use_ptr(8, pMin))->data)) {
+                pMin = frame.use_ptr(9, pJ);
+            }
+        }
+        if (frame.use_ptr(10, pMin) != frame.use_ptr(11, pI)) {
+            pTemp = checked(frame.use_ptr(12, pI))->data;
+            checked(frame.use_ptr(13, pI))->data =
+                checked(frame.use_ptr(14, pMin))->data;
+            checked(frame.use_ptr(15, pMin))->data = frame.use_ptr(16, pTemp);
+        }
+    }
+
+    STC_POSTCONDITION(ValidState());
+    STC_POSTCONDITION(IsSorted());
+}
+
+void CSortableObList::ShellSort() {
+    MutFrame frame(shell_sort_desc());
+    bind_attrs(frame);
+    int n = 0;
+    int gap = 0;
+    int i = 0;
+    int j = 0;
+    CObject* temp = nullptr;
+    CNode* pWalk = nullptr;
+    frame.bind("n", &n);
+    frame.bind("gap", &gap);
+    frame.bind("i", &i);
+    frame.bind("j", &j);
+    frame.bind_ptr("temp", &temp);
+    frame.bind_ptr("pWalk", &pWalk);
+
+    n = frame.use(0, m_nCount);
+    // The original allocated an n-element array; an absurd n crashed it.
+    if (n < 0 || n > static_cast<int>(owned_.size())) {
+        throw StructuralFault("ShellSort: absurd element count");
+    }
+    std::vector<CObject*> arr(static_cast<std::size_t>(n), nullptr);
+
+    // Copy elements into the array.
+    pWalk = frame.use_ptr(1, m_pNodeHead);
+    i = 0;
+    int fill_guard = 0;
+    while (frame.use_ptr(2, pWalk) != nullptr) {
+        bump_guard(fill_guard);
+        at(arr, frame.use(3, i)) = checked(frame.use_ptr(4, pWalk))->data;
+        i = frame.use(5, i) + 1;
+        pWalk = checked(frame.use_ptr(6, pWalk))->pNext;
+    }
+
+    // Shell sort with gap halving.
+    int gap_guard = 0;
+    for (gap = frame.use(7, n) / 2; frame.use(8, gap) > 0;
+         gap = frame.use(9, gap) / 2) {
+        bump_guard(gap_guard);
+        int i_guard = 0;
+        for (i = frame.use(10, gap); frame.use(11, i) < frame.use(12, n);
+             i = frame.use(13, i) + 1) {
+            bump_guard(i_guard);
+            temp = at(arr, frame.use(14, i));
+            int j_guard = 0;
+            for (j = frame.use(15, i);
+                 frame.use(16, j) >= frame.use(17, gap) &&
+                 Less(frame.use_ptr(18, temp),
+                      at(arr, frame.use(19, j) - frame.use(20, gap)));
+                 j = frame.use(21, j) - frame.use(22, gap)) {
+                bump_guard(j_guard);
+                at(arr, frame.use(23, j)) =
+                    at(arr, frame.use(24, j) - frame.use(25, gap));
+            }
+            at(arr, frame.use(26, j)) = frame.use_ptr(27, temp);
+        }
+    }
+
+    // Write the sorted order back into the nodes.
+    pWalk = frame.use_ptr(28, m_pNodeHead);
+    i = 0;
+    int back_guard = 0;
+    while (frame.use_ptr(29, pWalk) != nullptr) {
+        bump_guard(back_guard);
+        checked(frame.use_ptr(30, pWalk))->data = at(arr, frame.use(31, i));
+        i = frame.use(32, i) + 1;
+        pWalk = checked(frame.use_ptr(33, pWalk))->pNext;
+    }
+
+    STC_POSTCONDITION(ValidState());
+    STC_POSTCONDITION(IsSorted());
+}
+
+CObject* CSortableObList::FindMax() const {
+    STC_PRECONDITION(!IsEmpty());
+
+    MutFrame frame(find_max_desc());
+    bind_attrs(frame);
+    CNode* pCur = nullptr;
+    CObject* pBest = nullptr;
+    int i = 0;
+    frame.bind_ptr("pCur", &pCur);
+    frame.bind_ptr("pBest", &pBest);
+    frame.bind("i", &i);
+
+    // Count-bounded scan: the list knows its length, so the walk is
+    // driven by the element count rather than the null terminator.
+    pBest = checked(frame.use_ptr(0, m_pNodeHead))->data;
+    pCur = checked(frame.use_ptr(1, m_pNodeHead))->pNext;
+    i = 1;
+    int guard = 0;
+    while (frame.use(2, i) < frame.use(3, m_nCount)) {
+        bump_guard(guard);
+        if (Less(frame.use_ptr(4, pBest), checked(frame.use_ptr(5, pCur))->data)) {
+            pBest = checked(frame.use_ptr(6, pCur))->data;
+        }
+        pCur = checked(frame.use_ptr(7, pCur))->pNext;
+        i = frame.use(8, i) + 1;
+    }
+    return frame.use_ptr(9, pBest);
+}
+
+CObject* CSortableObList::FindMin() const {
+    STC_PRECONDITION(!IsEmpty());
+
+    MutFrame frame(find_min_desc());
+    bind_attrs(frame);
+    CNode* pCur = nullptr;
+    CObject* pBest = nullptr;
+    int i = 0;
+    frame.bind_ptr("pCur", &pCur);
+    frame.bind_ptr("pBest", &pBest);
+    frame.bind("i", &i);
+
+    pBest = checked(frame.use_ptr(0, m_pNodeHead))->data;
+    pCur = checked(frame.use_ptr(1, m_pNodeHead))->pNext;
+    i = 1;
+    int guard = 0;
+    while (frame.use(2, i) < frame.use(3, m_nCount)) {
+        bump_guard(guard);
+        if (Less(checked(frame.use_ptr(4, pCur))->data, frame.use_ptr(5, pBest))) {
+            pBest = checked(frame.use_ptr(6, pCur))->data;
+        }
+        pCur = checked(frame.use_ptr(7, pCur))->pNext;
+        i = frame.use(8, i) + 1;
+    }
+    return frame.use_ptr(9, pBest);
+}
+
+void register_sortable_descriptors(mutation::DescriptorRegistry& registry) {
+    registry.add(&sort1_desc());
+    registry.add(&sort2_desc());
+    registry.add(&shell_sort_desc());
+    registry.add(&find_max_desc());
+    registry.add(&find_min_desc());
+}
+
+bool CSortableObList::IsSorted() const noexcept {
+    const CNode* node = m_pNodeHead;
+    int guard = 0;
+    while (node != nullptr) {
+        if (!is_owned(node) || ++guard > static_cast<int>(owned_.size())) return false;
+        const CNode* next = node->pNext;
+        if (next != nullptr) {
+            if (!is_owned(next) || node->data == nullptr || next->data == nullptr) {
+                return false;
+            }
+            if (next->data->Compare(*node->data) < 0) return false;
+        }
+        node = next;
+    }
+    return true;
+}
+
+}  // namespace stc::mfc

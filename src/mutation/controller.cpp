@@ -1,0 +1,26 @@
+#include "stc/mutation/controller.h"
+
+namespace stc::mutation {
+
+MutationController& MutationController::instance() noexcept {
+    static thread_local MutationController controller;
+    return controller;
+}
+
+MutantActivation::MutantActivation(const Mutant& mutant) {
+    auto& c = MutationController::instance();
+    if (c.mutant_ != nullptr) {
+        throw ContractError("a mutant is already active: " + c.mutant_->id());
+    }
+    if (mutant.method == nullptr) {
+        throw ContractError("activating a mutant with no method descriptor");
+    }
+    c.mutant_ = &mutant;
+    c.hit_ = false;
+}
+
+MutantActivation::~MutantActivation() {
+    MutationController::instance().mutant_ = nullptr;
+}
+
+}  // namespace stc::mutation

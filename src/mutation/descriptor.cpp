@@ -1,0 +1,143 @@
+#include "stc/mutation/descriptor.h"
+
+namespace stc::mutation {
+
+std::string TypeKey::to_string() const {
+    switch (kind) {
+        case Kind::Int: return "int";
+        case Kind::Real: return "real";
+        case Kind::Pointer: return pointee + "*";
+    }
+    return "?";
+}
+
+const VarInfo* MethodDescriptor::find_var(const std::string& name) const {
+    for (const auto& v : vars_) {
+        if (v.name == name) return &v;
+    }
+    return nullptr;
+}
+
+std::vector<const VarInfo*> MethodDescriptor::locals() const {
+    std::vector<const VarInfo*> out;
+    for (const auto& v : vars_) {
+        if (v.role == VarRole::Local) out.push_back(&v);
+    }
+    return out;
+}
+
+std::vector<const VarInfo*> MethodDescriptor::globals_used() const {
+    std::vector<const VarInfo*> out;
+    for (const auto& v : vars_) {
+        if (v.role == VarRole::Attribute && v.used_in_method) out.push_back(&v);
+    }
+    return out;
+}
+
+std::vector<const VarInfo*> MethodDescriptor::globals_unused() const {
+    std::vector<const VarInfo*> out;
+    for (const auto& v : vars_) {
+        if (v.role == VarRole::Attribute && !v.used_in_method) out.push_back(&v);
+    }
+    return out;
+}
+
+MethodDescriptor::Builder::Builder(std::string class_name, std::string method_name) {
+    desc_.class_name_ = std::move(class_name);
+    desc_.method_name_ = std::move(method_name);
+}
+
+MethodDescriptor::Builder& MethodDescriptor::Builder::param(std::string name,
+                                                            TypeKey type) {
+    desc_.vars_.push_back(VarInfo{std::move(name), VarRole::Param, std::move(type), true});
+    return *this;
+}
+
+MethodDescriptor::Builder& MethodDescriptor::Builder::local(std::string name,
+                                                            TypeKey type) {
+    desc_.vars_.push_back(VarInfo{std::move(name), VarRole::Local, std::move(type), true});
+    return *this;
+}
+
+MethodDescriptor::Builder& MethodDescriptor::Builder::attr(std::string name,
+                                                           TypeKey type,
+                                                           bool used_in_method) {
+    desc_.vars_.push_back(
+        VarInfo{std::move(name), VarRole::Attribute, std::move(type), used_in_method});
+    return *this;
+}
+
+MethodDescriptor::Builder& MethodDescriptor::Builder::site(std::string var,
+                                                           std::string note) {
+    SiteInfo s;
+    s.ordinal = desc_.sites_.size();
+    s.var = std::move(var);
+    s.note = std::move(note);
+    desc_.sites_.push_back(std::move(s));
+    return *this;
+}
+
+MethodDescriptor::Builder& MethodDescriptor::Builder::interface_site(
+    std::string var, std::string note) {
+    SiteInfo s;
+    s.ordinal = desc_.sites_.size();
+    s.var = std::move(var);
+    s.interface_site = true;
+    s.note = std::move(note);
+    desc_.sites_.push_back(std::move(s));
+    return *this;
+}
+
+MethodDescriptor MethodDescriptor::Builder::build() const {
+    MethodDescriptor out = desc_;
+    for (auto& s : out.sites_) {
+        const VarInfo* v = out.find_var(s.var);
+        if (v == nullptr) {
+            throw SpecError("mutation site references unknown variable '" + s.var +
+                            "' in " + out.qualified_name());
+        }
+        if (!s.interface_site && v->role == VarRole::Param) {
+            throw SpecError("mutation site on interface variable '" + s.var + "' in " +
+                            out.qualified_name() +
+                            " (IndVar operators act on non-interface variables; "
+                            "declare it with interface_site for DirVar coverage)");
+        }
+        if (s.interface_site && v->role != VarRole::Param) {
+            throw SpecError("interface site on non-parameter '" + s.var + "' in " +
+                            out.qualified_name());
+        }
+        if (v->role == VarRole::Attribute && !v->used_in_method) {
+            throw SpecError("mutation site on attribute '" + s.var +
+                            "' declared unused in " + out.qualified_name());
+        }
+        s.type = v->type;
+    }
+    return out;
+}
+
+void DescriptorRegistry::add(const MethodDescriptor* descriptor) {
+    if (descriptor == nullptr) throw ContractError("null descriptor registered");
+    if (find(descriptor->class_name(), descriptor->method_name()) != nullptr) {
+        throw SpecError("duplicate descriptor for " + descriptor->qualified_name());
+    }
+    descriptors_.push_back(descriptor);
+}
+
+const MethodDescriptor* DescriptorRegistry::find(const std::string& class_name,
+                                                 const std::string& method_name) const {
+    for (const auto* d : descriptors_) {
+        if (d->class_name() == class_name && d->method_name() == method_name) return d;
+    }
+    return nullptr;
+}
+
+std::vector<const MethodDescriptor*> DescriptorRegistry::for_class(
+    const std::string& class_name) const {
+    std::vector<const MethodDescriptor*> out;
+    for (const auto* d : descriptors_) {
+        if (d->class_name() == class_name) out.push_back(d);
+    }
+    return out;
+}
+
+}  // namespace stc::mutation

@@ -1,0 +1,137 @@
+#include "stc/mutation/engine.h"
+
+namespace stc::mutation {
+
+const char* to_string(MutantFate fate) noexcept {
+    switch (fate) {
+        case MutantFate::Killed: return "killed";
+        case MutantFate::Alive: return "alive";
+        case MutantFate::EquivalentPresumed: return "equivalent";
+        case MutantFate::NotCovered: return "not-covered";
+    }
+    return "?";
+}
+
+std::size_t MutationRun::killed() const noexcept {
+    std::size_t n = 0;
+    for (const auto& o : outcomes) n += o.fate == MutantFate::Killed ? 1 : 0;
+    return n;
+}
+
+std::size_t MutationRun::equivalent() const noexcept {
+    std::size_t n = 0;
+    for (const auto& o : outcomes) {
+        n += o.fate == MutantFate::EquivalentPresumed ? 1 : 0;
+    }
+    return n;
+}
+
+std::size_t MutationRun::kills_by(oracle::KillReason reason) const noexcept {
+    std::size_t n = 0;
+    for (const auto& o : outcomes) {
+        n += (o.fate == MutantFate::Killed && o.reason == reason) ? 1 : 0;
+    }
+    return n;
+}
+
+double MutationRun::score() const noexcept {
+    const std::size_t denom = total() - equivalent();
+    if (denom == 0) return 1.0;
+    return static_cast<double>(killed()) / static_cast<double>(denom);
+}
+
+MutationEngine::MutationEngine(const reflect::Registry& bindings, EngineOptions options)
+    : bindings_(bindings), options_(std::move(options)) {}
+
+MutationRun MutationEngine::run(const driver::TestSuite& suite,
+                                const std::vector<Mutant>& mutants,
+                                const driver::TestSuite* probe_suite) const {
+    const driver::TestRunner runner(bindings_, options_.runner);
+
+    // Probe runs observe every call, maximizing output-diff sensitivity —
+    // the "try hard before declaring equivalent" role of the paper's
+    // manual analysis.
+    driver::RunnerOptions probe_opts = options_.runner;
+    probe_opts.observe_each_call = true;
+    const driver::TestRunner probe_runner(bindings_, probe_opts);
+
+    SuiteExecutor run_probe;
+    if (probe_suite != nullptr) {
+        run_probe = [&probe_runner, probe_suite] {
+            return probe_runner.run(*probe_suite);
+        };
+    }
+    return run_with([&runner, &suite] { return runner.run(suite); }, mutants,
+                    run_probe);
+}
+
+MutationRun MutationEngine::run_with(const SuiteExecutor& run_suite,
+                                     const std::vector<Mutant>& mutants,
+                                     const SuiteExecutor& run_probe) const {
+    if (!run_suite) throw ContractError("mutation engine needs a suite executor");
+
+    MutationRun out;
+
+    // Baseline ("original program", outputs validated before experiments).
+    out.golden = oracle::GoldenRecord::from(run_suite());
+    out.baseline_clean = out.golden.all_passed();
+
+    oracle::GoldenRecord probe_golden;
+    if (run_probe) probe_golden = oracle::GoldenRecord::from(run_probe());
+
+    auto& controller = MutationController::instance();
+
+    out.outcomes.reserve(mutants.size());
+    for (const Mutant& mutant : mutants) {
+        MutantOutcome outcome;
+        outcome.mutant = &mutant;
+
+        {
+            const MutantActivation activation(mutant);
+            const driver::SuiteResult mutated = run_suite();
+            outcome.hit_by_suite = controller.hit();
+            outcome.reason = oracle::classify_suite(out.golden, mutated,
+                                                    options_.oracle,
+                                                    options_.manual_oracle);
+        }
+
+        if (outcome.reason != oracle::KillReason::None) {
+            outcome.fate = MutantFate::Killed;
+            out.outcomes.push_back(outcome);
+            continue;
+        }
+
+        // Survivor: equivalence probing.
+        if (!run_probe) {
+            outcome.fate =
+                outcome.hit_by_suite ? MutantFate::Alive : MutantFate::NotCovered;
+            out.outcomes.push_back(outcome);
+            continue;
+        }
+
+        bool probe_hit = false;
+        oracle::KillReason probe_reason = oracle::KillReason::None;
+        {
+            const MutantActivation activation(mutant);
+            const driver::SuiteResult probed = run_probe();
+            probe_hit = controller.hit();
+            // The probe always uses the full oracle: equivalence is about
+            // behaviour, not about which detector the evaluated suite used.
+            probe_reason = oracle::classify_suite(probe_golden, probed);
+        }
+
+        if (probe_reason != oracle::KillReason::None) {
+            outcome.fate = MutantFate::Alive;  // killable, just not by `suite`
+            outcome.killed_by_probe = true;
+        } else if (probe_hit) {
+            outcome.fate = MutantFate::EquivalentPresumed;
+        } else {
+            outcome.fate = MutantFate::NotCovered;
+        }
+        out.outcomes.push_back(outcome);
+    }
+
+    return out;
+}
+
+}  // namespace stc::mutation

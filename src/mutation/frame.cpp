@@ -1,0 +1,53 @@
+#include "stc/mutation/frame.h"
+
+namespace stc::mutation {
+
+const MutFrame::Slot& MutFrame::find_slot(std::string_view name) const {
+    for (std::size_t i = 0; i < count_; ++i) {
+        if (name == slots_[i].name) return slots_[i];
+    }
+    throw ContractError("instrumentation bug: variable '" + std::string(name) +
+                        "' is not bound in frame of " + descriptor_.qualified_name());
+}
+
+std::int64_t MutFrame::read_int(std::string_view name) const {
+    const Slot& s = find_slot(name);
+    switch (s.kind) {
+        case SlotKind::I8: return *static_cast<const std::int8_t*>(s.address);
+        case SlotKind::I16: return *static_cast<const std::int16_t*>(s.address);
+        case SlotKind::I32: return *static_cast<const std::int32_t*>(s.address);
+        case SlotKind::I64: return *static_cast<const std::int64_t*>(s.address);
+        case SlotKind::U8: return *static_cast<const std::uint8_t*>(s.address);
+        case SlotKind::U16: return *static_cast<const std::uint16_t*>(s.address);
+        case SlotKind::U32: return *static_cast<const std::uint32_t*>(s.address);
+        case SlotKind::U64:
+            return static_cast<std::int64_t>(
+                *static_cast<const std::uint64_t*>(s.address));
+        default:
+            throw ContractError("variable '" + std::string(name) +
+                                "' is not integral in " + descriptor_.qualified_name());
+    }
+}
+
+double MutFrame::read_real(std::string_view name) const {
+    const Slot& s = find_slot(name);
+    switch (s.kind) {
+        case SlotKind::F32: return *static_cast<const float*>(s.address);
+        case SlotKind::F64: return *static_cast<const double*>(s.address);
+        default:
+            throw ContractError("variable '" + std::string(name) +
+                                "' is not floating point in " +
+                                descriptor_.qualified_name());
+    }
+}
+
+void* MutFrame::read_ptr(std::string_view name) const {
+    const Slot& s = find_slot(name);
+    if (s.kind != SlotKind::Ptr) {
+        throw ContractError("variable '" + std::string(name) + "' is not a pointer in " +
+                            descriptor_.qualified_name());
+    }
+    return *static_cast<void* const*>(s.address);
+}
+
+}  // namespace stc::mutation

@@ -1,0 +1,54 @@
+// Runtime mutant activation (mutant schemata).
+//
+// Exactly one mutant can be active at a time; the instrumented use-sites
+// consult the controller on every execution.  The engine activates each
+// enumerated mutant in turn (RAII guard), runs the test suite, and reads
+// back whether the mutated site was even reached (hit tracking —
+// a mutant that was never hit cannot have been exercised by the suite).
+#pragma once
+
+#include "stc/mutation/mutant.h"
+#include "stc/support/error.h"
+
+namespace stc::mutation {
+
+/// Thrown by instrumented substrates when a mutated value would have
+/// corrupted memory in the paper's original setup (e.g. dereferencing a
+/// node pointer that does not belong to the list's node pool).  Derives
+/// CrashSignal: the harness counts it as "the program crashed" — the
+/// paper's kill condition (i) — without taking the process down.
+class StructuralFault : public CrashSignal {
+public:
+    explicit StructuralFault(const std::string& what) : CrashSignal(what) {}
+};
+
+/// Per-thread single active mutant.
+class MutationController {
+public:
+    [[nodiscard]] static MutationController& instance() noexcept;
+
+    [[nodiscard]] const Mutant* active() const noexcept { return mutant_; }
+    [[nodiscard]] bool any_active() const noexcept { return mutant_ != nullptr; }
+
+    void mark_hit() noexcept { hit_ = true; }
+    [[nodiscard]] bool hit() const noexcept { return hit_; }
+    void reset_hit() noexcept { hit_ = false; }
+
+private:
+    friend class MutantActivation;
+    const Mutant* mutant_ = nullptr;
+    bool hit_ = false;
+};
+
+/// RAII activation of one mutant; non-nestable (activating while another
+/// mutant is active is an engine bug and throws).
+class MutantActivation {
+public:
+    explicit MutantActivation(const Mutant& mutant);
+    ~MutantActivation();
+
+    MutantActivation(const MutantActivation&) = delete;
+    MutantActivation& operator=(const MutantActivation&) = delete;
+};
+
+}  // namespace stc::mutation

@@ -1,0 +1,148 @@
+// Static description of an instrumented method for interface mutation.
+//
+// The paper evaluates its test strategy with *interface mutation*
+// (Delamaro), whose IndVar* operators (Table 1) act on the uses of
+// non-interface variables inside a routine R2: locals L(R2), class
+// attributes/globals used G(R2), those not used E(R2), and required
+// constants RC.  The original experiments seeded each fault by hand and
+// compiled each mutant as a separate class; we instead instrument the
+// substrate once (mutant schemata): each method carries a
+// MethodDescriptor enumerating its variables and its non-interface
+// variable *use sites*, and the method body routes every such use
+// through MutFrame::use(), where the single active mutant can substitute
+// the value.  Mutants are then enumerated mechanically and activated one
+// at a time — same fault model, no per-mutant compilation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stc/support/error.h"
+
+namespace stc::mutation {
+
+/// Type of a mutatable variable.  Replacements are only generated
+/// between identically typed variables (an ill-typed replacement would
+/// not compile in the paper's per-class mutants).
+struct TypeKey {
+    enum class Kind { Int, Real, Pointer };
+    Kind kind = Kind::Int;
+    std::string pointee;  ///< pointee class name for Kind::Pointer
+
+    friend bool operator==(const TypeKey&, const TypeKey&) = default;
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] inline TypeKey int_type() { return {TypeKey::Kind::Int, ""}; }
+[[nodiscard]] inline TypeKey real_type() { return {TypeKey::Kind::Real, ""}; }
+[[nodiscard]] inline TypeKey pointer_type(std::string pointee) {
+    return {TypeKey::Kind::Pointer, std::move(pointee)};
+}
+
+/// Role of a variable within the method, per the interface-mutation sets.
+enum class VarRole {
+    Param,      ///< formal parameter: an *interface* variable, never a site
+    Local,      ///< L(R2)
+    Attribute,  ///< class attribute: G(R2) when used here, E(R2) otherwise
+};
+
+struct VarInfo {
+    std::string name;
+    VarRole role = VarRole::Local;
+    TypeKey type;
+    bool used_in_method = true;  ///< attributes only: distinguishes G from E
+};
+
+/// One variable use in the method body.  `ordinal` is the 0-based index
+/// the instrumented code passes to MutFrame::use().  Non-interface sites
+/// (locals/attributes) are the IndVar* targets of the paper; interface
+/// sites (formal parameters) are the DirVar* targets of the extended
+/// operator set.
+struct SiteInfo {
+    std::size_t ordinal = 0;
+    std::string var;
+    TypeKey type;
+    bool interface_site = false;  ///< use of a formal parameter (DirVar*)
+    std::string note;  ///< optional, e.g. "loop guard" — report readability
+};
+
+/// Complete mutation metadata for one method (one R2).
+class MethodDescriptor {
+public:
+    class Builder;
+
+    [[nodiscard]] const std::string& class_name() const noexcept { return class_name_; }
+    [[nodiscard]] const std::string& method_name() const noexcept { return method_name_; }
+    [[nodiscard]] std::string qualified_name() const {
+        return class_name_ + "::" + method_name_;
+    }
+
+    [[nodiscard]] const std::vector<VarInfo>& variables() const noexcept { return vars_; }
+    [[nodiscard]] const std::vector<SiteInfo>& sites() const noexcept { return sites_; }
+
+    [[nodiscard]] const VarInfo* find_var(const std::string& name) const;
+
+    /// L(R2): local variables defined in the method.
+    [[nodiscard]] std::vector<const VarInfo*> locals() const;
+    /// G(R2): attributes/globals used in the method.
+    [[nodiscard]] std::vector<const VarInfo*> globals_used() const;
+    /// E(R2): attributes/globals not used in the method.
+    [[nodiscard]] std::vector<const VarInfo*> globals_unused() const;
+
+private:
+    std::string class_name_;
+    std::string method_name_;
+    std::vector<VarInfo> vars_;
+    std::vector<SiteInfo> sites_;
+};
+
+/// Fluent construction with consistency checks (site variables must
+/// exist and must not be parameters; ordinals are assigned in call
+/// order and must match the use() indices in the instrumented body).
+class MethodDescriptor::Builder {
+public:
+    Builder(std::string class_name, std::string method_name);
+
+    Builder& param(std::string name, TypeKey type);
+    Builder& local(std::string name, TypeKey type);
+    Builder& attr(std::string name, TypeKey type, bool used_in_method);
+
+    /// Declare the next use site of a non-interface variable
+    /// (ordinal = number of sites so far).
+    Builder& site(std::string var, std::string note = {});
+
+    /// Declare the next use site of an *interface* variable (a formal
+    /// parameter) — target of the extended DirVar* operators.
+    Builder& interface_site(std::string var, std::string note = {});
+
+    /// Validate and produce the descriptor.  Throws stc::SpecError on
+    /// inconsistencies.
+    [[nodiscard]] MethodDescriptor build() const;
+
+private:
+    MethodDescriptor desc_;
+};
+
+/// All descriptors of an instrumented program.  Holds non-owning
+/// pointers to the canonical static descriptors defined next to each
+/// method body, so runtime frame/descriptor identity is pointer
+/// equality.
+class DescriptorRegistry {
+public:
+    void add(const MethodDescriptor* descriptor);
+
+    [[nodiscard]] const MethodDescriptor* find(const std::string& class_name,
+                                               const std::string& method_name) const;
+    [[nodiscard]] const std::vector<const MethodDescriptor*>& all() const noexcept {
+        return descriptors_;
+    }
+    [[nodiscard]] std::vector<const MethodDescriptor*> for_class(
+        const std::string& class_name) const;
+
+private:
+    std::vector<const MethodDescriptor*> descriptors_;
+};
+
+}  // namespace stc::mutation

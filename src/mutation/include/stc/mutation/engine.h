@@ -1,0 +1,100 @@
+// Mutation-analysis engine.
+//
+// Reproduces the experimental procedure of §4: run the generated test
+// suite against the original component to record its (hand-validated in
+// the paper, golden here) outputs, then activate each mutant in turn and
+// re-run the suite.  A mutant is killed when
+//   (i)   the run crashed (StructuralFault / CrashSignal),
+//   (ii)  an assertion violation was raised that the original did not
+//         raise, or
+//   (iii) the finished program's output differs from the original's.
+//
+// Equivalence: undecidable; the paper marked equivalents by manual
+// analysis of surviving mutants.  Substitution: surviving mutants are
+// re-tried against an optional amplified *probe* suite (more cases per
+// transaction, every call observed).  Survivors that the probe also
+// fails to kill — although executing the mutated site — are presumed
+// equivalent; survivors whose site was never reached are reported as
+// not-covered (counted alive, lowering the score honestly).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "stc/driver/generator.h"
+#include "stc/driver/runner.h"
+#include "stc/mutation/controller.h"
+#include "stc/mutation/mutant.h"
+#include "stc/oracle/oracle.h"
+
+namespace stc::mutation {
+
+/// Final classification of one mutant after the run.
+enum class MutantFate {
+    Killed,
+    Alive,                ///< survived, though probe-covered or probe-killed
+    EquivalentPresumed,   ///< survived suite AND probe while being executed
+    NotCovered,           ///< the mutated site was never reached by the suite
+};
+
+[[nodiscard]] const char* to_string(MutantFate fate) noexcept;
+
+struct MutantOutcome {
+    const Mutant* mutant = nullptr;
+    MutantFate fate = MutantFate::Alive;
+    oracle::KillReason reason = oracle::KillReason::None;  ///< when Killed
+    bool hit_by_suite = false;
+    bool killed_by_probe = false;  ///< alive on the suite, killable in principle
+};
+
+struct EngineOptions {
+    driver::RunnerOptions runner{};
+    oracle::OracleConfig oracle{};
+    oracle::ManualPredicate manual_oracle{};
+};
+
+/// Aggregated result of one mutation-analysis run.
+struct MutationRun {
+    std::vector<MutantOutcome> outcomes;
+    oracle::GoldenRecord golden;
+    bool baseline_clean = false;  ///< every baseline case passed
+
+    [[nodiscard]] std::size_t total() const noexcept { return outcomes.size(); }
+    [[nodiscard]] std::size_t killed() const noexcept;
+    [[nodiscard]] std::size_t equivalent() const noexcept;
+    [[nodiscard]] std::size_t kills_by(oracle::KillReason reason) const noexcept;
+
+    /// The paper's mutation score: killed / (total - equivalent).
+    /// NaN-free: returns 1.0 when no non-equivalent mutants exist.
+    [[nodiscard]] double score() const noexcept;
+};
+
+class MutationEngine {
+public:
+    /// Executes one full pass of whatever suite the caller evaluates —
+    /// the engine is agnostic to *how* tests run (single-class
+    /// driver::TestRunner, interclass::SystemRunner, ...), it only needs
+    /// repeatable SuiteResults to compare.
+    using SuiteExecutor = std::function<driver::SuiteResult()>;
+
+    MutationEngine(const reflect::Registry& bindings, EngineOptions options = {});
+
+    /// Run mutation analysis of `mutants` against `suite`.  When
+    /// `probe_suite` is given it is used for equivalence probing of
+    /// survivors (see file comment).
+    [[nodiscard]] MutationRun run(const driver::TestSuite& suite,
+                                  const std::vector<Mutant>& mutants,
+                                  const driver::TestSuite* probe_suite = nullptr) const;
+
+    /// Generic variant: the caller supplies the executors (e.g. an
+    /// interclass SystemRunner closure).  `run_probe` may be empty.
+    [[nodiscard]] MutationRun run_with(const SuiteExecutor& run_suite,
+                                       const std::vector<Mutant>& mutants,
+                                       const SuiteExecutor& run_probe = {}) const;
+
+private:
+    const reflect::Registry& bindings_;
+    EngineOptions options_;
+};
+
+}  // namespace stc::mutation

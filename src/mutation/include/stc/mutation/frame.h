@@ -1,0 +1,146 @@
+// MutFrame — the per-invocation variable environment of an instrumented
+// method.
+//
+// An instrumented method body
+//   (1) constructs a MutFrame over its static MethodDescriptor,
+//   (2) binds the addresses of its locals and of the class attributes,
+//   (3) routes every non-interface variable *use* through use()/use_ptr()
+//       with the site ordinal from the descriptor.
+//
+// When the active mutant targets this method and site, use() substitutes
+// the mutated value: the bitwise negation, a required constant, or the
+// *current* value of the replacing variable read through its binding —
+// exactly what the hand-edited source of the paper's mutants computed.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <string_view>
+
+#include "stc/mutation/controller.h"
+#include "stc/mutation/descriptor.h"
+
+namespace stc::mutation {
+
+class MutFrame {
+public:
+    explicit MutFrame(const MethodDescriptor& descriptor) noexcept
+        : descriptor_(descriptor) {}
+
+    MutFrame(const MutFrame&) = delete;
+    MutFrame& operator=(const MutFrame&) = delete;
+
+    // ---- Binding ---------------------------------------------------------
+    template <std::integral T>
+    void bind(const char* name, const T* address) noexcept {
+        add_slot(name, slot_kind_for<T>(), address);
+    }
+
+    void bind(const char* name, const double* address) noexcept {
+        add_slot(name, SlotKind::F64, address);
+    }
+    void bind(const char* name, const float* address) noexcept {
+        add_slot(name, SlotKind::F32, address);
+    }
+
+    template <typename P>
+    void bind_ptr(const char* name, P* const* address) noexcept {
+        add_slot(name, SlotKind::Ptr, address);
+    }
+
+    // ---- Use sites ---------------------------------------------------------
+    /// Integral use-site: returns `value` unless the active mutant
+    /// rewrites this site.
+    template <std::integral T>
+    [[nodiscard]] T use(std::size_t site, T value) const {
+        const Mutant* m = relevant_mutant(site);
+        if (m == nullptr) return value;
+        MutationController::instance().mark_hit();
+        if (is_bitneg(m->op)) return static_cast<T>(~value);
+        if (is_repreq(m->op)) {
+            return static_cast<T>(m->replacement_const->int_value);
+        }
+        return static_cast<T>(read_int(m->replacement_var));
+    }
+
+    /// Floating-point use-site.
+    template <std::floating_point T>
+    [[nodiscard]] T use_real(std::size_t site, T value) const {
+        const Mutant* m = relevant_mutant(site);
+        if (m == nullptr) return value;
+        MutationController::instance().mark_hit();
+        if (is_repreq(m->op)) {
+            return static_cast<T>(m->replacement_const->real_value);
+        }
+        if (is_bitneg(m->op)) return value;  // not enumerated for reals
+        return static_cast<T>(read_real(m->replacement_var));
+    }
+
+    /// Pointer use-site.
+    template <typename P>
+    [[nodiscard]] P* use_ptr(std::size_t site, P* value) const {
+        const Mutant* m = relevant_mutant(site);
+        if (m == nullptr) return value;
+        MutationController::instance().mark_hit();
+        if (is_repreq(m->op)) return nullptr;  // RC for pointers is NULL
+        if (is_bitneg(m->op)) return value;    // not enumerated for pointers
+        return static_cast<P*>(read_ptr(m->replacement_var));
+    }
+
+    [[nodiscard]] const MethodDescriptor& descriptor() const noexcept {
+        return descriptor_;
+    }
+
+private:
+    enum class SlotKind : std::uint8_t { I8, I16, I32, I64, U8, U16, U32, U64, F32, F64, Ptr };
+
+    struct Slot {
+        const char* name = nullptr;
+        SlotKind kind = SlotKind::I64;
+        const void* address = nullptr;
+    };
+
+    template <std::integral T>
+    static constexpr SlotKind slot_kind_for() noexcept {
+        if constexpr (std::is_signed_v<T>) {
+            switch (sizeof(T)) {
+                case 1: return SlotKind::I8;
+                case 2: return SlotKind::I16;
+                case 4: return SlotKind::I32;
+                default: return SlotKind::I64;
+            }
+        } else {
+            switch (sizeof(T)) {
+                case 1: return SlotKind::U8;
+                case 2: return SlotKind::U16;
+                case 4: return SlotKind::U32;
+                default: return SlotKind::U64;
+            }
+        }
+    }
+
+    void add_slot(const char* name, SlotKind kind, const void* address) noexcept {
+        if (count_ < kMaxSlots) slots_[count_++] = Slot{name, kind, address};
+        // Overflow is an instrumentation bug; surfaced by find_slot below.
+    }
+
+    [[nodiscard]] const Mutant* relevant_mutant(std::size_t site) const noexcept {
+        const Mutant* m = MutationController::instance().active();
+        if (m == nullptr || m->method != &descriptor_ || m->site_index != site) {
+            return nullptr;
+        }
+        return m;
+    }
+
+    [[nodiscard]] const Slot& find_slot(std::string_view name) const;
+    [[nodiscard]] std::int64_t read_int(std::string_view name) const;
+    [[nodiscard]] double read_real(std::string_view name) const;
+    [[nodiscard]] void* read_ptr(std::string_view name) const;
+
+    static constexpr std::size_t kMaxSlots = 24;
+    const MethodDescriptor& descriptor_;
+    Slot slots_[kMaxSlots];
+    std::size_t count_ = 0;
+};
+
+}  // namespace stc::mutation

@@ -1,0 +1,108 @@
+// Mutants and the interface-mutation operators of Table 1.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stc/mutation/descriptor.h"
+
+namespace stc::mutation {
+
+/// Interface-mutation operators.  The first five — the "essential"
+/// IndVar subset on non-interface variables — are the ones used in the
+/// paper's experiments (Table 1, after Vincenzi et al.).  The DirVar
+/// group is the complementary set from Delamaro's full interface
+/// mutation: the same substitutions applied at uses of *interface*
+/// variables (formal parameters); the paper traded it away "to reduce
+/// time and cost of the mutation analysis".
+enum class Operator {
+    IndVarBitNeg,   ///< insert bitwise negation at a non-interface variable use
+    IndVarRepGlob,  ///< replace by a member of G(R2) (globals used in R2)
+    IndVarRepLoc,   ///< replace by a member of L(R2) (locals of R2)
+    IndVarRepExt,   ///< replace by a member of E(R2) (globals not used in R2)
+    IndVarRepReq,   ///< replace by a required constant (NULL, MAXINT, ...)
+    DirVarBitNeg,   ///< bitwise negation at an interface-variable use
+    DirVarRepGlob,  ///< interface variable replaced by G(R2)
+    DirVarRepLoc,   ///< interface variable replaced by L(R2)
+    DirVarRepExt,   ///< interface variable replaced by E(R2)
+    DirVarRepReq,   ///< interface variable replaced by RC
+};
+
+/// The paper's essential subset (Table 1).
+inline constexpr std::array<Operator, 5> kAllOperators = {
+    Operator::IndVarBitNeg, Operator::IndVarRepGlob, Operator::IndVarRepLoc,
+    Operator::IndVarRepExt, Operator::IndVarRepReq};
+
+/// The complementary DirVar group.
+inline constexpr std::array<Operator, 5> kDirVarOperators = {
+    Operator::DirVarBitNeg, Operator::DirVarRepGlob, Operator::DirVarRepLoc,
+    Operator::DirVarRepExt, Operator::DirVarRepReq};
+
+/// Full extended set (IndVar + DirVar).
+inline constexpr std::array<Operator, 10> kExtendedOperators = {
+    Operator::IndVarBitNeg, Operator::IndVarRepGlob, Operator::IndVarRepLoc,
+    Operator::IndVarRepExt, Operator::IndVarRepReq,  Operator::DirVarBitNeg,
+    Operator::DirVarRepGlob, Operator::DirVarRepLoc, Operator::DirVarRepExt,
+    Operator::DirVarRepReq};
+
+/// Operator classification helpers shared by enumeration and the frame.
+[[nodiscard]] constexpr bool is_dirvar(Operator op) noexcept {
+    return op >= Operator::DirVarBitNeg;
+}
+[[nodiscard]] constexpr bool is_bitneg(Operator op) noexcept {
+    return op == Operator::IndVarBitNeg || op == Operator::DirVarBitNeg;
+}
+[[nodiscard]] constexpr bool is_repreq(Operator op) noexcept {
+    return op == Operator::IndVarRepReq || op == Operator::DirVarRepReq;
+}
+
+[[nodiscard]] const char* to_string(Operator op) noexcept;
+[[nodiscard]] const char* describe(Operator op) noexcept;
+
+/// A replacement constant for IndVarRepReq.
+struct RequiredConstant {
+    TypeKey::Kind kind = TypeKey::Kind::Int;
+    std::int64_t int_value = 0;   ///< for Int
+    double real_value = 0.0;      ///< for Real
+    // Pointer constants are always null.
+    std::string label;            ///< "NULL", "MAXINT", ...
+};
+
+/// The RC set of the paper: NULL for pointers; 0, 1, -1, MAXINT, MININT
+/// for integers ("...and so on"); 0.0 and 1.0 for reals.
+[[nodiscard]] std::vector<RequiredConstant> required_constants(const TypeKey& type);
+
+/// One mutant: a (site, operator, replacement) triple within a method.
+struct Mutant {
+    const MethodDescriptor* method = nullptr;
+    std::size_t site_index = 0;
+    Operator op = Operator::IndVarBitNeg;
+    /// For Rep{Glob,Loc,Ext}: name of the replacing variable.
+    std::string replacement_var;
+    /// For RepReq: the constant.
+    std::optional<RequiredConstant> replacement_const;
+
+    /// Stable id, e.g. "CObList::AddHead@s2.IndVarRepLoc.pOldNode".
+    [[nodiscard]] std::string id() const;
+};
+
+/// Mechanically enumerate every mutant the given operators produce for
+/// one method, honoring type compatibility (the paper's hand-seeded
+/// mutants were "individually compiled, to assure that all faulty
+/// classes compiled cleanly" — type-compatible replacement is the
+/// schemata equivalent).
+[[nodiscard]] std::vector<Mutant> enumerate_mutants(
+    const MethodDescriptor& method,
+    const std::vector<Operator>& operators = {kAllOperators.begin(),
+                                              kAllOperators.end()});
+
+/// Enumerate across all registered methods of one class.
+[[nodiscard]] std::vector<Mutant> enumerate_mutants(
+    const DescriptorRegistry& registry, const std::string& class_name,
+    const std::vector<Operator>& operators = {kAllOperators.begin(),
+                                              kAllOperators.end()});
+
+}  // namespace stc::mutation

@@ -1,0 +1,65 @@
+// Rendering of mutation-analysis results in the shape of the paper's
+// Tables 2 and 3: a per-method block of mutant counts per operator,
+// followed by the per-operator footer (#mutants, #killed, #equivalent,
+// Score) with a Total column.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stc/mutation/engine.h"
+
+namespace stc::mutation {
+
+struct Tally {
+    std::size_t total = 0;
+    std::size_t killed = 0;
+    std::size_t equivalent = 0;
+
+    void add(const MutantOutcome& outcome);
+    [[nodiscard]] double score() const noexcept;
+};
+
+/// Per-method x per-operator aggregation of a MutationRun.
+class MutationTable {
+public:
+    static MutationTable build(const MutationRun& run);
+
+    /// Method order as first encountered; operator order as in Table 1.
+    [[nodiscard]] const std::vector<std::string>& methods() const noexcept {
+        return methods_;
+    }
+
+    [[nodiscard]] const Tally& cell(const std::string& method, Operator op) const;
+
+    /// Column order for rendering: the paper's five operators, plus any
+    /// DirVar operator that actually produced mutants in this run.
+    [[nodiscard]] std::vector<Operator> columns() const;
+    [[nodiscard]] Tally column_total(Operator op) const;
+    [[nodiscard]] Tally row_total(const std::string& method) const;
+    [[nodiscard]] Tally grand_total() const;
+
+    /// Paper-style rendering (Table 2/3 shape) plus a kill-reason
+    /// breakdown line reproducing the "59 of 652 kills were due to
+    /// assertion violation" accounting.
+    void render(std::ostream& os, const MutationRun& run) const;
+
+    /// Machine-readable CSV (one row per method x operator).
+    void render_csv(std::ostream& os) const;
+
+    /// Assertion-placement guidance (the concern of Voas et al.'s
+    /// ASSERT++, §5): per method, how many kills the assertion oracle
+    /// contributed versus the other channels — methods whose faults are
+    /// mostly caught by output comparison are candidates for stronger
+    /// embedded assertions.
+    static void render_assertion_guidance(std::ostream& os, const MutationRun& run);
+
+private:
+    std::vector<std::string> methods_;
+    std::map<std::pair<std::string, Operator>, Tally> cells_;
+    static const Tally kEmpty;
+};
+
+}  // namespace stc::mutation

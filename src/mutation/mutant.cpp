@@ -1,0 +1,132 @@
+#include "stc/mutation/mutant.h"
+
+#include <limits>
+
+namespace stc::mutation {
+
+const char* to_string(Operator op) noexcept {
+    switch (op) {
+        case Operator::IndVarBitNeg: return "IndVarBitNeg";
+        case Operator::IndVarRepGlob: return "IndVarRepGlob";
+        case Operator::IndVarRepLoc: return "IndVarRepLoc";
+        case Operator::IndVarRepExt: return "IndVarRepExt";
+        case Operator::IndVarRepReq: return "IndVarRepReq";
+        case Operator::DirVarBitNeg: return "DirVarBitNeg";
+        case Operator::DirVarRepGlob: return "DirVarRepGlob";
+        case Operator::DirVarRepLoc: return "DirVarRepLoc";
+        case Operator::DirVarRepExt: return "DirVarRepExt";
+        case Operator::DirVarRepReq: return "DirVarRepReq";
+    }
+    return "?";
+}
+
+const char* describe(Operator op) noexcept {
+    switch (op) {
+        case Operator::IndVarBitNeg:
+            return "Inserts bitwise negation at non-interface variable use";
+        case Operator::IndVarRepGlob:
+            return "Replaces non-interface variable by G(R2)";
+        case Operator::IndVarRepLoc:
+            return "Replaces non-interface variable by L(R2)";
+        case Operator::IndVarRepExt:
+            return "Replaces non-interface variable by E(R2)";
+        case Operator::IndVarRepReq:
+            return "Replaces non-interface variable by RC";
+        case Operator::DirVarBitNeg:
+            return "Inserts bitwise negation at interface variable use";
+        case Operator::DirVarRepGlob:
+            return "Replaces interface variable by G(R2)";
+        case Operator::DirVarRepLoc:
+            return "Replaces interface variable by L(R2)";
+        case Operator::DirVarRepExt:
+            return "Replaces interface variable by E(R2)";
+        case Operator::DirVarRepReq:
+            return "Replaces interface variable by RC";
+    }
+    return "?";
+}
+
+std::vector<RequiredConstant> required_constants(const TypeKey& type) {
+    std::vector<RequiredConstant> out;
+    switch (type.kind) {
+        case TypeKey::Kind::Int:
+            out.push_back({TypeKey::Kind::Int, 0, 0.0, "ZERO"});
+            out.push_back({TypeKey::Kind::Int, 1, 0.0, "ONE"});
+            out.push_back({TypeKey::Kind::Int, -1, 0.0, "MINUSONE"});
+            out.push_back({TypeKey::Kind::Int,
+                           std::numeric_limits<std::int32_t>::max(), 0.0, "MAXINT"});
+            out.push_back({TypeKey::Kind::Int,
+                           std::numeric_limits<std::int32_t>::min(), 0.0, "MININT"});
+            break;
+        case TypeKey::Kind::Real:
+            out.push_back({TypeKey::Kind::Real, 0, 0.0, "ZERO"});
+            out.push_back({TypeKey::Kind::Real, 0, 1.0, "ONE"});
+            break;
+        case TypeKey::Kind::Pointer:
+            out.push_back({TypeKey::Kind::Pointer, 0, 0.0, "NULL"});
+            break;
+    }
+    return out;
+}
+
+std::string Mutant::id() const {
+    std::string out = method == nullptr ? std::string("?") : method->qualified_name();
+    out += "@s" + std::to_string(site_index) + "." + to_string(op);
+    if (!replacement_var.empty()) out += "." + replacement_var;
+    if (replacement_const) out += "." + replacement_const->label;
+    return out;
+}
+
+std::vector<Mutant> enumerate_mutants(const MethodDescriptor& method,
+                                      const std::vector<Operator>& operators) {
+    std::vector<Mutant> out;
+
+    for (const SiteInfo& site : method.sites()) {
+        for (Operator op : operators) {
+            // IndVar operators act on non-interface sites, DirVar on
+            // interface (parameter) sites.
+            if (is_dirvar(op) != site.interface_site) continue;
+
+            if (is_bitneg(op)) {
+                // Bitwise negation is only meaningful (and compilable)
+                // on integral variables.
+                if (site.type.kind == TypeKey::Kind::Int) {
+                    out.push_back(Mutant{&method, site.ordinal, op, "", {}});
+                }
+                continue;
+            }
+            if (is_repreq(op)) {
+                for (const RequiredConstant& rc : required_constants(site.type)) {
+                    out.push_back(Mutant{&method, site.ordinal, op, "", rc});
+                }
+                continue;
+            }
+
+            const auto candidates =
+                (op == Operator::IndVarRepGlob || op == Operator::DirVarRepGlob)
+                    ? method.globals_used()
+                : (op == Operator::IndVarRepLoc || op == Operator::DirVarRepLoc)
+                    ? method.locals()
+                    : method.globals_unused();
+            for (const VarInfo* v : candidates) {
+                if (v->name == site.var) continue;  // identity: not a mutant
+                if (!(v->type == site.type)) continue;
+                out.push_back(Mutant{&method, site.ordinal, op, v->name, {}});
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<Mutant> enumerate_mutants(const DescriptorRegistry& registry,
+                                      const std::string& class_name,
+                                      const std::vector<Operator>& operators) {
+    std::vector<Mutant> out;
+    for (const MethodDescriptor* d : registry.for_class(class_name)) {
+        auto ms = enumerate_mutants(*d, operators);
+        out.insert(out.end(), ms.begin(), ms.end());
+    }
+    return out;
+}
+
+}  // namespace stc::mutation

@@ -1,0 +1,179 @@
+#include "stc/mutation/report.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "stc/support/strings.h"
+#include "stc/support/table.h"
+
+namespace stc::mutation {
+
+const Tally MutationTable::kEmpty{};
+
+void Tally::add(const MutantOutcome& outcome) {
+    ++total;
+    if (outcome.fate == MutantFate::Killed) ++killed;
+    if (outcome.fate == MutantFate::EquivalentPresumed) ++equivalent;
+}
+
+double Tally::score() const noexcept {
+    const std::size_t denom = total - equivalent;
+    if (denom == 0) return 1.0;
+    return static_cast<double>(killed) / static_cast<double>(denom);
+}
+
+MutationTable MutationTable::build(const MutationRun& run) {
+    MutationTable out;
+    for (const auto& outcome : run.outcomes) {
+        const std::string method = outcome.mutant->method->method_name();
+        if (std::find(out.methods_.begin(), out.methods_.end(), method) ==
+            out.methods_.end()) {
+            out.methods_.push_back(method);
+        }
+        out.cells_[{method, outcome.mutant->op}].add(outcome);
+    }
+    return out;
+}
+
+const Tally& MutationTable::cell(const std::string& method, Operator op) const {
+    const auto it = cells_.find({method, op});
+    return it == cells_.end() ? kEmpty : it->second;
+}
+
+Tally MutationTable::column_total(Operator op) const {
+    Tally out;
+    for (const auto& m : methods_) {
+        const Tally& c = cell(m, op);
+        out.total += c.total;
+        out.killed += c.killed;
+        out.equivalent += c.equivalent;
+    }
+    return out;
+}
+
+Tally MutationTable::row_total(const std::string& method) const {
+    Tally out;
+    for (Operator op : kExtendedOperators) {
+        const Tally& c = cell(method, op);
+        out.total += c.total;
+        out.killed += c.killed;
+        out.equivalent += c.equivalent;
+    }
+    return out;
+}
+
+Tally MutationTable::grand_total() const {
+    Tally out;
+    for (Operator op : kExtendedOperators) {
+        const Tally c = column_total(op);
+        out.total += c.total;
+        out.killed += c.killed;
+        out.equivalent += c.equivalent;
+    }
+    return out;
+}
+
+std::vector<Operator> MutationTable::columns() const {
+    // Paper operators always show; DirVar columns appear only when used.
+    std::vector<Operator> out(kAllOperators.begin(), kAllOperators.end());
+    for (Operator op : kDirVarOperators) {
+        if (column_total(op).total > 0) out.push_back(op);
+    }
+    return out;
+}
+
+void MutationTable::render(std::ostream& os, const MutationRun& run) const {
+    const std::vector<Operator> cols = columns();
+    std::vector<std::string> header{"Method"};
+    for (Operator op : cols) header.emplace_back(to_string(op));
+    header.emplace_back("Total");
+
+    support::TextTable table(header);
+    for (const auto& method : methods_) {
+        std::vector<std::string> row{method};
+        for (Operator op : cols) {
+            row.push_back(std::to_string(cell(method, op).total));
+        }
+        row.push_back(std::to_string(row_total(method).total));
+        table.add_row(std::move(row));
+    }
+
+    auto footer = [&](const std::string& label, auto getter) {
+        std::vector<std::string> row{label};
+        for (Operator op : cols) row.push_back(getter(column_total(op)));
+        row.push_back(getter(grand_total()));
+        table.add_footer(std::move(row));
+    };
+    footer("#mutants", [](const Tally& t) { return std::to_string(t.total); });
+    footer("#killed", [](const Tally& t) { return std::to_string(t.killed); });
+    footer("#equivalent", [](const Tally& t) { return std::to_string(t.equivalent); });
+    footer("Score", [](const Tally& t) { return support::percent(t.score()); });
+
+    table.render(os);
+
+    os << "kills by reason: crash=" << run.kills_by(oracle::KillReason::Crash)
+       << "  assertion=" << run.kills_by(oracle::KillReason::Assertion)
+       << "  output-diff=" << run.kills_by(oracle::KillReason::OutputDiff)
+       << "  manual-oracle=" << run.kills_by(oracle::KillReason::ManualOracle) << "\n";
+
+    std::size_t not_covered = 0;
+    std::size_t killed_by_probe = 0;
+    for (const auto& o : run.outcomes) {
+        not_covered += o.fate == MutantFate::NotCovered ? 1 : 0;
+        killed_by_probe += o.killed_by_probe ? 1 : 0;
+    }
+    os << "survivors: not-covered=" << not_covered
+       << "  killable-but-missed=" << killed_by_probe
+       << "  presumed-equivalent=" << run.equivalent() << "\n";
+}
+
+void MutationTable::render_csv(std::ostream& os) const {
+    support::CsvWriter csv(os);
+    csv.row({"method", "operator", "mutants", "killed", "equivalent", "score"});
+    for (const auto& method : methods_) {
+        for (Operator op : kExtendedOperators) {
+            const Tally& c = cell(method, op);
+            if (c.total == 0) continue;
+            csv.row({method, to_string(op), std::to_string(c.total),
+                     std::to_string(c.killed), std::to_string(c.equivalent),
+                     std::to_string(c.score())});
+        }
+    }
+}
+
+void MutationTable::render_assertion_guidance(std::ostream& os,
+                                               const MutationRun& run) {
+    struct PerMethod {
+        std::size_t killed = 0;
+        std::size_t by_assertion = 0;
+        std::size_t by_crash = 0;
+    };
+    std::map<std::string, PerMethod> methods;
+    for (const auto& o : run.outcomes) {
+        if (o.fate != MutantFate::Killed) continue;
+        auto& m = methods[o.mutant->method->qualified_name()];
+        ++m.killed;
+        m.by_assertion += o.reason == oracle::KillReason::Assertion ? 1 : 0;
+        m.by_crash += o.reason == oracle::KillReason::Crash ? 1 : 0;
+    }
+
+    support::TextTable table(
+        {"Method", "kills", "via assertion", "via crash", "assertion share"});
+    table.set_align(0, support::Align::Left);
+    for (const auto& [name, m] : methods) {
+        const double share = m.killed == 0
+                                 ? 0.0
+                                 : static_cast<double>(m.by_assertion) /
+                                       static_cast<double>(m.killed);
+        table.add_row({name, std::to_string(m.killed),
+                       std::to_string(m.by_assertion), std::to_string(m.by_crash),
+                       support::percent(share)});
+    }
+    table.render(os);
+    os << "(methods with a low assertion share rely on the golden-output "
+          "oracle; §5's ASSERT++ would point the producer at them for "
+          "additional embedded assertions)\n";
+}
+
+}  // namespace stc::mutation

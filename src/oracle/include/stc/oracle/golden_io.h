@@ -1,0 +1,52 @@
+// Golden-record persistence and the regression workflow.
+//
+// The paper's Table 3 scenario — "an application reuses components from
+// a commercial library, and a new release of the library substitutes the
+// old one" — is operationalized here: a consumer freezes the suite
+// (stc::driver::save_suite) and the validated baseline behaviour
+// (save_golden) of release N, then replays both against release N+1.
+// Any divergence is reported per test case with its kill-style reason.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "stc/oracle/oracle.h"
+
+namespace stc::oracle {
+
+/// Write a golden record in the line-oriented concat-golden format.
+void save_golden(std::ostream& os, const GoldenRecord& golden);
+
+/// Parse a record previously written by save_golden.  Throws stc::Error
+/// on malformed input.
+[[nodiscard]] GoldenRecord load_golden(std::istream& is);
+
+/// One behavioural difference between the frozen baseline and a new run.
+struct RegressionFinding {
+    std::string case_id;
+    KillReason reason = KillReason::None;   ///< what kind of divergence
+    driver::Verdict expected = driver::Verdict::Pass;
+    driver::Verdict observed = driver::Verdict::Pass;
+    std::string detail;                     ///< failing method / report diff hint
+};
+
+/// Replay verdict for a whole suite against a frozen golden record.
+struct RegressionReport {
+    std::vector<RegressionFinding> findings;
+    std::size_t cases_compared = 0;
+    std::size_t cases_missing = 0;  ///< golden entries with no observed result
+
+    [[nodiscard]] bool clean() const noexcept {
+        return findings.empty() && cases_missing == 0;
+    }
+    [[nodiscard]] std::string summary() const;
+};
+
+/// Compare a rerun against the frozen baseline, case by case.
+[[nodiscard]] RegressionReport compare_against_golden(
+    const GoldenRecord& golden, const driver::SuiteResult& observed,
+    const OracleConfig& config = {});
+
+}  // namespace stc::oracle

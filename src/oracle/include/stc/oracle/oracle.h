@@ -1,0 +1,89 @@
+// Oracles — deciding whether an observed run differs from the expected
+// behaviour.
+//
+// The paper uses assertions as a *partial* oracle, complemented by
+// manually derived oracles and, for the mutation experiments (§4), a
+// comparison of program outputs against the original program's outputs
+// "validated by hand before experiments began".  We model the latter as
+// a GoldenRecord captured from a baseline run; kill classification then
+// mirrors the paper's three conditions:
+//   (i)   the program crashed while running the test cases,
+//   (ii)  an exception was raised due to assertion violation (and the
+//         original program did not raise one), or
+//   (iii) the output differs from the original program's output.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stc/driver/runner.h"
+
+namespace stc::oracle {
+
+/// Expected behaviour of one test case, captured from the original
+/// (unmutated) component.
+struct GoldenEntry {
+    std::string case_id;
+    driver::Verdict verdict = driver::Verdict::Pass;
+    std::string report;   ///< Reporter output (observable object state)
+    std::string message;  ///< failure message, if the baseline itself failed
+};
+
+/// Baseline behaviour of a whole suite.
+class GoldenRecord {
+public:
+    GoldenRecord() = default;
+
+    /// Capture from a baseline SuiteResult.
+    static GoldenRecord from(const driver::SuiteResult& baseline);
+
+    [[nodiscard]] const GoldenEntry* find(const std::string& case_id) const;
+    [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+    [[nodiscard]] const std::vector<GoldenEntry>& entries() const noexcept {
+        return entries_;
+    }
+
+    /// True when the baseline is clean (every case passed) — the paper's
+    /// precondition for the mutation experiments.
+    [[nodiscard]] bool all_passed() const noexcept;
+
+private:
+    std::vector<GoldenEntry> entries_;
+};
+
+/// Why a difference was detected (also: why a mutant was killed).
+enum class KillReason { None, Crash, Assertion, OutputDiff, ManualOracle };
+
+[[nodiscard]] const char* to_string(KillReason reason) noexcept;
+
+/// Which detection channels are active.  The ablation bench toggles
+/// these to reproduce the paper's observation that assertions alone are
+/// not an effective oracle (they contributed 59 of 652 kills).
+struct OracleConfig {
+    bool use_crashes = true;
+    bool use_assertions = true;
+    bool use_output_diff = true;
+};
+
+/// A manually derived oracle (paper §3.3: "manually derived oracles are
+/// also used in complement"): inspects the observed report and returns
+/// false when the state is wrong even though no assertion fired.
+using ManualPredicate =
+    std::function<bool(const std::string& case_id, const std::string& report)>;
+
+/// Compare one observed result against its golden entry.
+[[nodiscard]] KillReason classify(const GoldenEntry& golden,
+                                  const driver::TestResult& observed,
+                                  const OracleConfig& config = {},
+                                  const ManualPredicate& manual = {});
+
+/// Compare a whole suite run; returns the first (strongest) kill reason
+/// across cases, in order Crash > Assertion > OutputDiff > ManualOracle.
+[[nodiscard]] KillReason classify_suite(const GoldenRecord& golden,
+                                        const driver::SuiteResult& observed,
+                                        const OracleConfig& config = {},
+                                        const ManualPredicate& manual = {});
+
+}  // namespace stc::oracle

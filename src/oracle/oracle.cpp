@@ -1,0 +1,96 @@
+#include "stc/oracle/oracle.h"
+
+namespace stc::oracle {
+
+GoldenRecord GoldenRecord::from(const driver::SuiteResult& baseline) {
+    GoldenRecord out;
+    out.entries_.reserve(baseline.results.size());
+    for (const auto& r : baseline.results) {
+        out.entries_.push_back(GoldenEntry{r.case_id, r.verdict, r.report, r.message});
+    }
+    return out;
+}
+
+const GoldenEntry* GoldenRecord::find(const std::string& case_id) const {
+    for (const auto& e : entries_) {
+        if (e.case_id == case_id) return &e;
+    }
+    return nullptr;
+}
+
+bool GoldenRecord::all_passed() const noexcept {
+    for (const auto& e : entries_) {
+        if (e.verdict != driver::Verdict::Pass) return false;
+    }
+    return true;
+}
+
+const char* to_string(KillReason reason) noexcept {
+    switch (reason) {
+        case KillReason::None: return "alive";
+        case KillReason::Crash: return "crash";
+        case KillReason::Assertion: return "assertion";
+        case KillReason::OutputDiff: return "output-diff";
+        case KillReason::ManualOracle: return "manual-oracle";
+    }
+    return "?";
+}
+
+KillReason classify(const GoldenEntry& golden, const driver::TestResult& observed,
+                    const OracleConfig& config, const ManualPredicate& manual) {
+    using driver::Verdict;
+
+    // (i) the program crashed while running the test cases.
+    if (config.use_crashes && observed.verdict == Verdict::Crash &&
+        golden.verdict != Verdict::Crash) {
+        return KillReason::Crash;
+    }
+
+    // (ii) an assertion violation that the original program did not raise.
+    if (config.use_assertions && observed.verdict == Verdict::AssertionViolation &&
+        golden.verdict != Verdict::AssertionViolation) {
+        return KillReason::Assertion;
+    }
+
+    // (iii) the output of the finished program differs from the original's.
+    if (config.use_output_diff) {
+        if (observed.verdict != golden.verdict || observed.report != golden.report) {
+            return KillReason::OutputDiff;
+        }
+    }
+
+    // Complementary manually derived oracle over the observable state.
+    if (manual && observed.verdict == Verdict::Pass &&
+        !manual(observed.case_id, observed.report)) {
+        return KillReason::ManualOracle;
+    }
+
+    return KillReason::None;
+}
+
+KillReason classify_suite(const GoldenRecord& golden,
+                          const driver::SuiteResult& observed,
+                          const OracleConfig& config, const ManualPredicate& manual) {
+    KillReason best = KillReason::None;
+    auto strength = [](KillReason r) {
+        switch (r) {
+            case KillReason::Crash: return 4;
+            case KillReason::Assertion: return 3;
+            case KillReason::OutputDiff: return 2;
+            case KillReason::ManualOracle: return 1;
+            case KillReason::None: return 0;
+        }
+        return 0;
+    };
+
+    for (const auto& result : observed.results) {
+        const GoldenEntry* entry = golden.find(result.case_id);
+        if (entry == nullptr) continue;  // new case: nothing to compare against
+        const KillReason r = classify(*entry, result, config, manual);
+        if (strength(r) > strength(best)) best = r;
+        if (best == KillReason::Crash) break;  // cannot get stronger
+    }
+    return best;
+}
+
+}  // namespace stc::oracle

@@ -1,0 +1,89 @@
+#include "stc/reflect/class_binding.h"
+
+namespace stc::reflect {
+
+void ClassBinding::add_constructor(std::size_t arity, Factory factory) {
+    constructors_[arity] = std::move(factory);
+}
+
+void ClassBinding::add_method(const std::string& name, std::size_t arity,
+                              Invoker invoker) {
+    methods_[{name, arity}] = std::move(invoker);
+}
+
+void ClassBinding::set_destructor(Deleter deleter) { deleter_ = std::move(deleter); }
+
+void ClassBinding::set_bit_caster(BitCaster caster) { bit_caster_ = std::move(caster); }
+
+void ClassBinding::set_state_setter(StateSetter setter) {
+    state_setter_ = std::move(setter);
+}
+
+void ClassBinding::apply_state(void* object, const std::string& state) const {
+    if (!state_setter_) {
+        throw ReflectError("class '" + name_ + "' has no set/reset capability");
+    }
+    state_setter_(object, state);
+}
+
+bool ClassBinding::has_constructor(std::size_t arity) const {
+    return constructors_.count(arity) != 0;
+}
+
+bool ClassBinding::has_method(const std::string& name, std::size_t arity) const {
+    return methods_.count({name, arity}) != 0;
+}
+
+void* ClassBinding::construct(const Args& args) const {
+    const auto it = constructors_.find(args.size());
+    if (it == constructors_.end()) {
+        throw ReflectError("class '" + name_ + "' has no constructor of arity " +
+                           std::to_string(args.size()));
+    }
+    return it->second(args);
+}
+
+Value ClassBinding::invoke(void* object, const std::string& method,
+                           const Args& args) const {
+    const auto it = methods_.find({method, args.size()});
+    if (it == methods_.end()) {
+        throw ReflectError("class '" + name_ + "' has no method " + method + "/" +
+                           std::to_string(args.size()));
+    }
+    return it->second(object, args);
+}
+
+void ClassBinding::destroy(void* object) const {
+    if (!deleter_) throw ReflectError("class '" + name_ + "' has no destructor bound");
+    deleter_(object);
+}
+
+bit::BuiltInTest* ClassBinding::as_bit(void* object) const {
+    if (!bit_caster_) return nullptr;
+    return bit_caster_(object);
+}
+
+std::vector<std::pair<std::string, std::size_t>> ClassBinding::methods() const {
+    std::vector<std::pair<std::string, std::size_t>> out;
+    out.reserve(methods_.size());
+    for (const auto& [key, _] : methods_) out.push_back(key);
+    return out;
+}
+
+void Registry::add(ClassBinding binding) {
+    const std::string name = binding.name();
+    bindings_.insert_or_assign(name, std::move(binding));
+}
+
+const ClassBinding* Registry::find(const std::string& name) const {
+    const auto it = bindings_.find(name);
+    return it == bindings_.end() ? nullptr : &it->second;
+}
+
+const ClassBinding& Registry::at(const std::string& name) const {
+    const ClassBinding* b = find(name);
+    if (b == nullptr) throw ReflectError("no binding registered for class '" + name + "'");
+    return *b;
+}
+
+}  // namespace stc::reflect

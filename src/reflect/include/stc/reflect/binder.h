@@ -1,0 +1,237 @@
+// Typed registration helpers: turn member-function pointers into the
+// untyped invoker thunks of ClassBinding.
+//
+// Usage (component producer side):
+//
+//   auto binding = stc::reflect::Binder<Product>("Product")
+//       .ctor<>()                                  // Product()
+//       .ctor<int, const char*, float, Provider*>()
+//       .method("UpdateQty", &Product::UpdateQty)
+//       .method("RemoveProduct", &Product::RemoveProduct)
+//       .take();
+//
+// Argument conversion: Int -> integral, Real/Int -> floating point,
+// String -> std::string / const char* / char*, Pointer/Object -> T*.
+// Return conversion is the inverse; void maps to an empty Value.
+#pragma once
+
+#include <concepts>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "stc/reflect/class_binding.h"
+
+namespace stc::reflect {
+
+namespace detail {
+
+/// Per-parameter conversion: Holder keeps storage alive for the call
+/// (e.g. std::string backing a char* parameter).
+template <typename A>
+struct ArgTraits;
+
+template <std::integral A>
+struct ArgTraits<A> {
+    using Holder = A;
+    static Holder make(const Value& v) { return static_cast<A>(v.as_int()); }
+    static A get(Holder& h) { return h; }
+};
+
+template <std::floating_point A>
+struct ArgTraits<A> {
+    using Holder = A;
+    static Holder make(const Value& v) { return static_cast<A>(v.as_number()); }
+    static A get(Holder& h) { return h; }
+};
+
+template <>
+struct ArgTraits<std::string> {
+    using Holder = std::string;
+    static Holder make(const Value& v) { return v.as_string(); }
+    static std::string get(Holder& h) { return h; }
+};
+
+template <>
+struct ArgTraits<const char*> {
+    using Holder = std::string;
+    static Holder make(const Value& v) { return v.as_string(); }
+    static const char* get(Holder& h) { return h.c_str(); }
+};
+
+template <>
+struct ArgTraits<char*> {
+    using Holder = std::string;
+    static Holder make(const Value& v) { return v.as_string(); }
+    static char* get(Holder& h) { return h.data(); }
+};
+
+template <typename P>
+struct ArgTraits<P*> {
+    using Holder = P*;
+    static Holder make(const Value& v) { return static_cast<P*>(v.as_object().ptr); }
+    static P* get(Holder& h) { return h; }
+};
+
+/// Return-value conversion.
+inline Value to_value() { return Value{}; }
+
+template <typename R>
+Value to_value(R&& r) {
+    using D = std::decay_t<R>;
+    if constexpr (std::is_same_v<D, bool>) {
+        return Value::make_int(r ? 1 : 0);
+    } else if constexpr (std::is_integral_v<D>) {
+        return Value::make_int(static_cast<std::int64_t>(r));
+    } else if constexpr (std::is_floating_point_v<D>) {
+        return Value::make_real(static_cast<double>(r));
+    } else if constexpr (std::is_same_v<D, std::string> ||
+                         std::is_same_v<D, const char*> || std::is_same_v<D, char*>) {
+        return Value::make_string(std::string(r));
+    } else if constexpr (std::is_pointer_v<D>) {
+        return Value::make_pointer(const_cast<void*>(static_cast<const void*>(r)));
+    } else {
+        static_assert(std::is_pointer_v<D>,
+                      "unsupported return type for reflection binding");
+        return Value{};
+    }
+}
+
+template <typename... As, std::size_t... I>
+auto make_holders(const Args& args, std::index_sequence<I...>) {
+    return std::tuple<typename ArgTraits<std::decay_t<As>>::Holder...>{
+        ArgTraits<std::decay_t<As>>::make(args[I])...};
+}
+
+}  // namespace detail
+
+/// Fluent typed binder for class T.
+template <typename T>
+class Binder {
+public:
+    explicit Binder(std::string name) : binding_(std::move(name)) {
+        binding_.set_destructor([](void* p) { delete static_cast<T*>(p); });
+        if constexpr (std::is_base_of_v<bit::BuiltInTest, T>) {
+            binding_.set_bit_caster([](void* p) -> bit::BuiltInTest* {
+                return static_cast<T*>(p);
+            });
+        }
+    }
+
+    /// Register a constructor taking As... .
+    template <typename... As>
+    Binder& ctor() {
+        binding_.add_constructor(sizeof...(As), [](const Args& args) -> void* {
+            if (args.size() != sizeof...(As)) {
+                throw ReflectError("constructor arity mismatch");
+            }
+            auto holders =
+                detail::make_holders<As...>(args, std::index_sequence_for<As...>{});
+            return std::apply(
+                [](auto&... hs) -> void* {
+                    return new T(detail::ArgTraits<std::decay_t<As>>::get(hs)...);
+                },
+                holders);
+        });
+        return *this;
+    }
+
+    /// Register a (possibly overloaded, possibly inherited) member
+    /// function under `name`.  Overloads cover const and noexcept
+    /// qualifications; `B` may be any base of T (inherited methods are
+    /// bound as the derived class's — exactly the reuse situation of
+    /// §3.4.2).
+    template <typename R, typename B, typename... As>
+        requires std::derived_from<T, B>
+    Binder& method(const std::string& name, R (B::*fn)(As...)) {
+        return method_impl<R, As...>(
+            name, [fn](T* obj, As... as) -> R { return (obj->*fn)(as...); });
+    }
+
+    template <typename R, typename B, typename... As>
+        requires std::derived_from<T, B>
+    Binder& method(const std::string& name, R (B::*fn)(As...) const) {
+        return method_impl<R, As...>(
+            name, [fn](T* obj, As... as) -> R { return (obj->*fn)(as...); });
+    }
+
+    template <typename R, typename B, typename... As>
+        requires std::derived_from<T, B>
+    Binder& method(const std::string& name, R (B::*fn)(As...) noexcept) {
+        return method_impl<R, As...>(
+            name, [fn](T* obj, As... as) -> R { return (obj->*fn)(as...); });
+    }
+
+    template <typename R, typename B, typename... As>
+        requires std::derived_from<T, B>
+    Binder& method(const std::string& name, R (B::*fn)(As...) const noexcept) {
+        return method_impl<R, As...>(
+            name, [fn](T* obj, As... as) -> R { return (obj->*fn)(as...); });
+    }
+
+    /// Register a hand-written invoker.  This is how a tester "completes"
+    /// methods whose parameters cannot be generated (e.g. a POSITION into
+    /// the live list: the wrapper derives it from an index argument) —
+    /// the programmatic equivalent of the paper's manual completion of
+    /// structured parameters (§3.4.1).
+    Binder& custom(const std::string& name, std::size_t arity,
+                   std::function<Value(T&, const Args&)> fn) {
+        binding_.add_method(name, arity,
+                            [fn = std::move(fn)](void* obj, const Args& args) -> Value {
+                                return fn(*static_cast<T*>(obj), args);
+                            });
+        return *this;
+    }
+
+    /// Register the set/reset capability (§3.3): `fn(object, state)`
+    /// puts the object into the named predefined internal state.
+    Binder& state_setter(std::function<void(T&, const std::string&)> fn) {
+        binding_.set_state_setter(
+            [fn = std::move(fn)](void* obj, const std::string& state) {
+                fn(*static_cast<T*>(obj), state);
+            });
+        return *this;
+    }
+
+    /// Consume the accumulated binding.
+    [[nodiscard]] ClassBinding take() { return std::move(binding_); }
+
+private:
+    template <typename R, typename... As, typename F>
+    Binder& method_impl(const std::string& name, F f) {
+        binding_.add_method(name, sizeof...(As),
+                            [f = std::move(f)](void* obj, const Args& args) -> Value {
+                                return call_free<R, As...>(f, static_cast<T*>(obj),
+                                                           args);
+                            });
+        return *this;
+    }
+
+    template <typename R, typename... As, typename F>
+    static Value call_free(F&& f, T* obj, const Args& args) {
+        if (args.size() != sizeof...(As)) {
+            throw ReflectError("method arity mismatch");
+        }
+        auto holders =
+            detail::make_holders<As...>(args, std::index_sequence_for<As...>{});
+        if constexpr (std::is_void_v<R>) {
+            std::apply(
+                [&](auto&... hs) {
+                    f(obj, detail::ArgTraits<std::decay_t<As>>::get(hs)...);
+                },
+                holders);
+            return Value{};
+        } else {
+            return detail::to_value(std::apply(
+                [&](auto&... hs) -> R {
+                    return f(obj, detail::ArgTraits<std::decay_t<As>>::get(hs)...);
+                },
+                holders));
+        }
+    }
+
+    ClassBinding binding_;
+};
+
+}  // namespace stc::reflect

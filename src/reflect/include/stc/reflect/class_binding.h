@@ -1,0 +1,105 @@
+// Reflection substitute.
+//
+// The paper's Concat tool generates C++ *source* drivers because the
+// language has no reflection.  This module provides the complementary
+// runtime path: a component producer registers invoker thunks for each
+// constructor/method named in the t-spec, and the driver executes
+// generated test cases in-process through them.  (The source-generating
+// path of the paper lives in stc::codegen.)
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stc/bit/built_in_test.h"
+#include "stc/domain/value.h"
+#include "stc/support/error.h"
+
+namespace stc::reflect {
+
+using domain::Value;
+using Args = std::vector<Value>;
+
+/// Untyped call surface of one class: constructors by arity, methods by
+/// (name, arity), a destructor, and a cast to the BIT interface.
+class ClassBinding {
+public:
+    using Invoker = std::function<Value(void*, const Args&)>;
+    using Factory = std::function<void*(const Args&)>;
+    using Deleter = std::function<void(void*)>;
+    using BitCaster = std::function<bit::BuiltInTest*(void*)>;
+    /// The set/reset capability of §3.3: put an object into a named
+    /// predefined internal state, independent of its current state.
+    using StateSetter = std::function<void(void*, const std::string&)>;
+
+    ClassBinding() = default;
+    explicit ClassBinding(std::string name) : name_(std::move(name)) {}
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    void add_constructor(std::size_t arity, Factory factory);
+    void add_method(const std::string& name, std::size_t arity, Invoker invoker);
+    void set_destructor(Deleter deleter);
+    void set_bit_caster(BitCaster caster);
+    void set_state_setter(StateSetter setter);
+
+    [[nodiscard]] bool has_constructor(std::size_t arity) const;
+    [[nodiscard]] bool has_method(const std::string& name, std::size_t arity) const;
+
+    /// Create an instance using the constructor whose arity matches
+    /// args.size().  Throws ReflectError when none is registered.
+    [[nodiscard]] void* construct(const Args& args) const;
+
+    /// Invoke a method by name/arity.  Throws ReflectError when unknown.
+    Value invoke(void* object, const std::string& method, const Args& args) const;
+
+    /// Destroy an instance created by construct().
+    void destroy(void* object) const;
+
+    /// View the object through the BIT interface; null when the class did
+    /// not register a caster (i.e. is not self-testable).
+    [[nodiscard]] bit::BuiltInTest* as_bit(void* object) const;
+
+    /// Apply a named predefined state (set/reset capability).  Throws
+    /// ReflectError when the class registered no state setter; the
+    /// setter itself should throw for unknown state names.
+    void apply_state(void* object, const std::string& state) const;
+    [[nodiscard]] bool has_state_setter() const noexcept {
+        return static_cast<bool>(state_setter_);
+    }
+
+    /// Registered method (name, arity) pairs, for introspection tests.
+    [[nodiscard]] std::vector<std::pair<std::string, std::size_t>> methods() const;
+
+private:
+    std::string name_;
+    std::map<std::size_t, Factory> constructors_;
+    std::map<std::pair<std::string, std::size_t>, Invoker> methods_;
+    Deleter deleter_;
+    BitCaster bit_caster_;
+    StateSetter state_setter_;
+};
+
+/// Name -> binding registry handed to the driver.  An explicit object
+/// (not a global): each test session owns its registry.
+class Registry {
+public:
+    /// Register a binding; replaces any previous binding of the same name.
+    void add(ClassBinding binding);
+
+    [[nodiscard]] const ClassBinding* find(const std::string& name) const;
+
+    /// Throwing lookup.
+    [[nodiscard]] const ClassBinding& at(const std::string& name) const;
+
+    [[nodiscard]] std::size_t size() const noexcept { return bindings_.size(); }
+
+private:
+    std::map<std::string, ClassBinding> bindings_;
+};
+
+}  // namespace stc::reflect

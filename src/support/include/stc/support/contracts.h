@@ -1,0 +1,35 @@
+// Lightweight Expects/Ensures contracts for framework-internal invariants
+// (C++ Core Guidelines I.6/I.8 style).  These guard Concat's own code.
+//
+// They are distinct from the component-level assertion macros in
+// stc/bit/assertions.h, which implement the paper's ClassInvariant /
+// PreCondition / PostCondition oracle and throw AssertionViolation.
+#pragma once
+
+#include <string>
+
+#include "stc/support/error.h"
+
+namespace stc::support {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+    throw ContractError(std::string(kind) + " failed: " + expr + " at " + file +
+                        ":" + std::to_string(line));
+}
+
+}  // namespace stc::support
+
+#define STC_EXPECTS(expr)                                                     \
+    do {                                                                      \
+        if (!(expr))                                                          \
+            ::stc::support::contract_failure("Expects", #expr, __FILE__,      \
+                                             __LINE__);                       \
+    } while (false)
+
+#define STC_ENSURES(expr)                                                     \
+    do {                                                                      \
+        if (!(expr))                                                          \
+            ::stc::support::contract_failure("Ensures", #expr, __FILE__,      \
+                                             __LINE__);                       \
+    } while (false)

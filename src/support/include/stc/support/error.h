@@ -1,0 +1,68 @@
+// Error hierarchy shared by all Concat modules.
+//
+// Framework misuse and model inconsistencies are reported as exceptions
+// derived from stc::Error.  Test verdicts are never exceptions: the test
+// runner (stc::driver) converts every throw raised by a component under
+// test into a verdict, mirroring the try/catch structure of the drivers
+// the paper's Concat tool generates (Fig. 6).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace stc {
+
+/// Base class for all errors raised by the Concat framework itself.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a t-spec or TFM fails semantic validation.
+class SpecError : public Error {
+public:
+    explicit SpecError(const std::string& what) : Error("spec error: " + what) {}
+};
+
+/// Raised when the t-spec text cannot be parsed.
+class ParseError : public Error {
+public:
+    ParseError(const std::string& what, int line, int column)
+        : Error("parse error at " + std::to_string(line) + ":" +
+                std::to_string(column) + ": " + what),
+          line_(line),
+          column_(column) {}
+
+    [[nodiscard]] int line() const noexcept { return line_; }
+    [[nodiscard]] int column() const noexcept { return column_; }
+
+private:
+    int line_;
+    int column_;
+};
+
+/// Raised when reflection lookup fails (unknown class/method/arity).
+class ReflectError : public Error {
+public:
+    explicit ReflectError(const std::string& what) : Error("reflect error: " + what) {}
+};
+
+/// Raised on framework-internal contract violations (bugs in Concat, not
+/// in the component under test).
+class ContractError : public Error {
+public:
+    explicit ContractError(const std::string& what) : Error("contract violation: " + what) {}
+};
+
+/// Marker base for conditions that in the paper's experiments crashed the
+/// whole test process (e.g. a mutated pointer corrupting the list).  Our
+/// substrates detect such corruption (pool-validated node dereferences)
+/// and throw a CrashSignal subclass instead, so one in-process harness can
+/// survive thousands of mutants while the mutation engine still counts
+/// the event as "the program crashed" — the paper's kill condition (i).
+class CrashSignal : public Error {
+public:
+    explicit CrashSignal(const std::string& what) : Error("crash: " + what) {}
+};
+
+}  // namespace stc

@@ -1,0 +1,55 @@
+// Indentation-aware text emitter used by stc::codegen to produce the
+// driver source files of the paper's Figures 6 and 7.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace stc::support {
+
+/// Accumulates lines of text with automatic indentation management.
+class IndentWriter {
+public:
+    explicit IndentWriter(int spaces_per_level = 4)
+        : spaces_per_level_(spaces_per_level) {}
+
+    /// Emit one line at the current indentation. An empty argument emits a
+    /// blank line (no trailing spaces).
+    void line(std::string_view text = {}) {
+        if (!text.empty()) {
+            out_ << std::string(static_cast<std::size_t>(level_) *
+                                    static_cast<std::size_t>(spaces_per_level_),
+                                ' ')
+                 << text;
+        }
+        out_ << '\n';
+    }
+
+    /// Emit a line then indent subsequent lines (e.g. "...{").
+    void open(std::string_view text) {
+        line(text);
+        ++level_;
+    }
+
+    /// Outdent then emit a closing line (e.g. "}").
+    void close(std::string_view text) {
+        if (level_ > 0) --level_;
+        line(text);
+    }
+
+    void indent() { ++level_; }
+    void outdent() {
+        if (level_ > 0) --level_;
+    }
+
+    [[nodiscard]] std::string str() const { return out_.str(); }
+    [[nodiscard]] int level() const noexcept { return level_; }
+
+private:
+    std::ostringstream out_;
+    int spaces_per_level_;
+    int level_ = 0;
+};
+
+}  // namespace stc::support

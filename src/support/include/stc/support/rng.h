@@ -1,0 +1,79 @@
+// Deterministic random number generation.
+//
+// All randomness in Concat (random parameter-value selection, §3.4.1 of
+// the paper) flows through a seeded Pcg32 so that every test-generation
+// run and every benchmark table is bit-reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace stc::support {
+
+/// PCG-XSH-RR 64/32 — small, fast, statistically solid PRNG.
+/// Satisfies std::uniform_random_bit_generator.
+class Pcg32 {
+public:
+    using result_type = std::uint32_t;
+
+    explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                   std::uint64_t stream = 0xda3e39cb94b95bdbULL) noexcept {
+        state_ = 0;
+        inc_ = (stream << 1u) | 1u;
+        next();
+        state_ += seed;
+        next();
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    result_type operator()() noexcept { return next(); }
+
+    /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+    std::int64_t uniform(std::int64_t lo, std::int64_t hi) noexcept {
+        const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+        if (span == 0) {  // full 64-bit span
+            return static_cast<std::int64_t>(next64());
+        }
+        return lo + static_cast<std::int64_t>(next64() % span);
+    }
+
+    /// Uniform real in [lo, hi).
+    double uniform_real(double lo, double hi) noexcept {
+        // 53 random bits -> [0,1)
+        const auto bits = next64() >> 11u;
+        const double unit = static_cast<double>(bits) * 0x1.0p-53;
+        return lo + unit * (hi - lo);
+    }
+
+    /// Uniform index in [0, n). Requires n > 0.
+    std::size_t index(std::size_t n) noexcept {
+        return static_cast<std::size_t>(next64() % n);
+    }
+
+    /// Bernoulli trial with probability p of true.
+    bool chance(double p) noexcept { return uniform_real(0.0, 1.0) < p; }
+
+private:
+    result_type next() noexcept {
+        const std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        const auto xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        const auto rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+    }
+
+    std::uint64_t next64() noexcept {
+        const std::uint64_t hi = next();
+        return (hi << 32u) | next();
+    }
+
+    std::uint64_t state_;
+    std::uint64_t inc_;
+};
+
+}  // namespace stc::support

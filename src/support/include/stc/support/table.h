@@ -1,0 +1,62 @@
+// Plain-text table rendering in the style of the paper's Tables 1-3.
+//
+// Benches use this to print per-method x per-operator mutation results
+// with aligned columns, separator rules, and a footer block (#mutants,
+// #killed, #equivalent, Score).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace stc::support {
+
+/// Column alignment within a rendered table.
+enum class Align { Left, Right };
+
+/// A simple monospace table: header row, body rows, optional footer rows
+/// separated from the body by a rule.
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /// Append a body row; must have the same arity as the header.
+    void add_row(std::vector<std::string> row);
+
+    /// Append a footer row (rendered below a separator rule).
+    void add_footer(std::vector<std::string> row);
+
+    /// Set alignment for one column (default: first column Left, rest Right).
+    void set_align(std::size_t column, Align align);
+
+    /// Render with box-drawing rules to the stream.
+    void render(std::ostream& os) const;
+
+    [[nodiscard]] std::size_t columns() const noexcept { return header_.size(); }
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+private:
+    void render_row(std::ostream& os, const std::vector<std::string>& row,
+                    const std::vector<std::size_t>& widths) const;
+    static void render_rule(std::ostream& os, const std::vector<std::size_t>& widths);
+
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::vector<std::string>> footers_;
+    std::vector<Align> align_;
+};
+
+/// CSV rendering of the same data (for post-processing the bench output).
+class CsvWriter {
+public:
+    explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+    void row(const std::vector<std::string>& cells);
+
+private:
+    static std::string escape(const std::string& cell);
+    std::ostream& os_;
+};
+
+}  // namespace stc::support

@@ -1,0 +1,92 @@
+#include "stc/support/strings.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace stc::support {
+
+std::string trim(std::string_view s) {
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+    return std::string(s.substr(b, e - b));
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == sep) {
+            out.emplace_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i != 0) out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string to_lower(std::string_view s) {
+    std::string out(s);
+    for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+    return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+    return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string replace_all(std::string s, std::string_view from, std::string_view to) {
+    if (from.empty()) return s;
+    std::size_t pos = 0;
+    while ((pos = s.find(from, pos)) != std::string::npos) {
+        s.replace(pos, from.size(), to);
+        pos += to.size();
+    }
+    return s;
+}
+
+std::string cpp_string_literal(std::string_view s) {
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\x%02x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string percent(double ratio) {
+    if (std::isnan(ratio)) return "n/a";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f%%", ratio * 100.0);
+    return buf;
+}
+
+}  // namespace stc::support

@@ -1,0 +1,92 @@
+#include "stc/support/table.h"
+
+#include "stc/support/contracts.h"
+
+namespace stc::support {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+    STC_EXPECTS(!header_.empty());
+    align_.assign(header_.size(), Align::Right);
+    align_[0] = Align::Left;
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+    STC_EXPECTS(row.size() == header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void TextTable::add_footer(std::vector<std::string> row) {
+    STC_EXPECTS(row.size() == header_.size());
+    footers_.push_back(std::move(row));
+}
+
+void TextTable::set_align(std::size_t column, Align align) {
+    STC_EXPECTS(column < align_.size());
+    align_[column] = align;
+}
+
+void TextTable::render_rule(std::ostream& os, const std::vector<std::size_t>& widths) {
+    os << '+';
+    for (std::size_t w : widths) {
+        for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+        os << '+';
+    }
+    os << '\n';
+}
+
+void TextTable::render_row(std::ostream& os, const std::vector<std::string>& row,
+                           const std::vector<std::size_t>& widths) const {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+        const std::size_t pad = widths[c] - row[c].size();
+        os << ' ';
+        if (align_[c] == Align::Right) os << std::string(pad, ' ');
+        os << row[c];
+        if (align_[c] == Align::Left) os << std::string(pad, ' ');
+        os << " |";
+    }
+    os << '\n';
+}
+
+void TextTable::render(std::ostream& os) const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (row[c].size() > widths[c]) widths[c] = row[c].size();
+        }
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+    for (const auto& r : footers_) widen(r);
+
+    render_rule(os, widths);
+    render_row(os, header_, widths);
+    render_rule(os, widths);
+    for (const auto& r : rows_) render_row(os, r, widths);
+    if (!footers_.empty()) {
+        render_rule(os, widths);
+        for (const auto& r : footers_) render_row(os, r, widths);
+    }
+    render_rule(os, widths);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i != 0) os_ << ',';
+        os_ << escape(cells[i]);
+    }
+    os_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"') out += "\"\"";
+        else out += c;
+    }
+    out += '"';
+    return out;
+}
+
+}  // namespace stc::support

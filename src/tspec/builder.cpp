@@ -1,0 +1,173 @@
+#include "stc/tspec/builder.h"
+
+#include <map>
+
+#include "stc/support/error.h"
+
+namespace stc::tspec {
+
+SpecBuilder::SpecBuilder(std::string class_name) {
+    spec_.class_name = std::move(class_name);
+}
+
+SpecBuilder& SpecBuilder::abstract(bool value) {
+    spec_.is_abstract = value;
+    return *this;
+}
+
+SpecBuilder& SpecBuilder::superclass(std::string name) {
+    spec_.superclass = std::move(name);
+    return *this;
+}
+
+SpecBuilder& SpecBuilder::source_file(std::string path) {
+    spec_.source_files.push_back(std::move(path));
+    return *this;
+}
+
+SpecBuilder& SpecBuilder::attr_range(std::string name, std::int64_t lo, std::int64_t hi) {
+    spec_.attributes.push_back(
+        TypedSlot{std::move(name), TypeTag::Range, domain::int_range(lo, hi), ""});
+    return *this;
+}
+
+SpecBuilder& SpecBuilder::attr_real_range(std::string name, double lo, double hi) {
+    spec_.attributes.push_back(
+        TypedSlot{std::move(name), TypeTag::Range, domain::real_range(lo, hi), ""});
+    return *this;
+}
+
+SpecBuilder& SpecBuilder::attr_string(std::string name, std::size_t min_len,
+                                      std::size_t max_len) {
+    spec_.attributes.push_back(TypedSlot{std::move(name), TypeTag::String,
+                                         domain::string_domain(min_len, max_len), ""});
+    return *this;
+}
+
+SpecBuilder& SpecBuilder::attr_pointer(std::string name, std::string class_name) {
+    spec_.attributes.push_back(
+        TypedSlot{std::move(name), TypeTag::Pointer, nullptr, std::move(class_name)});
+    return *this;
+}
+
+SpecBuilder& SpecBuilder::attr_object(std::string name, std::string class_name) {
+    spec_.attributes.push_back(
+        TypedSlot{std::move(name), TypeTag::Object, nullptr, std::move(class_name)});
+    return *this;
+}
+
+SpecBuilder& SpecBuilder::attr_set(std::string name, std::vector<domain::Value> values) {
+    spec_.attributes.push_back(TypedSlot{std::move(name), TypeTag::Set,
+                                         domain::value_set(std::move(values)), ""});
+    return *this;
+}
+
+SpecBuilder& SpecBuilder::method(std::string id, std::string name,
+                                 MethodCategory category, std::string return_type) {
+    MethodSpec m;
+    m.id = std::move(id);
+    m.name = std::move(name);
+    m.category = category;
+    m.return_type = std::move(return_type);
+    spec_.methods.push_back(std::move(m));
+    return *this;
+}
+
+MethodSpec& SpecBuilder::current_method() {
+    if (spec_.methods.empty()) {
+        throw SpecError("parameter added before any method()");
+    }
+    return spec_.methods.back();
+}
+
+SpecBuilder& SpecBuilder::add_param(TypedSlot slot) {
+    current_method().parameters.push_back(std::move(slot));
+    return *this;
+}
+
+SpecBuilder& SpecBuilder::param_range(std::string name, std::int64_t lo, std::int64_t hi) {
+    return add_param(
+        TypedSlot{std::move(name), TypeTag::Range, domain::int_range(lo, hi), ""});
+}
+
+SpecBuilder& SpecBuilder::param_real_range(std::string name, double lo, double hi) {
+    return add_param(
+        TypedSlot{std::move(name), TypeTag::Range, domain::real_range(lo, hi), ""});
+}
+
+SpecBuilder& SpecBuilder::param_string(std::string name, std::size_t min_len,
+                                       std::size_t max_len) {
+    return add_param(TypedSlot{std::move(name), TypeTag::String,
+                               domain::string_domain(min_len, max_len), ""});
+}
+
+SpecBuilder& SpecBuilder::param_string_set(std::string name,
+                                           std::vector<std::string> values) {
+    std::vector<domain::Value> vs;
+    vs.reserve(values.size());
+    for (auto& s : values) vs.push_back(domain::Value::make_string(std::move(s)));
+    return add_param(
+        TypedSlot{std::move(name), TypeTag::String, domain::value_set(std::move(vs)), ""});
+}
+
+SpecBuilder& SpecBuilder::param_int_set(std::string name,
+                                        std::vector<std::int64_t> values) {
+    std::vector<domain::Value> vs;
+    vs.reserve(values.size());
+    for (auto v : values) vs.push_back(domain::Value::make_int(v));
+    return add_param(
+        TypedSlot{std::move(name), TypeTag::Set, domain::value_set(std::move(vs)), ""});
+}
+
+SpecBuilder& SpecBuilder::param_pointer(std::string name, std::string class_name) {
+    return add_param(
+        TypedSlot{std::move(name), TypeTag::Pointer, nullptr, std::move(class_name)});
+}
+
+SpecBuilder& SpecBuilder::param_object(std::string name, std::string class_name) {
+    return add_param(
+        TypedSlot{std::move(name), TypeTag::Object, nullptr, std::move(class_name)});
+}
+
+SpecBuilder& SpecBuilder::template_param(std::string name,
+                                         std::vector<std::string> types) {
+    spec_.template_bindings[std::move(name)] = std::move(types);
+    return *this;
+}
+
+SpecBuilder& SpecBuilder::state(std::string name) {
+    spec_.states.push_back(std::move(name));
+    return *this;
+}
+
+SpecBuilder& SpecBuilder::node(std::string id, bool is_start,
+                               std::vector<std::string> method_ids) {
+    NodeSpec n;
+    n.id = std::move(id);
+    n.is_start = is_start;
+    n.declared_out_degree = 0;  // filled in by build()
+    n.method_ids = std::move(method_ids);
+    spec_.nodes.push_back(std::move(n));
+    return *this;
+}
+
+SpecBuilder& SpecBuilder::edge(std::string from, std::string to) {
+    spec_.edges.push_back(EdgeSpec{std::move(from), std::move(to)});
+    return *this;
+}
+
+ComponentSpec SpecBuilder::build() const {
+    ComponentSpec out = build_unchecked();
+    out.ensure_valid();
+    return out;
+}
+
+ComponentSpec SpecBuilder::build_unchecked() const {
+    ComponentSpec out = spec_;
+    std::map<std::string, int> out_degree;
+    for (const auto& e : out.edges) ++out_degree[e.from];
+    for (auto& n : out.nodes) n.declared_out_degree = out_degree[n.id];
+    return out;
+}
+
+}  // namespace stc::tspec

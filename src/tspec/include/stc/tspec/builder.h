@@ -1,0 +1,74 @@
+// Fluent builder for ComponentSpec — the programmatic alternative to
+// writing t-spec text.  Component producers embed a t-spec into their
+// component either as text (parsed with parse_tspec) or by constructing
+// it with this builder.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stc/tspec/model.h"
+
+namespace stc::tspec {
+
+/// Builds a ComponentSpec incrementally.  Methods return *this for
+/// chaining.  Parameter helpers attach to the most recently added
+/// method.  build() derives the declared node out-degrees from the edges
+/// and semantically validates the result.
+class SpecBuilder {
+public:
+    explicit SpecBuilder(std::string class_name);
+
+    SpecBuilder& abstract(bool value = true);
+    SpecBuilder& superclass(std::string name);
+    SpecBuilder& source_file(std::string path);
+
+    // -- Attributes ----------------------------------------------------
+    SpecBuilder& attr_range(std::string name, std::int64_t lo, std::int64_t hi);
+    SpecBuilder& attr_real_range(std::string name, double lo, double hi);
+    SpecBuilder& attr_string(std::string name, std::size_t min_len, std::size_t max_len);
+    SpecBuilder& attr_pointer(std::string name, std::string class_name);
+    SpecBuilder& attr_object(std::string name, std::string class_name);
+    SpecBuilder& attr_set(std::string name, std::vector<domain::Value> values);
+
+    // -- Methods and parameters -----------------------------------------
+    /// Start a new method; subsequent param_* calls attach to it.
+    SpecBuilder& method(std::string id, std::string name, MethodCategory category,
+                        std::string return_type = {});
+
+    SpecBuilder& param_range(std::string name, std::int64_t lo, std::int64_t hi);
+    SpecBuilder& param_real_range(std::string name, double lo, double hi);
+    SpecBuilder& param_string(std::string name, std::size_t min_len,
+                              std::size_t max_len);
+    SpecBuilder& param_string_set(std::string name, std::vector<std::string> values);
+    SpecBuilder& param_int_set(std::string name, std::vector<std::int64_t> values);
+    SpecBuilder& param_pointer(std::string name, std::string class_name);
+    SpecBuilder& param_object(std::string name, std::string class_name);
+
+    // -- Template bindings ----------------------------------------------
+    SpecBuilder& template_param(std::string name, std::vector<std::string> types);
+
+    // -- Predefined internal states (set/reset, §3.3) --------------------
+    SpecBuilder& state(std::string name);
+
+    // -- Test model -------------------------------------------------------
+    SpecBuilder& node(std::string id, bool is_start,
+                      std::vector<std::string> method_ids);
+    SpecBuilder& edge(std::string from, std::string to);
+
+    /// Finalize: computes node out-degrees, validates, returns the spec.
+    /// Throws stc::SpecError if the spec is inconsistent.
+    [[nodiscard]] ComponentSpec build() const;
+
+    /// Finalize without validation (for tests that exercise validate()).
+    [[nodiscard]] ComponentSpec build_unchecked() const;
+
+private:
+    MethodSpec& current_method();
+    SpecBuilder& add_param(TypedSlot slot);
+
+    ComponentSpec spec_;
+};
+
+}  // namespace stc::tspec

@@ -1,0 +1,135 @@
+// In-memory model of a t-spec — the test specification a producer embeds
+// into a self-testable component (paper §3.2, Fig. 3).
+//
+// A t-spec describes (a) the component's interface: class info,
+// attributes with value domains, methods with categories and typed
+// parameters; and (b) its test model: the TFM nodes and edges.  The
+// Driver Generator consumes this model; nothing downstream ever looks at
+// the component's source code (the approach is specification-based).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stc/domain/domain.h"
+#include "stc/tfm/graph.h"
+
+namespace stc::tspec {
+
+/// The t-spec's five allowable attribute/parameter types (Fig. 3).
+enum class TypeTag { Range, Set, String, Object, Pointer };
+
+[[nodiscard]] const char* to_string(TypeTag tag) noexcept;
+[[nodiscard]] std::optional<TypeTag> parse_type_tag(const std::string& word);
+
+/// Method category "relative to test reuse" (Fig. 3) — drives the
+/// hierarchical incremental technique (§3.4.2): constructors/destructors
+/// are excluded from reuse decisions; inherited / redefined / new
+/// determine whether a parent's test cases can be reused.
+enum class MethodCategory { Constructor, Destructor, New, Inherited, Redefined };
+
+[[nodiscard]] const char* to_string(MethodCategory c) noexcept;
+[[nodiscard]] std::optional<MethodCategory> parse_method_category(const std::string& word);
+
+/// A typed value slot: an attribute of the class or a parameter of a
+/// method, with its valid subdomain.
+struct TypedSlot {
+    std::string name;
+    TypeTag type = TypeTag::Range;
+    domain::DomainPtr domain;       ///< null only for Object/Pointer without completion
+    std::string class_name;         ///< for Object/Pointer: the pointee class
+};
+
+/// One method of the component's interface.
+struct MethodSpec {
+    std::string id;                 ///< t-spec identifier, e.g. "m1"
+    std::string name;               ///< C++ name, e.g. "UpdateQty"
+    std::string return_type;        ///< "" == void / none (Fig. 3 "<empty>")
+    MethodCategory category = MethodCategory::New;
+    std::vector<TypedSlot> parameters;
+
+    [[nodiscard]] bool is_constructor() const noexcept {
+        return category == MethodCategory::Constructor;
+    }
+    [[nodiscard]] bool is_destructor() const noexcept {
+        return category == MethodCategory::Destructor;
+    }
+    /// Signature string for logs and generated source: "Name(t1, t2)".
+    [[nodiscard]] std::string signature() const;
+};
+
+/// A node method entry "!mX" marks a *negative* call: the transaction
+/// deliberately drives the method outside its contract and expects the
+/// precondition to reject it — the error-recovery transactions §3.4.1
+/// singles out.  These helpers split the marker from the method id.
+[[nodiscard]] bool is_negative_call(const std::string& entry);
+[[nodiscard]] std::string strip_negative_marker(const std::string& entry);
+
+/// One TFM node declaration (Fig. 3: id, starting?, declared out-degree,
+/// methods).  The declared out-degree is redundant with the Edge records;
+/// validation cross-checks it.
+struct NodeSpec {
+    std::string id;
+    bool is_start = false;
+    int declared_out_degree = 0;
+    std::vector<std::string> method_ids;
+};
+
+/// One TFM link declaration.
+struct EdgeSpec {
+    std::string from;
+    std::string to;
+};
+
+/// A semantic problem found by ComponentSpec::validate().
+struct SpecDiagnostic {
+    std::string where;   ///< offending record id/name
+    std::string message;
+};
+
+/// The complete t-spec for one component (one class, per the paper's
+/// scope; see §6 for the planned multi-class extension).
+class ComponentSpec {
+public:
+    // -- Class record -------------------------------------------------
+    std::string class_name;
+    bool is_abstract = false;
+    std::string superclass;                  ///< "" == none
+    std::vector<std::string> source_files;
+
+    // -- Interface description ----------------------------------------
+    std::vector<TypedSlot> attributes;
+    std::vector<MethodSpec> methods;
+
+    // -- Template-class support (§3.4.1: the tester indicates the types
+    //    to instantiate a generic class with) -------------------------
+    std::map<std::string, std::vector<std::string>> template_bindings;
+
+    // -- Predefined internal states (set/reset capability, §3.3) --------
+    std::vector<std::string> states;
+
+    // -- Test model -----------------------------------------------------
+    std::vector<NodeSpec> nodes;
+    std::vector<EdgeSpec> edges;
+
+    // -- Lookup ---------------------------------------------------------
+    [[nodiscard]] const MethodSpec* find_method(const std::string& id) const;
+    [[nodiscard]] const MethodSpec* find_method_by_name(const std::string& name) const;
+    [[nodiscard]] const NodeSpec* find_node(const std::string& id) const;
+    [[nodiscard]] const TypedSlot* find_attribute(const std::string& name) const;
+
+    /// All semantic problems: dangling method ids in nodes, dangling node
+    /// ids in edges, out-degree mismatches, duplicate ids, missing
+    /// constructor on start nodes, etc.  Empty result == valid.
+    [[nodiscard]] std::vector<SpecDiagnostic> validate() const;
+
+    /// Throwing variant of validate() for pipeline use.
+    void ensure_valid() const;
+
+    /// Build the TFM graph from the node/edge declarations.
+    [[nodiscard]] tfm::Graph build_tfm() const;
+};
+
+}  // namespace stc::tspec

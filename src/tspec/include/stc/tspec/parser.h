@@ -1,0 +1,37 @@
+// Parser for the t-spec text format of Fig. 3.
+//
+// The format is a flat sequence of records:
+//
+//   Class ( 'Product', No, <empty>, <empty> )   // name, abstract?, superclass, files
+//   Attribute ('qty', range, 1, 99999)
+//   Method (m1, 'Product', <empty>, constructor, 0)
+//   Parameter (m5, 'n', string, ['p1', 'p2', 'p3'])
+//   Node (n1, No, 1, [m1, m2])
+//   Edge (n1, n4)
+//   TemplateParam ('ClassType', ['int', 'CInt'])   // extension, §3.4.1
+//   State ('loaded')                               // set/reset states, §3.3
+//
+// '//' starts a line comment.  Strings may be quoted with ' or ".
+// '<empty>' is the explicit empty field of the paper's figure.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "stc/tspec/model.h"
+
+namespace stc::tspec {
+
+/// Parse a full t-spec text into a ComponentSpec.  Throws stc::ParseError
+/// on syntax errors and stc::SpecError on record-level inconsistencies
+/// (e.g. Parameter for an unknown method, declared parameter-count
+/// mismatch).  The result is *not* semantically validated — call
+/// ComponentSpec::validate()/ensure_valid() for that, matching the
+/// paper's observation that spec defects are findable by the tester.
+[[nodiscard]] ComponentSpec parse_tspec(std::string_view text);
+
+/// Render a ComponentSpec back to t-spec text (round-trip companion of
+/// parse_tspec; parse(print(s)) == s modulo formatting).
+[[nodiscard]] std::string print_tspec(const ComponentSpec& spec);
+
+}  // namespace stc::tspec

@@ -1,0 +1,211 @@
+#include "stc/tspec/model.h"
+
+#include <set>
+
+#include "stc/support/error.h"
+#include "stc/support/strings.h"
+
+namespace stc::tspec {
+
+const char* to_string(TypeTag tag) noexcept {
+    switch (tag) {
+        case TypeTag::Range: return "range";
+        case TypeTag::Set: return "set";
+        case TypeTag::String: return "string";
+        case TypeTag::Object: return "object";
+        case TypeTag::Pointer: return "pointer";
+    }
+    return "?";
+}
+
+std::optional<TypeTag> parse_type_tag(const std::string& word) {
+    const std::string w = support::to_lower(word);
+    if (w == "range") return TypeTag::Range;
+    if (w == "set") return TypeTag::Set;
+    if (w == "string") return TypeTag::String;
+    if (w == "object") return TypeTag::Object;
+    if (w == "pointer") return TypeTag::Pointer;
+    return std::nullopt;
+}
+
+const char* to_string(MethodCategory c) noexcept {
+    switch (c) {
+        case MethodCategory::Constructor: return "constructor";
+        case MethodCategory::Destructor: return "destructor";
+        case MethodCategory::New: return "new";
+        case MethodCategory::Inherited: return "inherited";
+        case MethodCategory::Redefined: return "redefined";
+    }
+    return "?";
+}
+
+std::optional<MethodCategory> parse_method_category(const std::string& word) {
+    const std::string w = support::to_lower(word);
+    if (w == "constructor") return MethodCategory::Constructor;
+    if (w == "destructor") return MethodCategory::Destructor;
+    if (w == "new") return MethodCategory::New;
+    if (w == "inherited") return MethodCategory::Inherited;
+    if (w == "redefined") return MethodCategory::Redefined;
+    return std::nullopt;
+}
+
+std::string MethodSpec::signature() const {
+    std::string out = name + "(";
+    for (std::size_t i = 0; i < parameters.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += to_string(parameters[i].type);
+        if (!parameters[i].class_name.empty()) out += ":" + parameters[i].class_name;
+        out += " " + parameters[i].name;
+    }
+    out += ")";
+    return out;
+}
+
+bool is_negative_call(const std::string& entry) {
+    return !entry.empty() && entry.front() == '!';
+}
+
+std::string strip_negative_marker(const std::string& entry) {
+    return is_negative_call(entry) ? entry.substr(1) : entry;
+}
+
+const MethodSpec* ComponentSpec::find_method(const std::string& id) const {
+    for (const auto& m : methods) {
+        if (m.id == id) return &m;
+    }
+    return nullptr;
+}
+
+const MethodSpec* ComponentSpec::find_method_by_name(const std::string& name) const {
+    for (const auto& m : methods) {
+        if (m.name == name) return &m;
+    }
+    return nullptr;
+}
+
+const NodeSpec* ComponentSpec::find_node(const std::string& id) const {
+    for (const auto& n : nodes) {
+        if (n.id == id) return &n;
+    }
+    return nullptr;
+}
+
+const TypedSlot* ComponentSpec::find_attribute(const std::string& name) const {
+    for (const auto& a : attributes) {
+        if (a.name == name) return &a;
+    }
+    return nullptr;
+}
+
+std::vector<SpecDiagnostic> ComponentSpec::validate() const {
+    std::vector<SpecDiagnostic> out;
+
+    if (class_name.empty()) out.push_back({"Class", "class name is empty"});
+
+    std::set<std::string> method_ids;
+    for (const auto& m : methods) {
+        if (m.id.empty()) out.push_back({m.name, "method with empty id"});
+        if (!method_ids.insert(m.id).second) {
+            out.push_back({m.id, "duplicate method id"});
+        }
+        for (const auto& p : m.parameters) {
+            const bool structured = p.type == TypeTag::Object || p.type == TypeTag::Pointer;
+            if (!structured && !p.domain) {
+                out.push_back({m.id, "parameter '" + p.name + "' has no value domain"});
+            }
+            if (structured && p.class_name.empty()) {
+                out.push_back({m.id, "structured parameter '" + p.name +
+                                         "' does not name its class"});
+            }
+        }
+    }
+
+    std::set<std::string> node_ids;
+    std::map<std::string, int> observed_out_degree;
+    for (const auto& n : nodes) {
+        if (!node_ids.insert(n.id).second) out.push_back({n.id, "duplicate node id"});
+        observed_out_degree[n.id] = 0;
+        if (n.method_ids.empty()) {
+            out.push_back({n.id, "node groups no methods"});
+        }
+        for (const auto& entry : n.method_ids) {
+            const std::string mid = strip_negative_marker(entry);
+            if (method_ids.count(mid) == 0) {
+                out.push_back({n.id, "node references unknown method id " + mid});
+                continue;
+            }
+            if (is_negative_call(entry)) {
+                const MethodSpec* m = find_method(mid);
+                if (m != nullptr && (m->is_constructor() || m->is_destructor())) {
+                    out.push_back({n.id,
+                                   "negative call marker on constructor/destructor " +
+                                       mid});
+                }
+            }
+        }
+        if (n.is_start) {
+            const bool has_ctor = [&] {
+                for (const auto& entry : n.method_ids) {
+                    const MethodSpec* m = find_method(strip_negative_marker(entry));
+                    if (m != nullptr && m->is_constructor()) return true;
+                }
+                return false;
+            }();
+            if (!has_ctor) {
+                out.push_back({n.id, "starting node contains no constructor"});
+            }
+        }
+    }
+
+    for (const auto& e : edges) {
+        if (node_ids.count(e.from) == 0) {
+            out.push_back({e.from, "edge from unknown node"});
+        } else {
+            ++observed_out_degree[e.from];
+        }
+        if (node_ids.count(e.to) == 0) out.push_back({e.to, "edge to unknown node"});
+    }
+
+    for (const auto& n : nodes) {
+        const auto it = observed_out_degree.find(n.id);
+        const int observed = it == observed_out_degree.end() ? 0 : it->second;
+        if (n.declared_out_degree >= 0 && observed != n.declared_out_degree) {
+            out.push_back({n.id, "declared out-degree " +
+                                     std::to_string(n.declared_out_degree) +
+                                     " but " + std::to_string(observed) +
+                                     " edge(s) present"});
+        }
+    }
+
+    if (!nodes.empty()) {
+        const bool has_start = [&] {
+            for (const auto& n : nodes) {
+                if (n.is_start) return true;
+            }
+            return false;
+        }();
+        if (!has_start) out.push_back({"TFM", "no starting node declared"});
+    }
+
+    return out;
+}
+
+void ComponentSpec::ensure_valid() const {
+    const auto problems = validate();
+    if (problems.empty()) return;
+    std::string msg = "t-spec for '" + class_name + "' is invalid:";
+    for (const auto& p : problems) msg += "\n  [" + p.where + "] " + p.message;
+    throw SpecError(msg);
+}
+
+tfm::Graph ComponentSpec::build_tfm() const {
+    ensure_valid();
+    tfm::Graph g;
+    for (const auto& n : nodes) {
+        g.add_node(tfm::Node{n.id, n.is_start, n.method_ids});
+    }
+    for (const auto& e : edges) g.add_edge(e.from, e.to);
+    return g;
+}
+
+}  // namespace stc::tspec

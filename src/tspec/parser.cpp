@@ -1,0 +1,666 @@
+#include "stc/tspec/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "stc/support/error.h"
+#include "stc/support/strings.h"
+
+namespace stc::tspec {
+
+namespace {
+
+// ------------------------------------------------------------------ Lexer
+
+enum class Tok {
+    Ident, String, Int, Real, Empty,
+    LParen, RParen, LBracket, RBracket, Comma,
+    End,
+};
+
+struct Token {
+    Tok kind;
+    std::string text;     // identifier / string payload
+    std::int64_t ival = 0;
+    double rval = 0.0;
+    int line = 0;
+    int column = 0;
+};
+
+class Lexer {
+public:
+    explicit Lexer(std::string_view text) : text_(text) {}
+
+    Token next() {
+        skip_trivia();
+        const int line = line_;
+        const int col = column_;
+        if (pos_ >= text_.size()) return {Tok::End, "", 0, 0.0, line, col};
+
+        const char c = text_[pos_];
+        switch (c) {
+            case '(': advance(); return {Tok::LParen, "(", 0, 0.0, line, col};
+            case ')': advance(); return {Tok::RParen, ")", 0, 0.0, line, col};
+            case '[': advance(); return {Tok::LBracket, "[", 0, 0.0, line, col};
+            case ']': advance(); return {Tok::RBracket, "]", 0, 0.0, line, col};
+            case ',': advance(); return {Tok::Comma, ",", 0, 0.0, line, col};
+            case '\'':
+            case '"': return lex_string(c, line, col);
+            case '<': return lex_empty(line, col);
+            default: break;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '-' || c == '+') {
+            return lex_number(line, col);
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+            c == '~' || c == '!') {
+            return lex_ident(line, col);
+        }
+        throw ParseError(std::string("unexpected character '") + c + "'", line, col);
+    }
+
+private:
+    void advance() {
+        if (pos_ < text_.size()) {
+            if (text_[pos_] == '\n') {
+                ++line_;
+                column_ = 1;
+            } else {
+                ++column_;
+            }
+            ++pos_;
+        }
+    }
+
+    void skip_trivia() {
+        for (;;) {
+            while (pos_ < text_.size() &&
+                   std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+                advance();
+            }
+            if (pos_ + 1 < text_.size() && text_[pos_] == '/' && text_[pos_ + 1] == '/') {
+                while (pos_ < text_.size() && text_[pos_] != '\n') advance();
+                continue;
+            }
+            break;
+        }
+    }
+
+    Token lex_string(char quote, int line, int col) {
+        advance();  // opening quote
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != quote) {
+            if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+                advance();
+                switch (text_[pos_]) {
+                    case 'n': out += '\n'; break;
+                    case 't': out += '\t'; break;
+                    default: out += text_[pos_];
+                }
+                advance();
+                continue;
+            }
+            if (text_[pos_] == '\n') {
+                throw ParseError("unterminated string literal", line, col);
+            }
+            out += text_[pos_];
+            advance();
+        }
+        if (pos_ >= text_.size()) throw ParseError("unterminated string literal", line, col);
+        advance();  // closing quote
+        return {Tok::String, out, 0, 0.0, line, col};
+    }
+
+    Token lex_empty(int line, int col) {
+        static constexpr std::string_view kEmpty = "<empty>";
+        if (text_.substr(pos_, kEmpty.size()) == kEmpty) {
+            for (std::size_t i = 0; i < kEmpty.size(); ++i) advance();
+            return {Tok::Empty, "<empty>", 0, 0.0, line, col};
+        }
+        throw ParseError("expected '<empty>'", line, col);
+    }
+
+    Token lex_number(int line, int col) {
+        std::string out;
+        if (text_[pos_] == '-' || text_[pos_] == '+') {
+            out += text_[pos_];
+            advance();
+        }
+        bool is_real = false;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+                text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+                ((text_[pos_] == '-' || text_[pos_] == '+') && !out.empty() &&
+                 (out.back() == 'e' || out.back() == 'E')))) {
+            if (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E') {
+                is_real = true;
+            }
+            out += text_[pos_];
+            advance();
+        }
+        if (out.empty() || out == "-" || out == "+") {
+            throw ParseError("malformed number", line, col);
+        }
+        Token t{is_real ? Tok::Real : Tok::Int, out, 0, 0.0, line, col};
+        if (is_real) {
+            t.rval = std::strtod(out.c_str(), nullptr);
+        } else {
+            t.ival = std::strtoll(out.c_str(), nullptr, 10);
+        }
+        return t;
+    }
+
+    Token lex_ident(int line, int col) {
+        std::string out;
+        // A leading '!' marks a negative (expected-rejection) call in a
+        // node's method list, e.g. [m3, !m6].
+        if (pos_ < text_.size() && text_[pos_] == '!') {
+            out += '!';
+            advance();
+        }
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+                text_[pos_] == '_' || text_[pos_] == '~' || text_[pos_] == ':')) {
+            out += text_[pos_];
+            advance();
+        }
+        return {Tok::Ident, out, 0, 0.0, line, col};
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int column_ = 1;
+};
+
+// ------------------------------------------------------- Generic records
+
+/// One parsed argument (possibly a bracketed list).
+struct Arg {
+    enum class Kind { Empty, Ident, String, Int, Real, List };
+    Kind kind = Kind::Empty;
+    std::string text;
+    std::int64_t ival = 0;
+    double rval = 0.0;
+    std::vector<Arg> items;
+    int line = 0;
+    int column = 0;
+
+    [[nodiscard]] bool is_numeric() const noexcept {
+        return kind == Kind::Int || kind == Kind::Real;
+    }
+    [[nodiscard]] double number() const noexcept {
+        return kind == Kind::Int ? static_cast<double>(ival) : rval;
+    }
+};
+
+struct Record {
+    std::string name;
+    std::vector<Arg> args;
+    int line = 0;
+};
+
+class RecordParser {
+public:
+    explicit RecordParser(std::string_view text) : lexer_(text) { bump(); }
+
+    std::vector<Record> parse_all() {
+        std::vector<Record> out;
+        while (cur_.kind != Tok::End) {
+            out.push_back(parse_record());
+        }
+        return out;
+    }
+
+private:
+    void bump() { cur_ = lexer_.next(); }
+
+    [[noreturn]] void fail(const std::string& msg) const {
+        throw ParseError(msg, cur_.line, cur_.column);
+    }
+
+    void expect(Tok kind, const char* what) {
+        if (cur_.kind != kind) fail(std::string("expected ") + what);
+        bump();
+    }
+
+    Record parse_record() {
+        if (cur_.kind != Tok::Ident) fail("expected record name");
+        Record r;
+        r.name = cur_.text;
+        r.line = cur_.line;
+        bump();
+        expect(Tok::LParen, "'('");
+        if (cur_.kind != Tok::RParen) {
+            r.args.push_back(parse_arg());
+            while (cur_.kind == Tok::Comma) {
+                bump();
+                r.args.push_back(parse_arg());
+            }
+        }
+        expect(Tok::RParen, "')'");
+        return r;
+    }
+
+    Arg parse_arg() {
+        Arg a;
+        a.line = cur_.line;
+        a.column = cur_.column;
+        switch (cur_.kind) {
+            case Tok::Empty:
+                a.kind = Arg::Kind::Empty;
+                bump();
+                return a;
+            case Tok::Ident:
+                a.kind = Arg::Kind::Ident;
+                a.text = cur_.text;
+                bump();
+                return a;
+            case Tok::String:
+                a.kind = Arg::Kind::String;
+                a.text = cur_.text;
+                bump();
+                return a;
+            case Tok::Int:
+                a.kind = Arg::Kind::Int;
+                a.ival = cur_.ival;
+                a.text = cur_.text;
+                bump();
+                return a;
+            case Tok::Real:
+                a.kind = Arg::Kind::Real;
+                a.rval = cur_.rval;
+                a.text = cur_.text;
+                bump();
+                return a;
+            case Tok::LBracket: {
+                a.kind = Arg::Kind::List;
+                bump();
+                if (cur_.kind != Tok::RBracket) {
+                    a.items.push_back(parse_arg());
+                    while (cur_.kind == Tok::Comma) {
+                        bump();
+                        a.items.push_back(parse_arg());
+                    }
+                }
+                expect(Tok::RBracket, "']'");
+                return a;
+            }
+            default:
+                fail("expected argument");
+        }
+    }
+
+    Lexer lexer_;
+    Token cur_;
+};
+
+// -------------------------------------------------------------- Binder
+
+[[noreturn]] void bind_fail(const Record& r, const std::string& msg) {
+    throw SpecError("record '" + r.name + "' (line " + std::to_string(r.line) +
+                    "): " + msg);
+}
+
+std::string text_of(const Arg& a) {
+    return a.kind == Arg::Kind::Empty ? std::string() : a.text;
+}
+
+bool yes_no(const Record& r, const Arg& a) {
+    const std::string w = support::to_lower(text_of(a));
+    if (w == "yes") return true;
+    if (w == "no") return false;
+    bind_fail(r, "expected Yes or No, got '" + text_of(a) + "'");
+}
+
+domain::Value arg_to_value(const Record& r, const Arg& a) {
+    switch (a.kind) {
+        case Arg::Kind::Int: return domain::Value::make_int(a.ival);
+        case Arg::Kind::Real: return domain::Value::make_real(a.rval);
+        case Arg::Kind::String:
+        case Arg::Kind::Ident: return domain::Value::make_string(a.text);
+        default: bind_fail(r, "unsupported value in set");
+    }
+}
+
+/// Bind the tail of an Attribute/Parameter record (everything after the
+/// type tag) into a TypedSlot domain.
+void bind_domain(const Record& r, TypedSlot& slot, TypeTag tag,
+                 const std::vector<Arg>& rest) {
+    slot.type = tag;
+    switch (tag) {
+        case TypeTag::Range: {
+            if (rest.size() != 2 || !rest[0].is_numeric() || !rest[1].is_numeric()) {
+                bind_fail(r, "range type needs numeric lower and upper limits");
+            }
+            const bool real = rest[0].kind == Arg::Kind::Real ||
+                              rest[1].kind == Arg::Kind::Real;
+            if (real) {
+                slot.domain = domain::real_range(rest[0].number(), rest[1].number());
+            } else {
+                slot.domain = domain::int_range(rest[0].ival, rest[1].ival);
+            }
+            return;
+        }
+        case TypeTag::Set: {
+            if (rest.size() != 1 || rest[0].kind != Arg::Kind::List) {
+                bind_fail(r, "set type needs a [value, ...] list");
+            }
+            std::vector<domain::Value> values;
+            values.reserve(rest[0].items.size());
+            for (const Arg& item : rest[0].items) values.push_back(arg_to_value(r, item));
+            slot.domain = domain::value_set(std::move(values));
+            return;
+        }
+        case TypeTag::String: {
+            if (rest.empty()) {
+                slot.domain = domain::string_domain(0, 16);
+                return;
+            }
+            if (rest.size() == 1 && rest[0].kind == Arg::Kind::List) {
+                // Fig. 3 style: string parameter with an explicit value set.
+                std::vector<domain::Value> values;
+                for (const Arg& item : rest[0].items) {
+                    values.push_back(arg_to_value(r, item));
+                }
+                slot.domain = domain::value_set(std::move(values));
+                return;
+            }
+            if (rest.size() == 2 && rest[0].kind == Arg::Kind::Int &&
+                rest[1].kind == Arg::Kind::Int && rest[0].ival >= 0 &&
+                rest[1].ival >= rest[0].ival) {
+                slot.domain = domain::string_domain(
+                    static_cast<std::size_t>(rest[0].ival),
+                    static_cast<std::size_t>(rest[1].ival));
+                return;
+            }
+            bind_fail(r, "string type takes nothing, [values...], or min,max lengths");
+        }
+        case TypeTag::Object:
+        case TypeTag::Pointer: {
+            if (rest.size() != 1 ||
+                (rest[0].kind != Arg::Kind::String && rest[0].kind != Arg::Kind::Ident)) {
+                bind_fail(r, "object/pointer type needs the pointee class name");
+            }
+            slot.class_name = rest[0].text;
+            // Domain left null: completed by the tester (PointerDomain with
+            // a completion hook) at driver-configuration time.
+            return;
+        }
+    }
+}
+
+}  // namespace
+
+ComponentSpec parse_tspec(std::string_view text) {
+    RecordParser parser(text);
+    const std::vector<Record> records = parser.parse_all();
+
+    ComponentSpec spec;
+    bool saw_class = false;
+    std::map<std::string, int> declared_param_counts;
+
+    for (const Record& r : records) {
+        const std::string kind = support::to_lower(r.name);
+
+        if (kind == "class") {
+            if (saw_class) bind_fail(r, "more than one Class record");
+            if (r.args.size() != 4) {
+                bind_fail(r, "expected (name, abstract?, superclass, files)");
+            }
+            saw_class = true;
+            spec.class_name = text_of(r.args[0]);
+            spec.is_abstract = yes_no(r, r.args[1]);
+            spec.superclass = text_of(r.args[2]);
+            if (r.args[3].kind == Arg::Kind::List) {
+                for (const Arg& f : r.args[3].items) {
+                    spec.source_files.push_back(text_of(f));
+                }
+            } else if (r.args[3].kind != Arg::Kind::Empty) {
+                spec.source_files.push_back(text_of(r.args[3]));
+            }
+            continue;
+        }
+
+        if (kind == "attribute") {
+            if (r.args.size() < 2) bind_fail(r, "expected (name, type, ...)");
+            TypedSlot slot;
+            slot.name = text_of(r.args[0]);
+            const auto tag = parse_type_tag(text_of(r.args[1]));
+            if (!tag) bind_fail(r, "unknown type '" + text_of(r.args[1]) + "'");
+            bind_domain(r, slot, *tag,
+                        std::vector<Arg>(r.args.begin() + 2, r.args.end()));
+            spec.attributes.push_back(std::move(slot));
+            continue;
+        }
+
+        if (kind == "method") {
+            if (r.args.size() != 5) {
+                bind_fail(r, "expected (id, name, return, category, #params)");
+            }
+            MethodSpec m;
+            m.id = text_of(r.args[0]);
+            m.name = text_of(r.args[1]);
+            m.return_type = text_of(r.args[2]);
+            const auto cat = parse_method_category(text_of(r.args[3]));
+            if (!cat) bind_fail(r, "unknown method category '" + text_of(r.args[3]) + "'");
+            m.category = *cat;
+            if (r.args[4].kind != Arg::Kind::Int || r.args[4].ival < 0) {
+                bind_fail(r, "parameter count must be a non-negative integer");
+            }
+            declared_param_counts[m.id] = static_cast<int>(r.args[4].ival);
+            if (spec.find_method(m.id) != nullptr) {
+                bind_fail(r, "duplicate method id '" + m.id + "'");
+            }
+            spec.methods.push_back(std::move(m));
+            continue;
+        }
+
+        if (kind == "parameter") {
+            if (r.args.size() < 3) bind_fail(r, "expected (method, name, type, ...)");
+            const std::string mid = text_of(r.args[0]);
+            auto* method = const_cast<MethodSpec*>(spec.find_method(mid));
+            if (method == nullptr) {
+                bind_fail(r, "parameter for unknown method '" + mid + "'");
+            }
+            TypedSlot slot;
+            slot.name = text_of(r.args[1]);
+            const auto tag = parse_type_tag(text_of(r.args[2]));
+            if (!tag) bind_fail(r, "unknown type '" + text_of(r.args[2]) + "'");
+            bind_domain(r, slot, *tag,
+                        std::vector<Arg>(r.args.begin() + 3, r.args.end()));
+            method->parameters.push_back(std::move(slot));
+            continue;
+        }
+
+        if (kind == "node") {
+            if (r.args.size() != 4) {
+                bind_fail(r, "expected (id, start?, #out, [methods])");
+            }
+            NodeSpec n;
+            n.id = text_of(r.args[0]);
+            n.is_start = yes_no(r, r.args[1]);
+            if (r.args[2].kind != Arg::Kind::Int) {
+                bind_fail(r, "out-degree must be an integer");
+            }
+            n.declared_out_degree = static_cast<int>(r.args[2].ival);
+            if (r.args[3].kind != Arg::Kind::List) {
+                bind_fail(r, "node methods must be a [m1, ...] list");
+            }
+            for (const Arg& m : r.args[3].items) n.method_ids.push_back(text_of(m));
+            spec.nodes.push_back(std::move(n));
+            continue;
+        }
+
+        if (kind == "edge") {
+            if (r.args.size() != 2) bind_fail(r, "expected (from, to)");
+            spec.edges.push_back(EdgeSpec{text_of(r.args[0]), text_of(r.args[1])});
+            continue;
+        }
+
+        if (kind == "state") {
+            if (r.args.size() != 1) bind_fail(r, "expected (name)");
+            spec.states.push_back(text_of(r.args[0]));
+            continue;
+        }
+
+        if (kind == "templateparam") {
+            if (r.args.size() != 2 || r.args[1].kind != Arg::Kind::List) {
+                bind_fail(r, "expected (name, [types...])");
+            }
+            std::vector<std::string> types;
+            for (const Arg& t : r.args[1].items) types.push_back(text_of(t));
+            spec.template_bindings[text_of(r.args[0])] = std::move(types);
+            continue;
+        }
+
+        bind_fail(r, "unknown record kind");
+    }
+
+    if (!saw_class) {
+        throw SpecError("t-spec has no Class record");
+    }
+
+    for (const auto& m : spec.methods) {
+        const int declared = declared_param_counts[m.id];
+        if (declared != static_cast<int>(m.parameters.size())) {
+            throw SpecError("method '" + m.id + "' declares " +
+                            std::to_string(declared) + " parameter(s) but " +
+                            std::to_string(m.parameters.size()) +
+                            " Parameter record(s) were given");
+        }
+    }
+
+    return spec;
+}
+
+namespace {
+
+std::string domain_tail(const TypedSlot& slot) {
+    using domain::SetDomain;
+    switch (slot.type) {
+        case TypeTag::Range: {
+            if (const auto* d =
+                    dynamic_cast<const domain::IntRangeDomain*>(slot.domain.get())) {
+                return std::to_string(d->lo()) + ", " + std::to_string(d->hi());
+            }
+            if (const auto* d =
+                    dynamic_cast<const domain::RealRangeDomain*>(slot.domain.get())) {
+                char buf[96];
+                std::snprintf(buf, sizeof buf, "%g, %g", d->lo(), d->hi());
+                return buf;
+            }
+            return "0, 0";
+        }
+        case TypeTag::Set: {
+            const auto* d = dynamic_cast<const SetDomain*>(slot.domain.get());
+            std::string out = "[";
+            if (d != nullptr) {
+                for (std::size_t i = 0; i < d->values().size(); ++i) {
+                    if (i != 0) out += ", ";
+                    const auto& v = d->values()[i];
+                    out += v.kind() == domain::ValueKind::String
+                               ? "'" + v.as_string() + "'"
+                               : v.to_source();
+                }
+            }
+            return out + "]";
+        }
+        case TypeTag::String: {
+            if (const auto* d =
+                    dynamic_cast<const domain::StringDomain*>(slot.domain.get())) {
+                return std::to_string(d->min_len()) + ", " + std::to_string(d->max_len());
+            }
+            if (const auto* d = dynamic_cast<const SetDomain*>(slot.domain.get())) {
+                std::string out = "[";
+                for (std::size_t i = 0; i < d->values().size(); ++i) {
+                    if (i != 0) out += ", ";
+                    out += "'" + d->values()[i].as_string() + "'";
+                }
+                return out + "]";
+            }
+            return "0, 16";
+        }
+        case TypeTag::Object:
+        case TypeTag::Pointer:
+            return "'" + slot.class_name + "'";
+    }
+    return "";
+}
+
+}  // namespace
+
+std::string print_tspec(const ComponentSpec& spec) {
+    std::string out;
+    auto q = [](const std::string& s) { return "'" + s + "'"; };
+    auto opt = [&](const std::string& s) {
+        return s.empty() ? std::string("<empty>") : q(s);
+    };
+
+    out += "Class (" + q(spec.class_name) + ", " + (spec.is_abstract ? "Yes" : "No") +
+           ", " + opt(spec.superclass) + ", ";
+    if (spec.source_files.empty()) {
+        out += "<empty>";
+    } else {
+        out += "[";
+        for (std::size_t i = 0; i < spec.source_files.size(); ++i) {
+            if (i != 0) out += ", ";
+            out += q(spec.source_files[i]);
+        }
+        out += "]";
+    }
+    out += ")\n\n";
+
+    for (const auto& a : spec.attributes) {
+        out += "Attribute (" + q(a.name) + ", " + to_string(a.type) + ", " +
+               domain_tail(a) + ")\n";
+    }
+    if (!spec.attributes.empty()) out += "\n";
+
+    for (const auto& m : spec.methods) {
+        out += "Method (" + m.id + ", " + q(m.name) + ", " + opt(m.return_type) + ", " +
+               to_string(m.category) + ", " + std::to_string(m.parameters.size()) +
+               ")\n";
+        for (const auto& p : m.parameters) {
+            out += "Parameter (" + m.id + ", " + q(p.name) + ", " + to_string(p.type) +
+                   ", " + domain_tail(p) + ")\n";
+        }
+    }
+    if (!spec.methods.empty()) out += "\n";
+
+    for (const auto& st : spec.states) {
+        out += "State (" + q(st) + ")\n";
+    }
+    if (!spec.states.empty()) out += "\n";
+
+    for (const auto& [name, types] : spec.template_bindings) {
+        out += "TemplateParam (" + q(name) + ", [";
+        for (std::size_t i = 0; i < types.size(); ++i) {
+            if (i != 0) out += ", ";
+            out += q(types[i]);
+        }
+        out += "])\n";
+    }
+    if (!spec.template_bindings.empty()) out += "\n";
+
+    for (const auto& n : spec.nodes) {
+        out += "Node (" + n.id + ", " + (n.is_start ? "Yes" : "No") + ", " +
+               std::to_string(n.declared_out_degree) + ", [";
+        for (std::size_t i = 0; i < n.method_ids.size(); ++i) {
+            if (i != 0) out += ", ";
+            out += n.method_ids[i];
+        }
+        out += "])\n";
+    }
+    if (!spec.nodes.empty()) out += "\n";
+
+    for (const auto& e : spec.edges) {
+        out += "Edge (" + e.from + ", " + e.to + ")\n";
+    }
+    return out;
+}
+
+}  // namespace stc::tspec

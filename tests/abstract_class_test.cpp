@@ -1,0 +1,166 @@
+// Abstract-class testing — §3.2, advantage (iii) of specification-based
+// selection: "test selection is, to a certain extent, implementation
+// language independent, which allows tests to be generated for abstract
+// classes, for example, to be later incorporated to a subclass test
+// suite."
+//
+// The abstract Shape's t-spec (producer artifact) generates a suite once;
+// each concrete subclass registers its binding *under the abstract
+// interface name* and runs the inherited suite unchanged.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stc/core/self_testable.h"
+#include "stc/driver/runner.h"
+#include "stc/reflect/binder.h"
+#include "stc/tspec/builder.h"
+
+namespace stc {
+namespace {
+
+/// Abstract interface with a contract all subclasses must honor.
+class Shape : public bit::BuiltInTest {
+public:
+    virtual void Scale(int percent) = 0;     // pre: 1..400
+    [[nodiscard]] virtual double Area() const = 0;
+
+    void InvariantTest() const override { STC_CLASS_INVARIANT(Area() >= 0.0); }
+    void Reporter(std::ostream& os) const override {
+        os << "Shape{area=" << Area() << "}";
+    }
+};
+
+class Square final : public Shape {
+public:
+    explicit Square(int side) : side_(side) { STC_PRECONDITION(side >= 0); }
+
+    void Scale(int percent) override {
+        STC_PRECONDITION(percent >= 1 && percent <= 400);
+        side_ = side_ * percent / 100;
+    }
+    [[nodiscard]] double Area() const override {
+        return static_cast<double>(side_) * side_;
+    }
+
+private:
+    int side_;
+};
+
+class Circle final : public Shape {
+public:
+    explicit Circle(int radius) : radius_(radius) { STC_PRECONDITION(radius >= 0); }
+
+    void Scale(int percent) override {
+        STC_PRECONDITION(percent >= 1 && percent <= 400);
+        radius_ = radius_ * percent / 100;
+    }
+    [[nodiscard]] double Area() const override {
+        return 3.14159265358979 * radius_ * radius_;
+    }
+
+private:
+    int radius_;
+};
+
+/// The producer's t-spec for the ABSTRACT class (is_abstract = Yes).
+tspec::ComponentSpec shape_spec() {
+    tspec::SpecBuilder b("Shape");
+    b.abstract();
+    b.method("m1", "Shape", tspec::MethodCategory::Constructor)
+        .param_range("size", 0, 50);
+    b.method("m2", "~Shape", tspec::MethodCategory::Destructor);
+    b.method("m3", "Scale", tspec::MethodCategory::New).param_range("percent", 1, 400);
+    b.method("m4", "Area", tspec::MethodCategory::New, "double");
+    b.node("n1", true, {"m1"});
+    b.node("n2", false, {"m3"});
+    b.node("n3", false, {"m4"});
+    b.node("n4", false, {"m2"});
+    b.edge("n1", "n2").edge("n1", "n3");
+    b.edge("n2", "n2").edge("n2", "n3");
+    b.edge("n3", "n4");
+    return b.build();
+}
+
+/// Each concrete subclass binds under the abstract name, so the
+/// inherited suite applies verbatim.
+template <typename Concrete>
+reflect::ClassBinding bind_as_shape() {
+    reflect::Binder<Concrete> b("Shape");
+    b.template ctor<int>();
+    b.method("Scale", &Concrete::Scale);
+    b.method("Area", &Concrete::Area);
+    return b.take();
+}
+
+TEST(AbstractClass, SpecIsMarkedAbstractAndValid) {
+    const auto spec = shape_spec();
+    EXPECT_TRUE(spec.is_abstract);
+    EXPECT_TRUE(spec.validate().empty());
+}
+
+TEST(AbstractClass, OneGeneratedSuiteRunsAgainstEverySubclass) {
+    const auto spec = shape_spec();
+    const auto suite = driver::DriverGenerator(spec).generate();
+    EXPECT_GT(suite.size(), 0u);
+
+    // Square.
+    {
+        core::SelfTestableComponent component(spec, bind_as_shape<Square>());
+        const auto report = component.self_test(suite);
+        EXPECT_TRUE(report.all_passed()) << report.summary();
+    }
+    // Circle: the same test cases, not regenerated.
+    {
+        core::SelfTestableComponent component(spec, bind_as_shape<Circle>());
+        const auto report = component.self_test(suite);
+        EXPECT_TRUE(report.all_passed()) << report.summary();
+    }
+}
+
+TEST(AbstractClass, ContractViolatingSubclassIsRejectedByTheInheritedSuite) {
+    // A subclass that breaks the abstract contract (negative area after
+    // scaling) fails the abstract class's own suite.
+    class BrokenShape final : public Shape {
+    public:
+        explicit BrokenShape(int size) : size_(size) {}
+        void Scale(int percent) override { size_ -= percent; }  // goes negative
+        [[nodiscard]] double Area() const override { return size_; }
+
+    private:
+        int size_;
+    };
+
+    const auto spec = shape_spec();
+    const auto suite = driver::DriverGenerator(spec).generate();
+    core::SelfTestableComponent component(spec, bind_as_shape<BrokenShape>());
+    const auto report = component.self_test(suite);
+    EXPECT_FALSE(report.all_passed());
+    EXPECT_GT(report.result.count(driver::Verdict::AssertionViolation), 0u);
+}
+
+TEST(AbstractClass, SubclassesDivergeOnlyInObservedValues) {
+    // Same suite, different concrete areas: the reports differ, which is
+    // exactly what a golden-record comparison across *implementations*
+    // (not versions) would flag — hence the paper compares against the
+    // same class's previous release, not across siblings.
+    const auto spec = shape_spec();
+    const auto suite = driver::DriverGenerator(spec).generate();
+
+    reflect::Registry squares;
+    squares.add(bind_as_shape<Square>());
+    reflect::Registry circles;
+    circles.add(bind_as_shape<Circle>());
+
+    const auto square_run = driver::TestRunner(squares).run(suite);
+    const auto circle_run = driver::TestRunner(circles).run(suite);
+    bool any_difference = false;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        any_difference =
+            any_difference || square_run.results[i].report != circle_run.results[i].report;
+    }
+    EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace stc

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stc/bit/assertions.h"
+#include "stc/bit/built_in_test.h"
+
+namespace stc::bit {
+namespace {
+
+class BitTest : public ::testing::Test {
+protected:
+    void SetUp() override { AssertionStats::instance().reset(); }
+    void TearDown() override { AssertionStats::instance().reset(); }
+};
+
+// ---------------------------------------------------------------- test mode
+
+TEST_F(BitTest, AssertionsAreInertOutsideTestMode) {
+    // BIT access control: outside test mode the macros must not fire —
+    // the paper gates all BIT services behind the test-mode switch.
+    ASSERT_FALSE(TestMode::enabled());
+    EXPECT_NO_THROW(STC_CLASS_INVARIANT(false));
+    EXPECT_NO_THROW(STC_PRECONDITION(false));
+    EXPECT_NO_THROW(STC_POSTCONDITION(false));
+    EXPECT_EQ(AssertionStats::instance().total_checked(), 0u);
+}
+
+TEST_F(BitTest, TestModeGuardIsScopedAndNestable) {
+    EXPECT_FALSE(TestMode::enabled());
+    {
+        TestModeGuard outer;
+        EXPECT_TRUE(TestMode::enabled());
+        {
+            TestModeGuard inner;
+            EXPECT_TRUE(TestMode::enabled());
+        }
+        EXPECT_TRUE(TestMode::enabled());
+    }
+    EXPECT_FALSE(TestMode::enabled());
+}
+
+// --------------------------------------------------------------- assertions
+
+TEST_F(BitTest, ViolationThrowsTypedException) {
+    TestModeGuard guard;
+    EXPECT_THROW(STC_CLASS_INVARIANT(false), AssertionViolation);
+    EXPECT_THROW(STC_PRECONDITION(false), AssertionViolation);
+    EXPECT_THROW(STC_POSTCONDITION(false), AssertionViolation);
+    EXPECT_NO_THROW(STC_CLASS_INVARIANT(true));
+}
+
+TEST_F(BitTest, ViolationCarriesKindExpressionAndLocation) {
+    TestModeGuard guard;
+    try {
+        STC_PRECONDITION(1 > 2);
+        FAIL();
+    } catch (const AssertionViolation& v) {
+        EXPECT_EQ(v.assertion_kind(), AssertionKind::Precondition);
+        EXPECT_EQ(v.expression(), "1 > 2");
+        EXPECT_NE(v.file().find("bit_test.cpp"), std::string::npos);
+        EXPECT_GT(v.line(), 0);
+        // Fig. 5 wording survives in the message.
+        EXPECT_NE(std::string(v.what()).find("Pre-condition is violated!"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(BitTest, StatsCountChecksAndViolationsPerKind) {
+    TestModeGuard guard;
+    STC_CLASS_INVARIANT(true);
+    STC_CLASS_INVARIANT(true);
+    try {
+        STC_CLASS_INVARIANT(false);
+    } catch (const AssertionViolation&) {
+    }
+    STC_POSTCONDITION(true);
+
+    auto& stats = AssertionStats::instance();
+    EXPECT_EQ(stats.counters(AssertionKind::Invariant).checked, 3u);
+    EXPECT_EQ(stats.counters(AssertionKind::Invariant).violated, 1u);
+    EXPECT_EQ(stats.counters(AssertionKind::Postcondition).checked, 1u);
+    EXPECT_EQ(stats.counters(AssertionKind::Precondition).checked, 0u);
+    EXPECT_EQ(stats.total_checked(), 4u);
+    EXPECT_EQ(stats.total_violated(), 1u);
+}
+
+TEST_F(BitTest, SuppressionGuardDisablesChecking) {
+    TestModeGuard guard;
+    {
+        AssertionSuppressGuard off;
+        EXPECT_NO_THROW(STC_CLASS_INVARIANT(false));
+    }
+    EXPECT_THROW(STC_CLASS_INVARIANT(false), AssertionViolation);
+}
+
+TEST_F(BitTest, StatsResetPreservesSuppression) {
+    TestModeGuard guard;
+    AssertionSuppressGuard off;
+    AssertionStats::instance().reset();
+    EXPECT_TRUE(AssertionStats::instance().suppressed());
+    EXPECT_NO_THROW(STC_CLASS_INVARIANT(false));
+}
+
+TEST_F(BitTest, PredicateEvaluatedOnlyWhenActive) {
+    int evaluations = 0;
+    auto probe = [&evaluations] {
+        ++evaluations;
+        return true;
+    };
+    STC_PRECONDITION(probe());  // outside test mode: not evaluated
+    EXPECT_EQ(evaluations, 0);
+    {
+        TestModeGuard guard;
+        STC_PRECONDITION(probe());
+        EXPECT_EQ(evaluations, 1);
+    }
+}
+
+// ------------------------------------------------------------- BuiltInTest
+
+class Probe final : public BuiltInTest {
+public:
+    void InvariantTest() const override { STC_CLASS_INVARIANT(healthy); }
+    void Reporter(std::ostream& os) const override { os << "Probe{" << healthy << "}"; }
+    bool healthy = true;
+};
+
+TEST_F(BitTest, ReportConvenienceUsesReporter) {
+    Probe probe;
+    EXPECT_EQ(probe.report(), "Probe{1}");
+    probe.healthy = false;
+    EXPECT_EQ(probe.report(), "Probe{0}");
+}
+
+TEST_F(BitTest, InvariantTestIntegrates) {
+    Probe probe;
+    TestModeGuard guard;
+    EXPECT_NO_THROW(probe.InvariantTest());
+    probe.healthy = false;
+    EXPECT_THROW(probe.InvariantTest(), AssertionViolation);
+}
+
+TEST_F(BitTest, PaperMacroAliasesWork) {
+// Verified in an inner scope so the aliases don't leak into other tests.
+#include "stc/bit/paper_macros.h"
+    TestModeGuard guard;
+    EXPECT_NO_THROW(ClassInvariant(true));
+    EXPECT_THROW(ClassInvariant(false), AssertionViolation);
+    EXPECT_THROW(PreCondition(1 > 2), AssertionViolation);
+    EXPECT_THROW(PostCondition(false), AssertionViolation);
+    try {
+        ClassInvariant(false);
+    } catch (const AssertionViolation& v) {
+        // Fig. 5 wording.
+        EXPECT_NE(std::string(v.what()).find("Invariant is violated!"),
+                  std::string::npos);
+    }
+#undef ClassInvariant
+#undef PreCondition
+#undef PostCondition
+}
+
+TEST_F(BitTest, KindNames) {
+    EXPECT_STREQ(to_string(AssertionKind::Invariant), "Invariant");
+    EXPECT_STREQ(to_string(AssertionKind::Precondition), "Pre-condition");
+    EXPECT_STREQ(to_string(AssertionKind::Postcondition), "Post-condition");
+}
+
+}  // namespace
+}  // namespace stc::bit

@@ -1,0 +1,230 @@
+// End-to-end tests of the `concat` command-line tool: each subcommand is
+// exercised against a t-spec file on disk, checking exit codes and
+// output artifacts.  Skipped when the binary location is not exported by
+// the test harness.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "product_component.h"
+#include "stc/driver/suite_io.h"
+#include "test_paths.h"
+
+namespace {
+
+class CliTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        binary_ = std::string(STC_BUILD_DIR) + "/tools/concat";
+        std::ifstream probe(binary_);
+        if (!probe.good()) GTEST_SKIP() << "concat binary not built";
+
+        tspec_path_ = "/tmp/stc_cli_product.tspec";
+        std::ofstream out(tspec_path_);
+        out << stc::examples::product_tspec_text();
+    }
+
+    /// Run the CLI; returns the exit code, captures stdout into `path`.
+    int run(const std::string& args, const std::string& redirect = {}) const {
+        std::string cmd = binary_ + " " + args;
+        if (!redirect.empty()) cmd += " > " + redirect + " 2>&1";
+        else cmd += " > /dev/null 2>&1";
+        const int status = std::system(cmd.c_str());
+        return status == -1 ? -1 : WEXITSTATUS(status);
+    }
+
+    static std::string slurp(const std::string& path) {
+        std::ifstream in(path);
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        return buffer.str();
+    }
+
+    std::string binary_;
+    std::string tspec_path_;
+};
+
+TEST_F(CliTest, ValidateAcceptsTheProductSpec) {
+    EXPECT_EQ(run("validate " + tspec_path_, "/tmp/stc_cli_validate.out"), 0);
+    const std::string out = slurp("/tmp/stc_cli_validate.out");
+    EXPECT_NE(out.find("Product: valid"), std::string::npos);
+}
+
+TEST_F(CliTest, ValidateRejectsBrokenSpec) {
+    const std::string bad = "/tmp/stc_cli_bad.tspec";
+    {
+        std::ofstream out(bad);
+        out << "Class ('X', No, <empty>, <empty>)\n"
+               "Method (m1, 'X', <empty>, constructor, 0)\n"
+               "Node (n1, Yes, 1, [m1, mZZZ])\n"  // dangling method
+               "Edge (n1, n1)\n";
+    }
+    EXPECT_EQ(run("validate " + bad, "/tmp/stc_cli_validate_bad.out"), 1);
+    EXPECT_NE(slurp("/tmp/stc_cli_validate_bad.out").find("INVALID"),
+              std::string::npos);
+}
+
+TEST_F(CliTest, ParseErrorsExitNonZero) {
+    const std::string garbage = "/tmp/stc_cli_garbage.tspec";
+    {
+        std::ofstream out(garbage);
+        out << "Class ('X' missing commas)";
+    }
+    EXPECT_EQ(run("validate " + garbage), 1);
+    EXPECT_EQ(run("validate /tmp/definitely_not_there.tspec"), 1);
+}
+
+TEST_F(CliTest, PrintRoundTrips) {
+    ASSERT_EQ(run("print " + tspec_path_ + " -o /tmp/stc_cli_printed.tspec",
+                  "/tmp/stc_cli_print.log"),
+              0);
+    // The printed spec re-validates cleanly.
+    EXPECT_EQ(run("validate /tmp/stc_cli_printed.tspec"), 0);
+}
+
+TEST_F(CliTest, DotEmitsGraphviz) {
+    ASSERT_EQ(run("dot " + tspec_path_, "/tmp/stc_cli_dot.out"), 0);
+    const std::string dot = slurp("/tmp/stc_cli_dot.out");
+    EXPECT_NE(dot.find("digraph tfm {"), std::string::npos);
+    EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+}
+
+TEST_F(CliTest, TransactionsListsPaths) {
+    ASSERT_EQ(run("transactions " + tspec_path_ + " --max-visits 1",
+                  "/tmp/stc_cli_tx.out"),
+              0);
+    const std::string out = slurp("/tmp/stc_cli_tx.out");
+    EXPECT_NE(out.find("n2 -> n8 -> n10 -> n11"), std::string::npos);
+    EXPECT_NE(out.find("transaction(s) selected"), std::string::npos);
+}
+
+TEST_F(CliTest, SuiteOutputLoadsBack) {
+    ASSERT_EQ(run("suite " + tspec_path_ +
+                      " --seed 7 --max-visits 1 -o /tmp/stc_cli_suite.txt",
+                  "/tmp/stc_cli_suite.log"),
+              0);
+    std::ifstream in("/tmp/stc_cli_suite.txt");
+    const auto suite = stc::driver::load_suite(in);
+    EXPECT_EQ(suite.class_name, "Product");
+    EXPECT_EQ(suite.seed, 7u);
+    EXPECT_GT(suite.size(), 0u);
+}
+
+TEST_F(CliTest, CriterionShrinksTheSuite) {
+    ASSERT_EQ(run("suite " + tspec_path_ + " -o /tmp/stc_cli_all.txt"), 0);
+    ASSERT_EQ(run("suite " + tspec_path_ +
+                  " --criterion all-nodes -o /tmp/stc_cli_nodes.txt"),
+              0);
+    std::ifstream all_in("/tmp/stc_cli_all.txt");
+    std::ifstream nodes_in("/tmp/stc_cli_nodes.txt");
+    EXPECT_LT(stc::driver::load_suite(nodes_in).size(),
+              stc::driver::load_suite(all_in).size());
+}
+
+TEST_F(CliTest, DescribeSummarizesTheSpec) {
+    ASSERT_EQ(run("describe " + tspec_path_, "/tmp/stc_cli_desc.out"), 0);
+    const std::string out = slurp("/tmp/stc_cli_desc.out");
+    EXPECT_NE(out.find("class Product"), std::string::npos);
+    EXPECT_NE(out.find("m6  UpdateQty(range q)"), std::string::npos);
+    EXPECT_NE(out.find("[constructor]"), std::string::npos);
+    EXPECT_NE(out.find("test model: 11 node(s), 17 link(s)"), std::string::npos);
+}
+
+TEST_F(CliTest, CoverageReportsRatios) {
+    ASSERT_EQ(run("coverage " + tspec_path_, "/tmp/stc_cli_cov.out"), 0);
+    const std::string out = slurp("/tmp/stc_cli_cov.out");
+    EXPECT_NE(out.find("node coverage: 11/11"), std::string::npos);
+    EXPECT_NE(out.find("link coverage: 17/17"), std::string::npos);
+
+    ASSERT_EQ(run("coverage " + tspec_path_ + " --criterion all-nodes",
+                  "/tmp/stc_cli_cov_nodes.out"),
+              0);
+    EXPECT_NE(slurp("/tmp/stc_cli_cov_nodes.out").find("criterion: all-nodes"),
+              std::string::npos);
+}
+
+TEST_F(CliTest, GenEmitsDriverSource) {
+    ASSERT_EQ(run("gen " + tspec_path_ +
+                      " --include product.h --using stc::examples --log R.txt"
+                      " --max-visits 1 -o /tmp/stc_cli_driver.cpp",
+                  "/tmp/stc_cli_gen.log"),
+              0);
+    const std::string src = slurp("/tmp/stc_cli_driver.cpp");
+    EXPECT_NE(src.find("#include \"product.h\""), std::string::npos);
+    EXPECT_NE(src.find("using namespace stc::examples;"), std::string::npos);
+    EXPECT_NE(src.find("\"R.txt\""), std::string::npos);
+    EXPECT_NE(src.find("int main() {"), std::string::npos);
+    EXPECT_NE(src.find("tester_supplied_Provider"), std::string::npos);
+}
+
+TEST_F(CliTest, StatesFlagEmitsEntryVariants) {
+    const std::string stateful = "/tmp/stc_cli_stateful.tspec";
+    {
+        std::ofstream out(stateful);
+        out << "Class ('S', No, <empty>, <empty>)\n"
+               "State ('empty')\n"
+               "Method (m1, 'S', <empty>, constructor, 0)\n"
+               "Method (m2, '~S', <empty>, destructor, 0)\n"
+               "Method (m3, 'f', <empty>, new, 0)\n"
+               "Node (n1, Yes, 1, [m1])\n"
+               "Node (n2, No, 1, [m3])\n"
+               "Node (n3, No, 0, [m2])\n"
+               "Edge (n1, n2)\nEdge (n2, n3)\n";
+    }
+    ASSERT_EQ(run("suite " + stateful + " -o /tmp/stc_cli_plain_suite.txt"), 0);
+    ASSERT_EQ(run("suite " + stateful + " --states -o /tmp/stc_cli_state_suite.txt"),
+              0);
+    std::ifstream plain_in("/tmp/stc_cli_plain_suite.txt");
+    std::ifstream stateful_in("/tmp/stc_cli_state_suite.txt");
+    const auto plain = stc::driver::load_suite(plain_in);
+    const auto with_states = stc::driver::load_suite(stateful_in);
+    EXPECT_EQ(with_states.size(), plain.size() * 2);
+}
+
+TEST_F(CliTest, ReplanClassifiesAFrozenSuite) {
+    // Freeze a suite of release 1, then replan against a release whose
+    // UpdateQty (m6) changed its domain and whose RemoveProduct (m11)
+    // disappeared.
+    ASSERT_EQ(run("suite " + tspec_path_ + " -o /tmp/stc_cli_frozen.txt"), 0);
+
+    std::string v2 = stc::examples::product_tspec_text();
+    // Widen the UpdateQty domain.
+    const std::string old_line = "Parameter (m6, 'q', range, 0, 99999)";
+    const std::string new_line = "Parameter (m6, 'q', range, 0, 999999)";
+    v2.replace(v2.find(old_line), old_line.size(), new_line);
+    {
+        std::ofstream out("/tmp/stc_cli_v2.tspec");
+        out << v2;
+    }
+
+    ASSERT_EQ(run("replan " + tspec_path_ +
+                      " --new /tmp/stc_cli_v2.tspec --frozen /tmp/stc_cli_frozen.txt"
+                      " -o /tmp/stc_cli_stillvalid.txt",
+                  "/tmp/stc_cli_replan.out"),
+              0);
+    const std::string out = slurp("/tmp/stc_cli_replan.out");
+    EXPECT_NE(out.find("m6: domain-changed"), std::string::npos);
+    EXPECT_NE(out.find("regenerate:"), std::string::npos);
+
+    // The still-valid subset loads back and is smaller than the original.
+    std::ifstream sv("/tmp/stc_cli_stillvalid.txt");
+    const auto still_valid = stc::driver::load_suite(sv);
+    std::ifstream fr("/tmp/stc_cli_frozen.txt");
+    const auto frozen = stc::driver::load_suite(fr);
+    EXPECT_LT(still_valid.size(), frozen.size());
+    EXPECT_GT(still_valid.size(), 0u);
+}
+
+TEST_F(CliTest, ReplanRequiresItsOptions) {
+    EXPECT_EQ(run("replan " + tspec_path_), 2);
+}
+
+TEST_F(CliTest, BadUsageExits2) {
+    EXPECT_EQ(run(""), 2);
+    EXPECT_EQ(run("frobnicate " + tspec_path_), 2);
+    EXPECT_EQ(run("suite " + tspec_path_ + " --criterion bogus"), 2);
+}
+
+}  // namespace

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "stc/core/self_testable.h"
+#include "test_component.h"
+
+namespace stc::core {
+namespace {
+
+class CoreTest : public ::testing::Test {
+protected:
+    CoreTest()
+        : component_(stc::testing::counter_spec(), stc::testing::counter_binding()) {}
+
+    SelfTestableComponent component_;
+};
+
+TEST_F(CoreTest, ExposesSpecAndRegistry) {
+    EXPECT_EQ(component_.spec().class_name, "Counter");
+    EXPECT_NE(component_.registry().find("Counter"), nullptr);
+}
+
+TEST_F(CoreTest, GenerateThenRunEqualsOneShot) {
+    driver::GeneratorOptions options;
+    options.seed = 5;
+    const auto suite = component_.generate_tests(options);
+    const auto staged = component_.self_test(suite);
+    const auto oneshot = component_.self_test(options);
+    EXPECT_EQ(staged.result.passed(), oneshot.result.passed());
+    EXPECT_EQ(staged.suite.size(), oneshot.suite.size());
+}
+
+TEST_F(CoreTest, ReportSummaryAndAssertionAccounting) {
+    const auto report = component_.self_test();
+    EXPECT_TRUE(report.all_passed());
+    EXPECT_GT(report.assertions_checked, 0u);
+    EXPECT_EQ(report.assertions_violated, 0u);
+    const auto summary = report.summary();
+    EXPECT_NE(summary.find("self-test of Counter"), std::string::npos);
+    EXPECT_NE(summary.find("assertions:"), std::string::npos);
+}
+
+TEST_F(CoreTest, IncrementalPlanDelegatesToPlanner) {
+    // Counter's methods are all New (fresh class): everything retests.
+    const auto suite = component_.generate_tests();
+    const auto plan = component_.incremental_plan(suite);
+    EXPECT_EQ(plan.new_cases(), suite.size());
+    EXPECT_EQ(plan.reused_cases(), 0u);
+}
+
+TEST_F(CoreTest, BindingSpecNameMismatchThrows) {
+    reflect::Binder<stc::testing::Counter> b("SomethingElse");
+    b.ctor<>();
+    EXPECT_THROW(SelfTestableComponent(stc::testing::counter_spec(), b.take()),
+                 SpecError);
+}
+
+TEST_F(CoreTest, FailureCountsSurfaceInSummary) {
+    // Remove the Inc binding so every Inc-containing case is a SetupError.
+    reflect::Binder<stc::testing::Counter> b("Counter");
+    b.ctor<>();
+    b.ctor<int>();
+    b.method("Dec", &stc::testing::Counter::Dec);
+    b.method("Reset", &stc::testing::Counter::Reset);
+    b.method("Get", &stc::testing::Counter::Get);
+    SelfTestableComponent crippled(stc::testing::counter_spec(), b.take());
+    const auto report = crippled.self_test();
+    EXPECT_FALSE(report.all_passed());
+    EXPECT_GT(report.result.count(driver::Verdict::SetupError), 0u);
+    EXPECT_NE(report.summary().find("setup="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stc::core

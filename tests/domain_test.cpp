@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "stc/domain/domain.h"
+#include "stc/support/error.h"
+
+namespace stc::domain {
+namespace {
+
+// ------------------------------------------------------------------ Value
+
+TEST(Value, KindsAndAccessors) {
+    EXPECT_EQ(Value{}.kind(), ValueKind::Empty);
+    EXPECT_TRUE(Value{}.is_empty());
+    EXPECT_EQ(Value::make_int(7).as_int(), 7);
+    EXPECT_DOUBLE_EQ(Value::make_real(2.5).as_real(), 2.5);
+    EXPECT_EQ(Value::make_string("hi").as_string(), "hi");
+    int x = 0;
+    EXPECT_EQ(Value::make_pointer(&x, "int").as_pointer(), &x);
+    EXPECT_EQ(Value::make_object(&x, "Foo").as_object().ptr, &x);
+}
+
+TEST(Value, AccessorKindMismatchThrows) {
+    EXPECT_THROW((void)Value::make_int(1).as_string(), Error);
+    EXPECT_THROW((void)Value::make_string("x").as_int(), Error);
+    EXPECT_THROW((void)Value{}.as_pointer(), Error);
+}
+
+TEST(Value, AsNumberCoercesIntAndReal) {
+    EXPECT_DOUBLE_EQ(Value::make_int(3).as_number(), 3.0);
+    EXPECT_DOUBLE_EQ(Value::make_real(0.5).as_number(), 0.5);
+    EXPECT_THROW((void)Value::make_string("x").as_number(), Error);
+}
+
+TEST(Value, PointerValueAlsoReadableAsObject) {
+    int x = 0;
+    const Value v = Value::make_pointer(&x, "Provider");
+    EXPECT_EQ(v.as_object().ptr, &x);
+    EXPECT_EQ(v.as_object().type_name, "Provider");
+}
+
+TEST(Value, ToSourceRendersCppLiterals) {
+    EXPECT_EQ(Value::make_int(-42).to_source(), "-42");
+    EXPECT_EQ(Value::make_string("a\"b").to_source(), "\"a\\\"b\"");
+    EXPECT_EQ(Value::make_pointer(nullptr, "P").to_source(), "nullptr");
+    // Real literals keep a decimal marker so generated code stays double.
+    EXPECT_EQ(Value::make_real(2.0).to_source(), "2.0");
+}
+
+TEST(Value, EqualityIsStructural) {
+    EXPECT_EQ(Value::make_int(1), Value::make_int(1));
+    EXPECT_NE(Value::make_int(1), Value::make_int(2));
+    EXPECT_NE(Value::make_int(1), Value::make_real(1.0));
+    EXPECT_EQ(Value::make_string("a"), Value::make_string("a"));
+}
+
+// ------------------------------------------------------------- IntRange
+
+TEST(IntRangeDomain, SamplesWithinBoundsAndContains) {
+    IntRangeDomain d(-5, 5);
+    support::Pcg32 rng(1);
+    for (int i = 0; i < 500; ++i) {
+        const Value v = d.sample(rng);
+        EXPECT_TRUE(d.contains(v)) << v.to_display();
+    }
+    EXPECT_TRUE(d.contains(Value::make_int(-5)));
+    EXPECT_TRUE(d.contains(Value::make_int(5)));
+    EXPECT_FALSE(d.contains(Value::make_int(6)));
+    EXPECT_FALSE(d.contains(Value::make_real(0.0)));
+}
+
+TEST(IntRangeDomain, RejectsInvertedBounds) {
+    EXPECT_THROW(IntRangeDomain(2, 1), SpecError);
+}
+
+TEST(IntRangeDomain, BoundaryValuesIncludeEndsAndZero) {
+    IntRangeDomain d(-3, 9);
+    const auto b = d.boundary_values();
+    auto has = [&](std::int64_t x) {
+        for (const auto& v : b) {
+            if (v.as_int() == x) return true;
+        }
+        return false;
+    };
+    EXPECT_TRUE(has(-3));
+    EXPECT_TRUE(has(9));
+    EXPECT_TRUE(has(0));
+    EXPECT_TRUE(has(-2));
+    EXPECT_TRUE(has(8));
+}
+
+// ------------------------------------------------------------- RealRange
+
+TEST(RealRangeDomain, SamplesWithinBounds) {
+    RealRangeDomain d(0.01, 9999.99);
+    support::Pcg32 rng(2);
+    for (int i = 0; i < 500; ++i) {
+        EXPECT_TRUE(d.contains(d.sample(rng)));
+    }
+}
+
+TEST(RealRangeDomain, ContainsAcceptsIntsInRange) {
+    RealRangeDomain d(0.0, 10.0);
+    EXPECT_TRUE(d.contains(Value::make_int(5)));
+    EXPECT_FALSE(d.contains(Value::make_int(11)));
+}
+
+// ------------------------------------------------------------------- Set
+
+TEST(SetDomain, SamplesOnlyMembers) {
+    SetDomain d({Value::make_string("p1"), Value::make_string("p2"),
+                 Value::make_string("p3")});
+    support::Pcg32 rng(3);
+    for (int i = 0; i < 200; ++i) EXPECT_TRUE(d.contains(d.sample(rng)));
+    EXPECT_FALSE(d.contains(Value::make_string("p4")));
+    EXPECT_EQ(d.kind(), ValueKind::String);
+}
+
+TEST(SetDomain, RejectsEmptyAndMixedKinds) {
+    EXPECT_THROW(SetDomain({}), SpecError);
+    EXPECT_THROW(SetDomain({Value::make_int(1), Value::make_string("x")}), SpecError);
+}
+
+// ---------------------------------------------------------------- String
+
+TEST(StringDomain, RespectsLengthAndAlphabet) {
+    StringDomain d(2, 6, "ab");
+    support::Pcg32 rng(4);
+    for (int i = 0; i < 300; ++i) {
+        const Value v = d.sample(rng);
+        const std::string& s = v.as_string();
+        EXPECT_GE(s.size(), 2u);
+        EXPECT_LE(s.size(), 6u);
+        for (char c : s) EXPECT_TRUE(c == 'a' || c == 'b');
+        EXPECT_TRUE(d.contains(v));
+    }
+    EXPECT_FALSE(d.contains(Value::make_string("abc!")));
+    EXPECT_FALSE(d.contains(Value::make_string("a")));
+}
+
+TEST(StringDomain, RejectsBadConstruction) {
+    EXPECT_THROW(StringDomain(5, 2), SpecError);
+    EXPECT_THROW(StringDomain(0, 3, ""), SpecError);
+}
+
+TEST(StringDomain, ZeroLengthAllowed) {
+    StringDomain d(0, 0);
+    support::Pcg32 rng(5);
+    EXPECT_EQ(d.sample(rng).as_string(), "");
+}
+
+// --------------------------------------------------------------- Pointer
+
+TEST(PointerDomain, WithoutCompletionYieldsNullPlaceholder) {
+    PointerDomain d("Provider");
+    support::Pcg32 rng(6);
+    const Value v = d.sample(rng);
+    EXPECT_EQ(v.kind(), ValueKind::Pointer);
+    EXPECT_EQ(v.as_pointer(), nullptr);
+    EXPECT_EQ(v.as_object().type_name, "Provider");
+    EXPECT_FALSE(d.has_completion());
+}
+
+TEST(PointerDomain, CompletionPlaysTheTester) {
+    int object = 99;
+    PointerDomain d("Provider", [&object](support::Pcg32&) {
+        return Value::make_pointer(&object, "Provider");
+    });
+    support::Pcg32 rng(6);
+    EXPECT_EQ(d.sample(rng).as_pointer(), &object);
+    EXPECT_TRUE(d.has_completion());
+}
+
+// ------------------------------------------------- Property sweep (TEST_P)
+
+class DomainProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DomainProperty, EveryDomainSamplesIntoItself) {
+    support::Pcg32 rng(GetParam());
+    const std::vector<DomainPtr> domains = {
+        int_range(-100, 100),
+        int_range(0, 0),
+        real_range(-1.0, 1.0),
+        value_set({Value::make_int(2), Value::make_int(4), Value::make_int(8)}),
+        string_domain(0, 12),
+    };
+    for (const auto& d : domains) {
+        for (int i = 0; i < 64; ++i) {
+            const Value v = d->sample(rng);
+            EXPECT_TRUE(d->contains(v))
+                << d->describe() << " produced " << v.to_display();
+            EXPECT_EQ(v.kind(), d->kind());
+        }
+        for (const Value& b : d->boundary_values()) {
+            EXPECT_TRUE(d->contains(b)) << d->describe();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DomainProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(DomainDescribe, IsHumanReadable) {
+    EXPECT_EQ(int_range(1, 99999)->describe(), "range 1..99999");
+    EXPECT_EQ(string_domain(1, 30)->describe(), "string len 1..30");
+    EXPECT_NE(value_set({Value::make_string("p1")})->describe().find("p1"),
+              std::string::npos);
+    EXPECT_NE(pointer_domain("Provider")->describe().find("Provider"),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace stc::domain

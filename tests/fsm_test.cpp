@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "stc/driver/runner.h"
+#include "stc/fsm/state_machine.h"
+#include "stc/support/error.h"
+#include "test_component.h"
+
+namespace stc::fsm {
+namespace {
+
+/// Counter FSM: Zero -Inc-> Pos, Pos -Inc-> Pos, Pos -Dec-> Pos (stays
+/// positive only conservatively: model Pos -Dec-> Zero), plus Get as a
+/// self-loop query.
+StateMachine counter_machine() {
+    StateMachine::Builder b;
+    b.state("Zero", /*initial*/ true, /*final*/ true);
+    b.state("Pos", false, true);
+    b.transition("Zero", "m4", "Pos");   // Inc
+    b.transition("Pos", "m4", "Pos");    // Inc
+    b.transition("Pos", "m5", "Zero");   // Dec (conservative: one unit)
+    b.transition("Zero", "m7", "Zero");  // Get
+    b.transition("Pos", "m7", "Pos");    // Get
+    b.transition("Pos", "m6", "Zero");   // Reset
+    return b.build();
+}
+
+// ----------------------------------------------------------------- model
+
+TEST(Fsm, ValidModelPasses) {
+    EXPECT_TRUE(counter_machine().validate().empty());
+    EXPECT_EQ(counter_machine().initial_state(), "Zero");
+}
+
+TEST(Fsm, ValidationDetectsProblems) {
+    // Two initial states.
+    {
+        StateMachine::Builder b;
+        b.state("A", true, true).state("B", true, false);
+        EXPECT_THROW((void)b.build(), SpecError);
+    }
+    // No final state.
+    {
+        StateMachine::Builder b;
+        b.state("A", true, false);
+        EXPECT_THROW((void)b.build(), SpecError);
+    }
+    // Nondeterminism.
+    {
+        StateMachine::Builder b;
+        b.state("A", true, true).state("B", false, true);
+        b.transition("A", "m1", "B").transition("A", "m1", "A");
+        EXPECT_THROW((void)b.build(), SpecError);
+    }
+    // Dangling state.
+    {
+        StateMachine::Builder b;
+        b.state("A", true, true);
+        b.transition("A", "m1", "Ghost");
+        EXPECT_THROW((void)b.build(), SpecError);
+    }
+    // Unreachable state.
+    {
+        StateMachine::Builder b;
+        b.state("A", true, true).state("Island", false, true);
+        const auto problems = b.build_unchecked().validate();
+        bool found = false;
+        for (const auto& p : problems) {
+            found = found || p.message.find("unreachable") != std::string::npos;
+        }
+        EXPECT_TRUE(found);
+    }
+}
+
+// ------------------------------------------------------------------ tours
+
+TEST(Fsm, ToursCoverEveryTransition) {
+    const auto machine = counter_machine();
+    const auto tours = machine.transition_tours();
+    ASSERT_FALSE(tours.empty());
+
+    std::set<const TransitionSpec*> covered;
+    for (const auto& tour : tours) {
+        ASSERT_FALSE(tour.empty());
+        // Tours are connected paths from the initial state...
+        std::string current = *machine.initial_state();
+        for (const TransitionSpec* t : tour) {
+            EXPECT_EQ(t->from, current);
+            current = t->to;
+            covered.insert(t);
+        }
+        // ...ending in a final state.
+        EXPECT_TRUE(machine.find_state(current)->is_final);
+    }
+    EXPECT_EQ(covered.size(), machine.transitions().size());
+}
+
+TEST(Fsm, ToursAreDeterministic) {
+    const auto a = counter_machine().transition_tours();
+    const auto b = counter_machine().transition_tours();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].size(), b[i].size());
+        for (std::size_t j = 0; j < a[i].size(); ++j) {
+            EXPECT_EQ(a[i][j]->event, b[i][j]->event);
+        }
+    }
+}
+
+TEST(Fsm, SingleStateMachineHasMinimalTours) {
+    StateMachine::Builder b;
+    b.state("Only", true, true);
+    b.transition("Only", "m3", "Only");
+    const auto tours = b.build().transition_tours();
+    ASSERT_EQ(tours.size(), 1u);
+    EXPECT_EQ(tours[0].size(), 1u);
+}
+
+TEST(Fsm, TourLengthCapSplitsTours) {
+    const auto machine = counter_machine();
+    const auto capped = machine.transition_tours(2);
+    const auto uncapped = machine.transition_tours();
+    EXPECT_GT(capped.size(), uncapped.size());
+
+    // Coverage and path-connectedness still hold.
+    std::set<const TransitionSpec*> covered;
+    for (const auto& tour : capped) {
+        std::string current = *machine.initial_state();
+        for (const TransitionSpec* t : tour) {
+            EXPECT_EQ(t->from, current);
+            current = t->to;
+            covered.insert(t);
+        }
+        EXPECT_TRUE(machine.find_state(current)->is_final);
+    }
+    EXPECT_EQ(covered.size(), machine.transitions().size());
+}
+
+// ------------------------------------------------------------------ suite
+
+TEST(Fsm, GeneratedSuiteRunsGreenOnCounter) {
+    const auto machine = counter_machine();
+    const auto spec = stc::testing::counter_spec();
+    FsmSuiteOptions options;
+    options.destructor_id = "m3";  // Counter's t-spec: m1/m2 ctors, m3 dtor
+    const auto suite = generate_fsm_suite(machine, spec, options);
+    ASSERT_GT(suite.size(), 0u);
+    EXPECT_EQ(suite.model_nodes, machine.states().size());
+    EXPECT_EQ(suite.model_links, machine.transitions().size());
+
+    for (const auto& tc : suite.cases) {
+        EXPECT_TRUE(tc.calls.front().is_constructor);
+        EXPECT_TRUE(tc.calls.back().is_destructor);
+        EXPECT_NE(tc.transaction_text.find("[Zero]"), std::string::npos);
+    }
+
+    reflect::Registry registry;
+    registry.add(stc::testing::counter_binding());
+    const auto result = driver::TestRunner(registry).run(suite);
+    EXPECT_EQ(result.failed(), 0u) << result.log;
+}
+
+TEST(Fsm, SuiteRequiresRealConstructorAndDestructor) {
+    const auto machine = counter_machine();
+    const auto spec = stc::testing::counter_spec();
+    FsmSuiteOptions options;
+    options.constructor_id = "m4";  // Inc is not a constructor
+    EXPECT_THROW((void)generate_fsm_suite(machine, spec, options), SpecError);
+    options.constructor_id = "m1";
+    options.destructor_id = "m7";  // Get is neither
+    EXPECT_THROW((void)generate_fsm_suite(machine, spec, options), SpecError);
+}
+
+TEST(Fsm, UnknownEventSurfacesAsSpecError) {
+    StateMachine::Builder b;
+    b.state("A", true, true);
+    b.transition("A", "mZZ", "A");
+    FsmSuiteOptions options;
+    options.destructor_id = "m3";  // valid ctor/dtor: the event is the problem
+    EXPECT_THROW((void)generate_fsm_suite(b.build(), stc::testing::counter_spec(),
+                                          options),
+                 SpecError);
+}
+
+}  // namespace
+}  // namespace stc::fsm

@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stc/driver/generator.h"
+#include "stc/history/incremental.h"
+#include "stc/support/error.h"
+#include "stc/tspec/builder.h"
+
+namespace stc::history {
+namespace {
+
+using tspec::MethodCategory;
+
+/// Subclass-style spec: inherited f/g, redefined h, new s.
+tspec::ComponentSpec subclass_spec() {
+    tspec::SpecBuilder b("Child");
+    b.superclass("Parent");
+    b.method("m1", "Child", MethodCategory::Constructor);
+    b.method("m2", "~Child", MethodCategory::Destructor);
+    b.method("m3", "f", MethodCategory::Inherited);
+    b.method("m4", "g", MethodCategory::Inherited);
+    b.method("m5", "h", MethodCategory::Redefined);
+    b.method("m6", "s", MethodCategory::New);
+
+    b.node("n1", true, {"m1"});
+    b.node("n2", false, {"m3"});       // f
+    b.node("n3", false, {"m4"});       // g
+    b.node("n4", false, {"m5"});       // h (redefined)
+    b.node("n5", false, {"m6"});       // s (new)
+    b.node("n6", false, {"m2"});
+    b.edge("n1", "n2").edge("n1", "n4");
+    b.edge("n2", "n3").edge("n2", "n5");
+    b.edge("n3", "n6");
+    b.edge("n4", "n6");
+    b.edge("n5", "n6");
+    return b.build();
+}
+
+tspec::ComponentSpec parent_spec() {
+    tspec::SpecBuilder b("Parent");
+    b.method("m1", "Parent", MethodCategory::Constructor);
+    b.method("m2", "~Parent", MethodCategory::Destructor);
+    b.method("m3", "f", MethodCategory::New);
+    b.method("m4", "g", MethodCategory::New);
+    b.method("m5", "h", MethodCategory::New).param_range("x", 0, 5);
+    b.node("n1", true, {"m1"});
+    b.node("n2", false, {"m2"});
+    b.edge("n1", "n2");
+    return b.build();
+}
+
+// ------------------------------------------------------------ classification
+
+TEST(Classification, InheritedOnlyTransactionIsReused) {
+    const auto spec = subclass_spec();
+    const IncrementalPlanner planner(spec);
+    const auto c = planner.classify({"m1", "m3", "m4", "m2"});
+    EXPECT_EQ(c.decision, ReuseDecision::ReusedNotRerun);
+    EXPECT_TRUE(c.triggering_methods.empty());
+}
+
+TEST(Classification, NewMethodForcesRetest) {
+    const IncrementalPlanner planner(subclass_spec());
+    const auto c = planner.classify({"m1", "m3", "m6", "m2"});
+    EXPECT_EQ(c.decision, ReuseDecision::Retest);
+    EXPECT_EQ(c.triggering_methods, (std::vector<std::string>{"m6"}));
+}
+
+TEST(Classification, RedefinedMethodForcesRetest) {
+    const IncrementalPlanner planner(subclass_spec());
+    const auto c = planner.classify({"m1", "m5", "m2"});
+    EXPECT_EQ(c.decision, ReuseDecision::Retest);
+    EXPECT_EQ(c.triggering_methods, (std::vector<std::string>{"m5"}));
+}
+
+TEST(Classification, ConstructorAndDestructorDoNotTrigger) {
+    // ctor/dtor are excluded from the reuse decision (§3.4.2), even
+    // though the subclass necessarily redefines them.
+    const IncrementalPlanner planner(subclass_spec());
+    const auto c = planner.classify({"m1", "m2"});
+    EXPECT_EQ(c.decision, ReuseDecision::ReusedNotRerun);
+}
+
+TEST(Classification, UnknownMethodIdThrows) {
+    const IncrementalPlanner planner(subclass_spec());
+    EXPECT_THROW((void)planner.classify({"mZ"}), SpecError);
+}
+
+// ------------------------------------------------------------------- plan
+
+TEST(Plan, PartitionsSuiteByDecision) {
+    const auto spec = subclass_spec();
+    const driver::TestSuite full = driver::DriverGenerator(spec).generate();
+    const IncrementalPlanner planner(spec);
+    const IncrementalPlan plan = planner.plan(full);
+
+    EXPECT_EQ(plan.new_cases() + plan.reused_cases(), full.size());
+    EXPECT_GT(plan.new_cases(), 0u);
+    EXPECT_GT(plan.reused_cases(), 0u);
+
+    // Every retained case contains a new/redefined method; every reused
+    // case does not.
+    for (const auto& tc : plan.incremental.cases) {
+        bool has_trigger = false;
+        for (const auto& call : tc.calls) {
+            has_trigger = has_trigger || call.method_id == "m5" ||
+                          call.method_id == "m6";
+        }
+        EXPECT_TRUE(has_trigger) << tc.transaction_text;
+    }
+    for (const auto& tc : plan.reused) {
+        for (const auto& call : tc.calls) {
+            EXPECT_NE(call.method_id, "m5");
+            EXPECT_NE(call.method_id, "m6");
+        }
+    }
+}
+
+TEST(Plan, PreservesSuiteMetadata) {
+    const auto spec = subclass_spec();
+    const driver::TestSuite full = driver::DriverGenerator(spec).generate();
+    const auto plan = IncrementalPlanner(spec).plan(full);
+    EXPECT_EQ(plan.incremental.class_name, full.class_name);
+    EXPECT_EQ(plan.incremental.seed, full.seed);
+    EXPECT_EQ(plan.incremental.model_nodes, full.model_nodes);
+}
+
+// ---------------------------------------------------------------- adoption
+
+TEST(Adoption, RewritesCtorDtorAndKeepsInheritedCalls) {
+    // Parent: f/g/h are its own methods; its suite gets adopted by a
+    // child where all three are Inherited.
+    tspec::SpecBuilder pb("Parent");
+    pb.method("m1", "Parent", MethodCategory::Constructor);
+    pb.method("m2", "~Parent", MethodCategory::Destructor);
+    pb.method("m3", "f", MethodCategory::New).param_range("x", 0, 5);
+    pb.node("n1", true, {"m1"});
+    pb.node("n2", false, {"m3"});
+    pb.node("n3", false, {"m2"});
+    pb.edge("n1", "n2").edge("n2", "n3");
+    const auto parent_suite = driver::DriverGenerator(pb.build()).generate();
+
+    tspec::SpecBuilder cb("Child");
+    cb.superclass("Parent");
+    cb.method("c1", "Child", MethodCategory::Constructor);
+    cb.method("c2", "~Child", MethodCategory::Destructor);
+    cb.method("c3", "f", MethodCategory::Inherited).param_range("x", 0, 5);
+    cb.node("n1", true, {"c1"});
+    cb.node("n2", false, {"c2"});
+    cb.edge("n1", "n2");
+    const auto child_spec = cb.build();
+
+    const auto adopted = adopt_parent_suite(parent_suite, child_spec);
+    ASSERT_EQ(adopted.size(), parent_suite.size());
+    EXPECT_EQ(adopted.class_name, "Child");
+    for (const auto& tc : adopted.cases) {
+        EXPECT_EQ(tc.calls.front().method_name, "Child");
+        EXPECT_EQ(tc.calls.front().method_id, "c1");
+        EXPECT_EQ(tc.calls.back().method_name, "~Child");
+        for (const auto& call : tc.calls) {
+            if (!call.is_constructor && !call.is_destructor) {
+                EXPECT_EQ(call.method_id, "c3");
+            }
+        }
+    }
+}
+
+TEST(Adoption, DropsCasesTouchingNonInheritedMethods) {
+    tspec::SpecBuilder pb("Parent");
+    pb.method("m1", "Parent", MethodCategory::Constructor);
+    pb.method("m2", "~Parent", MethodCategory::Destructor);
+    pb.method("m3", "f", MethodCategory::New);
+    pb.method("m4", "g", MethodCategory::New);
+    pb.node("n1", true, {"m1"});
+    pb.node("n2", false, {"m3"});
+    pb.node("n3", false, {"m4"});
+    pb.node("n4", false, {"m2"});
+    pb.edge("n1", "n2").edge("n1", "n3").edge("n2", "n4").edge("n3", "n4");
+    const auto parent_suite = driver::DriverGenerator(pb.build()).generate();
+
+    // Child redefines g: transactions through g are not adoptable.
+    tspec::SpecBuilder cb("Child");
+    cb.superclass("Parent");
+    cb.method("c1", "Child", MethodCategory::Constructor);
+    cb.method("c2", "~Child", MethodCategory::Destructor);
+    cb.method("c3", "f", MethodCategory::Inherited);
+    cb.method("c4", "g", MethodCategory::Redefined);
+    cb.node("n1", true, {"c1"});
+    cb.node("n2", false, {"c2"});
+    cb.edge("n1", "n2");
+    const auto adopted = adopt_parent_suite(parent_suite, cb.build());
+    EXPECT_LT(adopted.size(), parent_suite.size());
+    EXPECT_GT(adopted.size(), 0u);
+    for (const auto& tc : adopted.cases) {
+        for (const auto& call : tc.calls) EXPECT_NE(call.method_name, "g");
+    }
+}
+
+// ---------------------------------------------------------------- hierarchy
+
+TEST(Hierarchy, ConformingChildPasses) {
+    tspec::SpecBuilder b("Child");
+    b.superclass("Parent");
+    b.method("m1", "Child", MethodCategory::Constructor);
+    b.method("m2", "~Child", MethodCategory::Destructor);
+    b.method("m3", "f", MethodCategory::Inherited);
+    b.method("m5", "h", MethodCategory::Redefined).param_range("x", 0, 5);
+    b.method("m6", "s", MethodCategory::New);
+    b.node("n1", true, {"m1"});
+    b.node("n2", false, {"m2"});
+    b.edge("n1", "n2");
+    EXPECT_TRUE(validate_hierarchy(parent_spec(), b.build()).empty());
+}
+
+TEST(Hierarchy, DetectsWrongSuperclass) {
+    tspec::SpecBuilder b("Child");
+    b.superclass("SomethingElse");
+    b.method("m1", "Child", MethodCategory::Constructor);
+    b.node("n1", true, {"m1"});
+    const auto problems = validate_hierarchy(parent_spec(), b.build_unchecked());
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].message.find("single inheritance"), std::string::npos);
+}
+
+TEST(Hierarchy, DetectsPhantomInheritance) {
+    tspec::SpecBuilder b("Child");
+    b.superclass("Parent");
+    b.method("m3", "not_in_parent", MethodCategory::Inherited);
+    const auto problems = validate_hierarchy(parent_spec(), b.build_unchecked());
+    EXPECT_FALSE(problems.empty());
+}
+
+TEST(Hierarchy, DetectsSignatureChangingRedefinition) {
+    // Constraint (ii) of Harrold et al.: a redefinition keeps the
+    // parent's argument list.
+    tspec::SpecBuilder b("Child");
+    b.superclass("Parent");
+    b.method("m5", "h", MethodCategory::Redefined);  // parent's h takes 1 arg
+    const auto problems = validate_hierarchy(parent_spec(), b.build_unchecked());
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].message.find("signature"), std::string::npos);
+}
+
+TEST(Hierarchy, DetectsFalseNew) {
+    tspec::SpecBuilder b("Child");
+    b.superclass("Parent");
+    b.method("m9", "f", MethodCategory::New);  // parent already has f
+    const auto problems = validate_hierarchy(parent_spec(), b.build_unchecked());
+    EXPECT_FALSE(problems.empty());
+}
+
+// ------------------------------------------------------------ test history
+
+TEST(History, FromSuiteRecordsTransactions) {
+    const auto spec = subclass_spec();
+    const driver::TestSuite full = driver::DriverGenerator(spec).generate();
+    const IncrementalPlanner planner(spec);
+    const TestHistory history = TestHistory::from_suite(full, &planner);
+    EXPECT_EQ(history.entries().size(), full.size());
+    const HistoryEntry* first = history.find(full.cases[0].id);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(first->transaction_text, full.cases[0].transaction_text);
+    EXPECT_FALSE(first->method_ids.empty());
+}
+
+TEST(History, SaveLoadRoundTrip) {
+    const auto spec = subclass_spec();
+    const driver::TestSuite full = driver::DriverGenerator(spec).generate();
+    const IncrementalPlanner planner(spec);
+    const TestHistory original = TestHistory::from_suite(full, &planner);
+
+    std::stringstream buffer;
+    original.save(buffer);
+    const TestHistory loaded = TestHistory::load(buffer);
+
+    ASSERT_EQ(loaded.entries().size(), original.entries().size());
+    for (std::size_t i = 0; i < original.entries().size(); ++i) {
+        EXPECT_EQ(loaded.entries()[i].case_id, original.entries()[i].case_id);
+        EXPECT_EQ(loaded.entries()[i].transaction_text,
+                  original.entries()[i].transaction_text);
+        EXPECT_EQ(loaded.entries()[i].method_ids, original.entries()[i].method_ids);
+        EXPECT_EQ(loaded.entries()[i].decision, original.entries()[i].decision);
+    }
+}
+
+TEST(History, LoadRejectsMalformedLines) {
+    std::stringstream bad("only|three|fields\n");
+    EXPECT_THROW((void)TestHistory::load(bad), Error);
+    std::stringstream bad_decision("TC0|n1|m1|banana\n");
+    EXPECT_THROW((void)TestHistory::load(bad_decision), Error);
+    std::stringstream empty("\n   \n");
+    EXPECT_EQ(TestHistory::load(empty).entries().size(), 0u);
+}
+
+}  // namespace
+}  // namespace stc::history

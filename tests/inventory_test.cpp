@@ -1,0 +1,74 @@
+// Composition reuse tests: Inventory composes the self-testable
+// CSortableObList; the part's BIT keeps working inside the whole, and
+// faults injected into the part surface through the whole's self-test.
+#include <gtest/gtest.h>
+
+#include "inventory_component.h"
+#include "stc/core/self_testable.h"
+#include "stc/mfc/component.h"
+#include "stc/mutation/engine.h"
+
+namespace stc::examples {
+namespace {
+
+TEST(Inventory, BasicLifecycle) {
+    Inventory inventory;
+    EXPECT_EQ(inventory.OnHand(), 0);
+    EXPECT_EQ(inventory.Ship(), -1);  // defensive on empty
+    EXPECT_EQ(inventory.CheapestSku(), -1);
+
+    inventory.Receive(30);
+    inventory.Receive(10);
+    inventory.Receive(20);
+    EXPECT_EQ(inventory.OnHand(), 3);
+    EXPECT_EQ(inventory.CheapestSku(), 10);
+    EXPECT_EQ(inventory.Ship(), 10);  // cheapest first
+    EXPECT_EQ(inventory.Ship(), 20);
+    EXPECT_EQ(inventory.OnHand(), 1);
+    EXPECT_EQ(inventory.Received(), 3);
+    EXPECT_EQ(inventory.Shipped(), 2);
+}
+
+TEST(Inventory, BitDelegatesToComposedPart) {
+    bit::TestModeGuard test_mode;
+    Inventory inventory;
+    inventory.Receive(5);
+    EXPECT_NO_THROW(inventory.InvariantTest());
+    // The whole's report embeds the part's report.
+    EXPECT_NE(inventory.report().find("CSortableObList count=1"), std::string::npos);
+    EXPECT_NE(inventory.report().find("on_hand=1"), std::string::npos);
+}
+
+TEST(Inventory, SelfTestIsGreen) {
+    core::SelfTestableComponent component(inventory_spec(), inventory_binding());
+    const auto report = component.self_test();
+    EXPECT_TRUE(report.all_passed()) << report.summary();
+    EXPECT_GT(report.assertions_checked, 0u);
+}
+
+TEST(Inventory, FaultInTheComposedPartSurfacesInTheWholesSuite) {
+    // Activate an interface mutant inside the *composed* CSortableObList
+    // (Sort1's new-head site replaced by NULL): the Inventory suite —
+    // which never mentions the list directly — must reveal it, because
+    // the part's test resources (assertions, pool checks) travel with it
+    // into the composition.
+    const auto* sort1 = mfc::descriptors().find("CSortableObList", "Sort1");
+    ASSERT_NE(sort1, nullptr);
+    const mutation::Mutant m{
+        sort1, 19, mutation::Operator::IndVarRepReq, "",
+        mutation::required_constants(mutation::pointer_type("CNode")).front()};
+
+    core::SelfTestableComponent component(inventory_spec(), inventory_binding());
+    const auto suite = component.generate_tests();
+
+    const auto healthy = component.self_test(suite);
+    ASSERT_TRUE(healthy.all_passed());
+
+    const mutation::MutantActivation activation(m);
+    const auto mutated = component.self_test(suite);
+    EXPECT_FALSE(mutated.all_passed())
+        << "the composed part's fault must not stay hidden in the whole";
+}
+
+}  // namespace
+}  // namespace stc::examples

@@ -1,0 +1,476 @@
+#include <gtest/gtest.h>
+
+#include "stc/mutation/controller.h"
+#include "stc/mutation/descriptor.h"
+#include "stc/mutation/engine.h"
+#include "stc/mutation/frame.h"
+#include "stc/mutation/mutant.h"
+#include "stc/mutation/report.h"
+#include "test_component.h"
+
+namespace stc::mutation {
+namespace {
+
+// -------------------------------------------------------------- descriptor
+
+TEST(Descriptor, BuilderCollectsVariableSets) {
+    const MethodDescriptor d = MethodDescriptor::Builder("C", "f")
+                                   .param("p", int_type())
+                                   .local("l1", int_type())
+                                   .local("l2", pointer_type("Node"))
+                                   .attr("g_used", int_type(), true)
+                                   .attr("g_unused", int_type(), false)
+                                   .site("l1")
+                                   .site("g_used")
+                                   .build();
+    EXPECT_EQ(d.qualified_name(), "C::f");
+    EXPECT_EQ(d.locals().size(), 2u);
+    EXPECT_EQ(d.globals_used().size(), 1u);
+    EXPECT_EQ(d.globals_unused().size(), 1u);
+    ASSERT_EQ(d.sites().size(), 2u);
+    EXPECT_EQ(d.sites()[0].ordinal, 0u);
+    EXPECT_EQ(d.sites()[1].var, "g_used");
+    EXPECT_EQ(d.sites()[0].type, int_type());
+}
+
+TEST(Descriptor, SiteOnParamRejected) {
+    EXPECT_THROW((void)MethodDescriptor::Builder("C", "f")
+                     .param("p", int_type())
+                     .site("p")
+                     .build(),
+                 SpecError);
+}
+
+TEST(Descriptor, SiteOnUnknownOrUnusedVarRejected) {
+    EXPECT_THROW((void)MethodDescriptor::Builder("C", "f").site("ghost").build(),
+                 SpecError);
+    EXPECT_THROW((void)MethodDescriptor::Builder("C", "f")
+                     .attr("e", int_type(), false)
+                     .site("e")
+                     .build(),
+                 SpecError);
+}
+
+TEST(DescriptorRegistry, LookupAndDuplicates) {
+    static const MethodDescriptor d =
+        MethodDescriptor::Builder("C", "f").local("x", int_type()).build();
+    DescriptorRegistry registry;
+    registry.add(&d);
+    EXPECT_EQ(registry.find("C", "f"), &d);
+    EXPECT_EQ(registry.find("C", "g"), nullptr);
+    EXPECT_EQ(registry.for_class("C").size(), 1u);
+    EXPECT_THROW(registry.add(&d), SpecError);
+    EXPECT_THROW(registry.add(nullptr), ContractError);
+}
+
+// ------------------------------------------------------------- enumeration
+
+TEST(Enumeration, CounterIncHasTheHandCountedPopulation) {
+    const auto mutants = enumerate_mutants(stc::testing::Counter::inc_descriptor());
+    // See test_component.h: 9 mutants per site, two sites.
+    EXPECT_EQ(mutants.size(), 18u);
+
+    std::size_t bitneg = 0;
+    std::size_t repglob = 0;
+    std::size_t reploc = 0;
+    std::size_t repext = 0;
+    std::size_t repreq = 0;
+    for (const auto& m : mutants) {
+        switch (m.op) {
+            case Operator::IndVarBitNeg: ++bitneg; break;
+            case Operator::IndVarRepGlob: ++repglob; break;
+            case Operator::IndVarRepLoc: ++reploc; break;
+            case Operator::IndVarRepExt: ++repext; break;
+            case Operator::IndVarRepReq: ++repreq; break;
+            default: FAIL() << "paper set must not contain DirVar: " << m.id();
+        }
+    }
+    EXPECT_EQ(bitneg, 2u);   // one per int site
+    EXPECT_EQ(repglob, 3u);  // delta->{value_,step_}, value_->{step_}
+    EXPECT_EQ(reploc, 1u);   // value_->delta
+    EXPECT_EQ(repext, 2u);   // ->max_ at each site
+    EXPECT_EQ(repreq, 10u);  // 5 constants x 2 sites
+}
+
+TEST(Enumeration, TypeCompatibilityIsEnforced) {
+    static const MethodDescriptor d = MethodDescriptor::Builder("C", "f")
+                                          .local("pi", int_type())
+                                          .local("pp", pointer_type("Node"))
+                                          .attr("gi", int_type(), true)
+                                          .attr("gp", pointer_type("Node"), true)
+                                          .attr("gq", pointer_type("Other"), true)
+                                          .site("pp")
+                                          .build();
+    const auto mutants = enumerate_mutants(d);
+    for (const auto& m : mutants) {
+        // A pointer site can only be replaced by same-pointee pointers
+        // (gp), never the int local/attr nor the Other-typed pointer.
+        EXPECT_NE(m.replacement_var, "pi");
+        EXPECT_NE(m.replacement_var, "gi");
+        EXPECT_NE(m.replacement_var, "gq");
+    }
+    std::size_t repglob = 0;
+    for (const auto& m : mutants) repglob += m.op == Operator::IndVarRepGlob ? 1 : 0;
+    EXPECT_EQ(repglob, 1u);  // only gp
+}
+
+TEST(Enumeration, IdentityReplacementExcluded) {
+    static const MethodDescriptor d = MethodDescriptor::Builder("C", "f")
+                                          .attr("g", int_type(), true)
+                                          .site("g")
+                                          .build();
+    for (const auto& m : enumerate_mutants(d)) {
+        EXPECT_NE(m.replacement_var, "g") << m.id();
+    }
+}
+
+TEST(Enumeration, NoBitNegForPointers) {
+    static const MethodDescriptor d = MethodDescriptor::Builder("C", "f")
+                                          .local("p", pointer_type("Node"))
+                                          .site("p")
+                                          .build();
+    for (const auto& m : enumerate_mutants(d)) {
+        EXPECT_NE(m.op, Operator::IndVarBitNeg);
+    }
+}
+
+TEST(Enumeration, OperatorSubsetHonored) {
+    const auto only_req = enumerate_mutants(stc::testing::Counter::inc_descriptor(),
+                                            {Operator::IndVarRepReq});
+    EXPECT_EQ(only_req.size(), 10u);
+    for (const auto& m : only_req) EXPECT_EQ(m.op, Operator::IndVarRepReq);
+}
+
+TEST(RequiredConstants, MatchThePaperSets) {
+    const auto ints = required_constants(int_type());
+    ASSERT_EQ(ints.size(), 5u);  // 0, 1, -1, MAXINT, MININT
+    EXPECT_EQ(ints[3].label, "MAXINT");
+    EXPECT_EQ(ints[4].label, "MININT");
+    const auto ptrs = required_constants(pointer_type("Node"));
+    ASSERT_EQ(ptrs.size(), 1u);
+    EXPECT_EQ(ptrs[0].label, "NULL");
+    EXPECT_EQ(required_constants(real_type()).size(), 2u);
+}
+
+TEST(MutantId, IsDescriptive) {
+    const auto mutants = enumerate_mutants(stc::testing::Counter::inc_descriptor());
+    const std::string id = mutants.front().id();
+    EXPECT_NE(id.find("Counter::Inc"), std::string::npos);
+    EXPECT_NE(id.find("@s0"), std::string::npos);
+}
+
+// -------------------------------------------------------- controller/frame
+
+class FrameTest : public ::testing::Test {
+protected:
+    static const MethodDescriptor& desc() {
+        return stc::testing::Counter::inc_descriptor();
+    }
+
+    static Mutant make(std::size_t site, Operator op, std::string var = "",
+                       std::optional<RequiredConstant> rc = {}) {
+        return Mutant{&desc(), site, op, std::move(var), std::move(rc)};
+    }
+};
+
+TEST_F(FrameTest, NoActiveMutantPassesValuesThrough) {
+    MutFrame frame(desc());
+    int value = 41;
+    frame.bind("value_", &value);
+    EXPECT_EQ(frame.use(0, 7), 7);
+    EXPECT_FALSE(MutationController::instance().hit());
+}
+
+TEST_F(FrameTest, BitNegActsOnlyOnItsSite) {
+    const Mutant m = make(0, Operator::IndVarBitNeg);
+    MutantActivation activation(m);
+    MutFrame frame(desc());
+    EXPECT_EQ(frame.use(1, 7), 7);   // other site untouched
+    EXPECT_FALSE(MutationController::instance().hit());
+    EXPECT_EQ(frame.use(0, 7), ~7);  // targeted site negated
+    EXPECT_TRUE(MutationController::instance().hit());
+}
+
+TEST_F(FrameTest, RepReqSubstitutesConstant) {
+    const Mutant m = make(0, Operator::IndVarRepReq, "",
+                          RequiredConstant{TypeKey::Kind::Int, -1, 0.0, "MINUSONE"});
+    MutantActivation activation(m);
+    MutFrame frame(desc());
+    EXPECT_EQ(frame.use(0, 999), -1);
+}
+
+TEST_F(FrameTest, RepVarReadsTheBoundReplacement) {
+    const Mutant m = make(0, Operator::IndVarRepExt, "max_");
+    MutantActivation activation(m);
+    MutFrame frame(desc());
+    int max_attr = 123;
+    frame.bind("max_", &max_attr);
+    EXPECT_EQ(frame.use(0, 1), 123);
+    max_attr = 456;  // live read, not a snapshot
+    EXPECT_EQ(frame.use(0, 1), 456);
+}
+
+TEST_F(FrameTest, UnboundReplacementIsInstrumentationBug) {
+    const Mutant m = make(0, Operator::IndVarRepGlob, "value_");
+    MutantActivation activation(m);
+    MutFrame frame(desc());  // nothing bound
+    EXPECT_THROW((void)frame.use(0, 1), ContractError);
+}
+
+TEST_F(FrameTest, OtherMethodsFramesUnaffected) {
+    static const MethodDescriptor other =
+        MethodDescriptor::Builder("Other", "g").local("x", int_type()).site("x").build();
+    const Mutant m = make(0, Operator::IndVarBitNeg);
+    MutantActivation activation(m);
+    MutFrame frame(other);
+    EXPECT_EQ(frame.use(0, 5), 5);  // mutant targets Counter::Inc, not Other::g
+}
+
+TEST_F(FrameTest, PointerSiteSemantics) {
+    static const MethodDescriptor d = MethodDescriptor::Builder("P", "f")
+                                          .local("a", pointer_type("Node"))
+                                          .local("b", pointer_type("Node"))
+                                          .site("a")
+                                          .build();
+    int object = 0;
+    int other = 0;
+
+    {
+        const Mutant null_mutant{&d, 0, Operator::IndVarRepReq, "",
+                                 required_constants(pointer_type("Node")).front()};
+        MutantActivation activation(null_mutant);
+        MutFrame frame(d);
+        EXPECT_EQ(frame.use_ptr(0, &object), nullptr);
+    }
+    {
+        const Mutant swap_mutant{&d, 0, Operator::IndVarRepLoc, "b", {}};
+        MutantActivation activation(swap_mutant);
+        MutFrame frame(d);
+        int* b_value = &other;
+        frame.bind_ptr("b", &b_value);
+        EXPECT_EQ(frame.use_ptr(0, &object), &other);
+    }
+}
+
+TEST_F(FrameTest, RealSiteSemantics) {
+    static const MethodDescriptor d = MethodDescriptor::Builder("R", "f")
+                                          .local("x", real_type())
+                                          .local("y", real_type())
+                                          .site("x")
+                                          .build();
+    const Mutant m{&d, 0, Operator::IndVarRepLoc, "y", {}};
+    MutantActivation activation(m);
+    MutFrame frame(d);
+    double y = 2.5;
+    frame.bind("y", &y);
+    EXPECT_DOUBLE_EQ(frame.use_real(0, 1.0), 2.5);
+}
+
+TEST_F(FrameTest, ActivationIsExclusive) {
+    const Mutant a = make(0, Operator::IndVarBitNeg);
+    const Mutant b = make(1, Operator::IndVarBitNeg);
+    MutantActivation first(a);
+    EXPECT_THROW(MutantActivation second(b), ContractError);
+}
+
+TEST_F(FrameTest, ActivationClearsOnScopeExit) {
+    {
+        const Mutant m = make(0, Operator::IndVarBitNeg);
+        MutantActivation activation(m);
+        EXPECT_TRUE(MutationController::instance().any_active());
+    }
+    EXPECT_FALSE(MutationController::instance().any_active());
+}
+
+// ------------------------------------------------------------------ engine
+
+class EngineTest : public ::testing::Test {
+protected:
+    EngineTest() : spec_(stc::testing::counter_spec()) {
+        registry_.add(stc::testing::counter_binding());
+        suite_ = driver::DriverGenerator(spec_).generate();
+        driver::GeneratorOptions probe_options;
+        probe_options.seed = 999;
+        probe_options.cases_per_transaction = 3;
+        probe_ = driver::DriverGenerator(spec_, probe_options).generate();
+        mutants_ = enumerate_mutants(stc::testing::counter_descriptors(), "Counter");
+    }
+
+    tspec::ComponentSpec spec_;
+    reflect::Registry registry_;
+    driver::TestSuite suite_;
+    driver::TestSuite probe_;
+    std::vector<Mutant> mutants_;
+};
+
+TEST_F(EngineTest, BaselineIsCleanAndMostMutantsDie) {
+    const MutationEngine engine(registry_);
+    const MutationRun run = engine.run(suite_, mutants_, &probe_);
+    EXPECT_TRUE(run.baseline_clean);
+    EXPECT_EQ(run.total(), 18u);
+    // The Counter's Inc is exercised by every transaction through n3/n4;
+    // value-visible mutations die via output or assertion.
+    EXPECT_GT(run.score(), 0.8);
+    EXPECT_GT(run.kills_by(oracle::KillReason::Assertion) +
+                  run.kills_by(oracle::KillReason::OutputDiff),
+              0u);
+}
+
+TEST_F(EngineTest, SpecificMutantFates) {
+    // delta -> ZERO: Inc becomes a no-op; final Get differs -> output kill.
+    const Mutant zero{&stc::testing::Counter::inc_descriptor(), 0,
+                      Operator::IndVarRepReq, "",
+                      RequiredConstant{TypeKey::Kind::Int, 0, 0.0, "ZERO"}};
+    // value_ -> MAXINT at the read: overflow breaks the postcondition.
+    const Mutant maxint{&stc::testing::Counter::inc_descriptor(), 1,
+                        Operator::IndVarRepReq, "",
+                        RequiredConstant{TypeKey::Kind::Int,
+                                         std::numeric_limits<std::int32_t>::max(), 0.0,
+                                         "MAXINT"}};
+    const MutationEngine engine(registry_);
+    const MutationRun run = engine.run(suite_, {zero, maxint}, &probe_);
+    ASSERT_EQ(run.outcomes.size(), 2u);
+    // A no-op Inc is caught either by a later Dec's precondition or by
+    // the differing Get output, depending on the transaction.
+    EXPECT_EQ(run.outcomes[0].fate, MutantFate::Killed);
+    EXPECT_NE(run.outcomes[0].reason, oracle::KillReason::None);
+    EXPECT_EQ(run.outcomes[1].fate, MutantFate::Killed);
+    EXPECT_EQ(run.outcomes[1].reason, oracle::KillReason::Assertion);
+    EXPECT_TRUE(run.outcomes[0].hit_by_suite);
+}
+
+TEST_F(EngineTest, AssertionsOnlyOracleKillsFewer) {
+    EngineOptions assertions_only;
+    assertions_only.oracle.use_output_diff = false;
+    const MutationRun weak =
+        MutationEngine(registry_, assertions_only).run(suite_, mutants_, &probe_);
+    const MutationRun full = MutationEngine(registry_).run(suite_, mutants_, &probe_);
+    EXPECT_LT(weak.killed(), full.killed());
+    EXPECT_EQ(weak.kills_by(oracle::KillReason::OutputDiff), 0u);
+}
+
+TEST_F(EngineTest, NotCoveredWhenSuiteMissesTheSite) {
+    // A suite whose transactions never call Inc: only the n1->n4(Inc,Dec)
+    // path family calls it... so build a suite from the Get-only paths.
+    driver::TestSuite narrow = suite_;
+    narrow.cases.clear();
+    for (const auto& tc : suite_.cases) {
+        bool calls_inc = false;
+        for (const auto& call : tc.calls) calls_inc |= call.method_name == "Inc";
+        if (!calls_inc) narrow.cases.push_back(tc);
+    }
+    ASSERT_FALSE(narrow.cases.empty());
+
+    const MutationEngine engine(registry_);
+    const MutationRun run = engine.run(narrow, {mutants_.front()}, nullptr);
+    ASSERT_EQ(run.outcomes.size(), 1u);
+    EXPECT_EQ(run.outcomes[0].fate, MutantFate::NotCovered);
+    EXPECT_FALSE(run.outcomes[0].hit_by_suite);
+}
+
+TEST_F(EngineTest, ProbeSeparatesMissedFromEquivalent) {
+    // Same narrow suite, but with the probe (which covers Inc): a
+    // killable mutant missed by the suite is Alive + killed_by_probe.
+    driver::TestSuite narrow = suite_;
+    narrow.cases.clear();
+    for (const auto& tc : suite_.cases) {
+        bool calls_inc = false;
+        for (const auto& call : tc.calls) calls_inc |= call.method_name == "Inc";
+        if (!calls_inc) narrow.cases.push_back(tc);
+    }
+    const Mutant zero{&stc::testing::Counter::inc_descriptor(), 0,
+                      Operator::IndVarRepReq, "",
+                      RequiredConstant{TypeKey::Kind::Int, 0, 0.0, "ZERO"}};
+    const MutationEngine engine(registry_);
+    const MutationRun run = engine.run(narrow, {zero}, &probe_);
+    ASSERT_EQ(run.outcomes.size(), 1u);
+    EXPECT_EQ(run.outcomes[0].fate, MutantFate::Alive);
+    EXPECT_TRUE(run.outcomes[0].killed_by_probe);
+}
+
+TEST_F(EngineTest, ScoreFormulaMatchesThePaper) {
+    MutationRun run;
+    run.outcomes.resize(10);
+    static const MethodDescriptor& d = stc::testing::Counter::inc_descriptor();
+    static const Mutant m{&d, 0, Operator::IndVarBitNeg, "", {}};
+    for (auto& o : run.outcomes) o.mutant = &m;
+    for (int i = 0; i < 6; ++i) run.outcomes[i].fate = MutantFate::Killed;
+    run.outcomes[6].fate = MutantFate::EquivalentPresumed;
+    run.outcomes[7].fate = MutantFate::EquivalentPresumed;
+    run.outcomes[8].fate = MutantFate::Alive;
+    run.outcomes[9].fate = MutantFate::NotCovered;
+    // killed / (total - equivalent) = 6 / 8
+    EXPECT_DOUBLE_EQ(run.score(), 0.75);
+    EXPECT_EQ(run.killed(), 6u);
+    EXPECT_EQ(run.equivalent(), 2u);
+}
+
+// ------------------------------------------------------------------ report
+
+TEST_F(EngineTest, TableAggregatesPerMethodAndOperator) {
+    const MutationEngine engine(registry_);
+    const MutationRun run = engine.run(suite_, mutants_, &probe_);
+    const MutationTable table = MutationTable::build(run);
+    ASSERT_EQ(table.methods().size(), 1u);
+    EXPECT_EQ(table.methods()[0], "Inc");
+    EXPECT_EQ(table.grand_total().total, 18u);
+    EXPECT_EQ(table.row_total("Inc").total, 18u);
+    EXPECT_EQ(table.column_total(Operator::IndVarRepReq).total, 10u);
+    EXPECT_EQ(table.cell("Inc", Operator::IndVarBitNeg).total, 2u);
+    EXPECT_EQ(table.cell("Ghost", Operator::IndVarBitNeg).total, 0u);
+
+    std::ostringstream os;
+    table.render(os, run);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("IndVarRepLoc"), std::string::npos);
+    EXPECT_NE(out.find("#mutants"), std::string::npos);
+    EXPECT_NE(out.find("Score"), std::string::npos);
+    EXPECT_NE(out.find("kills by reason:"), std::string::npos);
+
+    std::ostringstream csv;
+    table.render_csv(csv);
+    EXPECT_NE(csv.str().find("Inc,IndVarRepReq,10"), std::string::npos);
+}
+
+TEST_F(EngineTest, ManualOracleComplementsTheAutomaticChannels) {
+    // The identity-like mutant delta -> step_ (delta is initialized from
+    // step_) survives crash/assertion/output channels; only a manually
+    // derived oracle (§3.3) can condemn it.
+    const Mutant identity{&stc::testing::Counter::inc_descriptor(), 0,
+                          Operator::IndVarRepGlob, "step_", {}};
+
+    const MutationEngine plain(registry_);
+    const auto survived = plain.run(suite_, {identity}, &probe_);
+    ASSERT_EQ(survived.outcomes[0].fate, MutantFate::EquivalentPresumed);
+
+    EngineOptions strict;
+    strict.manual_oracle = [](const std::string&, const std::string&) {
+        return false;  // the tester's oracle rejects every observed state
+    };
+    const MutationEngine picky(registry_, strict);
+    const auto judged = picky.run(suite_, {identity}, &probe_);
+    EXPECT_EQ(judged.outcomes[0].fate, MutantFate::Killed);
+    EXPECT_EQ(judged.outcomes[0].reason, oracle::KillReason::ManualOracle);
+}
+
+TEST_F(EngineTest, AssertionGuidanceNamesInstrumentedMethods) {
+    const MutationEngine engine(registry_);
+    const MutationRun run = engine.run(suite_, mutants_, &probe_);
+    std::ostringstream os;
+    MutationTable::render_assertion_guidance(os, run);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Counter::Inc"), std::string::npos);
+    EXPECT_NE(out.find("assertion share"), std::string::npos);
+    EXPECT_NE(out.find("ASSERT++"), std::string::npos);
+}
+
+TEST(OperatorNames, MatchTable1) {
+    EXPECT_STREQ(to_string(Operator::IndVarBitNeg), "IndVarBitNeg");
+    EXPECT_STREQ(describe(Operator::IndVarRepGlob),
+                 "Replaces non-interface variable by G(R2)");
+    EXPECT_STREQ(describe(Operator::IndVarRepReq),
+                 "Replaces non-interface variable by RC");
+}
+
+}  // namespace
+}  // namespace stc::mutation

@@ -1,0 +1,206 @@
+// Error-recovery (negative) transactions — §3.4.1 highlights transaction
+// coverage as "useful to reveal faults in transactions, specially those
+// used less frequently, such as error-recovery transactions".  A node
+// entry "!mX" drives mX outside its declared domain and expects the
+// precondition to reject the call, with the object surviving.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "product_component.h"
+#include "stc/codegen/driver_codegen.h"
+#include "stc/core/self_testable.h"
+#include "stc/driver/runner.h"
+#include "stc/driver/suite_io.h"
+#include "stc/reflect/binder.h"
+#include "stc/tspec/builder.h"
+#include "stc/tspec/parser.h"
+
+namespace stc {
+namespace {
+
+using examples::Product;
+
+/// Product spec extended with an error-recovery transaction:
+/// create -> !UpdateQty (out-of-range) -> ShowAttributes -> destroy.
+tspec::ComponentSpec product_with_recovery() {
+    tspec::ComponentSpec spec = examples::product_spec();
+    spec.nodes.push_back({"nE", false, 1, {"!m6"}});   // negative UpdateQty
+    spec.nodes.push_back({"nE2", false, 1, {"m9"}});   // ShowAttributes after
+    spec.edges.push_back({"n1", "nE"});
+    spec.edges.push_back({"nE", "nE2"});
+    spec.edges.push_back({"nE2", "n11"});
+    // Fix the declared out-degrees our additions changed.
+    for (auto& n : spec.nodes) {
+        int out = 0;
+        for (const auto& e : spec.edges) out += e.from == n.id ? 1 : 0;
+        n.declared_out_degree = out;
+    }
+    spec.ensure_valid();
+    return spec;
+}
+
+// ------------------------------------------------------------------ model
+
+TEST(NegativeCalls, MarkerHelpers) {
+    EXPECT_TRUE(tspec::is_negative_call("!m6"));
+    EXPECT_FALSE(tspec::is_negative_call("m6"));
+    EXPECT_EQ(tspec::strip_negative_marker("!m6"), "m6");
+    EXPECT_EQ(tspec::strip_negative_marker("m6"), "m6");
+}
+
+TEST(NegativeCalls, ParserAcceptsMarkerInNodeLists) {
+    const auto spec = tspec::parse_tspec(
+        "Class ('X', No, <empty>, <empty>)\n"
+        "Method (m1, 'X', <empty>, constructor, 0)\n"
+        "Method (m2, 'f', <empty>, new, 1)\n"
+        "Parameter (m2, 'q', range, 0, 9)\n"
+        "Node (n1, Yes, 1, [m1])\n"
+        "Node (n2, No, 0, [!m2])\n"
+        "Edge (n1, n2)\n");
+    EXPECT_TRUE(spec.validate().empty());
+    EXPECT_EQ(spec.nodes[1].method_ids, (std::vector<std::string>{"!m2"}));
+}
+
+TEST(NegativeCalls, ValidationRejectsMarkerMisuse) {
+    // Negative marker on a constructor.
+    tspec::ComponentSpec spec;
+    spec.class_name = "X";
+    spec.methods.push_back({"m1", "X", "", tspec::MethodCategory::Constructor, {}});
+    spec.nodes.push_back({"n1", true, 0, {"m1", "!m1"}});
+    EXPECT_FALSE(spec.validate().empty());
+
+    // Unknown method behind the marker.
+    tspec::ComponentSpec spec2;
+    spec2.class_name = "X";
+    spec2.methods.push_back({"m1", "X", "", tspec::MethodCategory::Constructor, {}});
+    spec2.nodes.push_back({"n1", true, 0, {"m1", "!mZ"}});
+    EXPECT_FALSE(spec2.validate().empty());
+}
+
+// -------------------------------------------------------------- generation
+
+TEST(NegativeCalls, GeneratorPlacesOutOfDomainArgument) {
+    const auto spec = product_with_recovery();
+    const auto suite = driver::DriverGenerator(spec).generate();
+
+    std::size_t negative_calls = 0;
+    for (const auto& tc : suite.cases) {
+        for (const auto& call : tc.calls) {
+            if (!call.expect_rejection) continue;
+            ++negative_calls;
+            EXPECT_EQ(call.method_name, "UpdateQty");
+            ASSERT_EQ(call.arguments.size(), 1u);
+            const auto q = call.arguments[0].as_int();
+            EXPECT_TRUE(q < 0 || q > 99999) << q;
+            EXPECT_EQ(call.render().substr(0, 1), "!");
+        }
+    }
+    EXPECT_GT(negative_calls, 0u);
+}
+
+TEST(NegativeCalls, GeneratorRejectsUnrejectableMethods) {
+    // A parameterless method cannot be driven out of contract by values.
+    tspec::SpecBuilder b("X");
+    b.method("m1", "X", tspec::MethodCategory::Constructor);
+    b.method("m2", "~X", tspec::MethodCategory::Destructor);
+    b.method("m3", "f", tspec::MethodCategory::New);
+    b.node("n1", true, {"m1"});
+    b.node("n2", false, {"!m3"});
+    b.node("n3", false, {"m2"});
+    b.edge("n1", "n2").edge("n2", "n3");
+    EXPECT_THROW((void)driver::DriverGenerator(b.build()).generate(), SpecError);
+}
+
+// --------------------------------------------------------------- execution
+
+TEST(NegativeCalls, HealthyComponentRejectsAndSurvives) {
+    const auto spec = product_with_recovery();
+    core::SelfTestableComponent component(spec, examples::product_binding());
+    examples::ProviderPool providers;
+    component.set_completions(examples::product_completions(providers));
+
+    const auto report = component.self_test();
+    EXPECT_TRUE(report.all_passed()) << report.summary();
+
+    // The rejection is part of the observable record.
+    bool saw_rejection = false;
+    for (const auto& r : report.result.results) {
+        saw_rejection =
+            saw_rejection || r.report.find("UpdateQty -> <rejected>") !=
+                                 std::string::npos;
+    }
+    EXPECT_TRUE(saw_rejection);
+}
+
+TEST(NegativeCalls, LaxComponentGetsContractNotEnforced) {
+    // A Product whose UpdateQty swallows anything: the error-recovery
+    // transaction must expose the missing contract check.
+    class LaxProduct : public Product {
+    public:
+        using Product::Product;
+        void LaxUpdateQty(int q) {
+            if (q >= 0 && q <= kMaxQty) UpdateQty(q);
+            // silently ignore out-of-range input: no rejection
+        }
+    };
+    reflect::Binder<LaxProduct> b("Product");
+    b.ctor<>();
+    b.ctor<int, const char*, float, examples::Provider*>();
+    b.ctor<const char*>();
+    b.method("UpdateName", &Product::UpdateName);
+    b.method("UpdateQty", &LaxProduct::LaxUpdateQty);
+    b.method("UpdatePrice", &Product::UpdatePrice);
+    b.method("UpdateProv", &Product::UpdateProv);
+    b.method("ShowAttributes", &Product::ShowAttributes);
+    b.method("InsertProduct", &Product::InsertProduct);
+    b.custom("RemoveProduct", 0, [](LaxProduct& p, const reflect::Args&) {
+        return domain::Value::make_string(p.RemoveProduct() ? "removed" : "<absent>");
+    });
+
+    const auto spec = product_with_recovery();
+    core::SelfTestableComponent component(spec, b.take());
+    examples::ProviderPool providers;
+    component.set_completions(examples::product_completions(providers));
+
+    const auto report = component.self_test();
+    EXPECT_FALSE(report.all_passed());
+    EXPECT_GT(report.result.count(driver::Verdict::ContractNotEnforced), 0u);
+}
+
+// ------------------------------------------------------------- persistence
+
+TEST(NegativeCalls, RejectionFlagSurvivesSaveLoad) {
+    const auto spec = product_with_recovery();
+    const auto suite = driver::DriverGenerator(spec).generate();
+
+    std::stringstream buffer;
+    driver::save_suite(buffer, suite);
+    const auto loaded = driver::load_suite(buffer);
+    ASSERT_EQ(loaded.size(), suite.size());
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        ASSERT_EQ(loaded.cases[i].calls.size(), suite.cases[i].calls.size());
+        for (std::size_t c = 0; c < suite.cases[i].calls.size(); ++c) {
+            EXPECT_EQ(loaded.cases[i].calls[c].expect_rejection,
+                      suite.cases[i].calls[c].expect_rejection);
+        }
+    }
+}
+
+// ----------------------------------------------------------------- codegen
+
+TEST(NegativeCalls, CodegenEmitsExpectedViolationBlock) {
+    const auto spec = product_with_recovery();
+    driver::GeneratorOptions options;
+    options.enumeration.max_node_visits = 1;
+    const auto suite = driver::DriverGenerator(spec, options).generate();
+
+    const codegen::DriverCodegen generator(spec);
+    const std::string src = generator.suite_source(suite);
+    EXPECT_NE(src.find("catch (const stc::bit::AssertionViolation&)"),
+              std::string::npos);
+    EXPECT_NE(src.find("CONTRACT NOT ENFORCED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stc

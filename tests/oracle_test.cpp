@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "stc/oracle/oracle.h"
+
+namespace stc::oracle {
+namespace {
+
+using driver::TestResult;
+using driver::Verdict;
+
+driver::SuiteResult make_suite(std::vector<TestResult> results) {
+    driver::SuiteResult out;
+    out.results = std::move(results);
+    return out;
+}
+
+TestResult passing(const std::string& id, const std::string& report) {
+    TestResult r;
+    r.case_id = id;
+    r.verdict = Verdict::Pass;
+    r.report = report;
+    return r;
+}
+
+TestResult failing(const std::string& id, Verdict verdict) {
+    TestResult r;
+    r.case_id = id;
+    r.verdict = verdict;
+    r.message = "boom";
+    return r;
+}
+
+// ------------------------------------------------------------ GoldenRecord
+
+TEST(GoldenRecord, CapturesBaselineBehaviour) {
+    const auto golden = GoldenRecord::from(
+        make_suite({passing("TC0", "state-a"), passing("TC1", "state-b")}));
+    EXPECT_EQ(golden.size(), 2u);
+    EXPECT_TRUE(golden.all_passed());
+    ASSERT_NE(golden.find("TC1"), nullptr);
+    EXPECT_EQ(golden.find("TC1")->report, "state-b");
+    EXPECT_EQ(golden.find("TC9"), nullptr);
+}
+
+TEST(GoldenRecord, AllPassedFalseWhenBaselineDirty) {
+    const auto golden = GoldenRecord::from(
+        make_suite({passing("TC0", "x"), failing("TC1", Verdict::Crash)}));
+    EXPECT_FALSE(golden.all_passed());
+}
+
+// ---------------------------------------------------------------- classify
+
+TEST(Classify, IdenticalBehaviourIsAlive) {
+    const GoldenEntry golden{"TC0", Verdict::Pass, "same", ""};
+    EXPECT_EQ(classify(golden, passing("TC0", "same")), KillReason::None);
+}
+
+TEST(Classify, CrashKillsWithHighestPriority) {
+    const GoldenEntry golden{"TC0", Verdict::Pass, "same", ""};
+    EXPECT_EQ(classify(golden, failing("TC0", Verdict::Crash)), KillReason::Crash);
+}
+
+TEST(Classify, AssertionKillRequiresCleanBaseline) {
+    const GoldenEntry clean{"TC0", Verdict::Pass, "same", ""};
+    EXPECT_EQ(classify(clean, failing("TC0", Verdict::AssertionViolation)),
+              KillReason::Assertion);
+    // Paper §4 condition (ii): "given that this was not the case with the
+    // original program".
+    const GoldenEntry dirty{"TC0", Verdict::AssertionViolation, "", "boom"};
+    OracleConfig no_output;
+    no_output.use_output_diff = false;
+    EXPECT_EQ(classify(dirty, failing("TC0", Verdict::AssertionViolation), no_output),
+              KillReason::None);
+}
+
+TEST(Classify, OutputDifferenceKills) {
+    const GoldenEntry golden{"TC0", Verdict::Pass, "expected", ""};
+    EXPECT_EQ(classify(golden, passing("TC0", "different")), KillReason::OutputDiff);
+    // Verdict change also counts as an output difference.
+    EXPECT_EQ(classify(golden, failing("TC0", Verdict::UncaughtException)),
+              KillReason::OutputDiff);
+}
+
+TEST(Classify, ChannelsCanBeDisabled) {
+    const GoldenEntry golden{"TC0", Verdict::Pass, "expected", ""};
+    OracleConfig assertions_only;
+    assertions_only.use_output_diff = false;
+    EXPECT_EQ(classify(golden, passing("TC0", "different"), assertions_only),
+              KillReason::None);
+
+    OracleConfig output_only;
+    output_only.use_assertions = false;
+    // An assertion failure still differs in verdict -> output diff channel.
+    EXPECT_EQ(classify(golden, failing("TC0", Verdict::AssertionViolation),
+                       output_only),
+              KillReason::OutputDiff);
+
+    OracleConfig nothing;
+    nothing.use_crashes = false;
+    nothing.use_assertions = false;
+    nothing.use_output_diff = false;
+    EXPECT_EQ(classify(golden, failing("TC0", Verdict::Crash), nothing),
+              KillReason::None);
+}
+
+TEST(Classify, ManualOracleComplementsAssertions) {
+    const GoldenEntry golden{"TC0", Verdict::Pass, "sorted: 1 2 3", ""};
+    // The observed run passes and matches the golden output; only a
+    // manually derived oracle can reject it (paper §3.3).
+    const ManualPredicate reject_all = [](const std::string&, const std::string&) {
+        return false;
+    };
+    OracleConfig config;
+    config.use_output_diff = false;
+    EXPECT_EQ(classify(golden, passing("TC0", "sorted: 1 2 3"), config, reject_all),
+              KillReason::ManualOracle);
+    const ManualPredicate accept_all = [](const std::string&, const std::string&) {
+        return true;
+    };
+    EXPECT_EQ(classify(golden, passing("TC0", "sorted: 1 2 3"), config, accept_all),
+              KillReason::None);
+}
+
+// ------------------------------------------------------------ whole suites
+
+TEST(ClassifySuite, StrongestReasonWins) {
+    const auto golden = GoldenRecord::from(
+        make_suite({passing("TC0", "a"), passing("TC1", "b"), passing("TC2", "c")}));
+    const auto observed = make_suite({
+        passing("TC0", "a"),
+        passing("TC1", "DIFFERENT"),
+        failing("TC2", Verdict::AssertionViolation),
+    });
+    EXPECT_EQ(classify_suite(golden, observed), KillReason::Assertion);
+}
+
+TEST(ClassifySuite, AliveWhenEverythingMatches) {
+    const auto golden =
+        GoldenRecord::from(make_suite({passing("TC0", "a"), passing("TC1", "b")}));
+    const auto observed = make_suite({passing("TC0", "a"), passing("TC1", "b")});
+    EXPECT_EQ(classify_suite(golden, observed), KillReason::None);
+}
+
+TEST(ClassifySuite, UnknownCasesAreIgnored) {
+    const auto golden = GoldenRecord::from(make_suite({passing("TC0", "a")}));
+    const auto observed =
+        make_suite({passing("TC0", "a"), failing("TC99", Verdict::Crash)});
+    EXPECT_EQ(classify_suite(golden, observed), KillReason::None);
+}
+
+TEST(KillReasonNames, AreStable) {
+    EXPECT_STREQ(to_string(KillReason::None), "alive");
+    EXPECT_STREQ(to_string(KillReason::Crash), "crash");
+    EXPECT_STREQ(to_string(KillReason::Assertion), "assertion");
+    EXPECT_STREQ(to_string(KillReason::OutputDiff), "output-diff");
+    EXPECT_STREQ(to_string(KillReason::ManualOracle), "manual-oracle");
+}
+
+}  // namespace
+}  // namespace stc::oracle

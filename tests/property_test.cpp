@@ -1,0 +1,311 @@
+// Cross-cutting property tests: randomized sweeps over generated specs,
+// graphs, and suites, checking invariants that must hold for *every*
+// instance — the complement of the per-module example-based tests.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "stc/driver/runner.h"
+#include "stc/driver/suite_io.h"
+#include "stc/mutation/engine.h"
+#include "stc/support/rng.h"
+#include "stc/tfm/coverage.h"
+#include "stc/tspec/builder.h"
+#include "stc/tspec/parser.h"
+#include "test_component.h"
+
+namespace stc {
+namespace {
+
+// ----------------------------------------------------- random spec factory
+
+/// Builds a random but semantically valid ComponentSpec: layered TFM,
+/// random method signatures over all generatable domain kinds.
+tspec::ComponentSpec random_spec(std::uint64_t seed) {
+    support::Pcg32 rng(seed);
+    tspec::SpecBuilder b("Rnd" + std::to_string(seed));
+
+    const int n_attrs = static_cast<int>(rng.uniform(0, 3));
+    for (int i = 0; i < n_attrs; ++i) {
+        b.attr_range("attr" + std::to_string(i), rng.uniform(-100, 0),
+                     rng.uniform(1, 100));
+    }
+
+    b.method("m1", "Rnd", tspec::MethodCategory::Constructor);
+    b.method("m2", "~Rnd", tspec::MethodCategory::Destructor);
+    const int n_methods = static_cast<int>(rng.uniform(1, 6));
+    std::vector<std::string> body_methods;
+    for (int i = 0; i < n_methods; ++i) {
+        const std::string id = "b" + std::to_string(i);
+        b.method(id, "Do" + std::to_string(i), tspec::MethodCategory::New);
+        switch (rng.index(4)) {
+            case 0: b.param_range("x", -10, 10); break;
+            case 1: b.param_string("s", 0, 8); break;
+            case 2: b.param_int_set("k", {1, 2, 3}); break;
+            default: break;  // no parameter
+        }
+        body_methods.push_back(id);
+    }
+
+    // Layered TFM: birth -> L1 -> [L2] -> death, with random extra edges
+    // forward between layers (always acyclic: guaranteed sound).  The
+    // edge set is deduplicated — a doubled link is a model defect the
+    // TFM diagnostics rightly flag.
+    b.node("n_birth", true, {"m1"});
+    std::set<std::pair<std::string, std::string>> edges;
+    auto edge_once = [&](const std::string& from, const std::string& to) {
+        if (edges.insert({from, to}).second) b.edge(from, to);
+    };
+    std::vector<std::string> previous{"n_birth"};
+    const int layers = static_cast<int>(rng.uniform(1, 3));
+    int node_counter = 0;
+    for (int l = 0; l < layers; ++l) {
+        std::vector<std::string> current;
+        const int width = static_cast<int>(rng.uniform(1, 3));
+        for (int w = 0; w < width; ++w) {
+            const std::string id = "n" + std::to_string(node_counter++);
+            b.node(id, false,
+                   {body_methods[rng.index(body_methods.size())]});
+            current.push_back(id);
+        }
+        for (const auto& p : previous) {
+            // every node connects to at least one next-layer node
+            edge_once(p, current[rng.index(current.size())]);
+        }
+        for (const auto& c : current) {
+            // and every next-layer node is reachable
+            edge_once(previous[rng.index(previous.size())], c);
+        }
+        previous = current;
+    }
+    b.node("n_death", false, {"m2"});
+    for (const auto& p : previous) edge_once(p, "n_death");
+    return b.build();
+}
+
+class SpecProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpecProperty, RandomSpecsValidateAndRoundTrip) {
+    const auto spec = random_spec(GetParam());
+    EXPECT_TRUE(spec.validate().empty());
+
+    // print -> parse -> print is a fixpoint.
+    const std::string once = tspec::print_tspec(spec);
+    const auto reparsed = tspec::parse_tspec(once);
+    EXPECT_TRUE(reparsed.validate().empty());
+    EXPECT_EQ(tspec::print_tspec(reparsed), once);
+}
+
+TEST_P(SpecProperty, GenerationRunsAreConsistent) {
+    const auto spec = random_spec(GetParam());
+    const auto graph = spec.build_tfm();
+    EXPECT_TRUE(graph.diagnose().empty());
+
+    driver::GeneratorOptions options;
+    options.seed = GetParam() * 7 + 1;
+    const auto suite = driver::DriverGenerator(spec, options).generate();
+    EXPECT_EQ(suite.size(), suite.transactions_enumerated);
+
+    // Suite ids are unique; every case starts with a constructor and every
+    // argument obeys its declared domain.
+    std::set<std::string> ids;
+    for (const auto& tc : suite.cases) {
+        EXPECT_TRUE(ids.insert(tc.id).second);
+        EXPECT_TRUE(tc.calls.front().is_constructor);
+        for (const auto& call : tc.calls) {
+            const auto* method = spec.find_method(call.method_id);
+            ASSERT_NE(method, nullptr);
+            ASSERT_EQ(call.arguments.size(), method->parameters.size());
+            for (std::size_t i = 0; i < call.arguments.size(); ++i) {
+                const auto& slot = method->parameters[i];
+                if (slot.domain) {
+                    EXPECT_TRUE(slot.domain->contains(call.arguments[i]))
+                        << call.render();
+                }
+            }
+        }
+    }
+
+    // Transaction coverage subsumes node and link coverage (acyclic model).
+    std::vector<tfm::Transaction> transactions;
+    for (const auto& tc : suite.cases) transactions.push_back(tc.transaction);
+    const auto coverage = tfm::measure_coverage(graph, transactions);
+    EXPECT_DOUBLE_EQ(coverage.node_ratio(), 1.0);
+    EXPECT_DOUBLE_EQ(coverage.edge_ratio(), 1.0);
+}
+
+TEST_P(SpecProperty, SuitesSurviveSaveLoadByteIdentically) {
+    const auto spec = random_spec(GetParam());
+    const auto suite = driver::DriverGenerator(spec).generate();
+
+    std::stringstream first;
+    driver::save_suite(first, suite);
+    const auto loaded = driver::load_suite(first);
+    std::stringstream second;
+    driver::save_suite(second, loaded);
+    EXPECT_EQ(first.str(), second.str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpecProperty,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707, 808,
+                                           909, 1010, 1111, 1212));
+
+// ------------------------------------------------------------- parser fuzz
+
+class ParserRobustness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserRobustness, GarbageNeverCrashesOnlyThrows) {
+    support::Pcg32 rng(GetParam());
+    // Character soup biased toward the t-spec alphabet to reach deep
+    // parser states.
+    const std::string alphabet =
+        "Clas METHODnode dgePrmtr'\",()[]<>-_0123456789.\n //~";
+    for (int round = 0; round < 200; ++round) {
+        std::string input;
+        const auto len = rng.index(120);
+        for (std::size_t i = 0; i < len; ++i) {
+            input += alphabet[rng.index(alphabet.size())];
+        }
+        try {
+            (void)tspec::parse_tspec(input);
+        } catch (const Error&) {
+            // ParseError / SpecError are the only acceptable outcomes.
+        }
+    }
+    SUCCEED();
+}
+
+TEST_P(ParserRobustness, TruncationsOfAValidSpecNeverCrash) {
+    const std::string valid = tspec::print_tspec(random_spec(GetParam()));
+    for (std::size_t cut = 0; cut < valid.size(); cut += 7) {
+        try {
+            (void)tspec::parse_tspec(valid.substr(0, cut));
+        } catch (const Error&) {
+        }
+    }
+    SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRobustness, ::testing::Values(7, 77, 777));
+
+// --------------------------------------------------- mutation run algebra
+
+class MutationAlgebra : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MutationAlgebra, OutcomesPartitionAndScoreIsBounded) {
+    reflect::Registry registry;
+    registry.add(stc::testing::counter_binding());
+    driver::GeneratorOptions options;
+    options.seed = GetParam();
+    const auto suite =
+        driver::DriverGenerator(stc::testing::counter_spec(), options).generate();
+    const auto mutants =
+        mutation::enumerate_mutants(stc::testing::counter_descriptors(), "Counter");
+
+    driver::GeneratorOptions probe_options;
+    probe_options.seed = GetParam() + 1;
+    probe_options.cases_per_transaction = 2;
+    const auto probe =
+        driver::DriverGenerator(stc::testing::counter_spec(), probe_options)
+            .generate();
+
+    const mutation::MutationEngine engine(registry);
+    const auto run = engine.run(suite, mutants, &probe);
+
+    EXPECT_TRUE(run.baseline_clean);
+    EXPECT_EQ(run.total(), mutants.size());
+    EXPECT_GE(run.score(), 0.0);
+    EXPECT_LE(run.score(), 1.0);
+
+    std::size_t killed = 0;
+    std::size_t alive = 0;
+    std::size_t equivalent = 0;
+    std::size_t not_covered = 0;
+    for (const auto& o : run.outcomes) {
+        switch (o.fate) {
+            case mutation::MutantFate::Killed:
+                ++killed;
+                EXPECT_NE(o.reason, oracle::KillReason::None);
+                EXPECT_TRUE(o.hit_by_suite);  // a kill implies execution
+                break;
+            case mutation::MutantFate::Alive: ++alive; break;
+            case mutation::MutantFate::EquivalentPresumed: ++equivalent; break;
+            case mutation::MutantFate::NotCovered:
+                ++not_covered;
+                EXPECT_FALSE(o.hit_by_suite);
+                break;
+        }
+    }
+    EXPECT_EQ(killed + alive + equivalent + not_covered, run.total());
+    EXPECT_EQ(killed, run.killed());
+    EXPECT_EQ(equivalent, run.equivalent());
+}
+
+TEST_P(MutationAlgebra, MoreTestCasesNeverKillFewerMutants) {
+    reflect::Registry registry;
+    registry.add(stc::testing::counter_binding());
+    const auto spec = stc::testing::counter_spec();
+    const auto mutants =
+        mutation::enumerate_mutants(stc::testing::counter_descriptors(), "Counter");
+
+    driver::GeneratorOptions small_options;
+    small_options.seed = GetParam();
+    auto small = driver::DriverGenerator(spec, small_options).generate();
+    auto large = small;
+    driver::GeneratorOptions more;
+    more.seed = GetParam() + 99;
+    more.cases_per_transaction = 2;
+    const auto extra = driver::DriverGenerator(spec, more).generate();
+    for (auto tc : extra.cases) {
+        tc.id = "X" + tc.id;  // keep ids unique in the merged suite
+        large.cases.push_back(std::move(tc));
+    }
+
+    const mutation::MutationEngine engine(registry);
+    const auto small_run = engine.run(small, mutants, nullptr);
+    const auto large_run = engine.run(large, mutants, nullptr);
+    EXPECT_GE(large_run.killed(), small_run.killed());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationAlgebra, ::testing::Values(31, 41, 59));
+
+// --------------------------------------------------------- runner algebra
+
+class RunnerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RunnerProperty, SuiteRunsAreOrderIndependentPerCase) {
+    // Counter test cases are independent (fresh object per case): running
+    // a reversed suite yields the same per-case verdicts and reports.
+    reflect::Registry registry;
+    registry.add(stc::testing::counter_binding());
+    driver::GeneratorOptions options;
+    options.seed = GetParam();
+    auto suite =
+        driver::DriverGenerator(stc::testing::counter_spec(), options).generate();
+
+    const driver::TestRunner runner(registry);
+    const auto forward = runner.run(suite);
+
+    std::reverse(suite.cases.begin(), suite.cases.end());
+    const auto backward = runner.run(suite);
+
+    ASSERT_EQ(forward.results.size(), backward.results.size());
+    for (const auto& fr : forward.results) {
+        const driver::TestResult* matching = nullptr;
+        for (const auto& br : backward.results) {
+            if (br.case_id == fr.case_id) {
+                matching = &br;
+                break;
+            }
+        }
+        ASSERT_NE(matching, nullptr);
+        EXPECT_EQ(matching->verdict, fr.verdict);
+        EXPECT_EQ(matching->report, fr.report);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RunnerProperty, ::testing::Values(3, 33, 333));
+
+}  // namespace
+}  // namespace stc

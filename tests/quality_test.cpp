@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "stc/core/quality.h"
+#include "test_component.h"
+
+namespace stc::core {
+namespace {
+
+class QualityTest : public ::testing::Test {
+protected:
+    QualityTest()
+        : component_(stc::testing::counter_spec(), stc::testing::counter_binding()) {}
+
+    SelfTestableComponent component_;
+};
+
+TEST_F(QualityTest, FullSuiteScoresHigh) {
+    const auto suite = component_.generate_tests();
+    driver::GeneratorOptions probe_options;
+    probe_options.seed = 77;
+    probe_options.cases_per_transaction = 3;
+    const auto probe = component_.generate_tests(probe_options);
+
+    const TestQuality quality = estimate_quality(
+        component_, stc::testing::counter_descriptors(), suite, &probe);
+    EXPECT_TRUE(quality.baseline_clean);
+    EXPECT_EQ(quality.mutants, 18u);
+    EXPECT_GT(quality.score, 0.8);
+    EXPECT_EQ(quality.killed + quality.equivalent + quality.not_covered +
+                  (quality.mutants - quality.killed - quality.equivalent -
+                   quality.not_covered),
+              quality.mutants);
+    EXPECT_GT(quality.kills_by_assertion + quality.kills_by_output +
+                  quality.kills_by_crash,
+              0u);
+}
+
+TEST_F(QualityTest, NarrowSuiteScoresLower) {
+    // A suite that never exercises Inc leaves its mutants uncovered —
+    // quality-guided selection (Le Traon et al., §5) would reject it.
+    auto full = component_.generate_tests();
+    driver::TestSuite narrow = full;
+    narrow.cases.clear();
+    for (const auto& tc : full.cases) {
+        bool calls_inc = false;
+        for (const auto& call : tc.calls) calls_inc |= call.method_name == "Inc";
+        if (!calls_inc) narrow.cases.push_back(tc);
+    }
+    ASSERT_FALSE(narrow.cases.empty());
+
+    const TestQuality full_quality =
+        estimate_quality(component_, stc::testing::counter_descriptors(), full);
+    const TestQuality narrow_quality =
+        estimate_quality(component_, stc::testing::counter_descriptors(), narrow);
+    EXPECT_LT(narrow_quality.score, full_quality.score);
+    EXPECT_EQ(narrow_quality.killed, 0u);
+    EXPECT_EQ(narrow_quality.not_covered, narrow_quality.mutants);
+}
+
+TEST_F(QualityTest, SummaryIsReadable) {
+    const auto suite = component_.generate_tests();
+    const TestQuality quality =
+        estimate_quality(component_, stc::testing::counter_descriptors(), suite);
+    const std::string summary = quality.summary();
+    EXPECT_NE(summary.find("test quality: score"), std::string::npos);
+    EXPECT_NE(summary.find("kills:"), std::string::npos);
+    EXPECT_NE(summary.find("baseline clean"), std::string::npos);
+}
+
+TEST_F(QualityTest, OracleConfigPropagates) {
+    const auto suite = component_.generate_tests();
+    mutation::EngineOptions weak;
+    weak.oracle.use_output_diff = false;
+    weak.oracle.use_assertions = false;
+    const TestQuality crippled = estimate_quality(
+        component_, stc::testing::counter_descriptors(), suite, nullptr, weak);
+    const TestQuality full =
+        estimate_quality(component_, stc::testing::counter_descriptors(), suite);
+    EXPECT_LE(crippled.killed, full.killed);
+    EXPECT_EQ(crippled.kills_by_output, 0u);
+    EXPECT_EQ(crippled.kills_by_assertion, 0u);
+}
+
+}  // namespace
+}  // namespace stc::core

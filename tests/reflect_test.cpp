@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "stc/reflect/binder.h"
+#include "stc/reflect/class_binding.h"
+
+namespace stc::reflect {
+namespace {
+
+using domain::Value;
+
+/// Exercises every argument/return conversion the binder supports.
+class Gadget {
+public:
+    Gadget() = default;
+    Gadget(int a, const char* name) : total_(a), name_(name) {}
+
+    void add(int x) { total_ += x; }
+    int total() const { return total_; }
+    double scale(double f) const { return total_ * f; }
+    bool positive() const noexcept { return total_ > 0; }
+    std::string tag(const std::string& prefix) { return prefix + name_; }
+    const char* cname() const { return name_.c_str(); }
+    void rename(char* n) { name_ = n; }
+    Gadget* self() { return this; }
+    void attach(Gadget* other) { peer_ = other; }
+    Gadget* peer() const noexcept { return peer_; }
+    long mix(int a, double b, const std::string& c) {
+        return a + static_cast<long>(b) + static_cast<long>(c.size());
+    }
+
+private:
+    int total_ = 0;
+    std::string name_ = "g";
+    Gadget* peer_ = nullptr;
+};
+
+ClassBinding gadget_binding() {
+    Binder<Gadget> b("Gadget");
+    b.ctor<>();
+    b.ctor<int, const char*>();
+    b.method("add", &Gadget::add);
+    b.method("total", &Gadget::total);
+    b.method("scale", &Gadget::scale);
+    b.method("positive", &Gadget::positive);
+    b.method("tag", &Gadget::tag);
+    b.method("cname", &Gadget::cname);
+    b.method("rename", &Gadget::rename);
+    b.method("self", &Gadget::self);
+    b.method("attach", &Gadget::attach);
+    b.method("peer", &Gadget::peer);
+    b.method("mix", &Gadget::mix);
+    return b.take();
+}
+
+class ReflectTest : public ::testing::Test {
+protected:
+    ReflectTest() : binding_(gadget_binding()) {}
+
+    ~ReflectTest() override {
+        if (object_ != nullptr) binding_.destroy(object_);
+    }
+
+    void* make(const Args& args = {}) {
+        object_ = binding_.construct(args);
+        return object_;
+    }
+
+    ClassBinding binding_;
+    void* object_ = nullptr;
+};
+
+TEST_F(ReflectTest, ConstructorsSelectedByArity) {
+    EXPECT_TRUE(binding_.has_constructor(0));
+    EXPECT_TRUE(binding_.has_constructor(2));
+    EXPECT_FALSE(binding_.has_constructor(1));
+
+    void* a = make({Value::make_int(5), Value::make_string("x")});
+    EXPECT_EQ(binding_.invoke(a, "total", {}).as_int(), 5);
+}
+
+TEST_F(ReflectTest, UnknownConstructorArityThrows) {
+    EXPECT_THROW((void)binding_.construct({Value::make_int(1)}), ReflectError);
+}
+
+TEST_F(ReflectTest, IntArgumentAndIntReturn) {
+    void* g = make();
+    binding_.invoke(g, "add", {Value::make_int(4)});
+    binding_.invoke(g, "add", {Value::make_int(-1)});
+    EXPECT_EQ(binding_.invoke(g, "total", {}).as_int(), 3);
+}
+
+TEST_F(ReflectTest, RealArgumentAndRealReturn) {
+    void* g = make();
+    binding_.invoke(g, "add", {Value::make_int(10)});
+    const Value v = binding_.invoke(g, "scale", {Value::make_real(0.5)});
+    EXPECT_DOUBLE_EQ(v.as_real(), 5.0);
+    // Int coerces into a floating-point parameter.
+    EXPECT_DOUBLE_EQ(binding_.invoke(g, "scale", {Value::make_int(2)}).as_real(), 20.0);
+}
+
+TEST_F(ReflectTest, BoolReturnBecomesInt) {
+    void* g = make();
+    EXPECT_EQ(binding_.invoke(g, "positive", {}).as_int(), 0);
+    binding_.invoke(g, "add", {Value::make_int(1)});
+    EXPECT_EQ(binding_.invoke(g, "positive", {}).as_int(), 1);
+}
+
+TEST_F(ReflectTest, StringFlavors) {
+    void* g = make({Value::make_int(0), Value::make_string("core")});
+    EXPECT_EQ(binding_.invoke(g, "tag", {Value::make_string("pre-")}).as_string(),
+              "pre-core");
+    EXPECT_EQ(binding_.invoke(g, "cname", {}).as_string(), "core");
+    // char* parameter backed by stable holder storage.
+    binding_.invoke(g, "rename", {Value::make_string("renamed")});
+    EXPECT_EQ(binding_.invoke(g, "cname", {}).as_string(), "renamed");
+}
+
+TEST_F(ReflectTest, PointerArgumentAndReturn) {
+    void* g = make();
+    const Value self = binding_.invoke(g, "self", {});
+    EXPECT_EQ(self.as_pointer(), g);
+
+    Gadget other;
+    binding_.invoke(g, "attach", {Value::make_pointer(&other, "Gadget")});
+    EXPECT_EQ(binding_.invoke(g, "peer", {}).as_pointer(), &other);
+}
+
+TEST_F(ReflectTest, MixedArityThreeCall) {
+    void* g = make();
+    const Value v = binding_.invoke(
+        g, "mix",
+        {Value::make_int(1), Value::make_real(2.9), Value::make_string("abc")});
+    EXPECT_EQ(v.as_int(), 1 + 2 + 3);
+}
+
+TEST_F(ReflectTest, VoidReturnIsEmptyValue) {
+    void* g = make();
+    EXPECT_TRUE(binding_.invoke(g, "add", {Value::make_int(1)}).is_empty());
+}
+
+TEST_F(ReflectTest, UnknownMethodOrWrongArityThrows) {
+    void* g = make();
+    EXPECT_THROW((void)binding_.invoke(g, "nope", {}), ReflectError);
+    EXPECT_THROW((void)binding_.invoke(g, "add", {}), ReflectError);  // arity 1
+}
+
+TEST_F(ReflectTest, ArgumentKindMismatchSurfacesAsError) {
+    void* g = make();
+    EXPECT_THROW((void)binding_.invoke(g, "add", {Value::make_string("x")}), Error);
+}
+
+TEST_F(ReflectTest, MethodsIntrospection) {
+    const auto methods = binding_.methods();
+    EXPECT_EQ(methods.size(), 11u);
+    const std::pair<std::string, std::size_t> expected{"add", 1};
+    EXPECT_NE(std::find(methods.begin(), methods.end(), expected), methods.end());
+}
+
+TEST(BinderCustom, HandWrittenInvoker) {
+    Binder<Gadget> b("Gadget");
+    b.ctor<>();
+    b.custom("double_add", 1, [](Gadget& g, const Args& args) {
+        g.add(static_cast<int>(args.at(0).as_int()) * 2);
+        return Value::make_int(g.total());
+    });
+    const ClassBinding binding = b.take();
+    void* g = binding.construct({});
+    EXPECT_EQ(binding.invoke(g, "double_add", {Value::make_int(3)}).as_int(), 6);
+    binding.destroy(g);
+}
+
+TEST(BinderBit, NonBitClassHasNullBitView) {
+    const ClassBinding binding = gadget_binding();
+    void* g = binding.construct({});
+    EXPECT_EQ(binding.as_bit(g), nullptr);
+    binding.destroy(g);
+}
+
+TEST(Registry, AddFindAndReplace) {
+    Registry registry;
+    registry.add(gadget_binding());
+    EXPECT_EQ(registry.size(), 1u);
+    EXPECT_NE(registry.find("Gadget"), nullptr);
+    EXPECT_EQ(registry.find("Missing"), nullptr);
+    EXPECT_THROW((void)registry.at("Missing"), ReflectError);
+    EXPECT_EQ(registry.at("Gadget").name(), "Gadget");
+
+    // Re-registration replaces (latest binding wins).
+    Binder<Gadget> b2("Gadget");
+    b2.ctor<>();
+    registry.add(b2.take());
+    EXPECT_EQ(registry.size(), 1u);
+    EXPECT_FALSE(registry.at("Gadget").has_constructor(2));
+}
+
+TEST(ClassBindingErrors, MissingDestructor) {
+    ClassBinding raw("X");
+    int dummy = 0;
+    EXPECT_THROW(raw.destroy(&dummy), ReflectError);
+}
+
+}  // namespace
+}  // namespace stc::reflect

@@ -1,0 +1,200 @@
+// Tests for the set/reset capability (§3.3): predefined internal states
+// declared in the t-spec (State records), applied after construction by
+// the runner via the binding's state setter ("mid-life entry" testing).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stc/driver/runner.h"
+#include "stc/driver/suite_io.h"
+#include "stc/tspec/parser.h"
+#include "test_component.h"
+
+namespace stc::driver {
+namespace {
+
+/// Counter spec with two predefined states.  Both keep every TFM path
+/// baseline-safe (max two Inc calls of step <= 10 from value 5 stays
+/// well under the bound).
+tspec::ComponentSpec stateful_counter_spec() {
+    tspec::ComponentSpec spec = stc::testing::counter_spec();
+    spec.states = {"zero", "low"};
+    return spec;
+}
+
+reflect::ClassBinding stateful_counter_binding() {
+    reflect::Binder<stc::testing::Counter> b("Counter");
+    b.ctor<>();
+    b.ctor<int>();
+    b.method("Inc", &stc::testing::Counter::Inc);
+    b.method("Dec", &stc::testing::Counter::Dec);
+    b.method("Reset", &stc::testing::Counter::Reset);
+    b.method("Get", &stc::testing::Counter::Get);
+    b.state_setter([](stc::testing::Counter& counter, const std::string& state) {
+        if (state == "zero") {
+            counter.Reset();
+        } else if (state == "low") {
+            counter.Reset();
+            for (int i = 0; i < 5; ++i) counter.Inc();
+        } else {
+            throw ReflectError("Counter has no predefined state '" + state + "'");
+        }
+    });
+    return b.take();
+}
+
+// ------------------------------------------------------------------- spec
+
+TEST(States, ParserAcceptsStateRecords) {
+    const auto spec = tspec::parse_tspec(
+        "Class ('X', No, <empty>, <empty>)\n"
+        "State ('empty')\n"
+        "State ('loaded')\n");
+    EXPECT_EQ(spec.states, (std::vector<std::string>{"empty", "loaded"}));
+}
+
+TEST(States, PrinterRoundTripsStates) {
+    auto spec = tspec::parse_tspec(
+        "Class ('X', No, <empty>, <empty>)\n"
+        "State ('loaded')\n");
+    const auto reparsed = tspec::parse_tspec(tspec::print_tspec(spec));
+    EXPECT_EQ(reparsed.states, spec.states);
+}
+
+TEST(States, BuilderAddsStates) {
+    tspec::SpecBuilder b("X");
+    b.state("empty").state("loaded");
+    b.method("m1", "X", tspec::MethodCategory::Constructor);
+    b.node("n1", true, {"m1"});
+    EXPECT_EQ(b.build().states.size(), 2u);
+}
+
+// -------------------------------------------------------------- generator
+
+TEST(States, GeneratorEmitsEntryVariantsOnDemand) {
+    const auto spec = stateful_counter_spec();
+    const auto plain = DriverGenerator(spec).generate();
+
+    GeneratorOptions options;
+    options.include_entry_states = true;
+    const auto with_states = DriverGenerator(spec, options).generate();
+    // One plain case + one per state, per transaction.
+    EXPECT_EQ(with_states.size(), plain.size() * 3);
+
+    std::size_t zero_variants = 0;
+    std::size_t low_variants = 0;
+    for (const auto& tc : with_states.cases) {
+        zero_variants += tc.entry_state == "zero" ? 1 : 0;
+        low_variants += tc.entry_state == "low" ? 1 : 0;
+    }
+    EXPECT_EQ(zero_variants, plain.size());
+    EXPECT_EQ(low_variants, plain.size());
+}
+
+TEST(States, NoVariantsWithoutDeclaredStates) {
+    GeneratorOptions options;
+    options.include_entry_states = true;
+    const auto suite =
+        DriverGenerator(stc::testing::counter_spec(), options).generate();
+    for (const auto& tc : suite.cases) EXPECT_TRUE(tc.entry_state.empty());
+}
+
+// ------------------------------------------------------------------ runner
+
+TEST(States, RunnerAppliesEntryState) {
+    const auto spec = stateful_counter_spec();
+    GeneratorOptions options;
+    options.include_entry_states = true;
+    const auto suite = DriverGenerator(spec, options).generate();
+
+    reflect::Registry registry;
+    registry.add(stateful_counter_binding());
+    const auto result = TestRunner(registry).run(suite);
+    EXPECT_EQ(result.failed(), 0u);
+
+    // A "low"-entry case observably starts from 5: its Get() return is 5
+    // higher than the plain variant of the same transaction.
+    const auto* plain = &result.results[0];
+    const TestResult* low = nullptr;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        if (suite.cases[i].entry_state == "low" &&
+            suite.cases[i].transaction_text == suite.cases[0].transaction_text) {
+            low = &result.results[i];
+            break;
+        }
+    }
+    ASSERT_NE(low, nullptr);
+    EXPECT_NE(low->report, plain->report);
+}
+
+TEST(States, MissingSetterIsSetupError) {
+    const auto spec = stateful_counter_spec();
+    GeneratorOptions options;
+    options.include_entry_states = true;
+    const auto suite = DriverGenerator(spec, options).generate();
+
+    reflect::Registry registry;
+    registry.add(stc::testing::counter_binding());  // no state setter
+    const auto result = TestRunner(registry).run(suite);
+    EXPECT_GT(result.count(Verdict::SetupError), 0u);
+    // Plain cases still pass.
+    EXPECT_GT(result.passed(), 0u);
+}
+
+TEST(States, UnknownStateNameIsSetupError) {
+    auto spec = stateful_counter_spec();
+    const auto suite = [&] {
+        auto s = DriverGenerator(spec).generate();
+        for (auto& tc : s.cases) tc.entry_state = "bogus";
+        return s;
+    }();
+
+    reflect::Registry registry;
+    registry.add(stateful_counter_binding());
+    const auto result = TestRunner(registry).run(suite);
+    EXPECT_EQ(result.count(Verdict::SetupError), suite.size());
+    for (const auto& r : result.results) {
+        EXPECT_NE(r.failed_method.find("<set-state:bogus>"), std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------- suite io
+
+TEST(States, EntryStateSurvivesSaveLoad) {
+    const auto spec = stateful_counter_spec();
+    GeneratorOptions options;
+    options.include_entry_states = true;
+    const auto suite = DriverGenerator(spec, options).generate();
+
+    std::stringstream buffer;
+    save_suite(buffer, suite);
+    const auto loaded = load_suite(buffer);
+    ASSERT_EQ(loaded.size(), suite.size());
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        EXPECT_EQ(loaded.cases[i].entry_state, suite.cases[i].entry_state);
+    }
+}
+
+// ----------------------------------------------------------------- binding
+
+TEST(States, ApplyStateWithoutCapabilityThrows) {
+    const auto binding = stc::testing::counter_binding();
+    EXPECT_FALSE(binding.has_state_setter());
+    void* counter = binding.construct({});
+    EXPECT_THROW(binding.apply_state(counter, "zero"), ReflectError);
+    binding.destroy(counter);
+}
+
+TEST(States, ApplyStateRunsTheSetter) {
+    const auto binding = stateful_counter_binding();
+    EXPECT_TRUE(binding.has_state_setter());
+    void* counter = binding.construct({});
+    binding.apply_state(counter, "low");
+    EXPECT_EQ(binding.invoke(counter, "Get", {}).as_int(), 5);
+    binding.apply_state(counter, "zero");
+    EXPECT_EQ(binding.invoke(counter, "Get", {}).as_int(), 0);
+    binding.destroy(counter);
+}
+
+}  // namespace
+}  // namespace stc::driver

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "stc/support/contracts.h"
+#include "stc/support/error.h"
+#include "stc/support/indent_writer.h"
+#include "stc/support/rng.h"
+#include "stc/support/strings.h"
+#include "stc/support/table.h"
+
+namespace stc::support {
+namespace {
+
+// ---------------------------------------------------------------- strings
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+    EXPECT_EQ(trim("  hello  "), "hello");
+    EXPECT_EQ(trim("\t\nx\r "), "x");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("inner space kept"), "inner space kept");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+    EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+    EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+    EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Strings, JoinIsInverseOfSplit) {
+    const std::vector<std::string> parts{"m1", "m2", "m3"};
+    EXPECT_EQ(join(parts, ","), "m1,m2,m3");
+    EXPECT_EQ(split(join(parts, ","), ','), parts);
+    EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, CaseAndAffixHelpers) {
+    EXPECT_EQ(to_lower("MiXeD123"), "mixed123");
+    EXPECT_TRUE(starts_with("IndVarRepLoc", "IndVar"));
+    EXPECT_FALSE(starts_with("Ind", "IndVar"));
+    EXPECT_TRUE(ends_with("coblist.cpp", ".cpp"));
+    EXPECT_FALSE(ends_with(".cpp", "coblist.cpp"));
+}
+
+TEST(Strings, ReplaceAllHandlesOverlapsAndGrowth) {
+    EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+    EXPECT_EQ(replace_all("x", "x", "xx"), "xx");
+    EXPECT_EQ(replace_all("none", "zz", "y"), "none");
+}
+
+TEST(Strings, CppStringLiteralEscapes) {
+    EXPECT_EQ(cpp_string_literal("plain"), "\"plain\"");
+    EXPECT_EQ(cpp_string_literal("a\"b"), "\"a\\\"b\"");
+    EXPECT_EQ(cpp_string_literal("a\\b"), "\"a\\\\b\"");
+    EXPECT_EQ(cpp_string_literal("a\nb"), "\"a\\nb\"");
+    EXPECT_EQ(cpp_string_literal(std::string("a\x01") + "b"), "\"a\\x01b\"");
+}
+
+TEST(Strings, PercentMatchesPaperFormatting) {
+    EXPECT_EQ(percent(0.957), "95.7%");
+    EXPECT_EQ(percent(1.0), "100.0%");
+    EXPECT_EQ(percent(0.0), "0.0%");
+    EXPECT_EQ(percent(0.635), "63.5%");
+}
+
+// ------------------------------------------------------------------- rng
+
+TEST(Pcg32, DeterministicForSameSeed) {
+    Pcg32 a(42);
+    Pcg32 b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Pcg32, DifferentSeedsDiverge) {
+    Pcg32 a(1);
+    Pcg32 b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += a() == b() ? 1 : 0;
+    EXPECT_LT(same, 4);
+}
+
+TEST(Pcg32, UniformStaysInClosedRange) {
+    Pcg32 rng(7);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.uniform(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);  // all values of a small range appear
+}
+
+TEST(Pcg32, UniformSingletonRange) {
+    Pcg32 rng(7);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform(5, 5), 5);
+}
+
+TEST(Pcg32, UniformRealInHalfOpenRange) {
+    Pcg32 rng(11);
+    for (int i = 0; i < 2000; ++i) {
+        const double v = rng.uniform_real(1.0, 2.0);
+        EXPECT_GE(v, 1.0);
+        EXPECT_LT(v, 2.0);
+    }
+}
+
+TEST(Pcg32, IndexCoversAllSlots) {
+    Pcg32 rng(3);
+    std::set<std::size_t> seen;
+    for (int i = 0; i < 500; ++i) seen.insert(rng.index(5));
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+// -------------------------------------------------------------- contracts
+
+TEST(Contracts, ExpectsThrowsContractError) {
+    EXPECT_THROW(STC_EXPECTS(false), ContractError);
+    EXPECT_NO_THROW(STC_EXPECTS(true));
+}
+
+TEST(Contracts, EnsuresMessageNamesExpression) {
+    try {
+        STC_ENSURES(1 == 2);
+        FAIL() << "should have thrown";
+    } catch (const ContractError& e) {
+        EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    }
+}
+
+// ------------------------------------------------------------------ table
+
+TEST(TextTable, RendersAlignedColumnsWithFooter) {
+    TextTable t({"Method", "Total"});
+    t.add_row({"Sort1", "280"});
+    t.add_row({"FindMax", "93"});
+    t.add_footer({"Score", "95.7%"});
+    std::ostringstream os;
+    t.render(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("| Sort1   |"), std::string::npos);
+    EXPECT_NE(out.find("|   280 |"), std::string::npos);
+    EXPECT_NE(out.find("95.7%"), std::string::npos);
+    // Footer separated from body: 4 horizontal rules (top, after header,
+    // before footer, bottom).
+    std::size_t rules = 0;
+    std::istringstream lines(out);
+    for (std::string line; std::getline(lines, line);) {
+        rules += (!line.empty() && line.front() == '+') ? 1 : 0;
+    }
+    EXPECT_EQ(rules, 4u);
+}
+
+TEST(TextTable, RejectsArityMismatch) {
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), ContractError);
+    EXPECT_THROW(t.add_footer({"x", "y", "z"}), ContractError);
+}
+
+TEST(CsvWriter, EscapesSpecialCells) {
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.row({"plain", "with,comma", "with\"quote"});
+    EXPECT_EQ(os.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+// ----------------------------------------------------------- indent writer
+
+TEST(IndentWriter, TracksNesting) {
+    IndentWriter w;
+    w.open("int main() {");
+    w.line("return 0;");
+    w.close("}");
+    EXPECT_EQ(w.str(), "int main() {\n    return 0;\n}\n");
+}
+
+TEST(IndentWriter, BlankLinesCarryNoTrailingSpaces) {
+    IndentWriter w;
+    w.open("{");
+    w.line();
+    w.close("}");
+    EXPECT_EQ(w.str(), "{\n\n}\n");
+}
+
+TEST(IndentWriter, CloseNeverUnderflows) {
+    IndentWriter w;
+    w.close("}");
+    w.close("}");
+    EXPECT_EQ(w.level(), 0);
+}
+
+// ------------------------------------------------------------------ errors
+
+TEST(Errors, HierarchyIsCatchableAsError) {
+    EXPECT_THROW(throw SpecError("bad"), Error);
+    EXPECT_THROW(throw ParseError("bad", 3, 7), Error);
+    EXPECT_THROW(throw ReflectError("bad"), Error);
+    EXPECT_THROW(throw CrashSignal("bad"), Error);
+}
+
+TEST(Errors, ParseErrorCarriesLocation) {
+    const ParseError e("unexpected", 3, 7);
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_EQ(e.column(), 7);
+    EXPECT_NE(std::string(e.what()).find("3:7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stc::support

@@ -1,0 +1,139 @@
+// A small, fully controlled self-testable component used by the
+// framework's own tests: deterministic behaviour, a tiny TFM, and an
+// instrumented method with a hand-countable mutant population.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "stc/bit/assertions.h"
+#include "stc/bit/built_in_test.h"
+#include "stc/mutation/descriptor.h"
+#include "stc/mutation/frame.h"
+#include "stc/reflect/binder.h"
+#include "stc/tspec/builder.h"
+
+namespace stc::testing {
+
+/// Bounded counter.  Inc() is instrumented for interface mutation with a
+/// known site/variable population:
+///   params:  (none)
+///   locals:  delta (int)
+///   attrs:   value_ (used), step_ (used), max_ (unused -> E set)
+///   sites:   s0 = use of delta, s1 = use of value_
+/// Expected mutants per site: BitNeg 1, RepGlob 2 or 1, RepLoc 0 or 1,
+/// RepExt 1, RepReq 5  =>  s0: 9, s1: 9, total 18.
+class Counter : public bit::BuiltInTest {
+public:
+    static constexpr int kMax = 100;
+
+    Counter() = default;
+    explicit Counter(int step) : step_(step) {
+        STC_PRECONDITION(step >= 1 && step <= 10);
+    }
+
+    static const mutation::MethodDescriptor& inc_descriptor();
+
+    void Inc();
+
+    void Dec() {
+        STC_PRECONDITION(value_ >= step_);
+        value_ -= step_;
+    }
+
+    void Reset() { value_ = 0; }
+
+    [[nodiscard]] int Get() const { return value_; }
+
+    void InvariantTest() const override {
+        STC_CLASS_INVARIANT(value_ >= 0 && value_ <= kMax);
+    }
+
+    void Reporter(std::ostream& os) const override {
+        os << "Counter{value=" << value_ << ", step=" << step_ << "}";
+    }
+
+private:
+    int value_ = 0;
+    int step_ = 1;
+    int max_ = kMax;
+};
+
+inline const mutation::MethodDescriptor& Counter::inc_descriptor() {
+    using mutation::int_type;
+    static const mutation::MethodDescriptor d =
+        mutation::MethodDescriptor::Builder("Counter", "Inc")
+            .local("delta", int_type())
+            .attr("value_", int_type(), true)
+            .attr("step_", int_type(), true)
+            .attr("max_", int_type(), false)
+            .site("delta", "increment amount")  // s0
+            .site("value_", "old value")        // s1
+            .build();
+    return d;
+}
+
+inline void Counter::Inc() {
+    mutation::MutFrame frame(inc_descriptor());
+    int delta = step_;
+    frame.bind("delta", &delta);
+    frame.bind("value_", &value_);
+    frame.bind("step_", &step_);
+    frame.bind("max_", &max_);
+
+    value_ = frame.use(1, value_) + frame.use(0, delta);
+    STC_POSTCONDITION(value_ <= kMax);
+}
+
+/// t-spec: ctor (0 or 1 arg) -> { Inc loop | Dec } -> Get -> death.
+inline tspec::ComponentSpec counter_spec() {
+    tspec::SpecBuilder b("Counter");
+    b.attr_range("value_", 0, Counter::kMax);
+    b.attr_range("step_", 1, 10);
+    b.method("m1", "Counter", tspec::MethodCategory::Constructor);
+    b.method("m2", "Counter", tspec::MethodCategory::Constructor)
+        .param_range("step", 1, 10);
+    b.method("m3", "~Counter", tspec::MethodCategory::Destructor);
+    b.method("m4", "Inc", tspec::MethodCategory::New);
+    b.method("m5", "Dec", tspec::MethodCategory::New);
+    b.method("m6", "Reset", tspec::MethodCategory::New);
+    b.method("m7", "Get", tspec::MethodCategory::New, "int");
+
+    b.node("n1", true, {"m1"});
+    b.node("n2", true, {"m2"});
+    b.node("n3", false, {"m4"});        // Inc
+    b.node("n4", false, {"m4", "m5"});  // Inc then Dec
+    b.node("n5", false, {"m6"});        // Reset
+    b.node("n6", false, {"m7"});        // Get
+    b.node("n7", false, {"m3"});        // death
+
+    b.edge("n1", "n3").edge("n1", "n4");
+    b.edge("n2", "n3").edge("n2", "n6");
+    b.edge("n3", "n3").edge("n3", "n6").edge("n3", "n5");
+    b.edge("n4", "n6");
+    b.edge("n5", "n6");
+    b.edge("n6", "n7");
+    return b.build();
+}
+
+inline reflect::ClassBinding counter_binding() {
+    reflect::Binder<Counter> b("Counter");
+    b.ctor<>();
+    b.ctor<int>();
+    b.method("Inc", &Counter::Inc);
+    b.method("Dec", &Counter::Dec);
+    b.method("Reset", &Counter::Reset);
+    b.method("Get", &Counter::Get);
+    return b.take();
+}
+
+inline const mutation::DescriptorRegistry& counter_descriptors() {
+    static const mutation::DescriptorRegistry registry = [] {
+        mutation::DescriptorRegistry r;
+        r.add(&Counter::inc_descriptor());
+        return r;
+    }();
+    return registry;
+}
+
+}  // namespace stc::testing

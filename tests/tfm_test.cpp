@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "stc/support/error.h"
+#include "stc/tfm/coverage.h"
+#include "stc/tfm/graph.h"
+
+namespace stc::tfm {
+namespace {
+
+/// Birth n0 -> {n1 | n2} -> death n3, plus a n1->n1 self loop.
+Graph diamond_with_loop() {
+    Graph g;
+    g.add_node(Node{"n0", true, {"ctor"}});
+    g.add_node(Node{"n1", false, {"a"}});
+    g.add_node(Node{"n2", false, {"b"}});
+    g.add_node(Node{"n3", false, {"dtor"}});
+    g.add_edge("n0", "n1");
+    g.add_edge("n0", "n2");
+    g.add_edge("n1", "n1");
+    g.add_edge("n1", "n3");
+    g.add_edge("n2", "n3");
+    return g;
+}
+
+// ------------------------------------------------------------------- graph
+
+TEST(Graph, BasicAccessors) {
+    const Graph g = diamond_with_loop();
+    EXPECT_EQ(g.node_count(), 4u);
+    EXPECT_EQ(g.edge_count(), 5u);
+    EXPECT_EQ(g.birth_nodes(), (std::vector<NodeIndex>{0}));
+    EXPECT_EQ(g.death_nodes(), (std::vector<NodeIndex>{3}));
+    EXPECT_EQ(g.out_degree(0), 2u);
+    EXPECT_EQ(g.in_degree(3), 2u);
+    EXPECT_EQ(g.find_node("n2"), std::optional<NodeIndex>{2});
+    EXPECT_EQ(g.find_node("nope"), std::nullopt);
+}
+
+TEST(Graph, RejectsDuplicateAndDanglingIds) {
+    Graph g;
+    g.add_node(Node{"n0", true, {}});
+    EXPECT_THROW(g.add_node(Node{"n0", false, {}}), SpecError);
+    EXPECT_THROW(g.add_node(Node{"", false, {}}), SpecError);
+    EXPECT_THROW(g.add_edge("n0", "missing"), SpecError);
+    EXPECT_THROW(g.add_edge("missing", "n0"), SpecError);
+}
+
+TEST(Graph, ReachabilityClosures) {
+    Graph g = diamond_with_loop();
+    g.add_node(Node{"orphan", false, {"x"}});  // unreachable
+    const auto forward = g.reachable_from_birth();
+    EXPECT_TRUE(forward[0] && forward[1] && forward[2] && forward[3]);
+    EXPECT_FALSE(forward[4]);
+    const auto backward = g.can_reach_death();
+    EXPECT_TRUE(backward[0] && backward[1] && backward[2]);
+    // orphan has no outgoing edges: it IS a death node, trivially reaches one.
+    EXPECT_TRUE(backward[4]);
+}
+
+// -------------------------------------------------------------- diagnostics
+
+TEST(Diagnostics, CleanGraphHasNone) {
+    EXPECT_TRUE(diamond_with_loop().diagnose().empty());
+}
+
+TEST(Diagnostics, DetectsNoBirth) {
+    Graph g;
+    g.add_node(Node{"n0", false, {}});
+    const auto d = g.diagnose();
+    bool found = false;
+    for (const auto& x : d) found = found || x.kind == DiagnosticKind::NoBirthNode;
+    EXPECT_TRUE(found);
+}
+
+TEST(Diagnostics, DetectsNoDeath) {
+    Graph g;
+    g.add_node(Node{"n0", true, {}});
+    g.add_node(Node{"n1", false, {}});
+    g.add_edge("n0", "n1");
+    g.add_edge("n1", "n0");  // everything loops, nothing dies
+    const auto d = g.diagnose();
+    bool found = false;
+    for (const auto& x : d) found = found || x.kind == DiagnosticKind::NoDeathNode;
+    EXPECT_TRUE(found);
+}
+
+TEST(Diagnostics, DetectsUnreachableAndTrapNodes) {
+    Graph g = diamond_with_loop();
+    g.add_node(Node{"island", false, {"x"}});
+    g.add_node(Node{"trap", false, {"y"}});
+    g.add_edge("n0", "trap");
+    g.add_edge("trap", "trap");  // can never reach death
+    const auto d = g.diagnose();
+    std::set<DiagnosticKind> kinds;
+    for (const auto& x : d) kinds.insert(x.kind);
+    EXPECT_TRUE(kinds.count(DiagnosticKind::UnreachableNode));
+    EXPECT_TRUE(kinds.count(DiagnosticKind::DeadEndMismatch));
+}
+
+TEST(Diagnostics, DetectsDuplicateEdgeAndBirthSelfLoop) {
+    Graph g;
+    g.add_node(Node{"n0", true, {}});
+    g.add_node(Node{"n1", false, {}});
+    g.add_edge("n0", "n1");
+    g.add_edge("n0", "n1");
+    g.add_edge("n0", "n0");
+    const auto d = g.diagnose();
+    std::set<DiagnosticKind> kinds;
+    for (const auto& x : d) kinds.insert(x.kind);
+    EXPECT_TRUE(kinds.count(DiagnosticKind::DuplicateEdge));
+    EXPECT_TRUE(kinds.count(DiagnosticKind::SelfLoopOnBirth));
+}
+
+// -------------------------------------------------------------- enumeration
+
+TEST(Enumeration, SimplePathsWhenVisitsIsOne) {
+    const Graph g = diamond_with_loop();
+    EnumerationOptions options;
+    options.max_node_visits = 1;
+    const auto ts = g.enumerate_transactions(options);
+    // n0->n1->n3 and n0->n2->n3 only (self-loop needs a second visit).
+    ASSERT_EQ(ts.size(), 2u);
+    EXPECT_EQ(g.describe(ts[0]), "n0 -> n1 -> n3");
+    EXPECT_EQ(g.describe(ts[1]), "n0 -> n2 -> n3");
+}
+
+TEST(Enumeration, LoopUnrolledOncePerExtraVisit) {
+    const Graph g = diamond_with_loop();
+    EnumerationOptions options;
+    options.max_node_visits = 2;
+    const auto ts = g.enumerate_transactions(options);
+    std::set<std::string> paths;
+    for (const auto& t : ts) paths.insert(g.describe(t));
+    EXPECT_TRUE(paths.count("n0 -> n1 -> n1 -> n3"));
+    EXPECT_EQ(ts.size(), 3u);
+}
+
+TEST(Enumeration, EveryTransactionIsBirthToDeath) {
+    const Graph g = diamond_with_loop();
+    for (const auto& t : g.enumerate_transactions()) {
+        ASSERT_FALSE(t.path.empty());
+        EXPECT_TRUE(g.node(t.path.front()).is_birth);
+        EXPECT_TRUE(g.is_death(t.path.back()));
+        // consecutive nodes are connected
+        for (std::size_t i = 0; i + 1 < t.path.size(); ++i) {
+            const auto& succ = g.successors(t.path[i]);
+            EXPECT_NE(std::find(succ.begin(), succ.end(), t.path[i + 1]), succ.end());
+        }
+    }
+}
+
+TEST(Enumeration, MaxTransactionsBoundsTheWalk) {
+    const Graph g = diamond_with_loop();
+    EnumerationOptions options;
+    options.max_transactions = 1;
+    EXPECT_EQ(g.enumerate_transactions(options).size(), 1u);
+}
+
+TEST(Enumeration, BirthEqualsDeathIsOneNodeTransaction) {
+    Graph g;
+    g.add_node(Node{"solo", true, {"ctor_dtor"}});
+    const auto ts = g.enumerate_transactions();
+    ASSERT_EQ(ts.size(), 1u);
+    EXPECT_EQ(ts[0].path.size(), 1u);
+}
+
+TEST(Enumeration, DeterministicAcrossCalls) {
+    const Graph g = diamond_with_loop();
+    const auto a = g.enumerate_transactions();
+    const auto b = g.enumerate_transactions();
+    EXPECT_EQ(a, b);
+}
+
+TEST(Enumeration, MethodSequenceFlattensNodes) {
+    const Graph g = diamond_with_loop();
+    EnumerationOptions options;
+    options.max_node_visits = 1;
+    const auto ts = g.enumerate_transactions(options);
+    EXPECT_EQ(g.method_sequence(ts[0]),
+              (std::vector<std::string>{"ctor", "a", "dtor"}));
+}
+
+// --------------------------------------------------------------------- dot
+
+TEST(Dot, MarksBirthDeathAndHighlight) {
+    const Graph g = diamond_with_loop();
+    const auto ts = g.enumerate_transactions();
+    const std::string dot = g.to_dot(&ts.front());
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("doublecircle"), std::string::npos);   // birth
+    EXPECT_NE(dot.find("doubleoctagon"), std::string::npos);  // death
+    EXPECT_NE(dot.find("color=red"), std::string::npos);      // highlight
+}
+
+// ---------------------------------------------------------------- coverage
+
+TEST(Coverage, AllTransactionsCoverEverything) {
+    const Graph g = diamond_with_loop();
+    const auto ts = g.enumerate_transactions();
+    const auto report = measure_coverage(g, ts);
+    EXPECT_EQ(report.nodes_covered, g.node_count());
+    EXPECT_DOUBLE_EQ(report.node_ratio(), 1.0);
+    EXPECT_DOUBLE_EQ(report.edge_ratio(), 1.0);
+}
+
+TEST(Coverage, PartialSetMeasuredCorrectly) {
+    const Graph g = diamond_with_loop();
+    EnumerationOptions options;
+    options.max_node_visits = 1;
+    auto ts = g.enumerate_transactions(options);
+    ts.resize(1);  // only n0->n1->n3
+    const auto report = measure_coverage(g, ts);
+    EXPECT_EQ(report.nodes_covered, 3u);
+    EXPECT_EQ(report.edges_covered, 2u);
+    EXPECT_LT(report.edge_ratio(), 1.0);
+}
+
+TEST(Coverage, GreedyNodeSelectionIsSmallButComplete) {
+    const Graph g = diamond_with_loop();
+    const auto ts = g.enumerate_transactions();
+    const auto selected = select_transactions(g, ts, Criterion::AllNodes);
+    EXPECT_LT(selected.size(), ts.size());
+    std::vector<Transaction> chosen;
+    for (auto i : selected) chosen.push_back(ts[i]);
+    EXPECT_DOUBLE_EQ(measure_coverage(g, chosen).node_ratio(), 1.0);
+}
+
+TEST(Coverage, GreedyEdgeSelectionCoversTraversedEdges) {
+    const Graph g = diamond_with_loop();
+    const auto ts = g.enumerate_transactions();  // visits=2 covers the loop
+    const auto selected = select_transactions(g, ts, Criterion::AllEdges);
+    std::vector<Transaction> chosen;
+    for (auto i : selected) chosen.push_back(ts[i]);
+    EXPECT_DOUBLE_EQ(measure_coverage(g, chosen).edge_ratio(), 1.0);
+}
+
+TEST(Coverage, AllTransactionsCriterionKeepsEverything) {
+    const Graph g = diamond_with_loop();
+    const auto ts = g.enumerate_transactions();
+    const auto selected = select_transactions(g, ts, Criterion::AllTransactions);
+    EXPECT_EQ(selected.size(), ts.size());
+}
+
+// ------------------------------------------------- property sweep (TEST_P)
+
+struct GraphShape {
+    std::size_t layers;
+    std::size_t width;
+};
+
+class LayeredGraphProperty : public ::testing::TestWithParam<GraphShape> {};
+
+TEST_P(LayeredGraphProperty, EnumerationMatchesClosedForm) {
+    // A layered DAG: birth -> width^layers paths -> death.
+    const auto [layers, width] = GetParam();
+    Graph g;
+    g.add_node(Node{"birth", true, {"ctor"}});
+    std::vector<std::string> previous{"birth"};
+    for (std::size_t l = 0; l < layers; ++l) {
+        std::vector<std::string> current;
+        for (std::size_t w = 0; w < width; ++w) {
+            const std::string id = "L" + std::to_string(l) + "_" + std::to_string(w);
+            g.add_node(Node{id, false, {"m"}});
+            current.push_back(id);
+        }
+        for (const auto& p : previous) {
+            for (const auto& c : current) g.add_edge(p, c);
+        }
+        previous = current;
+    }
+    g.add_node(Node{"death", false, {"dtor"}});
+    for (const auto& p : previous) g.add_edge(p, "death");
+
+    const auto ts = g.enumerate_transactions();
+    std::size_t expected = 1;
+    for (std::size_t l = 0; l < layers; ++l) expected *= width;
+    EXPECT_EQ(ts.size(), expected);
+    // Transaction coverage subsumes node and edge coverage on this DAG.
+    const auto cov = measure_coverage(g, ts);
+    EXPECT_DOUBLE_EQ(cov.node_ratio(), 1.0);
+    EXPECT_DOUBLE_EQ(cov.edge_ratio(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LayeredGraphProperty,
+                         ::testing::Values(GraphShape{1, 1}, GraphShape{1, 5},
+                                           GraphShape{2, 3}, GraphShape{3, 2},
+                                           GraphShape{4, 2}, GraphShape{2, 7}));
+
+}  // namespace
+}  // namespace stc::tfm

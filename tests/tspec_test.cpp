@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include "stc/support/error.h"
+#include "stc/tspec/builder.h"
+#include "stc/tspec/model.h"
+#include "stc/tspec/parser.h"
+
+namespace stc::tspec {
+namespace {
+
+constexpr const char* kProductSpec = R"(
+// Fig. 3 of the paper, lightly normalized
+Class ('Product', No, <empty>, <empty>)
+Attribute ('qty', range, 1, 99999)
+Attribute ('name', string, 0, 30)
+Attribute ('price', range, 0.01, 9999.99)
+Attribute ('prov', pointer, 'Provider')
+Method (m1, 'Product', <empty>, constructor, 0)
+Method (m2, '~Product', <empty>, destructor, 0)
+Method (m5, 'UpdateName', <empty>, new, 1)
+Parameter (m5, 'n', string, ['p1', 'p2', 'p3'])
+Method (m6, 'UpdateQty', <empty>, new, 1)
+Parameter (m6, 'q', range, 1, 99999)
+Node (n1, Yes, 1, [m1])
+Node (n4, No, 1, [m5, m6])
+Node (n7, No, 0, [m2])
+Edge (n1, n4)
+Edge (n4, n7)
+)";
+
+// ------------------------------------------------------------------ parser
+
+TEST(Parser, ParsesTheFig3Format) {
+    const ComponentSpec spec = parse_tspec(kProductSpec);
+    EXPECT_EQ(spec.class_name, "Product");
+    EXPECT_FALSE(spec.is_abstract);
+    EXPECT_EQ(spec.superclass, "");
+    ASSERT_EQ(spec.attributes.size(), 4u);
+    EXPECT_EQ(spec.attributes[0].name, "qty");
+    EXPECT_EQ(spec.attributes[0].type, TypeTag::Range);
+    EXPECT_EQ(spec.attributes[3].type, TypeTag::Pointer);
+    EXPECT_EQ(spec.attributes[3].class_name, "Provider");
+    ASSERT_EQ(spec.methods.size(), 4u);
+    EXPECT_EQ(spec.nodes.size(), 3u);
+    EXPECT_EQ(spec.edges.size(), 2u);
+    EXPECT_TRUE(spec.validate().empty());
+}
+
+TEST(Parser, RangeTypePicksIntOrRealDomain) {
+    const ComponentSpec spec = parse_tspec(kProductSpec);
+    const TypedSlot* qty = spec.find_attribute("qty");
+    ASSERT_NE(qty, nullptr);
+    EXPECT_NE(dynamic_cast<const domain::IntRangeDomain*>(qty->domain.get()), nullptr);
+    const TypedSlot* price = spec.find_attribute("price");
+    ASSERT_NE(price, nullptr);
+    EXPECT_NE(dynamic_cast<const domain::RealRangeDomain*>(price->domain.get()),
+              nullptr);
+}
+
+TEST(Parser, StringParameterWithValueSetBecomesSetDomain) {
+    const ComponentSpec spec = parse_tspec(kProductSpec);
+    const MethodSpec* m5 = spec.find_method("m5");
+    ASSERT_NE(m5, nullptr);
+    ASSERT_EQ(m5->parameters.size(), 1u);
+    const auto* set =
+        dynamic_cast<const domain::SetDomain*>(m5->parameters[0].domain.get());
+    ASSERT_NE(set, nullptr);
+    EXPECT_EQ(set->values().size(), 3u);
+}
+
+TEST(Parser, CommentsAndBothQuoteStylesAccepted) {
+    const auto spec = parse_tspec(
+        "// header comment\n"
+        "Class (\"X\", No, <empty>, <empty>) // trailing comment\n"
+        "Method (m1, 'X', <empty>, constructor, 0)\n");
+    EXPECT_EQ(spec.class_name, "X");
+}
+
+TEST(Parser, AbstractClassAndSuperclass) {
+    const auto spec = parse_tspec(
+        "Class ('Shape', Yes, 'Drawable', ['shape.cpp', 'shape.h'])\n");
+    EXPECT_TRUE(spec.is_abstract);
+    EXPECT_EQ(spec.superclass, "Drawable");
+    EXPECT_EQ(spec.source_files.size(), 2u);
+}
+
+TEST(Parser, TemplateParamRecord) {
+    const auto spec = parse_tspec(
+        "Class ('Stack', No, <empty>, <empty>)\n"
+        "TemplateParam ('ClassType', ['int', 'CInt'])\n");
+    ASSERT_EQ(spec.template_bindings.count("ClassType"), 1u);
+    EXPECT_EQ(spec.template_bindings.at("ClassType"),
+              (std::vector<std::string>{"int", "CInt"}));
+}
+
+TEST(Parser, NegativeAndRealNumbers) {
+    const auto spec = parse_tspec(
+        "Class ('X', No, <empty>, <empty>)\n"
+        "Attribute ('t', range, -40, -10)\n"
+        "Attribute ('r', range, -1.5, 2.5e2)\n");
+    const auto* t =
+        dynamic_cast<const domain::IntRangeDomain*>(spec.attributes[0].domain.get());
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->lo(), -40);
+    const auto* r =
+        dynamic_cast<const domain::RealRangeDomain*>(spec.attributes[1].domain.get());
+    ASSERT_NE(r, nullptr);
+    EXPECT_DOUBLE_EQ(r->hi(), 250.0);
+}
+
+// ------------------------------------------------------------ parse errors
+
+TEST(ParserErrors, SyntaxErrorsCarryLocation) {
+    try {
+        (void)parse_tspec("Class ('X' No, <empty>, <empty>)");
+        FAIL();
+    } catch (const ParseError& e) {
+        EXPECT_GE(e.line(), 1);
+    }
+}
+
+TEST(ParserErrors, UnterminatedString) {
+    EXPECT_THROW((void)parse_tspec("Class ('X, No, <empty>, <empty>)"), ParseError);
+}
+
+TEST(ParserErrors, MalformedEmptyMarker) {
+    EXPECT_THROW((void)parse_tspec("Class ('X', No, <empt>, <empty>)"), ParseError);
+}
+
+TEST(ParserErrors, RecordLevelProblemsAreSpecErrors) {
+    // parameter for unknown method
+    EXPECT_THROW((void)parse_tspec("Class ('X', No, <empty>, <empty>)\n"
+                                   "Parameter (m9, 'q', range, 1, 2)\n"),
+                 SpecError);
+    // declared parameter count mismatch
+    EXPECT_THROW((void)parse_tspec("Class ('X', No, <empty>, <empty>)\n"
+                                   "Method (m1, 'f', <empty>, new, 2)\n"
+                                   "Parameter (m1, 'q', range, 1, 2)\n"),
+                 SpecError);
+    // duplicate method id
+    EXPECT_THROW((void)parse_tspec("Class ('X', No, <empty>, <empty>)\n"
+                                   "Method (m1, 'f', <empty>, new, 0)\n"
+                                   "Method (m1, 'g', <empty>, new, 0)\n"),
+                 SpecError);
+    // unknown record kind
+    EXPECT_THROW((void)parse_tspec("Class ('X', No, <empty>, <empty>)\n"
+                                   "Banana (m1)\n"),
+                 SpecError);
+    // no Class record at all
+    EXPECT_THROW((void)parse_tspec("Method (m1, 'f', <empty>, new, 0)\n"), SpecError);
+    // two Class records
+    EXPECT_THROW((void)parse_tspec("Class ('X', No, <empty>, <empty>)\n"
+                                   "Class ('Y', No, <empty>, <empty>)\n"),
+                 SpecError);
+}
+
+// -------------------------------------------------------------- round trip
+
+TEST(Printer, RoundTripPreservesTheModel) {
+    const ComponentSpec original = parse_tspec(kProductSpec);
+    const std::string printed = print_tspec(original);
+    const ComponentSpec reparsed = parse_tspec(printed);
+
+    EXPECT_EQ(reparsed.class_name, original.class_name);
+    EXPECT_EQ(reparsed.attributes.size(), original.attributes.size());
+    ASSERT_EQ(reparsed.methods.size(), original.methods.size());
+    for (std::size_t i = 0; i < original.methods.size(); ++i) {
+        EXPECT_EQ(reparsed.methods[i].id, original.methods[i].id);
+        EXPECT_EQ(reparsed.methods[i].name, original.methods[i].name);
+        EXPECT_EQ(reparsed.methods[i].category, original.methods[i].category);
+        EXPECT_EQ(reparsed.methods[i].parameters.size(),
+                  original.methods[i].parameters.size());
+    }
+    ASSERT_EQ(reparsed.nodes.size(), original.nodes.size());
+    for (std::size_t i = 0; i < original.nodes.size(); ++i) {
+        EXPECT_EQ(reparsed.nodes[i].id, original.nodes[i].id);
+        EXPECT_EQ(reparsed.nodes[i].is_start, original.nodes[i].is_start);
+        EXPECT_EQ(reparsed.nodes[i].method_ids, original.nodes[i].method_ids);
+    }
+    EXPECT_EQ(reparsed.edges.size(), original.edges.size());
+    // Idempotence: printing again yields the same text.
+    EXPECT_EQ(print_tspec(reparsed), printed);
+}
+
+// ------------------------------------------------------------- validation
+
+TEST(Validation, DetectsDanglingReferences) {
+    SpecBuilder b("X");
+    b.method("m1", "X", MethodCategory::Constructor);
+    b.node("n1", true, {"m1", "mZ"});  // mZ unknown
+    b.edge("n1", "nZ");                // nZ unknown
+    const auto spec = b.build_unchecked();
+    const auto problems = spec.validate();
+    EXPECT_GE(problems.size(), 2u);
+    EXPECT_THROW(spec.ensure_valid(), SpecError);
+}
+
+TEST(Validation, DetectsOutDegreeMismatch) {
+    ComponentSpec spec;
+    spec.class_name = "X";
+    spec.methods.push_back({"m1", "X", "", MethodCategory::Constructor, {}});
+    spec.nodes.push_back({"n1", true, 3, {"m1"}});  // declares 3, has 0
+    const auto problems = spec.validate();
+    ASSERT_FALSE(problems.empty());
+    bool found = false;
+    for (const auto& p : problems) {
+        found = found || p.message.find("out-degree") != std::string::npos;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Validation, StartNodeMustContainConstructor) {
+    SpecBuilder b("X");
+    b.method("m1", "X", MethodCategory::Constructor);
+    b.method("m2", "f", MethodCategory::New);
+    b.node("n1", true, {"m2"});  // start without constructor
+    const auto problems = b.build_unchecked().validate();
+    bool found = false;
+    for (const auto& p : problems) {
+        found = found || p.message.find("constructor") != std::string::npos;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Validation, StructuredParameterNeedsClassName) {
+    ComponentSpec spec;
+    spec.class_name = "X";
+    MethodSpec m{"m1", "f", "", MethodCategory::New, {}};
+    m.parameters.push_back(TypedSlot{"p", TypeTag::Pointer, nullptr, ""});
+    spec.methods.push_back(m);
+    const auto problems = spec.validate();
+    EXPECT_FALSE(problems.empty());
+}
+
+TEST(Validation, MissingDomainOnPlainParameter) {
+    ComponentSpec spec;
+    spec.class_name = "X";
+    MethodSpec m{"m1", "f", "", MethodCategory::New, {}};
+    m.parameters.push_back(TypedSlot{"p", TypeTag::Range, nullptr, ""});
+    spec.methods.push_back(m);
+    EXPECT_FALSE(spec.validate().empty());
+}
+
+// ---------------------------------------------------------------- builder
+
+TEST(Builder, ComputesOutDegreesAndValidates) {
+    SpecBuilder b("C");
+    b.method("m1", "C", MethodCategory::Constructor);
+    b.method("m2", "~C", MethodCategory::Destructor);
+    b.method("m3", "f", MethodCategory::New).param_range("x", 0, 9);
+    b.node("n1", true, {"m1"});
+    b.node("n2", false, {"m3"});
+    b.node("n3", false, {"m2"});
+    b.edge("n1", "n2").edge("n2", "n2").edge("n2", "n3");
+    const ComponentSpec spec = b.build();
+    EXPECT_EQ(spec.find_node("n1")->declared_out_degree, 1);
+    EXPECT_EQ(spec.find_node("n2")->declared_out_degree, 2);
+    EXPECT_EQ(spec.find_node("n3")->declared_out_degree, 0);
+}
+
+TEST(Builder, ParamBeforeMethodThrows) {
+    SpecBuilder b("C");
+    EXPECT_THROW(b.param_range("x", 0, 1), SpecError);
+}
+
+TEST(Builder, BuildsTfmGraph) {
+    SpecBuilder b("C");
+    b.method("m1", "C", MethodCategory::Constructor);
+    b.method("m2", "~C", MethodCategory::Destructor);
+    b.node("n1", true, {"m1"});
+    b.node("n2", false, {"m2"});
+    b.edge("n1", "n2");
+    const auto graph = b.build().build_tfm();
+    EXPECT_EQ(graph.node_count(), 2u);
+    EXPECT_EQ(graph.edge_count(), 1u);
+    EXPECT_EQ(graph.birth_nodes().size(), 1u);
+    EXPECT_EQ(graph.death_nodes().size(), 1u);
+}
+
+// --------------------------------------------------------------- helpers
+
+TEST(ModelHelpers, EnumParsersAcceptCaseInsensitive) {
+    EXPECT_EQ(parse_type_tag("Range"), TypeTag::Range);
+    EXPECT_EQ(parse_type_tag("STRING"), TypeTag::String);
+    EXPECT_EQ(parse_type_tag("banana"), std::nullopt);
+    EXPECT_EQ(parse_method_category("Constructor"), MethodCategory::Constructor);
+    EXPECT_EQ(parse_method_category("redefined"), MethodCategory::Redefined);
+    EXPECT_EQ(parse_method_category("other"), std::nullopt);
+}
+
+TEST(ModelHelpers, SignatureRendering) {
+    MethodSpec m{"m2", "UpdateProv", "", MethodCategory::New, {}};
+    m.parameters.push_back(TypedSlot{"prv", TypeTag::Pointer, nullptr, "Provider"});
+    EXPECT_EQ(m.signature(), "UpdateProv(pointer:Provider prv)");
+}
+
+}  // namespace
+}  // namespace stc::tspec

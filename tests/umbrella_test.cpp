@@ -1,0 +1,32 @@
+// The umbrella header must pull in the complete public API and stay
+// self-sufficient (every header compiles with only its own includes).
+#include "stc/concat.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, PublicApiIsReachableThroughOneInclude) {
+    // One symbol per module proves the include set is complete.
+    EXPECT_EQ(stc::support::trim("  x "), "x");
+    EXPECT_EQ(stc::domain::int_range(0, 1)->kind(), stc::domain::ValueKind::Int);
+    EXPECT_EQ(std::string(stc::tspec::to_string(stc::tspec::TypeTag::Range)),
+              "range");
+    EXPECT_EQ(std::string(stc::tfm::to_string(stc::tfm::Criterion::AllTransactions)),
+              "all-transactions");
+    EXPECT_FALSE(stc::bit::TestMode::enabled());
+    EXPECT_EQ(std::string(stc::driver::to_string(stc::driver::Verdict::Pass)),
+              "pass");
+    EXPECT_EQ(std::string(stc::oracle::to_string(stc::oracle::KillReason::Crash)),
+              "crash");
+    EXPECT_EQ(std::string(stc::history::to_string(
+                  stc::history::ReuseDecision::Retest)),
+              "retest");
+    EXPECT_EQ(std::string(stc::mutation::to_string(
+                  stc::mutation::Operator::IndVarBitNeg)),
+              "IndVarBitNeg");
+    stc::reflect::Registry registry;
+    EXPECT_EQ(registry.size(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "stc/driver/generator.h"
+#include "stc/driver/runner.h"
+#include "stc/history/version_diff.h"
+#include "stc/support/error.h"
+#include "test_component.h"
+
+namespace stc::history {
+namespace {
+
+tspec::ComponentSpec v1() { return stc::testing::counter_spec(); }
+
+/// Release 2: Dec removed, Inc gains a parameter, and a new method
+/// appears.  The parameterized constructor (m2) stays unchanged so some
+/// transactions survive intact.
+tspec::ComponentSpec v2() {
+    tspec::ComponentSpec spec = v1();
+    // Remove Dec (m5).
+    for (auto it = spec.methods.begin(); it != spec.methods.end();) {
+        it = it->id == "m5" ? spec.methods.erase(it) : std::next(it);
+    }
+    // Inc (m4) gains a parameter.
+    auto* inc = const_cast<tspec::MethodSpec*>(spec.find_method("m4"));
+    inc->parameters.push_back(
+        tspec::TypedSlot{"times", tspec::TypeTag::Range, domain::int_range(1, 3), ""});
+    // A new method.
+    spec.methods.push_back({"m8", "Double", "", tspec::MethodCategory::New, {}});
+    return spec;
+}
+
+// -------------------------------------------------------------------- diff
+
+TEST(VersionDiff, ClassifiesEveryKindOfChange) {
+    const SpecDelta delta = diff_specs(v1(), v2());
+    EXPECT_EQ(delta.change_of("m1"), MethodChange::Unchanged);
+    EXPECT_EQ(delta.change_of("m2"), MethodChange::Unchanged);
+    EXPECT_EQ(delta.change_of("m4"), MethodChange::SignatureChanged);
+    EXPECT_EQ(delta.change_of("m5"), MethodChange::Removed);
+    EXPECT_EQ(delta.change_of("m8"), MethodChange::Added);
+    EXPECT_EQ(delta.change_of("m7"), MethodChange::Unchanged);  // Get
+    EXPECT_TRUE(delta.any_changes());
+}
+
+TEST(VersionDiff, DomainRedeclarationIsDomainChanged) {
+    auto widened = v1();
+    auto* ctor = const_cast<tspec::MethodSpec*>(widened.find_method("m2"));
+    ctor->parameters[0].domain = domain::int_range(1, 20);
+    const SpecDelta delta = diff_specs(v1(), widened);
+    EXPECT_EQ(delta.change_of("m2"), MethodChange::DomainChanged);
+    // Frozen cases that used the old domain must be regenerated.
+    const auto frozen = driver::DriverGenerator(v1()).generate();
+    const auto plan = replan_suite(frozen, delta);
+    EXPECT_GT(plan.regenerate.size(), 0u);
+}
+
+TEST(VersionDiff, IdenticalReleasesAreCleanAndUnknownIdsAreRemoved) {
+    const SpecDelta delta = diff_specs(v1(), v1());
+    EXPECT_FALSE(delta.any_changes());
+    for (const auto& [id, change] : delta.methods) {
+        EXPECT_EQ(change, MethodChange::Unchanged) << id;
+    }
+    // An id the delta never saw is treated as removed (fail safe).
+    EXPECT_EQ(delta.change_of("ghost"), MethodChange::Removed);
+}
+
+TEST(VersionDiff, ModelChangeDetected) {
+    auto changed = v1();
+    changed.edges.pop_back();
+    for (auto& n : changed.nodes) {
+        int out = 0;
+        for (const auto& e : changed.edges) out += e.from == n.id ? 1 : 0;
+        n.declared_out_degree = out;
+    }
+    EXPECT_TRUE(diff_specs(v1(), changed).model_changed);
+    EXPECT_FALSE(diff_specs(v1(), v1()).model_changed);
+}
+
+TEST(VersionDiff, DifferentClassesRejected) {
+    auto other = v1();
+    other.class_name = "SomethingElse";
+    EXPECT_THROW((void)diff_specs(v1(), other), SpecError);
+}
+
+// ------------------------------------------------------------------ replan
+
+TEST(VersionDiff, ReplanPartitionsAFrozenSuite) {
+    const auto frozen = driver::DriverGenerator(v1()).generate();
+    const SpecDelta delta = diff_specs(v1(), v2());
+    const ReplayPlan plan = replan_suite(frozen, delta);
+
+    EXPECT_EQ(plan.reusable() + plan.regenerate.size() + plan.obsolete.size(),
+              frozen.size());
+    EXPECT_GT(plan.obsolete.size(), 0u);    // Dec transactions dropped
+    EXPECT_GT(plan.regenerate.size(), 0u);  // Inc/ctor(step) transactions stale
+    EXPECT_GT(plan.reusable(), 0u);         // ctor()/Reset/Get-only paths live on
+
+    // Sanity per class of decision.
+    for (const auto& tc : plan.obsolete) {
+        bool touches_removed = false;
+        for (const auto& call : tc.calls) touches_removed |= call.method_id == "m5";
+        EXPECT_TRUE(touches_removed) << tc.transaction_text;
+    }
+    for (const auto& tc : plan.still_valid.cases) {
+        for (const auto& call : tc.calls) {
+            EXPECT_NE(call.method_id, "m5");
+            EXPECT_NE(call.method_id, "m4");
+        }
+    }
+}
+
+TEST(VersionDiff, StillValidSuiteRunsAgainstTheNewRelease) {
+    // The surviving cases run green on a binding that honours the new
+    // release's unchanged methods (the Counter itself is unchanged here —
+    // only the spec evolved — so the old binding stands in for release 2).
+    const auto frozen = driver::DriverGenerator(v1()).generate();
+    const ReplayPlan plan = replan_suite(frozen, diff_specs(v1(), v2()));
+
+    reflect::Registry registry;
+    registry.add(stc::testing::counter_binding());
+    const auto result = driver::TestRunner(registry).run(plan.still_valid);
+    EXPECT_EQ(result.failed(), 0u);
+}
+
+TEST(VersionDiff, ObsoleteEverythingWhenTheClassIsGutted) {
+    auto gutted = v1();
+    gutted.methods.clear();
+    gutted.methods.push_back({"m1", "Counter", "", tspec::MethodCategory::Constructor, {}});
+    const auto frozen = driver::DriverGenerator(v1()).generate();
+    const ReplayPlan plan = replan_suite(frozen, diff_specs(v1(), gutted));
+    EXPECT_EQ(plan.reusable(), 0u);  // every transaction used a removed method
+}
+
+}  // namespace
+}  // namespace stc::history

@@ -1,0 +1,344 @@
+// concat — command-line front end of the framework, playing the role of
+// the paper's Concat prototype for the steps that work offline from the
+// t-spec alone: validating and pretty-printing specifications, rendering
+// and analyzing the TFM, enumerating transactions, generating executable
+// test suites (concat-suite format) and C++ driver source (Figs. 6-7).
+//
+//   concat validate <tspec>                     semantic check
+//   concat print <tspec>                        normalized round-trip
+//   concat dot <tspec>                          Graphviz rendering of the TFM
+//   concat transactions <tspec> [options]       enumerate transactions
+//   concat suite <tspec> [options] [-o FILE]    generate + save a test suite
+//   concat gen <tspec> [options] [-o FILE]      generate C++ driver source
+//
+// Common options: --seed N, --max-visits N, --cases N, --criterion
+// all-transactions|all-links|all-nodes; gen also takes --include H,
+// --using NS, --log FILE.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "stc/codegen/driver_codegen.h"
+#include "stc/driver/generator.h"
+#include "stc/driver/suite_io.h"
+#include "stc/history/version_diff.h"
+#include "stc/support/error.h"
+#include "stc/tfm/coverage.h"
+#include "stc/tspec/parser.h"
+
+namespace {
+
+using namespace stc;
+
+int usage(std::ostream& os) {
+    os << "usage: concat <command> <tspec-file> [options]\n"
+          "commands:\n"
+          "  validate       parse and semantically check a t-spec\n"
+          "  describe       human-readable summary of the specification\n"
+          "  print          normalized t-spec (round-trip through the parser)\n"
+          "  dot            Graphviz DOT of the transaction flow model\n"
+          "  transactions   enumerate transactions (birth -> death paths)\n"
+          "  coverage       node/link coverage of the selected criterion\n"
+          "  suite          generate a test suite (concat-suite text format)\n"
+          "  gen            generate C++ driver source (paper Figs. 6-7)\n"
+          "  replan         classify a frozen suite against a NEW release:\n"
+          "                 concat replan OLD.tspec --new NEW.tspec --frozen S.txt\n"
+          "                 [-o STILL_VALID.txt]\n"
+          "options:\n"
+          "  --seed N        random seed for value generation\n"
+          "  --max-visits N  cycle unrolling bound (default 2)\n"
+          "  --cases N       test cases per transaction (default 1)\n"
+          "  --criterion C   all-transactions | all-links | all-nodes\n"
+          "  --states        also generate mid-life entry variants (State records)\n"
+          "  --include H     (gen) #include to emit; repeatable\n"
+          "  --using NS      (gen) using namespace to emit; repeatable\n"
+          "  --log FILE      (gen) log file used by the generated driver\n"
+          "  --new FILE      (replan) the new release's t-spec\n"
+          "  --frozen FILE   (replan) the frozen concat-suite file\n"
+          "  -o FILE         write output to FILE instead of stdout\n";
+    return 2;
+}
+
+struct Options {
+    std::string command;
+    std::string tspec_path;
+    driver::GeneratorOptions generator;
+    codegen::CodegenOptions codegen;
+    std::optional<std::string> output_path;
+    std::optional<std::string> new_tspec_path;   // replan
+    std::optional<std::string> frozen_suite_path;  // replan
+};
+
+std::optional<Options> parse_args(int argc, char** argv) {
+    if (argc < 3) return std::nullopt;
+    Options out;
+    out.command = argv[1];
+    out.tspec_path = argv[2];
+
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::optional<std::string> {
+            if (i + 1 >= argc) return std::nullopt;
+            return std::string(argv[++i]);
+        };
+        if (arg == "--seed") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            out.generator.seed = std::stoull(*v);
+        } else if (arg == "--max-visits") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            out.generator.enumeration.max_node_visits = std::stoull(*v);
+        } else if (arg == "--cases") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            out.generator.cases_per_transaction = std::stoull(*v);
+        } else if (arg == "--criterion") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            if (*v == "all-transactions") {
+                out.generator.criterion = tfm::Criterion::AllTransactions;
+            } else if (*v == "all-links") {
+                out.generator.criterion = tfm::Criterion::AllEdges;
+            } else if (*v == "all-nodes") {
+                out.generator.criterion = tfm::Criterion::AllNodes;
+            } else {
+                return std::nullopt;
+            }
+        } else if (arg == "--states") {
+            out.generator.include_entry_states = true;
+        } else if (arg == "--include") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            out.codegen.includes.push_back(*v);
+        } else if (arg == "--using") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            out.codegen.usings.push_back(*v);
+        } else if (arg == "--log") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            out.codegen.log_file = *v;
+        } else if (arg == "--new") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            out.new_tspec_path = *v;
+        } else if (arg == "--frozen") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            out.frozen_suite_path = *v;
+        } else if (arg == "-o") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            out.output_path = *v;
+        } else {
+            std::cerr << "concat: unknown option '" << arg << "'\n";
+            return std::nullopt;
+        }
+    }
+    return out;
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw Error("cannot open t-spec file: " + path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+int emit(const Options& options, const std::string& text) {
+    if (options.output_path) {
+        std::ofstream out(*options.output_path);
+        if (!out) throw Error("cannot write output file: " + *options.output_path);
+        out << text;
+        std::cout << "wrote " << text.size() << " bytes to " << *options.output_path
+                  << "\n";
+    } else {
+        std::cout << text;
+    }
+    return 0;
+}
+
+int cmd_validate(const Options& options, const tspec::ComponentSpec& spec) {
+    (void)options;
+    const auto spec_problems = spec.validate();
+    for (const auto& p : spec_problems) {
+        std::cout << "spec: [" << p.where << "] " << p.message << "\n";
+    }
+    std::vector<tfm::Diagnostic> model_problems;
+    if (spec_problems.empty() && !spec.nodes.empty()) {
+        model_problems = spec.build_tfm().diagnose();
+        for (const auto& d : model_problems) {
+            std::cout << "model: [" << (d.node_id.empty() ? "*" : d.node_id) << "] "
+                      << to_string(d.kind) << ": " << d.detail << "\n";
+        }
+    }
+    const bool clean = spec_problems.empty() && model_problems.empty();
+    std::cout << spec.class_name << ": " << (clean ? "valid" : "INVALID") << " ("
+              << spec.methods.size() << " method(s), " << spec.nodes.size()
+              << " node(s), " << spec.edges.size() << " edge(s))\n";
+    return clean ? 0 : 1;
+}
+
+int cmd_describe(const Options& options, const tspec::ComponentSpec& spec) {
+    std::ostringstream out;
+    out << "class " << spec.class_name;
+    if (spec.is_abstract) out << " (abstract)";
+    if (!spec.superclass.empty()) out << " : " << spec.superclass;
+    out << "\n";
+
+    if (!spec.attributes.empty()) {
+        out << "attributes:\n";
+        for (const auto& a : spec.attributes) {
+            out << "  " << a.name << " : "
+                << (a.domain ? a.domain->describe()
+                             : std::string(to_string(a.type)) + " " + a.class_name)
+                << "\n";
+        }
+    }
+    out << "methods:\n";
+    for (const auto& m : spec.methods) {
+        out << "  " << m.id << "  " << m.signature();
+        if (!m.return_type.empty()) out << " -> " << m.return_type;
+        out << "  [" << to_string(m.category) << "]\n";
+    }
+    if (!spec.states.empty()) {
+        out << "predefined states:";
+        for (const auto& st : spec.states) out << " " << st;
+        out << "\n";
+    }
+    for (const auto& [param, types] : spec.template_bindings) {
+        out << "template parameter " << param << ":";
+        for (const auto& t : types) out << " " << t;
+        out << "\n";
+    }
+    if (!spec.nodes.empty()) {
+        const auto graph = spec.build_tfm();
+        const auto transactions =
+            graph.enumerate_transactions(options.generator.enumeration);
+        out << "test model: " << graph.node_count() << " node(s), "
+            << graph.edge_count() << " link(s), " << transactions.size()
+            << " transaction(s)\n";
+    }
+    return emit(options, out.str());
+}
+
+int cmd_transactions(const Options& options, const tspec::ComponentSpec& spec) {
+    const auto graph = spec.build_tfm();
+    const auto all = graph.enumerate_transactions(options.generator.enumeration);
+    const auto selected =
+        tfm::select_transactions(graph, all, options.generator.criterion);
+    std::ostringstream out;
+    for (std::size_t index : selected) {
+        out << graph.describe(all[index]) << "\n";
+    }
+    out << "# " << selected.size() << " transaction(s) selected of " << all.size()
+        << " enumerated (" << to_string(options.generator.criterion) << ")\n";
+    return emit(options, out.str());
+}
+
+int cmd_coverage(const Options& options, const tspec::ComponentSpec& spec) {
+    const auto graph = spec.build_tfm();
+    const auto all = graph.enumerate_transactions(options.generator.enumeration);
+    const auto selected =
+        tfm::select_transactions(graph, all, options.generator.criterion);
+    std::vector<tfm::Transaction> chosen;
+    chosen.reserve(selected.size());
+    for (std::size_t index : selected) chosen.push_back(all[index]);
+    const auto report = tfm::measure_coverage(graph, chosen);
+
+    std::ostringstream out;
+    out << "criterion: " << to_string(options.generator.criterion) << "\n"
+        << "transactions: " << chosen.size() << " of " << all.size()
+        << " enumerated\n"
+        << "node coverage: " << report.nodes_covered << "/" << report.nodes_total
+        << "\n"
+        << "link coverage: " << report.edges_covered << "/" << report.edges_total
+        << "\n";
+    return emit(options, out.str());
+}
+
+int cmd_suite(const Options& options, const tspec::ComponentSpec& spec) {
+    const auto suite = driver::DriverGenerator(spec, options.generator).generate();
+    std::ostringstream out;
+    driver::save_suite(out, suite);
+    return emit(options, out.str());
+}
+
+int cmd_gen(const Options& options, const tspec::ComponentSpec& spec) {
+    const auto suite = driver::DriverGenerator(spec, options.generator).generate();
+    const codegen::DriverCodegen generator(spec, options.codegen);
+    return emit(options, generator.suite_source(suite));
+}
+
+int cmd_replan(const Options& options, const tspec::ComponentSpec& old_spec) {
+    if (!options.new_tspec_path || !options.frozen_suite_path) {
+        std::cerr << "concat replan: --new and --frozen are required\n";
+        return 2;
+    }
+    const auto new_spec = tspec::parse_tspec(read_file(*options.new_tspec_path));
+    std::ifstream frozen_in(*options.frozen_suite_path);
+    if (!frozen_in) {
+        throw Error("cannot open frozen suite: " + *options.frozen_suite_path);
+    }
+    const auto frozen = driver::load_suite(frozen_in);
+
+    const auto delta = history::diff_specs(old_spec, new_spec);
+    const auto plan = history::replan_suite(frozen, delta);
+
+    std::cout << "release diff for " << old_spec.class_name << ":\n";
+    for (const auto& [id, change] : delta.methods) {
+        if (change == history::MethodChange::Unchanged) continue;
+        std::cout << "  " << id << ": " << to_string(change) << "\n";
+    }
+    if (delta.model_changed) std::cout << "  (test model changed)\n";
+    std::cout << "frozen suite: " << frozen.size() << " case(s)\n"
+              << "  still valid: " << plan.reusable() << "\n"
+              << "  regenerate:  " << plan.regenerate.size() << "\n"
+              << "  obsolete:    " << plan.obsolete.size() << "\n";
+
+    if (options.output_path) {
+        std::ofstream out(*options.output_path);
+        if (!out) throw Error("cannot write output file: " + *options.output_path);
+        driver::save_suite(out, plan.still_valid);
+        std::cout << "wrote the still-valid suite to " << *options.output_path
+                  << "\n";
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const auto options = parse_args(argc, argv);
+    if (!options) return usage(std::cerr);
+
+    try {
+        const auto spec = tspec::parse_tspec(read_file(options->tspec_path));
+
+        if (options->command == "validate") return cmd_validate(*options, spec);
+        if (options->command == "describe") return cmd_describe(*options, spec);
+        if (options->command == "print") {
+            return emit(*options, tspec::print_tspec(spec));
+        }
+        if (options->command == "dot") {
+            spec.ensure_valid();
+            return emit(*options, spec.build_tfm().to_dot());
+        }
+        if (options->command == "transactions") return cmd_transactions(*options, spec);
+        if (options->command == "coverage") return cmd_coverage(*options, spec);
+        if (options->command == "suite") return cmd_suite(*options, spec);
+        if (options->command == "gen") return cmd_gen(*options, spec);
+        if (options->command == "replan") return cmd_replan(*options, spec);
+
+        std::cerr << "concat: unknown command '" << options->command << "'\n";
+        return usage(std::cerr);
+    } catch (const stc::Error& e) {
+        std::cerr << "concat: " << e.what() << "\n";
+        return 1;
+    }
+}
