@@ -1,0 +1,108 @@
+// Campaign scaling — wall-clock speedup of the stc::campaign
+// work-stealing scheduler at 1/2/4/8 workers over the serial engine
+// loop, on the paper's CObList subject (the Experiment 1/2 component).
+//
+// Two properties are measured:
+//   1. determinism — every worker count produces the same fates and
+//      kill reasons, bit-for-bit, as the serial run (the scheduler's
+//      core contract: parallelism must not change the science);
+//   2. scaling — elapsed time shrinks as workers are added.  The
+//      speedup gate only applies when the hardware actually has >= 4
+//      cores; on smaller machines the numbers are reported unchecked.
+//
+// `--smoke` runs a tiny sharded campaign (first 8 mutants, 2 workers)
+// in a fraction of a second — registered as a ctest so the parallel
+// path is exercised on every build.
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "stc/campaign/scheduler.h"
+#include "stc/campaign/thread_pool.h"
+
+namespace {
+
+struct RunOutcome {
+    std::vector<std::pair<stc::mutation::MutantFate, stc::oracle::KillReason>>
+        fates;
+    double wall_ms = 0.0;
+    double campaign_wall_ms = 0.0;  // item phase as metered by the scheduler
+    std::uint64_t steals = 0;
+};
+
+RunOutcome run_at(const stc::reflect::Registry& registry,
+                  const stc::driver::TestSuite& suite,
+                  const std::vector<stc::mutation::Mutant>& mutants,
+                  std::size_t jobs) {
+    stc::campaign::CampaignOptions options;
+    options.jobs = jobs;
+    options.seed = 20010701;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const stc::campaign::CampaignScheduler scheduler(registry, options);
+    const auto result = scheduler.run(suite, mutants);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    RunOutcome out;
+    out.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    out.campaign_wall_ms = result.stats.wall_ms;
+    out.steals = result.stats.steals;
+    out.fates.reserve(result.run.outcomes.size());
+    for (const auto& o : result.run.outcomes) {
+        out.fates.emplace_back(o.fate, o.reason);
+    }
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace stc;
+    const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+    bench::banner(smoke ? "Campaign scaling (smoke)" : "Campaign scaling");
+
+    bench::Experiment experiment;
+    const auto suite = experiment.base.generate_tests();
+    auto mutants = mutation::enumerate_mutants(mfc::descriptors(), "CObList");
+    if (smoke && mutants.size() > 8) mutants.resize(8);
+
+    const std::size_t cores = campaign::WorkStealingPool::hardware_workers();
+    std::cout << "subject: CObList, " << mutants.size() << " mutant(s), "
+              << suite.size() << " case(s); hardware cores: " << cores << "\n\n";
+
+    const std::vector<std::size_t> worker_counts =
+        smoke ? std::vector<std::size_t>{1, 2}
+              : std::vector<std::size_t>{1, 2, 4, 8};
+
+    std::vector<RunOutcome> runs;
+    runs.reserve(worker_counts.size());
+    for (const std::size_t jobs : worker_counts) {
+        runs.push_back(run_at(experiment.registry, suite, mutants, jobs));
+        const RunOutcome& r = runs.back();
+        std::cout << "  jobs=" << jobs << "  wall=" << r.wall_ms
+                  << "ms  (items " << r.campaign_wall_ms << "ms, steals "
+                  << r.steals << ")  speedup x"
+                  << (runs.front().wall_ms / r.wall_ms) << "\n";
+    }
+
+    bool fates_identical = true;
+    for (std::size_t i = 1; i < runs.size(); ++i) {
+        fates_identical = fates_identical && runs[i].fates == runs[0].fates;
+    }
+    std::cout << "\nfates identical across worker counts: "
+              << (fates_identical ? "yes" : "NO — DETERMINISM BROKEN") << "\n";
+
+    if (smoke) return fates_identical ? 0 : 1;
+
+    // The scaling gate: only meaningful when the hardware can actually
+    // run 4 workers.  Threshold 1.2 leaves margin for CI noise below
+    // the >1.5x expected of a healthy 4-core run.
+    const double speedup4 = runs[0].wall_ms / runs[2].wall_ms;
+    std::cout << "speedup at 4 workers: x" << speedup4
+              << (cores >= 4 ? "" : "  (unchecked: <4 cores)") << "\n";
+    const bool scaling_ok = cores < 4 || speedup4 > 1.2;
+    return fates_identical && scaling_ok ? 0 : 1;
+}

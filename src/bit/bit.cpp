@@ -1,3 +1,4 @@
+#include <atomic>
 #include <sstream>
 
 #include "stc/bit/assertions.h"
@@ -31,17 +32,31 @@ AssertionViolation::AssertionViolation(AssertionKind kind, std::string expressio
       file_(std::move(file)),
       line_(line) {}
 
+namespace {
+// Process-wide totals across all threads; relaxed ordering is enough
+// because these are statistics, not synchronization.
+std::atomic<std::uint64_t> g_total_checked{0};
+std::atomic<std::uint64_t> g_total_violated{0};
+}  // namespace
+
 AssertionStats& AssertionStats::instance() noexcept {
     static thread_local AssertionStats stats;
     return stats;
 }
 
+AssertionStats::Counters AssertionStats::process_totals() noexcept {
+    return Counters{g_total_checked.load(std::memory_order_relaxed),
+                    g_total_violated.load(std::memory_order_relaxed)};
+}
+
 void AssertionStats::record_check(AssertionKind kind) noexcept {
     ++by_kind_[static_cast<std::size_t>(kind)].checked;
+    g_total_checked.fetch_add(1, std::memory_order_relaxed);
 }
 
 void AssertionStats::record_violation(AssertionKind kind) noexcept {
     ++by_kind_[static_cast<std::size_t>(kind)].violated;
+    g_total_violated.fetch_add(1, std::memory_order_relaxed);
 }
 
 void AssertionStats::reset() noexcept {

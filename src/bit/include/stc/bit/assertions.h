@@ -48,7 +48,18 @@ private:
     int line_;
 };
 
-/// Global (per-thread) assertion counters, reset per test session.
+/// Per-thread assertion counters, reset per test session.
+///
+/// Thread-safety contract (load-bearing for the campaign scheduler,
+/// src/campaign): `instance()` returns a *thread_local* object, so each
+/// concurrent driver thread counts, suppresses, and resets its own
+/// assertions with no synchronization and no cross-talk — a mutation
+/// campaign worker's assertion violations never leak into another
+/// worker's accounting.  For whole-process accounting across concurrent
+/// drivers (the "59 of 652 kills were due to assertion violation"
+/// number of a parallel campaign), `process_totals()` exposes monotonic
+/// process-wide totals maintained with relaxed atomics; it is never
+/// reset by per-thread `reset()`.
 class AssertionStats {
 public:
     struct Counters {
@@ -57,6 +68,11 @@ public:
     };
 
     static AssertionStats& instance() noexcept;
+
+    /// Snapshot of the process-wide totals, aggregated over every
+    /// thread that ever checked an assertion.  Monotonic: unaffected by
+    /// reset() (subtract two snapshots to meter an interval).
+    [[nodiscard]] static Counters process_totals() noexcept;
 
     void record_check(AssertionKind kind) noexcept;
     void record_violation(AssertionKind kind) noexcept;

@@ -19,6 +19,12 @@ namespace stc::bit {
 
 /// Runtime gate for BIT services — prevents misuse of BIT outside a test
 /// session.  Scoped on/off via TestModeGuard.
+///
+/// Thread-safety contract: the gate depth is *thread_local*, so test
+/// mode is entered and left per thread.  Every concurrent driver (e.g.
+/// a campaign worker, src/campaign) opens its own TestModeGuard — the
+/// runner does this per test case — and threads that never entered test
+/// mode keep BIT disabled no matter what other threads are doing.
 class TestMode {
 public:
     /// True when a test session is active.
@@ -53,6 +59,14 @@ public:
     /// Write a snapshot of the object's internal state to `os`.  Used by
     /// the generated driver after each test case and on failure, and as
     /// the observable output compared by the golden-output oracle.
+    ///
+    /// Thread-safety contract: implementations must be logically const —
+    /// read only `this` and write only `os`.  Concurrent drivers call
+    /// Reporter on *distinct* objects from different threads (each test
+    /// case owns its CUT), so an implementation that mutates shared
+    /// state (caches, globals, static buffers) breaks parallel
+    /// campaigns; one that observes only its own object needs no
+    /// locking.
     virtual void Reporter(std::ostream& os) const = 0;
 
     /// Convenience rendering of Reporter output as a string.

@@ -1,0 +1,72 @@
+// Resumable campaign result store.
+//
+// Every completed work item is appended (and flushed) to a JSONL file
+// keyed by a content hash of (campaign fingerprint, mutant id), so an
+// interrupted campaign can restart and skip finished items.  The first
+// line is a header carrying the campaign fingerprint — a hash of the
+// campaign seed, the suite identity, the mutant population, and the
+// oracle configuration.  Opening a store whose header names a
+// *different* fingerprint discards the stale contents rather than
+// resuming from results that a different campaign produced.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "stc/campaign/jsonl.h"
+
+namespace stc::campaign {
+
+/// The persisted outcome of one completed work item.
+struct ItemRecord {
+    std::string key;        ///< content key: hex(hash(fingerprint, mutant id))
+    std::string mutant_id;  ///< for human audit; not used for matching
+    std::size_t item_index = 0;
+    std::string fate;       ///< mutation::to_string(MutantFate)
+    std::string reason;     ///< oracle::to_string(KillReason)
+    bool hit_by_suite = false;
+    bool killed_by_probe = false;
+    std::uint64_t item_seed = 0;
+    double wall_ms = 0.0;
+
+    [[nodiscard]] JsonObject to_json() const;
+    [[nodiscard]] static std::optional<ItemRecord> from_json(const JsonObject& o);
+};
+
+/// Append-only, thread-safe store of completed items.
+class ResultStore {
+public:
+    /// Open `path` for campaign `fingerprint`.  When the file already
+    /// exists with a matching header, its records are loaded (resume);
+    /// on a fingerprint mismatch or corrupt header the file is started
+    /// over.  Unparseable trailing lines (a write cut short by the
+    /// interruption that makes resume necessary) are dropped.
+    ResultStore(const std::string& path, const std::string& fingerprint);
+
+    [[nodiscard]] const std::string& fingerprint() const noexcept {
+        return fingerprint_;
+    }
+
+    /// Records recovered from a previous run.
+    [[nodiscard]] std::size_t loaded() const noexcept { return loaded_; }
+
+    [[nodiscard]] const ItemRecord* find(const std::string& key) const;
+
+    /// Append one completed item and flush it to disk.  Thread-safe.
+    void append(const ItemRecord& record);
+
+private:
+    void start_fresh(const std::string& path);
+
+    std::string fingerprint_;
+    std::map<std::string, ItemRecord> records_;
+    std::size_t loaded_ = 0;
+    std::mutex mutex_;
+    std::ofstream out_;
+};
+
+}  // namespace stc::campaign

@@ -1,0 +1,101 @@
+// CampaignScheduler — parallel orchestration of mutation campaigns.
+//
+// The serial MutationEngine evaluates mutants one at a time; campaign
+// cost is mutants x transactions.  The scheduler shards the (mutant x
+// suite) work items of one campaign across a work-stealing pool and
+// reassembles a MutationRun whose fates and kill reasons are
+// bit-identical to the serial engine's, because
+//   - every item derives its own RNG seed from (campaign seed, mutant
+//     id, transaction id) instead of sharing a sequential stream
+//     (seed.h),
+//   - mutant activation and hit tracking are per-thread
+//     (MutationController is thread_local), and
+//   - outcomes land in per-item slots, ordered by item index, never by
+//     completion time.
+//
+// Resumability: with a store path set, every finished item is appended
+// to a content-hashed JSONL results file; reopening the same campaign
+// skips the finished items (ResultStore).  Telemetry: every scheduling
+// event can be streamed as JSONL (TelemetrySink, docs/FORMATS.md §5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stc/campaign/result_store.h"
+#include "stc/campaign/telemetry.h"
+#include "stc/mutation/engine.h"
+
+namespace stc::campaign {
+
+struct CampaignOptions {
+    /// Worker threads; 0 selects the hardware concurrency, 1 runs the
+    /// items inline (the serial reference).
+    std::size_t jobs = 1;
+    /// Campaign seed: root of all per-item seed derivation, and part of
+    /// the campaign fingerprint.
+    std::uint64_t seed = 20010701;
+    /// Path of the resumable result store; empty disables persistence.
+    /// A store written by a different campaign (seed, suite, mutants or
+    /// oracle changed) is discarded, not resumed.
+    std::string store_path;
+    /// Path of the JSONL telemetry trace; empty disables tracing.
+    std::string trace_path;
+    /// Engine configuration shared by every item.  The runner's
+    /// log_path must be empty (a shared append-file would interleave
+    /// across workers); manual_oracle, when set, must be thread-safe.
+    mutation::EngineOptions engine;
+};
+
+/// One (mutant x suite) work item.
+struct CampaignItem {
+    std::size_t index = 0;                    ///< position in the mutant list
+    const mutation::Mutant* mutant = nullptr;
+    std::uint64_t item_seed = 0;  ///< derive_item_seed(campaign, mutant, suite)
+    std::string key;              ///< content key in the result store
+};
+
+struct CampaignStats {
+    std::size_t items = 0;
+    std::size_t executed = 0;  ///< evaluated in this run
+    std::size_t resumed = 0;   ///< restored from the result store
+    std::size_t workers = 1;
+    std::uint64_t steals = 0;
+    double wall_ms = 0.0;      ///< item-execution phase only
+};
+
+struct CampaignResult {
+    mutation::MutationRun run;
+    CampaignStats stats;
+    std::string fingerprint;  ///< campaign identity (store header value)
+};
+
+class CampaignScheduler {
+public:
+    explicit CampaignScheduler(const reflect::Registry& bindings,
+                               CampaignOptions options = {});
+
+    /// Run the campaign: golden baselines are captured once (serially),
+    /// then the items execute across the pool.  Equivalent to
+    /// MutationEngine::run on the same inputs, fate-for-fate.
+    [[nodiscard]] CampaignResult run(
+        const driver::TestSuite& suite,
+        const std::vector<mutation::Mutant>& mutants,
+        const driver::TestSuite* probe_suite = nullptr) const;
+
+    /// The campaign identity: a stable hash of the campaign seed, the
+    /// suite (class, seed, case ids), the mutant population, and the
+    /// oracle/runner configuration.  Items of equal fingerprint are
+    /// interchangeable across process restarts — the resume contract.
+    [[nodiscard]] std::string fingerprint(
+        const driver::TestSuite& suite,
+        const std::vector<mutation::Mutant>& mutants,
+        const driver::TestSuite* probe_suite) const;
+
+private:
+    const reflect::Registry& bindings_;
+    CampaignOptions options_;
+};
+
+}  // namespace stc::campaign

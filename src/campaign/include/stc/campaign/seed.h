@@ -1,0 +1,58 @@
+// Deterministic seed derivation for campaign work items.
+//
+// A campaign shards (mutant x suite) work items across worker threads;
+// any randomness a work item consumes must NOT come from a shared
+// sequential stream, or the schedule (which worker ran which item when)
+// would leak into the results.  Instead every item derives its own seed
+// from the campaign seed and the item's stable identity:
+//
+//     item_seed = mix(campaign_seed, mutant_id, transaction_id)
+//
+// so a 1-worker run and an 8-worker run are bit-identical, and an item
+// re-executed after a resume sees exactly the values it would have seen
+// in the original run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace stc::campaign {
+
+/// FNV-1a 64-bit over a byte string — stable across platforms/runs
+/// (unlike std::hash, which is allowed to vary per process).
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/// splitmix64 finalizer — decorrelates structured inputs (sequential
+/// seeds, similar ids) into well-mixed 64-bit values.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/// The per-item seed: hash(campaign_seed, mutant_id, transaction_id).
+/// Order-sensitive (swapping mutant and transaction ids changes the
+/// result) and avalanche-mixed, so adjacent items get unrelated streams.
+[[nodiscard]] constexpr std::uint64_t derive_item_seed(
+    std::uint64_t campaign_seed, std::string_view mutant_id,
+    std::string_view transaction_id) noexcept {
+    std::uint64_t h = splitmix64(campaign_seed);
+    h = splitmix64(h ^ fnv1a64(mutant_id));
+    h = splitmix64(h ^ fnv1a64(transaction_id));
+    return h;
+}
+
+/// Fixed-width lowercase hex rendering of a 64-bit hash — the content
+/// keys of the result store.
+[[nodiscard]] std::string to_hex(std::uint64_t value);
+
+}  // namespace stc::campaign

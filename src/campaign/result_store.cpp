@@ -1,0 +1,103 @@
+#include "stc/campaign/result_store.h"
+
+#include <utility>
+
+#include "stc/support/error.h"
+
+namespace stc::campaign {
+
+JsonObject ItemRecord::to_json() const {
+    JsonObject o;
+    o.set("key", key)
+        .set("mutant", mutant_id)
+        .set("item", static_cast<std::uint64_t>(item_index))
+        .set("fate", fate)
+        .set("reason", reason)
+        .set("hit", hit_by_suite)
+        .set("probe_kill", killed_by_probe)
+        .set("item_seed", item_seed)
+        .set("wall_ms", wall_ms);
+    return o;
+}
+
+std::optional<ItemRecord> ItemRecord::from_json(const JsonObject& o) {
+    ItemRecord r;
+    const auto key = o.get_string("key");
+    const auto mutant = o.get_string("mutant");
+    const auto item = o.get_uint("item");
+    const auto fate = o.get_string("fate");
+    const auto reason = o.get_string("reason");
+    const auto hit = o.get_bool("hit");
+    const auto probe_kill = o.get_bool("probe_kill");
+    if (!key || !mutant || !item || !fate || !reason || !hit || !probe_kill) {
+        return {};
+    }
+    r.key = *key;
+    r.mutant_id = *mutant;
+    r.item_index = static_cast<std::size_t>(*item);
+    r.fate = *fate;
+    r.reason = *reason;
+    r.hit_by_suite = *hit;
+    r.killed_by_probe = *probe_kill;
+    r.item_seed = o.get_uint("item_seed").value_or(0);
+    r.wall_ms = o.get_double("wall_ms").value_or(0.0);
+    return r;
+}
+
+ResultStore::ResultStore(const std::string& path, const std::string& fingerprint)
+    : fingerprint_(fingerprint) {
+    bool resumable = false;
+    {
+        std::ifstream in(path);
+        if (in) {
+            std::string line;
+            if (std::getline(in, line)) {
+                const auto header = JsonObject::parse(line);
+                resumable = header && header->get_string("event") == "store-header" &&
+                            header->get_string("campaign") == fingerprint_;
+            }
+            if (resumable) {
+                while (std::getline(in, line)) {
+                    const auto parsed = JsonObject::parse(line);
+                    if (!parsed) continue;  // torn tail write: drop
+                    auto record = ItemRecord::from_json(*parsed);
+                    if (!record) continue;
+                    records_.insert_or_assign(record->key, std::move(*record));
+                }
+                loaded_ = records_.size();
+            }
+        }
+    }
+
+    if (resumable) {
+        out_.open(path, std::ios::app);
+    } else {
+        start_fresh(path);
+    }
+    if (!out_) throw Error("cannot open result store: " + path);
+}
+
+void ResultStore::start_fresh(const std::string& path) {
+    records_.clear();
+    loaded_ = 0;
+    out_.open(path, std::ios::trunc);
+    if (!out_) return;  // constructor reports the failure
+    JsonObject header;
+    header.set("event", "store-header").set("campaign", fingerprint_);
+    out_ << header.to_line() << '\n';
+    out_.flush();
+}
+
+const ItemRecord* ResultStore::find(const std::string& key) const {
+    const auto it = records_.find(key);
+    return it == records_.end() ? nullptr : &it->second;
+}
+
+void ResultStore::append(const ItemRecord& record) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out_ << record.to_json().to_line() << '\n';
+    out_.flush();
+    records_.insert_or_assign(record.key, record);
+}
+
+}  // namespace stc::campaign

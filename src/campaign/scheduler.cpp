@@ -1,0 +1,261 @@
+#include "stc/campaign/scheduler.h"
+
+#include <chrono>
+#include <memory>
+#include <sstream>
+
+#include "stc/campaign/seed.h"
+#include "stc/campaign/thread_pool.h"
+#include "stc/support/error.h"
+
+namespace stc::campaign {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+/// Chained content hashing: h' = mix(h ^ fnv(token)).
+std::uint64_t absorb(std::uint64_t h, std::string_view token) {
+    return splitmix64(h ^ fnv1a64(token));
+}
+std::uint64_t absorb(std::uint64_t h, std::uint64_t value) {
+    return splitmix64(h ^ value);
+}
+
+std::uint64_t absorb_suite(std::uint64_t h, const driver::TestSuite& suite) {
+    h = absorb(h, suite.class_name);
+    h = absorb(h, suite.seed);
+    h = absorb(h, static_cast<std::uint64_t>(suite.cases.size()));
+    for (const auto& tc : suite.cases) {
+        h = absorb(h, tc.id);
+        h = absorb(h, tc.transaction_text);
+        h = absorb(h, tc.entry_state);
+    }
+    return h;
+}
+
+/// The suite-level transaction id used in per-item seed derivation: the
+/// whole suite is one work item's "transaction" (finer sharding would
+/// split classification across cases).
+std::string suite_tag(const driver::TestSuite& suite) {
+    return suite.class_name + "#" + std::to_string(suite.seed);
+}
+
+}  // namespace
+
+CampaignScheduler::CampaignScheduler(const reflect::Registry& bindings,
+                                     CampaignOptions options)
+    : bindings_(bindings), options_(std::move(options)) {
+    if (!options_.engine.runner.log_path.empty()) {
+        throw ContractError(
+            "campaign runner cannot append to a shared log file; leave "
+            "RunnerOptions::log_path empty (use --trace-out for telemetry)");
+    }
+}
+
+std::string CampaignScheduler::fingerprint(
+    const driver::TestSuite& suite, const std::vector<mutation::Mutant>& mutants,
+    const driver::TestSuite* probe_suite) const {
+    std::uint64_t h = fnv1a64("stc-campaign-v1");
+    h = absorb(h, options_.seed);
+    h = absorb_suite(h, suite);
+    h = absorb(h, static_cast<std::uint64_t>(mutants.size()));
+    for (const auto& m : mutants) h = absorb(h, m.id());
+    const auto& oracle = options_.engine.oracle;
+    h = absorb(h, static_cast<std::uint64_t>((oracle.use_crashes ? 1 : 0) |
+                                             (oracle.use_assertions ? 2 : 0) |
+                                             (oracle.use_output_diff ? 4 : 0)));
+    const auto& runner = options_.engine.runner;
+    h = absorb(h, static_cast<std::uint64_t>((runner.check_invariants ? 1 : 0) |
+                                             (runner.capture_reports ? 2 : 0) |
+                                             (runner.observe_each_call ? 4 : 0)));
+    if (probe_suite != nullptr) h = absorb_suite(h, *probe_suite);
+    return to_hex(h);
+}
+
+CampaignResult CampaignScheduler::run(
+    const driver::TestSuite& suite, const std::vector<mutation::Mutant>& mutants,
+    const driver::TestSuite* probe_suite) const {
+    const std::size_t jobs =
+        options_.jobs == 0 ? WorkStealingPool::hardware_workers() : options_.jobs;
+
+    CampaignResult out;
+    out.fingerprint = fingerprint(suite, mutants, probe_suite);
+    out.stats.items = mutants.size();
+    out.stats.workers = jobs;
+
+    // Executors, shared read-only across workers (TestRunner::run is
+    // const and keeps all per-run state on the stack).
+    const driver::TestRunner runner(bindings_, options_.engine.runner);
+    driver::RunnerOptions probe_opts = options_.engine.runner;
+    probe_opts.observe_each_call = true;
+    const driver::TestRunner probe_runner(bindings_, probe_opts);
+
+    const mutation::MutationEngine::SuiteExecutor run_suite = [&runner, &suite] {
+        return runner.run(suite);
+    };
+    mutation::MutationEngine::SuiteExecutor run_probe;
+    if (probe_suite != nullptr) {
+        run_probe = [&probe_runner, probe_suite] {
+            return probe_runner.run(*probe_suite);
+        };
+    }
+
+    TelemetrySink trace;
+    if (!options_.trace_path.empty()) {
+        trace = TelemetrySink::to_file(options_.trace_path);
+    }
+
+    // Baseline golden runs, captured once, serially, before sharding
+    // (the paper validates the original program's outputs up front).
+    out.run.golden = oracle::GoldenRecord::from(run_suite());
+    out.run.baseline_clean = out.run.golden.all_passed();
+    oracle::GoldenRecord probe_golden;
+    if (run_probe) probe_golden = oracle::GoldenRecord::from(run_probe());
+
+    // Work items with derived seeds and content keys.
+    const std::string tag = suite_tag(suite);
+    std::vector<CampaignItem> items;
+    items.reserve(mutants.size());
+    for (std::size_t i = 0; i < mutants.size(); ++i) {
+        CampaignItem item;
+        item.index = i;
+        item.mutant = &mutants[i];
+        const std::string mutant_id = mutants[i].id();
+        item.item_seed = derive_item_seed(options_.seed, mutant_id, tag);
+        item.key = to_hex(absorb(fnv1a64(out.fingerprint), mutant_id));
+        items.push_back(std::move(item));
+    }
+
+    std::unique_ptr<ResultStore> store;
+    if (!options_.store_path.empty()) {
+        store = std::make_unique<ResultStore>(options_.store_path, out.fingerprint);
+    }
+
+    trace.emit(JsonObject()
+                   .set("event", "campaign-start")
+                   .set("campaign", out.fingerprint)
+                   .set("class", suite.class_name)
+                   .set("seed", options_.seed)
+                   .set("jobs", static_cast<std::uint64_t>(jobs))
+                   .set("mutants", static_cast<std::uint64_t>(mutants.size()))
+                   .set("cases", static_cast<std::uint64_t>(suite.cases.size()))
+                   .set("probe", probe_suite != nullptr)
+                   .set("baseline_clean", out.run.baseline_clean));
+
+    // Resume pass (single-threaded, before the pool starts): restore
+    // finished items, queue the rest.
+    std::vector<mutation::MutantOutcome> outcomes(mutants.size());
+    std::vector<const CampaignItem*> pending;
+    pending.reserve(items.size());
+    for (const CampaignItem& item : items) {
+        const ItemRecord* record =
+            store == nullptr ? nullptr : store->find(item.key);
+        if (record == nullptr) {
+            pending.push_back(&item);
+            continue;
+        }
+        const auto fate = mutation::fate_from_string(record->fate);
+        const auto reason = oracle::kill_reason_from_string(record->reason);
+        if (!fate || !reason) {  // unreadable record: re-execute
+            pending.push_back(&item);
+            continue;
+        }
+        mutation::MutantOutcome& outcome = outcomes[item.index];
+        outcome.mutant = item.mutant;
+        outcome.fate = *fate;
+        outcome.reason = *reason;
+        outcome.hit_by_suite = record->hit_by_suite;
+        outcome.killed_by_probe = record->killed_by_probe;
+        ++out.stats.resumed;
+        trace.emit(JsonObject()
+                       .set("event", "item-resumed")
+                       .set("item", static_cast<std::uint64_t>(item.index))
+                       .set("mutant", item.mutant->id())
+                       .set("fate", record->fate)
+                       .set("reason", record->reason));
+    }
+
+    // Parallel phase: each pending item evaluates on some worker and
+    // writes only its own outcome slot.
+    const auto t0 = Clock::now();
+    std::vector<WorkStealingPool::Task> tasks;
+    tasks.reserve(pending.size());
+    for (const CampaignItem* item : pending) {
+        tasks.push_back([&, item](const WorkerContext& context) {
+            const auto item_start = Clock::now();
+            trace.emit(
+                JsonObject()
+                    .set("event", "item-start")
+                    .set("item", static_cast<std::uint64_t>(item->index))
+                    .set("mutant", item->mutant->id())
+                    .set("worker", static_cast<std::uint64_t>(context.worker))
+                    .set("queue", static_cast<std::uint64_t>(context.queue_depth))
+                    .set("stolen", context.stolen));
+
+            const mutation::MutantOutcome outcome =
+                mutation::evaluate_mutant(*item->mutant, run_suite, out.run.golden,
+                                          run_probe, probe_golden, options_.engine);
+            outcomes[item->index] = outcome;
+            const double wall = ms_since(item_start);
+
+            trace.emit(
+                JsonObject()
+                    .set("event", "item-finish")
+                    .set("item", static_cast<std::uint64_t>(item->index))
+                    .set("mutant", item->mutant->id())
+                    .set("worker", static_cast<std::uint64_t>(context.worker))
+                    .set("fate", mutation::to_string(outcome.fate))
+                    .set("reason", oracle::to_string(outcome.reason))
+                    .set("hit", outcome.hit_by_suite)
+                    .set("probe_kill", outcome.killed_by_probe)
+                    .set("item_seed", item->item_seed)
+                    .set("wall_ms", wall));
+
+            if (store != nullptr) {
+                ItemRecord record;
+                record.key = item->key;
+                record.mutant_id = item->mutant->id();
+                record.item_index = item->index;
+                record.fate = mutation::to_string(outcome.fate);
+                record.reason = oracle::to_string(outcome.reason);
+                record.hit_by_suite = outcome.hit_by_suite;
+                record.killed_by_probe = outcome.killed_by_probe;
+                record.item_seed = item->item_seed;
+                record.wall_ms = wall;
+                store->append(record);
+            }
+        });
+    }
+
+    const WorkStealingPool pool(jobs);
+    out.stats.steals = pool.run(std::move(tasks));
+    out.stats.executed = pending.size();
+    out.stats.wall_ms = ms_since(t0);
+
+    out.run.outcomes = std::move(outcomes);
+
+    trace.emit(JsonObject()
+                   .set("event", "campaign-end")
+                   .set("campaign", out.fingerprint)
+                   .set("items", static_cast<std::uint64_t>(out.stats.items))
+                   .set("executed", static_cast<std::uint64_t>(out.stats.executed))
+                   .set("resumed", static_cast<std::uint64_t>(out.stats.resumed))
+                   .set("killed", static_cast<std::uint64_t>(out.run.killed()))
+                   .set("equivalent",
+                        static_cast<std::uint64_t>(out.run.equivalent()))
+                   .set("not_covered",
+                        static_cast<std::uint64_t>(out.run.not_covered()))
+                   .set("score", out.run.score())
+                   .set("workers", static_cast<std::uint64_t>(out.stats.workers))
+                   .set("steals", out.stats.steals)
+                   .set("wall_ms", out.stats.wall_ms));
+
+    return out;
+}
+
+}  // namespace stc::campaign

@@ -1,0 +1,39 @@
+#include "stc/campaign/telemetry.h"
+
+#include "stc/support/error.h"
+
+namespace stc::campaign {
+
+TelemetrySink TelemetrySink::to_file(const std::string& path) {
+    TelemetrySink sink;
+    sink.state_ = std::make_shared<State>();
+    sink.state_->file.open(path, std::ios::trunc);
+    if (!sink.state_->file) {
+        throw Error("cannot open telemetry file: " + path);
+    }
+    sink.out_ = &sink.state_->file;
+    return sink;
+}
+
+TelemetrySink TelemetrySink::to_stream(std::ostream& os) {
+    TelemetrySink sink;
+    sink.state_ = std::make_shared<State>();
+    sink.out_ = &os;
+    return sink;
+}
+
+void TelemetrySink::emit(JsonObject event) {
+    if (out_ == nullptr) return;
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    event.set("seq", state_->next_seq++);
+    *out_ << event.to_line() << '\n';
+    out_->flush();
+}
+
+std::uint64_t TelemetrySink::count() const noexcept {
+    if (state_ == nullptr) return 0;
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->next_seq;
+}
+
+}  // namespace stc::campaign

@@ -64,7 +64,9 @@ public:
     /// break deterministically on declaration order).  `max_tour_length`
     /// closes a tour once it reaches that many events (before the
     /// closing walk to a final state), yielding several shorter test
-    /// cases instead of one mega-tour.
+    /// cases instead of one mega-tour.  The returned pointers alias this
+    /// machine's transition storage: the machine must outlive the tours
+    /// (do not call on a temporary).
     [[nodiscard]] std::vector<std::vector<const TransitionSpec*>> transition_tours(
         std::size_t max_tour_length = SIZE_MAX) const;
 

@@ -12,6 +12,15 @@ const char* to_string(MutantFate fate) noexcept {
     return "?";
 }
 
+std::optional<MutantFate> fate_from_string(std::string_view text) noexcept {
+    for (const MutantFate fate :
+         {MutantFate::Killed, MutantFate::Alive, MutantFate::EquivalentPresumed,
+          MutantFate::NotCovered}) {
+        if (text == to_string(fate)) return fate;
+    }
+    return std::nullopt;
+}
+
 std::size_t MutationRun::killed() const noexcept {
     std::size_t n = 0;
     for (const auto& o : outcomes) n += o.fate == MutantFate::Killed ? 1 : 0;
@@ -34,8 +43,20 @@ std::size_t MutationRun::kills_by(oracle::KillReason reason) const noexcept {
     return n;
 }
 
+std::size_t MutationRun::not_covered() const noexcept {
+    std::size_t n = 0;
+    for (const auto& o : outcomes) n += o.fate == MutantFate::NotCovered ? 1 : 0;
+    return n;
+}
+
 double MutationRun::score() const noexcept {
     const std::size_t denom = total() - equivalent();
+    if (denom == 0) return 1.0;
+    return static_cast<double>(killed()) / static_cast<double>(denom);
+}
+
+double MutationRun::covered_score() const noexcept {
+    const std::size_t denom = total() - equivalent() - not_covered();
     if (denom == 0) return 1.0;
     return static_cast<double>(killed()) / static_cast<double>(denom);
 }
@@ -79,59 +100,66 @@ MutationRun MutationEngine::run_with(const SuiteExecutor& run_suite,
     oracle::GoldenRecord probe_golden;
     if (run_probe) probe_golden = oracle::GoldenRecord::from(run_probe());
 
-    auto& controller = MutationController::instance();
-
     out.outcomes.reserve(mutants.size());
     for (const Mutant& mutant : mutants) {
-        MutantOutcome outcome;
-        outcome.mutant = &mutant;
-
-        {
-            const MutantActivation activation(mutant);
-            const driver::SuiteResult mutated = run_suite();
-            outcome.hit_by_suite = controller.hit();
-            outcome.reason = oracle::classify_suite(out.golden, mutated,
-                                                    options_.oracle,
-                                                    options_.manual_oracle);
-        }
-
-        if (outcome.reason != oracle::KillReason::None) {
-            outcome.fate = MutantFate::Killed;
-            out.outcomes.push_back(outcome);
-            continue;
-        }
-
-        // Survivor: equivalence probing.
-        if (!run_probe) {
-            outcome.fate =
-                outcome.hit_by_suite ? MutantFate::Alive : MutantFate::NotCovered;
-            out.outcomes.push_back(outcome);
-            continue;
-        }
-
-        bool probe_hit = false;
-        oracle::KillReason probe_reason = oracle::KillReason::None;
-        {
-            const MutantActivation activation(mutant);
-            const driver::SuiteResult probed = run_probe();
-            probe_hit = controller.hit();
-            // The probe always uses the full oracle: equivalence is about
-            // behaviour, not about which detector the evaluated suite used.
-            probe_reason = oracle::classify_suite(probe_golden, probed);
-        }
-
-        if (probe_reason != oracle::KillReason::None) {
-            outcome.fate = MutantFate::Alive;  // killable, just not by `suite`
-            outcome.killed_by_probe = true;
-        } else if (probe_hit) {
-            outcome.fate = MutantFate::EquivalentPresumed;
-        } else {
-            outcome.fate = MutantFate::NotCovered;
-        }
-        out.outcomes.push_back(outcome);
+        out.outcomes.push_back(evaluate_mutant(mutant, run_suite, out.golden,
+                                               run_probe, probe_golden, options_));
     }
 
     return out;
+}
+
+MutantOutcome evaluate_mutant(const Mutant& mutant,
+                              const MutationEngine::SuiteExecutor& run_suite,
+                              const oracle::GoldenRecord& golden,
+                              const MutationEngine::SuiteExecutor& run_probe,
+                              const oracle::GoldenRecord& probe_golden,
+                              const EngineOptions& options) {
+    auto& controller = MutationController::instance();
+
+    MutantOutcome outcome;
+    outcome.mutant = &mutant;
+
+    {
+        const MutantActivation activation(mutant);
+        const driver::SuiteResult mutated = run_suite();
+        outcome.hit_by_suite = controller.hit();
+        outcome.reason = oracle::classify_suite(golden, mutated, options.oracle,
+                                                options.manual_oracle);
+    }
+
+    if (outcome.reason != oracle::KillReason::None) {
+        outcome.fate = MutantFate::Killed;
+        return outcome;
+    }
+
+    // Survivor: equivalence probing.
+    if (!run_probe) {
+        outcome.fate =
+            outcome.hit_by_suite ? MutantFate::Alive : MutantFate::NotCovered;
+        return outcome;
+    }
+
+    bool probe_hit = false;
+    oracle::KillReason probe_reason = oracle::KillReason::None;
+    {
+        const MutantActivation activation(mutant);
+        const driver::SuiteResult probed = run_probe();
+        probe_hit = controller.hit();
+        // The probe always uses the full oracle: equivalence is about
+        // behaviour, not about which detector the evaluated suite used.
+        probe_reason = oracle::classify_suite(probe_golden, probed);
+    }
+
+    if (probe_reason != oracle::KillReason::None) {
+        outcome.fate = MutantFate::Alive;  // killable, just not by `suite`
+        outcome.killed_by_probe = true;
+    } else if (probe_hit) {
+        outcome.fate = MutantFate::EquivalentPresumed;
+    } else {
+        outcome.fate = MutantFate::NotCovered;
+    }
+    return outcome;
 }
 
 }  // namespace stc::mutation

@@ -19,6 +19,8 @@
 #pragma once
 
 #include <functional>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "stc/driver/generator.h"
@@ -38,6 +40,11 @@ enum class MutantFate {
 };
 
 [[nodiscard]] const char* to_string(MutantFate fate) noexcept;
+
+/// Inverse of to_string; std::nullopt for unknown text.  Used by the
+/// campaign result store to rehydrate persisted outcomes.
+[[nodiscard]] std::optional<MutantFate> fate_from_string(
+    std::string_view text) noexcept;
 
 struct MutantOutcome {
     const Mutant* mutant = nullptr;
@@ -62,11 +69,26 @@ struct MutationRun {
     [[nodiscard]] std::size_t total() const noexcept { return outcomes.size(); }
     [[nodiscard]] std::size_t killed() const noexcept;
     [[nodiscard]] std::size_t equivalent() const noexcept;
+    [[nodiscard]] std::size_t not_covered() const noexcept;
     [[nodiscard]] std::size_t kills_by(oracle::KillReason reason) const noexcept;
 
     /// The paper's mutation score: killed / (total - equivalent).
     /// NaN-free: returns 1.0 when no non-equivalent mutants exist.
+    ///
+    /// Deliberate choice: NotCovered mutants stay IN the denominator —
+    /// a suite that never reaches a mutated site has not earned credit
+    /// for it, so a run where every mutant is not-covered scores 0, not
+    /// 1 (the honest reading of the paper's formula).  Use
+    /// covered_score() for the complementary question.
     [[nodiscard]] double score() const noexcept;
+
+    /// Adequacy over the *reached* population only:
+    /// killed / (total - equivalent - not_covered).  Separates "the
+    /// suite checks too little" (low covered_score) from "the suite
+    /// reaches too little" (high not_covered count).  Returns 1.0 when
+    /// no reached, non-equivalent mutants exist — e.g. the all-
+    /// not-covered run that score() reports as 0.
+    [[nodiscard]] double covered_score() const noexcept;
 };
 
 class MutationEngine {
@@ -96,5 +118,24 @@ private:
     const reflect::Registry& bindings_;
     EngineOptions options_;
 };
+
+/// Single-item executor: classify ONE mutant against precomputed golden
+/// baselines.  This is the loop body of MutationEngine::run_with,
+/// exposed so the campaign scheduler (src/campaign) can shard items
+/// across workers while keeping fates bit-identical to the serial
+/// engine.  `run_probe`/`probe_golden` may be empty (no equivalence
+/// probing).
+///
+/// Thread-safety: safe to call concurrently from multiple threads with
+/// distinct mutants, because mutant activation and hit tracking are
+/// per-thread (MutationController is thread_local).  The executors and
+/// `options.manual_oracle` must themselves be safe to invoke
+/// concurrently (the stock TestRunner::run is, as long as
+/// RunnerOptions::log_path is empty).
+[[nodiscard]] MutantOutcome evaluate_mutant(
+    const Mutant& mutant, const MutationEngine::SuiteExecutor& run_suite,
+    const oracle::GoldenRecord& golden,
+    const MutationEngine::SuiteExecutor& run_probe,
+    const oracle::GoldenRecord& probe_golden, const EngineOptions& options);
 
 }  // namespace stc::mutation

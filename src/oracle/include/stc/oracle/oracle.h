@@ -16,6 +16,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "stc/driver/runner.h"
@@ -57,6 +58,11 @@ private:
 enum class KillReason { None, Crash, Assertion, OutputDiff, ManualOracle };
 
 [[nodiscard]] const char* to_string(KillReason reason) noexcept;
+
+/// Inverse of to_string; std::nullopt for unknown text (campaign
+/// result-store rehydration).
+[[nodiscard]] std::optional<KillReason> kill_reason_from_string(
+    std::string_view text) noexcept;
 
 /// Which detection channels are active.  The ablation bench toggles
 /// these to reproduce the paper's observation that assertions alone are

@@ -36,6 +36,15 @@ const char* to_string(KillReason reason) noexcept {
     return "?";
 }
 
+std::optional<KillReason> kill_reason_from_string(std::string_view text) noexcept {
+    for (const KillReason reason :
+         {KillReason::None, KillReason::Crash, KillReason::Assertion,
+          KillReason::OutputDiff, KillReason::ManualOracle}) {
+        if (text == to_string(reason)) return reason;
+    }
+    return std::nullopt;
+}
+
 KillReason classify(const GoldenEntry& golden, const driver::TestResult& observed,
                     const OracleConfig& config, const ManualPredicate& manual) {
     using driver::Verdict;

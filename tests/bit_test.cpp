@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <thread>
 
 #include "stc/bit/assertions.h"
 #include "stc/bit/built_in_test.h"
@@ -83,6 +84,35 @@ TEST_F(BitTest, StatsCountChecksAndViolationsPerKind) {
     EXPECT_EQ(stats.counters(AssertionKind::Precondition).checked, 0u);
     EXPECT_EQ(stats.total_checked(), 4u);
     EXPECT_EQ(stats.total_violated(), 1u);
+}
+
+TEST_F(BitTest, StatsAreThreadLocalButProcessTotalsAggregate) {
+    // The concurrency contract documented on AssertionStats: per-thread
+    // counters never observe another worker's checks, while the relaxed
+    // process-wide totals see everything and survive reset().
+    const auto base = AssertionStats::process_totals();
+
+    std::thread worker([] {
+        TestModeGuard guard;
+        STC_CLASS_INVARIANT(true);
+        STC_PRECONDITION(true);
+        try {
+            STC_POSTCONDITION(false);
+        } catch (const AssertionViolation&) {
+        }
+        // The worker sees only its own thread-local counts...
+        EXPECT_EQ(AssertionStats::instance().total_checked(), 3u);
+        EXPECT_EQ(AssertionStats::instance().total_violated(), 1u);
+        AssertionStats::instance().reset();
+    });
+    worker.join();
+
+    // ...this thread's counters are untouched by the worker's activity,
+    EXPECT_EQ(AssertionStats::instance().total_checked(), 0u);
+    // ...and the process totals advanced despite the worker's reset().
+    const auto after = AssertionStats::process_totals();
+    EXPECT_EQ(after.checked - base.checked, 3u);
+    EXPECT_EQ(after.violated - base.violated, 1u);
 }
 
 TEST_F(BitTest, SuppressionGuardDisablesChecking) {

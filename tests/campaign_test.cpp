@@ -1,0 +1,426 @@
+// Campaign subsystem tests: deterministic seeding, the JSONL layer,
+// the work-stealing pool, and the scheduler's three contracts —
+// serial/parallel determinism, resumability without re-execution, and
+// well-formed telemetry.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "stc/campaign/jsonl.h"
+#include "stc/campaign/result_store.h"
+#include "stc/campaign/scheduler.h"
+#include "stc/campaign/seed.h"
+#include "stc/campaign/telemetry.h"
+#include "stc/campaign/thread_pool.h"
+#include "test_component.h"
+
+namespace stc::campaign {
+namespace {
+
+// ---------------------------------------------------------------- seeding
+
+TEST(Seed, DerivationIsStableAndOrderSensitive) {
+    const auto a = derive_item_seed(1, "CObList::AddHead@s0.IndVarBitNeg", "TC0");
+    EXPECT_EQ(a, derive_item_seed(1, "CObList::AddHead@s0.IndVarBitNeg", "TC0"));
+    EXPECT_NE(a, derive_item_seed(2, "CObList::AddHead@s0.IndVarBitNeg", "TC0"));
+    EXPECT_NE(a, derive_item_seed(1, "CObList::AddHead@s0.IndVarBitNeg", "TC1"));
+    // Swapping mutant and transaction ids must not collide.
+    EXPECT_NE(derive_item_seed(1, "x", "y"), derive_item_seed(1, "y", "x"));
+}
+
+TEST(Seed, AdjacentItemsGetUnrelatedSeeds) {
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        seen.insert(derive_item_seed(7, "mutant" + std::to_string(i), "suite"));
+    }
+    EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Seed, HexIsFixedWidth) {
+    EXPECT_EQ(to_hex(0), "0000000000000000");
+    EXPECT_EQ(to_hex(0xdeadbeefULL), "00000000deadbeef");
+}
+
+// ------------------------------------------------------------------ jsonl
+
+TEST(Jsonl, RoundTripsEveryValueKind) {
+    JsonObject o;
+    o.set("s", std::string("hello"))
+        .set("neg", static_cast<std::int64_t>(-42))
+        .set("big", static_cast<std::uint64_t>(18446744073709551615ULL))
+        .set("pi", 3.25)
+        .set("yes", true)
+        .set("no", false);
+    const auto parsed = JsonObject::parse(o.to_line());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->get_string("s"), "hello");
+    EXPECT_EQ(parsed->get_int("neg"), -42);
+    EXPECT_EQ(parsed->get_uint("big"), 18446744073709551615ULL);
+    EXPECT_EQ(parsed->get_double("pi"), 3.25);
+    EXPECT_EQ(parsed->get_bool("yes"), true);
+    EXPECT_EQ(parsed->get_bool("no"), false);
+    // Re-rendering the parsed object reproduces the line exactly.
+    EXPECT_EQ(parsed->to_line(), o.to_line());
+}
+
+TEST(Jsonl, EscapesHostileStrings) {
+    JsonObject o;
+    const std::string hostile = "a\"b\\c\nd\te\x01f";
+    o.set("k", hostile);
+    const std::string line = o.to_line();
+    EXPECT_EQ(line.find('\n'), std::string::npos);  // stays one line
+    const auto parsed = JsonObject::parse(line);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->get_string("k"), hostile);
+}
+
+TEST(Jsonl, RejectsMalformedLines) {
+    EXPECT_FALSE(JsonObject::parse("").has_value());
+    EXPECT_FALSE(JsonObject::parse("{\"a\":1").has_value());
+    EXPECT_FALSE(JsonObject::parse("{\"a\" 1}").has_value());
+    EXPECT_FALSE(JsonObject::parse("{\"a\":\"unterminated}").has_value());
+    EXPECT_FALSE(JsonObject::parse("{\"a\":1} trailing").has_value());
+    EXPECT_FALSE(JsonObject::parse("[1,2]").has_value());
+}
+
+TEST(Jsonl, ToleratesNullByDroppingTheField) {
+    const auto parsed = JsonObject::parse("{\"a\":null,\"b\":2}");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_FALSE(parsed->has("a"));
+    EXPECT_EQ(parsed->get_uint("b"), 2u);
+}
+
+TEST(Jsonl, ItemRecordRoundTrips) {
+    ItemRecord r;
+    r.key = "00ff00ff00ff00ff";
+    r.mutant_id = "Counter::Inc@s0.IndVarBitNeg";
+    r.item_index = 17;
+    r.fate = "killed";
+    r.reason = "assertion";
+    r.hit_by_suite = true;
+    r.killed_by_probe = false;
+    r.item_seed = 123456789;
+    r.wall_ms = 1.5;
+    const auto back = ItemRecord::from_json(r.to_json());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->key, r.key);
+    EXPECT_EQ(back->mutant_id, r.mutant_id);
+    EXPECT_EQ(back->item_index, 17u);
+    EXPECT_EQ(back->fate, "killed");
+    EXPECT_EQ(back->reason, "assertion");
+    EXPECT_TRUE(back->hit_by_suite);
+    EXPECT_FALSE(back->killed_by_probe);
+    EXPECT_EQ(back->item_seed, 123456789u);
+    EXPECT_DOUBLE_EQ(back->wall_ms, 1.5);
+}
+
+TEST(Jsonl, ItemRecordRejectsMissingFields) {
+    JsonObject o;
+    o.set("key", "abc").set("fate", "killed");
+    EXPECT_FALSE(ItemRecord::from_json(o).has_value());
+}
+
+// ------------------------------------------------------------ thread pool
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+    const std::size_t n = 100;
+    std::vector<std::atomic<int>> executed(n);
+    WorkStealingPool pool(4);
+    std::vector<WorkStealingPool::Task> tasks;
+    for (std::size_t i = 0; i < n; ++i) {
+        tasks.push_back([&executed, i](const WorkerContext&) {
+            executed[i].fetch_add(1);
+        });
+    }
+    pool.run(std::move(tasks));
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(executed[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, StealsFromUnbalancedShards) {
+    // Worker 0's shard gets all the slow tasks (round-robin deal with 2
+    // workers: even indices).  Worker 1 finishes early and must steal.
+    WorkStealingPool pool(2);
+    std::vector<WorkStealingPool::Task> tasks;
+    std::atomic<int> done{0};
+    for (std::size_t i = 0; i < 16; ++i) {
+        const bool slow = i % 2 == 0;
+        tasks.push_back([&done, slow](const WorkerContext&) {
+            if (slow) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            done.fetch_add(1);
+        });
+    }
+    pool.run(std::move(tasks));
+    EXPECT_EQ(done.load(), 16);
+    // Stealing is timing-dependent on a 1-core host, so the steal count
+    // itself is not asserted — only completion.
+}
+
+TEST(ThreadPool, SingleWorkerRunsInlineInOrder) {
+    WorkStealingPool pool(1);
+    std::vector<std::size_t> order;
+    std::vector<WorkStealingPool::Task> tasks;
+    for (std::size_t i = 0; i < 10; ++i) {
+        tasks.push_back([&order, i](const WorkerContext&) { order.push_back(i); });
+    }
+    EXPECT_EQ(pool.run(std::move(tasks)), 0u);  // no steals in serial mode
+    ASSERT_EQ(order.size(), 10u);
+    for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ZeroWorkersSelectsHardware) {
+    EXPECT_EQ(WorkStealingPool(0).workers(),
+              WorkStealingPool::hardware_workers());
+    EXPECT_GE(WorkStealingPool::hardware_workers(), 1u);
+}
+
+// -------------------------------------------------------------- scheduler
+
+class CampaignTest : public ::testing::Test {
+protected:
+    CampaignTest() : spec_(stc::testing::counter_spec()) {
+        registry_.add(stc::testing::counter_binding());
+        suite_ = driver::DriverGenerator(spec_).generate();
+        driver::GeneratorOptions probe_options;
+        probe_options.seed = 999;
+        probe_options.cases_per_transaction = 3;
+        probe_ = driver::DriverGenerator(spec_, probe_options).generate();
+        mutants_ =
+            mutation::enumerate_mutants(stc::testing::counter_descriptors(),
+                                        "Counter");
+    }
+
+    static void expect_same_outcomes(const mutation::MutationRun& a,
+                                     const mutation::MutationRun& b) {
+        ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+        for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+            EXPECT_EQ(a.outcomes[i].mutant, b.outcomes[i].mutant) << i;
+            EXPECT_EQ(a.outcomes[i].fate, b.outcomes[i].fate) << i;
+            EXPECT_EQ(a.outcomes[i].reason, b.outcomes[i].reason) << i;
+            EXPECT_EQ(a.outcomes[i].hit_by_suite, b.outcomes[i].hit_by_suite) << i;
+            EXPECT_EQ(a.outcomes[i].killed_by_probe, b.outcomes[i].killed_by_probe)
+                << i;
+        }
+    }
+
+    [[nodiscard]] CampaignResult run_campaign(CampaignOptions options,
+                                              bool with_probe = true) const {
+        const CampaignScheduler scheduler(registry_, std::move(options));
+        return scheduler.run(suite_, mutants_, with_probe ? &probe_ : nullptr);
+    }
+
+    tspec::ComponentSpec spec_;
+    reflect::Registry registry_;
+    driver::TestSuite suite_;
+    driver::TestSuite probe_;
+    std::vector<mutation::Mutant> mutants_;
+};
+
+TEST_F(CampaignTest, ParallelFatesMatchTheSerialEngine) {
+    // The ground truth: the untouched serial engine.
+    const mutation::MutationEngine engine(registry_);
+    const mutation::MutationRun serial = engine.run(suite_, mutants_, &probe_);
+
+    CampaignOptions serial_options;
+    serial_options.jobs = 1;
+    const CampaignResult one = run_campaign(serial_options);
+
+    CampaignOptions parallel_options;
+    parallel_options.jobs = 4;
+    const CampaignResult four = run_campaign(parallel_options);
+
+    EXPECT_TRUE(one.run.baseline_clean);
+    expect_same_outcomes(serial, one.run);
+    expect_same_outcomes(serial, four.run);
+    EXPECT_EQ(one.fingerprint, four.fingerprint);
+    EXPECT_EQ(four.stats.workers, 4u);
+    EXPECT_EQ(four.stats.executed, mutants_.size());
+    EXPECT_DOUBLE_EQ(one.run.score(), four.run.score());
+}
+
+TEST_F(CampaignTest, FingerprintTracksEveryCampaignInput) {
+    const CampaignScheduler base(registry_, {});
+    const std::string fp = base.fingerprint(suite_, mutants_, nullptr);
+    EXPECT_EQ(fp, base.fingerprint(suite_, mutants_, nullptr));  // stable
+
+    CampaignOptions reseeded;
+    reseeded.seed = 42;
+    EXPECT_NE(fp, CampaignScheduler(registry_, reseeded)
+                      .fingerprint(suite_, mutants_, nullptr));
+
+    auto fewer = mutants_;
+    fewer.pop_back();
+    EXPECT_NE(fp, base.fingerprint(suite_, fewer, nullptr));
+
+    EXPECT_NE(fp, base.fingerprint(suite_, mutants_, &probe_));
+
+    CampaignOptions weaker;
+    weaker.engine.oracle.use_output_diff = false;
+    EXPECT_NE(fp, CampaignScheduler(registry_, weaker)
+                      .fingerprint(suite_, mutants_, nullptr));
+}
+
+TEST_F(CampaignTest, SharedLogPathIsRejected) {
+    CampaignOptions options;
+    options.engine.runner.log_path = "/tmp/stc_campaign_shared.log";
+    EXPECT_THROW(CampaignScheduler(registry_, options), ContractError);
+}
+
+TEST_F(CampaignTest, ResumeSkipsEveryFinishedItem) {
+    const std::string store = "/tmp/stc_campaign_resume.jsonl";
+    std::remove(store.c_str());
+
+    CampaignOptions options;
+    options.jobs = 2;
+    options.store_path = store;
+    const CampaignResult first = run_campaign(options);
+    EXPECT_EQ(first.stats.executed, mutants_.size());
+    EXPECT_EQ(first.stats.resumed, 0u);
+
+    // Restart: identical campaign, nothing re-executes, same report.
+    const CampaignResult second = run_campaign(options);
+    EXPECT_EQ(second.stats.executed, 0u);
+    EXPECT_EQ(second.stats.resumed, mutants_.size());
+    expect_same_outcomes(first.run, second.run);
+    EXPECT_EQ(first.run.killed(), second.run.killed());
+}
+
+TEST_F(CampaignTest, InterruptedStoreResumesTheUnfinishedTail) {
+    const std::string store = "/tmp/stc_campaign_interrupt.jsonl";
+    std::remove(store.c_str());
+
+    CampaignOptions options;
+    options.jobs = 2;
+    options.store_path = store;
+    const CampaignResult full = run_campaign(options);
+
+    // Simulate a mid-campaign kill: keep the header and the first 5
+    // records, end with a torn half-written line.
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(store);
+        std::string line;
+        while (std::getline(in, line)) lines.push_back(line);
+    }
+    ASSERT_GT(lines.size(), 6u);
+    {
+        std::ofstream out(store, std::ios::trunc);
+        for (std::size_t i = 0; i < 6; ++i) out << lines[i] << '\n';
+        out << "{\"key\":\"torn";  // the write the kill interrupted
+    }
+
+    const CampaignResult resumed = run_campaign(options);
+    EXPECT_EQ(resumed.stats.resumed, 5u);
+    EXPECT_EQ(resumed.stats.executed, mutants_.size() - 5u);
+    expect_same_outcomes(full.run, resumed.run);
+}
+
+TEST_F(CampaignTest, StoreFromADifferentCampaignIsDiscarded) {
+    const std::string store = "/tmp/stc_campaign_stale.jsonl";
+    std::remove(store.c_str());
+
+    CampaignOptions options;
+    options.store_path = store;
+    (void)run_campaign(options);
+
+    // Same store file, different campaign seed: nothing may resume.
+    CampaignOptions reseeded = options;
+    reseeded.seed = 99;
+    const CampaignResult fresh = run_campaign(reseeded);
+    EXPECT_EQ(fresh.stats.resumed, 0u);
+    EXPECT_EQ(fresh.stats.executed, mutants_.size());
+}
+
+TEST_F(CampaignTest, TelemetryStreamIsWellFormedJsonl) {
+    const std::string trace = "/tmp/stc_campaign_trace.jsonl";
+    std::remove(trace.c_str());
+
+    CampaignOptions options;
+    options.jobs = 2;
+    options.trace_path = trace;
+    const CampaignResult result = run_campaign(options);
+
+    std::ifstream in(trace);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::size_t starts = 0, finishes = 0, campaign_events = 0;
+    std::uint64_t expected_seq = 0;
+    std::optional<JsonObject> last;
+    while (std::getline(in, line)) {
+        const auto parsed = JsonObject::parse(line);
+        ASSERT_TRUE(parsed.has_value()) << line;
+        ASSERT_TRUE(parsed->get_string("event").has_value()) << line;
+        EXPECT_EQ(parsed->get_uint("seq"), expected_seq++) << line;
+        const std::string event = *parsed->get_string("event");
+        if (event == "item-start") {
+            ++starts;
+            EXPECT_TRUE(parsed->has("worker")) << line;
+            EXPECT_TRUE(parsed->has("queue")) << line;
+        } else if (event == "item-finish") {
+            ++finishes;
+            EXPECT_TRUE(parsed->get_string("fate").has_value()) << line;
+            EXPECT_TRUE(parsed->get_string("reason").has_value()) << line;
+            EXPECT_TRUE(parsed->has("wall_ms")) << line;
+            EXPECT_TRUE(parsed->has("item_seed")) << line;
+        } else if (event == "campaign-start" || event == "campaign-end") {
+            ++campaign_events;
+        }
+        last = parsed;
+    }
+    EXPECT_EQ(starts, mutants_.size());
+    EXPECT_EQ(finishes, mutants_.size());
+    EXPECT_EQ(campaign_events, 2u);
+
+    // The final event is the summary, and it agrees with the run.
+    ASSERT_TRUE(last.has_value());
+    EXPECT_EQ(last->get_string("event"), "campaign-end");
+    EXPECT_EQ(last->get_uint("killed"), result.run.killed());
+    EXPECT_EQ(last->get_uint("items"), mutants_.size());
+    EXPECT_EQ(last->get_double("score"), result.run.score());
+}
+
+TEST_F(CampaignTest, TelemetrySinkToStreamIsShared) {
+    std::ostringstream os;
+    TelemetrySink sink = TelemetrySink::to_stream(os);
+    TelemetrySink copy = sink;  // copies share the sequence counter
+    sink.emit(JsonObject().set("event", "a"));
+    copy.emit(JsonObject().set("event", "b"));
+    EXPECT_EQ(sink.count(), 2u);
+    std::istringstream in(os.str());
+    std::string line;
+    std::uint64_t seq = 0;
+    while (std::getline(in, line)) {
+        const auto parsed = JsonObject::parse(line);
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(parsed->get_uint("seq"), seq++);
+    }
+    EXPECT_EQ(seq, 2u);
+}
+
+// ------------------------------------------------- string round-trips
+
+TEST(FateStrings, RoundTrip) {
+    using mutation::MutantFate;
+    for (const MutantFate fate :
+         {MutantFate::Killed, MutantFate::Alive, MutantFate::EquivalentPresumed,
+          MutantFate::NotCovered}) {
+        EXPECT_EQ(mutation::fate_from_string(mutation::to_string(fate)), fate);
+    }
+    EXPECT_FALSE(mutation::fate_from_string("zombie").has_value());
+
+    using oracle::KillReason;
+    for (const KillReason reason :
+         {KillReason::None, KillReason::Crash, KillReason::Assertion,
+          KillReason::OutputDiff, KillReason::ManualOracle}) {
+        EXPECT_EQ(oracle::kill_reason_from_string(oracle::to_string(reason)),
+                  reason);
+    }
+    EXPECT_FALSE(oracle::kill_reason_from_string("boredom").has_value());
+}
+
+}  // namespace
+}  // namespace stc::campaign

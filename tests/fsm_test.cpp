@@ -97,8 +97,12 @@ TEST(Fsm, ToursCoverEveryTransition) {
 }
 
 TEST(Fsm, ToursAreDeterministic) {
-    const auto a = counter_machine().transition_tours();
-    const auto b = counter_machine().transition_tours();
+    // The tours point into the machine's transition storage, so the
+    // machines must outlive them.
+    const StateMachine first = counter_machine();
+    const StateMachine second = counter_machine();
+    const auto a = first.transition_tours();
+    const auto b = second.transition_tours();
     ASSERT_EQ(a.size(), b.size());
     for (std::size_t i = 0; i < a.size(); ++i) {
         ASSERT_EQ(a[i].size(), b[i].size());
@@ -112,7 +116,8 @@ TEST(Fsm, SingleStateMachineHasMinimalTours) {
     StateMachine::Builder b;
     b.state("Only", true, true);
     b.transition("Only", "m3", "Only");
-    const auto tours = b.build().transition_tours();
+    const StateMachine machine = b.build();
+    const auto tours = machine.transition_tours();
     ASSERT_EQ(tours.size(), 1u);
     EXPECT_EQ(tours[0].size(), 1u);
 }

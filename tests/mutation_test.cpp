@@ -403,6 +403,33 @@ TEST_F(EngineTest, ScoreFormulaMatchesThePaper) {
     EXPECT_DOUBLE_EQ(run.score(), 0.75);
     EXPECT_EQ(run.killed(), 6u);
     EXPECT_EQ(run.equivalent(), 2u);
+    // covered_score() additionally drops the NotCovered mutant: 6 / 7.
+    EXPECT_EQ(run.not_covered(), 1u);
+    EXPECT_DOUBLE_EQ(run.covered_score(), 6.0 / 7.0);
+}
+
+TEST_F(EngineTest, AllNotCoveredScoresZeroButCoveredScoreIsVacuous) {
+    // Edge case: a suite that reaches no mutated site at all.  score()
+    // keeps NotCovered in the denominator (the paper's accounting), so
+    // the component scores 0 — the suite demonstrably tested nothing.
+    // covered_score() has an empty denominator and reports the vacuous
+    // 1.0, which is why it must never be read without score() beside it.
+    MutationRun run;
+    run.outcomes.resize(4);
+    static const MethodDescriptor& d = stc::testing::Counter::inc_descriptor();
+    static const Mutant m{&d, 0, Operator::IndVarBitNeg, "", {}};
+    for (auto& o : run.outcomes) {
+        o.mutant = &m;
+        o.fate = MutantFate::NotCovered;
+    }
+    EXPECT_EQ(run.not_covered(), 4u);
+    EXPECT_DOUBLE_EQ(run.score(), 0.0);
+    EXPECT_DOUBLE_EQ(run.covered_score(), 1.0);
+
+    // And the fully-empty run is well-defined for both.
+    const MutationRun empty;
+    EXPECT_DOUBLE_EQ(empty.score(), 1.0);
+    EXPECT_DOUBLE_EQ(empty.covered_score(), 1.0);
 }
 
 // ------------------------------------------------------------------ report

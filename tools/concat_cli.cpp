@@ -14,6 +14,8 @@
 // Common options: --seed N, --max-visits N, --cases N, --criterion
 // all-transactions|all-links|all-nodes; gen also takes --include H,
 // --using NS, --log FILE.
+#include <charconv>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -21,11 +23,16 @@
 #include <string>
 #include <vector>
 
+#include "stc/campaign/scheduler.h"
 #include "stc/codegen/driver_codegen.h"
+#include "stc/core/self_testable.h"
 #include "stc/driver/generator.h"
 #include "stc/driver/suite_io.h"
 #include "stc/history/version_diff.h"
+#include "stc/mfc/component.h"
+#include "stc/mutation/report.h"
 #include "stc/support/error.h"
+#include "stc/support/strings.h"
 #include "stc/tfm/coverage.h"
 #include "stc/tspec/parser.h"
 
@@ -47,6 +54,10 @@ int usage(std::ostream& os) {
           "  replan         classify a frozen suite against a NEW release:\n"
           "                 concat replan OLD.tspec --new NEW.tspec --frozen S.txt\n"
           "                 [-o STILL_VALID.txt]\n"
+          "  campaign       parallel mutation campaign over a built-in component:\n"
+          "                 concat campaign <coblist|sortable> [--jobs N] [--seed N]\n"
+          "                 [--cases N] [--probe] [--resume FILE] [--trace-out FILE]\n"
+          "                 [-o REPORT]\n"
           "options:\n"
           "  --seed N        random seed for value generation\n"
           "  --max-visits N  cycle unrolling bound (default 2)\n"
@@ -58,19 +69,44 @@ int usage(std::ostream& os) {
           "  --log FILE      (gen) log file used by the generated driver\n"
           "  --new FILE      (replan) the new release's t-spec\n"
           "  --frozen FILE   (replan) the frozen concat-suite file\n"
+          "  --jobs N        (campaign) worker threads; 0 = all cores (default 1)\n"
+          "  --probe         (campaign) amplified probe suite for equivalence\n"
+          "  --resume FILE   (campaign) resumable result store (JSONL)\n"
+          "  --trace-out F   (campaign) JSONL telemetry trace\n"
           "  -o FILE         write output to FILE instead of stdout\n";
     return 2;
 }
 
 struct Options {
     std::string command;
-    std::string tspec_path;
+    std::string tspec_path;  // for `campaign`: the built-in component name
     driver::GeneratorOptions generator;
     codegen::CodegenOptions codegen;
     std::optional<std::string> output_path;
     std::optional<std::string> new_tspec_path;   // replan
     std::optional<std::string> frozen_suite_path;  // replan
+    std::size_t jobs = 1;                        // campaign
+    bool probe = false;                          // campaign
+    std::optional<std::string> store_path;       // campaign --resume
+    std::optional<std::string> trace_path;       // campaign --trace-out
 };
+
+/// Strict numeric flag parsing: the whole token must be a number.
+/// std::nullopt (with a message) instead of std::stoull's uncaught
+/// std::invalid_argument, so `--jobs banana` is a usage error, not an
+/// abort.
+std::optional<std::uint64_t> parse_count(const std::string& flag,
+                                         const std::string& text) {
+    std::uint64_t value = 0;
+    const auto [p, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || p != text.data() + text.size()) {
+        std::cerr << "concat: " << flag << " expects a non-negative number, got '"
+                  << text << "'\n";
+        return std::nullopt;
+    }
+    return value;
+}
 
 std::optional<Options> parse_args(int argc, char** argv) {
     if (argc < 3) return std::nullopt;
@@ -87,15 +123,21 @@ std::optional<Options> parse_args(int argc, char** argv) {
         if (arg == "--seed") {
             const auto v = next();
             if (!v) return std::nullopt;
-            out.generator.seed = std::stoull(*v);
+            const auto n = parse_count(arg, *v);
+            if (!n) return std::nullopt;
+            out.generator.seed = *n;
         } else if (arg == "--max-visits") {
             const auto v = next();
             if (!v) return std::nullopt;
-            out.generator.enumeration.max_node_visits = std::stoull(*v);
+            const auto n = parse_count(arg, *v);
+            if (!n) return std::nullopt;
+            out.generator.enumeration.max_node_visits = *n;
         } else if (arg == "--cases") {
             const auto v = next();
             if (!v) return std::nullopt;
-            out.generator.cases_per_transaction = std::stoull(*v);
+            const auto n = parse_count(arg, *v);
+            if (!n) return std::nullopt;
+            out.generator.cases_per_transaction = *n;
         } else if (arg == "--criterion") {
             const auto v = next();
             if (!v) return std::nullopt;
@@ -130,6 +172,22 @@ std::optional<Options> parse_args(int argc, char** argv) {
             const auto v = next();
             if (!v) return std::nullopt;
             out.frozen_suite_path = *v;
+        } else if (arg == "--jobs") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            const auto n = parse_count(arg, *v);
+            if (!n) return std::nullopt;
+            out.jobs = *n;
+        } else if (arg == "--probe") {
+            out.probe = true;
+        } else if (arg == "--resume") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            out.store_path = *v;
+        } else if (arg == "--trace-out") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            out.trace_path = *v;
         } else if (arg == "-o") {
             const auto v = next();
             if (!v) return std::nullopt;
@@ -311,6 +369,86 @@ int cmd_replan(const Options& options, const tspec::ComponentSpec& old_spec) {
     return 0;
 }
 
+// `concat campaign <coblist|sortable>`: run an interface-mutation
+// campaign over one of the built-in self-testable MFC components, the
+// paper's experimental subjects, sharded across --jobs workers.  The
+// report (stdout or -o) lists one line per mutant in enumeration order
+// plus the Table 2/3 aggregation — byte-identical for any --jobs value;
+// scheduling-dependent detail (worker ids, wall times, queue depths)
+// goes to the --trace-out JSONL stream, and timing stats to stderr.
+int cmd_campaign(const Options& options) {
+    const std::string which = options.tspec_path;
+    if (which != "coblist" && which != "sortable") {
+        std::cerr << "concat campaign: unknown component '" << which
+                  << "' (expected coblist or sortable)\n";
+        return 2;
+    }
+
+    mfc::ElementPool pool;
+    core::SelfTestableComponent component =
+        which == "coblist"
+            ? core::SelfTestableComponent(mfc::coblist_spec(), mfc::coblist_binding())
+            : core::SelfTestableComponent(mfc::sortable_spec(),
+                                          mfc::sortable_binding());
+    component.set_completions(mfc::make_completions(pool));
+
+    const driver::TestSuite suite = component.generate_tests(options.generator);
+
+    std::optional<driver::TestSuite> probe;
+    if (options.probe) {
+        driver::GeneratorOptions probe_options = options.generator;
+        probe_options.seed = options.generator.seed ^ 0x9e3779b97f4a7c15ULL;
+        probe_options.cases_per_transaction =
+            options.generator.cases_per_transaction + 1;
+        probe = component.generate_tests(probe_options);
+    }
+
+    const auto mutants =
+        mutation::enumerate_mutants(mfc::descriptors(), suite.class_name);
+
+    campaign::CampaignOptions campaign_options;
+    campaign_options.jobs = options.jobs;
+    campaign_options.seed = options.generator.seed;
+    if (options.store_path) campaign_options.store_path = *options.store_path;
+    if (options.trace_path) campaign_options.trace_path = *options.trace_path;
+
+    const campaign::CampaignScheduler scheduler(component.registry(),
+                                                campaign_options);
+    const auto result =
+        scheduler.run(suite, mutants, probe ? &*probe : nullptr);
+
+    std::ostringstream report;
+    report << "campaign: " << suite.class_name << ", " << mutants.size()
+           << " mutant(s), " << suite.size() << " case(s), seed "
+           << options.generator.seed << "\n"
+           << "baseline clean: " << (result.run.baseline_clean ? "yes" : "no")
+           << "\n\n";
+    for (const auto& outcome : result.run.outcomes) {
+        report << outcome.mutant->id() << "  " << mutation::to_string(outcome.fate);
+        if (outcome.fate == mutation::MutantFate::Killed) {
+            report << "  [" << oracle::to_string(outcome.reason) << "]";
+        }
+        report << "\n";
+    }
+    report << "\n";
+    const auto table = mutation::MutationTable::build(result.run);
+    table.render(report, result.run);
+    report << "\nscore: " << support::percent(result.run.score())
+           << "  (covered-only: " << support::percent(result.run.covered_score())
+           << ")\n";
+
+    // Scheduling-dependent numbers stay out of the report so that
+    // --jobs N leaves it byte-identical.
+    std::cerr << "campaign stats: campaign=" << result.fingerprint
+              << " workers=" << result.stats.workers
+              << " executed=" << result.stats.executed
+              << " resumed=" << result.stats.resumed
+              << " steals=" << result.stats.steals
+              << " wall_ms=" << result.stats.wall_ms << "\n";
+
+    return emit(options, report.str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -318,6 +456,9 @@ int main(int argc, char** argv) {
     if (!options) return usage(std::cerr);
 
     try {
+        // Campaign runs a built-in component, not a t-spec file.
+        if (options->command == "campaign") return cmd_campaign(*options);
+
         const auto spec = tspec::parse_tspec(read_file(options->tspec_path));
 
         if (options->command == "validate") return cmd_validate(*options, spec);
