@@ -1,0 +1,110 @@
+// Observability overhead — the cost of the stc::obs instrumentation
+// hooks that now sit unconditionally in the pipeline's hot paths
+// (runner test-case/method-call spans, verdict counters, oracle and
+// mutation meters).
+//
+// Two measurements:
+//   1. disabled fast path (the default for every user who never passes
+//      --trace-out/--metrics-out): a tight loop over SpanScope +
+//      Metrics::add on disabled handles.  This is the one that must be
+//      negligible, and it is asserted: the per-call cost has to stay
+//      under a deliberately generous ceiling (the real cost is a null
+//      check, a few ns even on a loaded CI box);
+//   2. enabled instruments: the same suite executed with tracing +
+//      metrics on, reported (not asserted — an enabled tracer buys its
+//      allocations knowingly).
+//
+// `--smoke` shrinks the iteration counts and is registered as a ctest.
+#include <chrono>
+#include <cstring>
+#include <iostream>
+
+#include "bench_util.h"
+#include "stc/driver/runner.h"
+#include "stc/obs/context.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+/// ns per iteration of the disabled-instrument hot path: one RAII span
+/// plus one counter bump plus one latency observation, all no-ops.
+double disabled_ns_per_call(std::size_t iterations) {
+    const stc::obs::Context obs;  // default: both instruments off
+    std::uint64_t sink = 0;
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < iterations; ++i) {
+        const stc::obs::SpanScope span(obs.tracer, "method-call", "bench");
+        obs.metrics.add("bench.calls");
+        obs.metrics.observe_ms("bench.ms", 1.0);
+        sink += i;
+    }
+    const double elapsed_ms = ms_since(t0);
+    if (sink == 0) std::cout << "";  // keep the loop observable
+    return elapsed_ms * 1e6 / static_cast<double>(iterations);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace stc;
+    const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+    bench::banner(smoke ? "Observability overhead (smoke)"
+                        : "Observability overhead");
+
+    // --- 1. the disabled fast path ------------------------------------
+    const std::size_t iterations = smoke ? 200'000 : 5'000'000;
+    const double ns = disabled_ns_per_call(iterations);
+    std::cout << "disabled instruments: " << ns << " ns per call site ("
+              << iterations << " iterations)\n";
+
+    // The ceiling is ~2 orders of magnitude above the expected cost so
+    // the gate never flakes on slow shared runners, while still
+    // catching a lock or allocation sneaking onto the disabled path.
+    const double ceiling_ns = 250.0;
+    if (ns > ceiling_ns) {
+        std::cout << "FAIL: disabled-path cost " << ns << " ns exceeds "
+                  << ceiling_ns << " ns — the no-op fast path regressed\n";
+        return 1;
+    }
+    std::cout << "OK: under the " << ceiling_ns << " ns ceiling\n\n";
+
+    // --- 2. enabled instruments, whole-suite view ---------------------
+    bench::Experiment experiment;
+    driver::GeneratorOptions generator;
+    if (smoke) generator.cases_per_transaction = 1;
+    const driver::TestSuite suite = experiment.base.generate_tests(generator);
+    const std::size_t repeats = smoke ? 2 : 10;
+
+    auto run_suite = [&](const driver::RunnerOptions& options) {
+        const driver::TestRunner runner(experiment.registry, options);
+        const auto t0 = Clock::now();
+        std::size_t passed = 0;
+        for (std::size_t i = 0; i < repeats; ++i) {
+            passed += runner.run(suite).passed();
+        }
+        std::cout << "  (" << passed << " case passes)\n";
+        return ms_since(t0);
+    };
+
+    driver::RunnerOptions off;
+    std::cout << "suite x" << repeats << ", instruments off:";
+    const double off_ms = run_suite(off);
+
+    driver::RunnerOptions on;
+    on.obs.tracer = obs::Tracer::make();
+    on.obs.metrics = obs::Metrics::make();
+    std::cout << "suite x" << repeats << ", tracer+metrics on:";
+    const double on_ms = run_suite(on);
+
+    std::cout << "off: " << off_ms << " ms, on: " << on_ms << " ms ("
+              << on.obs.tracer.event_count() << " spans, "
+              << on.obs.metrics.counters().size() << " counters)\n";
+    return 0;
+}

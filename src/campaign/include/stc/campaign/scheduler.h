@@ -26,6 +26,7 @@
 #include "stc/campaign/result_store.h"
 #include "stc/campaign/telemetry.h"
 #include "stc/mutation/engine.h"
+#include "stc/obs/context.h"
 
 namespace stc::campaign {
 
@@ -40,11 +41,20 @@ struct CampaignOptions {
     /// A store written by a different campaign (seed, suite, mutants or
     /// oracle changed) is discarded, not resumed.
     std::string store_path;
-    /// Path of the JSONL telemetry trace; empty disables tracing.
-    std::string trace_path;
+    /// Path of the JSONL telemetry stream (docs/FORMATS.md §5); empty
+    /// disables it.  When store_path is also set (a resumable
+    /// campaign), the file opens in append mode so a resumed run
+    /// extends — never wipes — the interrupted generation's telemetry.
+    /// Distinct from the Chrome trace written by obs.tracer.
+    std::string telemetry_path;
+    /// Span tracer + metrics registry, threaded through the runner, the
+    /// oracle, and every mutant evaluation.  Disabled by default; both
+    /// handles are thread-safe.
+    obs::Context obs;
     /// Engine configuration shared by every item.  The runner's
     /// log_path must be empty (a shared append-file would interleave
     /// across workers); manual_oracle, when set, must be thread-safe.
+    /// Its obs context is overwritten with the campaign-level `obs`.
     mutation::EngineOptions engine;
 };
 

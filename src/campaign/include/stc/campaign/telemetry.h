@@ -3,55 +3,20 @@
 // Every campaign event is one flat JSON object per line: campaign
 // start/end, item start/finish/resume.  The stream is append-only,
 // ordered by a global sequence number, and safe to write from any
-// worker thread (one mutex; events are rare relative to test
-// execution).  docs/FORMATS.md §5 documents the schema; the round-trip
-// tests in tests/campaign_test.cpp pin it.
+// worker thread.  docs/FORMATS.md §5 documents the schema; the
+// round-trip tests in tests/campaign_test.cpp pin it.
+//
+// The sink itself is the observability layer's generic JSONL backend
+// (stc::obs::JsonlSink); this header keeps the campaign-side name.  A
+// resuming campaign opens the sink in Append mode so the interrupted
+// generation's telemetry survives (docs/FORMATS.md §5).
 #pragma once
 
-#include <cstdint>
-#include <fstream>
-#include <memory>
-#include <mutex>
-#include <ostream>
-#include <string>
-
 #include "stc/campaign/jsonl.h"
+#include "stc/obs/jsonl_sink.h"
 
 namespace stc::campaign {
 
-/// Thread-safe sink of JSONL telemetry events.  A default-constructed
-/// sink is disabled: emit() is a cheap no-op, so call sites need no
-/// `if (tracing)` guards.
-class TelemetrySink {
-public:
-    TelemetrySink() = default;
-
-    /// Write to a file (truncates).  Throws stc::Error when the file
-    /// cannot be opened.
-    static TelemetrySink to_file(const std::string& path);
-
-    /// Write to a caller-owned stream (tests); the stream must outlive
-    /// the sink.
-    static TelemetrySink to_stream(std::ostream& os);
-
-    [[nodiscard]] bool enabled() const noexcept { return out_ != nullptr; }
-
-    /// Append `event` (a "seq" field is added), flush the line.
-    void emit(JsonObject event);
-
-    /// Events emitted so far.
-    [[nodiscard]] std::uint64_t count() const noexcept;
-
-private:
-    // Shared state so the sink is copyable into worker closures.
-    struct State {
-        std::mutex mutex;
-        std::ofstream file;
-        std::uint64_t next_seq = 0;
-    };
-
-    std::shared_ptr<State> state_;
-    std::ostream* out_ = nullptr;  // points into state_->file or external
-};
+using TelemetrySink = obs::JsonlSink;
 
 }  // namespace stc::campaign

@@ -53,7 +53,7 @@ CampaignScheduler::CampaignScheduler(const reflect::Registry& bindings,
     if (!options_.engine.runner.log_path.empty()) {
         throw ContractError(
             "campaign runner cannot append to a shared log file; leave "
-            "RunnerOptions::log_path empty (use --trace-out for telemetry)");
+            "RunnerOptions::log_path empty (use --telemetry-out for telemetry)");
     }
 }
 
@@ -88,10 +88,21 @@ CampaignResult CampaignScheduler::run(
     out.stats.items = mutants.size();
     out.stats.workers = jobs;
 
+    // The campaign-level observability context flows into every layer
+    // below: runner (test-case/method-call spans), oracle, and each
+    // mutant evaluation.  Never into the fingerprint or the report.
+    mutation::EngineOptions engine = options_.engine;
+    engine.obs = options_.obs;
+    engine.runner.obs = options_.obs;
+    const obs::SpanScope campaign_span(options_.obs.tracer, "phase", "campaign",
+                                       obs::JsonObject()
+                                           .set("class", suite.class_name)
+                                           .set("fingerprint", out.fingerprint));
+
     // Executors, shared read-only across workers (TestRunner::run is
     // const and keeps all per-run state on the stack).
-    const driver::TestRunner runner(bindings_, options_.engine.runner);
-    driver::RunnerOptions probe_opts = options_.engine.runner;
+    const driver::TestRunner runner(bindings_, engine.runner);
+    driver::RunnerOptions probe_opts = engine.runner;
     probe_opts.observe_each_call = true;
     const driver::TestRunner probe_runner(bindings_, probe_opts);
 
@@ -106,16 +117,28 @@ CampaignResult CampaignScheduler::run(
     }
 
     TelemetrySink trace;
-    if (!options_.trace_path.empty()) {
-        trace = TelemetrySink::to_file(options_.trace_path);
+    if (!options_.telemetry_path.empty()) {
+        // A resumable campaign appends: the telemetry of the generation
+        // being resumed is evidence, not scratch.
+        trace = TelemetrySink::to_file(options_.telemetry_path,
+                                       options_.store_path.empty()
+                                           ? TelemetrySink::OpenMode::Truncate
+                                           : TelemetrySink::OpenMode::Append);
     }
 
     // Baseline golden runs, captured once, serially, before sharding
     // (the paper validates the original program's outputs up front).
-    out.run.golden = oracle::GoldenRecord::from(run_suite());
-    out.run.baseline_clean = out.run.golden.all_passed();
     oracle::GoldenRecord probe_golden;
-    if (run_probe) probe_golden = oracle::GoldenRecord::from(run_probe());
+    {
+        const auto phase_start = Clock::now();
+        const obs::SpanScope span(options_.obs.tracer, "phase",
+                                  "golden-baseline");
+        out.run.golden = oracle::GoldenRecord::from(run_suite());
+        out.run.baseline_clean = out.run.golden.all_passed();
+        if (run_probe) probe_golden = oracle::GoldenRecord::from(run_probe());
+        options_.obs.metrics.observe_ms("campaign.phase.baseline_ms",
+                                        ms_since(phase_start));
+    }
 
     // Work items with derived seeds and content keys.
     const std::string tag = suite_tag(suite);
@@ -149,6 +172,9 @@ CampaignResult CampaignScheduler::run(
 
     // Resume pass (single-threaded, before the pool starts): restore
     // finished items, queue the rest.
+    const auto resume_start = Clock::now();
+    obs::Tracer::Span resume_span =
+        options_.obs.tracer.begin("phase", "resume-scan");
     std::vector<mutation::MutantOutcome> outcomes(mutants.size());
     std::vector<const CampaignItem*> pending;
     pending.reserve(items.size());
@@ -180,6 +206,10 @@ CampaignResult CampaignScheduler::run(
                        .set("reason", record->reason));
     }
 
+    options_.obs.tracer.end(std::move(resume_span));
+    options_.obs.metrics.observe_ms("campaign.phase.resume_ms",
+                                    ms_since(resume_start));
+
     // Parallel phase: each pending item evaluates on some worker and
     // writes only its own outcome slot.
     const auto t0 = Clock::now();
@@ -199,7 +229,7 @@ CampaignResult CampaignScheduler::run(
 
             const mutation::MutantOutcome outcome =
                 mutation::evaluate_mutant(*item->mutant, run_suite, out.run.golden,
-                                          run_probe, probe_golden, options_.engine);
+                                          run_probe, probe_golden, engine);
             outcomes[item->index] = outcome;
             const double wall = ms_since(item_start);
 
@@ -232,10 +262,20 @@ CampaignResult CampaignScheduler::run(
         });
     }
 
-    const WorkStealingPool pool(jobs);
-    out.stats.steals = pool.run(std::move(tasks));
+    {
+        const obs::SpanScope items_span(options_.obs.tracer, "phase",
+                                        "item-execution");
+        const WorkStealingPool pool(jobs);
+        out.stats.steals = pool.run(std::move(tasks));
+    }
     out.stats.executed = pending.size();
     out.stats.wall_ms = ms_since(t0);
+    options_.obs.metrics.observe_ms("campaign.phase.items_ms",
+                                    out.stats.wall_ms);
+    options_.obs.metrics.add("campaign.items", out.stats.items);
+    options_.obs.metrics.add("campaign.executed", out.stats.executed);
+    options_.obs.metrics.add("campaign.resumed", out.stats.resumed);
+    options_.obs.metrics.add("campaign.steals", out.stats.steals);
 
     out.run.outcomes = std::move(outcomes);
 

@@ -1,0 +1,14 @@
+#include "stc/campaign/seed.h"
+
+#include <cstdio>
+
+namespace stc::campaign {
+
+std::string to_hex(std::uint64_t value) {
+    char buffer[17];
+    std::snprintf(buffer, sizeof buffer, "%016llx",
+                  static_cast<unsigned long long>(value));
+    return std::string(buffer, 16);
+}
+
+}  // namespace stc::campaign

@@ -82,6 +82,7 @@ MethodCall DriverGenerator::synthesize_call(const tspec::MethodSpec& method,
                     continue;
                 }
             }
+            options_.obs.metrics.add("generator.value_draws");
             call.arguments.push_back(p.domain->sample(rng));
             continue;
         }
@@ -89,6 +90,7 @@ MethodCall DriverGenerator::synthesize_call(const tspec::MethodSpec& method,
         const CompletionRegistry::Completion* completion =
             completions_ == nullptr ? nullptr : completions_->find(p.class_name);
         if (completion != nullptr && *completion) {
+            options_.obs.metrics.add("generator.value_draws");
             call.arguments.push_back((*completion)(rng));
         } else {
             call.arguments.push_back(domain::Value::make_pointer(nullptr, p.class_name));
@@ -107,6 +109,8 @@ bool DriverGenerator::can_reject(const tspec::MethodSpec& method) {
 
 TestSuite DriverGenerator::generate() const {
     spec_.ensure_valid();
+    const obs::SpanScope generate_span(options_.obs.tracer, "phase",
+                                       "generate-suite");
     const tfm::Graph graph = spec_.build_tfm();
 
     TestSuite suite;
@@ -165,6 +169,10 @@ TestSuite DriverGenerator::generate() const {
             }
             suite.cases.push_back(std::move(tc));
         }
+    }
+    if (options_.obs.metrics.enabled()) {
+        options_.obs.metrics.add("generator.cases", suite.cases.size());
+        options_.obs.metrics.add("generator.suites");
     }
     return suite;
 }

@@ -17,6 +17,7 @@
 
 #include "stc/domain/domain.h"
 #include "stc/driver/test_case.h"
+#include "stc/obs/context.h"
 #include "stc/tfm/coverage.h"
 #include "stc/tspec/model.h"
 
@@ -52,6 +53,9 @@ struct GeneratorOptions {
     /// one variant per transaction per state, entering the transaction
     /// from that state instead of a fresh object (§3.3 extension).
     bool include_entry_states = false;
+    /// Observability: a "generate-suite" phase span plus counters for
+    /// synthesized cases and RNG value draws.  Disabled by default.
+    obs::Context obs;
 };
 
 /// Generates an executable TestSuite from a component's embedded t-spec.

@@ -17,6 +17,7 @@
 
 #include "stc/bit/assertions.h"
 #include "stc/driver/test_case.h"
+#include "stc/obs/context.h"
 #include "stc/reflect/class_binding.h"
 
 namespace stc::driver {
@@ -67,6 +68,11 @@ struct RunnerOptions {
     /// When non-empty, the suite log is also appended to this file — the
     /// literal "Result.txt" behaviour of the paper's generated drivers.
     std::string log_path;
+    /// Observability: suite/test-case/method-call/invariant-check spans,
+    /// verdict and assertion counters, per-case latency.  Disabled by
+    /// default at near-zero cost; safe to share across runner copies on
+    /// worker threads.
+    obs::Context obs;
 };
 
 /// Executes test suites against registered class bindings.

@@ -1,5 +1,6 @@
 #include "stc/driver/runner.h"
 
+#include <chrono>
 #include <fstream>
 #include <sstream>
 
@@ -101,6 +102,13 @@ TestResult TestRunner::run_case(const reflect::ClassBinding& binding,
     TestResult result;
     result.case_id = test_case.id;
 
+    using ObsClock = std::chrono::steady_clock;
+    const bool metered = options_.obs.metrics.enabled();
+    const ObsClock::time_point case_start =
+        metered ? ObsClock::now() : ObsClock::time_point{};
+    const obs::SpanScope case_span(options_.obs.tracer, "test-case",
+                                   test_case.id);
+
     const bit::TestModeGuard test_mode;
     std::ostringstream log;
     std::ostringstream observations;  // return values (+ per-call state)
@@ -119,6 +127,22 @@ TestResult TestRunner::run_case(const reflect::ClassBinding& binding,
     auto finish = [&] {
         result.report = observations.str() + state_report;
         result.log = log.str();
+        if (metered) {
+            options_.obs.metrics.add(std::string("runner.verdict.") +
+                                     to_string(result.verdict));
+            options_.obs.metrics.observe_ms(
+                "runner.case_ms",
+                std::chrono::duration<double, std::milli>(ObsClock::now() -
+                                                          case_start)
+                    .count());
+        }
+    };
+
+    auto observe_invariant = [&](void* object) {
+        options_.obs.metrics.add("runner.invariant_checks");
+        const obs::SpanScope span(options_.obs.tracer, "invariant-check",
+                                  "InvariantTest");
+        check_invariant(binding, object);
     };
 
     // --- Construction -----------------------------------------------------
@@ -182,6 +206,9 @@ TestResult TestRunner::run_case(const reflect::ClassBinding& binding,
         for (std::size_t i = 1; i < test_case.calls.size(); ++i) {
             const MethodCall& call = test_case.calls[i];
             current_method = call.render();
+            options_.obs.metrics.add("runner.method_calls");
+            const obs::SpanScope call_span(options_.obs.tracer, "method-call",
+                                           call.method_name);
 
             if (call.is_destructor) {
                 // Observable state is captured before death (Fig. 6 calls
@@ -216,14 +243,14 @@ TestResult TestRunner::run_case(const reflect::ClassBinding& binding,
                     break;
                 }
                 observations << call.method_name << " -> <rejected>\n";
-                if (options_.check_invariants) check_invariant(binding, cut.get());
+                if (options_.check_invariants) observe_invariant(cut.get());
                 continue;
             }
 
-            if (options_.check_invariants) check_invariant(binding, cut.get());
+            if (options_.check_invariants) observe_invariant(cut.get());
             const domain::Value rv =
                 binding.invoke(cut.get(), call.method_name, call.arguments);
-            if (options_.check_invariants) check_invariant(binding, cut.get());
+            if (options_.check_invariants) observe_invariant(cut.get());
 
             if (!rv.is_empty()) {
                 observations << call.method_name << " -> " << render_return(rv)
@@ -270,6 +297,18 @@ TestResult TestRunner::run_case(const reflect::ClassBinding& binding,
 SuiteResult TestRunner::run(const TestSuite& suite) const {
     const reflect::ClassBinding& binding = registry_.at(suite.class_name);
 
+    const obs::SpanScope suite_span(options_.obs.tracer, "suite-run",
+                                    suite.class_name);
+    // Assertion evaluations are counted per thread (thread_local stats),
+    // so the delta below attributes correctly even when several runner
+    // copies execute on campaign workers concurrently.
+    const bool metered = options_.obs.metrics.enabled();
+    const auto& assertion_stats = bit::AssertionStats::instance();
+    const std::uint64_t checked_before =
+        metered ? assertion_stats.total_checked() : 0;
+    const std::uint64_t violated_before =
+        metered ? assertion_stats.total_violated() : 0;
+
     SuiteResult out;
     out.results.reserve(suite.cases.size());
     std::ostringstream log;
@@ -281,6 +320,16 @@ SuiteResult TestRunner::run(const TestSuite& suite) const {
         out.results.push_back(std::move(r));
     }
     out.log = log.str();
+
+    if (metered) {
+        options_.obs.metrics.add("runner.suites");
+        options_.obs.metrics.add(
+            "bit.assertions_checked",
+            assertion_stats.total_checked() - checked_before);
+        options_.obs.metrics.add(
+            "bit.assertions_violated",
+            assertion_stats.total_violated() - violated_before);
+    }
 
     if (!options_.log_path.empty()) {
         std::ofstream file(options_.log_path, std::ios::app);

@@ -1,5 +1,7 @@
 #include "stc/mutation/engine.h"
 
+#include <chrono>
+
 namespace stc::mutation {
 
 const char* to_string(MutantFate fate) noexcept {
@@ -117,6 +119,23 @@ MutantOutcome evaluate_mutant(const Mutant& mutant,
                               const EngineOptions& options) {
     auto& controller = MutationController::instance();
 
+    using ObsClock = std::chrono::steady_clock;
+    const bool metered = options.obs.metrics.enabled();
+    const ObsClock::time_point eval_start =
+        metered ? ObsClock::now() : ObsClock::time_point{};
+    const obs::SpanScope eval_span(options.obs.tracer, "mutant-evaluation",
+                                   mutant.id());
+    const auto meter_fate = [&](const MutantOutcome& outcome) {
+        if (!metered) return;
+        options.obs.metrics.add(std::string("mutation.fate.") +
+                                to_string(outcome.fate));
+        options.obs.metrics.observe_ms(
+            "mutation.eval_ms",
+            std::chrono::duration<double, std::milli>(ObsClock::now() -
+                                                      eval_start)
+                .count());
+    };
+
     MutantOutcome outcome;
     outcome.mutant = &mutant;
 
@@ -125,11 +144,13 @@ MutantOutcome evaluate_mutant(const Mutant& mutant,
         const driver::SuiteResult mutated = run_suite();
         outcome.hit_by_suite = controller.hit();
         outcome.reason = oracle::classify_suite(golden, mutated, options.oracle,
-                                                options.manual_oracle);
+                                                options.manual_oracle,
+                                                options.obs);
     }
 
     if (outcome.reason != oracle::KillReason::None) {
         outcome.fate = MutantFate::Killed;
+        meter_fate(outcome);
         return outcome;
     }
 
@@ -137,6 +158,7 @@ MutantOutcome evaluate_mutant(const Mutant& mutant,
     if (!run_probe) {
         outcome.fate =
             outcome.hit_by_suite ? MutantFate::Alive : MutantFate::NotCovered;
+        meter_fate(outcome);
         return outcome;
     }
 
@@ -148,7 +170,8 @@ MutantOutcome evaluate_mutant(const Mutant& mutant,
         probe_hit = controller.hit();
         // The probe always uses the full oracle: equivalence is about
         // behaviour, not about which detector the evaluated suite used.
-        probe_reason = oracle::classify_suite(probe_golden, probed);
+        probe_reason = oracle::classify_suite(probe_golden, probed, {}, {},
+                                              options.obs);
     }
 
     if (probe_reason != oracle::KillReason::None) {
@@ -159,6 +182,7 @@ MutantOutcome evaluate_mutant(const Mutant& mutant,
     } else {
         outcome.fate = MutantFate::NotCovered;
     }
+    meter_fate(outcome);
     return outcome;
 }
 

@@ -58,6 +58,12 @@ struct EngineOptions {
     driver::RunnerOptions runner{};
     oracle::OracleConfig oracle{};
     oracle::ManualPredicate manual_oracle{};
+    /// Observability: "mutant-evaluation" spans, mutation.fate.<fate>
+    /// counters and a mutation.eval_ms latency histogram, plus the
+    /// oracle's own instruments.  Disabled by default.  Note: the
+    /// campaign scheduler overwrites this (and runner.obs) with its
+    /// campaign-level context.
+    obs::Context obs{};
 };
 
 /// Aggregated result of one mutation-analysis run.

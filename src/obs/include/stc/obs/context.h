@@ -1,0 +1,25 @@
+// The observability context threaded through the pipeline.
+//
+// One small value bundling the two instruments a component might feed:
+// the span tracer and the metrics registry.  Both are cheap copyable
+// handles and both default to disabled, so a Context can sit inside
+// every options struct (RunnerOptions, GeneratorOptions, EngineOptions,
+// CampaignOptions) at zero cost until someone turns it on.
+#pragma once
+
+#include "stc/obs/metrics.h"
+#include "stc/obs/trace.h"
+
+namespace stc::obs {
+
+struct Context {
+    Tracer tracer;
+    Metrics metrics;
+
+    /// True when at least one instrument is live.
+    [[nodiscard]] bool enabled() const noexcept {
+        return tracer.enabled() || metrics.enabled();
+    }
+};
+
+}  // namespace stc::obs

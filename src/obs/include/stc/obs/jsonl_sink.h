@@ -1,0 +1,63 @@
+// Thread-safe sink of JSONL events — the streaming backend of the
+// observability layer.
+//
+// Every event is one flat JSON object per line, stamped with a global
+// per-sink sequence number, appended and flushed under one mutex
+// (events are rare relative to test execution).  The campaign telemetry
+// trace (docs/FORMATS.md §5) is written through this sink; the Chrome
+// trace exporter (trace.h) is the other backend of the layer.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "stc/obs/json.h"
+
+namespace stc::obs {
+
+/// A default-constructed sink is disabled: emit() is a cheap no-op (one
+/// null check, no lock), so call sites need no `if (tracing)` guards.
+class JsonlSink {
+public:
+    /// Truncate starts the file over; Append preserves previous
+    /// generations (a resumed campaign must not wipe the telemetry of
+    /// the interrupted run it is resuming).
+    enum class OpenMode { Truncate, Append };
+
+    JsonlSink() = default;
+
+    /// Write to a file.  Throws stc::Error when the file cannot be
+    /// opened.
+    static JsonlSink to_file(const std::string& path,
+                             OpenMode mode = OpenMode::Truncate);
+
+    /// Write to a caller-owned stream (tests); the stream must outlive
+    /// the sink.
+    static JsonlSink to_stream(std::ostream& os);
+
+    [[nodiscard]] bool enabled() const noexcept { return out_ != nullptr; }
+
+    /// Append `event` (a "seq" field is added), flush the line.
+    void emit(JsonObject event);
+
+    /// Events emitted so far (by this sink, not lines in the file: an
+    /// Append-mode sink starts counting at 0 again).
+    [[nodiscard]] std::uint64_t count() const noexcept;
+
+private:
+    // Shared state so the sink is copyable into worker closures.
+    struct State {
+        std::mutex mutex;
+        std::ofstream file;
+        std::uint64_t next_seq = 0;
+    };
+
+    std::shared_ptr<State> state_;
+    std::ostream* out_ = nullptr;  // points into state_->file or external
+};
+
+}  // namespace stc::obs

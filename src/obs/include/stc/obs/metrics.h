@@ -1,0 +1,83 @@
+// Metrics registry — how often things happen and how long they take.
+//
+// Two instrument kinds, both thread-safe behind one mutex (updates are
+// cheap and rare relative to test execution):
+//   - counters: monotonically increasing uint64 (verdicts, assertion
+//     evaluations, RNG value draws, mutant fates, ...);
+//   - latency histograms: log2 buckets over microseconds, plus
+//     count/sum/min/max, for wall-time distributions (per test case,
+//     per mutant evaluation, per phase).
+//
+// A default-constructed Metrics is disabled: add()/observe_ms() are a
+// single null check, so instrumentation stays unconditionally in hot
+// paths.  Dumps come in plain text (a support::TextTable per kind) and
+// JSON (docs/FORMATS.md §6).  Metric values count work, not schedule —
+// but histograms of wall time ARE schedule-dependent, so dumps, like
+// traces, stay out of anything the determinism gate byte-compares.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace stc::obs {
+
+/// Read-only copy of one latency histogram.
+struct HistogramSnapshot {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum_ms = 0.0;
+    double min_ms = 0.0;
+    double max_ms = 0.0;
+    /// Non-empty buckets only: (inclusive upper bound in ms, count).
+    std::vector<std::pair<double, std::uint64_t>> buckets;
+
+    [[nodiscard]] double mean_ms() const noexcept {
+        return count == 0 ? 0.0 : sum_ms / static_cast<double>(count);
+    }
+};
+
+class Metrics {
+public:
+    Metrics() = default;  ///< disabled: every update is a no-op
+
+    /// A fresh, enabled registry.  Copies share the storage.
+    [[nodiscard]] static Metrics make();
+
+    [[nodiscard]] bool enabled() const noexcept { return state_ != nullptr; }
+
+    /// Increment a counter (created on first use).  Const because a
+    /// Metrics is a handle: updates go to the shared state, and the
+    /// instrumented code holds its options by const reference.
+    void add(std::string_view counter, std::uint64_t delta = 1) const;
+
+    /// Record one latency observation (histogram created on first use).
+    void observe_ms(std::string_view histogram, double ms) const;
+
+    /// Current value of one counter; 0 when absent or disabled.
+    [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+
+    /// All counters, sorted by name.
+    [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> counters()
+        const;
+
+    /// All histograms, sorted by name.
+    [[nodiscard]] std::vector<HistogramSnapshot> histograms() const;
+
+    /// Plain-text dump: one aligned table of counters, one of histograms.
+    void write_text(std::ostream& os) const;
+
+    /// JSON dump (docs/FORMATS.md §6): {"counters":{...},"histograms":
+    /// {name:{count,sum_ms,min_ms,max_ms,mean_ms,buckets:[[le_ms,n]...]}}}.
+    void write_json(std::ostream& os) const;
+
+private:
+    struct State;
+    std::shared_ptr<State> state_;
+};
+
+}  // namespace stc::obs

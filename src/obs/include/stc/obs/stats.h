@@ -1,0 +1,93 @@
+// Aggregation of a campaign telemetry stream (docs/FORMATS.md §5) into
+// a human-readable run summary — the `concat stats` reporter.
+//
+// Input is the JSONL written through JsonlSink by the campaign
+// scheduler: campaign-start / item-resumed / item-start / item-finish /
+// campaign-end events.  A file may hold several *generations* (a
+// resumed campaign appends a new campaign-start; satellite of the
+// resume contract), and its tail line may be torn by the interruption
+// that made the resume necessary — both are handled: items deduplicate
+// by index (last event wins) and unparseable lines are counted, not
+// fatal.  The rendered report is deterministic for a fixed input file.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace stc::obs {
+
+struct TelemetryStats {
+    /// One classified work item (mutant), deduplicated by index across
+    /// generations and event kinds (item-finish or item-resumed).
+    struct Item {
+        std::uint64_t index = 0;
+        std::string mutant;
+        std::string fate;
+        std::string reason;
+        double wall_ms = 0.0;
+        std::uint64_t worker = 0;
+        bool has_timing = false;  ///< false for resumed items
+    };
+
+    /// Per-worker execution load, from item-finish events.
+    struct WorkerLoad {
+        std::uint64_t worker = 0;
+        std::size_t items = 0;
+        double busy_ms = 0.0;
+    };
+
+    // Identity, from the last campaign-start event.
+    std::string campaign;
+    std::string class_name;
+    std::uint64_t seed = 0;
+    std::uint64_t jobs = 0;
+    std::uint64_t declared_mutants = 0;
+    std::uint64_t cases = 0;
+
+    // Stream shape.
+    std::size_t generations = 0;       ///< campaign-start events seen
+    std::size_t lines = 0;             ///< non-blank lines read
+    std::size_t malformed_lines = 0;   ///< dropped (e.g. a torn tail write)
+    std::size_t starts = 0;            ///< item-start events
+    std::size_t finishes = 0;          ///< item-finish events
+    std::size_t resumes = 0;           ///< item-resumed events
+
+    std::vector<Item> items;  ///< sorted by index
+
+    // Final summary, from the last campaign-end event (absent when the
+    // run was interrupted).
+    bool have_summary = false;
+    std::uint64_t killed = 0;
+    std::uint64_t equivalent = 0;
+    std::uint64_t not_covered = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t workers = 0;
+    std::uint64_t steals = 0;
+    double score = 0.0;
+    double wall_ms = 0.0;
+
+    /// Parse a telemetry stream.  Never throws on content: anything
+    /// unparseable bumps malformed_lines.
+    [[nodiscard]] static TelemetryStats from_stream(std::istream& in);
+
+    /// Parse a telemetry file; throws stc::Error when it cannot open.
+    [[nodiscard]] static TelemetryStats from_file(const std::string& path);
+
+    /// fate -> item count, over the deduplicated items.
+    [[nodiscard]] std::map<std::string, std::size_t> fate_counts() const;
+
+    /// kill reason -> count, over the killed items.
+    [[nodiscard]] std::map<std::string, std::size_t> kill_reasons() const;
+
+    /// Per-worker load, sorted by worker id.
+    [[nodiscard]] std::vector<WorkerLoad> worker_loads() const;
+
+    /// Render the summary: header, fate breakdown, kill-reason
+    /// histogram, the `top` slowest items, worker utilization.
+    void render(std::ostream& os, std::size_t top = 10) const;
+};
+
+}  // namespace stc::obs

@@ -1,0 +1,121 @@
+// Span tracer — where the time of a pipeline run goes.
+//
+// A Tracer collects *complete spans* (begin/end pairs, usually via the
+// RAII SpanScope) from any number of threads and exports them as Chrome
+// trace-event JSON ("X" phase events), loadable in Perfetto or
+// chrome://tracing.  Conventional categories, from coarse to fine:
+//
+//   phase              one pipeline stage (generate, baseline, items...)
+//   test-case          one TestCase executed by a runner
+//   method-call        one CUT method invocation inside a case
+//   invariant-check    one InvariantTest() evaluation
+//   oracle-compare     one golden-vs-observed suite classification
+//   mutant-evaluation  one mutant's full classification (campaign item)
+//
+// Design points:
+//   - a default-constructed Tracer is disabled; begin()/end() are a
+//     single null check, no lock, no allocation — instrumentation can
+//     stay unconditionally in hot paths;
+//   - span ids are deterministic: hash(worker ordinal, per-thread
+//     sequence number), never derived from addresses or clock values,
+//     so two runs with the same schedule produce identical ids;
+//   - timestamps come from one steady clock anchored at tracer
+//     creation.  They vary run to run and therefore NEVER feed any
+//     artifact the determinism gate byte-compares — trace files are a
+//     side channel, like stderr.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stc/obs/json.h"
+
+namespace stc::obs {
+
+/// One completed span, as exported ("ph":"X").
+struct TraceEvent {
+    std::string name;
+    std::string category;
+    std::uint64_t ts_us = 0;   ///< start, microseconds since tracer epoch
+    std::uint64_t dur_us = 0;  ///< duration, microseconds
+    int tid = 0;               ///< thread ordinal (registration order)
+    std::uint64_t span_id = 0;
+    std::uint64_t parent_id = 0;  ///< 0 for a thread's root spans
+    JsonObject args;              ///< flat extra fields
+};
+
+class Tracer {
+public:
+    /// Opaque open-span token returned by begin(); inert when the
+    /// tracer is disabled.
+    struct Span {
+        std::uint64_t id = 0;
+        std::uint64_t start_us = 0;
+        int tid = -1;  ///< -1 marks an inert token
+        std::string name;
+        std::string category;
+        JsonObject args;
+    };
+
+    Tracer() = default;  ///< disabled: begin/end are no-ops
+
+    /// A fresh, enabled, collecting tracer.  Copies share the buffer.
+    [[nodiscard]] static Tracer make();
+
+    [[nodiscard]] bool enabled() const noexcept { return state_ != nullptr; }
+
+    /// Open a span on the calling thread.  Spans must close in LIFO
+    /// order per thread (guaranteed when using SpanScope).  Const for
+    /// the same reason as Metrics::add — a Tracer is a shared handle.
+    [[nodiscard]] Span begin(std::string_view category, std::string_view name,
+                             JsonObject args = {}) const;
+
+    /// Close `span` and record the complete event.
+    void end(Span&& span) const;
+
+    /// Completed spans so far (across all threads).
+    [[nodiscard]] std::size_t event_count() const;
+
+    /// Copy of the completed spans, in completion order.
+    [[nodiscard]] std::vector<TraceEvent> events() const;
+
+    /// Export everything collected so far as Chrome trace-event JSON:
+    /// {"traceEvents":[...],"displayTimeUnit":"ms"} with one event per
+    /// line.  Loadable in Perfetto / chrome://tracing.
+    void write_chrome_trace(std::ostream& os) const;
+
+private:
+    struct State;
+    std::shared_ptr<State> state_;
+};
+
+/// RAII span: opens on construction, closes on destruction.  With a
+/// disabled tracer construction and destruction are single branches.
+class SpanScope {
+public:
+    SpanScope(const Tracer& tracer, std::string_view category,
+              std::string_view name, JsonObject args = {});
+    ~SpanScope();
+
+    SpanScope(const SpanScope&) = delete;
+    SpanScope& operator=(const SpanScope&) = delete;
+
+private:
+    Tracer tracer_;
+    Tracer::Span span_;
+};
+
+/// Parse a Chrome trace-event file previously written by
+/// write_chrome_trace (the emitted subset: an object with a
+/// "traceEvents" array of flat "X" events, each with an optional flat
+/// "args" object).  std::nullopt on malformed input.  Used by the
+/// schema round-trip tests and by external tooling checks.
+[[nodiscard]] std::optional<std::vector<TraceEvent>> parse_chrome_trace(
+    std::istream& is);
+
+}  // namespace stc::obs

@@ -1,4 +1,4 @@
-#include "stc/campaign/jsonl.h"
+#include "stc/obs/json.h"
 
 #include <cctype>
 #include <charconv>
@@ -8,16 +8,7 @@
 #include <limits>
 #include <sstream>
 
-#include "stc/campaign/seed.h"
-
-namespace stc::campaign {
-
-std::string to_hex(std::uint64_t value) {
-    char buffer[17];
-    std::snprintf(buffer, sizeof buffer, "%016llx",
-                  static_cast<unsigned long long>(value));
-    return std::string(buffer, 16);
-}
+namespace stc::obs {
 
 std::string json_escape(std::string_view raw) {
     std::string out;
@@ -308,4 +299,4 @@ std::optional<JsonObject> JsonObject::parse(std::string_view line) {
     return out;
 }
 
-}  // namespace stc::campaign
+}  // namespace stc::obs

@@ -1,13 +1,14 @@
-#include "stc/campaign/telemetry.h"
+#include "stc/obs/jsonl_sink.h"
 
 #include "stc/support/error.h"
 
-namespace stc::campaign {
+namespace stc::obs {
 
-TelemetrySink TelemetrySink::to_file(const std::string& path) {
-    TelemetrySink sink;
+JsonlSink JsonlSink::to_file(const std::string& path, OpenMode mode) {
+    JsonlSink sink;
     sink.state_ = std::make_shared<State>();
-    sink.state_->file.open(path, std::ios::trunc);
+    sink.state_->file.open(
+        path, mode == OpenMode::Append ? std::ios::app : std::ios::trunc);
     if (!sink.state_->file) {
         throw Error("cannot open telemetry file: " + path);
     }
@@ -15,14 +16,14 @@ TelemetrySink TelemetrySink::to_file(const std::string& path) {
     return sink;
 }
 
-TelemetrySink TelemetrySink::to_stream(std::ostream& os) {
-    TelemetrySink sink;
+JsonlSink JsonlSink::to_stream(std::ostream& os) {
+    JsonlSink sink;
     sink.state_ = std::make_shared<State>();
     sink.out_ = &os;
     return sink;
 }
 
-void TelemetrySink::emit(JsonObject event) {
+void JsonlSink::emit(JsonObject event) {
     if (out_ == nullptr) return;
     const std::lock_guard<std::mutex> lock(state_->mutex);
     event.set("seq", state_->next_seq++);
@@ -30,10 +31,10 @@ void TelemetrySink::emit(JsonObject event) {
     out_->flush();
 }
 
-std::uint64_t TelemetrySink::count() const noexcept {
+std::uint64_t JsonlSink::count() const noexcept {
     if (state_ == nullptr) return 0;
     const std::lock_guard<std::mutex> lock(state_->mutex);
     return state_->next_seq;
 }
 
-}  // namespace stc::campaign
+}  // namespace stc::obs

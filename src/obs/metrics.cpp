@@ -1,0 +1,192 @@
+#include "stc/obs/metrics.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+#include "stc/obs/json.h"
+#include "stc/support/table.h"
+
+namespace stc::obs {
+
+namespace {
+
+// Bucket i holds observations with ceil(us) in (2^(i-1), 2^i]; bucket 0
+// holds <= 1us.  40 buckets reach ~12.7 days — effectively unbounded.
+constexpr std::size_t kBuckets = 40;
+
+std::size_t bucket_of(double ms) noexcept {
+    const double us = ms * 1000.0;
+    if (!(us > 1.0)) return 0;  // also catches NaN and negatives
+    const auto ceiled = static_cast<std::uint64_t>(std::ceil(us));
+    const auto index = static_cast<std::size_t>(std::bit_width(ceiled - 1));
+    return std::min(index, kBuckets - 1);
+}
+
+double bucket_upper_ms(std::size_t index) noexcept {
+    return static_cast<double>(std::uint64_t{1} << index) / 1000.0;
+}
+
+std::string format_ms(double ms) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.3f", ms);
+    return buffer;
+}
+
+/// Shortest round-trippable JSON number (same rendering JsonObject uses).
+std::string json_number(double d) {
+    if (!std::isfinite(d)) return "null";
+    char buffer[40];
+    std::snprintf(buffer, sizeof buffer, "%.17g", d);
+    return buffer;
+}
+
+}  // namespace
+
+struct Metrics::State {
+    struct Histogram {
+        std::uint64_t count = 0;
+        double sum_ms = 0.0;
+        double min_ms = 0.0;
+        double max_ms = 0.0;
+        std::array<std::uint64_t, kBuckets> buckets{};
+    };
+
+    mutable std::mutex mutex;
+    std::map<std::string, std::uint64_t, std::less<>> counters;
+    std::map<std::string, Histogram, std::less<>> histograms;
+};
+
+Metrics Metrics::make() {
+    Metrics metrics;
+    metrics.state_ = std::make_shared<State>();
+    return metrics;
+}
+
+void Metrics::add(std::string_view counter, std::uint64_t delta) const {
+    if (state_ == nullptr) return;
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    const auto it = state_->counters.find(counter);
+    if (it != state_->counters.end()) {
+        it->second += delta;
+    } else {
+        state_->counters.emplace(std::string(counter), delta);
+    }
+}
+
+void Metrics::observe_ms(std::string_view histogram, double ms) const {
+    if (state_ == nullptr) return;
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    auto it = state_->histograms.find(histogram);
+    if (it == state_->histograms.end()) {
+        it = state_->histograms.emplace(std::string(histogram),
+                                        State::Histogram{}).first;
+    }
+    State::Histogram& h = it->second;
+    if (h.count == 0 || ms < h.min_ms) h.min_ms = ms;
+    if (h.count == 0 || ms > h.max_ms) h.max_ms = ms;
+    ++h.count;
+    h.sum_ms += ms;
+    ++h.buckets[bucket_of(ms)];
+}
+
+std::uint64_t Metrics::counter(std::string_view name) const {
+    if (state_ == nullptr) return 0;
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    const auto it = state_->counters.find(name);
+    return it == state_->counters.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Metrics::counters() const {
+    if (state_ == nullptr) return {};
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    return {state_->counters.begin(), state_->counters.end()};
+}
+
+std::vector<HistogramSnapshot> Metrics::histograms() const {
+    if (state_ == nullptr) return {};
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    std::vector<HistogramSnapshot> out;
+    out.reserve(state_->histograms.size());
+    for (const auto& [name, h] : state_->histograms) {
+        HistogramSnapshot snap;
+        snap.name = name;
+        snap.count = h.count;
+        snap.sum_ms = h.sum_ms;
+        snap.min_ms = h.min_ms;
+        snap.max_ms = h.max_ms;
+        for (std::size_t i = 0; i < kBuckets; ++i) {
+            if (h.buckets[i] != 0) {
+                snap.buckets.emplace_back(bucket_upper_ms(i), h.buckets[i]);
+            }
+        }
+        out.push_back(std::move(snap));
+    }
+    return out;
+}
+
+void Metrics::write_text(std::ostream& os) const {
+    const auto counter_rows = counters();
+    const auto histogram_rows = histograms();
+
+    if (!counter_rows.empty()) {
+        support::TextTable table({"counter", "value"});
+        for (const auto& [name, value] : counter_rows) {
+            table.add_row({name, std::to_string(value)});
+        }
+        table.render(os);
+    }
+    if (!histogram_rows.empty()) {
+        if (!counter_rows.empty()) os << "\n";
+        support::TextTable table(
+            {"histogram", "count", "sum ms", "mean ms", "min ms", "max ms"});
+        for (const auto& h : histogram_rows) {
+            table.add_row({h.name, std::to_string(h.count), format_ms(h.sum_ms),
+                           format_ms(h.mean_ms()), format_ms(h.min_ms),
+                           format_ms(h.max_ms)});
+        }
+        table.render(os);
+    }
+    if (counter_rows.empty() && histogram_rows.empty()) {
+        os << "(no metrics recorded)\n";
+    }
+}
+
+void Metrics::write_json(std::ostream& os) const {
+    const auto counter_rows = counters();
+    const auto histogram_rows = histograms();
+
+    os << "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, value] : counter_rows) {
+        if (!first) os << ',';
+        first = false;
+        os << '"' << json_escape(name) << "\":" << value;
+    }
+    os << "},\"histograms\":{";
+    first = true;
+    for (const auto& h : histogram_rows) {
+        if (!first) os << ',';
+        first = false;
+        os << '"' << json_escape(h.name) << "\":{\"count\":" << h.count
+           << ",\"sum_ms\":" << json_number(h.sum_ms)
+           << ",\"mean_ms\":" << json_number(h.mean_ms())
+           << ",\"min_ms\":" << json_number(h.min_ms)
+           << ",\"max_ms\":" << json_number(h.max_ms) << ",\"buckets\":[";
+        bool first_bucket = true;
+        for (const auto& [le_ms, count] : h.buckets) {
+            if (!first_bucket) os << ',';
+            first_bucket = false;
+            os << '[' << json_number(le_ms) << ',' << count << ']';
+        }
+        os << "]}";
+    }
+    os << "}}\n";
+}
+
+}  // namespace stc::obs

@@ -1,0 +1,217 @@
+#include "stc/obs/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "stc/obs/json.h"
+#include "stc/support/error.h"
+#include "stc/support/strings.h"
+#include "stc/support/table.h"
+
+namespace stc::obs {
+
+namespace {
+
+std::string format_ms(double ms) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.3f", ms);
+    return buffer;
+}
+
+}  // namespace
+
+TelemetryStats TelemetryStats::from_stream(std::istream& in) {
+    TelemetryStats out;
+    // index -> slot in out.items; later generations overwrite earlier.
+    std::map<std::uint64_t, std::size_t> by_index;
+
+    auto upsert = [&](const JsonObject& event, bool finished) {
+        const auto index = event.get_uint("item");
+        if (!index) return;
+        Item item;
+        item.index = *index;
+        item.mutant = event.get_string("mutant").value_or("?");
+        item.fate = event.get_string("fate").value_or("?");
+        item.reason = event.get_string("reason").value_or("?");
+        if (finished) {
+            item.wall_ms = event.get_double("wall_ms").value_or(0.0);
+            item.worker = event.get_uint("worker").value_or(0);
+            item.has_timing = true;
+        }
+        const auto [it, inserted] = by_index.emplace(*index, out.items.size());
+        if (inserted) {
+            out.items.push_back(std::move(item));
+        } else {
+            out.items[it->second] = std::move(item);
+        }
+    };
+
+    std::string line;
+    while (std::getline(in, line)) {
+        if (support::trim(line).empty()) continue;
+        ++out.lines;
+        const auto event = JsonObject::parse(line);
+        if (!event || !event->get_string("event")) {
+            ++out.malformed_lines;  // e.g. the torn tail of a killed run
+            continue;
+        }
+        const std::string kind = *event->get_string("event");
+        if (kind == "campaign-start") {
+            ++out.generations;
+            out.campaign = event->get_string("campaign").value_or("");
+            out.class_name = event->get_string("class").value_or("");
+            out.seed = event->get_uint("seed").value_or(0);
+            out.jobs = event->get_uint("jobs").value_or(0);
+            out.declared_mutants = event->get_uint("mutants").value_or(0);
+            out.cases = event->get_uint("cases").value_or(0);
+        } else if (kind == "item-start") {
+            ++out.starts;
+        } else if (kind == "item-finish") {
+            ++out.finishes;
+            upsert(*event, true);
+        } else if (kind == "item-resumed") {
+            ++out.resumes;
+            upsert(*event, false);
+        } else if (kind == "campaign-end") {
+            out.have_summary = true;
+            out.killed = event->get_uint("killed").value_or(0);
+            out.equivalent = event->get_uint("equivalent").value_or(0);
+            out.not_covered = event->get_uint("not_covered").value_or(0);
+            out.executed = event->get_uint("executed").value_or(0);
+            out.workers = event->get_uint("workers").value_or(0);
+            out.steals = event->get_uint("steals").value_or(0);
+            out.score = event->get_double("score").value_or(0.0);
+            out.wall_ms = event->get_double("wall_ms").value_or(0.0);
+        }
+        // Unknown event kinds pass through untallied: the schema may
+        // grow and old reporters should not reject new streams.
+    }
+
+    std::sort(out.items.begin(), out.items.end(),
+              [](const Item& a, const Item& b) { return a.index < b.index; });
+    return out;
+}
+
+TelemetryStats TelemetryStats::from_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw Error("cannot open telemetry file: " + path);
+    return from_stream(in);
+}
+
+std::map<std::string, std::size_t> TelemetryStats::fate_counts() const {
+    std::map<std::string, std::size_t> out;
+    for (const Item& item : items) ++out[item.fate];
+    return out;
+}
+
+std::map<std::string, std::size_t> TelemetryStats::kill_reasons() const {
+    std::map<std::string, std::size_t> out;
+    for (const Item& item : items) {
+        if (item.fate == "killed") ++out[item.reason];
+    }
+    return out;
+}
+
+std::vector<TelemetryStats::WorkerLoad> TelemetryStats::worker_loads() const {
+    std::map<std::uint64_t, WorkerLoad> by_worker;
+    for (const Item& item : items) {
+        if (!item.has_timing) continue;
+        WorkerLoad& load = by_worker[item.worker];
+        load.worker = item.worker;
+        ++load.items;
+        load.busy_ms += item.wall_ms;
+    }
+    std::vector<WorkerLoad> out;
+    out.reserve(by_worker.size());
+    for (const auto& [id, load] : by_worker) out.push_back(load);
+    return out;
+}
+
+void TelemetryStats::render(std::ostream& os, std::size_t top) const {
+    os << "campaign: " << (class_name.empty() ? "?" : class_name);
+    if (!campaign.empty()) os << "  [" << campaign << "]";
+    os << "\n"
+       << "  seed " << seed << ", jobs " << jobs << ", " << declared_mutants
+       << " mutant(s), " << cases << " case(s)\n"
+       << "  " << generations << " generation(s), " << lines << " line(s)";
+    if (malformed_lines != 0) {
+        os << " (" << malformed_lines << " malformed, dropped)";
+    }
+    os << "\n"
+       << "  items: " << items.size() << " classified, " << finishes
+       << " executed, " << resumes << " resumed\n";
+    if (have_summary) {
+        os << "  final: score " << support::percent(score) << ", " << workers
+           << " worker(s), " << steals << " steal(s), wall "
+           << format_ms(wall_ms) << " ms\n";
+    } else {
+        os << "  final: no campaign-end event (interrupted run)\n";
+    }
+    os << "\n";
+
+    const auto fates = fate_counts();
+    if (!fates.empty()) {
+        support::TextTable table({"fate", "count", "share"});
+        for (const auto& [fate, count] : fates) {
+            table.add_row({fate, std::to_string(count),
+                           support::percent(static_cast<double>(count) /
+                                            static_cast<double>(items.size()))});
+        }
+        table.add_footer({"total", std::to_string(items.size()), ""});
+        table.render(os);
+        os << "\n";
+    }
+
+    const auto reasons = kill_reasons();
+    if (!reasons.empty()) {
+        support::TextTable table({"kill reason", "kills"});
+        for (const auto& [reason, count] : reasons) {
+            table.add_row({reason, std::to_string(count)});
+        }
+        table.render(os);
+        os << "\n";
+    }
+
+    std::vector<const Item*> timed;
+    for (const Item& item : items) {
+        if (item.has_timing) timed.push_back(&item);
+    }
+    std::sort(timed.begin(), timed.end(), [](const Item* a, const Item* b) {
+        if (a->wall_ms != b->wall_ms) return a->wall_ms > b->wall_ms;
+        return a->index < b->index;
+    });
+    if (!timed.empty()) {
+        support::TextTable table({"slowest item", "fate", "reason", "wall ms",
+                                  "worker"});
+        const std::size_t n = std::min(top, timed.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            const Item& item = *timed[i];
+            table.add_row({item.mutant, item.fate,
+                           item.fate == "killed" ? item.reason : "-",
+                           format_ms(item.wall_ms),
+                           std::to_string(item.worker)});
+        }
+        table.render(os);
+        os << "\n";
+    }
+
+    const auto loads = worker_loads();
+    if (!loads.empty()) {
+        double total_busy = 0.0;
+        for (const WorkerLoad& load : loads) total_busy += load.busy_ms;
+        support::TextTable table({"worker", "items", "busy ms", "share"});
+        for (const WorkerLoad& load : loads) {
+            table.add_row({std::to_string(load.worker),
+                           std::to_string(load.items), format_ms(load.busy_ms),
+                           support::percent(total_busy == 0.0
+                                                ? 0.0
+                                                : load.busy_ms / total_busy)});
+        }
+        table.render(os);
+    }
+}
+
+}  // namespace stc::obs

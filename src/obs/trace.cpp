@@ -1,0 +1,322 @@
+#include "stc/obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+namespace stc::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// splitmix64 finalizer — decorrelates (tid, seq) pairs into well-mixed
+/// span ids.  Same construction as the campaign's seed derivation, kept
+/// local so obs stays below campaign in the layering.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::string hex16(std::uint64_t value) {
+    char buffer[17];
+    std::snprintf(buffer, sizeof buffer, "%016llx",
+                  static_cast<unsigned long long>(value));
+    return std::string(buffer, 16);
+}
+
+std::uint64_t from_hex16(std::string_view text) {
+    return std::strtoull(std::string(text).c_str(), nullptr, 16);
+}
+
+}  // namespace
+
+struct Tracer::State {
+    struct ThreadData {
+        int tid = 0;
+        std::uint64_t next_seq = 0;
+        std::vector<std::uint64_t> open;  ///< span-id stack (LIFO per thread)
+    };
+
+    std::mutex mutex;
+    Clock::time_point epoch = Clock::now();
+    std::map<std::thread::id, ThreadData> threads;
+    std::vector<TraceEvent> events;
+
+    ThreadData& self() {  // callers hold the mutex
+        const auto [it, inserted] =
+            threads.try_emplace(std::this_thread::get_id());
+        if (inserted) it->second.tid = static_cast<int>(threads.size()) - 1;
+        return it->second;
+    }
+
+    [[nodiscard]] std::uint64_t us_since_epoch(Clock::time_point t) const {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(t - epoch)
+                .count());
+    }
+};
+
+Tracer Tracer::make() {
+    Tracer tracer;
+    tracer.state_ = std::make_shared<State>();
+    return tracer;
+}
+
+Tracer::Span Tracer::begin(std::string_view category, std::string_view name,
+                           JsonObject args) const {
+    Span span;
+    if (state_ == nullptr) return span;  // inert: tid stays -1
+
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    State::ThreadData& self = state_->self();
+    span.tid = self.tid;
+    span.id = mix64((static_cast<std::uint64_t>(self.tid) << 40u) ^
+                    self.next_seq++);
+    span.name = std::string(name);
+    span.category = std::string(category);
+    span.args = std::move(args);
+    self.open.push_back(span.id);
+    span.start_us = state_->us_since_epoch(Clock::now());
+    return span;
+}
+
+void Tracer::end(Span&& span) const {
+    if (state_ == nullptr || span.tid < 0) return;
+    const std::uint64_t now_us = state_->us_since_epoch(Clock::now());
+
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    State::ThreadData& self = state_->self();
+    if (!self.open.empty() && self.open.back() == span.id) self.open.pop_back();
+
+    TraceEvent event;
+    event.name = std::move(span.name);
+    event.category = std::move(span.category);
+    event.ts_us = span.start_us;
+    event.dur_us = now_us >= span.start_us ? now_us - span.start_us : 0;
+    event.tid = span.tid;
+    event.span_id = span.id;
+    event.parent_id = self.open.empty() ? 0 : self.open.back();
+    event.args = std::move(span.args);
+    state_->events.push_back(std::move(event));
+}
+
+std::size_t Tracer::event_count() const {
+    if (state_ == nullptr) return 0;
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->events.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+    if (state_ == nullptr) return {};
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->events;
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+    const std::vector<TraceEvent> snapshot = events();
+    os << "{\"traceEvents\":[\n";
+    bool first = true;
+    for (const TraceEvent& e : snapshot) {
+        if (!first) os << ",\n";
+        first = false;
+        // The ids travel inside args (Chrome ignores unknown arg keys;
+        // parse_chrome_trace and the round-trip tests read them back).
+        JsonObject args = e.args;
+        args.set("span", hex16(e.span_id));
+        if (e.parent_id != 0) args.set("parent", hex16(e.parent_id));
+        os << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+           << json_escape(e.category) << "\",\"ph\":\"X\",\"ts\":" << e.ts_us
+           << ",\"dur\":" << e.dur_us << ",\"pid\":1,\"tid\":" << e.tid
+           << ",\"args\":" << args.to_line() << "}";
+    }
+    os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+SpanScope::SpanScope(const Tracer& tracer, std::string_view category,
+                     std::string_view name, JsonObject args)
+    : tracer_(tracer) {
+    if (tracer_.enabled()) {
+        span_ = tracer_.begin(category, name, std::move(args));
+    }
+}
+
+SpanScope::~SpanScope() { tracer_.end(std::move(span_)); }
+
+// ---------------------------------------------------------- parsing
+
+namespace {
+
+/// One past the end of the balanced {...} starting at `start`
+/// (text[start] must be '{'), honoring string literals and escapes.
+std::optional<std::size_t> balanced_object_end(std::string_view text,
+                                               std::size_t start) {
+    int depth = 0;
+    bool in_string = false;
+    for (std::size_t i = start; i < text.size(); ++i) {
+        const char c = text[i];
+        if (in_string) {
+            if (c == '\\') ++i;
+            else if (c == '"') in_string = false;
+            continue;
+        }
+        if (c == '"') in_string = true;
+        else if (c == '{') ++depth;
+        else if (c == '}' && --depth == 0) return i + 1;
+    }
+    return std::nullopt;
+}
+
+/// One past the closing quote of the string literal starting at `start`
+/// (text[start] must be '"').
+std::optional<std::size_t> string_end(std::string_view text,
+                                      std::size_t start) {
+    for (std::size_t i = start + 1; i < text.size(); ++i) {
+        if (text[i] == '\\') ++i;
+        else if (text[i] == '"') return i + 1;
+    }
+    return std::nullopt;
+}
+
+void skip_ws(std::string_view text, std::size_t& pos) {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+        ++pos;
+    }
+}
+
+/// Parse one emitted event object: every field flat except the one
+/// optional "args" sub-object.  The flat fields are reassembled into a
+/// single line for JsonObject::parse so value parsing stays in one
+/// place.
+std::optional<TraceEvent> parse_event(std::string_view obj) {
+    std::size_t pos = 0;
+    skip_ws(obj, pos);
+    if (pos >= obj.size() || obj[pos] != '{') return std::nullopt;
+    ++pos;
+
+    std::string flat = "{";
+    std::optional<JsonObject> args;
+    bool first = true;
+    while (true) {
+        skip_ws(obj, pos);
+        if (pos < obj.size() && obj[pos] == '}') break;
+        if (pos >= obj.size() || obj[pos] != '"') return std::nullopt;
+        const auto key_end = string_end(obj, pos);
+        if (!key_end) return std::nullopt;
+        const std::string_view key = obj.substr(pos, *key_end - pos);
+        pos = *key_end;
+        skip_ws(obj, pos);
+        if (pos >= obj.size() || obj[pos] != ':') return std::nullopt;
+        ++pos;
+        skip_ws(obj, pos);
+        if (pos >= obj.size()) return std::nullopt;
+
+        if (obj[pos] == '{') {
+            const auto value_end = balanced_object_end(obj, pos);
+            if (!value_end || key != "\"args\"") return std::nullopt;
+            args = JsonObject::parse(obj.substr(pos, *value_end - pos));
+            if (!args) return std::nullopt;
+            pos = *value_end;
+        } else {
+            std::size_t value_end = pos;
+            if (obj[pos] == '"') {
+                const auto e = string_end(obj, pos);
+                if (!e) return std::nullopt;
+                value_end = *e;
+            } else {
+                while (value_end < obj.size() && obj[value_end] != ',' &&
+                       obj[value_end] != '}') {
+                    ++value_end;
+                }
+            }
+            if (!first) flat += ',';
+            flat += std::string(key) + ":" +
+                    std::string(obj.substr(pos, value_end - pos));
+            first = false;
+            pos = value_end;
+        }
+
+        skip_ws(obj, pos);
+        if (pos < obj.size() && obj[pos] == ',') {
+            ++pos;
+            continue;
+        }
+        if (pos < obj.size() && obj[pos] == '}') break;
+        return std::nullopt;
+    }
+    flat += '}';
+
+    const auto fields = JsonObject::parse(flat);
+    if (!fields) return std::nullopt;
+    const auto name = fields->get_string("name");
+    const auto cat = fields->get_string("cat");
+    const auto ph = fields->get_string("ph");
+    const auto ts = fields->get_uint("ts");
+    const auto dur = fields->get_uint("dur");
+    const auto tid = fields->get_int("tid");
+    if (!name || !cat || !ph || *ph != "X" || !ts || !dur || !tid ||
+        !fields->has("pid")) {
+        return std::nullopt;
+    }
+
+    TraceEvent event;
+    event.name = *name;
+    event.category = *cat;
+    event.ts_us = *ts;
+    event.dur_us = *dur;
+    event.tid = static_cast<int>(*tid);
+    if (args) {
+        if (const auto span = args->get_string("span")) {
+            event.span_id = from_hex16(*span);
+        }
+        if (const auto parent = args->get_string("parent")) {
+            event.parent_id = from_hex16(*parent);
+        }
+        event.args = std::move(*args);
+    }
+    return event;
+}
+
+}  // namespace
+
+std::optional<std::vector<TraceEvent>> parse_chrome_trace(std::istream& is) {
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    const std::string text = buffer.str();
+
+    const std::size_t key = text.find("\"traceEvents\"");
+    if (key == std::string::npos) return std::nullopt;
+    std::size_t pos = text.find('[', key);
+    if (pos == std::string::npos) return std::nullopt;
+    ++pos;
+
+    std::vector<TraceEvent> events;
+    while (true) {
+        skip_ws(text, pos);
+        if (pos < text.size() && text[pos] == ',') {
+            ++pos;
+            continue;
+        }
+        if (pos < text.size() && text[pos] == ']') break;
+        if (pos >= text.size() || text[pos] != '{') return std::nullopt;
+        const auto end = balanced_object_end(text, pos);
+        if (!end) return std::nullopt;
+        auto event = parse_event(std::string_view(text).substr(pos, *end - pos));
+        if (!event) return std::nullopt;
+        events.push_back(std::move(*event));
+        pos = *end;
+    }
+    return events;
+}
+
+}  // namespace stc::obs

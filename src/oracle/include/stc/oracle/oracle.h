@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "stc/driver/runner.h"
+#include "stc/obs/context.h"
 
 namespace stc::oracle {
 
@@ -87,9 +88,12 @@ using ManualPredicate =
 
 /// Compare a whole suite run; returns the first (strongest) kill reason
 /// across cases, in order Crash > Assertion > OutputDiff > ManualOracle.
+/// The observability context, when enabled, records an "oracle-compare"
+/// span plus oracle.suite_compares / oracle.kill.<reason> counters.
 [[nodiscard]] KillReason classify_suite(const GoldenRecord& golden,
                                         const driver::SuiteResult& observed,
                                         const OracleConfig& config = {},
-                                        const ManualPredicate& manual = {});
+                                        const ManualPredicate& manual = {},
+                                        const obs::Context& obs = {});
 
 }  // namespace stc::oracle

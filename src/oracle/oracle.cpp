@@ -79,7 +79,9 @@ KillReason classify(const GoldenEntry& golden, const driver::TestResult& observe
 
 KillReason classify_suite(const GoldenRecord& golden,
                           const driver::SuiteResult& observed,
-                          const OracleConfig& config, const ManualPredicate& manual) {
+                          const OracleConfig& config, const ManualPredicate& manual,
+                          const obs::Context& obs) {
+    const obs::SpanScope span(obs.tracer, "oracle-compare", "classify-suite");
     KillReason best = KillReason::None;
     auto strength = [](KillReason r) {
         switch (r) {
@@ -98,6 +100,10 @@ KillReason classify_suite(const GoldenRecord& golden,
         const KillReason r = classify(*entry, result, config, manual);
         if (strength(r) > strength(best)) best = r;
         if (best == KillReason::Crash) break;  // cannot get stronger
+    }
+    if (obs.metrics.enabled()) {
+        obs.metrics.add("oracle.suite_compares");
+        obs.metrics.add(std::string("oracle.kill.") + to_string(best));
     }
     return best;
 }

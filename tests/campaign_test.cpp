@@ -341,7 +341,7 @@ TEST_F(CampaignTest, TelemetryStreamIsWellFormedJsonl) {
 
     CampaignOptions options;
     options.jobs = 2;
-    options.trace_path = trace;
+    options.telemetry_path = trace;
     const CampaignResult result = run_campaign(options);
 
     std::ifstream in(trace);
@@ -381,6 +381,103 @@ TEST_F(CampaignTest, TelemetryStreamIsWellFormedJsonl) {
     EXPECT_EQ(last->get_uint("killed"), result.run.killed());
     EXPECT_EQ(last->get_uint("items"), mutants_.size());
     EXPECT_EQ(last->get_double("score"), result.run.score());
+}
+
+TEST_F(CampaignTest, ResumedCampaignAppendsTelemetryInsteadOfTruncating) {
+    const std::string store = "/tmp/stc_campaign_resume_tel_store.jsonl";
+    const std::string telemetry = "/tmp/stc_campaign_resume_tel.jsonl";
+    std::remove(store.c_str());
+    std::remove(telemetry.c_str());
+
+    CampaignOptions options;
+    options.store_path = store;
+    options.telemetry_path = telemetry;
+    (void)run_campaign(options);
+
+    std::size_t first_lines = 0;
+    {
+        std::ifstream in(telemetry);
+        std::string line;
+        while (std::getline(in, line)) ++first_lines;
+    }
+    ASSERT_GT(first_lines, 0u);
+
+    // Re-run the identical campaign: everything resumes from the store,
+    // and the telemetry of the first generation must survive — the file
+    // opens in append mode, gaining a second campaign-start.
+    (void)run_campaign(options);
+
+    std::size_t campaign_starts = 0, resumes = 0, total_lines = 0;
+    std::ifstream in(telemetry);
+    std::string line;
+    while (std::getline(in, line)) {
+        ++total_lines;
+        const auto parsed = JsonObject::parse(line);
+        ASSERT_TRUE(parsed.has_value()) << line;
+        const auto event = parsed->get_string("event");
+        if (event == "campaign-start") ++campaign_starts;
+        if (event == "item-resumed") ++resumes;
+    }
+    EXPECT_GT(total_lines, first_lines);
+    EXPECT_EQ(campaign_starts, 2u);
+    EXPECT_EQ(resumes, mutants_.size());
+
+    // Without a store (nothing to resume), the same telemetry path
+    // truncates: one generation only.
+    CampaignOptions fresh;
+    fresh.telemetry_path = telemetry;
+    (void)run_campaign(fresh);
+    campaign_starts = 0;
+    std::ifstream again(telemetry);
+    while (std::getline(again, line)) {
+        const auto parsed = JsonObject::parse(line);
+        ASSERT_TRUE(parsed.has_value()) << line;
+        if (parsed->get_string("event") == "campaign-start") ++campaign_starts;
+    }
+    EXPECT_EQ(campaign_starts, 1u);
+}
+
+TEST_F(CampaignTest, ObservabilityDoesNotChangeFatesAndRecordsSpans) {
+    CampaignOptions plain;
+    plain.jobs = 2;
+    const CampaignResult baseline = run_campaign(plain);
+
+    CampaignOptions observed;
+    observed.jobs = 2;
+    observed.obs.tracer = obs::Tracer::make();
+    observed.obs.metrics = obs::Metrics::make();
+    const CampaignResult traced = run_campaign(observed);
+
+    // The determinism contract survives instrumentation.
+    expect_same_outcomes(baseline.run, traced.run);
+    EXPECT_EQ(baseline.fingerprint, traced.fingerprint);
+
+    // The trace holds the whole span hierarchy of the campaign.
+    std::set<std::string> categories;
+    for (const auto& event : observed.obs.tracer.events()) {
+        categories.insert(event.category);
+    }
+    for (const char* expected :
+         {"phase", "suite-run", "test-case", "method-call", "invariant-check",
+          "oracle-compare", "mutant-evaluation"}) {
+        EXPECT_EQ(categories.count(expected), 1u) << expected;
+    }
+
+    // And the metrics agree with the run's own accounting.
+    const auto& metrics = observed.obs.metrics;
+    EXPECT_EQ(metrics.counter("campaign.items"), mutants_.size());
+    EXPECT_EQ(metrics.counter("campaign.executed"), mutants_.size());
+    EXPECT_EQ(metrics.counter("mutation.fate.killed"), traced.run.killed());
+    EXPECT_GT(metrics.counter("runner.method_calls"), 0u);
+    EXPECT_GT(metrics.counter("bit.assertions_checked"), 0u);
+    bool saw_eval_histogram = false;
+    for (const auto& h : metrics.histograms()) {
+        if (h.name == "mutation.eval_ms") {
+            saw_eval_histogram = true;
+            EXPECT_GE(h.count, mutants_.size());
+        }
+    }
+    EXPECT_TRUE(saw_eval_histogram);
 }
 
 TEST_F(CampaignTest, TelemetrySinkToStreamIsShared) {

@@ -4,12 +4,15 @@
 // the test harness.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "product_component.h"
 #include "stc/driver/suite_io.h"
+#include "stc/obs/trace.h"
 #include "test_paths.h"
 
 namespace {
@@ -225,6 +228,97 @@ TEST_F(CliTest, BadUsageExits2) {
     EXPECT_EQ(run(""), 2);
     EXPECT_EQ(run("frobnicate " + tspec_path_), 2);
     EXPECT_EQ(run("suite " + tspec_path_ + " --criterion bogus"), 2);
+}
+
+TEST_F(CliTest, UnknownFlagsNameTheFlagAndExit2) {
+    // A flag another subcommand owns is still unknown here.
+    EXPECT_EQ(run("validate " + tspec_path_ + " --jobs 4",
+                  "/tmp/stc_cli_badflag.out"),
+              2);
+    const std::string out = slurp("/tmp/stc_cli_badflag.out");
+    EXPECT_NE(out.find("'--jobs'"), std::string::npos);
+    EXPECT_NE(out.find("validate"), std::string::npos);
+
+    EXPECT_EQ(run("suite " + tspec_path_ + " --frozen x"), 2);
+    EXPECT_EQ(run("stats /tmp/whatever.jsonl --seed 1"), 2);
+    EXPECT_EQ(run("campaign coblist --totally-made-up"), 2);
+}
+
+TEST_F(CliTest, TraceOutWritesAChromeTraceOnAnySubcommand) {
+    const std::string trace = "/tmp/stc_cli_suite_trace.json";
+    std::remove(trace.c_str());
+    ASSERT_EQ(run("suite " + tspec_path_ + " --trace-out " + trace +
+                  " -o /tmp/stc_cli_traced_suite.txt"),
+              0);
+
+    std::ifstream in(trace);
+    ASSERT_TRUE(in.good());
+    const auto events = stc::obs::parse_chrome_trace(in);
+    ASSERT_TRUE(events.has_value());
+    bool saw_generate = false;
+    for (const auto& e : *events) {
+        if (e.category == "phase" && e.name == "generate-suite") {
+            saw_generate = true;
+        }
+    }
+    EXPECT_TRUE(saw_generate);
+}
+
+TEST_F(CliTest, MetricsOutPicksFormatFromTheExtension) {
+    ASSERT_EQ(run("suite " + tspec_path_ +
+                  " --metrics-out /tmp/stc_cli_metrics.txt"
+                  " -o /tmp/stc_cli_m_suite.txt"),
+              0);
+    const std::string text = slurp("/tmp/stc_cli_metrics.txt");
+    EXPECT_NE(text.find("generator.value_draws"), std::string::npos);
+    EXPECT_NE(text.find("| counter"), std::string::npos);  // text table
+
+    ASSERT_EQ(run("suite " + tspec_path_ +
+                  " --metrics-out /tmp/stc_cli_metrics.json"
+                  " -o /tmp/stc_cli_m_suite.txt"),
+              0);
+    const std::string json = slurp("/tmp/stc_cli_metrics.json");
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"generator.value_draws\""), std::string::npos);
+}
+
+TEST_F(CliTest, CampaignTraceCoversThePipelineAndStatsSummarizesIt) {
+    const std::string trace = "/tmp/stc_cli_campaign_trace.json";
+    const std::string telemetry = "/tmp/stc_cli_campaign_tel.jsonl";
+    std::remove(trace.c_str());
+    std::remove(telemetry.c_str());
+
+    ASSERT_EQ(run("campaign coblist --jobs 2 --trace-out " + trace +
+                      " --telemetry-out " + telemetry +
+                      " -o /tmp/stc_cli_campaign_rep.txt",
+                  "/tmp/stc_cli_campaign.log"),
+              0);
+
+    // The trace is the emitted Chrome subset with the span taxonomy the
+    // acceptance criteria name: phase, test case, method call, mutant
+    // evaluation.
+    std::ifstream in(trace);
+    ASSERT_TRUE(in.good());
+    const auto events = stc::obs::parse_chrome_trace(in);
+    ASSERT_TRUE(events.has_value());
+    std::set<std::string> categories;
+    for (const auto& e : *events) categories.insert(e.category);
+    for (const char* expected :
+         {"phase", "test-case", "method-call", "mutant-evaluation"}) {
+        EXPECT_EQ(categories.count(expected), 1u) << expected;
+    }
+
+    // `concat stats` renders the telemetry into the run summary.
+    ASSERT_EQ(run("stats " + telemetry + " --top 3", "/tmp/stc_cli_stats.out"),
+              0);
+    const std::string out = slurp("/tmp/stc_cli_stats.out");
+    EXPECT_NE(out.find("campaign: CObList"), std::string::npos);
+    EXPECT_NE(out.find("| fate"), std::string::npos);
+    EXPECT_NE(out.find("| kill reason"), std::string::npos);
+    EXPECT_NE(out.find("| slowest item"), std::string::npos);
+    EXPECT_NE(out.find("| worker"), std::string::npos);
+
+    EXPECT_EQ(run("stats /tmp/stc_cli_no_such_telemetry.jsonl"), 1);
 }
 
 }  // namespace

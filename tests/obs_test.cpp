@@ -1,0 +1,395 @@
+// Observability layer tests: the span tracer and its Chrome trace-event
+// export (schema round-trip through parse_chrome_trace), deterministic
+// span ids, the metrics registry and its dumps, JsonlSink open modes,
+// and the `concat stats` telemetry aggregation — including the
+// torn-tail-line fixture a killed campaign leaves behind.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "stc/obs/context.h"
+#include "stc/obs/jsonl_sink.h"
+#include "stc/obs/metrics.h"
+#include "stc/obs/stats.h"
+#include "stc/obs/trace.h"
+#include "stc/support/error.h"
+
+namespace stc::obs {
+namespace {
+
+// ----------------------------------------------------------------- tracer
+
+TEST(Tracer, DefaultConstructedIsDisabledAndInert) {
+    Tracer tracer;
+    EXPECT_FALSE(tracer.enabled());
+
+    auto span = tracer.begin("phase", "nothing");
+    EXPECT_EQ(span.tid, -1);
+    tracer.end(std::move(span));
+    EXPECT_EQ(tracer.event_count(), 0u);
+    EXPECT_TRUE(tracer.events().empty());
+
+    { const SpanScope scope(tracer, "phase", "still-nothing"); }
+    EXPECT_EQ(tracer.event_count(), 0u);
+
+    Context context;
+    EXPECT_FALSE(context.enabled());
+}
+
+TEST(Tracer, RecordsCompleteSpansWithNesting) {
+    const Tracer tracer = Tracer::make();
+    EXPECT_TRUE(tracer.enabled());
+    {
+        const SpanScope outer(tracer, "phase", "campaign");
+        {
+            const SpanScope inner(tracer, "test-case", "TC0");
+        }
+        { const SpanScope sibling(tracer, "test-case", "TC1"); }
+    }
+    ASSERT_EQ(tracer.event_count(), 3u);
+
+    // Completion order: inner spans close first.
+    const auto events = tracer.events();
+    EXPECT_EQ(events[0].name, "TC0");
+    EXPECT_EQ(events[1].name, "TC1");
+    EXPECT_EQ(events[2].name, "campaign");
+    EXPECT_EQ(events[2].category, "phase");
+    EXPECT_EQ(events[2].parent_id, 0u);  // root span
+    EXPECT_EQ(events[0].parent_id, events[2].span_id);
+    EXPECT_EQ(events[1].parent_id, events[2].span_id);
+    EXPECT_NE(events[0].span_id, events[1].span_id);
+    // All on the same (first) thread.
+    for (const auto& e : events) EXPECT_EQ(e.tid, 0);
+}
+
+TEST(Tracer, SpanIdsAreDeterministicAcrossTracers) {
+    // Same sequence of begins on a fresh tracer -> same ids: the ids
+    // hash (thread ordinal, per-thread sequence), never addresses or
+    // clock values.
+    auto collect = [] {
+        const Tracer tracer = Tracer::make();
+        { const SpanScope a(tracer, "phase", "one"); }
+        {
+            const SpanScope b(tracer, "phase", "two");
+            { const SpanScope c(tracer, "test-case", "nested"); }
+        }
+        std::vector<std::uint64_t> ids;
+        for (const auto& e : tracer.events()) ids.push_back(e.span_id);
+        return ids;
+    };
+    EXPECT_EQ(collect(), collect());
+}
+
+TEST(Tracer, ChromeTraceRoundTripsThroughTheParser) {
+    const Tracer tracer = Tracer::make();
+    {
+        const SpanScope outer(
+            tracer, "mutant-evaluation", "CObList::AddHead@s0",
+            JsonObject().set("mutant", std::string("CObList::AddHead@s0")));
+        const SpanScope inner(tracer, "method-call", "AddHead");
+    }
+    { const SpanScope quoted(tracer, "phase", "with \"quotes\" and \\"); }
+
+    std::ostringstream os;
+    tracer.write_chrome_trace(os);
+    const std::string text = os.str();
+
+    // Chrome trace-event envelope: complete events, one process.
+    EXPECT_NE(text.find("{\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(text.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(text.find("\"pid\":1"), std::string::npos);
+
+    std::istringstream is(text);
+    const auto parsed = parse_chrome_trace(is);
+    ASSERT_TRUE(parsed.has_value());
+    const auto original = tracer.events();
+    ASSERT_EQ(parsed->size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ((*parsed)[i].name, original[i].name) << i;
+        EXPECT_EQ((*parsed)[i].category, original[i].category) << i;
+        EXPECT_EQ((*parsed)[i].ts_us, original[i].ts_us) << i;
+        EXPECT_EQ((*parsed)[i].dur_us, original[i].dur_us) << i;
+        EXPECT_EQ((*parsed)[i].tid, original[i].tid) << i;
+        EXPECT_EQ((*parsed)[i].span_id, original[i].span_id) << i;
+        EXPECT_EQ((*parsed)[i].parent_id, original[i].parent_id) << i;
+    }
+    // The custom arg survived the round trip.
+    EXPECT_EQ((*parsed)[1].args.get_string("mutant"),
+              std::optional<std::string>("CObList::AddHead@s0"));
+}
+
+TEST(Tracer, ParserRejectsMalformedTraces) {
+    auto parse = [](const std::string& text) {
+        std::istringstream is(text);
+        return parse_chrome_trace(is);
+    };
+    EXPECT_FALSE(parse("").has_value());
+    EXPECT_FALSE(parse("{}").has_value());
+    EXPECT_FALSE(parse("{\"traceEvents\":[{\"name\":\"x\"}]}").has_value());
+    // A "B" (begin-only) event is not the emitted subset.
+    EXPECT_FALSE(
+        parse("{\"traceEvents\":[{\"name\":\"x\",\"cat\":\"phase\",\"ph\":\"B\","
+              "\"ts\":0,\"dur\":0,\"pid\":1,\"tid\":0}]}")
+            .has_value());
+    // Empty array is a valid trace of zero spans.
+    const auto empty = parse("{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+    ASSERT_TRUE(empty.has_value());
+    EXPECT_TRUE(empty->empty());
+}
+
+TEST(Tracer, ThreadsGetStableOrdinalsNotSystemIds) {
+    const Tracer tracer = Tracer::make();
+    { const SpanScope main_span(tracer, "phase", "main"); }
+    std::thread worker(
+        [&tracer] { const SpanScope span(tracer, "phase", "worker"); });
+    worker.join();
+
+    const auto events = tracer.events();
+    ASSERT_EQ(events.size(), 2u);
+    // Registration order: main thread first, worker second.
+    EXPECT_EQ(events[0].tid, 0);
+    EXPECT_EQ(events[1].tid, 1);
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Metrics, DisabledRegistryIsInert) {
+    Metrics metrics;
+    EXPECT_FALSE(metrics.enabled());
+    metrics.add("never");
+    metrics.observe_ms("never_ms", 1.0);
+    EXPECT_EQ(metrics.counter("never"), 0u);
+    EXPECT_TRUE(metrics.counters().empty());
+    EXPECT_TRUE(metrics.histograms().empty());
+}
+
+TEST(Metrics, CountersAccumulateAndSort) {
+    const Metrics metrics = Metrics::make();
+    metrics.add("b.second");
+    metrics.add("a.first", 41);
+    metrics.add("a.first");
+    EXPECT_EQ(metrics.counter("a.first"), 42u);
+    EXPECT_EQ(metrics.counter("absent"), 0u);
+
+    const auto counters = metrics.counters();
+    ASSERT_EQ(counters.size(), 2u);
+    EXPECT_EQ(counters[0].first, "a.first");
+    EXPECT_EQ(counters[0].second, 42u);
+    EXPECT_EQ(counters[1].first, "b.second");
+}
+
+TEST(Metrics, HistogramsTrackCountSumMinMax) {
+    const Metrics metrics = Metrics::make();
+    metrics.observe_ms("case_ms", 1.0);
+    metrics.observe_ms("case_ms", 3.0);
+    metrics.observe_ms("case_ms", 0.5);
+
+    const auto histograms = metrics.histograms();
+    ASSERT_EQ(histograms.size(), 1u);
+    const auto& h = histograms[0];
+    EXPECT_EQ(h.name, "case_ms");
+    EXPECT_EQ(h.count, 3u);
+    EXPECT_DOUBLE_EQ(h.sum_ms, 4.5);
+    EXPECT_DOUBLE_EQ(h.min_ms, 0.5);
+    EXPECT_DOUBLE_EQ(h.max_ms, 3.0);
+    EXPECT_DOUBLE_EQ(h.mean_ms(), 1.5);
+    std::uint64_t bucketed = 0;
+    for (const auto& [le_ms, n] : h.buckets) bucketed += n;
+    EXPECT_EQ(bucketed, 3u);
+}
+
+TEST(Metrics, DumpsContainEveryInstrument) {
+    const Metrics metrics = Metrics::make();
+    metrics.add("runner.verdict.pass", 7);
+    metrics.observe_ms("runner.case_ms", 2.25);
+
+    std::ostringstream text;
+    metrics.write_text(text);
+    EXPECT_NE(text.str().find("runner.verdict.pass"), std::string::npos);
+    EXPECT_NE(text.str().find("runner.case_ms"), std::string::npos);
+    EXPECT_NE(text.str().find("7"), std::string::npos);
+
+    std::ostringstream json;
+    metrics.write_json(json);
+    const std::string j = json.str();
+    EXPECT_NE(j.find("\"counters\""), std::string::npos);
+    EXPECT_NE(j.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(j.find("\"runner.verdict.pass\":7"), std::string::npos);
+    EXPECT_NE(j.find("\"count\":1"), std::string::npos);
+    EXPECT_NE(j.find("\"buckets\":[["), std::string::npos);
+}
+
+TEST(Metrics, SharedHandleUpdatesOneRegistry) {
+    const Metrics metrics = Metrics::make();
+    const Metrics copy = metrics;  // the campaign hands copies to workers
+    copy.add("shared");
+    EXPECT_EQ(metrics.counter("shared"), 1u);
+
+    std::thread worker([copy] { copy.add("shared", 9); });
+    worker.join();
+    EXPECT_EQ(metrics.counter("shared"), 10u);
+}
+
+// -------------------------------------------------------------- JsonlSink
+
+TEST(JsonlSink, AppendModePreservesPreviousGenerations) {
+    const std::string path = "/tmp/stc_obs_sink_modes.jsonl";
+    std::remove(path.c_str());
+
+    {
+        JsonlSink sink = JsonlSink::to_file(path);
+        sink.emit(JsonObject().set("event", std::string("one")));
+        sink.emit(JsonObject().set("event", std::string("two")));
+        EXPECT_EQ(sink.count(), 2u);
+    }
+    {
+        JsonlSink sink = JsonlSink::to_file(path, JsonlSink::OpenMode::Append);
+        sink.emit(JsonObject().set("event", std::string("three")));
+    }
+
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    ASSERT_EQ(lines.size(), 3u);  // append kept the first generation
+    EXPECT_NE(lines[0].find("\"one\""), std::string::npos);
+    EXPECT_NE(lines[2].find("\"three\""), std::string::npos);
+
+    // Truncate mode starts the file over.
+    {
+        JsonlSink sink = JsonlSink::to_file(path, JsonlSink::OpenMode::Truncate);
+        sink.emit(JsonObject().set("event", std::string("fresh")));
+    }
+    std::ifstream again(path);
+    lines.clear();
+    while (std::getline(again, line)) lines.push_back(line);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("\"fresh\""), std::string::npos);
+}
+
+// ------------------------------------------------------- telemetry stats
+
+/// A plausible two-generation telemetry stream: generation 1 was
+/// interrupted mid-write (torn tail), generation 2 resumed its finished
+/// item and completed the rest.
+std::string two_generation_fixture() {
+    return
+        // generation 1
+        "{\"event\":\"campaign-start\",\"campaign\":\"c0ffee\",\"class\":\"CObList\","
+        "\"seed\":7,\"jobs\":2,\"mutants\":3,\"cases\":10,\"seq\":0}\n"
+        "{\"event\":\"item-start\",\"item\":0,\"mutant\":\"M0\",\"worker\":0,\"seq\":1}\n"
+        "{\"event\":\"item-finish\",\"item\":0,\"mutant\":\"M0\",\"worker\":0,"
+        "\"fate\":\"killed\",\"reason\":\"crash\",\"wall_ms\":12.5,\"seq\":2}\n"
+        "{\"event\":\"item-start\",\"item\":1,\"mutant\":\"M1\",\"wor"  // torn
+        "\n"
+        // generation 2 (resumed)
+        "{\"event\":\"campaign-start\",\"campaign\":\"c0ffee\",\"class\":\"CObList\","
+        "\"seed\":7,\"jobs\":2,\"mutants\":3,\"cases\":10,\"seq\":0}\n"
+        "{\"event\":\"item-resumed\",\"item\":0,\"mutant\":\"M0\","
+        "\"fate\":\"killed\",\"reason\":\"crash\",\"seq\":1}\n"
+        "{\"event\":\"item-start\",\"item\":1,\"mutant\":\"M1\",\"worker\":0,\"seq\":2}\n"
+        "{\"event\":\"item-finish\",\"item\":1,\"mutant\":\"M1\",\"worker\":0,"
+        "\"fate\":\"killed\",\"reason\":\"assertion\",\"wall_ms\":30.0,\"seq\":3}\n"
+        "{\"event\":\"item-start\",\"item\":2,\"mutant\":\"M2\",\"worker\":1,\"seq\":4}\n"
+        "{\"event\":\"item-finish\",\"item\":2,\"mutant\":\"M2\",\"worker\":1,"
+        "\"fate\":\"equivalent\",\"reason\":\"alive\",\"wall_ms\":5.0,\"seq\":5}\n"
+        "{\"event\":\"campaign-end\",\"campaign\":\"c0ffee\",\"items\":3,"
+        "\"executed\":2,\"resumed\":1,\"killed\":2,\"equivalent\":1,"
+        "\"not_covered\":0,\"score\":1.0,\"workers\":2,\"steals\":1,"
+        "\"wall_ms\":40.5,\"seq\":6}\n";
+}
+
+TEST(TelemetryStats, AggregatesAcrossGenerationsAndTornTail) {
+    std::istringstream in(two_generation_fixture());
+    const TelemetryStats stats = TelemetryStats::from_stream(in);
+
+    EXPECT_EQ(stats.campaign, "c0ffee");
+    EXPECT_EQ(stats.class_name, "CObList");
+    EXPECT_EQ(stats.seed, 7u);
+    EXPECT_EQ(stats.jobs, 2u);
+    EXPECT_EQ(stats.declared_mutants, 3u);
+    EXPECT_EQ(stats.generations, 2u);
+    EXPECT_EQ(stats.malformed_lines, 1u);  // the torn write
+    EXPECT_EQ(stats.starts, 3u);
+    EXPECT_EQ(stats.finishes, 3u);
+    EXPECT_EQ(stats.resumes, 1u);
+
+    // Items deduplicate by index across generations; item 0 appears as
+    // finish (gen 1) and resume (gen 2) but counts once.
+    ASSERT_EQ(stats.items.size(), 3u);
+    EXPECT_EQ(stats.items[0].mutant, "M0");
+    EXPECT_EQ(stats.items[0].fate, "killed");
+    EXPECT_FALSE(stats.items[0].has_timing);  // last event was a resume
+    EXPECT_TRUE(stats.items[1].has_timing);
+    EXPECT_DOUBLE_EQ(stats.items[1].wall_ms, 30.0);
+
+    const auto fates = stats.fate_counts();
+    EXPECT_EQ(fates.at("killed"), 2u);
+    EXPECT_EQ(fates.at("equivalent"), 1u);
+
+    const auto reasons = stats.kill_reasons();
+    EXPECT_EQ(reasons.at("crash"), 1u);
+    EXPECT_EQ(reasons.at("assertion"), 1u);
+    EXPECT_EQ(reasons.count("alive"), 0u);  // only killed items counted
+
+    // Worker loads count only items whose LAST event carried timing:
+    // M0's resume superseded its generation-1 finish, so only M1 and M2
+    // contribute.
+    const auto loads = stats.worker_loads();
+    ASSERT_EQ(loads.size(), 2u);
+    EXPECT_EQ(loads[0].worker, 0u);
+    EXPECT_EQ(loads[0].items, 1u);
+    EXPECT_DOUBLE_EQ(loads[0].busy_ms, 30.0);
+    EXPECT_EQ(loads[1].worker, 1u);
+    EXPECT_DOUBLE_EQ(loads[1].busy_ms, 5.0);
+
+    EXPECT_TRUE(stats.have_summary);
+    EXPECT_EQ(stats.killed, 2u);
+    EXPECT_EQ(stats.steals, 1u);
+    EXPECT_DOUBLE_EQ(stats.score, 1.0);
+}
+
+TEST(TelemetryStats, RenderListsSlowestItemsFirst) {
+    std::istringstream in(two_generation_fixture());
+    const TelemetryStats stats = TelemetryStats::from_stream(in);
+
+    std::ostringstream os;
+    stats.render(os, 2);
+    const std::string out = os.str();
+
+    EXPECT_NE(out.find("CObList"), std::string::npos);
+    EXPECT_NE(out.find("c0ffee"), std::string::npos);
+    EXPECT_NE(out.find("fate"), std::string::npos);
+    EXPECT_NE(out.find("kill reason"), std::string::npos);
+    EXPECT_NE(out.find("slowest item"), std::string::npos);
+    EXPECT_NE(out.find("worker"), std::string::npos);
+    // M1 (30 ms) ranks above M2 (5 ms); M0 has no timing and never
+    // enters the slowest table.
+    const auto m1 = out.find("M1");
+    const auto m2 = out.find("M2");
+    ASSERT_NE(m1, std::string::npos);
+    ASSERT_NE(m2, std::string::npos);
+    EXPECT_LT(m1, m2);
+}
+
+TEST(TelemetryStats, EmptyAndMissingInputsAreHandled) {
+    std::istringstream in("");
+    const TelemetryStats stats = TelemetryStats::from_stream(in);
+    EXPECT_EQ(stats.generations, 0u);
+    EXPECT_TRUE(stats.items.empty());
+    EXPECT_FALSE(stats.have_summary);
+    std::ostringstream os;
+    stats.render(os);  // must not crash on an empty run
+    EXPECT_FALSE(os.str().empty());
+
+    EXPECT_THROW((void)TelemetryStats::from_file("/tmp/stc_obs_no_such.jsonl"),
+                 Error);
+}
+
+}  // namespace
+}  // namespace stc::obs

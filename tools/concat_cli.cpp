@@ -10,10 +10,13 @@
 //   concat transactions <tspec> [options]       enumerate transactions
 //   concat suite <tspec> [options] [-o FILE]    generate + save a test suite
 //   concat gen <tspec> [options] [-o FILE]      generate C++ driver source
+//   concat stats <telemetry.jsonl>              summarize campaign telemetry
 //
-// Common options: --seed N, --max-visits N, --cases N, --criterion
-// all-transactions|all-links|all-nodes; gen also takes --include H,
-// --using NS, --log FILE.
+// Every subcommand accepts --trace-out FILE (Chrome trace-event JSON of
+// the run, loadable in Perfetto) and --metrics-out FILE (counter +
+// latency dump; JSON when FILE ends in .json, plain text otherwise).
+// Other options are per-subcommand; an option that a subcommand does
+// not take is a usage error naming the flag (exit 2).
 #include <charconv>
 #include <cstdint>
 #include <fstream>
@@ -31,6 +34,7 @@
 #include "stc/history/version_diff.h"
 #include "stc/mfc/component.h"
 #include "stc/mutation/report.h"
+#include "stc/obs/stats.h"
 #include "stc/support/error.h"
 #include "stc/support/strings.h"
 #include "stc/tfm/coverage.h"
@@ -56,9 +60,13 @@ int usage(std::ostream& os) {
           "                 [-o STILL_VALID.txt]\n"
           "  campaign       parallel mutation campaign over a built-in component:\n"
           "                 concat campaign <coblist|sortable> [--jobs N] [--seed N]\n"
-          "                 [--cases N] [--probe] [--resume FILE] [--trace-out FILE]\n"
-          "                 [-o REPORT]\n"
+          "                 [--cases N] [--probe] [--resume FILE]\n"
+          "                 [--telemetry-out FILE] [-o REPORT]\n"
+          "  stats          summarize a campaign telemetry stream:\n"
+          "                 concat stats TELEMETRY.jsonl [--top N] [-o REPORT]\n"
           "options:\n"
+          "  --trace-out F   (any command) Chrome trace-event JSON of this run\n"
+          "  --metrics-out F (any command) metrics dump; JSON when F ends in .json\n"
           "  --seed N        random seed for value generation\n"
           "  --max-visits N  cycle unrolling bound (default 2)\n"
           "  --cases N       test cases per transaction (default 1)\n"
@@ -72,24 +80,68 @@ int usage(std::ostream& os) {
           "  --jobs N        (campaign) worker threads; 0 = all cores (default 1)\n"
           "  --probe         (campaign) amplified probe suite for equivalence\n"
           "  --resume FILE   (campaign) resumable result store (JSONL)\n"
-          "  --trace-out F   (campaign) JSONL telemetry trace\n"
+          "  --telemetry-out F (campaign) JSONL scheduling telemetry\n"
+          "  --top N         (stats) rows in the slowest-item table (default 10)\n"
           "  -o FILE         write output to FILE instead of stdout\n";
     return 2;
 }
 
 struct Options {
     std::string command;
-    std::string tspec_path;  // for `campaign`: the built-in component name
+    std::string tspec_path;  // campaign: component name; stats: telemetry file
     driver::GeneratorOptions generator;
     codegen::CodegenOptions codegen;
     std::optional<std::string> output_path;
-    std::optional<std::string> new_tspec_path;   // replan
+    std::optional<std::string> new_tspec_path;     // replan
     std::optional<std::string> frozen_suite_path;  // replan
-    std::size_t jobs = 1;                        // campaign
-    bool probe = false;                          // campaign
-    std::optional<std::string> store_path;       // campaign --resume
-    std::optional<std::string> trace_path;       // campaign --trace-out
+    std::size_t jobs = 1;                          // campaign
+    bool probe = false;                            // campaign
+    std::optional<std::string> store_path;         // campaign --resume
+    std::optional<std::string> telemetry_path;     // campaign --telemetry-out
+    std::optional<std::string> trace_path;         // --trace-out (any command)
+    std::optional<std::string> metrics_path;       // --metrics-out (any command)
+    std::size_t top = 10;                          // stats --top
+    obs::Context obs;                              // built in main()
 };
+
+/// Which options each subcommand takes.  `--trace-out`, `--metrics-out`
+/// and `-o` are accepted everywhere; everything else is per-command, so
+/// a stray flag fails loudly instead of being silently ignored.
+bool flag_allowed(const std::string& command, const std::string& flag) {
+    if (flag == "--trace-out" || flag == "--metrics-out" || flag == "-o") {
+        return true;
+    }
+    auto any_of = [&flag](std::initializer_list<const char*> flags) {
+        for (const char* f : flags) {
+            if (flag == f) return true;
+        }
+        return false;
+    };
+    if (command == "validate" || command == "print" || command == "dot") {
+        return false;
+    }
+    if (command == "describe") return any_of({"--max-visits"});
+    if (command == "transactions" || command == "coverage") {
+        return any_of({"--max-visits", "--criterion"});
+    }
+    if (command == "suite") {
+        return any_of(
+            {"--seed", "--max-visits", "--cases", "--criterion", "--states"});
+    }
+    if (command == "gen") {
+        return any_of({"--seed", "--max-visits", "--cases", "--criterion",
+                       "--states", "--include", "--using", "--log"});
+    }
+    if (command == "replan") return any_of({"--new", "--frozen"});
+    if (command == "campaign") {
+        return any_of({"--seed", "--max-visits", "--cases", "--criterion",
+                       "--states", "--jobs", "--probe", "--resume",
+                       "--telemetry-out"});
+    }
+    if (command == "stats") return any_of({"--top"});
+    // Unknown command: main() reports it; don't reject its flags first.
+    return true;
+}
 
 /// Strict numeric flag parsing: the whole token must be a number.
 /// std::nullopt (with a message) instead of std::stoull's uncaught
@@ -120,6 +172,11 @@ std::optional<Options> parse_args(int argc, char** argv) {
             if (i + 1 >= argc) return std::nullopt;
             return std::string(argv[++i]);
         };
+        if (!flag_allowed(out.command, arg)) {
+            std::cerr << "concat " << out.command << ": unknown option '" << arg
+                      << "'\n";
+            return std::nullopt;
+        }
         if (arg == "--seed") {
             const auto v = next();
             if (!v) return std::nullopt;
@@ -184,16 +241,31 @@ std::optional<Options> parse_args(int argc, char** argv) {
             const auto v = next();
             if (!v) return std::nullopt;
             out.store_path = *v;
+        } else if (arg == "--telemetry-out") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            out.telemetry_path = *v;
         } else if (arg == "--trace-out") {
             const auto v = next();
             if (!v) return std::nullopt;
             out.trace_path = *v;
+        } else if (arg == "--metrics-out") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            out.metrics_path = *v;
+        } else if (arg == "--top") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            const auto n = parse_count(arg, *v);
+            if (!n) return std::nullopt;
+            out.top = *n;
         } else if (arg == "-o") {
             const auto v = next();
             if (!v) return std::nullopt;
             out.output_path = *v;
         } else {
-            std::cerr << "concat: unknown option '" << arg << "'\n";
+            std::cerr << "concat " << out.command << ": unknown option '" << arg
+                      << "'\n";
             return std::nullopt;
         }
     }
@@ -373,9 +445,10 @@ int cmd_replan(const Options& options, const tspec::ComponentSpec& old_spec) {
 // campaign over one of the built-in self-testable MFC components, the
 // paper's experimental subjects, sharded across --jobs workers.  The
 // report (stdout or -o) lists one line per mutant in enumeration order
-// plus the Table 2/3 aggregation — byte-identical for any --jobs value;
-// scheduling-dependent detail (worker ids, wall times, queue depths)
-// goes to the --trace-out JSONL stream, and timing stats to stderr.
+// plus the Table 2/3 aggregation — byte-identical for any --jobs value,
+// tracing on or off; scheduling-dependent detail (worker ids, wall
+// times, queue depths) goes to the --telemetry-out JSONL stream, spans
+// to --trace-out, and timing stats to stderr.
 int cmd_campaign(const Options& options) {
     const std::string which = options.tspec_path;
     if (which != "coblist" && which != "sortable") {
@@ -409,8 +482,11 @@ int cmd_campaign(const Options& options) {
     campaign::CampaignOptions campaign_options;
     campaign_options.jobs = options.jobs;
     campaign_options.seed = options.generator.seed;
+    campaign_options.obs = options.obs;
     if (options.store_path) campaign_options.store_path = *options.store_path;
-    if (options.trace_path) campaign_options.trace_path = *options.trace_path;
+    if (options.telemetry_path) {
+        campaign_options.telemetry_path = *options.telemetry_path;
+    }
 
     const campaign::CampaignScheduler scheduler(component.registry(),
                                                 campaign_options);
@@ -449,37 +525,99 @@ int cmd_campaign(const Options& options) {
     return emit(options, report.str());
 }
 
+// `concat stats TELEMETRY.jsonl`: offline aggregation of a campaign
+// telemetry stream (docs/FORMATS.md §5) into the summary a profiler
+// wants first: verdict/fate breakdown, kill-reason histogram, the
+// slowest items, and per-worker utilization.
+int cmd_stats(const Options& options) {
+    const obs::TelemetryStats stats =
+        obs::TelemetryStats::from_file(options.tspec_path);
+    std::ostringstream out;
+    stats.render(out, options.top);
+    return emit(options, out.str());
+}
+
+/// Write the --trace-out / --metrics-out artifacts collected during the
+/// command.  Failures are reported but only turn a successful run into
+/// a failure (a failed command keeps its own exit code).
+int flush_observability(const Options& options) {
+    int rc = 0;
+    if (options.trace_path) {
+        std::ofstream out(*options.trace_path);
+        if (out) {
+            options.obs.tracer.write_chrome_trace(out);
+        } else {
+            std::cerr << "concat: cannot write trace file: " << *options.trace_path
+                      << "\n";
+            rc = 1;
+        }
+    }
+    if (options.metrics_path) {
+        std::ofstream out(*options.metrics_path);
+        if (out) {
+            const std::string& path = *options.metrics_path;
+            const bool json = path.size() >= 5 &&
+                              path.compare(path.size() - 5, 5, ".json") == 0;
+            if (json) {
+                options.obs.metrics.write_json(out);
+            } else {
+                options.obs.metrics.write_text(out);
+            }
+        } else {
+            std::cerr << "concat: cannot write metrics file: "
+                      << *options.metrics_path << "\n";
+            rc = 1;
+        }
+    }
+    return rc;
+}
+
+int dispatch(const Options& options) {
+    // Campaign and stats do not read a t-spec file.
+    if (options.command == "campaign") return cmd_campaign(options);
+    if (options.command == "stats") return cmd_stats(options);
+
+    const auto spec = tspec::parse_tspec(read_file(options.tspec_path));
+
+    if (options.command == "validate") return cmd_validate(options, spec);
+    if (options.command == "describe") return cmd_describe(options, spec);
+    if (options.command == "print") {
+        return emit(options, tspec::print_tspec(spec));
+    }
+    if (options.command == "dot") {
+        spec.ensure_valid();
+        return emit(options, spec.build_tfm().to_dot());
+    }
+    if (options.command == "transactions") return cmd_transactions(options, spec);
+    if (options.command == "coverage") return cmd_coverage(options, spec);
+    if (options.command == "suite") return cmd_suite(options, spec);
+    if (options.command == "gen") return cmd_gen(options, spec);
+    if (options.command == "replan") return cmd_replan(options, spec);
+
+    std::cerr << "concat: unknown command '" << options.command << "'\n";
+    return usage(std::cerr);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-    const auto options = parse_args(argc, argv);
+    auto options = parse_args(argc, argv);
     if (!options) return usage(std::cerr);
 
+    // The observability context exists exactly when an output was
+    // requested; otherwise every instrument in the pipeline stays on
+    // its no-op fast path.
+    if (options->trace_path) options->obs.tracer = obs::Tracer::make();
+    if (options->metrics_path) options->obs.metrics = obs::Metrics::make();
+    options->generator.obs = options->obs;
+
+    int rc;
     try {
-        // Campaign runs a built-in component, not a t-spec file.
-        if (options->command == "campaign") return cmd_campaign(*options);
-
-        const auto spec = tspec::parse_tspec(read_file(options->tspec_path));
-
-        if (options->command == "validate") return cmd_validate(*options, spec);
-        if (options->command == "describe") return cmd_describe(*options, spec);
-        if (options->command == "print") {
-            return emit(*options, tspec::print_tspec(spec));
-        }
-        if (options->command == "dot") {
-            spec.ensure_valid();
-            return emit(*options, spec.build_tfm().to_dot());
-        }
-        if (options->command == "transactions") return cmd_transactions(*options, spec);
-        if (options->command == "coverage") return cmd_coverage(*options, spec);
-        if (options->command == "suite") return cmd_suite(*options, spec);
-        if (options->command == "gen") return cmd_gen(*options, spec);
-        if (options->command == "replan") return cmd_replan(*options, spec);
-
-        std::cerr << "concat: unknown command '" << options->command << "'\n";
-        return usage(std::cerr);
+        rc = dispatch(*options);
     } catch (const stc::Error& e) {
         std::cerr << "concat: " << e.what() << "\n";
-        return 1;
+        rc = 1;
     }
+    const int flush_rc = flush_observability(*options);
+    return rc == 0 ? flush_rc : rc;
 }
