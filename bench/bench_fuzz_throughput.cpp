@@ -1,0 +1,122 @@
+// Fuzz-loop throughput — executions per second of the coverage-guided
+// loop over CObList transactions, split into the two regimes a user
+// pays for:
+//
+//   1. exploration only (pristine component, nothing to shrink): the
+//      steady-state cost of mutate + execute + coverage bookkeeping;
+//   2. seeded fault (the ISSUE's AddHead RepReq.NULL mutant): most
+//      executions crash, every novel failure pays a shrink, so this
+//      bounds the worst-case per-iteration cost.
+//
+// `--smoke` shrinks the budgets and asserts the determinism contract
+// (two same-seed runs agree on stats and findings) instead of timing,
+// and is registered as a ctest.
+#include <chrono>
+#include <cstring>
+#include <iostream>
+
+#include "bench_util.h"
+#include "stc/fuzz/fuzzer.h"
+#include "stc/mutation/controller.h"
+#include "stc/mutation/mutant.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+struct RunOutcome {
+    stc::fuzz::FuzzResult result;
+    double wall_ms = 0.0;
+};
+
+RunOutcome run_fuzz(bench::Experiment& ex,
+                    const stc::driver::CompletionRegistry& completions,
+                    const stc::mutation::Mutant* mutant,
+                    std::size_t iterations, std::uint64_t seed) {
+    stc::fuzz::FuzzOptions options;
+    options.seed = seed;
+    options.iterations = iterations;
+    if (mutant != nullptr) options.mutant_id = mutant->id();
+
+    const stc::driver::TestRunner runner(ex.base.registry());
+    const stc::reflect::ClassBinding& binding =
+        ex.base.registry().at(ex.base.spec().class_name);
+    const stc::fuzz::CaseRunner case_runner =
+        [&runner, &binding, mutant](const stc::driver::TestCase& tc) {
+            if (mutant != nullptr) {
+                const stc::mutation::MutantActivation active(*mutant);
+                return runner.run_case(binding, tc);
+            }
+            return runner.run_case(binding, tc);
+        };
+
+    stc::fuzz::Fuzzer fuzzer(ex.base.spec(), options);
+    fuzzer.completions(&completions).case_runner(case_runner);
+
+    RunOutcome out;
+    const auto t0 = Clock::now();
+    out.result = fuzzer.run();
+    out.wall_ms = ms_since(t0);
+    return out;
+}
+
+void report(const char* label, const RunOutcome& run) {
+    const auto& stats = run.result.stats;
+    const double execs_per_s =
+        run.wall_ms == 0.0
+            ? 0.0
+            : static_cast<double>(stats.executions) * 1000.0 / run.wall_ms;
+    std::cout << label << ": " << stats.executions << " execution(s) in "
+              << run.wall_ms << " ms (" << static_cast<long>(execs_per_s)
+              << " exec/s), " << stats.interesting << " interesting, "
+              << run.result.findings.size() << " finding(s)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    const std::size_t iterations = smoke ? 150 : 5000;
+
+    bench::Experiment ex;
+    const stc::driver::CompletionRegistry completions =
+        stc::mfc::make_completions(ex.pool);
+    const auto mutants = stc::mutation::enumerate_mutants(
+        stc::mfc::descriptors(), ex.base.spec().class_name);
+    const stc::mutation::Mutant* seeded = nullptr;
+    for (const auto& m : mutants) {
+        if (m.id() == "CObList::AddHead@s0.IndVarRepReq.NULL") seeded = &m;
+    }
+    if (seeded == nullptr) {
+        std::cerr << "seeded fault mutant not found\n";
+        return 1;
+    }
+
+    const RunOutcome explore =
+        run_fuzz(ex, completions, nullptr, iterations, 11);
+    report("explore (pristine)", explore);
+    const RunOutcome fault = run_fuzz(ex, completions, seeded, iterations, 11);
+    report("seeded fault      ", fault);
+
+    if (smoke) {
+        // Determinism contract: same seed, same bytes.
+        const RunOutcome again =
+            run_fuzz(ex, completions, seeded, iterations, 11);
+        if (again.result.stats.render() != fault.result.stats.render() ||
+            again.result.findings.size() != fault.result.findings.size()) {
+            std::cerr << "FAIL: same-seed fuzz runs disagree\n";
+            return 1;
+        }
+        if (fault.result.findings.empty()) {
+            std::cerr << "FAIL: seeded fault produced no finding\n";
+            return 1;
+        }
+        std::cout << "smoke OK: deterministic, seeded fault found\n";
+    }
+    return 0;
+}

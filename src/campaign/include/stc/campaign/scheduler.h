@@ -56,6 +56,23 @@ struct CampaignOptions {
     /// across workers); manual_oracle, when set, must be thread-safe.
     /// Its obs context is overwritten with the campaign-level `obs`.
     mutation::EngineOptions engine;
+    /// When non-empty, every mutant KILLED in this run has its killing
+    /// test case located, minimized with the delta-debugging shrinker
+    /// (stc::fuzz, preserving the oracle's kill classification), and
+    /// persisted into this corpus directory as a replayable reproducer.
+    /// Requires `spec`.  Deterministic per item: the corpus contents do
+    /// not depend on --jobs.  Resumed items are skipped (the original
+    /// run already saved theirs).
+    std::string shrink_corpus_dir;
+    /// Shrink budget per killed mutant, in predicate evaluations (each
+    /// costs a mutated + an unmutated execution of the candidate).
+    std::size_t max_shrink_steps = 256;
+    /// Component spec backing the suite — needed to shrink (TFM path
+    /// validity, value domains).  Non-owning; required iff
+    /// shrink_corpus_dir is set.
+    const tspec::ComponentSpec* spec = nullptr;
+    /// Completions for replay verification of persisted reproducers.
+    const driver::CompletionRegistry* completions = nullptr;
 };
 
 /// One (mutant x suite) work item.
@@ -70,6 +87,7 @@ struct CampaignStats {
     std::size_t items = 0;
     std::size_t executed = 0;  ///< evaluated in this run
     std::size_t resumed = 0;   ///< restored from the result store
+    std::size_t shrunk = 0;    ///< killed mutants with a persisted reproducer
     std::size_t workers = 1;
     std::uint64_t steals = 0;
     double wall_ms = 0.0;      ///< item-execution phase only

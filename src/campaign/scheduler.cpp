@@ -2,10 +2,14 @@
 
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <sstream>
 
 #include "stc/campaign/seed.h"
 #include "stc/campaign/thread_pool.h"
+#include "stc/fuzz/fuzzer.h"
+#include "stc/fuzz/shrink.h"
+#include "stc/mutation/controller.h"
 #include "stc/support/error.h"
 
 namespace stc::campaign {
@@ -82,6 +86,12 @@ CampaignResult CampaignScheduler::run(
     const driver::TestSuite* probe_suite) const {
     const std::size_t jobs =
         options_.jobs == 0 ? WorkStealingPool::hardware_workers() : options_.jobs;
+    const bool shrink_kills = !options_.shrink_corpus_dir.empty();
+    if (shrink_kills && options_.spec == nullptr) {
+        throw ContractError(
+            "CampaignOptions::shrink_corpus_dir requires CampaignOptions::spec "
+            "(the shrinker needs the TFM and the value domains)");
+    }
 
     CampaignResult out;
     out.fingerprint = fingerprint(suite, mutants, probe_suite);
@@ -210,6 +220,82 @@ CampaignResult CampaignScheduler::run(
     options_.obs.metrics.observe_ms("campaign.phase.resume_ms",
                                     ms_since(resume_start));
 
+    // Killing-case shrinking (optional).  Everything here is a pure
+    // function of (mutant, suite, spec, item_seed) — no RNG, no shared
+    // mutable state — so the corpus is byte-identical at any --jobs.
+    const reflect::ClassBinding* shrink_binding = nullptr;
+    std::optional<tfm::Graph> shrink_graph;
+    if (shrink_kills) {
+        shrink_binding = &bindings_.at(suite.class_name);
+        shrink_graph.emplace(options_.spec->build_tfm());
+    }
+    std::vector<unsigned char> shrunk_flags(mutants.size(), 0);
+
+    const auto shrink_kill = [&](const CampaignItem& item) -> bool {
+        const mutation::Mutant& mutant = *item.mutant;
+        const auto run_mutated = [&](const driver::TestCase& tc) {
+            const mutation::MutantActivation activation(mutant);
+            return runner.run_case(*shrink_binding, tc);
+        };
+        // The shrink predicate preserves the oracle's classification, not
+        // just the verdict: a candidate counts only if the mutated run
+        // still differs from its own unmutated baseline for the same
+        // reason (so OutputDiff kills shrink correctly even though both
+        // runs Pass).
+        const auto classify_candidate =
+            [&](const driver::TestCase& tc) -> oracle::KillReason {
+            const driver::TestResult baseline = runner.run_case(*shrink_binding, tc);
+            oracle::GoldenEntry entry;
+            entry.case_id = baseline.case_id;
+            entry.verdict = baseline.verdict;
+            entry.report = baseline.report;
+            entry.message = baseline.message;
+            return oracle::classify(entry, run_mutated(tc), engine.oracle,
+                                    engine.manual_oracle);
+        };
+
+        // Locate the killing case: first kill in suite order.
+        const driver::TestCase* killing = nullptr;
+        oracle::KillReason reason = oracle::KillReason::None;
+        for (const driver::TestCase& tc : suite.cases) {
+            const oracle::GoldenEntry* golden_entry = out.run.golden.find(tc.id);
+            if (golden_entry == nullptr) continue;
+            reason = oracle::classify(*golden_entry, run_mutated(tc),
+                                      engine.oracle, engine.manual_oracle);
+            if (reason != oracle::KillReason::None) {
+                killing = &tc;
+                break;
+            }
+        }
+        if (killing == nullptr) return false;  // no single case reproduces it
+
+        fuzz::ShrinkOptions shrink_options;
+        shrink_options.max_steps = options_.max_shrink_steps;
+        shrink_options.obs = options_.obs;
+        const oracle::KillReason target = reason;
+        const fuzz::ShrinkResult shrunk = fuzz::shrink_case(
+            *options_.spec, *shrink_graph, *killing,
+            [&](const driver::TestCase& tc) {
+                return classify_candidate(tc) == target;
+            },
+            shrink_options);
+
+        fuzz::CorpusEntry entry;
+        entry.suite.class_name = suite.class_name;
+        entry.suite.model_nodes = suite.model_nodes;
+        entry.suite.model_links = suite.model_links;
+        entry.suite.cases.push_back(shrunk.minimized);
+        const driver::TestResult observed = run_mutated(shrunk.minimized);
+        entry.verdict = observed.verdict;
+        entry.failed_method = observed.failed_method;
+        entry.mutant_id = mutant.id();
+        entry.kill_reason = oracle::to_string(target);
+        const fuzz::PersistOutcome persisted =
+            fuzz::persist_entry(options_.shrink_corpus_dir, entry,
+                                options_.completions, run_mutated, item.item_seed);
+        return persisted.reproducible;
+    };
+
     // Parallel phase: each pending item evaluates on some worker and
     // writes only its own outcome slot.
     const auto t0 = Clock::now();
@@ -231,6 +317,9 @@ CampaignResult CampaignScheduler::run(
                 mutation::evaluate_mutant(*item->mutant, run_suite, out.run.golden,
                                           run_probe, probe_golden, engine);
             outcomes[item->index] = outcome;
+            if (shrink_kills && outcome.fate == mutation::MutantFate::Killed) {
+                shrunk_flags[item->index] = shrink_kill(*item) ? 1 : 0;
+            }
             const double wall = ms_since(item_start);
 
             trace.emit(
@@ -243,6 +332,7 @@ CampaignResult CampaignScheduler::run(
                     .set("reason", oracle::to_string(outcome.reason))
                     .set("hit", outcome.hit_by_suite)
                     .set("probe_kill", outcome.killed_by_probe)
+                    .set("shrunk", shrunk_flags[item->index] != 0)
                     .set("item_seed", item->item_seed)
                     .set("wall_ms", wall));
 
@@ -269,6 +359,7 @@ CampaignResult CampaignScheduler::run(
         out.stats.steals = pool.run(std::move(tasks));
     }
     out.stats.executed = pending.size();
+    for (const unsigned char flag : shrunk_flags) out.stats.shrunk += flag;
     out.stats.wall_ms = ms_since(t0);
     options_.obs.metrics.observe_ms("campaign.phase.items_ms",
                                     out.stats.wall_ms);
@@ -276,6 +367,7 @@ CampaignResult CampaignScheduler::run(
     options_.obs.metrics.add("campaign.executed", out.stats.executed);
     options_.obs.metrics.add("campaign.resumed", out.stats.resumed);
     options_.obs.metrics.add("campaign.steals", out.stats.steals);
+    options_.obs.metrics.add("campaign.shrunk", out.stats.shrunk);
 
     out.run.outcomes = std::move(outcomes);
 

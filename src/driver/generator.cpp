@@ -49,11 +49,11 @@ std::vector<tfm::Transaction> DriverGenerator::transactions() const {
     return out;
 }
 
-MethodCall DriverGenerator::synthesize_call(const tspec::MethodSpec& method,
-                                            support::Pcg32& rng,
-                                            std::size_t case_ordinal,
-                                            bool* needs_completion,
-                                            bool expect_rejection) const {
+MethodCall synthesize_call(const tspec::MethodSpec& method, support::Pcg32& rng,
+                           std::size_t case_ordinal,
+                           const CompletionRegistry* completions,
+                           ValuePolicy policy, bool* needs_completion,
+                           bool expect_rejection, const obs::Context& obs) {
     MethodCall call;
     call.method_id = method.id;
     call.method_name = method.name;
@@ -75,22 +75,22 @@ MethodCall DriverGenerator::synthesize_call(const tspec::MethodSpec& method,
             }
         }
         if (p.domain) {
-            if (options_.value_policy == ValuePolicy::Boundary) {
+            if (policy == ValuePolicy::Boundary) {
                 const auto boundary = p.domain->boundary_values();
                 if (!boundary.empty()) {
                     call.arguments.push_back(boundary[case_ordinal % boundary.size()]);
                     continue;
                 }
             }
-            options_.obs.metrics.add("generator.value_draws");
+            obs.metrics.add("generator.value_draws");
             call.arguments.push_back(p.domain->sample(rng));
             continue;
         }
         // Structured parameter: completed by the tester (§3.4.1).
         const CompletionRegistry::Completion* completion =
-            completions_ == nullptr ? nullptr : completions_->find(p.class_name);
+            completions == nullptr ? nullptr : completions->find(p.class_name);
         if (completion != nullptr && *completion) {
-            options_.obs.metrics.add("generator.value_draws");
+            obs.metrics.add("generator.value_draws");
             call.arguments.push_back((*completion)(rng));
         } else {
             call.arguments.push_back(domain::Value::make_pointer(nullptr, p.class_name));
@@ -148,8 +148,9 @@ TestSuite DriverGenerator::generate() const {
                                     ": no parameter domain can produce an "
                                     "out-of-domain value");
                 }
-                tc.calls.push_back(synthesize_call(*method, rng, rep,
-                                                   &tc.needs_completion, negative));
+                tc.calls.push_back(synthesize_call(
+                    *method, rng, rep, completions_, options_.value_policy,
+                    &tc.needs_completion, negative, options_.obs));
             }
 
             if (tc.calls.empty() || !tc.calls.front().is_constructor) {

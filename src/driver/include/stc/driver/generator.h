@@ -58,6 +58,21 @@ struct GeneratorOptions {
     obs::Context obs;
 };
 
+/// Synthesize one method call with generated argument values — the
+/// §3.4.1 value-selection step, shared by the DriverGenerator and the
+/// coverage-guided fuzzer (stc::fuzz).  `case_ordinal` indexes the
+/// boundary/invalid value cycles; `expect_rejection` drives one
+/// parameter outside its domain (negative call).  Sets *needs_completion
+/// when a structured parameter had no completion hook.
+[[nodiscard]] MethodCall synthesize_call(const tspec::MethodSpec& method,
+                                         support::Pcg32& rng,
+                                         std::size_t case_ordinal,
+                                         const CompletionRegistry* completions,
+                                         ValuePolicy policy,
+                                         bool* needs_completion,
+                                         bool expect_rejection = false,
+                                         const obs::Context& obs = {});
+
 /// Generates an executable TestSuite from a component's embedded t-spec.
 class DriverGenerator {
 public:
@@ -76,16 +91,10 @@ public:
     /// exposed for coverage analysis and the figure benches.
     [[nodiscard]] std::vector<tfm::Transaction> transactions() const;
 
-private:
-    [[nodiscard]] MethodCall synthesize_call(const tspec::MethodSpec& method,
-                                             support::Pcg32& rng,
-                                             std::size_t case_ordinal,
-                                             bool* needs_completion,
-                                             bool expect_rejection = false) const;
-
     /// True when some parameter domain can name an out-of-domain value.
     [[nodiscard]] static bool can_reject(const tspec::MethodSpec& method);
 
+private:
     tspec::ComponentSpec spec_;  // owned: callers may pass temporaries
     GeneratorOptions options_;
     const CompletionRegistry* completions_ = nullptr;

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "stc/bit/assertions.h"
@@ -37,6 +38,20 @@ enum class Verdict {
 };
 
 [[nodiscard]] const char* to_string(Verdict v) noexcept;
+
+/// Inverse of to_string; std::nullopt for unknown text.  Used by the
+/// fuzz corpus loader to rehydrate recorded verdicts and by the
+/// exhaustive round-trip tests.
+[[nodiscard]] std::optional<Verdict> verdict_from_string(
+    std::string_view text) noexcept;
+
+/// All verdict values, for exhaustive iteration (round-trip tests,
+/// reporters that must not silently drop a kind).
+inline constexpr Verdict kAllVerdicts[] = {
+    Verdict::Pass,       Verdict::AssertionViolation,
+    Verdict::Crash,      Verdict::UncaughtException,
+    Verdict::SetupError, Verdict::ContractNotEnforced,
+};
 
 struct TestResult {
     std::string case_id;

@@ -21,6 +21,13 @@ const char* to_string(Verdict v) noexcept {
     return "?";
 }
 
+std::optional<Verdict> verdict_from_string(std::string_view text) noexcept {
+    for (const Verdict v : kAllVerdicts) {
+        if (text == to_string(v)) return v;
+    }
+    return std::nullopt;
+}
+
 std::size_t SuiteResult::count(Verdict v) const noexcept {
     std::size_t n = 0;
     for (const auto& r : results) n += r.verdict == v ? 1 : 0;

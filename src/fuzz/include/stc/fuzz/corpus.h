@@ -1,0 +1,57 @@
+// Replayable regression corpus — persistence of minimized reproducers.
+//
+// Every failure the fuzzer (or the campaign shrinker) minimizes is
+// saved as one corpus entry: the paper's "test cases ... stored in the
+// component" idea extended to *failing* cases, so a shrunk finding
+// becomes a permanent regression test that any consumer can replay.
+// An entry is a concat-corpus header (recorded verdict, failing method,
+// optionally the mutant that was active) followed by a standard
+// concat-suite block holding exactly one test case (docs/FORMATS.md §7).
+//
+// Structured (pointer) arguments are saved as typed placeholders, like
+// any frozen suite; replaying recompletes them deterministically from
+// the entry's recorded seed, which is why the writer re-verifies the
+// persisted form before committing it to the corpus.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "stc/driver/runner.h"
+#include "stc/driver/suite_io.h"
+
+namespace stc::fuzz {
+
+/// One minimized reproducer plus the behaviour it must replay to.
+struct CorpusEntry {
+    driver::TestSuite suite;  ///< exactly one test case
+    driver::Verdict verdict = driver::Verdict::Pass;
+    std::string failed_method;  ///< "Method called" of the recorded failure
+    std::string mutant_id;      ///< active mutant ("" = fault in the component)
+    std::string kill_reason;    ///< informational (campaign shrinks)
+
+    [[nodiscard]] const driver::TestCase& reproducer() const;
+};
+
+/// Write `entry` in the concat-corpus text format.
+void save_entry(std::ostream& os, const CorpusEntry& entry);
+
+/// Parse an entry previously written by save_entry.  Throws stc::Error
+/// on malformed input (bad magic, unknown verdict, missing suite).
+[[nodiscard]] CorpusEntry load_entry(std::istream& is);
+
+[[nodiscard]] CorpusEntry load_entry_file(const std::string& path);
+void save_entry_file(const std::string& path, const CorpusEntry& entry);
+
+/// Canonical, deterministic filename for an entry:
+/// `<class>-<verdict>-<16-hex content hash>.suite`.  Byte-identical
+/// entries map to the same name, so re-running a seeded fuzz campaign
+/// rewrites — never duplicates — its reproducers.
+[[nodiscard]] std::string entry_filename(const CorpusEntry& entry);
+
+/// Sorted paths of every `*.suite` file in `dir` (empty when the
+/// directory does not exist).
+[[nodiscard]] std::vector<std::string> list_corpus(const std::string& dir);
+
+}  // namespace stc::fuzz

@@ -1,0 +1,32 @@
+#include "path_case.h"
+
+namespace stc::fuzz::detail {
+
+bool reslice(const tfm::Graph& graph, const driver::TestCase& tc, PathCase* out) {
+    out->path = tc.transaction.path;
+    out->groups.clear();
+    if (out->path.empty() || !graph.is_valid_transaction(out->path)) return false;
+    std::size_t cursor = 0;
+    for (const tfm::NodeIndex n : out->path) {
+        const std::size_t width = graph.node(n).method_ids.size();
+        if (cursor + width > tc.calls.size()) return false;
+        out->groups.emplace_back(tc.calls.begin() + cursor,
+                                 tc.calls.begin() + cursor + width);
+        cursor += width;
+    }
+    return cursor == tc.calls.size();
+}
+
+driver::TestCase assemble(const tfm::Graph& graph, const driver::TestCase& base,
+                          const PathCase& pc) {
+    driver::TestCase tc = base;
+    tc.transaction.path = pc.path;
+    tc.transaction_text = graph.describe(tc.transaction);
+    tc.calls.clear();
+    for (const auto& group : pc.groups) {
+        tc.calls.insert(tc.calls.end(), group.begin(), group.end());
+    }
+    return tc;
+}
+
+}  // namespace stc::fuzz::detail

@@ -1,0 +1,31 @@
+// Internal: a test case resliced as one call group per transaction-path
+// node — the shared granularity of the fuzz mutators and the ddmin
+// shrinker.  Not installed; include via "path_case.h" within src/fuzz.
+#pragma once
+
+#include <vector>
+
+#include "stc/driver/test_case.h"
+#include "stc/tfm/graph.h"
+
+namespace stc::fuzz::detail {
+
+struct PathCase {
+    std::vector<tfm::NodeIndex> path;
+    std::vector<std::vector<driver::MethodCall>> groups;  // parallel to path
+};
+
+/// Reslice `tc` against the graph's per-node method layout.  Fails (and
+/// leaves *out partially filled) when the path is not a valid
+/// transaction or the call count does not line up — such cases are
+/// executed but never mutated or sequence-shrunk.
+[[nodiscard]] bool reslice(const tfm::Graph& graph, const driver::TestCase& tc,
+                           PathCase* out);
+
+/// Rebuild an executable case from a (possibly edited) PathCase, keeping
+/// `base`'s identity fields (id, entry_state).
+[[nodiscard]] driver::TestCase assemble(const tfm::Graph& graph,
+                                        const driver::TestCase& base,
+                                        const PathCase& pc);
+
+}  // namespace stc::fuzz::detail

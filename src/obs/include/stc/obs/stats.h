@@ -56,6 +56,31 @@ struct TelemetryStats {
     std::size_t resumes = 0;           ///< item-resumed events
 
     std::vector<Item> items;  ///< sorted by index
+    std::size_t shrunk_items = 0;  ///< item-finish events with a persisted reproducer
+
+    // Fuzz stream (fuzz-start / fuzz-finding / fuzz-verdict / fuzz-end
+    // events, emitted by `concat fuzz`).  A telemetry file may hold a
+    // fuzz run, a campaign, or both.
+    struct FuzzFinding {
+        std::string key;             ///< "verdict|method" dedupe key
+        std::string verdict;
+        std::uint64_t iteration = 0; ///< exploration step that found it
+        std::uint64_t shrink_steps = 0;
+        std::uint64_t calls = 0;     ///< reproducer length (method calls)
+    };
+    std::size_t fuzz_runs = 0;            ///< fuzz-start events
+    std::string fuzz_class;
+    std::uint64_t fuzz_seed = 0;
+    std::vector<FuzzFinding> fuzz_findings;
+    /// verdict kind -> executions.  `concat fuzz` emits one fuzz-verdict
+    /// event per kind — including zero-count contract-not-enforced and
+    /// setup-error — so every verdict shows in the table.
+    std::map<std::string, std::uint64_t> fuzz_verdicts;
+    bool have_fuzz_summary = false;       ///< fuzz-end seen
+    std::uint64_t fuzz_iterations = 0;
+    std::uint64_t fuzz_executions = 0;
+    std::uint64_t fuzz_interesting = 0;
+    std::uint64_t fuzz_population = 0;
 
     // Final summary, from the last campaign-end event (absent when the
     // run was interrupted).

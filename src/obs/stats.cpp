@@ -71,6 +71,7 @@ TelemetryStats TelemetryStats::from_stream(std::istream& in) {
             ++out.starts;
         } else if (kind == "item-finish") {
             ++out.finishes;
+            if (event->get_bool("shrunk").value_or(false)) ++out.shrunk_items;
             upsert(*event, true);
         } else if (kind == "item-resumed") {
             ++out.resumes;
@@ -85,6 +86,33 @@ TelemetryStats TelemetryStats::from_stream(std::istream& in) {
             out.steals = event->get_uint("steals").value_or(0);
             out.score = event->get_double("score").value_or(0.0);
             out.wall_ms = event->get_double("wall_ms").value_or(0.0);
+        } else if (kind == "fuzz-start") {
+            ++out.fuzz_runs;
+            out.fuzz_class = event->get_string("class").value_or("");
+            out.fuzz_seed = event->get_uint("seed").value_or(0);
+            // A new generation restarts the finding/verdict tallies.
+            out.fuzz_findings.clear();
+            out.fuzz_verdicts.clear();
+            out.have_fuzz_summary = false;
+        } else if (kind == "fuzz-finding") {
+            FuzzFinding finding;
+            finding.key = event->get_string("key").value_or("?");
+            finding.verdict = event->get_string("verdict").value_or("?");
+            finding.iteration = event->get_uint("iteration").value_or(0);
+            finding.shrink_steps = event->get_uint("shrink_steps").value_or(0);
+            finding.calls = event->get_uint("calls").value_or(0);
+            out.fuzz_findings.push_back(std::move(finding));
+        } else if (kind == "fuzz-verdict") {
+            const auto name = event->get_string("verdict");
+            if (name) {
+                out.fuzz_verdicts[*name] = event->get_uint("count").value_or(0);
+            }
+        } else if (kind == "fuzz-end") {
+            out.have_fuzz_summary = true;
+            out.fuzz_iterations = event->get_uint("iterations").value_or(0);
+            out.fuzz_executions = event->get_uint("executions").value_or(0);
+            out.fuzz_interesting = event->get_uint("interesting").value_or(0);
+            out.fuzz_population = event->get_uint("population").value_or(0);
         }
         // Unknown event kinds pass through untallied: the schema may
         // grow and old reporters should not reject new streams.
@@ -142,7 +170,9 @@ void TelemetryStats::render(std::ostream& os, std::size_t top) const {
     }
     os << "\n"
        << "  items: " << items.size() << " classified, " << finishes
-       << " executed, " << resumes << " resumed\n";
+       << " executed, " << resumes << " resumed";
+    if (shrunk_items != 0) os << ", " << shrunk_items << " kill(s) shrunk";
+    os << "\n";
     if (have_summary) {
         os << "  final: score " << support::percent(score) << ", " << workers
            << " worker(s), " << steals << " steal(s), wall "
@@ -211,6 +241,44 @@ void TelemetryStats::render(std::ostream& os, std::size_t top) const {
                                                 : load.busy_ms / total_busy)});
         }
         table.render(os);
+    }
+
+    if (fuzz_runs != 0) {
+        os << "\nfuzz: " << (fuzz_class.empty() ? "?" : fuzz_class) << "  seed "
+           << fuzz_seed << "\n";
+        if (have_fuzz_summary) {
+            os << "  " << fuzz_iterations << " iteration(s), " << fuzz_executions
+               << " execution(s), " << fuzz_interesting << " interesting, "
+               << "population " << fuzz_population << "\n";
+        } else {
+            os << "  final: no fuzz-end event (interrupted run)\n";
+        }
+        if (!fuzz_verdicts.empty()) {
+            // Every verdict kind the stream declared — including
+            // zero-count setup-error / contract-not-enforced rows, so a
+            // kind silently never produced is visible, not hidden.
+            std::uint64_t total = 0;
+            support::TextTable table({"verdict", "executions"});
+            for (const auto& [verdict, count] : fuzz_verdicts) {
+                table.add_row({verdict, std::to_string(count)});
+                total += count;
+            }
+            table.add_footer({"total", std::to_string(total)});
+            os << "\n";
+            table.render(os);
+        }
+        if (!fuzz_findings.empty()) {
+            support::TextTable table(
+                {"finding", "verdict", "iteration", "shrink steps", "calls"});
+            for (const FuzzFinding& finding : fuzz_findings) {
+                table.add_row({finding.key, finding.verdict,
+                               std::to_string(finding.iteration),
+                               std::to_string(finding.shrink_steps),
+                               std::to_string(finding.calls)});
+            }
+            os << "\n";
+            table.render(os);
+        }
     }
 }
 

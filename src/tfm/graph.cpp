@@ -69,6 +69,49 @@ std::size_t Graph::in_degree(NodeIndex i) const {
     return in_degree_[i];
 }
 
+bool Graph::has_edge(NodeIndex from, NodeIndex to) const {
+    const auto& next = successors(from);
+    return std::find(next.begin(), next.end(), to) != next.end();
+}
+
+bool Graph::is_valid_transaction(const std::vector<NodeIndex>& path) const {
+    if (path.empty()) return false;
+    if (path.front() >= nodes_.size() || !nodes_[path.front()].is_birth) {
+        return false;
+    }
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        if (path[i] >= nodes_.size() || path[i + 1] >= nodes_.size()) return false;
+        if (!has_edge(path[i], path[i + 1])) return false;
+    }
+    return is_death(path.back());
+}
+
+std::vector<std::optional<NodeIndex>> Graph::next_hop_to_death() const {
+    // Multi-source BFS from all death nodes over reversed edges; the
+    // recorded hop is the *forward* successor that shrinks the distance.
+    std::vector<std::vector<NodeIndex>> reverse(nodes_.size());
+    for (const Edge& e : edges_) reverse[e.to].push_back(e.from);
+
+    std::vector<std::optional<NodeIndex>> hop(nodes_.size());
+    std::vector<bool> seen(nodes_.size(), false);
+    std::deque<NodeIndex> work;
+    for (NodeIndex d : death_nodes()) {
+        seen[d] = true;
+        work.push_back(d);
+    }
+    while (!work.empty()) {
+        const NodeIndex n = work.front();
+        work.pop_front();
+        for (NodeIndex p : reverse[n]) {
+            if (seen[p]) continue;
+            seen[p] = true;
+            hop[p] = n;
+            work.push_back(p);
+        }
+    }
+    return hop;
+}
+
 std::vector<NodeIndex> Graph::birth_nodes() const {
     std::vector<NodeIndex> out;
     for (NodeIndex i = 0; i < nodes_.size(); ++i) {

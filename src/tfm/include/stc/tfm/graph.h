@@ -94,6 +94,22 @@ public:
     [[nodiscard]] std::size_t out_degree(NodeIndex i) const;
     [[nodiscard]] std::size_t in_degree(NodeIndex i) const;
 
+    /// Whether the directed link from -> to exists.
+    [[nodiscard]] bool has_edge(NodeIndex from, NodeIndex to) const;
+
+    /// True when `path` is a structurally valid transaction of this
+    /// graph: starts at a birth node, ends at a death node, and every
+    /// consecutive pair is a declared link.  The fuzz mutators and the
+    /// delta-debugging shrinker accept only candidates that pass this.
+    [[nodiscard]] bool is_valid_transaction(
+        const std::vector<NodeIndex>& path) const;
+
+    /// For every node: the successor on a shortest path to some death
+    /// node (std::nullopt for death nodes themselves and for nodes that
+    /// cannot reach death).  Deterministic: BFS in node/edge insertion
+    /// order.  Used to steer bounded random walks to termination.
+    [[nodiscard]] std::vector<std::optional<NodeIndex>> next_hop_to_death() const;
+
     /// Birth nodes: marked is_birth. Death nodes: out-degree zero.
     [[nodiscard]] std::vector<NodeIndex> birth_nodes() const;
     [[nodiscard]] std::vector<NodeIndex> death_nodes() const;

@@ -4,6 +4,8 @@
 // the test harness.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -11,7 +13,9 @@
 #include <sstream>
 
 #include "product_component.h"
+#include "stc/driver/runner.h"
 #include "stc/driver/suite_io.h"
+#include "stc/fuzz/corpus.h"
 #include "stc/obs/trace.h"
 #include "test_paths.h"
 
@@ -24,7 +28,11 @@ protected:
         std::ifstream probe(binary_);
         if (!probe.good()) GTEST_SKIP() << "concat binary not built";
 
-        tspec_path_ = "/tmp/stc_cli_product.tspec";
+        // Process-unique path: ctest runs these cases as parallel
+        // processes, and concurrent writers of one shared file produce
+        // torn reads in whoever parses it mid-rewrite.
+        tspec_path_ = "/tmp/stc_cli_product_" + std::to_string(getpid()) +
+                      ".tspec";
         std::ofstream out(tspec_path_);
         out << stc::examples::product_tspec_text();
     }
@@ -319,6 +327,113 @@ TEST_F(CliTest, CampaignTraceCoversThePipelineAndStatsSummarizesIt) {
     EXPECT_NE(out.find("| worker"), std::string::npos);
 
     EXPECT_EQ(run("stats /tmp/stc_cli_no_such_telemetry.jsonl"), 1);
+}
+
+// ---------------------------------------------------------------- fuzz
+
+// The ISSUE's seeded fault: this mutant nulls AddHead's required
+// parameter check and crashes on the first AddHead of any transaction.
+const char* const kSeededFault = "CObList::AddHead@s0.IndVarRepReq.NULL";
+
+TEST_F(CliTest, FuzzSeedStabilityIsByteIdentical) {
+    // Two same-seed runs must agree byte-for-byte: report, coverage
+    // counters, and corpus contents.  Corpus directories differ on
+    // purpose — filenames, not paths, appear in the report.
+    const std::string base = "/tmp/stc_cli_fuzz_stab";
+    std::system(("rm -rf " + base + "_a " + base + "_b").c_str());
+    const std::string args =
+        std::string("fuzz coblist --iters 150 --seed 11 --mutant ") +
+        kSeededFault;
+    ASSERT_EQ(run(args + " --corpus " + base + "_a", base + "_a.out"), 0);
+    ASSERT_EQ(run(args + " --corpus " + base + "_b", base + "_b.out"), 0);
+    const std::string report = slurp(base + "_a.out");
+    EXPECT_EQ(report, slurp(base + "_b.out"));
+    EXPECT_NE(report.find("findings:"), std::string::npos);
+
+    const auto corpus_a = stc::fuzz::list_corpus(base + "_a");
+    const auto corpus_b = stc::fuzz::list_corpus(base + "_b");
+    ASSERT_EQ(corpus_a.size(), corpus_b.size());
+    ASSERT_FALSE(corpus_a.empty());
+    for (std::size_t i = 0; i < corpus_a.size(); ++i) {
+        EXPECT_EQ(slurp(corpus_a[i]), slurp(corpus_b[i]));
+    }
+}
+
+TEST_F(CliTest, FuzzFindsTheSeededFaultAndShrinksToFiveCallsOrFewer) {
+    // The PR's acceptance gate: fuzzing against the seeded fault finds a
+    // failing case and reduces it to a <=5-call reproducer that replays
+    // to the same verdict.
+    const std::string dir = "/tmp/stc_cli_fuzz_accept";
+    std::system(("rm -rf " + dir).c_str());
+    ASSERT_EQ(run(std::string("fuzz coblist --iters 200 --seed 11 --mutant ") +
+                      kSeededFault + " --corpus " + dir,
+                  dir + ".out"),
+              0);
+    const auto entries = stc::fuzz::list_corpus(dir);
+    ASSERT_FALSE(entries.empty());
+    const auto entry = stc::fuzz::load_entry_file(entries.front());
+    EXPECT_LE(entry.reproducer().calls.size(), 5u);
+    EXPECT_EQ(entry.mutant_id, kSeededFault);
+    EXPECT_NE(entry.verdict, stc::driver::Verdict::Pass);
+
+    // `concat shrink` re-verifies the persisted entry end to end.
+    EXPECT_EQ(run("shrink coblist --case " + entries.front(),
+                  dir + "_reshrink.out"),
+              0);
+}
+
+TEST_F(CliTest, FuzzTelemetryListsEveryVerdictKindInStats) {
+    const std::string telemetry = "/tmp/stc_cli_fuzz_tel.jsonl";
+    std::remove(telemetry.c_str());
+    ASSERT_EQ(run("fuzz coblist --iters 60 --seed 3 --telemetry-out " +
+                      telemetry,
+                  "/tmp/stc_cli_fuzz_tel.out"),
+              0);
+    ASSERT_EQ(run("stats " + telemetry, "/tmp/stc_cli_fuzz_stats.out"), 0);
+    const std::string out = slurp("/tmp/stc_cli_fuzz_stats.out");
+    EXPECT_NE(out.find("fuzz: CObList"), std::string::npos);
+    // Zero-count kinds stay visible — the fate table must not hide
+    // contract-not-enforced or setup-error just because they never fired.
+    for (const stc::driver::Verdict v : stc::driver::kAllVerdicts) {
+        EXPECT_NE(out.find(stc::driver::to_string(v)), std::string::npos)
+            << stc::driver::to_string(v);
+    }
+}
+
+TEST_F(CliTest, FuzzAndShrinkRejectBadInvocations) {
+    EXPECT_EQ(run("fuzz coblist --mutant No::Such@mutant"), 2);
+    EXPECT_EQ(run("fuzz nonesuch --iters 5"), 2);
+    EXPECT_EQ(run("fuzz coblist --top 3"), 2);  // stats-only flag
+    EXPECT_EQ(run("shrink coblist"), 2);        // --case is required
+    EXPECT_EQ(run("suite " + tspec_path_ + " --iters 5"), 2);  // fuzz-only flag
+}
+
+TEST_F(CliTest, CampaignShrinkCorpusIsIdenticalAcrossJobCounts) {
+    const std::string dir1 = "/tmp/stc_cli_camp_corpus1";
+    const std::string dir4 = "/tmp/stc_cli_camp_corpus4";
+    std::system(("rm -rf " + dir1 + " " + dir4).c_str());
+    ASSERT_EQ(run("campaign coblist --jobs 1 --seed 3 --shrink-corpus " + dir1 +
+                      " -o /tmp/stc_cli_camp_rep1.txt",
+                  "/tmp/stc_cli_camp1.log"),
+              0);
+    ASSERT_EQ(run("campaign coblist --jobs 4 --seed 3 --shrink-corpus " + dir4 +
+                      " -o /tmp/stc_cli_camp_rep4.txt",
+                  "/tmp/stc_cli_camp4.log"),
+              0);
+    EXPECT_EQ(slurp("/tmp/stc_cli_camp_rep1.txt"),
+              slurp("/tmp/stc_cli_camp_rep4.txt"));
+
+    const auto corpus1 = stc::fuzz::list_corpus(dir1);
+    const auto corpus4 = stc::fuzz::list_corpus(dir4);
+    ASSERT_EQ(corpus1.size(), corpus4.size());
+    ASSERT_FALSE(corpus1.empty());
+    for (std::size_t i = 0; i < corpus1.size(); ++i) {
+        EXPECT_EQ(slurp(corpus1[i]), slurp(corpus4[i]));
+        // Every persisted reproducer is a loadable, single-case entry.
+        const auto entry = stc::fuzz::load_entry_file(corpus1[i]);
+        EXPECT_EQ(entry.suite.size(), 1u);
+        EXPECT_FALSE(entry.mutant_id.empty());
+    }
 }
 
 }  // namespace

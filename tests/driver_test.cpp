@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
+#include <set>
 #include <sstream>
 
 #include "stc/driver/generator.h"
@@ -350,6 +352,26 @@ TEST_F(DriverTest, LogFileMirrorsTheResultTxtBehaviour) {
     doubled << again.rdbuf();
     EXPECT_EQ(doubled.str().size(), 2 * content.str().size());
     std::remove(options.log_path.c_str());
+}
+
+TEST(VerdictText, RoundTripsExhaustively) {
+    // Every verdict kind — including the two that early reporters tended
+    // to drop, SetupError and ContractNotEnforced — survives the text
+    // round-trip used by the corpus format and the telemetry stream.
+    std::set<std::string> names;
+    for (const Verdict v : kAllVerdicts) {
+        const char* text = to_string(v);
+        EXPECT_TRUE(names.insert(text).second) << text;  // names are distinct
+        const auto back = verdict_from_string(text);
+        ASSERT_TRUE(back.has_value()) << text;
+        EXPECT_EQ(*back, v);
+    }
+    EXPECT_EQ(names.size(), std::size(kAllVerdicts));
+    EXPECT_TRUE(names.count("setup-error") == 1);
+    EXPECT_TRUE(names.count("contract-not-enforced") == 1);
+    EXPECT_FALSE(verdict_from_string("no-such-verdict").has_value());
+    EXPECT_FALSE(verdict_from_string("").has_value());
+    EXPECT_FALSE(verdict_from_string("Pass").has_value());  // case-sensitive
 }
 
 TEST_F(DriverTest, RunsAreDeterministic) {

@@ -1,0 +1,86 @@
+// Regression replay of the checked-in corpus (corpus/*.suite at the
+// repo root): every minimized reproducer the fuzzer or the campaign
+// shrinker ever persisted must keep replaying to its recorded verdict —
+// through the real runner and, when the entry names a mutant, with that
+// mutant active.  A verdict drift here means either the component or
+// the replay machinery changed behaviour; both are regressions.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "stc/core/self_testable.h"
+#include "stc/driver/runner.h"
+#include "stc/driver/suite_io.h"
+#include "stc/fuzz/corpus.h"
+#include "stc/mfc/component.h"
+#include "stc/mutation/controller.h"
+#include "stc/mutation/mutant.h"
+#include "test_paths.h"
+
+namespace stc {
+namespace {
+
+TEST(FuzzCorpus, CheckedInEntriesReplayToTheirRecordedVerdicts) {
+    const auto paths =
+        fuzz::list_corpus(std::string(STC_SOURCE_DIR) + "/corpus");
+    // The repo ships reproducers for the paper components; an empty list
+    // means the corpus went missing and this test silently tested nothing.
+    ASSERT_FALSE(paths.empty());
+
+    mfc::ElementPool pool;
+    core::SelfTestableComponent coblist(mfc::coblist_spec(),
+                                        mfc::coblist_binding());
+    core::SelfTestableComponent sortable(mfc::sortable_spec(),
+                                         mfc::sortable_binding());
+    const driver::CompletionRegistry completions = mfc::make_completions(pool);
+    coblist.set_completions(completions);
+    sortable.set_completions(completions);
+
+    for (const std::string& path : paths) {
+        SCOPED_TRACE(path);
+        fuzz::CorpusEntry entry = fuzz::load_entry_file(path);
+        const core::SelfTestableComponent& component =
+            entry.suite.class_name == sortable.spec().class_name ? sortable
+                                                                 : coblist;
+        ASSERT_EQ(entry.suite.class_name, component.spec().class_name);
+
+        // Pointer arguments persist as placeholders; rebuild them from
+        // the entry's recorded seed, exactly like any frozen suite.
+        (void)driver::recomplete_suite(entry.suite, completions,
+                                       entry.suite.seed);
+
+        std::vector<mutation::Mutant> mutants;
+        const mutation::Mutant* active = nullptr;
+        if (!entry.mutant_id.empty()) {
+            mutants = mutation::enumerate_mutants(mfc::descriptors(),
+                                                  entry.suite.class_name);
+            for (const auto& m : mutants) {
+                if (m.id() == entry.mutant_id) {
+                    active = &m;
+                    break;
+                }
+            }
+            ASSERT_NE(active, nullptr)
+                << "corpus entry names unknown mutant " << entry.mutant_id;
+        }
+
+        const driver::TestRunner runner(component.registry());
+        const reflect::ClassBinding& binding =
+            component.registry().at(entry.suite.class_name);
+        driver::TestResult result;
+        if (active != nullptr) {
+            const mutation::MutantActivation activation(*active);
+            result = runner.run_case(binding, entry.reproducer());
+        } else {
+            result = runner.run_case(binding, entry.reproducer());
+        }
+        EXPECT_EQ(result.verdict, entry.verdict)
+            << "replayed as " << driver::to_string(result.verdict)
+            << ", recorded " << driver::to_string(entry.verdict) << ": "
+            << result.message;
+    }
+}
+
+}  // namespace
+}  // namespace stc

@@ -8,6 +8,7 @@
 
 #include "stc/driver/runner.h"
 #include "stc/driver/suite_io.h"
+#include "stc/fuzz/shrink.h"
 #include "stc/mutation/engine.h"
 #include "stc/support/rng.h"
 #include "stc/tfm/coverage.h"
@@ -145,6 +146,52 @@ TEST_P(SpecProperty, SuitesSurviveSaveLoadByteIdentically) {
     std::stringstream second;
     driver::save_suite(second, loaded);
     EXPECT_EQ(first.str(), second.str());
+}
+
+TEST_P(SpecProperty, ShrinkerPreservesPredicateValidityAndLength) {
+    const auto spec = random_spec(GetParam());
+    const auto graph = spec.build_tfm();
+    driver::GeneratorOptions options;
+    options.seed = GetParam() + 17;
+    const auto suite = driver::DriverGenerator(spec, options).generate();
+
+    const driver::TestCase* longest = nullptr;
+    for (const auto& tc : suite.cases) {
+        if (!longest || tc.calls.size() > longest->calls.size()) longest = &tc;
+    }
+    ASSERT_NE(longest, nullptr);
+
+    // The synthetic "failure": the case still calls the method of its
+    // middle call.  Execution-free, so the property holds for every
+    // random spec, not just ones with a runnable binding.
+    const std::string target =
+        longest->calls[longest->calls.size() / 2].method_id;
+    const auto still_calls_target = [&target](const driver::TestCase& tc) {
+        for (const auto& call : tc.calls) {
+            if (call.method_id == target) return true;
+        }
+        return false;
+    };
+    ASSERT_TRUE(still_calls_target(*longest));
+
+    const auto result =
+        fuzz::shrink_case(spec, graph, *longest, still_calls_target);
+    // The shrinker's three invariants: the failure is preserved, the
+    // output is a structurally valid transaction, and it never grows.
+    EXPECT_TRUE(still_calls_target(result.minimized));
+    EXPECT_TRUE(graph.is_valid_transaction(result.minimized.transaction.path));
+    EXPECT_LE(result.minimized.calls.size(), longest->calls.size());
+
+    // And it is a deterministic function of its input.
+    const auto again =
+        fuzz::shrink_case(spec, graph, *longest, still_calls_target);
+    driver::TestSuite wrap_a = suite, wrap_b = suite;
+    wrap_a.cases = {result.minimized};
+    wrap_b.cases = {again.minimized};
+    std::stringstream bytes_a, bytes_b;
+    driver::save_suite(bytes_a, wrap_a);
+    driver::save_suite(bytes_b, wrap_b);
+    EXPECT_EQ(bytes_a.str(), bytes_b.str());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SpecProperty,

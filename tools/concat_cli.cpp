@@ -10,6 +10,8 @@
 //   concat transactions <tspec> [options]       enumerate transactions
 //   concat suite <tspec> [options] [-o FILE]    generate + save a test suite
 //   concat gen <tspec> [options] [-o FILE]      generate C++ driver source
+//   concat fuzz <component> [options]           coverage-guided fuzz loop
+//   concat shrink <component> --case FILE       re-shrink a corpus entry
 //   concat stats <telemetry.jsonl>              summarize campaign telemetry
 //
 // Every subcommand accepts --trace-out FILE (Chrome trace-event JSON of
@@ -27,12 +29,18 @@
 #include <vector>
 
 #include "stc/campaign/scheduler.h"
+#include "stc/campaign/seed.h"
+#include "stc/campaign/telemetry.h"
 #include "stc/codegen/driver_codegen.h"
 #include "stc/core/self_testable.h"
 #include "stc/driver/generator.h"
+#include "stc/driver/runner.h"
 #include "stc/driver/suite_io.h"
+#include "stc/fuzz/fuzzer.h"
+#include "stc/fuzz/shrink.h"
 #include "stc/history/version_diff.h"
 #include "stc/mfc/component.h"
+#include "stc/mutation/controller.h"
 #include "stc/mutation/report.h"
 #include "stc/obs/stats.h"
 #include "stc/support/error.h"
@@ -61,7 +69,16 @@ int usage(std::ostream& os) {
           "  campaign       parallel mutation campaign over a built-in component:\n"
           "                 concat campaign <coblist|sortable> [--jobs N] [--seed N]\n"
           "                 [--cases N] [--probe] [--resume FILE]\n"
+          "                 [--shrink-corpus DIR] [--max-shrink-steps N]\n"
           "                 [--telemetry-out FILE] [-o REPORT]\n"
+          "  fuzz           coverage-guided transaction fuzzing of a built-in\n"
+          "                 component:\n"
+          "                 concat fuzz <coblist|sortable> [--iters N] [--seed N]\n"
+          "                 [--corpus DIR] [--mutant ID] [--max-shrink-steps N]\n"
+          "                 [--telemetry-out FILE] [-o REPORT]\n"
+          "  shrink         re-shrink / verify one corpus entry:\n"
+          "                 concat shrink <coblist|sortable> --case FILE\n"
+          "                 [--mutant ID] [--max-shrink-steps N] [--corpus DIR]\n"
           "  stats          summarize a campaign telemetry stream:\n"
           "                 concat stats TELEMETRY.jsonl [--top N] [-o REPORT]\n"
           "options:\n"
@@ -80,7 +97,13 @@ int usage(std::ostream& os) {
           "  --jobs N        (campaign) worker threads; 0 = all cores (default 1)\n"
           "  --probe         (campaign) amplified probe suite for equivalence\n"
           "  --resume FILE   (campaign) resumable result store (JSONL)\n"
-          "  --telemetry-out F (campaign) JSONL scheduling telemetry\n"
+          "  --telemetry-out F (campaign, fuzz) JSONL telemetry\n"
+          "  --shrink-corpus D (campaign) shrink each kill into corpus dir D\n"
+          "  --iters N       (fuzz) exploration executions (default 500)\n"
+          "  --corpus D      (fuzz, shrink) corpus directory for reproducers\n"
+          "  --mutant ID     (fuzz, shrink) activate this mutant while running\n"
+          "  --max-shrink-steps N  shrink budget per finding (default 512)\n"
+          "  --case FILE     (shrink) the corpus entry to re-shrink\n"
           "  --top N         (stats) rows in the slowest-item table (default 10)\n"
           "  -o FILE         write output to FILE instead of stdout\n";
     return 2;
@@ -101,6 +124,12 @@ struct Options {
     std::optional<std::string> trace_path;         // --trace-out (any command)
     std::optional<std::string> metrics_path;       // --metrics-out (any command)
     std::size_t top = 10;                          // stats --top
+    std::size_t iters = 500;                       // fuzz --iters
+    std::optional<std::string> corpus_dir;         // fuzz/shrink --corpus
+    std::size_t max_shrink_steps = 512;            // fuzz/shrink/campaign
+    std::optional<std::string> mutant_id;          // fuzz/shrink --mutant
+    std::optional<std::string> case_path;          // shrink --case
+    std::optional<std::string> shrink_corpus;      // campaign --shrink-corpus
     obs::Context obs;                              // built in main()
 };
 
@@ -136,7 +165,17 @@ bool flag_allowed(const std::string& command, const std::string& flag) {
     if (command == "campaign") {
         return any_of({"--seed", "--max-visits", "--cases", "--criterion",
                        "--states", "--jobs", "--probe", "--resume",
+                       "--telemetry-out", "--shrink-corpus",
+                       "--max-shrink-steps"});
+    }
+    if (command == "fuzz") {
+        return any_of({"--iters", "--seed", "--corpus", "--max-shrink-steps",
+                       "--mutant", "--max-visits", "--cases",
                        "--telemetry-out"});
+    }
+    if (command == "shrink") {
+        return any_of(
+            {"--case", "--mutant", "--max-shrink-steps", "--corpus", "--seed"});
     }
     if (command == "stats") return any_of({"--top"});
     // Unknown command: main() reports it; don't reject its flags first.
@@ -253,6 +292,34 @@ std::optional<Options> parse_args(int argc, char** argv) {
             const auto v = next();
             if (!v) return std::nullopt;
             out.metrics_path = *v;
+        } else if (arg == "--iters") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            const auto n = parse_count(arg, *v);
+            if (!n) return std::nullopt;
+            out.iters = *n;
+        } else if (arg == "--corpus") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            out.corpus_dir = *v;
+        } else if (arg == "--max-shrink-steps") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            const auto n = parse_count(arg, *v);
+            if (!n) return std::nullopt;
+            out.max_shrink_steps = *n;
+        } else if (arg == "--mutant") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            out.mutant_id = *v;
+        } else if (arg == "--case") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            out.case_path = *v;
+        } else if (arg == "--shrink-corpus") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            out.shrink_corpus = *v;
         } else if (arg == "--top") {
             const auto v = next();
             if (!v) return std::nullopt;
@@ -463,7 +530,8 @@ int cmd_campaign(const Options& options) {
             ? core::SelfTestableComponent(mfc::coblist_spec(), mfc::coblist_binding())
             : core::SelfTestableComponent(mfc::sortable_spec(),
                                           mfc::sortable_binding());
-    component.set_completions(mfc::make_completions(pool));
+    const driver::CompletionRegistry completions = mfc::make_completions(pool);
+    component.set_completions(completions);
 
     const driver::TestSuite suite = component.generate_tests(options.generator);
 
@@ -486,6 +554,12 @@ int cmd_campaign(const Options& options) {
     if (options.store_path) campaign_options.store_path = *options.store_path;
     if (options.telemetry_path) {
         campaign_options.telemetry_path = *options.telemetry_path;
+    }
+    if (options.shrink_corpus) {
+        campaign_options.shrink_corpus_dir = *options.shrink_corpus;
+        campaign_options.max_shrink_steps = options.max_shrink_steps;
+        campaign_options.spec = &component.spec();
+        campaign_options.completions = &completions;
     }
 
     const campaign::CampaignScheduler scheduler(component.registry(),
@@ -520,9 +594,275 @@ int cmd_campaign(const Options& options) {
               << " executed=" << result.stats.executed
               << " resumed=" << result.stats.resumed
               << " steals=" << result.stats.steals
+              << " shrunk=" << result.stats.shrunk
               << " wall_ms=" << result.stats.wall_ms << "\n";
 
     return emit(options, report.str());
+}
+
+/// Shared by fuzz/shrink: the built-in component named on the command
+/// line, or std::nullopt (+ usage message) for anything else.  The
+/// caller owns `pool`; it must outlive the returned component's
+/// completions.
+std::optional<core::SelfTestableComponent> make_builtin(
+    const std::string& command, const std::string& which) {
+    if (which != "coblist" && which != "sortable") {
+        std::cerr << "concat " << command << ": unknown component '" << which
+                  << "' (expected coblist or sortable)\n";
+        return std::nullopt;
+    }
+    return which == "coblist"
+               ? core::SelfTestableComponent(mfc::coblist_spec(),
+                                             mfc::coblist_binding())
+               : core::SelfTestableComponent(mfc::sortable_spec(),
+                                             mfc::sortable_binding());
+}
+
+/// Resolve --mutant against the enumerated mutants of `class_name`.
+/// Returns nullptr when id is empty; exits via nullopt on unknown ids so
+/// a typo cannot silently fuzz the pristine component.
+std::optional<const mutation::Mutant*> resolve_mutant(
+    const std::string& command, const std::vector<mutation::Mutant>& mutants,
+    const std::string& id) {
+    if (id.empty()) return nullptr;
+    for (const auto& m : mutants) {
+        if (m.id() == id) return &m;
+    }
+    std::cerr << "concat " << command << ": unknown mutant '" << id << "'\n";
+    return std::nullopt;
+}
+
+// `concat fuzz <coblist|sortable>`: coverage-guided fuzzing of a
+// built-in component (optionally with one mutant active, for seeded
+// faults).  Findings are minimized by the shrinker and — with --corpus —
+// persisted as replayable reproducers.  The stdout report is a pure
+// function of (component, seed, iters, mutant): corpus filenames are
+// printed without their directory so two same-seed runs into different
+// corpus directories still byte-match (the CI seed-stability gate).
+int cmd_fuzz(const Options& options) {
+    mfc::ElementPool pool;
+    auto component = make_builtin("fuzz", options.tspec_path);
+    if (!component) return 2;
+    const driver::CompletionRegistry completions = mfc::make_completions(pool);
+    component->set_completions(completions);
+    const std::string& class_name = component->spec().class_name;
+
+    const auto mutants = mutation::enumerate_mutants(mfc::descriptors(), class_name);
+    const auto mutant =
+        resolve_mutant("fuzz", mutants, options.mutant_id.value_or(""));
+    if (!mutant) return 2;
+
+    driver::RunnerOptions runner_options;
+    runner_options.obs = options.obs;
+    const driver::TestRunner runner(component->registry(), runner_options);
+    const reflect::ClassBinding& binding = component->registry().at(class_name);
+    const fuzz::CaseRunner case_runner =
+        [&](const driver::TestCase& tc) -> driver::TestResult {
+        if (*mutant) {
+            const mutation::MutantActivation active(**mutant);
+            return runner.run_case(binding, tc);
+        }
+        return runner.run_case(binding, tc);
+    };
+
+    fuzz::FuzzOptions fuzz_options;
+    fuzz_options.seed = options.generator.seed;
+    fuzz_options.iterations = options.iters;
+    fuzz_options.generator = options.generator;
+    fuzz_options.max_shrink_steps = options.max_shrink_steps;
+    fuzz_options.mutant_id = options.mutant_id.value_or("");
+    fuzz_options.obs = options.obs;
+
+    fuzz::Fuzzer fuzzer(component->spec(), fuzz_options);
+    fuzzer.completions(&completions).case_runner(case_runner);
+    const fuzz::FuzzResult result = fuzzer.run();
+
+    // Persist reproducers before rendering so the report can carry each
+    // finding's corpus filename.
+    int rc = 0;
+    std::vector<std::string> finding_lines;
+    for (const auto& finding : result.findings) {
+        std::ostringstream line;
+        line << finding.key() << "  iter " << finding.iteration << "  "
+             << finding.reproducer.calls.size() << " call(s)  shrink "
+             << finding.shrink.steps << " step(s)";
+        if (options.corpus_dir) {
+            const std::uint64_t entry_seed = campaign::derive_item_seed(
+                fuzz_options.seed, fuzz_options.mutant_id, finding.key());
+            const auto outcome =
+                fuzz::persist_entry(*options.corpus_dir,
+                                    finding.to_corpus_entry(class_name),
+                                    &completions, case_runner, entry_seed);
+            if (outcome.reproducible) {
+                const auto slash = outcome.path.find_last_of('/');
+                line << "  -> "
+                     << (slash == std::string::npos ? outcome.path
+                                                    : outcome.path.substr(slash + 1));
+            } else {
+                line << "  [NOT-REPRODUCIBLE]";
+                rc = 1;
+            }
+        }
+        finding_lines.push_back(line.str());
+    }
+
+    if (options.telemetry_path) {
+        campaign::TelemetrySink sink =
+            campaign::TelemetrySink::to_file(*options.telemetry_path);
+        sink.emit(obs::JsonObject{}
+                      .set("event", "fuzz-start")
+                      .set("class", class_name)
+                      .set("seed", static_cast<std::uint64_t>(fuzz_options.seed))
+                      .set("iters", static_cast<std::uint64_t>(options.iters))
+                      .set("mutant", fuzz_options.mutant_id));
+        for (const auto& finding : result.findings) {
+            sink.emit(
+                obs::JsonObject{}
+                    .set("event", "fuzz-finding")
+                    .set("key", finding.key())
+                    .set("verdict", driver::to_string(finding.verdict))
+                    .set("method", finding.failed_method)
+                    .set("iteration", static_cast<std::uint64_t>(finding.iteration))
+                    .set("shrink_steps",
+                         static_cast<std::uint64_t>(finding.shrink.steps))
+                    .set("calls", static_cast<std::uint64_t>(
+                                      finding.reproducer.calls.size())));
+        }
+        // One event per verdict kind — zero counts included, so a kind
+        // that never fired (contract-not-enforced, setup-error) is
+        // visibly zero in `concat stats`, not absent.
+        for (const driver::Verdict v : driver::kAllVerdicts) {
+            const std::string name = driver::to_string(v);
+            const auto it = result.stats.verdict_counts.find(name);
+            const std::uint64_t count =
+                it == result.stats.verdict_counts.end() ? 0 : it->second;
+            sink.emit(obs::JsonObject{}
+                          .set("event", "fuzz-verdict")
+                          .set("verdict", name)
+                          .set("count", count));
+        }
+        sink.emit(obs::JsonObject{}
+                      .set("event", "fuzz-end")
+                      .set("iterations",
+                           static_cast<std::uint64_t>(result.stats.iterations))
+                      .set("executions",
+                           static_cast<std::uint64_t>(result.stats.executions))
+                      .set("interesting",
+                           static_cast<std::uint64_t>(result.stats.interesting))
+                      .set("population",
+                           static_cast<std::uint64_t>(result.stats.population))
+                      .set("nodes",
+                           static_cast<std::uint64_t>(result.stats.nodes_covered))
+                      .set("edges",
+                           static_cast<std::uint64_t>(result.stats.edges_covered))
+                      .set("findings",
+                           static_cast<std::uint64_t>(result.findings.size())));
+    }
+
+    std::ostringstream report;
+    report << "fuzz: " << class_name << ", seed " << fuzz_options.seed << ", "
+           << options.iters << " iteration(s)";
+    if (*mutant) report << ", mutant " << (*mutant)->id();
+    report << "\n" << result.stats.render();
+    if (finding_lines.empty()) {
+        report << "no findings\n";
+    } else {
+        report << "findings:\n";
+        for (const auto& line : finding_lines) report << "  " << line << "\n";
+    }
+    const int emit_rc = emit(options, report.str());
+    return rc != 0 ? rc : emit_rc;
+}
+
+// `concat shrink <coblist|sortable> --case FILE`: reload one corpus
+// entry, verify it still replays to its recorded verdict, re-shrink it
+// under the given budget, and write the minimized entry back (--corpus
+// DIR for the canonical filename, else -o/stdout).  Exit 1 when the
+// replay no longer matches — a stale entry is a signal, not noise.
+int cmd_shrink(const Options& options) {
+    if (!options.case_path) {
+        std::cerr << "concat shrink: --case is required\n";
+        return 2;
+    }
+    mfc::ElementPool pool;
+    auto component = make_builtin("shrink", options.tspec_path);
+    if (!component) return 2;
+    const driver::CompletionRegistry completions = mfc::make_completions(pool);
+    component->set_completions(completions);
+    const std::string& class_name = component->spec().class_name;
+
+    fuzz::CorpusEntry entry = fuzz::load_entry_file(*options.case_path);
+    if (entry.suite.class_name != class_name) {
+        std::cerr << "concat shrink: entry is for class '"
+                  << entry.suite.class_name << "', component is '" << class_name
+                  << "'\n";
+        return 2;
+    }
+
+    // --mutant overrides the recorded mutant (e.g. replaying a component
+    // fault under a candidate fix's mutant id).
+    const std::string mutant_id = options.mutant_id.value_or(entry.mutant_id);
+    const auto mutants = mutation::enumerate_mutants(mfc::descriptors(), class_name);
+    const auto mutant = resolve_mutant("shrink", mutants, mutant_id);
+    if (!mutant) return 2;
+
+    driver::recomplete_suite(entry.suite, completions, entry.suite.seed);
+
+    driver::RunnerOptions runner_options;
+    runner_options.obs = options.obs;
+    const driver::TestRunner runner(component->registry(), runner_options);
+    const reflect::ClassBinding& binding = component->registry().at(class_name);
+    const fuzz::CaseRunner case_runner =
+        [&](const driver::TestCase& tc) -> driver::TestResult {
+        if (*mutant) {
+            const mutation::MutantActivation active(**mutant);
+            return runner.run_case(binding, tc);
+        }
+        return runner.run_case(binding, tc);
+    };
+
+    const driver::TestResult observed = case_runner(entry.reproducer());
+    if (observed.verdict != entry.verdict) {
+        std::cerr << "concat shrink: replay verdict "
+                  << driver::to_string(observed.verdict)
+                  << " does not match recorded "
+                  << driver::to_string(entry.verdict) << "\n";
+        return 1;
+    }
+
+    const tfm::Graph graph = component->spec().build_tfm();
+    fuzz::ShrinkOptions shrink_options;
+    shrink_options.max_steps = options.max_shrink_steps;
+    shrink_options.obs = options.obs;
+    const fuzz::Predicate still_fails = [&](const driver::TestCase& tc) {
+        return case_runner(tc).verdict == entry.verdict;
+    };
+    const fuzz::ShrinkResult shrunk = fuzz::shrink_case(
+        component->spec(), graph, entry.reproducer(), still_fails, shrink_options);
+
+    std::cerr << "shrink: " << class_name << "  "
+              << entry.reproducer().calls.size() << " -> "
+              << shrunk.minimized.calls.size() << " call(s), " << shrunk.steps
+              << " step(s), " << shrunk.sequence_removals << " removal(s), "
+              << shrunk.value_reductions << " value reduction(s)\n";
+
+    fuzz::CorpusEntry minimized = entry;
+    minimized.suite.cases = {shrunk.minimized};
+    if (options.corpus_dir) {
+        const auto outcome =
+            fuzz::persist_entry(*options.corpus_dir, minimized, &completions,
+                                case_runner, entry.suite.seed);
+        if (!outcome.reproducible) {
+            std::cerr << "concat shrink: minimized entry did not replay after "
+                         "persistence round-trip\n";
+            return 1;
+        }
+        std::cout << "wrote " << outcome.path << "\n";
+        return 0;
+    }
+    std::ostringstream out;
+    fuzz::save_entry(out, minimized);
+    return emit(options, out.str());
 }
 
 // `concat stats TELEMETRY.jsonl`: offline aggregation of a campaign
@@ -573,8 +913,10 @@ int flush_observability(const Options& options) {
 }
 
 int dispatch(const Options& options) {
-    // Campaign and stats do not read a t-spec file.
+    // Campaign, fuzz, shrink and stats do not read a t-spec file.
     if (options.command == "campaign") return cmd_campaign(options);
+    if (options.command == "fuzz") return cmd_fuzz(options);
+    if (options.command == "shrink") return cmd_shrink(options);
     if (options.command == "stats") return cmd_stats(options);
 
     const auto spec = tspec::parse_tspec(read_file(options.tspec_path));
