@@ -151,9 +151,9 @@ std::string entry_filename(const CorpusEntry& entry) {
 std::vector<std::string> list_corpus(const std::string& dir) {
     std::vector<std::string> out;
     std::error_code ec;
-    const std::filesystem::directory_iterator it(dir, ec);
+    std::filesystem::directory_iterator it(dir, ec);
     if (ec) return out;
-    for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    for (const auto& e : it) {
         if (e.is_regular_file() && e.path().extension() == ".suite") {
             out.push_back(e.path().string());
         }

@@ -212,6 +212,9 @@ FuzzResult Fuzzer::run() {
                                        rng, options_.obs);
         } else if (op == 1) {
             // Extend: keep a prefix, random-walk a few nodes, steer home.
+            // A single-node transaction (birth node that is also a death
+            // node) has no proper prefix to cut at.
+            if (pc.path.size() < 2) return std::nullopt;
             const std::size_t cut = rng.index(pc.path.size() - 1);
             pc.path.resize(cut + 1);
             pc.groups.resize(cut + 1);
@@ -230,6 +233,7 @@ FuzzResult Fuzzer::run() {
             }
         } else if (op == 2) {
             // Truncate: keep a prefix, then the shortest way to death.
+            if (pc.path.size() < 2) return std::nullopt;
             const std::size_t cut = rng.index(pc.path.size() - 1);
             pc.path.resize(cut + 1);
             pc.groups.resize(cut + 1);

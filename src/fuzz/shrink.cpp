@@ -113,19 +113,27 @@ ShrinkResult shrink_case(const tspec::ComponentSpec& spec, const tfm::Graph& gra
     // --- Phase 2: pull surviving argument values toward boundaries -------
     for (std::size_t c = 0;
          c < result.minimized.calls.size() && !result.budget_exhausted; ++c) {
-        const driver::MethodCall& call = result.minimized.calls[c];
-        if (call.expect_rejection) continue;  // args are out of domain on purpose
-        const tspec::MethodSpec* method = spec.find_method(call.method_id);
-        if (method == nullptr ||
-            method->parameters.size() != call.arguments.size()) {
+        // Copy the per-call invariants out up front: the loop below
+        // reassigns result.minimized, which frees the calls buffer any
+        // reference into it would dangle over.  Accepting a candidate
+        // never changes the call shape, only one argument value.
+        if (result.minimized.calls[c].expect_rejection) {
+            continue;  // args are out of domain on purpose
+        }
+        const std::string method_id = result.minimized.calls[c].method_id;
+        const std::size_t arg_count = result.minimized.calls[c].arguments.size();
+        const tspec::MethodSpec* method = spec.find_method(method_id);
+        if (method == nullptr || method->parameters.size() != arg_count) {
             continue;
         }
-        for (std::size_t a = 0;
-             a < call.arguments.size() && !result.budget_exhausted; ++a) {
+        for (std::size_t a = 0; a < arg_count && !result.budget_exhausted; ++a) {
             const tspec::TypedSlot& slot = method->parameters[a];
             if (!slot.domain) continue;
             for (const domain::Value& v : reduction_candidates(*slot.domain)) {
-                if (v == result.minimized.calls[c].arguments[a]) continue;
+                // Candidates are ranked smallest-first; once the current
+                // value's own rank is reached, every later candidate is
+                // worse, so stop (also makes re-shrinking a no-op).
+                if (v == result.minimized.calls[c].arguments[a]) break;
                 driver::TestCase candidate = result.minimized;
                 candidate.calls[c].arguments[a] = v;
                 if (try_candidate(candidate)) {

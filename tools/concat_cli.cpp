@@ -21,6 +21,7 @@
 // not take is a usage error naming the flag (exit 2).
 #include <charconv>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -858,6 +859,18 @@ int cmd_shrink(const Options& options) {
             return 1;
         }
         std::cout << "wrote " << outcome.path << "\n";
+        // Corpus filenames are content-hashed, so a shrink that changed
+        // the case lands under a new name; drop the superseded input
+        // entry rather than accumulating duplicate reproducers for the
+        // same finding.
+        std::error_code ec;
+        const bool same =
+            std::filesystem::equivalent(*options.case_path, outcome.path, ec);
+        if (!ec && !same) {
+            if (std::filesystem::remove(*options.case_path, ec) && !ec) {
+                std::cerr << "removed superseded " << *options.case_path << "\n";
+            }
+        }
         return 0;
     }
     std::ostringstream out;
