@@ -32,6 +32,11 @@ struct ItemRecord {
     bool killed_by_probe = false;
     std::uint64_t item_seed = 0;
     double wall_ms = 0.0;
+    /// Sandbox termination kind ("crash-signal:<n>" / "timeout" /
+    /// "resource-limit" / "worker-exit:<c>"); empty for in-process runs
+    /// and isolated items that completed normally.  Serialized only
+    /// when non-empty, so in-process stores are byte-unchanged.
+    std::string sandbox;
 
     [[nodiscard]] JsonObject to_json() const;
     [[nodiscard]] static std::optional<ItemRecord> from_json(const JsonObject& o);
@@ -43,8 +48,12 @@ public:
     /// Open `path` for campaign `fingerprint`.  When the file already
     /// exists with a matching header, its records are loaded (resume);
     /// on a fingerprint mismatch or corrupt header the file is started
-    /// over.  Unparseable trailing lines (a write cut short by the
-    /// interruption that makes resume necessary) are dropped.
+    /// over.  A torn tail — the final line cut short by the very
+    /// interruption that makes resume necessary (SIGKILL mid-append) —
+    /// is detected (missing trailing newline or an unparseable line),
+    /// dropped, and the file is rewritten from the surviving records
+    /// before appending resumes, so the partial line can never fuse
+    /// with the next record.
     ResultStore(const std::string& path, const std::string& fingerprint);
 
     [[nodiscard]] const std::string& fingerprint() const noexcept {
@@ -53,6 +62,10 @@ public:
 
     /// Records recovered from a previous run.
     [[nodiscard]] std::size_t loaded() const noexcept { return loaded_; }
+
+    /// Torn or malformed lines dropped (and purged from the file) while
+    /// loading — 0 for a cleanly written store.
+    [[nodiscard]] std::size_t dropped() const noexcept { return dropped_; }
 
     [[nodiscard]] const ItemRecord* find(const std::string& key) const;
 
@@ -65,6 +78,7 @@ private:
     std::string fingerprint_;
     std::map<std::string, ItemRecord> records_;
     std::size_t loaded_ = 0;
+    std::size_t dropped_ = 0;
     std::mutex mutex_;
     std::ofstream out_;
 };

@@ -27,6 +27,7 @@
 #include "stc/campaign/telemetry.h"
 #include "stc/mutation/engine.h"
 #include "stc/obs/context.h"
+#include "stc/sandbox/limits.h"
 
 namespace stc::campaign {
 
@@ -73,6 +74,19 @@ struct CampaignOptions {
     const tspec::ComponentSpec* spec = nullptr;
     /// Completions for replay verification of persisted reproducers.
     const driver::CompletionRegistry* completions = nullptr;
+    /// Process isolation (`concat campaign --isolate`): evaluate every
+    /// pending item in a forked sandbox worker (stc::sandbox) instead
+    /// of the thread pool, so a mutant that really segfaults, hangs, or
+    /// exhausts memory kills only its worker.  The worker is respawned
+    /// and the item recorded with MutantOutcome::sandbox set; for
+    /// mutants that do not crash, fates are byte-identical to the
+    /// in-process run at any `jobs`.  Incompatible with
+    /// shrink_corpus_dir (the shrinker re-executes mutants in the
+    /// orchestrator process).
+    bool isolate = false;
+    /// Per-item wall deadline and child rlimits; used only with
+    /// `isolate`.
+    sandbox::SandboxLimits sandbox;
 };
 
 /// One (mutant x suite) work item.
@@ -90,6 +104,9 @@ struct CampaignStats {
     std::size_t shrunk = 0;    ///< killed mutants with a persisted reproducer
     std::size_t workers = 1;
     std::uint64_t steals = 0;
+    /// Sandbox workers re-forked after a crash/timeout/limit kill (0
+    /// for in-process runs).
+    std::size_t respawns = 0;
     double wall_ms = 0.0;      ///< item-execution phase only
 };
 

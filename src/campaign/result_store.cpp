@@ -1,6 +1,9 @@
 #include "stc/campaign/result_store.h"
 
+#include <iterator>
+#include <string_view>
 #include <utility>
+#include <vector>
 
 #include "stc/support/error.h"
 
@@ -17,6 +20,7 @@ JsonObject ItemRecord::to_json() const {
         .set("probe_kill", killed_by_probe)
         .set("item_seed", item_seed)
         .set("wall_ms", wall_ms);
+    if (!sandbox.empty()) o.set("sandbox", sandbox);
     return o;
 }
 
@@ -41,35 +45,73 @@ std::optional<ItemRecord> ItemRecord::from_json(const JsonObject& o) {
     r.killed_by_probe = *probe_kill;
     r.item_seed = o.get_uint("item_seed").value_or(0);
     r.wall_ms = o.get_double("wall_ms").value_or(0.0);
+    r.sandbox = o.get_string("sandbox").value_or("");
     return r;
 }
 
 ResultStore::ResultStore(const std::string& path, const std::string& fingerprint)
     : fingerprint_(fingerprint) {
     bool resumable = false;
+    bool needs_rewrite = false;
+    std::vector<ItemRecord> recovered;  // load order, for faithful rewrite
     {
-        std::ifstream in(path);
+        std::ifstream in(path, std::ios::binary);
         if (in) {
-            std::string line;
-            if (std::getline(in, line)) {
-                const auto header = JsonObject::parse(line);
-                resumable = header && header->get_string("event") == "store-header" &&
-                            header->get_string("campaign") == fingerprint_;
-            }
-            if (resumable) {
-                while (std::getline(in, line)) {
-                    const auto parsed = JsonObject::parse(line);
-                    if (!parsed) continue;  // torn tail write: drop
-                    auto record = ItemRecord::from_json(*parsed);
-                    if (!record) continue;
-                    records_.insert_or_assign(record->key, std::move(*record));
+            const std::string content{std::istreambuf_iterator<char>(in),
+                                      std::istreambuf_iterator<char>()};
+            const bool terminated = !content.empty() && content.back() == '\n';
+            std::size_t pos = 0;
+            bool header_line = true;
+            while (pos < content.size()) {
+                const std::size_t nl = content.find('\n', pos);
+                const bool last = nl == std::string::npos;
+                const std::string_view line(
+                    content.data() + pos, (last ? content.size() : nl) - pos);
+                pos = last ? content.size() : nl + 1;
+                // A final line with no newline is a write that the
+                // previous process died inside: the record (if it even
+                // parses) may be incomplete, so the tail must be cut
+                // and the file rewritten before this run appends.
+                const bool torn = last && !terminated;
+                if (header_line) {
+                    header_line = false;
+                    const auto header = JsonObject::parse(line);
+                    resumable = header &&
+                                header->get_string("event") == "store-header" &&
+                                header->get_string("campaign") == fingerprint_;
+                    if (!resumable) break;
+                    if (torn) needs_rewrite = true;
+                    continue;
                 }
-                loaded_ = records_.size();
+                const auto parsed = JsonObject::parse(line);
+                auto record =
+                    parsed ? ItemRecord::from_json(*parsed) : std::nullopt;
+                if (!record || torn) {
+                    ++dropped_;
+                    needs_rewrite = true;
+                    continue;
+                }
+                recovered.push_back(std::move(*record));
             }
         }
     }
 
     if (resumable) {
+        for (const ItemRecord& record : recovered) {
+            records_.insert_or_assign(record.key, record);
+        }
+        loaded_ = records_.size();
+        if (needs_rewrite) {
+            std::ofstream rewrite(path, std::ios::trunc);
+            JsonObject header;
+            header.set("event", "store-header").set("campaign", fingerprint_);
+            rewrite << header.to_line() << '\n';
+            for (const ItemRecord& record : recovered) {
+                rewrite << record.to_json().to_line() << '\n';
+            }
+            rewrite.flush();
+            if (!rewrite) throw Error("cannot rewrite result store: " + path);
+        }
         out_.open(path, std::ios::app);
     } else {
         start_fresh(path);
@@ -80,6 +122,7 @@ ResultStore::ResultStore(const std::string& path, const std::string& fingerprint
 void ResultStore::start_fresh(const std::string& path) {
     records_.clear();
     loaded_ = 0;
+    dropped_ = 0;
     out_.open(path, std::ios::trunc);
     if (!out_) return;  // constructor reports the failure
     JsonObject header;

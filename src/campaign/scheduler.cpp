@@ -10,6 +10,8 @@
 #include "stc/fuzz/fuzzer.h"
 #include "stc/fuzz/shrink.h"
 #include "stc/mutation/controller.h"
+#include "stc/sandbox/codec.h"
+#include "stc/sandbox/worker_pool.h"
 #include "stc/support/error.h"
 
 namespace stc::campaign {
@@ -91,6 +93,12 @@ CampaignResult CampaignScheduler::run(
         throw ContractError(
             "CampaignOptions::shrink_corpus_dir requires CampaignOptions::spec "
             "(the shrinker needs the TFM and the value domains)");
+    }
+    if (options_.isolate && shrink_kills) {
+        throw ContractError(
+            "CampaignOptions::isolate cannot be combined with "
+            "shrink_corpus_dir: the shrinker re-executes mutants inside the "
+            "orchestrator process, defeating the isolation");
     }
 
     CampaignResult out;
@@ -207,6 +215,7 @@ CampaignResult CampaignScheduler::run(
         outcome.reason = *reason;
         outcome.hit_by_suite = record->hit_by_suite;
         outcome.killed_by_probe = record->killed_by_probe;
+        outcome.sandbox = record->sandbox;
         ++out.stats.resumed;
         trace.emit(JsonObject()
                        .set("event", "item-resumed")
@@ -299,6 +308,137 @@ CampaignResult CampaignScheduler::run(
     // Parallel phase: each pending item evaluates on some worker and
     // writes only its own outcome slot.
     const auto t0 = Clock::now();
+    if (options_.isolate) {
+        // Isolated phase: forked sandbox workers driven by a
+        // single-threaded event loop (forking from the multithreaded
+        // pool would clone locks held by other threads).  The request
+        // payload is a decimal index into `pending`; the reply is the
+        // encoded outcome.  A worker that crashes, hangs, or trips a
+        // limit yields no reply — the decoded termination becomes the
+        // item's outcome (Killed / Crash, MutantOutcome::sandbox set)
+        // and the worker is respawned for the next item.
+        const obs::SpanScope items_span(options_.obs.tracer, "phase",
+                                        "item-execution");
+        std::vector<std::string> payloads;
+        payloads.reserve(pending.size());
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+            payloads.push_back(std::to_string(i));
+        }
+
+        const sandbox::Job job = [&](const std::string& payload) {
+            const std::size_t slot = std::stoull(payload);
+            return sandbox::encode_outcome(mutation::evaluate_mutant(
+                *pending[slot]->mutant, run_suite, out.run.golden, run_probe,
+                probe_golden, engine));
+        };
+
+        sandbox::PoolOptions pool_options;
+        pool_options.workers = jobs;
+        pool_options.limits = options_.sandbox;
+        pool_options.obs = options_.obs;
+        pool_options.on_event = [&](const sandbox::WorkerEvent& event) {
+            JsonObject o;
+            o.set("event", sandbox::to_string(event.kind))
+                .set("worker", static_cast<std::uint64_t>(event.worker))
+                .set("pid", event.pid);
+            if (!event.detail.empty()) o.set("detail", event.detail);
+            trace.emit(o);
+        };
+        pool_options.on_dispatch = [&](std::size_t slot, std::size_t worker) {
+            const CampaignItem& item = *pending[slot];
+            trace.emit(JsonObject()
+                           .set("event", "item-start")
+                           .set("item", static_cast<std::uint64_t>(item.index))
+                           .set("mutant", item.mutant->id())
+                           .set("worker", static_cast<std::uint64_t>(worker)));
+        };
+
+        sandbox::WorkerPool pool(job, std::move(pool_options));
+        pool.run(payloads, [&](std::size_t slot, sandbox::TaskResult result) {
+            const CampaignItem& item = *pending[slot];
+            mutation::MutantOutcome outcome;
+            if (result.ok()) {
+                const auto decoded = sandbox::decode_outcome(result.payload);
+                outcome = decoded ? *decoded
+                                  : sandbox::outcome_from_termination(
+                                        "worker-exit:-3");  // garbled reply
+            } else {
+                outcome = sandbox::outcome_from_termination(result.outcome());
+            }
+            outcome.mutant = item.mutant;
+            outcomes[item.index] = outcome;
+            // The children's mutation.* instruments die with them;
+            // mirror the fate counter and evaluation latency here.
+            options_.obs.metrics.add(std::string("mutation.fate.") +
+                                     mutation::to_string(outcome.fate));
+            options_.obs.metrics.observe_ms("mutation.eval_ms",
+                                            result.wall_ms);
+
+            JsonObject finish;
+            finish.set("event", "item-finish")
+                .set("item", static_cast<std::uint64_t>(item.index))
+                .set("mutant", item.mutant->id())
+                .set("worker", static_cast<std::uint64_t>(result.worker))
+                .set("fate", mutation::to_string(outcome.fate))
+                .set("reason", oracle::to_string(outcome.reason))
+                .set("hit", outcome.hit_by_suite)
+                .set("probe_kill", outcome.killed_by_probe)
+                .set("shrunk", false)
+                .set("item_seed", item.item_seed)
+                .set("wall_ms", result.wall_ms);
+            if (!outcome.sandbox.empty()) {
+                finish.set("sandbox", outcome.sandbox);
+            }
+            trace.emit(finish);
+
+            if (store != nullptr) {
+                ItemRecord record;
+                record.key = item.key;
+                record.mutant_id = item.mutant->id();
+                record.item_index = item.index;
+                record.fate = mutation::to_string(outcome.fate);
+                record.reason = oracle::to_string(outcome.reason);
+                record.hit_by_suite = outcome.hit_by_suite;
+                record.killed_by_probe = outcome.killed_by_probe;
+                record.item_seed = item.item_seed;
+                record.wall_ms = result.wall_ms;
+                record.sandbox = outcome.sandbox;
+                store->append(record);
+            }
+        });
+        out.stats.respawns = pool.stats().respawned;
+        out.stats.executed = pending.size();
+        out.stats.wall_ms = ms_since(t0);
+        options_.obs.metrics.observe_ms("campaign.phase.items_ms",
+                                        out.stats.wall_ms);
+        options_.obs.metrics.add("campaign.items", out.stats.items);
+        options_.obs.metrics.add("campaign.executed", out.stats.executed);
+        options_.obs.metrics.add("campaign.resumed", out.stats.resumed);
+        options_.obs.metrics.add("campaign.respawns", out.stats.respawns);
+
+        out.run.outcomes = std::move(outcomes);
+
+        trace.emit(JsonObject()
+                       .set("event", "campaign-end")
+                       .set("campaign", out.fingerprint)
+                       .set("items", static_cast<std::uint64_t>(out.stats.items))
+                       .set("executed",
+                            static_cast<std::uint64_t>(out.stats.executed))
+                       .set("resumed",
+                            static_cast<std::uint64_t>(out.stats.resumed))
+                       .set("killed", static_cast<std::uint64_t>(out.run.killed()))
+                       .set("equivalent",
+                            static_cast<std::uint64_t>(out.run.equivalent()))
+                       .set("not_covered",
+                            static_cast<std::uint64_t>(out.run.not_covered()))
+                       .set("score", out.run.score())
+                       .set("workers",
+                            static_cast<std::uint64_t>(out.stats.workers))
+                       .set("respawns",
+                            static_cast<std::uint64_t>(out.stats.respawns))
+                       .set("wall_ms", out.stats.wall_ms));
+        return out;
+    }
     std::vector<WorkStealingPool::Task> tasks;
     tasks.reserve(pending.size());
     for (const CampaignItem* item : pending) {

@@ -52,6 +52,13 @@ struct MutantOutcome {
     oracle::KillReason reason = oracle::KillReason::None;  ///< when Killed
     bool hit_by_suite = false;
     bool killed_by_probe = false;  ///< alive on the suite, killable in principle
+    /// How the sandbox terminated this item, when it did not finish
+    /// normally: "crash-signal:<n>", "timeout", "resource-limit" or
+    /// "worker-exit:<c>" (stc::sandbox, docs/FORMATS.md §8).  Empty for
+    /// every in-process evaluation and for isolated mutants that ran to
+    /// completion — so the field never perturbs the determinism
+    /// contract between in-process and isolated runs.
+    std::string sandbox;
 };
 
 struct EngineOptions {

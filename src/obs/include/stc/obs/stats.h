@@ -27,6 +27,10 @@ struct TelemetryStats {
         std::string mutant;
         std::string fate;
         std::string reason;
+        /// Sandbox termination kind ("crash-signal:<n>" / "timeout" /
+        /// "resource-limit" / "worker-exit:<c>"); empty when the item
+        /// ran to completion (docs/FORMATS.md §8).
+        std::string sandbox;
         double wall_ms = 0.0;
         std::uint64_t worker = 0;
         bool has_timing = false;  ///< false for resumed items
@@ -106,6 +110,10 @@ struct TelemetryStats {
 
     /// kill reason -> count, over the killed items.
     [[nodiscard]] std::map<std::string, std::size_t> kill_reasons() const;
+
+    /// sandbox termination kind -> count, over the sandbox-terminated
+    /// items (empty map for an in-process run).
+    [[nodiscard]] std::map<std::string, std::size_t> sandbox_kinds() const;
 
     /// Per-worker load, sorted by worker id.
     [[nodiscard]] std::vector<WorkerLoad> worker_loads() const;

@@ -36,6 +36,7 @@ TelemetryStats TelemetryStats::from_stream(std::istream& in) {
         item.mutant = event.get_string("mutant").value_or("?");
         item.fate = event.get_string("fate").value_or("?");
         item.reason = event.get_string("reason").value_or("?");
+        item.sandbox = event.get_string("sandbox").value_or("");
         if (finished) {
             item.wall_ms = event.get_double("wall_ms").value_or(0.0);
             item.worker = event.get_uint("worker").value_or(0);
@@ -143,6 +144,14 @@ std::map<std::string, std::size_t> TelemetryStats::kill_reasons() const {
     return out;
 }
 
+std::map<std::string, std::size_t> TelemetryStats::sandbox_kinds() const {
+    std::map<std::string, std::size_t> out;
+    for (const Item& item : items) {
+        if (!item.sandbox.empty()) ++out[item.sandbox];
+    }
+    return out;
+}
+
 std::vector<TelemetryStats::WorkerLoad> TelemetryStats::worker_loads() const {
     std::map<std::uint64_t, WorkerLoad> by_worker;
     for (const Item& item : items) {
@@ -201,6 +210,20 @@ void TelemetryStats::render(std::ostream& os, std::size_t top) const {
         for (const auto& [reason, count] : reasons) {
             table.add_row({reason, std::to_string(count)});
         }
+        table.render(os);
+        os << "\n";
+    }
+
+    // Sandbox terminations (isolated runs only): how the workers died.
+    const auto sandbox = sandbox_kinds();
+    if (!sandbox.empty()) {
+        std::size_t total = 0;
+        support::TextTable table({"sandbox termination", "items"});
+        for (const auto& [kind, count] : sandbox) {
+            table.add_row({kind, std::to_string(count)});
+            total += count;
+        }
+        table.add_footer({"total", std::to_string(total)});
         table.render(os);
         os << "\n";
     }

@@ -1,0 +1,68 @@
+// Length-prefixed pipe IPC between the campaign orchestrator and its
+// forked sandbox workers (docs/FORMATS.md §8).
+//
+// One frame = a 4-byte little-endian payload length followed by exactly
+// that many payload bytes.  The framing carries opaque strings in both
+// directions: the parent sends a work request (an item index, a
+// serialized test case), the child replies with a serialized result.
+// The encoding above the frame layer lives in codec.h; this file knows
+// nothing about mutants or verdicts.
+//
+// Two read paths, matching the two ends of the pipe:
+//   - read_frame: blocking, used by the child whose whole life is
+//     "read request, run it, write reply";
+//   - FrameBuffer: incremental, used by the parent whose event loop
+//     polls many nonblocking worker pipes and must never stall on a
+//     half-written frame from a worker that just got SIGKILLed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stc::sandbox {
+
+/// Upper bound on a frame payload.  A length prefix above this is a
+/// protocol violation (a worker that died mid-write and left garbage),
+/// not a request to allocate gigabytes in the parent.
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;  // 64 MiB
+
+/// Write one complete frame; loops over partial writes and EINTR.
+/// False on error — most importantly EPIPE after the peer died (the
+/// process must have SIGPIPE ignored or handled; WorkerPool sets that
+/// up).
+[[nodiscard]] bool write_frame(int fd, std::string_view payload) noexcept;
+
+/// Blocking read of one complete frame (the child side).  std::nullopt
+/// on clean EOF (parent closed the request pipe: shutdown), on a torn
+/// frame, or on an oversized length prefix.
+[[nodiscard]] std::optional<std::string> read_frame(int fd);
+
+/// Incremental decoder for the parent's nonblocking reads: feed() the
+/// bytes poll() hands you, take_frame() yields complete payloads.
+class FrameBuffer {
+public:
+    void feed(const char* data, std::size_t n);
+
+    /// The next complete frame, or std::nullopt while one is pending.
+    [[nodiscard]] std::optional<std::string> take_frame();
+
+    /// True when the buffered length prefix exceeds kMaxFramePayload —
+    /// unrecoverable; the owner should discard the worker.
+    [[nodiscard]] bool oversized() const noexcept;
+
+    /// Bytes buffered but not yet consumed (torn-frame diagnostics).
+    [[nodiscard]] std::size_t pending_bytes() const noexcept {
+        return bytes_.size();
+    }
+
+    void clear() noexcept { bytes_.clear(); }
+
+private:
+    std::vector<char> bytes_;
+};
+
+}  // namespace stc::sandbox

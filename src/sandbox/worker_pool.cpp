@@ -1,0 +1,591 @@
+#include "stc/sandbox/worker_pool.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <utility>
+
+#include "stc/sandbox/ipc.h"
+
+namespace stc::sandbox {
+
+const char* to_string(WorkerEventKind kind) noexcept {
+    switch (kind) {
+        case WorkerEventKind::Spawn: return "worker-spawn";
+        case WorkerEventKind::Exit: return "worker-exit";
+        case WorkerEventKind::Kill: return "worker-kill";
+    }
+    return "?";
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Writing a request to a worker that just died must be an EPIPE error
+/// return, not a fatal signal.
+void ignore_sigpipe_once() {
+    static const bool installed = [] {
+        std::signal(SIGPIPE, SIG_IGN);
+        return true;
+    }();
+    (void)installed;
+}
+
+double ms_since(Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+struct Worker {
+    pid_t pid = -1;
+    int req_fd = -1;   ///< parent writes requests here
+    int resp_fd = -1;  ///< parent reads replies here (nonblocking)
+    FrameBuffer buf;
+    bool busy = false;
+    bool deadline_killed = false;
+    std::size_t item = 0;
+    Clock::time_point started{};
+    Clock::time_point deadline{};
+
+    [[nodiscard]] bool alive() const noexcept { return pid > 0; }
+};
+
+[[noreturn]] void child_main(const Job& job, int req_read, int resp_write) {
+    for (;;) {
+        auto request = read_frame(req_read);
+        if (!request) ::_exit(0);  // parent closed the request pipe
+        std::string reply;
+        try {
+            reply = job(*request);
+        } catch (...) {
+            ::_exit(kWorkerFailureExit);
+        }
+        if (!write_frame(resp_write, reply)) ::_exit(kWorkerFailureExit);
+    }
+}
+
+void set_nonblocking(int fd) noexcept {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void close_fd(int& fd) noexcept {
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+/// Fork one worker into `slot`.  The child closes its siblings' pipe
+/// ends (so their EOFs stay meaningful), installs the rlimit fences,
+/// and enters the job loop; it never returns.
+bool spawn_worker(Worker& slot, const Job& job, const SandboxLimits& limits,
+                  const std::vector<Worker>* siblings) {
+    int req[2];
+    int resp[2];
+    if (::pipe(req) != 0) return false;
+    if (::pipe(resp) != 0) {
+        ::close(req[0]);
+        ::close(req[1]);
+        return false;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(req[0]);
+        ::close(req[1]);
+        ::close(resp[0]);
+        ::close(resp[1]);
+        return false;
+    }
+    if (pid == 0) {
+        ::close(req[1]);
+        ::close(resp[0]);
+        if (siblings != nullptr) {
+            for (const Worker& sibling : *siblings) {
+                if (&sibling == &slot) continue;
+                if (sibling.req_fd >= 0) ::close(sibling.req_fd);
+                if (sibling.resp_fd >= 0) ::close(sibling.resp_fd);
+            }
+        }
+        apply_limits_in_child(limits);
+        child_main(job, req[0], resp[1]);
+    }
+    ::close(req[0]);
+    ::close(resp[1]);
+    slot.pid = pid;
+    slot.req_fd = req[1];
+    slot.resp_fd = resp[0];
+    set_nonblocking(slot.resp_fd);
+    slot.buf.clear();
+    slot.busy = false;
+    slot.deadline_killed = false;
+    return true;
+}
+
+/// Reap a dead (or dying) worker and decode how it ended.  Blocks in
+/// waitpid — callers only reach this after EOF on the reply pipe or
+/// after sending SIGKILL, so the wait is momentary.
+DecodedExit reap_worker(Worker& worker) {
+    int status = 0;
+    pid_t got = -1;
+    do {
+        got = ::waitpid(worker.pid, &status, 0);
+    } while (got < 0 && errno == EINTR);
+    const DecodedExit decoded =
+        decode_wait_status(got == worker.pid ? status : 0,
+                           worker.deadline_killed);
+    close_fd(worker.req_fd);
+    close_fd(worker.resp_fd);
+    worker.pid = -1;
+    worker.busy = false;
+    worker.deadline_killed = false;
+    worker.buf.clear();
+    return decoded;
+}
+
+enum class ReadStatus { Open, Eof };
+
+/// Pull everything currently readable into the worker's frame buffer.
+ReadStatus drain(Worker& worker) {
+    char chunk[4096];
+    for (;;) {
+        const ssize_t got = ::read(worker.resp_fd, chunk, sizeof chunk);
+        if (got > 0) {
+            worker.buf.feed(chunk, static_cast<std::size_t>(got));
+            continue;
+        }
+        if (got == 0) return ReadStatus::Eof;
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return ReadStatus::Open;
+        return ReadStatus::Eof;  // unexpected read error: treat as dead
+    }
+}
+
+/// Shared per-impl bookkeeping for the pool and the single runner.
+struct PoolCore {
+    Job job;
+    SandboxLimits limits;
+    obs::Context obs;
+    std::function<void(const WorkerEvent&)> on_event;
+    PoolStats stats;
+
+    void emit(WorkerEventKind kind, std::size_t slot, pid_t pid,
+              std::string detail) {
+        if (obs.metrics.enabled()) {
+            obs.metrics.add(std::string("sandbox.") + to_string(kind));
+        }
+        if (obs.tracer.enabled()) {
+            obs::JsonObject args;
+            args.set("worker", static_cast<std::uint64_t>(slot));
+            args.set("pid", static_cast<std::int64_t>(pid));
+            if (!detail.empty()) args.set("detail", detail);
+            auto span = obs.tracer.begin("sandbox", to_string(kind),
+                                         std::move(args));
+            obs.tracer.end(std::move(span));
+        }
+        if (on_event) {
+            WorkerEvent event;
+            event.kind = kind;
+            event.worker = slot;
+            event.pid = static_cast<std::int64_t>(pid);
+            event.detail = std::move(detail);
+            on_event(event);
+        }
+    }
+
+    void count_outcome(const DecodedExit& exit) {
+        switch (exit.kind) {
+            case ExitKind::Ok: break;
+            case ExitKind::CrashSignal: ++stats.crashes; break;
+            case ExitKind::Timeout: ++stats.timeouts; break;
+            case ExitKind::ResourceLimit: ++stats.resource_limits; break;
+            case ExitKind::WorkerExit: ++stats.worker_exits; break;
+        }
+        if (obs.metrics.enabled() && exit.kind != ExitKind::Ok) {
+            obs.metrics.add(std::string("sandbox.outcome.") +
+                            to_string(exit.kind));
+        }
+    }
+
+    bool spawn(Worker& slot, std::size_t ordinal,
+               const std::vector<Worker>* siblings) {
+        const bool respawn = ordinal_seen(ordinal);
+        if (!spawn_worker(slot, job, limits, siblings)) return false;
+        ++stats.spawned;
+        if (respawn) ++stats.respawned;
+        emit(WorkerEventKind::Spawn, ordinal, slot.pid, "");
+        return true;
+    }
+
+    bool ordinal_seen(std::size_t ordinal) {
+        if (ordinal < seen_.size() && seen_[ordinal]) return true;
+        if (ordinal >= seen_.size()) seen_.resize(ordinal + 1, false);
+        seen_[ordinal] = true;
+        return false;
+    }
+
+private:
+    std::vector<bool> seen_;
+};
+
+}  // namespace
+
+struct WorkerPool::Impl {
+    PoolCore core;
+    std::function<void(std::size_t, std::size_t)> on_dispatch;
+    std::size_t configured_workers = 1;
+    std::vector<Worker> workers;
+};
+
+WorkerPool::WorkerPool(Job job, PoolOptions options)
+    : impl_(std::make_unique<Impl>()) {
+    ignore_sigpipe_once();
+    impl_->core.job = std::move(job);
+    impl_->core.limits = options.limits;
+    impl_->core.obs = options.obs;
+    impl_->core.on_event = std::move(options.on_event);
+    impl_->on_dispatch = std::move(options.on_dispatch);
+    impl_->configured_workers = std::max<std::size_t>(1, options.workers);
+}
+
+WorkerPool::~WorkerPool() {
+    if (impl_ == nullptr) return;
+    for (std::size_t i = 0; i < impl_->workers.size(); ++i) {
+        Worker& worker = impl_->workers[i];
+        if (!worker.alive()) continue;
+        close_fd(worker.req_fd);
+        (void)reap_worker(worker);
+    }
+}
+
+const PoolStats& WorkerPool::stats() const noexcept {
+    return impl_->core.stats;
+}
+
+void WorkerPool::run(
+    const std::vector<std::string>& payloads,
+    const std::function<void(std::size_t, TaskResult)>& on_result) {
+    const std::size_t n = payloads.size();
+    if (n == 0) return;
+    PoolCore& core = impl_->core;
+    auto& workers = impl_->workers;
+    workers.assign(std::min(impl_->configured_workers, n), Worker{});
+
+    std::size_t next = 0;
+    std::size_t completed = 0;
+
+    // Hand the next pending payload to `slot`, forking a fresh worker
+    // if its previous occupant died.  A worker found dead at dispatch
+    // time (it exited after its last reply) is reaped, replaced, and
+    // the same item retried; two consecutive failures classify the
+    // item as a worker exit rather than looping.
+    auto dispatch = [&](std::size_t slot) {
+        Worker& worker = workers[slot];
+        std::size_t attempts = 0;
+        while (next < n) {
+            if (!worker.alive() &&
+                !core.spawn(worker, slot, &workers)) {
+                // fork failed (EAGAIN/ENOMEM in the parent): surface
+                // the item as a worker exit and keep the run alive.
+                TaskResult result;
+                result.exit = DecodedExit{ExitKind::WorkerExit, 0, -1};
+                result.worker = slot;
+                on_result(next, std::move(result));
+                ++next;
+                ++completed;
+                continue;
+            }
+            const std::size_t item = next;
+            if (!write_frame(worker.req_fd, payloads[item])) {
+                const pid_t pid = worker.pid;
+                const DecodedExit decoded = reap_worker(worker);
+                core.emit(WorkerEventKind::Exit, slot, pid,
+                          outcome_kind(decoded));
+                if (++attempts >= 2) {
+                    TaskResult result;
+                    result.exit = DecodedExit{ExitKind::WorkerExit, 0, -1};
+                    result.worker = slot;
+                    on_result(item, std::move(result));
+                    ++next;
+                    ++completed;
+                    attempts = 0;
+                }
+                continue;
+            }
+            ++next;
+            worker.busy = true;
+            worker.deadline_killed = false;
+            worker.item = item;
+            worker.started = Clock::now();
+            if (core.limits.timeout_ms > 0) {
+                worker.deadline =
+                    worker.started +
+                    std::chrono::milliseconds(core.limits.timeout_ms);
+            }
+            if (impl_->on_dispatch) impl_->on_dispatch(item, slot);
+            return;
+        }
+    };
+
+    for (std::size_t i = 0; i < workers.size(); ++i) dispatch(i);
+
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> slots;
+    while (completed < n) {
+        // Poll timeout: the earliest busy-worker deadline.
+        int timeout = -1;
+        if (core.limits.timeout_ms > 0) {
+            const auto now = Clock::now();
+            for (const Worker& worker : workers) {
+                if (!worker.alive() || !worker.busy) continue;
+                const auto remain =
+                    std::chrono::duration_cast<std::chrono::milliseconds>(
+                        worker.deadline - now)
+                        .count();
+                const int t =
+                    remain <= 0 ? 0 : static_cast<int>(remain) + 1;
+                timeout = timeout < 0 ? t : std::min(timeout, t);
+            }
+        }
+
+        fds.clear();
+        slots.clear();
+        for (std::size_t i = 0; i < workers.size(); ++i) {
+            if (!workers[i].alive()) continue;
+            fds.push_back(pollfd{workers[i].resp_fd, POLLIN, 0});
+            slots.push_back(i);
+        }
+        if (fds.empty()) {
+            // Every worker is dead and nothing is in flight; dispatch
+            // re-forks as needed.
+            for (std::size_t i = 0; i < workers.size() && completed < n; ++i) {
+                dispatch(i);
+            }
+            if (completed >= n) break;
+            continue;
+        }
+        int rc = -1;
+        do {
+            rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout);
+        } while (rc < 0 && errno == EINTR);
+
+        // Deadline escalation: SIGKILL every busy worker past its
+        // budget.  The kill surfaces as EOF on its reply pipe, reaped
+        // below with deadline_killed set, which decodes as Timeout.
+        if (core.limits.timeout_ms > 0) {
+            const auto now = Clock::now();
+            for (std::size_t i = 0; i < workers.size(); ++i) {
+                Worker& worker = workers[i];
+                if (!worker.alive() || !worker.busy ||
+                    worker.deadline_killed || now < worker.deadline) {
+                    continue;
+                }
+                ::kill(worker.pid, SIGKILL);
+                worker.deadline_killed = true;
+                ++core.stats.kills;
+                core.emit(WorkerEventKind::Kill, i, worker.pid, "timeout");
+            }
+        }
+
+        for (std::size_t f = 0; f < fds.size(); ++f) {
+            if ((fds[f].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+                continue;
+            }
+            const std::size_t slot = slots[f];
+            Worker& worker = workers[slot];
+            if (!worker.alive()) continue;
+            ReadStatus status = drain(worker);
+
+            // Complete reply frames first: a worker that replied and
+            // then died (mutant called exit) still completed its item.
+            while (auto frame = worker.buf.take_frame()) {
+                if (!worker.busy) continue;  // stray frame: drop it
+                TaskResult result;
+                result.payload = std::move(*frame);
+                result.worker = slot;
+                result.wall_ms = ms_since(worker.started);
+                worker.busy = false;
+                on_result(worker.item, std::move(result));
+                ++completed;
+            }
+            if (worker.buf.oversized()) {
+                // Protocol corruption; discard the worker.
+                ::kill(worker.pid, SIGKILL);
+                const pid_t pid = worker.pid;
+                const bool was_busy = worker.busy;
+                const std::size_t item = worker.item;
+                const double wall =
+                    was_busy ? ms_since(worker.started) : 0.0;
+                (void)reap_worker(worker);
+                const DecodedExit decoded{ExitKind::WorkerExit, 0, -2};
+                core.emit(WorkerEventKind::Exit, slot, pid,
+                          outcome_kind(decoded));
+                if (was_busy) {
+                    core.count_outcome(decoded);
+                    TaskResult result;
+                    result.exit = decoded;
+                    result.worker = slot;
+                    result.wall_ms = wall;
+                    on_result(item, std::move(result));
+                    ++completed;
+                }
+                dispatch(slot);
+                continue;
+            }
+            if (status == ReadStatus::Eof) {
+                const pid_t pid = worker.pid;
+                const bool was_busy = worker.busy;
+                const std::size_t item = worker.item;
+                const double wall =
+                    was_busy ? ms_since(worker.started) : 0.0;
+                const DecodedExit decoded = reap_worker(worker);
+                core.emit(WorkerEventKind::Exit, slot, pid,
+                          was_busy ? outcome_kind(decoded) : "");
+                if (was_busy) {
+                    core.count_outcome(decoded);
+                    TaskResult result;
+                    result.exit = decoded;
+                    result.worker = slot;
+                    result.wall_ms = wall;
+                    on_result(item, std::move(result));
+                    ++completed;
+                }
+                dispatch(slot);
+            } else if (!worker.busy) {
+                dispatch(slot);
+            }
+        }
+    }
+
+    // Orderly shutdown: closing the request pipes EOFs every idle
+    // child out of read_frame, so they _exit(0).
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+        Worker& worker = workers[i];
+        if (!worker.alive()) continue;
+        close_fd(worker.req_fd);
+        const pid_t pid = worker.pid;
+        (void)reap_worker(worker);
+        core.emit(WorkerEventKind::Exit, i, pid, "");
+    }
+}
+
+struct SandboxRunner::Impl {
+    PoolCore core;
+    Worker worker;
+};
+
+SandboxRunner::SandboxRunner(Job job, SandboxLimits limits,
+                             std::function<void(const WorkerEvent&)> on_event)
+    : impl_(std::make_unique<Impl>()) {
+    ignore_sigpipe_once();
+    impl_->core.job = std::move(job);
+    impl_->core.limits = limits;
+    impl_->core.on_event = std::move(on_event);
+}
+
+SandboxRunner::~SandboxRunner() {
+    if (impl_ == nullptr || !impl_->worker.alive()) return;
+    close_fd(impl_->worker.req_fd);
+    (void)reap_worker(impl_->worker);
+}
+
+const PoolStats& SandboxRunner::stats() const noexcept {
+    return impl_->core.stats;
+}
+
+TaskResult SandboxRunner::call(const std::string& payload) {
+    PoolCore& core = impl_->core;
+    Worker& worker = impl_->worker;
+
+    std::size_t attempts = 0;
+    for (;;) {
+        if (!worker.alive() && !core.spawn(worker, 0, nullptr)) {
+            TaskResult result;
+            result.exit = DecodedExit{ExitKind::WorkerExit, 0, -1};
+            return result;
+        }
+        if (write_frame(worker.req_fd, payload)) break;
+        const pid_t pid = worker.pid;
+        const DecodedExit decoded = reap_worker(worker);
+        core.emit(WorkerEventKind::Exit, 0, pid, outcome_kind(decoded));
+        if (++attempts >= 2) {
+            TaskResult result;
+            result.exit = DecodedExit{ExitKind::WorkerExit, 0, -1};
+            return result;
+        }
+    }
+
+    worker.busy = true;
+    worker.deadline_killed = false;
+    worker.started = Clock::now();
+    if (core.limits.timeout_ms > 0) {
+        worker.deadline =
+            worker.started + std::chrono::milliseconds(core.limits.timeout_ms);
+    }
+
+    for (;;) {
+        int timeout = -1;
+        if (core.limits.timeout_ms > 0 && !worker.deadline_killed) {
+            const auto remain =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    worker.deadline - Clock::now())
+                    .count();
+            if (remain <= 0) {
+                ::kill(worker.pid, SIGKILL);
+                worker.deadline_killed = true;
+                ++core.stats.kills;
+                core.emit(WorkerEventKind::Kill, 0, worker.pid, "timeout");
+            } else {
+                timeout = static_cast<int>(remain) + 1;
+            }
+        }
+        pollfd pfd{worker.resp_fd, POLLIN, 0};
+        int rc = -1;
+        do {
+            rc = ::poll(&pfd, 1, timeout);
+        } while (rc < 0 && errno == EINTR);
+        if (rc == 0) continue;  // deadline check at loop top
+
+        const ReadStatus status = drain(worker);
+        if (auto frame = worker.buf.take_frame()) {
+            TaskResult result;
+            result.payload = std::move(*frame);
+            result.wall_ms = ms_since(worker.started);
+            worker.busy = false;
+            return result;
+        }
+        if (worker.buf.oversized()) {
+            ::kill(worker.pid, SIGKILL);
+            const pid_t pid = worker.pid;
+            const double wall = ms_since(worker.started);
+            (void)reap_worker(worker);
+            const DecodedExit decoded{ExitKind::WorkerExit, 0, -2};
+            core.count_outcome(decoded);
+            core.emit(WorkerEventKind::Exit, 0, pid, outcome_kind(decoded));
+            TaskResult result;
+            result.exit = decoded;
+            result.wall_ms = wall;
+            return result;
+        }
+        if (status == ReadStatus::Eof) {
+            const pid_t pid = worker.pid;
+            const double wall = ms_since(worker.started);
+            const DecodedExit decoded = reap_worker(worker);
+            core.count_outcome(decoded);
+            core.emit(WorkerEventKind::Exit, 0, pid, outcome_kind(decoded));
+            TaskResult result;
+            result.exit = decoded;
+            result.wall_ms = wall;
+            return result;
+        }
+    }
+}
+
+}  // namespace stc::sandbox

@@ -5,6 +5,7 @@
 // run and every benchmark table is bit-reproducible from its seed.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <limits>
 
@@ -49,8 +50,14 @@ public:
         return lo + unit * (hi - lo);
     }
 
-    /// Uniform index in [0, n). Requires n > 0.
+    /// Uniform index in [0, n).  Contract: n > 0 — asserted in debug
+    /// builds; in release, n == 0 returns 0 without advancing the
+    /// stream instead of executing a modulo-by-zero (the SIGFPE class
+    /// behind `rng.index(size - 1)` on a one-element container).  For
+    /// n > 0 the draw is unchanged, so seeded sequences are stable.
     std::size_t index(std::size_t n) noexcept {
+        assert(n > 0 && "Pcg32::index requires a non-empty range");
+        if (n == 0) return 0;
         return static_cast<std::size_t>(next64() % n);
     }
 

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <fstream>
+#include <iterator>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -123,6 +124,91 @@ TEST(Jsonl, ItemRecordRejectsMissingFields) {
     JsonObject o;
     o.set("key", "abc").set("fate", "killed");
     EXPECT_FALSE(ItemRecord::from_json(o).has_value());
+}
+
+// ----------------------------------------------------- store torn tails
+
+TEST(ResultStoreTornTail, TruncationAtEveryByteOffsetNeverFusesRecords) {
+    const std::string path = "/tmp/stc_store_torn_tail.jsonl";
+    const std::string fingerprint = "feedfacefeedface";
+
+    // Build a reference store, then remember its records and bytes.
+    std::remove(path.c_str());
+    std::vector<ItemRecord> originals;
+    {
+        ResultStore store(path, fingerprint);
+        for (int i = 0; i < 6; ++i) {
+            ItemRecord r;
+            r.key = "key" + std::to_string(i);
+            r.mutant_id = "Hostile::Segv@s0.IndVarRepReq.ONE";
+            r.item_index = static_cast<std::size_t>(i);
+            r.fate = "killed";
+            r.reason = "crash";
+            r.hit_by_suite = true;
+            r.killed_by_probe = (i % 2) == 0;
+            r.item_seed = 1000u + static_cast<std::uint64_t>(i);
+            r.wall_ms = 0.25 * i;
+            if (i % 2) r.sandbox = "crash-signal:11";
+            store.append(r);
+            originals.push_back(r);
+        }
+    }
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        bytes.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    }
+    ASSERT_GT(bytes.size(), 100u);
+
+    // Chop the file at every byte offset — every possible place a
+    // SIGKILL could land mid-append — and reopen.  The invariants:
+    // recovery never throws, every surviving record is byte-faithful
+    // to an original (a torn line never fuses into a plausible fake),
+    // and after recovery the store appends and reloads cleanly.
+    for (std::size_t cut = 0; cut <= bytes.size(); ++cut) {
+        SCOPED_TRACE("cut at byte " + std::to_string(cut));
+        {
+            std::ofstream out(path, std::ios::trunc | std::ios::binary);
+            out.write(bytes.data(), static_cast<std::streamsize>(cut));
+        }
+        ResultStore store(path, fingerprint);
+        EXPECT_LE(store.loaded(), originals.size());
+        std::size_t found = 0;
+        for (const ItemRecord& original : originals) {
+            const ItemRecord* r = store.find(original.key);
+            if (r == nullptr) continue;
+            ++found;
+            EXPECT_EQ(r->mutant_id, original.mutant_id);
+            EXPECT_EQ(r->item_index, original.item_index);
+            EXPECT_EQ(r->fate, original.fate);
+            EXPECT_EQ(r->reason, original.reason);
+            EXPECT_EQ(r->hit_by_suite, original.hit_by_suite);
+            EXPECT_EQ(r->killed_by_probe, original.killed_by_probe);
+            EXPECT_EQ(r->item_seed, original.item_seed);
+            EXPECT_DOUBLE_EQ(r->wall_ms, original.wall_ms);
+            EXPECT_EQ(r->sandbox, original.sandbox);
+        }
+        EXPECT_EQ(found, store.loaded());
+        EXPECT_LE(store.dropped(), 1u);  // at most the one torn line
+
+        // The recovered store must be appendable and then reload with
+        // nothing further dropped: the rewrite really fixed the file.
+        ItemRecord extra;
+        extra.key = "extra";
+        extra.mutant_id = "M";
+        extra.item_index = 99;
+        extra.fate = "alive";
+        extra.reason = "none";
+        extra.hit_by_suite = false;
+        store.append(extra);
+
+        ResultStore reopened(path, fingerprint);
+        EXPECT_EQ(reopened.dropped(), 0u);
+        EXPECT_EQ(reopened.loaded(), store.loaded() + 1);
+        ASSERT_NE(reopened.find("extra"), nullptr);
+        EXPECT_EQ(reopened.find("extra")->fate, "alive");
+    }
 }
 
 // ------------------------------------------------------------ thread pool

@@ -1,0 +1,205 @@
+// A deliberately dangerous self-testable component for sandbox tests:
+// each method carries one mutation site whose active mutants trigger a
+// REAL fault — a null-pointer write (SIGSEGV), a wall-clock busy loop,
+// or an allocation bomb — the fault classes the stc::sandbox subsystem
+// exists to survive.
+//
+// The real faults are double-gated:
+//   - they only fire while a mutant is active (the unmutated baseline,
+//     which the campaign scheduler always runs in the orchestrator
+//     process, is completely benign), and
+//   - they only fire when STC_HOSTILE_FAULTS=1 is in the environment;
+//     otherwise the method throws instead, which any in-process run
+//     survives as an ordinary uncaught-exception kill.
+// Tests set the variable only around isolated (forked) campaigns.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+#include "stc/bit/built_in_test.h"
+#include "stc/mutation/descriptor.h"
+#include "stc/mutation/frame.h"
+#include "stc/reflect/binder.h"
+#include "stc/tspec/builder.h"
+
+namespace stc::testing {
+
+/// True when the environment opts into genuine faults.
+inline bool hostile_faults_enabled() {
+    const char* v = std::getenv("STC_HOSTILE_FAULTS");
+    return v != nullptr && v[0] == '1';
+}
+
+/// Hostile component.  Each instrumented method has exactly one local
+/// (`sel`, initially 0) and one site on it, so the mutant population
+/// per method is hand-countable: BitNeg 1 + RepReq 5 = 6 (the RepReq
+/// ZERO mutant is value-preserving and stays alive/equivalent; every
+/// other mutant makes `sel` nonzero and pulls the trigger).
+class Hostile : public bit::BuiltInTest {
+public:
+    Hostile() = default;
+
+    static const mutation::MethodDescriptor& segv_descriptor();
+    static const mutation::MethodDescriptor& hang_descriptor();
+    static const mutation::MethodDescriptor& gobble_descriptor();
+
+    /// Mutant active (+ env gate): write through a null pointer.
+    void Segv();
+    /// Mutant active (+ env gate): burn wall-clock far past any sane
+    /// sandbox deadline (bounded at ~120 s so a forgotten gate cannot
+    /// wedge a build farm forever).
+    void Hang();
+    /// Mutant active (+ env gate): allocate-and-touch until RLIMIT_AS
+    /// makes `new` fail (the sandbox new-handler then _exits with the
+    /// reserved resource-limit code).  Bounded at 16 GiB of attempts.
+    void Gobble();
+
+    [[nodiscard]] int Calls() const { return calls_; }
+
+    void InvariantTest() const override {
+        STC_CLASS_INVARIANT(calls_ >= 0);
+    }
+
+    void Reporter(std::ostream& os) const override {
+        os << "Hostile{calls=" << calls_ << "}";
+    }
+
+private:
+    [[noreturn]] static void throw_gated(const char* what) {
+        throw std::runtime_error(std::string("hostile fault (gated): ") + what);
+    }
+
+    int calls_ = 0;
+};
+
+inline const mutation::MethodDescriptor& Hostile::segv_descriptor() {
+    static const mutation::MethodDescriptor d =
+        mutation::MethodDescriptor::Builder("Hostile", "Segv")
+            .local("sel", mutation::int_type())
+            .site("sel", "fault selector")  // s0
+            .build();
+    return d;
+}
+
+inline const mutation::MethodDescriptor& Hostile::hang_descriptor() {
+    static const mutation::MethodDescriptor d =
+        mutation::MethodDescriptor::Builder("Hostile", "Hang")
+            .local("sel", mutation::int_type())
+            .site("sel", "fault selector")  // s0
+            .build();
+    return d;
+}
+
+inline const mutation::MethodDescriptor& Hostile::gobble_descriptor() {
+    static const mutation::MethodDescriptor d =
+        mutation::MethodDescriptor::Builder("Hostile", "Gobble")
+            .local("sel", mutation::int_type())
+            .site("sel", "fault selector")  // s0
+            .build();
+    return d;
+}
+
+inline void Hostile::Segv() {
+    mutation::MutFrame frame(segv_descriptor());
+    int sel = 0;
+    frame.bind("sel", &sel);
+    sel = frame.use(0, sel);
+    ++calls_;
+    if (sel == 0) return;  // baseline / value-preserving mutant
+    if (!hostile_faults_enabled()) throw_gated("segv");
+    volatile int* null = nullptr;
+    *null = sel;  // real SIGSEGV
+}
+
+inline void Hostile::Hang() {
+    mutation::MutFrame frame(hang_descriptor());
+    int sel = 0;
+    frame.bind("sel", &sel);
+    sel = frame.use(0, sel);
+    ++calls_;
+    if (sel == 0) return;
+    if (!hostile_faults_enabled()) throw_gated("hang");
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    volatile std::uint64_t spin = 0;
+    while (std::chrono::steady_clock::now() < give_up) spin = spin + 1;
+    throw_gated("hang outlived its 120s bound");
+}
+
+inline void Hostile::Gobble() {
+    mutation::MutFrame frame(gobble_descriptor());
+    int sel = 0;
+    frame.bind("sel", &sel);
+    sel = frame.use(0, sel);
+    ++calls_;
+    if (sel == 0) return;
+    if (!hostile_faults_enabled()) throw_gated("gobble");
+    constexpr std::size_t kChunk = 8u << 20;  // 8 MiB
+    constexpr std::size_t kMaxChunks = 2048;  // 16 GiB bound
+    std::vector<std::unique_ptr<char[]>> hoard;
+    for (std::size_t i = 0; i < kMaxChunks; ++i) {
+        // Under RLIMIT_AS this `new` soon fails; the sandbox's
+        // new-handler _exits the child before bad_alloc can be thrown.
+        hoard.push_back(std::make_unique<char[]>(kChunk));
+        for (std::size_t off = 0; off < kChunk; off += 4096) {
+            hoard.back()[off] = static_cast<char>(off);
+        }
+    }
+    throw_gated("gobble hit its 16GiB bound without an allocation failure");
+}
+
+/// t-spec: ctor -> Segv -> Hang -> Gobble -> Calls -> death.  One
+/// linear path, so every generated transaction exercises all three
+/// hostile methods.
+inline tspec::ComponentSpec hostile_spec() {
+    tspec::SpecBuilder b("Hostile");
+    b.attr_range("calls_", 0, 1000);
+    b.method("m1", "Hostile", tspec::MethodCategory::Constructor);
+    b.method("m2", "~Hostile", tspec::MethodCategory::Destructor);
+    b.method("m3", "Segv", tspec::MethodCategory::New);
+    b.method("m4", "Hang", tspec::MethodCategory::New);
+    b.method("m5", "Gobble", tspec::MethodCategory::New);
+    b.method("m6", "Calls", tspec::MethodCategory::New, "int");
+
+    b.node("n1", true, {"m1"});
+    b.node("n2", false, {"m3"});
+    b.node("n3", false, {"m4"});
+    b.node("n4", false, {"m5"});
+    b.node("n5", false, {"m6"});
+    b.node("n6", false, {"m2"});
+    b.edge("n1", "n2");
+    b.edge("n2", "n3");
+    b.edge("n3", "n4");
+    b.edge("n4", "n5");
+    b.edge("n5", "n6");
+    return b.build();
+}
+
+inline reflect::ClassBinding hostile_binding() {
+    reflect::Binder<Hostile> b("Hostile");
+    b.ctor<>();
+    b.method("Segv", &Hostile::Segv);
+    b.method("Hang", &Hostile::Hang);
+    b.method("Gobble", &Hostile::Gobble);
+    b.method("Calls", &Hostile::Calls);
+    return b.take();
+}
+
+inline const mutation::DescriptorRegistry& hostile_descriptors() {
+    static const mutation::DescriptorRegistry registry = [] {
+        mutation::DescriptorRegistry r;
+        r.add(&Hostile::segv_descriptor());
+        r.add(&Hostile::hang_descriptor());
+        r.add(&Hostile::gobble_descriptor());
+        return r;
+    }();
+    return registry;
+}
+
+}  // namespace stc::testing

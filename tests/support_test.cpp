@@ -115,6 +115,32 @@ TEST(Pcg32, IndexCoversAllSlots) {
     EXPECT_EQ(seen.size(), 5u);
 }
 
+TEST(Pcg32, IndexZeroSizeContract) {
+    // index(0) is a contract violation: asserted in debug builds; in
+    // release it returns 0 WITHOUT advancing the stream instead of
+    // executing a modulo-by-zero (the SIGFPE class behind
+    // `rng.index(size - 1)` on a one-element container).
+#ifdef NDEBUG
+    Pcg32 a(9), b(9);
+    EXPECT_EQ(a.index(0), 0u);
+    // The degenerate draw did not advance the stream: both generators
+    // stay in lockstep.
+    for (int i = 0; i < 32; ++i) EXPECT_EQ(a.index(7), b.index(7));
+#else
+    EXPECT_DEATH({ Pcg32(9).index(0); }, "non-empty range");
+#endif
+}
+
+TEST(Pcg32, IndexSequencesAreUnchangedForPositiveSizes) {
+    // The zero-size guard must not perturb seeded sequences — golden
+    // corpora and campaign fingerprints depend on these draws.
+    Pcg32 rng(1234);
+    std::vector<std::size_t> draws;
+    for (int i = 0; i < 8; ++i) draws.push_back(rng.index(100));
+    Pcg32 again(1234);
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(again.index(100), draws[i]) << i;
+}
+
 // -------------------------------------------------------------- contracts
 
 TEST(Contracts, ExpectsThrowsContractError) {

@@ -44,6 +44,8 @@
 #include "stc/mutation/controller.h"
 #include "stc/mutation/report.h"
 #include "stc/obs/stats.h"
+#include "stc/sandbox/codec.h"
+#include "stc/sandbox/worker_pool.h"
 #include "stc/support/error.h"
 #include "stc/support/strings.h"
 #include "stc/tfm/coverage.h"
@@ -71,11 +73,13 @@ int usage(std::ostream& os) {
           "                 concat campaign <coblist|sortable> [--jobs N] [--seed N]\n"
           "                 [--cases N] [--probe] [--resume FILE]\n"
           "                 [--shrink-corpus DIR] [--max-shrink-steps N]\n"
+          "                 [--isolate [--timeout-ms N] [--rlimit-as MB]]\n"
           "                 [--telemetry-out FILE] [-o REPORT]\n"
           "  fuzz           coverage-guided transaction fuzzing of a built-in\n"
           "                 component:\n"
           "                 concat fuzz <coblist|sortable> [--iters N] [--seed N]\n"
           "                 [--corpus DIR] [--mutant ID] [--max-shrink-steps N]\n"
+          "                 [--isolate [--timeout-ms N] [--rlimit-as MB]]\n"
           "                 [--telemetry-out FILE] [-o REPORT]\n"
           "  shrink         re-shrink / verify one corpus entry:\n"
           "                 concat shrink <coblist|sortable> --case FILE\n"
@@ -100,6 +104,11 @@ int usage(std::ostream& os) {
           "  --resume FILE   (campaign) resumable result store (JSONL)\n"
           "  --telemetry-out F (campaign, fuzz) JSONL telemetry\n"
           "  --shrink-corpus D (campaign) shrink each kill into corpus dir D\n"
+          "  --isolate       (campaign, fuzz) run each item in a forked sandbox\n"
+          "                  worker: a real crash/hang/OOM kills only the worker\n"
+          "  --timeout-ms N  (with --isolate) per-item wall deadline, then SIGKILL\n"
+          "                  (default 5000; 0 disables)\n"
+          "  --rlimit-as MB  (with --isolate) worker address-space cap (RLIMIT_AS)\n"
           "  --iters N       (fuzz) exploration executions (default 500)\n"
           "  --corpus D      (fuzz, shrink) corpus directory for reproducers\n"
           "  --mutant ID     (fuzz, shrink) activate this mutant while running\n"
@@ -131,6 +140,9 @@ struct Options {
     std::optional<std::string> mutant_id;          // fuzz/shrink --mutant
     std::optional<std::string> case_path;          // shrink --case
     std::optional<std::string> shrink_corpus;      // campaign --shrink-corpus
+    bool isolate = false;                          // campaign/fuzz --isolate
+    std::uint64_t timeout_ms = 5000;               // --timeout-ms
+    std::uint64_t rlimit_as_mb = 0;                // --rlimit-as
     obs::Context obs;                              // built in main()
 };
 
@@ -167,12 +179,14 @@ bool flag_allowed(const std::string& command, const std::string& flag) {
         return any_of({"--seed", "--max-visits", "--cases", "--criterion",
                        "--states", "--jobs", "--probe", "--resume",
                        "--telemetry-out", "--shrink-corpus",
-                       "--max-shrink-steps"});
+                       "--max-shrink-steps", "--isolate", "--timeout-ms",
+                       "--rlimit-as"});
     }
     if (command == "fuzz") {
         return any_of({"--iters", "--seed", "--corpus", "--max-shrink-steps",
                        "--mutant", "--max-visits", "--cases",
-                       "--telemetry-out"});
+                       "--telemetry-out", "--isolate", "--timeout-ms",
+                       "--rlimit-as"});
     }
     if (command == "shrink") {
         return any_of(
@@ -321,6 +335,20 @@ std::optional<Options> parse_args(int argc, char** argv) {
             const auto v = next();
             if (!v) return std::nullopt;
             out.shrink_corpus = *v;
+        } else if (arg == "--isolate") {
+            out.isolate = true;
+        } else if (arg == "--timeout-ms") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            const auto n = parse_count(arg, *v);
+            if (!n) return std::nullopt;
+            out.timeout_ms = *n;
+        } else if (arg == "--rlimit-as") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            const auto n = parse_count(arg, *v);
+            if (!n) return std::nullopt;
+            out.rlimit_as_mb = *n;
         } else if (arg == "--top") {
             const auto v = next();
             if (!v) return std::nullopt;
@@ -562,6 +590,11 @@ int cmd_campaign(const Options& options) {
         campaign_options.spec = &component.spec();
         campaign_options.completions = &completions;
     }
+    if (options.isolate) {
+        campaign_options.isolate = true;
+        campaign_options.sandbox.timeout_ms = options.timeout_ms;
+        campaign_options.sandbox.rlimit_as_mb = options.rlimit_as_mb;
+    }
 
     const campaign::CampaignScheduler scheduler(component.registry(),
                                                 campaign_options);
@@ -579,6 +612,10 @@ int cmd_campaign(const Options& options) {
         if (outcome.fate == mutation::MutantFate::Killed) {
             report << "  [" << oracle::to_string(outcome.reason) << "]";
         }
+        // Sandbox termination kind, set only under --isolate for items
+        // whose worker died — absent everywhere else, so in-process and
+        // isolated reports stay byte-identical for non-crashing mutants.
+        if (!outcome.sandbox.empty()) report << "  {" << outcome.sandbox << "}";
         report << "\n";
     }
     report << "\n";
@@ -595,6 +632,7 @@ int cmd_campaign(const Options& options) {
               << " executed=" << result.stats.executed
               << " resumed=" << result.stats.resumed
               << " steals=" << result.stats.steals
+              << " respawns=" << result.stats.respawns
               << " shrunk=" << result.stats.shrunk
               << " wall_ms=" << result.stats.wall_ms << "\n";
 
@@ -657,13 +695,59 @@ int cmd_fuzz(const Options& options) {
     runner_options.obs = options.obs;
     const driver::TestRunner runner(component->registry(), runner_options);
     const reflect::ClassBinding& binding = component->registry().at(class_name);
-    const fuzz::CaseRunner case_runner =
+
+    const auto run_in_process =
         [&](const driver::TestCase& tc) -> driver::TestResult {
         if (*mutant) {
             const mutation::MutantActivation active(**mutant);
             return runner.run_case(binding, tc);
         }
         return runner.run_case(binding, tc);
+    };
+
+    // --isolate: replay each case in a persistent forked worker.  The
+    // case travels as a one-case concat-suite (the corpus transport:
+    // serialize, reload, recomplete); the reply is the encoded result.
+    // A worker death surfaces as a Crash verdict whose failed_method is
+    // the termination kind, so a genuine SIGSEGV/hang/OOM dedupes as a
+    // finding ("crash|crash-signal:11") instead of ending the run.
+    std::optional<sandbox::SandboxRunner> isolated;
+    if (options.isolate) {
+        const sandbox::Job job = [&](const std::string& payload) -> std::string {
+            std::istringstream in(payload);
+            driver::TestSuite one = driver::load_suite(in);
+            driver::recomplete_suite(one, completions, one.seed);
+            if (one.cases.empty()) throw Error("sandbox: empty case payload");
+            return sandbox::encode_result(run_in_process(one.cases.front()));
+        };
+        sandbox::SandboxLimits limits;
+        limits.timeout_ms = options.timeout_ms;
+        limits.rlimit_as_mb = options.rlimit_as_mb;
+        isolated.emplace(job, limits);
+    }
+
+    const fuzz::CaseRunner case_runner =
+        [&](const driver::TestCase& tc) -> driver::TestResult {
+        if (!isolated) return run_in_process(tc);
+        driver::TestSuite one;
+        one.class_name = class_name;
+        one.seed = options.generator.seed;
+        one.cases.push_back(tc);
+        std::ostringstream out;
+        driver::save_suite(out, one);
+        const sandbox::TaskResult task = isolated->call(out.str());
+        if (task.ok()) {
+            if (auto decoded = sandbox::decode_result(task.payload)) {
+                return *decoded;
+            }
+        }
+        driver::TestResult result;
+        result.case_id = tc.id;
+        result.verdict = driver::Verdict::Crash;
+        result.failed_method = task.ok() ? "worker-exit:-3" : task.outcome();
+        result.message =
+            "sandbox: worker terminated (" + result.failed_method + ")";
+        return result;
     };
 
     fuzz::FuzzOptions fuzz_options;
@@ -742,22 +826,31 @@ int cmd_fuzz(const Options& options) {
                           .set("verdict", name)
                           .set("count", count));
         }
-        sink.emit(obs::JsonObject{}
-                      .set("event", "fuzz-end")
-                      .set("iterations",
-                           static_cast<std::uint64_t>(result.stats.iterations))
-                      .set("executions",
-                           static_cast<std::uint64_t>(result.stats.executions))
-                      .set("interesting",
-                           static_cast<std::uint64_t>(result.stats.interesting))
-                      .set("population",
-                           static_cast<std::uint64_t>(result.stats.population))
-                      .set("nodes",
-                           static_cast<std::uint64_t>(result.stats.nodes_covered))
-                      .set("edges",
-                           static_cast<std::uint64_t>(result.stats.edges_covered))
-                      .set("findings",
-                           static_cast<std::uint64_t>(result.findings.size())));
+        obs::JsonObject end;
+        end.set("event", "fuzz-end")
+            .set("iterations",
+                 static_cast<std::uint64_t>(result.stats.iterations))
+            .set("executions",
+                 static_cast<std::uint64_t>(result.stats.executions))
+            .set("interesting",
+                 static_cast<std::uint64_t>(result.stats.interesting))
+            .set("population",
+                 static_cast<std::uint64_t>(result.stats.population))
+            .set("nodes",
+                 static_cast<std::uint64_t>(result.stats.nodes_covered))
+            .set("edges",
+                 static_cast<std::uint64_t>(result.stats.edges_covered))
+            .set("findings", static_cast<std::uint64_t>(result.findings.size()));
+        if (isolated) {
+            const sandbox::PoolStats& sandbox_stats = isolated->stats();
+            end.set("sandbox_spawns",
+                    static_cast<std::uint64_t>(sandbox_stats.spawned))
+                .set("sandbox_respawns",
+                     static_cast<std::uint64_t>(sandbox_stats.respawned))
+                .set("sandbox_kills",
+                     static_cast<std::uint64_t>(sandbox_stats.kills));
+        }
+        sink.emit(end);
     }
 
     std::ostringstream report;
