@@ -30,6 +30,10 @@ struct ItemRecord {
     std::string reason;     ///< oracle::to_string(KillReason)
     bool hit_by_suite = false;
     bool killed_by_probe = false;
+    /// Killed only by the reference-model channel
+    /// (MutantOutcome::model_only).  Serialized only when true, so
+    /// stores from model-less campaigns are byte-unchanged.
+    bool model_only = false;
     std::uint64_t item_seed = 0;
     double wall_ms = 0.0;
     /// Sandbox termination kind ("crash-signal:<n>" / "timeout" /

@@ -20,6 +20,7 @@ JsonObject ItemRecord::to_json() const {
         .set("probe_kill", killed_by_probe)
         .set("item_seed", item_seed)
         .set("wall_ms", wall_ms);
+    if (model_only) o.set("model_only", true);
     if (!sandbox.empty()) o.set("sandbox", sandbox);
     return o;
 }
@@ -43,6 +44,7 @@ std::optional<ItemRecord> ItemRecord::from_json(const JsonObject& o) {
     r.reason = *reason;
     r.hit_by_suite = *hit;
     r.killed_by_probe = *probe_kill;
+    r.model_only = o.get_bool("model_only").value_or(false);
     r.item_seed = o.get_uint("item_seed").value_or(0);
     r.wall_ms = o.get_double("wall_ms").value_or(0.0);
     r.sandbox = o.get_string("sandbox").value_or("");

@@ -79,6 +79,12 @@ std::string CampaignScheduler::fingerprint(
     h = absorb(h, static_cast<std::uint64_t>((runner.check_invariants ? 1 : 0) |
                                              (runner.capture_reports ? 2 : 0) |
                                              (runner.observe_each_call ? 4 : 0)));
+    // The model oracle changes what "killed" means, so it is campaign
+    // identity — but only when actually engaged, keeping every
+    // pre-model store fingerprint (and thus resumability) intact.
+    if (runner.model != nullptr && runner.model->valid() && oracle.use_model) {
+        h = absorb(h, "model-oracle");
+    }
     if (probe_suite != nullptr) h = absorb_suite(h, *probe_suite);
     return to_hex(h);
 }
@@ -186,6 +192,9 @@ CampaignResult CampaignScheduler::run(
                    .set("mutants", static_cast<std::uint64_t>(mutants.size()))
                    .set("cases", static_cast<std::uint64_t>(suite.cases.size()))
                    .set("probe", probe_suite != nullptr)
+                   .set("model", engine.runner.model != nullptr &&
+                                     engine.runner.model->valid() &&
+                                     engine.oracle.use_model)
                    .set("baseline_clean", out.run.baseline_clean));
 
     // Resume pass (single-threaded, before the pool starts): restore
@@ -215,6 +224,7 @@ CampaignResult CampaignScheduler::run(
         outcome.reason = *reason;
         outcome.hit_by_suite = record->hit_by_suite;
         outcome.killed_by_probe = record->killed_by_probe;
+        outcome.model_only = record->model_only;
         outcome.sandbox = record->sandbox;
         ++out.stats.resumed;
         trace.emit(JsonObject()
@@ -222,7 +232,8 @@ CampaignResult CampaignScheduler::run(
                        .set("item", static_cast<std::uint64_t>(item.index))
                        .set("mutant", item.mutant->id())
                        .set("fate", record->fate)
-                       .set("reason", record->reason));
+                       .set("reason", record->reason)
+                       .set("model_only", record->model_only));
     }
 
     options_.obs.tracer.end(std::move(resume_span));
@@ -305,6 +316,20 @@ CampaignResult CampaignScheduler::run(
         return persisted.reproducible;
     };
 
+    // One kill-reason declaration per kind at campaign end, so `concat
+    // stats` renders every detector as a row — zero-count included —
+    // instead of silently dropping the kinds that never fired.
+    const auto emit_kill_reason_rows = [&] {
+        for (const oracle::KillReason reason : oracle::kAllKillReasons) {
+            if (reason == oracle::KillReason::None) continue;
+            trace.emit(JsonObject()
+                           .set("event", "kill-reason")
+                           .set("reason", oracle::to_string(reason))
+                           .set("kills", static_cast<std::uint64_t>(
+                                             out.run.kills_by(reason))));
+        }
+    };
+
     // Parallel phase: each pending item evaluates on some worker and
     // writes only its own outcome slot.
     const auto t0 = Clock::now();
@@ -383,6 +408,7 @@ CampaignResult CampaignScheduler::run(
                 .set("reason", oracle::to_string(outcome.reason))
                 .set("hit", outcome.hit_by_suite)
                 .set("probe_kill", outcome.killed_by_probe)
+                .set("model_only", outcome.model_only)
                 .set("shrunk", false)
                 .set("item_seed", item.item_seed)
                 .set("wall_ms", result.wall_ms);
@@ -400,6 +426,7 @@ CampaignResult CampaignScheduler::run(
                 record.reason = oracle::to_string(outcome.reason);
                 record.hit_by_suite = outcome.hit_by_suite;
                 record.killed_by_probe = outcome.killed_by_probe;
+                record.model_only = outcome.model_only;
                 record.item_seed = item.item_seed;
                 record.wall_ms = result.wall_ms;
                 record.sandbox = outcome.sandbox;
@@ -418,6 +445,7 @@ CampaignResult CampaignScheduler::run(
 
         out.run.outcomes = std::move(outcomes);
 
+        emit_kill_reason_rows();
         trace.emit(JsonObject()
                        .set("event", "campaign-end")
                        .set("campaign", out.fingerprint)
@@ -427,6 +455,8 @@ CampaignResult CampaignScheduler::run(
                        .set("resumed",
                             static_cast<std::uint64_t>(out.stats.resumed))
                        .set("killed", static_cast<std::uint64_t>(out.run.killed()))
+                       .set("killed_model_only",
+                            static_cast<std::uint64_t>(out.run.kills_model_only()))
                        .set("equivalent",
                             static_cast<std::uint64_t>(out.run.equivalent()))
                        .set("not_covered",
@@ -472,6 +502,7 @@ CampaignResult CampaignScheduler::run(
                     .set("reason", oracle::to_string(outcome.reason))
                     .set("hit", outcome.hit_by_suite)
                     .set("probe_kill", outcome.killed_by_probe)
+                    .set("model_only", outcome.model_only)
                     .set("shrunk", shrunk_flags[item->index] != 0)
                     .set("item_seed", item->item_seed)
                     .set("wall_ms", wall));
@@ -485,6 +516,7 @@ CampaignResult CampaignScheduler::run(
                 record.reason = oracle::to_string(outcome.reason);
                 record.hit_by_suite = outcome.hit_by_suite;
                 record.killed_by_probe = outcome.killed_by_probe;
+                record.model_only = outcome.model_only;
                 record.item_seed = item->item_seed;
                 record.wall_ms = wall;
                 store->append(record);
@@ -511,6 +543,7 @@ CampaignResult CampaignScheduler::run(
 
     out.run.outcomes = std::move(outcomes);
 
+    emit_kill_reason_rows();
     trace.emit(JsonObject()
                    .set("event", "campaign-end")
                    .set("campaign", out.fingerprint)
@@ -518,6 +551,8 @@ CampaignResult CampaignScheduler::run(
                    .set("executed", static_cast<std::uint64_t>(out.stats.executed))
                    .set("resumed", static_cast<std::uint64_t>(out.stats.resumed))
                    .set("killed", static_cast<std::uint64_t>(out.run.killed()))
+                   .set("killed_model_only",
+                        static_cast<std::uint64_t>(out.run.kills_model_only()))
                    .set("equivalent",
                         static_cast<std::uint64_t>(out.run.equivalent()))
                    .set("not_covered",

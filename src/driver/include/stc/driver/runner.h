@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "stc/bit/assertions.h"
+#include "stc/driver/lockstep.h"
 #include "stc/driver/test_case.h"
 #include "stc/obs/context.h"
 #include "stc/reflect/class_binding.h"
@@ -35,6 +36,9 @@ enum class Verdict {
     SetupError,          ///< constructor/binding failure before the test body
     ContractNotEnforced, ///< a negative call was ACCEPTED: the component
                          ///< failed to reject an out-of-contract input
+    ModelDivergence,     ///< the run disagreed with the lockstep reference
+                         ///< model (only with RunnerOptions::promote_divergence;
+                         ///< campaigns keep divergence as a side channel)
 };
 
 [[nodiscard]] const char* to_string(Verdict v) noexcept;
@@ -51,6 +55,7 @@ inline constexpr Verdict kAllVerdicts[] = {
     Verdict::Pass,       Verdict::AssertionViolation,
     Verdict::Crash,      Verdict::UncaughtException,
     Verdict::SetupError, Verdict::ContractNotEnforced,
+    Verdict::ModelDivergence,
 };
 
 struct TestResult {
@@ -61,6 +66,13 @@ struct TestResult {
     std::optional<bit::AssertionKind> assertion_kind;
     std::string report;          ///< Reporter output (observable state)
     std::string log;             ///< per-case log in the Fig. 6 format
+    /// First disagreement with the lockstep reference model, when one
+    /// was attached ("call 3 RemoveHead(): return expected ... got ...");
+    /// empty otherwise.  A side channel: never part of report/log, so a
+    /// run with a model attached produces byte-identical reports to one
+    /// without — the differential oracle compares this field against
+    /// the golden baseline's.
+    std::string model_divergence;
 
     [[nodiscard]] bool passed() const noexcept { return verdict == Verdict::Pass; }
 };
@@ -83,6 +95,19 @@ struct RunnerOptions {
     /// When non-empty, the suite log is also appended to this file — the
     /// literal "Result.txt" behaviour of the paper's generated drivers.
     std::string log_path;
+    /// Lockstep reference model (stc::model): when set and valid, every
+    /// test case mirrors its calls into a fresh model instance and
+    /// records the first divergence in TestResult::model_divergence.
+    /// Observation is read-only on the CUT, so attaching a model never
+    /// changes verdicts, reports, or mutation hit tracking.  Non-owning;
+    /// must outlive the runner.
+    const ModelBinding* model = nullptr;
+    /// Promote a divergence on an otherwise-PASSING case to
+    /// Verdict::ModelDivergence (failed_method = the diverging call,
+    /// message = the divergence).  Used by the fuzz/run paths, where
+    /// verdicts are the signal; campaigns leave this off and classify
+    /// the side channel differentially instead.
+    bool promote_divergence = false;
     /// Observability: suite/test-case/method-call/invariant-check spans,
     /// verdict and assertion counters, per-case latency.  Disabled by
     /// default at near-zero cost; safe to share across runner copies on

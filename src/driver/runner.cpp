@@ -17,6 +17,7 @@ const char* to_string(Verdict v) noexcept {
         case Verdict::UncaughtException: return "uncaught-exception";
         case Verdict::SetupError: return "setup-error";
         case Verdict::ContractNotEnforced: return "contract-not-enforced";
+        case Verdict::ModelDivergence: return "model-divergence";
     }
     return "?";
 }
@@ -187,6 +188,51 @@ TestResult TestRunner::run_case(const reflect::ClassBinding& binding,
 
     CutGuard cut(binding, raw);
 
+    // --- Lockstep reference model (differential oracle seam) ---------------
+    // Mirrors every successful call into a fresh model instance and
+    // records the first disagreement.  Strictly read-only on the CUT:
+    // the projection uses uninstrumented const accessors only, so the
+    // live run (verdicts, reports, mutation hits) is byte-identical
+    // with or without a model attached.
+    std::unique_ptr<LockstepModel> model;
+    bool model_engaged = false;
+    std::string diverged_method;
+    auto model_diverge = [&](const std::string& method, std::size_t call_index,
+                             const char* aspect, const std::string& expected,
+                             const std::string& actual) {
+        std::ostringstream os;
+        os << "call " << call_index << " " << method << ": " << aspect
+           << " expected \"" << expected << "\" got \"" << actual << "\"";
+        result.model_divergence = os.str();
+        diverged_method = method;
+        options_.obs.metrics.add("model.divergences");
+        model_engaged = false;  // first divergence is the finding; stop there
+    };
+    auto model_compare_state = [&](const std::string& method,
+                                   std::size_t call_index) {
+        if (!model_engaged) return;
+        const std::string live = options_.model->project(cut.get());
+        const std::string predicted = model->abstract_state();
+        if (live != predicted) {
+            model_diverge(method, call_index, "state", predicted, live);
+        }
+    };
+    if (options_.model != nullptr && options_.model->valid()) {
+        try {
+            model = options_.model->factory();
+            model_engaged =
+                model != nullptr && model->construct(ctor->arguments);
+            if (model_engaged) {
+                const obs::SpanScope span(options_.obs.tracer, "model-compare",
+                                          ctor->method_name);
+                options_.obs.metrics.add("model.compares");
+                model_compare_state(ctor->render(), 0);
+            }
+        } catch (...) {
+            model_engaged = false;  // a broken model must never fail the run
+        }
+    }
+
     // --- Optional mid-life entry: apply the predefined state (§3.3) -------
     if (!test_case.entry_state.empty()) {
         current_method = "<set-state:" + test_case.entry_state + ">";
@@ -205,6 +251,14 @@ TestResult TestRunner::run_case(const reflect::ClassBinding& binding,
             record_failure(Verdict::UncaughtException, e.what());
             finish();
             return result;
+        }
+        if (model_engaged) {
+            try {
+                model_engaged = model->apply_state(test_case.entry_state);
+                model_compare_state(current_method, 0);
+            } catch (...) {
+                model_engaged = false;
+            }
         }
     }
 
@@ -259,6 +313,32 @@ TestResult TestRunner::run_case(const reflect::ClassBinding& binding,
                 binding.invoke(cut.get(), call.method_name, call.arguments);
             if (options_.check_invariants) observe_invariant(cut.get());
 
+            if (model_engaged) {
+                const obs::SpanScope span(options_.obs.tracer, "model-compare",
+                                          call.method_name);
+                options_.obs.metrics.add("model.compares");
+                try {
+                    const ModelPrediction prediction = model->apply(call);
+                    if (!prediction.modeled) {
+                        model_engaged = false;  // modelling gap, not a finding
+                    } else {
+                        const std::string actual =
+                            rv.is_empty() ? std::string() : render_return(rv);
+                        const std::string expected =
+                            prediction.has_return ? prediction.rendered_return
+                                                  : std::string();
+                        if (expected != actual) {
+                            model_diverge(call.render(), i, "return", expected,
+                                          actual);
+                        } else {
+                            model_compare_state(call.render(), i);
+                        }
+                    }
+                } catch (...) {
+                    model_engaged = false;
+                }
+            }
+
             if (!rv.is_empty()) {
                 observations << call.method_name << " -> " << render_return(rv)
                              << "\n";
@@ -277,7 +357,14 @@ TestResult TestRunner::run_case(const reflect::ClassBinding& binding,
                 }
                 cut.reset();
             }
-            log << "TestCase " << test_case.id << " OK!\n";
+            if (options_.promote_divergence &&
+                !result.model_divergence.empty()) {
+                current_method = diverged_method;
+                record_failure(Verdict::ModelDivergence,
+                               result.model_divergence);
+            } else {
+                log << "TestCase " << test_case.id << " OK!\n";
+            }
         }
     } catch (const bit::AssertionViolation& av) {
         result.assertion_kind = av.assertion_kind();

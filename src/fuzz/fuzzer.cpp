@@ -33,6 +33,7 @@ bool is_failure(driver::Verdict v) noexcept {
         case driver::Verdict::Crash:
         case driver::Verdict::UncaughtException:
         case driver::Verdict::ContractNotEnforced:
+        case driver::Verdict::ModelDivergence:
             return true;
         case driver::Verdict::Pass:
         case driver::Verdict::SetupError:  // infrastructure, not the CUT

@@ -1,0 +1,43 @@
+// stc::model — reference models for the differential conformance oracle.
+//
+// A reference model is a cheap, obviously-correct implementation of a
+// component's *specified* behaviour, run in lockstep with the component
+// under test (driver/lockstep.h).  After every method call the runner
+// compares the model's predicted return rendering and its abstracted
+// state projection against the live object; the first disagreement is a
+// model divergence — a kill signal (KillReason::ModelDivergence) that
+// needs no assertion to fire and no golden report to differ, closing
+// part of the partial-oracle gap the paper concedes in §4.
+//
+// Models ship here, beside the components they mirror, and register by
+// class name: the CLI's --model flag resolves `binding_for(class)` and
+// attaches it to RunnerOptions::model.  The two concrete models cover
+// the paper's experimental subjects: a std::vector<const CObject*>
+// model of stc::mfc::CObList, and its ordered extension for
+// CSortableObList.  Their prediction logic mirrors the *binding
+// wrappers* of stc::mfc::component.cpp (the tester-facing semantics:
+// "<noop>" on empty removal, index-modulo completion, "<empty>"
+// find-on-empty), because those wrappers define what the observation
+// log records.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stc/driver/lockstep.h"
+
+namespace stc::model {
+
+/// Lockstep binding for `class_name`, or nullptr when no reference
+/// model is registered for it.  The returned binding points into
+/// static storage (valid for the process lifetime, safe to share
+/// across threads; models themselves are created per test case).
+[[nodiscard]] const driver::ModelBinding* binding_for(
+    const std::string& class_name);
+
+/// Class names with a registered reference model, sorted — for CLI
+/// diagnostics ("--model is not available for class X; models exist
+/// for: ...").
+[[nodiscard]] std::vector<std::string> modeled_classes();
+
+}  // namespace stc::model

@@ -45,6 +45,14 @@ std::size_t MutationRun::kills_by(oracle::KillReason reason) const noexcept {
     return n;
 }
 
+std::size_t MutationRun::kills_model_only() const noexcept {
+    std::size_t n = 0;
+    for (const auto& o : outcomes) {
+        n += (o.fate == MutantFate::Killed && o.model_only) ? 1 : 0;
+    }
+    return n;
+}
+
 std::size_t MutationRun::not_covered() const noexcept {
     std::size_t n = 0;
     for (const auto& o : outcomes) n += o.fate == MutantFate::NotCovered ? 1 : 0;
@@ -143,9 +151,16 @@ MutantOutcome evaluate_mutant(const Mutant& mutant,
         const MutantActivation activation(mutant);
         const driver::SuiteResult mutated = run_suite();
         outcome.hit_by_suite = controller.hit();
-        outcome.reason = oracle::classify_suite(golden, mutated, options.oracle,
+        // Both legs of the differential classification come from the
+        // SAME mutated run — the model is a passive side channel, so
+        // "what would the assertion-only oracle have said" needs no
+        // second execution.
+        const oracle::DifferentialKill differential =
+            oracle::classify_suite_differential(golden, mutated, options.oracle,
                                                 options.manual_oracle,
                                                 options.obs);
+        outcome.reason = differential.with_model;
+        outcome.model_only = differential.model_only();
     }
 
     if (outcome.reason != oracle::KillReason::None) {

@@ -52,6 +52,12 @@ struct MutantOutcome {
     oracle::KillReason reason = oracle::KillReason::None;  ///< when Killed
     bool hit_by_suite = false;
     bool killed_by_probe = false;  ///< alive on the suite, killable in principle
+    /// Killed only because the reference model diverged: the
+    /// assertion/crash/output-diff oracle alone would have let this
+    /// mutant survive the suite (oracle::DifferentialKill::model_only).
+    /// Always false for non-killed fates and for runs without a model
+    /// binding, so legacy stores rehydrate unchanged.
+    bool model_only = false;
     /// How the sandbox terminated this item, when it did not finish
     /// normally: "crash-signal:<n>", "timeout", "resource-limit" or
     /// "worker-exit:<c>" (stc::sandbox, docs/FORMATS.md §8).  Empty for
@@ -84,6 +90,11 @@ struct MutationRun {
     [[nodiscard]] std::size_t equivalent() const noexcept;
     [[nodiscard]] std::size_t not_covered() const noexcept;
     [[nodiscard]] std::size_t kills_by(oracle::KillReason reason) const noexcept;
+
+    /// Mutants the reference model alone killed — the oracle-strength
+    /// headline: how much the differential oracle adds over the
+    /// assertion/crash/output-diff detectors (docs/GUIDE.md §8).
+    [[nodiscard]] std::size_t kills_model_only() const noexcept;
 
     /// The paper's mutation score: killed / (total - equivalent).
     /// NaN-free: returns 1.0 when no non-equivalent mutants exist.

@@ -114,8 +114,11 @@ void MutationTable::render(std::ostream& os, const MutationRun& run) const {
 
     os << "kills by reason: crash=" << run.kills_by(oracle::KillReason::Crash)
        << "  assertion=" << run.kills_by(oracle::KillReason::Assertion)
+       << "  model-divergence=" << run.kills_by(oracle::KillReason::ModelDivergence)
        << "  output-diff=" << run.kills_by(oracle::KillReason::OutputDiff)
        << "  manual-oracle=" << run.kills_by(oracle::KillReason::ManualOracle) << "\n";
+    os << "oracle strength: killed-only-by-model=" << run.kills_model_only()
+       << "\n";
 
     std::size_t not_covered = 0;
     std::size_t killed_by_probe = 0;

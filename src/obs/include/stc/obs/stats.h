@@ -31,6 +31,9 @@ struct TelemetryStats {
         /// "resource-limit" / "worker-exit:<c>"); empty when the item
         /// ran to completion (docs/FORMATS.md §8).
         std::string sandbox;
+        /// Killed only by the reference-model oracle (the item-finish /
+        /// item-resumed `model_only` field); false for model-less runs.
+        bool model_only = false;
         double wall_ms = 0.0;
         std::uint64_t worker = 0;
         bool has_timing = false;  ///< false for resumed items
@@ -50,6 +53,9 @@ struct TelemetryStats {
     std::uint64_t jobs = 0;
     std::uint64_t declared_mutants = 0;
     std::uint64_t cases = 0;
+    /// The campaign ran with the differential model oracle attached
+    /// (campaign-start `model` field; false for pre-model streams).
+    bool model = false;
 
     // Stream shape.
     std::size_t generations = 0;       ///< campaign-start events seen
@@ -61,6 +67,11 @@ struct TelemetryStats {
 
     std::vector<Item> items;  ///< sorted by index
     std::size_t shrunk_items = 0;  ///< item-finish events with a persisted reproducer
+    /// Kill-reason names the stream declared (one `kill-reason` event
+    /// per kind at campaign end) — rows for the kill-reason table even
+    /// at count zero, so a detector that never fired stays visible.
+    /// Empty for streams older than the declaration events.
+    std::vector<std::string> declared_kill_reasons;
 
     // Fuzz stream (fuzz-start / fuzz-finding / fuzz-verdict / fuzz-end
     // events, emitted by `concat fuzz`).  A telemetry file may hold a
@@ -108,8 +119,12 @@ struct TelemetryStats {
     /// fate -> item count, over the deduplicated items.
     [[nodiscard]] std::map<std::string, std::size_t> fate_counts() const;
 
-    /// kill reason -> count, over the killed items.
+    /// kill reason -> count, over the killed items; pre-seeded with a
+    /// zero row for every declared kill-reason kind.
     [[nodiscard]] std::map<std::string, std::size_t> kill_reasons() const;
+
+    /// Mutants killed only by the reference-model oracle.
+    [[nodiscard]] std::size_t model_only_kills() const;
 
     /// sandbox termination kind -> count, over the sandbox-terminated
     /// items (empty map for an in-process run).

@@ -37,6 +37,7 @@ TelemetryStats TelemetryStats::from_stream(std::istream& in) {
         item.fate = event.get_string("fate").value_or("?");
         item.reason = event.get_string("reason").value_or("?");
         item.sandbox = event.get_string("sandbox").value_or("");
+        item.model_only = event.get_bool("model_only").value_or(false);
         if (finished) {
             item.wall_ms = event.get_double("wall_ms").value_or(0.0);
             item.worker = event.get_uint("worker").value_or(0);
@@ -68,6 +69,13 @@ TelemetryStats TelemetryStats::from_stream(std::istream& in) {
             out.jobs = event->get_uint("jobs").value_or(0);
             out.declared_mutants = event->get_uint("mutants").value_or(0);
             out.cases = event->get_uint("cases").value_or(0);
+            out.model = event->get_bool("model").value_or(false);
+            // A new generation re-declares its kill-reason rows.
+            out.declared_kill_reasons.clear();
+        } else if (kind == "kill-reason") {
+            if (const auto name = event->get_string("reason")) {
+                out.declared_kill_reasons.push_back(*name);
+            }
         } else if (kind == "item-start") {
             ++out.starts;
         } else if (kind == "item-finish") {
@@ -138,8 +146,19 @@ std::map<std::string, std::size_t> TelemetryStats::fate_counts() const {
 
 std::map<std::string, std::size_t> TelemetryStats::kill_reasons() const {
     std::map<std::string, std::size_t> out;
+    // Declared kinds first: a detector that killed nothing renders as
+    // an explicit zero row instead of silently vanishing.
+    for (const std::string& name : declared_kill_reasons) out[name];
     for (const Item& item : items) {
         if (item.fate == "killed") ++out[item.reason];
+    }
+    return out;
+}
+
+std::size_t TelemetryStats::model_only_kills() const {
+    std::size_t out = 0;
+    for (const Item& item : items) {
+        out += (item.fate == "killed" && item.model_only) ? 1 : 0;
     }
     return out;
 }
@@ -210,6 +229,26 @@ void TelemetryStats::render(std::ostream& os, std::size_t top) const {
         for (const auto& [reason, count] : reasons) {
             table.add_row({reason, std::to_string(count)});
         }
+        table.render(os);
+        os << "\n";
+    }
+
+    // Oracle strength (model-oracle campaigns): how many kills the
+    // base assertion/crash/output-diff oracle scored on its own versus
+    // kills that exist only because the reference model diverged —
+    // the Table 2-style with/without comparison of docs/GUIDE.md §8.
+    if (model && !items.empty()) {
+        std::size_t total_killed = 0;
+        for (const Item& item : items) {
+            total_killed += item.fate == "killed" ? 1 : 0;
+        }
+        const std::size_t only_model = model_only_kills();
+        support::TextTable table({"oracle strength", "mutants"});
+        table.add_row({"killed by base oracle",
+                       std::to_string(total_killed - only_model)});
+        table.add_row({"killed only by model", std::to_string(only_model)});
+        table.add_row({"survived", std::to_string(items.size() - total_killed)});
+        table.add_footer({"total", std::to_string(items.size())});
         table.render(os);
         os << "\n";
     }

@@ -43,11 +43,7 @@ std::string decode(const std::string& s) {
 }
 
 driver::Verdict parse_verdict(const std::string& word, int lineno) {
-    using driver::Verdict;
-    for (Verdict v :
-         {Verdict::Pass, Verdict::AssertionViolation, Verdict::Crash,
-          Verdict::UncaughtException, Verdict::SetupError,
-          Verdict::ContractNotEnforced}) {
+    for (const driver::Verdict v : driver::kAllVerdicts) {
         if (word == to_string(v)) return v;
     }
     throw Error("golden line " + std::to_string(lineno) + ": unknown verdict '" +

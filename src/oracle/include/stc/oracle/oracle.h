@@ -31,6 +31,11 @@ struct GoldenEntry {
     driver::Verdict verdict = driver::Verdict::Pass;
     std::string report;   ///< Reporter output (observable object state)
     std::string message;  ///< failure message, if the baseline itself failed
+    /// Reference-model divergence recorded by the baseline run, when a
+    /// lockstep model was attached (normally empty: the unmutated
+    /// component conforms).  Lets the differential channel require a
+    /// divergence the original did NOT show, mirroring condition (ii).
+    std::string model_divergence;
 };
 
 /// Baseline behaviour of a whole suite.
@@ -56,7 +61,23 @@ private:
 };
 
 /// Why a difference was detected (also: why a mutant was killed).
-enum class KillReason { None, Crash, Assertion, OutputDiff, ManualOracle };
+enum class KillReason {
+    None,
+    Crash,
+    Assertion,
+    ModelDivergence,  ///< lockstep reference model disagreed (stc::model)
+    OutputDiff,
+    ManualOracle,
+};
+
+/// All kill reasons, for exhaustive iteration (round-trip tests,
+/// reporters that must render zero-count rows rather than silently
+/// dropping a kind).
+inline constexpr KillReason kAllKillReasons[] = {
+    KillReason::None,          KillReason::Crash,      KillReason::Assertion,
+    KillReason::ModelDivergence, KillReason::OutputDiff,
+    KillReason::ManualOracle,
+};
 
 [[nodiscard]] const char* to_string(KillReason reason) noexcept;
 
@@ -72,6 +93,13 @@ struct OracleConfig {
     bool use_crashes = true;
     bool use_assertions = true;
     bool use_output_diff = true;
+    /// Differential channel: a run whose TestResult::model_divergence is
+    /// non-empty while the golden baseline's is empty kills with
+    /// KillReason::ModelDivergence.  On by default but vacuous unless a
+    /// lockstep model was attached to the runner (without one the
+    /// divergence strings are always empty).  Toggled off for the
+    /// "without the model" leg of the oracle-strength comparison.
+    bool use_model = true;
 };
 
 /// A manually derived oracle (paper §3.3: "manually derived oracles are
@@ -95,5 +123,28 @@ using ManualPredicate =
                                         const OracleConfig& config = {},
                                         const ManualPredicate& manual = {},
                                         const obs::Context& obs = {});
+
+/// One observed run, classified twice: once with the model channel and
+/// once without it, over the SAME SuiteResult (classification is a pure
+/// function of the observation, so no second execution is needed).
+/// `model_only` is the oracle-strength signal of the paper-style
+/// Table 2 comparison: the run was killed WITH the reference model but
+/// would have survived the assertion/crash/output oracle alone.
+struct DifferentialKill {
+    KillReason with_model = KillReason::None;
+    KillReason without_model = KillReason::None;
+
+    [[nodiscard]] bool model_only() const noexcept {
+        return with_model != KillReason::None &&
+               without_model == KillReason::None;
+    }
+};
+
+/// Classify `observed` with `config` as given (model channel per
+/// config.use_model) and again with use_model forced off.
+[[nodiscard]] DifferentialKill classify_suite_differential(
+    const GoldenRecord& golden, const driver::SuiteResult& observed,
+    const OracleConfig& config = {}, const ManualPredicate& manual = {},
+    const obs::Context& obs = {});
 
 }  // namespace stc::oracle

@@ -6,7 +6,8 @@ GoldenRecord GoldenRecord::from(const driver::SuiteResult& baseline) {
     GoldenRecord out;
     out.entries_.reserve(baseline.results.size());
     for (const auto& r : baseline.results) {
-        out.entries_.push_back(GoldenEntry{r.case_id, r.verdict, r.report, r.message});
+        out.entries_.push_back(GoldenEntry{r.case_id, r.verdict, r.report,
+                                           r.message, r.model_divergence});
     }
     return out;
 }
@@ -30,6 +31,7 @@ const char* to_string(KillReason reason) noexcept {
         case KillReason::None: return "alive";
         case KillReason::Crash: return "crash";
         case KillReason::Assertion: return "assertion";
+        case KillReason::ModelDivergence: return "model-divergence";
         case KillReason::OutputDiff: return "output-diff";
         case KillReason::ManualOracle: return "manual-oracle";
     }
@@ -37,9 +39,7 @@ const char* to_string(KillReason reason) noexcept {
 }
 
 std::optional<KillReason> kill_reason_from_string(std::string_view text) noexcept {
-    for (const KillReason reason :
-         {KillReason::None, KillReason::Crash, KillReason::Assertion,
-          KillReason::OutputDiff, KillReason::ManualOracle}) {
+    for (const KillReason reason : kAllKillReasons) {
         if (text == to_string(reason)) return reason;
     }
     return std::nullopt;
@@ -61,6 +61,13 @@ KillReason classify(const GoldenEntry& golden, const driver::TestResult& observe
         return KillReason::Assertion;
     }
 
+    // (ii') the run diverged from the lockstep reference model while the
+    // original conformed — the differential channel (stc::model).
+    if (config.use_model && !observed.model_divergence.empty() &&
+        golden.model_divergence.empty()) {
+        return KillReason::ModelDivergence;
+    }
+
     // (iii) the output of the finished program differs from the original's.
     if (config.use_output_diff) {
         if (observed.verdict != golden.verdict || observed.report != golden.report) {
@@ -77,23 +84,33 @@ KillReason classify(const GoldenEntry& golden, const driver::TestResult& observe
     return KillReason::None;
 }
 
+namespace {
+
+/// Kill-reason precedence: Crash > Assertion > ModelDivergence >
+/// OutputDiff > ManualOracle.  The differential channel sits between
+/// the paper's conditions (ii) and (iii): stronger than a bare output
+/// difference (it pinpoints the first wrong call), weaker than an
+/// embedded assertion (which fires inside the component itself).
+int strength(KillReason r) noexcept {
+    switch (r) {
+        case KillReason::Crash: return 5;
+        case KillReason::Assertion: return 4;
+        case KillReason::ModelDivergence: return 3;
+        case KillReason::OutputDiff: return 2;
+        case KillReason::ManualOracle: return 1;
+        case KillReason::None: return 0;
+    }
+    return 0;
+}
+
+}  // namespace
+
 KillReason classify_suite(const GoldenRecord& golden,
                           const driver::SuiteResult& observed,
                           const OracleConfig& config, const ManualPredicate& manual,
                           const obs::Context& obs) {
     const obs::SpanScope span(obs.tracer, "oracle-compare", "classify-suite");
     KillReason best = KillReason::None;
-    auto strength = [](KillReason r) {
-        switch (r) {
-            case KillReason::Crash: return 4;
-            case KillReason::Assertion: return 3;
-            case KillReason::OutputDiff: return 2;
-            case KillReason::ManualOracle: return 1;
-            case KillReason::None: return 0;
-        }
-        return 0;
-    };
-
     for (const auto& result : observed.results) {
         const GoldenEntry* entry = golden.find(result.case_id);
         if (entry == nullptr) continue;  // new case: nothing to compare against
@@ -106,6 +123,37 @@ KillReason classify_suite(const GoldenRecord& golden,
         obs.metrics.add(std::string("oracle.kill.") + to_string(best));
     }
     return best;
+}
+
+DifferentialKill classify_suite_differential(const GoldenRecord& golden,
+                                             const driver::SuiteResult& observed,
+                                             const OracleConfig& config,
+                                             const ManualPredicate& manual,
+                                             const obs::Context& obs) {
+    const obs::SpanScope span(obs.tracer, "oracle-compare",
+                              "classify-suite-differential");
+    OracleConfig without = config;
+    without.use_model = false;
+
+    DifferentialKill out;
+    for (const auto& result : observed.results) {
+        const GoldenEntry* entry = golden.find(result.case_id);
+        if (entry == nullptr) continue;
+        const KillReason with = classify(*entry, result, config, manual);
+        const KillReason sans = classify(*entry, result, without, manual);
+        if (strength(with) > strength(out.with_model)) out.with_model = with;
+        if (strength(sans) > strength(out.without_model)) out.without_model = sans;
+        if (out.with_model == KillReason::Crash &&
+            out.without_model == KillReason::Crash) {
+            break;  // neither leg can get stronger
+        }
+    }
+    if (obs.metrics.enabled()) {
+        obs.metrics.add("oracle.suite_compares");
+        obs.metrics.add(std::string("oracle.kill.") + to_string(out.with_model));
+        if (out.model_only()) obs.metrics.add("oracle.kill.model_only");
+    }
+    return out;
 }
 
 }  // namespace stc::oracle

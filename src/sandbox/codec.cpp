@@ -12,6 +12,7 @@ std::string encode_outcome(const mutation::MutantOutcome& outcome) {
     object.set("reason", oracle::to_string(outcome.reason));
     object.set("hit", outcome.hit_by_suite);
     object.set("probe_kill", outcome.killed_by_probe);
+    object.set("model_only", outcome.model_only);
     return object.to_line();
 }
 
@@ -34,6 +35,9 @@ std::optional<mutation::MutantOutcome> decode_outcome(
     outcome.reason = *reason;
     outcome.hit_by_suite = *hit;
     outcome.killed_by_probe = *probe_kill;
+    // Tolerant: replies encoded before the model-oracle field existed
+    // decode with the default.
+    outcome.model_only = object->get_bool("model_only").value_or(false);
     return outcome;
 }
 
@@ -54,6 +58,9 @@ std::string encode_result(const driver::TestResult& result) {
     object.set("message", result.message);
     object.set("report", result.report);
     object.set("log", result.log);
+    if (!result.model_divergence.empty()) {
+        object.set("model_divergence", result.model_divergence);
+    }
     if (result.assertion_kind) {
         object.set("assertion",
                    static_cast<std::int64_t>(*result.assertion_kind));
@@ -82,6 +89,7 @@ std::optional<driver::TestResult> decode_result(std::string_view payload) {
     result.message = *message;
     result.report = *report;
     result.log = *log;
+    result.model_divergence = object->get_string("model_divergence").value_or("");
     if (const auto kind = object->get_int("assertion");
         kind && *kind >= 0 && *kind <= 2) {
         result.assertion_kind = static_cast<bit::AssertionKind>(*kind);

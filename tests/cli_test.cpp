@@ -408,6 +408,64 @@ TEST_F(CliTest, FuzzAndShrinkRejectBadInvocations) {
     EXPECT_EQ(run("suite " + tspec_path_ + " --iters 5"), 2);  // fuzz-only flag
 }
 
+// ---------------------------------------------------------------- model
+
+TEST_F(CliTest, ModelCampaignReportsOracleStrengthAndStatsKeepZeroRows) {
+    const std::string rep = "/tmp/stc_cli_model_rep.txt";
+    const std::string telemetry = "/tmp/stc_cli_model_tel.jsonl";
+    std::remove(rep.c_str());
+    std::remove(telemetry.c_str());
+
+    ASSERT_EQ(run("campaign coblist --model --jobs 2 --telemetry-out " +
+                      telemetry + " -o " + rep,
+                  "/tmp/stc_cli_model_camp.log"),
+              0);
+    const std::string report = slurp(rep);
+    EXPECT_NE(report.find("model-divergence="), std::string::npos);
+    EXPECT_NE(report.find("oracle strength: killed-only-by-model="),
+              std::string::npos);
+    // The acceptance mutant is killed by the model alone and audited so.
+    EXPECT_NE(report.find("(model-only)"), std::string::npos);
+    EXPECT_EQ(report.find("killed-only-by-model=0"), std::string::npos);
+
+    // `concat stats` keeps zero-count kill reasons visible (regression:
+    // the table used to hide kinds that never fired — a detector that
+    // killed nothing looked like a detector that didn't exist) and adds
+    // the oracle-strength breakdown for model campaigns.
+    ASSERT_EQ(run("stats " + telemetry, "/tmp/stc_cli_model_stats.out"), 0);
+    const std::string out = slurp("/tmp/stc_cli_model_stats.out");
+    for (const char* reason : {"crash", "assertion", "model-divergence",
+                               "output-diff", "manual-oracle"}) {
+        EXPECT_NE(out.find(reason), std::string::npos) << reason;
+    }
+    EXPECT_NE(out.find("| oracle strength"), std::string::npos);
+    EXPECT_NE(out.find("killed only by model"), std::string::npos);
+}
+
+TEST_F(CliTest, RunSubcommandExecutesAndFlagsDivergence) {
+    // Clean conformance run: every generated case passes under the
+    // lockstep model.
+    ASSERT_EQ(run("run coblist --model", "/tmp/stc_cli_run.out"), 0);
+    const std::string out = slurp("/tmp/stc_cli_run.out");
+    EXPECT_NE(out.find("run: CObList"), std::string::npos);
+    EXPECT_NE(out.find("model oracle"), std::string::npos);
+    EXPECT_NE(out.find("verdicts:"), std::string::npos);
+    EXPECT_NE(out.find("model-divergence=0"), std::string::npos);
+
+    // Against the model-only mutant the same run exits 1 and names the
+    // diverging verdict.
+    EXPECT_EQ(run("run coblist --model "
+                  "--mutant CObList::RemoveAt@s9.IndVarRepGlob.m_pNodeTail",
+                  "/tmp/stc_cli_run_mut.out"),
+              1);
+    const std::string mutated = slurp("/tmp/stc_cli_run_mut.out");
+    EXPECT_NE(mutated.find("model-divergence"), std::string::npos);
+
+    EXPECT_EQ(run("run nonesuch"), 2);
+    EXPECT_EQ(run("run coblist --iters 5"), 2);  // fuzz-only flag
+    EXPECT_EQ(run("run coblist --mutant No::Such@m"), 2);
+}
+
 TEST_F(CliTest, CampaignShrinkCorpusIsIdenticalAcrossJobCounts) {
     const std::string dir1 = "/tmp/stc_cli_camp_corpus1";
     const std::string dir4 = "/tmp/stc_cli_camp_corpus4";

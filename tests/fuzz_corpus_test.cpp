@@ -14,6 +14,7 @@
 #include "stc/driver/suite_io.h"
 #include "stc/fuzz/corpus.h"
 #include "stc/mfc/component.h"
+#include "stc/model/model.h"
 #include "stc/mutation/controller.h"
 #include "stc/mutation/mutant.h"
 #include "test_paths.h"
@@ -65,7 +66,21 @@ TEST(FuzzCorpus, CheckedInEntriesReplayToTheirRecordedVerdicts) {
                 << "corpus entry names unknown mutant " << entry.mutant_id;
         }
 
-        const driver::TestRunner runner(component.registry());
+        // Model-divergence reproducers only reach their recorded verdict
+        // when the replaying runner carries the same reference model the
+        // fuzzer ran with (and promotes clean-run divergence, as the
+        // fuzzer does).
+        driver::RunnerOptions runner_options;
+        if (entry.verdict == driver::Verdict::ModelDivergence) {
+            const driver::ModelBinding* model =
+                model::binding_for(entry.suite.class_name);
+            ASSERT_NE(model, nullptr)
+                << "model-divergence entry for unmodeled class "
+                << entry.suite.class_name;
+            runner_options.model = model;
+            runner_options.promote_divergence = true;
+        }
+        const driver::TestRunner runner(component.registry(), runner_options);
         const reflect::ClassBinding& binding =
             component.registry().at(entry.suite.class_name);
         driver::TestResult result;

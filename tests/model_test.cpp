@@ -1,0 +1,254 @@
+// stc::model — the differential conformance oracle.  Covers the
+// binding registry, the ListModel's prediction semantics (which must
+// mirror the mfc binding wrappers exactly), live-state projection,
+// lockstep conformance of the unmutated components, divergence on a
+// seeded mutant, and the end-to-end differential classification that
+// feeds the oracle-strength report.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stc/core/self_testable.h"
+#include "stc/driver/lockstep.h"
+#include "stc/driver/runner.h"
+#include "stc/mfc/coblist.h"
+#include "stc/mfc/component.h"
+#include "stc/model/model.h"
+#include "stc/mutation/controller.h"
+#include "stc/mutation/mutant.h"
+#include "stc/oracle/oracle.h"
+
+namespace stc {
+namespace {
+
+// ----------------------------------------------------------------- registry
+
+TEST(ModelRegistry, PaperComponentsAreModeled) {
+    const driver::ModelBinding* coblist = model::binding_for("CObList");
+    ASSERT_NE(coblist, nullptr);
+    EXPECT_TRUE(coblist->valid());
+
+    const driver::ModelBinding* sortable = model::binding_for("CSortableObList");
+    ASSERT_NE(sortable, nullptr);
+    EXPECT_TRUE(sortable->valid());
+
+    EXPECT_EQ(model::binding_for("Counter"), nullptr);
+    EXPECT_EQ(model::binding_for(""), nullptr);
+
+    const auto classes = model::modeled_classes();
+    EXPECT_TRUE(std::is_sorted(classes.begin(), classes.end()));
+    ASSERT_EQ(classes.size(), 2u);
+    EXPECT_EQ(classes[0], "CObList");
+    EXPECT_EQ(classes[1], "CSortableObList");
+}
+
+// ------------------------------------------------------- model predictions
+
+driver::MethodCall call(const std::string& name,
+                        std::vector<domain::Value> args = {}) {
+    driver::MethodCall c;
+    c.method_name = name;
+    c.arguments = std::move(args);
+    return c;
+}
+
+driver::MethodCall add(const std::string& name, mfc::CObject& element) {
+    return call(name, {domain::Value::make_pointer(&element, "CObject*")});
+}
+
+class ListModelFixture : public ::testing::Test {
+protected:
+    ListModelFixture()
+        : model_(model::binding_for("CSortableObList")->factory()) {
+        EXPECT_TRUE(model_->construct({}));
+    }
+
+    std::unique_ptr<driver::LockstepModel> model_;
+    mfc::CInt three_{3}, seven_{7}, one_{1};
+};
+
+TEST_F(ListModelFixture, MirrorsWrapperRenderings) {
+    // Empty-list probes render the wrapper markers, not errors.
+    EXPECT_EQ(model_->apply(call("RemoveHead")).rendered_return, "<noop>");
+    EXPECT_EQ(model_->apply(call("FindIndex", {domain::Value::make_int(5)}))
+                  .rendered_return,
+              "<none>");
+    EXPECT_EQ(model_->apply(call("FindMax")).rendered_return, "<empty>");
+    EXPECT_EQ(model_->apply(call("IsEmpty")).rendered_return, "1");
+
+    const auto added = model_->apply(add("AddHead", three_));
+    EXPECT_TRUE(added.modeled);
+    EXPECT_TRUE(added.has_return);
+    EXPECT_EQ(added.rendered_return, "<object>");
+    EXPECT_EQ(model_->apply(add("AddTail", seven_)).rendered_return, "<object>");
+    EXPECT_EQ(model_->apply(add("AddHead", one_)).rendered_return, "<object>");
+    EXPECT_EQ(model_->abstract_state(),
+              "count=3 [CInt(1), CInt(3), CInt(7)]");
+
+    EXPECT_EQ(model_->apply(call("GetCount")).rendered_return, "3");
+    // RemoveAt completes its index modulo the count (wrapper semantics)
+    // and answers the new count.
+    EXPECT_EQ(model_->apply(call("RemoveAt", {domain::Value::make_int(4)}))
+                  .rendered_return,
+              "2");
+    EXPECT_EQ(model_->abstract_state(), "count=2 [CInt(1), CInt(7)]");
+    EXPECT_EQ(model_->apply(call("RemoveHead")).rendered_return, "CInt(1)");
+}
+
+TEST_F(ListModelFixture, SortsAndExtremaFollowTheSpecifiedOrder) {
+    (void)model_->apply(add("AddTail", seven_));
+    (void)model_->apply(add("AddTail", one_));
+    (void)model_->apply(add("AddTail", three_));
+    EXPECT_EQ(model_->apply(call("FindMax")).rendered_return, "CInt(7)");
+    EXPECT_EQ(model_->apply(call("FindMin")).rendered_return, "CInt(1)");
+
+    const auto sorted = model_->apply(call("ShellSort"));
+    EXPECT_TRUE(sorted.modeled);
+    EXPECT_FALSE(sorted.has_return);
+    EXPECT_EQ(model_->abstract_state(),
+              "count=3 [CInt(1), CInt(3), CInt(7)]");
+}
+
+TEST_F(ListModelFixture, UnknownCallsDisengageInsteadOfDiverging) {
+    EXPECT_FALSE(model_->apply(call("Serialize")).modeled);
+    // Unmodeled argument shape on a known method: same contract.
+    EXPECT_FALSE(model_->apply(call("AddHead")).modeled);
+}
+
+TEST(ListModelScope, BaseModelDoesNotPredictSortableMethods) {
+    auto base = model::binding_for("CObList")->factory();
+    ASSERT_TRUE(base->construct({}));
+    EXPECT_FALSE(base->apply(call("FindMax")).modeled);
+    EXPECT_FALSE(base->apply(call("Sort1")).modeled);
+}
+
+// ----------------------------------------------------------- live projection
+
+TEST(LiveProjection, AgreesWithModelAbstraction) {
+    const driver::ModelBinding* binding = model::binding_for("CObList");
+    ASSERT_NE(binding, nullptr);
+
+    mfc::CInt three{3}, seven{7};
+    mfc::CObList live;
+    (void)live.AddTail(&three);
+    (void)live.AddTail(&seven);
+
+    auto model = binding->factory();
+    ASSERT_TRUE(model->construct({}));
+    (void)model->apply(add("AddTail", three));
+    (void)model->apply(add("AddTail", seven));
+
+    EXPECT_EQ(binding->project(&live), "count=2 [CInt(3), CInt(7)]");
+    EXPECT_EQ(binding->project(&live), model->abstract_state());
+}
+
+// --------------------------------------------------------------- lockstep
+
+class LockstepFixture : public ::testing::Test {
+protected:
+    LockstepFixture()
+        : component_(mfc::coblist_spec(), mfc::coblist_binding()) {
+        component_.set_completions(mfc::make_completions(pool_));
+    }
+
+    driver::SuiteResult run_with_model(const driver::TestSuite& suite,
+                                       bool promote = false) const {
+        driver::RunnerOptions options;
+        options.model = model::binding_for("CObList");
+        options.promote_divergence = promote;
+        return driver::TestRunner(component_.registry(), options).run(suite);
+    }
+
+    mfc::ElementPool pool_;
+    core::SelfTestableComponent component_;
+};
+
+TEST_F(LockstepFixture, UnmutatedComponentNeverDiverges) {
+    const auto suite = component_.generate_tests();
+    const auto observed = run_with_model(suite, /*promote=*/true);
+    for (const auto& r : observed.results) {
+        EXPECT_EQ(r.verdict, driver::Verdict::Pass) << r.case_id;
+        EXPECT_TRUE(r.model_divergence.empty())
+            << r.case_id << ": " << r.model_divergence;
+    }
+}
+
+TEST_F(LockstepFixture, ObservationIsASideChannel) {
+    // Attaching the model must not change verdicts, reports, or logs —
+    // byte-identical results aside from the divergence side channel.
+    const auto suite = component_.generate_tests();
+    const auto bare = driver::TestRunner(component_.registry()).run(suite);
+    const auto modeled = run_with_model(suite);
+    ASSERT_EQ(bare.results.size(), modeled.results.size());
+    for (std::size_t i = 0; i < bare.results.size(); ++i) {
+        EXPECT_EQ(bare.results[i].verdict, modeled.results[i].verdict);
+        EXPECT_EQ(bare.results[i].report, modeled.results[i].report);
+        EXPECT_EQ(bare.results[i].log, modeled.results[i].log);
+    }
+}
+
+// The paper's assertion/golden oracle verifiably misses this mutant
+// (EXPERIMENTS.md); only the reference model kills it.  Keep in sync
+// with the oracle-strength CI gate.
+constexpr const char* kModelOnlyMutant =
+    "CObList::RemoveAt@s9.IndVarRepGlob.m_pNodeTail";
+
+const mutation::Mutant* find_mutant(const std::vector<mutation::Mutant>& all,
+                                    const std::string& id) {
+    for (const auto& m : all) {
+        if (m.id() == id) return &m;
+    }
+    return nullptr;
+}
+
+TEST_F(LockstepFixture, SeededMutantDiverges) {
+    const auto mutants =
+        mutation::enumerate_mutants(mfc::descriptors(), "CObList");
+    const auto* mutant = find_mutant(mutants, kModelOnlyMutant);
+    ASSERT_NE(mutant, nullptr);
+
+    const auto suite = component_.generate_tests();
+    const mutation::MutantActivation activation(*mutant);
+    const auto observed = run_with_model(suite, /*promote=*/true);
+
+    std::size_t diverged = 0;
+    for (const auto& r : observed.results) {
+        if (!r.model_divergence.empty()) {
+            ++diverged;
+            EXPECT_EQ(r.verdict, driver::Verdict::ModelDivergence) << r.case_id;
+            EXPECT_FALSE(r.failed_method.empty());
+        }
+    }
+    EXPECT_GT(diverged, 0u);
+}
+
+TEST_F(LockstepFixture, DifferentialClassificationIsModelOnly) {
+    // End-to-end reproduction of the oracle-strength measurement: the
+    // seeded mutant survives the assertion/golden oracle but is killed
+    // by the model channel of the same single execution.
+    const auto mutants =
+        mutation::enumerate_mutants(mfc::descriptors(), "CObList");
+    const auto* mutant = find_mutant(mutants, kModelOnlyMutant);
+    ASSERT_NE(mutant, nullptr);
+
+    const auto suite = component_.generate_tests();
+    const auto golden = oracle::GoldenRecord::from(run_with_model(suite));
+    ASSERT_TRUE(golden.all_passed());
+
+    driver::SuiteResult mutated;
+    {
+        const mutation::MutantActivation activation(*mutant);
+        mutated = run_with_model(suite);  // no promotion: campaign mode
+    }
+
+    const auto kill = oracle::classify_suite_differential(golden, mutated);
+    EXPECT_EQ(kill.with_model, oracle::KillReason::ModelDivergence);
+    EXPECT_EQ(kill.without_model, oracle::KillReason::None);
+    EXPECT_TRUE(kill.model_only());
+}
+
+}  // namespace
+}  // namespace stc

@@ -30,6 +30,13 @@ TestResult failing(const std::string& id, Verdict verdict) {
     return r;
 }
 
+TestResult diverging(const std::string& id, const std::string& report,
+                     const std::string& divergence) {
+    TestResult r = passing(id, report);
+    r.model_divergence = divergence;
+    return r;
+}
+
 // ------------------------------------------------------------ GoldenRecord
 
 TEST(GoldenRecord, CapturesBaselineBehaviour) {
@@ -51,22 +58,22 @@ TEST(GoldenRecord, AllPassedFalseWhenBaselineDirty) {
 // ---------------------------------------------------------------- classify
 
 TEST(Classify, IdenticalBehaviourIsAlive) {
-    const GoldenEntry golden{"TC0", Verdict::Pass, "same", ""};
+    const GoldenEntry golden{"TC0", Verdict::Pass, "same", "", ""};
     EXPECT_EQ(classify(golden, passing("TC0", "same")), KillReason::None);
 }
 
 TEST(Classify, CrashKillsWithHighestPriority) {
-    const GoldenEntry golden{"TC0", Verdict::Pass, "same", ""};
+    const GoldenEntry golden{"TC0", Verdict::Pass, "same", "", ""};
     EXPECT_EQ(classify(golden, failing("TC0", Verdict::Crash)), KillReason::Crash);
 }
 
 TEST(Classify, AssertionKillRequiresCleanBaseline) {
-    const GoldenEntry clean{"TC0", Verdict::Pass, "same", ""};
+    const GoldenEntry clean{"TC0", Verdict::Pass, "same", "", ""};
     EXPECT_EQ(classify(clean, failing("TC0", Verdict::AssertionViolation)),
               KillReason::Assertion);
     // Paper §4 condition (ii): "given that this was not the case with the
     // original program".
-    const GoldenEntry dirty{"TC0", Verdict::AssertionViolation, "", "boom"};
+    const GoldenEntry dirty{"TC0", Verdict::AssertionViolation, "", "boom", ""};
     OracleConfig no_output;
     no_output.use_output_diff = false;
     EXPECT_EQ(classify(dirty, failing("TC0", Verdict::AssertionViolation), no_output),
@@ -74,7 +81,7 @@ TEST(Classify, AssertionKillRequiresCleanBaseline) {
 }
 
 TEST(Classify, OutputDifferenceKills) {
-    const GoldenEntry golden{"TC0", Verdict::Pass, "expected", ""};
+    const GoldenEntry golden{"TC0", Verdict::Pass, "expected", "", ""};
     EXPECT_EQ(classify(golden, passing("TC0", "different")), KillReason::OutputDiff);
     // Verdict change also counts as an output difference.
     EXPECT_EQ(classify(golden, failing("TC0", Verdict::UncaughtException)),
@@ -82,7 +89,7 @@ TEST(Classify, OutputDifferenceKills) {
 }
 
 TEST(Classify, ChannelsCanBeDisabled) {
-    const GoldenEntry golden{"TC0", Verdict::Pass, "expected", ""};
+    const GoldenEntry golden{"TC0", Verdict::Pass, "expected", "", ""};
     OracleConfig assertions_only;
     assertions_only.use_output_diff = false;
     EXPECT_EQ(classify(golden, passing("TC0", "different"), assertions_only),
@@ -104,7 +111,7 @@ TEST(Classify, ChannelsCanBeDisabled) {
 }
 
 TEST(Classify, ManualOracleComplementsAssertions) {
-    const GoldenEntry golden{"TC0", Verdict::Pass, "sorted: 1 2 3", ""};
+    const GoldenEntry golden{"TC0", Verdict::Pass, "sorted: 1 2 3", "", ""};
     // The observed run passes and matches the golden output; only a
     // manually derived oracle can reject it (paper §3.3).
     const ManualPredicate reject_all = [](const std::string&, const std::string&) {
@@ -119,6 +126,89 @@ TEST(Classify, ManualOracleComplementsAssertions) {
     };
     EXPECT_EQ(classify(golden, passing("TC0", "sorted: 1 2 3"), config, accept_all),
               KillReason::None);
+}
+
+// --------------------------------------------------- model channel / interplay
+
+TEST(ClassifyModel, DivergenceKillsWhenGoldenConforms) {
+    const GoldenEntry golden{"TC0", Verdict::Pass, "same", "", ""};
+    EXPECT_EQ(classify(golden, diverging("TC0", "same", "call#3 Find: state")),
+              KillReason::ModelDivergence);
+}
+
+TEST(ClassifyModel, DivergenceRequiresCleanBaseline) {
+    // Condition (ii) for the model channel: the baseline run already
+    // diverged, so a diverging mutant run proves nothing.
+    const GoldenEntry dirty{"TC0", Verdict::Pass, "same", "", "call#1 base"};
+    EXPECT_EQ(classify(dirty, diverging("TC0", "same", "call#1 base")),
+              KillReason::None);
+}
+
+TEST(ClassifyModel, ChannelCanBeDisabled) {
+    const GoldenEntry golden{"TC0", Verdict::Pass, "same", "", ""};
+    OracleConfig no_model;
+    no_model.use_model = false;
+    EXPECT_EQ(classify(golden, diverging("TC0", "same", "call#3 Find: state"),
+                       no_model),
+              KillReason::None);
+}
+
+TEST(ClassifyModel, AssertionOutranksDivergence) {
+    const GoldenEntry golden{"TC0", Verdict::Pass, "same", "", ""};
+    TestResult observed = failing("TC0", Verdict::AssertionViolation);
+    observed.model_divergence = "call#2 GetCount: return";
+    EXPECT_EQ(classify(golden, observed), KillReason::Assertion);
+}
+
+TEST(ClassifyModel, DivergenceOutranksOutputDiff) {
+    const GoldenEntry golden{"TC0", Verdict::Pass, "expected", "", ""};
+    EXPECT_EQ(classify(golden, diverging("TC0", "different", "call#1 AddHead")),
+              KillReason::ModelDivergence);
+}
+
+// Satellite (d): golden/model interplay.  A run that diverges from the
+// reference model but still matches the golden output, and vice versa,
+// must be reported distinctly by the differential classification.
+
+TEST(Interplay, DivergesFromModelButMatchesGolden) {
+    const auto golden = GoldenRecord::from(make_suite({passing("TC0", "same")}));
+    const auto observed =
+        make_suite({diverging("TC0", "same", "call#4 RemoveAt: state")});
+    const auto kill = classify_suite_differential(golden, observed);
+    EXPECT_EQ(kill.with_model, KillReason::ModelDivergence);
+    EXPECT_EQ(kill.without_model, KillReason::None);
+    EXPECT_TRUE(kill.model_only());
+}
+
+TEST(Interplay, MatchesModelButDiffersFromGolden) {
+    const auto golden = GoldenRecord::from(make_suite({passing("TC0", "same")}));
+    const auto observed = make_suite({passing("TC0", "DIFFERENT")});
+    const auto kill = classify_suite_differential(golden, observed);
+    EXPECT_EQ(kill.with_model, KillReason::OutputDiff);
+    EXPECT_EQ(kill.without_model, KillReason::OutputDiff);
+    EXPECT_FALSE(kill.model_only());
+}
+
+TEST(Interplay, BothFindingsReportedDistinctly) {
+    // Diverges from the model AND from the golden output: the combined
+    // oracle reports the stronger model finding while the without-model
+    // leg still records the output diff -- both visible, not conflated.
+    const auto golden = GoldenRecord::from(make_suite({passing("TC0", "same")}));
+    const auto observed =
+        make_suite({diverging("TC0", "DIFFERENT", "call#1 AddHead: state")});
+    const auto kill = classify_suite_differential(golden, observed);
+    EXPECT_EQ(kill.with_model, KillReason::ModelDivergence);
+    EXPECT_EQ(kill.without_model, KillReason::OutputDiff);
+    EXPECT_FALSE(kill.model_only());
+}
+
+TEST(Interplay, CleanRunKillsNeitherLeg) {
+    const auto golden = GoldenRecord::from(make_suite({passing("TC0", "same")}));
+    const auto kill =
+        classify_suite_differential(golden, make_suite({passing("TC0", "same")}));
+    EXPECT_EQ(kill.with_model, KillReason::None);
+    EXPECT_EQ(kill.without_model, KillReason::None);
+    EXPECT_FALSE(kill.model_only());
 }
 
 // ------------------------------------------------------------ whole suites
@@ -152,6 +242,7 @@ TEST(KillReasonNames, AreStable) {
     EXPECT_STREQ(to_string(KillReason::None), "alive");
     EXPECT_STREQ(to_string(KillReason::Crash), "crash");
     EXPECT_STREQ(to_string(KillReason::Assertion), "assertion");
+    EXPECT_STREQ(to_string(KillReason::ModelDivergence), "model-divergence");
     EXPECT_STREQ(to_string(KillReason::OutputDiff), "output-diff");
     EXPECT_STREQ(to_string(KillReason::ManualOracle), "manual-oracle");
 }

@@ -6,9 +6,12 @@
 #include <set>
 #include <sstream>
 
+#include "stc/core/self_testable.h"
 #include "stc/driver/runner.h"
 #include "stc/driver/suite_io.h"
 #include "stc/fuzz/shrink.h"
+#include "stc/mfc/component.h"
+#include "stc/model/model.h"
 #include "stc/mutation/engine.h"
 #include "stc/support/rng.h"
 #include "stc/tfm/coverage.h"
@@ -353,6 +356,49 @@ TEST_P(RunnerProperty, SuiteRunsAreOrderIndependentPerCase) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RunnerProperty, ::testing::Values(3, 33, 333));
+
+// ------------------------------------------------------- model conformance
+
+class ModelConformance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ModelConformance, RandomTransactionsNeverDivergeUnmutated) {
+    // The reference models claim to implement the components' specified
+    // behaviour; on the unmutated build that claim must hold for every
+    // generated transaction, across seeds and value policies — a
+    // divergence here is a modelling bug, not a component bug.
+    mfc::ElementPool pool;
+    const auto completions = mfc::make_completions(pool);
+    for (const char* class_name : {"CObList", "CSortableObList"}) {
+        core::SelfTestableComponent component(
+            std::string(class_name) == "CObList" ? mfc::coblist_spec()
+                                                 : mfc::sortable_spec(),
+            std::string(class_name) == "CObList" ? mfc::coblist_binding()
+                                                 : mfc::sortable_binding());
+        component.set_completions(completions);
+
+        driver::GeneratorOptions gen;
+        gen.seed = GetParam();
+        gen.value_policy = GetParam() % 2 == 0 ? driver::ValuePolicy::Random
+                                               : driver::ValuePolicy::Boundary;
+        const auto suite = component.generate_tests(gen);
+
+        driver::RunnerOptions options;
+        options.model = model::binding_for(class_name);
+        ASSERT_NE(options.model, nullptr);
+        options.promote_divergence = true;
+        const auto observed =
+            driver::TestRunner(component.registry(), options).run(suite);
+        for (const auto& r : observed.results) {
+            EXPECT_EQ(r.verdict, driver::Verdict::Pass)
+                << class_name << " " << r.case_id << ": " << r.message;
+            EXPECT_TRUE(r.model_divergence.empty())
+                << class_name << " " << r.case_id << ": " << r.model_divergence;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelConformance,
+                         ::testing::Values(11, 22, 97, 1234, 98765));
 
 }  // namespace
 }  // namespace stc

@@ -11,6 +11,7 @@
 //   concat suite <tspec> [options] [-o FILE]    generate + save a test suite
 //   concat gen <tspec> [options] [-o FILE]      generate C++ driver source
 //   concat fuzz <component> [options]           coverage-guided fuzz loop
+//   concat run <component> [options]            one plain suite execution
 //   concat shrink <component> --case FILE       re-shrink a corpus entry
 //   concat stats <telemetry.jsonl>              summarize campaign telemetry
 //
@@ -41,6 +42,7 @@
 #include "stc/fuzz/shrink.h"
 #include "stc/history/version_diff.h"
 #include "stc/mfc/component.h"
+#include "stc/model/model.h"
 #include "stc/mutation/controller.h"
 #include "stc/mutation/report.h"
 #include "stc/obs/stats.h"
@@ -74,13 +76,16 @@ int usage(std::ostream& os) {
           "                 [--cases N] [--probe] [--resume FILE]\n"
           "                 [--shrink-corpus DIR] [--max-shrink-steps N]\n"
           "                 [--isolate [--timeout-ms N] [--rlimit-as MB]]\n"
-          "                 [--telemetry-out FILE] [-o REPORT]\n"
+          "                 [--model] [--telemetry-out FILE] [-o REPORT]\n"
           "  fuzz           coverage-guided transaction fuzzing of a built-in\n"
           "                 component:\n"
           "                 concat fuzz <coblist|sortable> [--iters N] [--seed N]\n"
           "                 [--corpus DIR] [--mutant ID] [--max-shrink-steps N]\n"
           "                 [--isolate [--timeout-ms N] [--rlimit-as MB]]\n"
-          "                 [--telemetry-out FILE] [-o REPORT]\n"
+          "                 [--model] [--telemetry-out FILE] [-o REPORT]\n"
+          "  run            execute the generated suite once and report verdicts:\n"
+          "                 concat run <coblist|sortable> [--seed N] [--cases N]\n"
+          "                 [--mutant ID] [--model] [-o REPORT]\n"
           "  shrink         re-shrink / verify one corpus entry:\n"
           "                 concat shrink <coblist|sortable> --case FILE\n"
           "                 [--mutant ID] [--max-shrink-steps N] [--corpus DIR]\n"
@@ -109,9 +114,11 @@ int usage(std::ostream& os) {
           "  --timeout-ms N  (with --isolate) per-item wall deadline, then SIGKILL\n"
           "                  (default 5000; 0 disables)\n"
           "  --rlimit-as MB  (with --isolate) worker address-space cap (RLIMIT_AS)\n"
+          "  --model         (campaign, fuzz, run) lockstep reference-model\n"
+          "                  oracle (stc::model): kills/verdicts on divergence\n"
           "  --iters N       (fuzz) exploration executions (default 500)\n"
           "  --corpus D      (fuzz, shrink) corpus directory for reproducers\n"
-          "  --mutant ID     (fuzz, shrink) activate this mutant while running\n"
+          "  --mutant ID     (fuzz, shrink, run) activate this mutant while running\n"
           "  --max-shrink-steps N  shrink budget per finding (default 512)\n"
           "  --case FILE     (shrink) the corpus entry to re-shrink\n"
           "  --top N         (stats) rows in the slowest-item table (default 10)\n"
@@ -141,6 +148,7 @@ struct Options {
     std::optional<std::string> case_path;          // shrink --case
     std::optional<std::string> shrink_corpus;      // campaign --shrink-corpus
     bool isolate = false;                          // campaign/fuzz --isolate
+    bool model = false;                            // campaign/fuzz/run --model
     std::uint64_t timeout_ms = 5000;               // --timeout-ms
     std::uint64_t rlimit_as_mb = 0;                // --rlimit-as
     obs::Context obs;                              // built in main()
@@ -180,13 +188,17 @@ bool flag_allowed(const std::string& command, const std::string& flag) {
                        "--states", "--jobs", "--probe", "--resume",
                        "--telemetry-out", "--shrink-corpus",
                        "--max-shrink-steps", "--isolate", "--timeout-ms",
-                       "--rlimit-as"});
+                       "--rlimit-as", "--model"});
     }
     if (command == "fuzz") {
         return any_of({"--iters", "--seed", "--corpus", "--max-shrink-steps",
                        "--mutant", "--max-visits", "--cases",
                        "--telemetry-out", "--isolate", "--timeout-ms",
-                       "--rlimit-as"});
+                       "--rlimit-as", "--model"});
+    }
+    if (command == "run") {
+        return any_of({"--seed", "--max-visits", "--cases", "--criterion",
+                       "--states", "--mutant", "--model"});
     }
     if (command == "shrink") {
         return any_of(
@@ -337,6 +349,8 @@ std::optional<Options> parse_args(int argc, char** argv) {
             out.shrink_corpus = *v;
         } else if (arg == "--isolate") {
             out.isolate = true;
+        } else if (arg == "--model") {
+            out.model = true;
         } else if (arg == "--timeout-ms") {
             const auto v = next();
             if (!v) return std::nullopt;
@@ -501,6 +515,20 @@ int cmd_gen(const Options& options, const tspec::ComponentSpec& spec) {
     return emit(options, generator.suite_source(suite));
 }
 
+/// Resolve --model for `class_name`: the registered lockstep binding,
+/// or nullopt (+ diagnostic listing the modeled classes) when none
+/// exists — a typo'd component must not silently run model-less.
+std::optional<const driver::ModelBinding*> resolve_model(
+    const std::string& command, const std::string& class_name) {
+    const driver::ModelBinding* binding = model::binding_for(class_name);
+    if (binding != nullptr) return binding;
+    std::cerr << "concat " << command << ": no reference model for '"
+              << class_name << "' (models exist for:";
+    for (const auto& name : model::modeled_classes()) std::cerr << " " << name;
+    std::cerr << ")\n";
+    return std::nullopt;
+}
+
 int cmd_replan(const Options& options, const tspec::ComponentSpec& old_spec) {
     if (!options.new_tspec_path || !options.frozen_suite_path) {
         std::cerr << "concat replan: --new and --frozen are required\n";
@@ -595,6 +623,16 @@ int cmd_campaign(const Options& options) {
         campaign_options.sandbox.timeout_ms = options.timeout_ms;
         campaign_options.sandbox.rlimit_as_mb = options.rlimit_as_mb;
     }
+    if (options.model) {
+        // Lockstep differential oracle: the runner carries the model as
+        // a passive side channel (no promotion), so verdicts, reports
+        // and hit tracking are untouched and fates stay byte-identical
+        // across --jobs and --isolate; only the oracle reads the
+        // divergence strings.
+        const auto model_binding = resolve_model("campaign", suite.class_name);
+        if (!model_binding) return 2;
+        campaign_options.engine.runner.model = *model_binding;
+    }
 
     const campaign::CampaignScheduler scheduler(component.registry(),
                                                 campaign_options);
@@ -611,6 +649,10 @@ int cmd_campaign(const Options& options) {
         report << outcome.mutant->id() << "  " << mutation::to_string(outcome.fate);
         if (outcome.fate == mutation::MutantFate::Killed) {
             report << "  [" << oracle::to_string(outcome.reason) << "]";
+            // The oracle-strength marker: the base oracle alone would
+            // have let this mutant survive.  Only ever set under
+            // --model, so model-less reports are byte-unchanged.
+            if (outcome.model_only) report << "  (model-only)";
         }
         // Sandbox termination kind, set only under --isolate for items
         // whose worker died — absent everywhere else, so in-process and
@@ -693,6 +735,17 @@ int cmd_fuzz(const Options& options) {
 
     driver::RunnerOptions runner_options;
     runner_options.obs = options.obs;
+    if (options.model) {
+        // Fuzzing wants divergence as a first-class signal: promotion
+        // turns a clean-run divergence into Verdict::ModelDivergence, so
+        // the coverage map treats it as a novel verdict kind, findings
+        // dedupe by (model-divergence, method), and the shrinker
+        // minimizes while preserving the divergence.
+        const auto model_binding = resolve_model("fuzz", class_name);
+        if (!model_binding) return 2;
+        runner_options.model = *model_binding;
+        runner_options.promote_divergence = true;
+    }
     const driver::TestRunner runner(component->registry(), runner_options);
     const reflect::ClassBinding& binding = component->registry().at(class_name);
 
@@ -868,6 +921,77 @@ int cmd_fuzz(const Options& options) {
     return rc != 0 ? rc : emit_rc;
 }
 
+// `concat run <coblist|sortable>`: one plain execution of the generated
+// suite — the smallest way to watch the component behave.  With
+// --mutant the run happens under that seeded fault; with --model the
+// lockstep reference model runs alongside and a divergence on an
+// otherwise-passing case is promoted to a model-divergence verdict with
+// the first divergent call in the message.  Exit 0 iff every case
+// passed, so `concat run <c> --model` doubles as a conformance gate and
+// `concat run <c> --mutant M --model` as a single-mutant demonstrator.
+int cmd_run(const Options& options) {
+    mfc::ElementPool pool;
+    auto component = make_builtin("run", options.tspec_path);
+    if (!component) return 2;
+    const driver::CompletionRegistry completions = mfc::make_completions(pool);
+    component->set_completions(completions);
+    const std::string& class_name = component->spec().class_name;
+
+    const auto mutants =
+        mutation::enumerate_mutants(mfc::descriptors(), class_name);
+    const auto mutant =
+        resolve_mutant("run", mutants, options.mutant_id.value_or(""));
+    if (!mutant) return 2;
+
+    driver::RunnerOptions runner_options;
+    runner_options.obs = options.obs;
+    if (options.model) {
+        const auto model_binding = resolve_model("run", class_name);
+        if (!model_binding) return 2;
+        runner_options.model = *model_binding;
+        runner_options.promote_divergence = true;
+    }
+    const driver::TestRunner runner(component->registry(), runner_options);
+
+    const driver::TestSuite suite = component->generate_tests(options.generator);
+    driver::SuiteResult result;
+    if (*mutant) {
+        const mutation::MutantActivation active(**mutant);
+        result = runner.run(suite);
+    } else {
+        result = runner.run(suite);
+    }
+
+    std::ostringstream report;
+    report << "run: " << class_name << ", " << suite.size() << " case(s), seed "
+           << options.generator.seed;
+    if (*mutant) report << ", mutant " << (*mutant)->id();
+    if (options.model) report << ", model oracle";
+    report << "\n";
+
+    std::size_t failures = 0;
+    for (const auto& r : result.results) {
+        report << "  " << r.case_id << "  " << driver::to_string(r.verdict);
+        if (r.verdict != driver::Verdict::Pass) {
+            ++failures;
+            if (!r.failed_method.empty()) {
+                report << "  [" << r.failed_method << "]";
+            }
+            if (!r.message.empty()) report << "  " << r.message;
+        }
+        report << "\n";
+    }
+    report << "verdicts:";
+    for (const driver::Verdict v : driver::kAllVerdicts) {
+        report << "  " << driver::to_string(v) << "=" << result.count(v);
+    }
+    report << "\n";
+
+    const int emit_rc = emit(options, report.str());
+    if (failures != 0) return 1;
+    return emit_rc;
+}
+
 // `concat shrink <coblist|sortable> --case FILE`: reload one corpus
 // entry, verify it still replays to its recorded verdict, re-shrink it
 // under the given budget, and write the minimized entry back (--corpus
@@ -1019,9 +1143,10 @@ int flush_observability(const Options& options) {
 }
 
 int dispatch(const Options& options) {
-    // Campaign, fuzz, shrink and stats do not read a t-spec file.
+    // Campaign, fuzz, run, shrink and stats do not read a t-spec file.
     if (options.command == "campaign") return cmd_campaign(options);
     if (options.command == "fuzz") return cmd_fuzz(options);
+    if (options.command == "run") return cmd_run(options);
     if (options.command == "shrink") return cmd_shrink(options);
     if (options.command == "stats") return cmd_stats(options);
 
