@@ -13,14 +13,31 @@
 // `--smoke` runs a tiny sharded campaign (first 8 mutants, 2 workers)
 // in a fraction of a second — registered as a ctest so the parallel
 // path is exercised on every build.
+//
+// `--json-out FILE` additionally measures the distributed campaign
+// service (in-process `concat serve` daemons on loopback, one
+// coordinator) at 1 and 2 workers, and writes the machine-readable
+// rows checked in as BENCH_campaign.json:
+//     [{"commit": ..., "date": ..., "config": ...,
+//       "items_per_sec": ..., "wall_ms": ...}, ...]
+// `--commit` / `--date` stamp the rows (the generator script passes
+// `git rev-parse --short HEAD` and the build date).
 #include <chrono>
 #include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "stc/campaign/scheduler.h"
 #include "stc/campaign/thread_pool.h"
+#include "stc/obs/json.h"
+#include "stc/serve/builtin_host.h"
+#include "stc/serve/dispatch.h"
+#include "stc/serve/worker.h"
+#include "stc/support/error.h"
 
 namespace {
 
@@ -56,11 +73,87 @@ RunOutcome run_at(const stc::reflect::Registry& registry,
     return out;
 }
 
+/// One dispatched run: `workers` in-process serve daemons on ephemeral
+/// loopback ports, one coordinator, the full default CObList campaign
+/// (the same campaign the local rows run).  Returns wall time and the
+/// merged fates for the determinism cross-check.
+struct DispatchOutcome {
+    std::map<std::size_t, std::string> fates;  // item index -> fate string
+    double wall_ms = 0.0;
+    std::size_t items = 0;
+};
+
+DispatchOutcome run_dispatched(std::size_t workers) {
+    using namespace stc;
+
+    serve::BuiltinCampaignConfig config;
+    config.component = "coblist";
+    std::string error;
+    const auto host = serve::BuiltinCampaign::open(config, &error);
+    if (host == nullptr) throw Error("bench: " + error);
+
+    struct Daemon {
+        std::unique_ptr<serve::WorkerDaemon> daemon;
+        std::thread thread;
+    };
+    std::vector<Daemon> daemons(workers);
+    std::vector<serve::Endpoint> endpoints;
+    for (Daemon& d : daemons) {
+        serve::ServeOptions options;
+        options.once = true;
+        d.daemon = std::make_unique<serve::WorkerDaemon>(
+            serve::builtin_session_factory(), options);
+        const std::uint16_t port = d.daemon->bind();
+        endpoints.push_back(
+            serve::parse_endpoint("127.0.0.1:" + std::to_string(port)));
+        d.thread = std::thread([&d] { d.daemon->serve(); });
+    }
+
+    serve::DispatchOptions options;
+    options.workers = endpoints;
+    options.hello = serve::make_hello(config, host->fingerprint());
+    options.expected_fingerprint = host->fingerprint();
+
+    DispatchOutcome out;
+    out.items = host->items().size();
+    const auto t0 = std::chrono::steady_clock::now();
+    serve::Coordinator coordinator(std::move(options));
+    (void)coordinator.run(host->items(),
+                          [&](const campaign::WorkItem& item,
+                              const stc::obs::JsonObject& result) {
+                              out.fates[item.index] =
+                                  result.get_string("fate").value_or("?");
+                          });
+    const auto t1 = std::chrono::steady_clock::now();
+    out.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    for (Daemon& d : daemons) {
+        d.daemon->stop();
+        d.thread.join();
+    }
+    return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     using namespace stc;
-    const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    bool smoke = false;
+    std::string json_out;
+    std::string commit = "unknown";
+    std::string date = "unknown";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--json-out" && i + 1 < argc) {
+            json_out = argv[++i];
+        } else if (arg == "--commit" && i + 1 < argc) {
+            commit = argv[++i];
+        } else if (arg == "--date" && i + 1 < argc) {
+            date = argv[++i];
+        }
+    }
 
     bench::banner(smoke ? "Campaign scaling (smoke)" : "Campaign scaling");
 
@@ -94,6 +187,64 @@ int main(int argc, char** argv) {
     }
     std::cout << "\nfates identical across worker counts: "
               << (fates_identical ? "yes" : "NO — DETERMINISM BROKEN") << "\n";
+
+    // Distributed rows + machine-readable output.  The dispatch runs use
+    // the full default campaign (not the smoke-trimmed mutant set), the
+    // same one the checked-in BENCH_campaign.json baselines.
+    if (!json_out.empty()) {
+        const auto full_suite = experiment.base.generate_tests();
+        auto full_mutants =
+            mutation::enumerate_mutants(mfc::descriptors(), "CObList");
+        const RunOutcome local =
+            run_at(experiment.registry, full_suite, full_mutants, 1);
+
+        std::vector<obs::JsonObject> rows;
+        auto add_row = [&](const std::string& config, std::size_t items,
+                           double wall_ms) {
+            obs::JsonObject row;
+            row.set("commit", commit)
+                .set("date", date)
+                .set("config", config)
+                .set("items_per_sec",
+                     wall_ms > 0.0 ? static_cast<double>(items) /
+                                         (wall_ms / 1000.0)
+                                   : 0.0)
+                .set("wall_ms", wall_ms);
+            rows.push_back(std::move(row));
+        };
+        add_row("local-jobs-1", full_mutants.size(), local.wall_ms);
+
+        bool dispatch_identical = true;
+        for (const std::size_t workers : {std::size_t{1}, std::size_t{2}}) {
+            const DispatchOutcome dispatched = run_dispatched(workers);
+            add_row("dispatch-workers-" + std::to_string(workers),
+                    dispatched.items, dispatched.wall_ms);
+            std::cout << "  dispatch workers=" << workers
+                      << "  wall=" << dispatched.wall_ms << "ms  ("
+                      << dispatched.items << " item(s))\n";
+            for (std::size_t i = 0; i < local.fates.size(); ++i) {
+                const auto it = dispatched.fates.find(i);
+                if (it == dispatched.fates.end() ||
+                    it->second != mutation::to_string(local.fates[i].first)) {
+                    dispatch_identical = false;
+                }
+            }
+        }
+        std::cout << "dispatched fates identical to local: "
+                  << (dispatch_identical ? "yes" : "NO — DETERMINISM BROKEN")
+                  << "\n";
+        fates_identical = fates_identical && dispatch_identical;
+
+        std::ofstream out(json_out);
+        out << "[\n";
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            out << "  " << rows[i].to_line()
+                << (i + 1 < rows.size() ? "," : "") << "\n";
+        }
+        out << "]\n";
+        std::cout << "wrote " << rows.size() << " row(s) to " << json_out
+                  << "\n";
+    }
 
     if (smoke) return fates_identical ? 0 : 1;
 

@@ -7,6 +7,7 @@
 
 #include "stc/campaign/seed.h"
 #include "stc/campaign/thread_pool.h"
+#include "stc/campaign/work_list.h"
 #include "stc/fuzz/fuzzer.h"
 #include "stc/fuzz/shrink.h"
 #include "stc/mutation/controller.h"
@@ -42,13 +43,6 @@ std::uint64_t absorb_suite(std::uint64_t h, const driver::TestSuite& suite) {
         h = absorb(h, tc.entry_state);
     }
     return h;
-}
-
-/// The suite-level transaction id used in per-item seed derivation: the
-/// whole suite is one work item's "transaction" (finer sharding would
-/// split classification across cases).
-std::string suite_tag(const driver::TestSuite& suite) {
-    return suite.class_name + "#" + std::to_string(suite.seed);
 }
 
 }  // namespace
@@ -164,17 +158,18 @@ CampaignResult CampaignScheduler::run(
                                         ms_since(phase_start));
     }
 
-    // Work items with derived seeds and content keys.
-    const std::string tag = suite_tag(suite);
+    // Work items with derived seeds and content keys — identical to the
+    // list the dispatch coordinator builds for this campaign
+    // (work_list.h is the shared source of item identity).
     std::vector<CampaignItem> items;
     items.reserve(mutants.size());
-    for (std::size_t i = 0; i < mutants.size(); ++i) {
+    for (WorkItem& shared :
+         build_work_list(options_.seed, out.fingerprint, suite, mutants)) {
         CampaignItem item;
-        item.index = i;
-        item.mutant = &mutants[i];
-        const std::string mutant_id = mutants[i].id();
-        item.item_seed = derive_item_seed(options_.seed, mutant_id, tag);
-        item.key = to_hex(absorb(fnv1a64(out.fingerprint), mutant_id));
+        item.index = shared.index;
+        item.mutant = &mutants[shared.index];
+        item.item_seed = shared.item_seed;
+        item.key = std::move(shared.key);
         items.push_back(std::move(item));
     }
 
@@ -212,20 +207,12 @@ CampaignResult CampaignScheduler::run(
             pending.push_back(&item);
             continue;
         }
-        const auto fate = mutation::fate_from_string(record->fate);
-        const auto reason = oracle::kill_reason_from_string(record->reason);
-        if (!fate || !reason) {  // unreadable record: re-execute
-            pending.push_back(&item);
+        mutation::MutantOutcome& outcome = outcomes[item.index];
+        if (!restore_outcome(*record, &outcome)) {
+            pending.push_back(&item);  // unreadable record: re-execute
             continue;
         }
-        mutation::MutantOutcome& outcome = outcomes[item.index];
         outcome.mutant = item.mutant;
-        outcome.fate = *fate;
-        outcome.reason = *reason;
-        outcome.hit_by_suite = record->hit_by_suite;
-        outcome.killed_by_probe = record->killed_by_probe;
-        outcome.model_only = record->model_only;
-        outcome.sandbox = record->sandbox;
         ++out.stats.resumed;
         trace.emit(JsonObject()
                        .set("event", "item-resumed")

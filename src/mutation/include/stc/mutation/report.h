@@ -4,6 +4,7 @@
 // Score) with a Total column.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <string>
@@ -61,5 +62,16 @@ private:
     std::map<std::pair<std::string, Operator>, Tally> cells_;
     static const Tally kEmpty;
 };
+
+/// The full campaign report: header line, one line per mutant in
+/// enumeration order, the Table 2/3 aggregation, and the score footer.
+/// Shared by `concat campaign` and `concat dispatch`, so a distributed
+/// run renders byte-identical output to the single-process run it
+/// shards — the determinism contract CI checks with cmp(1).  Every
+/// outcome must carry its mutant pointer; scheduling-dependent numbers
+/// (timings, worker ids) never appear here.
+void render_campaign_report(std::ostream& os, const MutationRun& run,
+                            const std::string& class_name, std::size_t cases,
+                            std::uint64_t seed);
 
 }  // namespace stc::mutation

@@ -179,4 +179,33 @@ void MutationTable::render_assertion_guidance(std::ostream& os,
           "additional embedded assertions)\n";
 }
 
+void render_campaign_report(std::ostream& os, const MutationRun& run,
+                            const std::string& class_name, std::size_t cases,
+                            std::uint64_t seed) {
+    os << "campaign: " << class_name << ", " << run.outcomes.size()
+       << " mutant(s), " << cases << " case(s), seed " << seed << "\n"
+       << "baseline clean: " << (run.baseline_clean ? "yes" : "no") << "\n\n";
+    for (const auto& outcome : run.outcomes) {
+        os << outcome.mutant->id() << "  " << to_string(outcome.fate);
+        if (outcome.fate == MutantFate::Killed) {
+            os << "  [" << oracle::to_string(outcome.reason) << "]";
+            // The oracle-strength marker: the base oracle alone would
+            // have let this mutant survive.  Only ever set under a
+            // model oracle, so model-less reports are byte-unchanged.
+            if (outcome.model_only) os << "  (model-only)";
+        }
+        // Sandbox termination kind, set only for items whose isolated
+        // worker died — absent everywhere else, so in-process,
+        // isolated, and dispatched reports stay byte-identical for
+        // non-crashing mutants.
+        if (!outcome.sandbox.empty()) os << "  {" << outcome.sandbox << "}";
+        os << "\n";
+    }
+    os << "\n";
+    const MutationTable table = MutationTable::build(run);
+    table.render(os, run);
+    os << "\nscore: " << support::percent(run.score())
+       << "  (covered-only: " << support::percent(run.covered_score()) << ")\n";
+}
+
 }  // namespace stc::mutation

@@ -64,6 +64,17 @@ struct TelemetryStats {
     std::size_t starts = 0;            ///< item-start events
     std::size_t finishes = 0;          ///< item-finish events
     std::size_t resumes = 0;           ///< item-resumed events
+    std::size_t streams = 0;           ///< input streams absorbed
+
+    // Distributed campaign service (docs/FORMATS.md §10): the
+    // coordinator's worker-connect / worker-disconnect /
+    // worker-redispatch events plus the daemon-side worker-session
+    // markers.  Counted across every absorbed stream — a coordinator
+    // file merged with its per-worker files tallies both perspectives.
+    std::size_t worker_connects = 0;
+    std::size_t worker_disconnects = 0;
+    std::size_t redispatched = 0;
+    std::size_t serve_sessions = 0;
 
     std::vector<Item> items;  ///< sorted by index
     std::size_t shrunk_items = 0;  ///< item-finish events with a persisted reproducer
@@ -115,6 +126,18 @@ struct TelemetryStats {
 
     /// Parse a telemetry file; throws stc::Error when it cannot open.
     [[nodiscard]] static TelemetryStats from_file(const std::string& path);
+
+    /// Aggregate several telemetry files (e.g. a dispatch coordinator's
+    /// stream plus each worker daemon's) into one summary.  Items
+    /// deduplicate by index across files — the same item reported by
+    /// coordinator and worker counts once — and each file's torn tail
+    /// is dropped independently.  Throws when any file cannot open.
+    [[nodiscard]] static TelemetryStats from_files(
+        const std::vector<std::string>& paths);
+
+    /// Fold one more stream into this summary (the from_files
+    /// worker; usable directly for incremental aggregation).
+    void absorb_stream(std::istream& in);
 
     /// fate -> item count, over the deduplicated items.
     [[nodiscard]] std::map<std::string, std::size_t> fate_counts() const;

@@ -25,8 +25,20 @@ std::string format_ms(double ms) {
 
 TelemetryStats TelemetryStats::from_stream(std::istream& in) {
     TelemetryStats out;
-    // index -> slot in out.items; later generations overwrite earlier.
+    out.absorb_stream(in);
+    return out;
+}
+
+void TelemetryStats::absorb_stream(std::istream& in) {
+    TelemetryStats& out = *this;
+    ++out.streams;
+    // index -> slot in out.items; later generations (and later input
+    // streams) overwrite earlier, so coordinator + worker files agree
+    // on one row per item.
     std::map<std::uint64_t, std::size_t> by_index;
+    for (std::size_t slot = 0; slot < out.items.size(); ++slot) {
+        by_index[out.items[slot].index] = slot;
+    }
 
     auto upsert = [&](const JsonObject& event, bool finished) {
         const auto index = event.get_uint("item");
@@ -122,6 +134,14 @@ TelemetryStats TelemetryStats::from_stream(std::istream& in) {
             out.fuzz_executions = event->get_uint("executions").value_or(0);
             out.fuzz_interesting = event->get_uint("interesting").value_or(0);
             out.fuzz_population = event->get_uint("population").value_or(0);
+        } else if (kind == "worker-connect") {
+            ++out.worker_connects;
+        } else if (kind == "worker-disconnect") {
+            ++out.worker_disconnects;
+        } else if (kind == "worker-redispatch") {
+            ++out.redispatched;
+        } else if (kind == "worker-session") {
+            ++out.serve_sessions;
         }
         // Unknown event kinds pass through untallied: the schema may
         // grow and old reporters should not reject new streams.
@@ -129,13 +149,23 @@ TelemetryStats TelemetryStats::from_stream(std::istream& in) {
 
     std::sort(out.items.begin(), out.items.end(),
               [](const Item& a, const Item& b) { return a.index < b.index; });
-    return out;
 }
 
 TelemetryStats TelemetryStats::from_file(const std::string& path) {
     std::ifstream in(path);
     if (!in) throw Error("cannot open telemetry file: " + path);
     return from_stream(in);
+}
+
+TelemetryStats TelemetryStats::from_files(
+    const std::vector<std::string>& paths) {
+    TelemetryStats out;
+    for (const std::string& path : paths) {
+        std::ifstream in(path);
+        if (!in) throw Error("cannot open telemetry file: " + path);
+        out.absorb_stream(in);
+    }
+    return out;
 }
 
 std::map<std::string, std::size_t> TelemetryStats::fate_counts() const {
@@ -201,6 +231,19 @@ void TelemetryStats::render(std::ostream& os, std::size_t top) const {
        << " executed, " << resumes << " resumed";
     if (shrunk_items != 0) os << ", " << shrunk_items << " kill(s) shrunk";
     os << "\n";
+    // Distributed runs only: absent for single-process streams, so
+    // their reports are byte-unchanged.
+    if (worker_connects != 0 || worker_disconnects != 0 || redispatched != 0 ||
+        serve_sessions != 0) {
+        os << "  dispatch: " << worker_connects << " worker connect(s), "
+           << worker_disconnects << " disconnect(s), " << redispatched
+           << " item(s) re-dispatched";
+        if (serve_sessions != 0) {
+            os << ", " << serve_sessions << " serve session(s)";
+        }
+        if (streams > 1) os << ", " << streams << " stream(s)";
+        os << "\n";
+    }
     if (have_summary) {
         os << "  final: score " << support::percent(score) << ", " << workers
            << " worker(s), " << steals << " steal(s), wall "

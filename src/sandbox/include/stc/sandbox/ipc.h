@@ -8,6 +8,11 @@
 // The encoding above the frame layer lives in codec.h; this file knows
 // nothing about mutants or verdicts.
 //
+// The framing machinery itself is stc::wire (frame.h): the raw pipe
+// frames here and the versioned socket messages of `concat serve` share
+// one length-prefix core, so the two transports cannot drift.  This
+// header remains the sandbox-facing API.
+//
 // Two read paths, matching the two ends of the pipe:
 //   - read_frame: blocking, used by the child whose whole life is
 //     "read request, run it, write reply";
@@ -21,14 +26,15 @@
 #include <optional>
 #include <string>
 #include <string_view>
-#include <vector>
+
+#include "stc/wire/frame.h"
 
 namespace stc::sandbox {
 
 /// Upper bound on a frame payload.  A length prefix above this is a
 /// protocol violation (a worker that died mid-write and left garbage),
 /// not a request to allocate gigabytes in the parent.
-inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;  // 64 MiB
+inline constexpr std::uint32_t kMaxFramePayload = wire::kMaxFramePayload;
 
 /// Write one complete frame; loops over partial writes and EINTR.
 /// False on error — most importantly EPIPE after the peer died (the
@@ -56,13 +62,13 @@ public:
 
     /// Bytes buffered but not yet consumed (torn-frame diagnostics).
     [[nodiscard]] std::size_t pending_bytes() const noexcept {
-        return bytes_.size();
+        return buffer_.pending_bytes();
     }
 
-    void clear() noexcept { bytes_.clear(); }
+    void clear() noexcept { buffer_.clear(); }
 
 private:
-    std::vector<char> bytes_;
+    wire::RawFrameBuffer buffer_;
 };
 
 }  // namespace stc::sandbox

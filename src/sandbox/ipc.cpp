@@ -1,108 +1,30 @@
 #include "stc/sandbox/ipc.h"
 
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
+#include "stc/wire/frame.h"
 
 namespace stc::sandbox {
 
-namespace {
-
-/// Little-endian, byte by byte: the parent and its forked children
-/// share an architecture, but an explicit layout keeps the format
-/// documentable (FORMATS.md §8) and the decoder testable.
-void encode_length(std::uint32_t n, unsigned char out[4]) noexcept {
-    out[0] = static_cast<unsigned char>(n & 0xff);
-    out[1] = static_cast<unsigned char>((n >> 8) & 0xff);
-    out[2] = static_cast<unsigned char>((n >> 16) & 0xff);
-    out[3] = static_cast<unsigned char>((n >> 24) & 0xff);
-}
-
-std::uint32_t decode_length(const unsigned char in[4]) noexcept {
-    return static_cast<std::uint32_t>(in[0]) |
-           (static_cast<std::uint32_t>(in[1]) << 8) |
-           (static_cast<std::uint32_t>(in[2]) << 16) |
-           (static_cast<std::uint32_t>(in[3]) << 24);
-}
-
-bool write_all(int fd, const void* data, std::size_t n) noexcept {
-    const char* p = static_cast<const char*>(data);
-    while (n > 0) {
-        const ssize_t written = ::write(fd, p, n);
-        if (written < 0) {
-            if (errno == EINTR) continue;
-            return false;
-        }
-        p += written;
-        n -= static_cast<std::size_t>(written);
-    }
-    return true;
-}
-
-/// Read exactly n bytes; false on EOF or error.  `any_read` reports
-/// whether at least one byte arrived (distinguishes clean EOF from a
-/// torn frame).
-bool read_all(int fd, void* data, std::size_t n, bool* any_read) noexcept {
-    char* p = static_cast<char*>(data);
-    while (n > 0) {
-        const ssize_t got = ::read(fd, p, n);
-        if (got < 0) {
-            if (errno == EINTR) continue;
-            return false;
-        }
-        if (got == 0) return false;  // EOF
-        if (any_read != nullptr) *any_read = true;
-        p += got;
-        n -= static_cast<std::size_t>(got);
-    }
-    return true;
-}
-
-}  // namespace
+// The framing itself lives in stc::wire since PR 6 generalized it into
+// the socket wire protocol; these wrappers keep the sandbox's historical
+// API (and its tests) stable while guaranteeing pipe IPC and socket
+// framing can never drift apart.
 
 bool write_frame(int fd, std::string_view payload) noexcept {
-    if (payload.size() > kMaxFramePayload) return false;
-    unsigned char header[4];
-    encode_length(static_cast<std::uint32_t>(payload.size()), header);
-    if (!write_all(fd, header, sizeof header)) return false;
-    return write_all(fd, payload.data(), payload.size());
+    return wire::write_raw_frame(fd, payload);
 }
 
 std::optional<std::string> read_frame(int fd) {
-    unsigned char header[4];
-    bool any_read = false;
-    if (!read_all(fd, header, sizeof header, &any_read)) return std::nullopt;
-    const std::uint32_t length = decode_length(header);
-    if (length > kMaxFramePayload) return std::nullopt;
-    std::string payload(length, '\0');
-    if (length > 0 && !read_all(fd, payload.data(), length, nullptr)) {
-        return std::nullopt;
-    }
-    return payload;
+    return wire::read_raw_frame(fd);
 }
 
 void FrameBuffer::feed(const char* data, std::size_t n) {
-    bytes_.insert(bytes_.end(), data, data + n);
+    buffer_.feed(data, n);
 }
 
-bool FrameBuffer::oversized() const noexcept {
-    if (bytes_.size() < 4) return false;
-    unsigned char header[4];
-    std::memcpy(header, bytes_.data(), 4);
-    return decode_length(header) > kMaxFramePayload;
-}
+bool FrameBuffer::oversized() const noexcept { return buffer_.oversized(); }
 
 std::optional<std::string> FrameBuffer::take_frame() {
-    if (bytes_.size() < 4) return std::nullopt;
-    unsigned char header[4];
-    std::memcpy(header, bytes_.data(), 4);
-    const std::uint32_t length = decode_length(header);
-    if (length > kMaxFramePayload) return std::nullopt;  // see oversized()
-    if (bytes_.size() < 4u + length) return std::nullopt;
-    std::string payload(bytes_.begin() + 4, bytes_.begin() + 4 + length);
-    bytes_.erase(bytes_.begin(), bytes_.begin() + 4 + length);
-    return payload;
+    return buffer_.take_frame();
 }
 
 }  // namespace stc::sandbox

@@ -1,0 +1,284 @@
+#include "stc/serve/builtin_host.h"
+
+#include <chrono>
+#include <utility>
+
+#include "stc/campaign/scheduler.h"
+#include "stc/core/self_testable.h"
+#include "stc/mfc/component.h"
+#include "stc/model/model.h"
+#include "stc/sandbox/codec.h"
+#include "stc/support/error.h"
+#include "stc/tfm/coverage.h"
+
+namespace stc::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+std::optional<tfm::Criterion> criterion_from_string(const std::string& text) {
+    if (text == "all-transactions") return tfm::Criterion::AllTransactions;
+    if (text == "all-links") return tfm::Criterion::AllEdges;
+    if (text == "all-nodes") return tfm::Criterion::AllNodes;
+    return std::nullopt;
+}
+
+}  // namespace
+
+obs::JsonObject make_hello(const BuiltinCampaignConfig& config,
+                           const std::string& fingerprint) {
+    return obs::JsonObject()
+        .set("component", config.component)
+        .set("seed", config.generator.seed)
+        .set("max_visits",
+             static_cast<std::uint64_t>(
+                 config.generator.enumeration.max_node_visits))
+        .set("cases", static_cast<std::uint64_t>(
+                          config.generator.cases_per_transaction))
+        .set("criterion", tfm::to_string(config.generator.criterion))
+        .set("states", config.generator.include_entry_states)
+        .set("probe", config.probe)
+        .set("model", config.model)
+        .set("fingerprint", fingerprint);
+}
+
+std::optional<BuiltinCampaignConfig> parse_hello(const obs::JsonObject& hello,
+                                                 std::string* error) {
+    BuiltinCampaignConfig config;
+    const auto component = hello.get_string("component");
+    if (!component) {
+        if (error != nullptr) *error = "hello: missing 'component'";
+        return std::nullopt;
+    }
+    config.component = *component;
+    if (const auto seed = hello.get_uint("seed")) config.generator.seed = *seed;
+    if (const auto visits = hello.get_uint("max_visits")) {
+        config.generator.enumeration.max_node_visits =
+            static_cast<std::size_t>(*visits);
+    }
+    if (const auto cases = hello.get_uint("cases")) {
+        config.generator.cases_per_transaction =
+            static_cast<std::size_t>(*cases);
+    }
+    if (const auto criterion = hello.get_string("criterion")) {
+        const auto parsed = criterion_from_string(*criterion);
+        if (!parsed) {
+            if (error != nullptr) {
+                *error = "hello: unknown criterion '" + *criterion + "'";
+            }
+            return std::nullopt;
+        }
+        config.generator.criterion = *parsed;
+    }
+    config.generator.include_entry_states =
+        hello.get_bool("states").value_or(false);
+    config.probe = hello.get_bool("probe").value_or(false);
+    config.model = hello.get_bool("model").value_or(false);
+    return config;
+}
+
+struct BuiltinCampaign::Impl {
+    BuiltinCampaignConfig config;
+    mfc::ElementPool pool;
+    std::optional<core::SelfTestableComponent> component;
+    std::optional<driver::CompletionRegistry> completions;
+    driver::TestSuite suite;
+    std::optional<driver::TestSuite> probe;
+    std::vector<mutation::Mutant> mutants;
+    mutation::EngineOptions engine;
+    std::optional<driver::TestRunner> runner;
+    std::optional<driver::TestRunner> probe_runner;
+    oracle::GoldenRecord golden;
+    oracle::GoldenRecord probe_golden;
+    bool baseline_clean = false;
+    std::string fingerprint;
+    std::vector<campaign::WorkItem> items;
+};
+
+BuiltinCampaign::BuiltinCampaign() : impl_(std::make_unique<Impl>()) {}
+BuiltinCampaign::~BuiltinCampaign() = default;
+
+std::unique_ptr<BuiltinCampaign> BuiltinCampaign::open(
+    const BuiltinCampaignConfig& config, std::string* error) {
+    if (config.component != "coblist" && config.component != "sortable") {
+        if (error != nullptr) {
+            *error = "unknown component '" + config.component +
+                     "' (expected coblist or sortable)";
+        }
+        return nullptr;
+    }
+
+    std::unique_ptr<BuiltinCampaign> out(new BuiltinCampaign());
+    Impl& s = *out->impl_;
+    s.config = config;
+    s.component.emplace(config.component == "coblist"
+                            ? core::SelfTestableComponent(
+                                  mfc::coblist_spec(), mfc::coblist_binding())
+                            : core::SelfTestableComponent(
+                                  mfc::sortable_spec(),
+                                  mfc::sortable_binding()));
+    s.completions.emplace(mfc::make_completions(s.pool));
+    s.component->set_completions(*s.completions);
+
+    s.suite = s.component->generate_tests(config.generator);
+    if (config.probe) {
+        // Same amplification `concat campaign --probe` applies: a
+        // decorrelated seed and one extra case per transaction.
+        driver::GeneratorOptions probe_options = config.generator;
+        probe_options.seed = config.generator.seed ^ 0x9e3779b97f4a7c15ULL;
+        probe_options.cases_per_transaction =
+            config.generator.cases_per_transaction + 1;
+        s.probe = s.component->generate_tests(probe_options);
+    }
+    s.mutants =
+        mutation::enumerate_mutants(mfc::descriptors(), s.suite.class_name);
+
+    if (config.model) {
+        const driver::ModelBinding* binding =
+            model::binding_for(s.suite.class_name);
+        if (binding == nullptr) {
+            if (error != nullptr) {
+                *error = "no reference model for '" + s.suite.class_name + "'";
+            }
+            return nullptr;
+        }
+        s.engine.runner.model = binding;
+    }
+
+    // Campaign identity, computed exactly as the in-process scheduler
+    // does — this is the value the handshake cross-checks.
+    campaign::CampaignOptions campaign_options;
+    campaign_options.seed = config.generator.seed;
+    campaign_options.engine = s.engine;
+    const campaign::CampaignScheduler scheduler(s.component->registry(),
+                                                campaign_options);
+    s.fingerprint =
+        scheduler.fingerprint(s.suite, s.mutants, s.probe ? &*s.probe : nullptr);
+    s.items = campaign::build_work_list(config.generator.seed, s.fingerprint,
+                                        s.suite, s.mutants);
+
+    // Golden baselines, captured once per session (the scheduler's
+    // "golden-baseline" phase, replicated here because each end of a
+    // dispatch owns its own executors).
+    s.runner.emplace(s.component->registry(), s.engine.runner);
+    driver::RunnerOptions probe_opts = s.engine.runner;
+    probe_opts.observe_each_call = true;
+    s.probe_runner.emplace(s.component->registry(), probe_opts);
+    s.golden = oracle::GoldenRecord::from(s.runner->run(s.suite));
+    s.baseline_clean = s.golden.all_passed();
+    if (s.probe) {
+        s.probe_golden = oracle::GoldenRecord::from(s.probe_runner->run(*s.probe));
+    }
+    return out;
+}
+
+const BuiltinCampaignConfig& BuiltinCampaign::config() const noexcept {
+    return impl_->config;
+}
+const driver::TestSuite& BuiltinCampaign::suite() const noexcept {
+    return impl_->suite;
+}
+const std::vector<mutation::Mutant>& BuiltinCampaign::mutants() const noexcept {
+    return impl_->mutants;
+}
+const std::string& BuiltinCampaign::fingerprint() const noexcept {
+    return impl_->fingerprint;
+}
+const std::vector<campaign::WorkItem>& BuiltinCampaign::items() const noexcept {
+    return impl_->items;
+}
+const oracle::GoldenRecord& BuiltinCampaign::golden() const noexcept {
+    return impl_->golden;
+}
+bool BuiltinCampaign::baseline_clean() const noexcept {
+    return impl_->baseline_clean;
+}
+
+mutation::MutantOutcome BuiltinCampaign::evaluate(
+    const std::string& mutant_id) const {
+    const Impl& s = *impl_;
+    const mutation::Mutant* mutant = nullptr;
+    for (const auto& m : s.mutants) {
+        if (m.id() == mutant_id) {
+            mutant = &m;
+            break;
+        }
+    }
+    if (mutant == nullptr) {
+        throw Error("unknown mutant '" + mutant_id +
+                    "' for component " + s.config.component);
+    }
+    const mutation::MutationEngine::SuiteExecutor run_suite = [&s] {
+        return s.runner->run(s.suite);
+    };
+    mutation::MutationEngine::SuiteExecutor run_probe;
+    if (s.probe) {
+        run_probe = [&s] { return s.probe_runner->run(*s.probe); };
+    }
+    return mutation::evaluate_mutant(*mutant, run_suite, s.golden, run_probe,
+                                     s.probe_golden, s.engine);
+}
+
+namespace {
+
+class BuiltinSession final : public Session {
+public:
+    explicit BuiltinSession(std::unique_ptr<BuiltinCampaign> campaign)
+        : campaign_(std::move(campaign)) {}
+
+    [[nodiscard]] const std::string& fingerprint() const override {
+        return campaign_->fingerprint();
+    }
+
+    [[nodiscard]] obs::JsonObject evaluate(
+        const obs::JsonObject& work) override {
+        const auto item = work.get_uint("item");
+        const auto mutant_id = work.get_string("mutant");
+        if (!item || !mutant_id) {
+            throw Error("work frame missing 'item' or 'mutant'");
+        }
+        const auto t0 = Clock::now();
+        const mutation::MutantOutcome outcome = campaign_->evaluate(*mutant_id);
+        const double wall = ms_since(t0);
+        // Result payload = the sandbox outcome codec (the merge decodes
+        // with sandbox::decode_outcome) plus the dispatch bookkeeping.
+        auto payload = obs::JsonObject::parse(sandbox::encode_outcome(outcome));
+        if (!payload) throw Error("outcome did not round-trip");
+        payload->set("item", *item)
+            .set("mutant", *mutant_id)
+            .set("wall_ms", wall);
+        return *payload;
+    }
+
+private:
+    std::unique_ptr<BuiltinCampaign> campaign_;
+};
+
+}  // namespace
+
+SessionFactory builtin_session_factory() {
+    return [](const obs::JsonObject& hello,
+              std::string* error) -> std::unique_ptr<Session> {
+        const auto config = parse_hello(hello, error);
+        if (!config) return nullptr;
+        auto campaign = BuiltinCampaign::open(*config, error);
+        if (campaign == nullptr) return nullptr;
+        const std::string theirs = hello.get_string("fingerprint").value_or("");
+        if (!theirs.empty() && theirs != campaign->fingerprint()) {
+            if (error != nullptr) {
+                *error = "fingerprint mismatch: coordinator " + theirs +
+                         " vs worker " + campaign->fingerprint();
+            }
+            return nullptr;
+        }
+        return std::make_unique<BuiltinSession>(std::move(campaign));
+    };
+}
+
+}  // namespace stc::serve

@@ -1,0 +1,412 @@
+#include "stc/serve/dispatch.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <utility>
+
+#include "stc/support/error.h"
+#include "stc/wire/frame.h"
+
+namespace stc::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+constexpr std::ptrdiff_t kNoItem = -1;
+
+struct WorkerState {
+    enum class Phase { Handshaking, Ready, Dead };
+
+    Endpoint endpoint;
+    Fd fd;
+    wire::Decoder decoder;
+    Phase phase = Phase::Dead;
+    std::deque<std::size_t> queue;       ///< assigned item indices
+    std::ptrdiff_t in_flight = kNoItem;  ///< index of the item sent, or -1
+    Clock::time_point last_heard;
+    bool ping_outstanding = false;
+};
+
+}  // namespace
+
+Coordinator::Coordinator(DispatchOptions options)
+    : options_(std::move(options)) {
+    if (options_.workers.empty()) {
+        throw Error("dispatch needs at least one worker endpoint");
+    }
+}
+
+DispatchStats Coordinator::run(const std::vector<campaign::WorkItem>& items,
+                               const ResultHandler& on_result) {
+    // A worker SIGKILLed mid-stream must surface as EPIPE on our next
+    // write, not as a SIGPIPE death of the coordinator.
+    ::signal(SIGPIPE, SIG_IGN);
+    const auto t0 = Clock::now();
+    const obs::SpanScope span(options_.obs.tracer, "phase", "dispatch");
+
+    DispatchStats stats;
+    stats.workers = options_.workers.size();
+
+    auto emit = [&](const obs::JsonObject& event) {
+        if (options_.telemetry) options_.telemetry(event);
+    };
+
+    std::vector<WorkerState> workers(options_.workers.size());
+    std::vector<bool> completed(items.size(), false);
+    std::size_t remaining = items.size();
+    std::size_t redispatch_cursor = 0;
+    std::uint64_t ping_nonce = 0;
+
+    auto live_count = [&] {
+        std::size_t n = 0;
+        for (const WorkerState& w : workers) {
+            if (w.phase != WorkerState::Phase::Dead) ++n;
+        }
+        return n;
+    };
+
+    // Declare worker `w` dead and move its unfinished items to the
+    // survivors, round-robin.  The items list and partition are
+    // deterministic; only this fault path depends on runtime behavior,
+    // and item results are schedule-independent, so the merged fates
+    // are unchanged by who re-executes what.
+    auto fail_worker = [&](std::size_t w, const std::string& reason) {
+        WorkerState& state = workers[w];
+        if (state.phase == WorkerState::Phase::Dead) return;
+        state.phase = WorkerState::Phase::Dead;
+        state.fd.close();
+        ++stats.disconnects;
+        std::deque<std::size_t> unfinished = std::move(state.queue);
+        state.queue.clear();
+        if (state.in_flight != kNoItem &&
+            !completed[static_cast<std::size_t>(state.in_flight)]) {
+            unfinished.push_front(static_cast<std::size_t>(state.in_flight));
+        }
+        state.in_flight = kNoItem;
+        emit(obs::JsonObject()
+                 .set("event", "worker-disconnect")
+                 .set("worker", static_cast<std::uint64_t>(w))
+                 .set("endpoint", state.endpoint.spec)
+                 .set("reason", reason)
+                 .set("unfinished",
+                      static_cast<std::uint64_t>(unfinished.size())));
+        if (unfinished.empty() || live_count() == 0) return;
+        for (const std::size_t index : unfinished) {
+            std::size_t target = redispatch_cursor;
+            do {
+                target = (target + 1) % workers.size();
+            } while (workers[target].phase == WorkerState::Phase::Dead);
+            redispatch_cursor = target;
+            workers[target].queue.push_back(index);
+            ++stats.redispatched;
+            emit(obs::JsonObject()
+                     .set("event", "worker-redispatch")
+                     .set("item", static_cast<std::uint64_t>(index))
+                     .set("mutant", items[index].mutant_id)
+                     .set("from", static_cast<std::uint64_t>(w))
+                     .set("to", static_cast<std::uint64_t>(target)));
+        }
+    };
+
+    // Connect and greet every endpoint.  A worker that cannot be
+    // reached is a dead worker, not a fatal error — its share moves to
+    // the survivors (below), matching the mid-campaign fault path.
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+        WorkerState& state = workers[w];
+        state.endpoint = options_.workers[w];
+        try {
+            state.fd = connect_to(state.endpoint);
+        } catch (const Error& e) {
+            emit(obs::JsonObject()
+                     .set("event", "worker-disconnect")
+                     .set("worker", static_cast<std::uint64_t>(w))
+                     .set("endpoint", state.endpoint.spec)
+                     .set("reason", std::string("connect: ") + e.what())
+                     .set("unfinished", static_cast<std::uint64_t>(0)));
+            ++stats.disconnects;
+            continue;
+        }
+        obs::JsonObject hello = options_.hello;
+        hello.set("ordinal", static_cast<std::uint64_t>(w));
+        if (!wire::write_message(state.fd.get(), wire::MessageType::Hello,
+                                 hello.to_line())) {
+            emit(obs::JsonObject()
+                     .set("event", "worker-disconnect")
+                     .set("worker", static_cast<std::uint64_t>(w))
+                     .set("endpoint", state.endpoint.spec)
+                     .set("reason", "hello-write-failed")
+                     .set("unfinished", static_cast<std::uint64_t>(0)));
+            state.fd.close();
+            ++stats.disconnects;
+            continue;
+        }
+        state.phase = WorkerState::Phase::Handshaking;
+        state.last_heard = Clock::now();
+    }
+    if (live_count() == 0) {
+        throw Error("dispatch: no worker reachable (" +
+                    std::to_string(stats.workers) + " configured)");
+    }
+
+    // Deterministic partition by content key; shares of unreachable
+    // workers go straight through the redispatch path.
+    std::vector<std::size_t> orphaned;
+    for (const campaign::WorkItem& item : items) {
+        const std::size_t shard = campaign::shard_of(item.key, workers.size());
+        if (workers[shard].phase == WorkerState::Phase::Dead) {
+            orphaned.push_back(item.index);
+        } else {
+            workers[shard].queue.push_back(item.index);
+        }
+    }
+    for (const std::size_t index : orphaned) {
+        std::size_t target = redispatch_cursor;
+        do {
+            target = (target + 1) % workers.size();
+        } while (workers[target].phase == WorkerState::Phase::Dead);
+        redispatch_cursor = target;
+        workers[target].queue.push_back(index);
+        ++stats.redispatched;
+        emit(obs::JsonObject()
+                 .set("event", "worker-redispatch")
+                 .set("item", static_cast<std::uint64_t>(index))
+                 .set("mutant", items[index].mutant_id)
+                 .set("from",
+                      static_cast<std::uint64_t>(campaign::shard_of(
+                          items[index].key, workers.size())))
+                 .set("to", static_cast<std::uint64_t>(target)));
+    }
+
+    // Drain one decoded message from worker `w`.  Returns false when the
+    // worker was failed.
+    auto handle_message = [&](std::size_t w, const wire::Message& message) {
+        WorkerState& state = workers[w];
+        switch (message.type) {
+            case wire::MessageType::HelloAck: {
+                if (state.phase != WorkerState::Phase::Handshaking) {
+                    fail_worker(w, "protocol: unexpected hello-ack");
+                    return false;
+                }
+                const auto ack = obs::JsonObject::parse(message.payload);
+                if (!ack) {
+                    fail_worker(w, "protocol: unparseable hello-ack");
+                    return false;
+                }
+                if (!ack->get_bool("ok").value_or(false)) {
+                    fail_worker(w, "handshake-rejected: " +
+                                       ack->get_string("error").value_or("?"));
+                    return false;
+                }
+                const std::string theirs =
+                    ack->get_string("fingerprint").value_or("");
+                if (!options_.expected_fingerprint.empty() &&
+                    theirs != options_.expected_fingerprint) {
+                    fail_worker(w, "fingerprint-mismatch: worker " + theirs +
+                                       " vs coordinator " +
+                                       options_.expected_fingerprint);
+                    return false;
+                }
+                state.phase = WorkerState::Phase::Ready;
+                ++stats.workers_connected;
+                emit(obs::JsonObject()
+                         .set("event", "worker-connect")
+                         .set("worker", static_cast<std::uint64_t>(w))
+                         .set("endpoint", state.endpoint.spec)
+                         .set("fingerprint", theirs)
+                         .set("queued",
+                              static_cast<std::uint64_t>(state.queue.size())));
+                return true;
+            }
+            case wire::MessageType::Result: {
+                if (state.in_flight == kNoItem) {
+                    fail_worker(w, "protocol: unsolicited result");
+                    return false;
+                }
+                const auto result = obs::JsonObject::parse(message.payload);
+                if (!result) {
+                    fail_worker(w, "protocol: unparseable result");
+                    return false;
+                }
+                const auto index = result->get_uint("item");
+                if (!index ||
+                    *index != static_cast<std::uint64_t>(state.in_flight)) {
+                    fail_worker(w, "protocol: result for wrong item");
+                    return false;
+                }
+                state.in_flight = kNoItem;
+                const std::size_t slot = static_cast<std::size_t>(*index);
+                if (!completed[slot]) {
+                    completed[slot] = true;
+                    --remaining;
+                    ++stats.executed;
+                    obs::JsonObject merged = *result;
+                    merged.set("worker", static_cast<std::uint64_t>(w));
+                    on_result(items[slot], merged);
+                }
+                return true;
+            }
+            case wire::MessageType::Pong:
+                return true;  // silence clock already reset by the read
+            case wire::MessageType::Error: {
+                const auto error = obs::JsonObject::parse(message.payload);
+                fail_worker(
+                    w, "peer-error: " +
+                           (error ? error->get_string("error").value_or("?")
+                                  : std::string("?")));
+                return false;
+            }
+            default:
+                fail_worker(w, std::string("protocol: unexpected ") +
+                                   wire::to_string(message.type));
+                return false;
+        }
+    };
+
+    const int poll_slice_ms =
+        std::max(10, std::min(options_.keepalive_ms / 2, 250));
+    while (remaining > 0) {
+        if (live_count() == 0) {
+            throw Error("dispatch: all workers dead with " +
+                        std::to_string(remaining) + " items unfinished");
+        }
+
+        // Hand every idle ready worker its next item.
+        for (std::size_t w = 0; w < workers.size(); ++w) {
+            WorkerState& state = workers[w];
+            if (state.phase != WorkerState::Phase::Ready ||
+                state.in_flight != kNoItem) {
+                continue;
+            }
+            while (!state.queue.empty() && completed[state.queue.front()]) {
+                state.queue.pop_front();  // finished elsewhere meanwhile
+            }
+            if (state.queue.empty()) continue;
+            const std::size_t index = state.queue.front();
+            state.queue.pop_front();
+            const campaign::WorkItem& item = items[index];
+            const obs::JsonObject work =
+                obs::JsonObject()
+                    .set("item", static_cast<std::uint64_t>(item.index))
+                    .set("mutant", item.mutant_id)
+                    .set("item_seed", item.item_seed);
+            if (!wire::write_message(state.fd.get(), wire::MessageType::Work,
+                                     work.to_line())) {
+                fail_worker(w, "write-failed: " +
+                                   std::string(std::strerror(errno)));
+                continue;
+            }
+            state.in_flight = static_cast<std::ptrdiff_t>(index);
+            emit(obs::JsonObject()
+                     .set("event", "item-start")
+                     .set("item", static_cast<std::uint64_t>(item.index))
+                     .set("mutant", item.mutant_id)
+                     .set("worker", static_cast<std::uint64_t>(w)));
+        }
+
+        // Wait for traffic on any live connection.
+        std::vector<pollfd> fds;
+        std::vector<std::size_t> fd_owner;
+        for (std::size_t w = 0; w < workers.size(); ++w) {
+            if (workers[w].phase == WorkerState::Phase::Dead) continue;
+            fds.push_back(pollfd{workers[w].fd.get(), POLLIN, 0});
+            fd_owner.push_back(w);
+        }
+        const int ready = ::poll(fds.data(), fds.size(), poll_slice_ms);
+        if (ready < 0 && errno != EINTR) {
+            throw Error("dispatch poll(): " +
+                        std::string(std::strerror(errno)));
+        }
+
+        for (std::size_t i = 0; ready > 0 && i < fds.size(); ++i) {
+            if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+            const std::size_t w = fd_owner[i];
+            WorkerState& state = workers[w];
+            if (state.phase == WorkerState::Phase::Dead) continue;
+            char chunk[4096];
+            const ssize_t got = ::read(state.fd.get(), chunk, sizeof chunk);
+            if (got == 0) {
+                fail_worker(w, state.decoder.pending_bytes() == 0
+                                   ? "peer-closed"
+                                   : "torn-frame");
+                continue;
+            }
+            if (got < 0) {
+                if (errno == EINTR || errno == EAGAIN) continue;
+                fail_worker(w, "read-failed: " +
+                                   std::string(std::strerror(errno)));
+                continue;
+            }
+            state.last_heard = Clock::now();
+            state.ping_outstanding = false;
+            state.decoder.feed(chunk, static_cast<std::size_t>(got));
+            for (;;) {
+                wire::Message message;
+                const wire::Decoder::Status status =
+                    state.decoder.next(&message);
+                if (status == wire::Decoder::Status::NeedMore) break;
+                if (status != wire::Decoder::Status::Ok) {
+                    fail_worker(w, std::string("protocol: ") +
+                                       wire::to_string(status));
+                    break;
+                }
+                if (!handle_message(w, message)) break;
+            }
+        }
+
+        // Keepalive bookkeeping: probe the quiet, bury the silent.
+        const auto now = Clock::now();
+        for (std::size_t w = 0; w < workers.size(); ++w) {
+            WorkerState& state = workers[w];
+            if (state.phase == WorkerState::Phase::Dead) continue;
+            const auto silent_ms =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    now - state.last_heard)
+                    .count();
+            if (silent_ms > options_.dead_after_ms) {
+                fail_worker(w, "keepalive-timeout after " +
+                                   std::to_string(silent_ms) + "ms");
+            } else if (silent_ms > options_.keepalive_ms &&
+                       !state.ping_outstanding) {
+                const obs::JsonObject ping =
+                    obs::JsonObject().set("nonce", ping_nonce++);
+                if (!wire::write_message(state.fd.get(),
+                                         wire::MessageType::Ping,
+                                         ping.to_line())) {
+                    fail_worker(w, "ping-write-failed");
+                } else {
+                    state.ping_outstanding = true;
+                }
+            }
+        }
+    }
+
+    // Campaign complete: a polite Shutdown ends each surviving session.
+    for (WorkerState& state : workers) {
+        if (state.phase == WorkerState::Phase::Dead) continue;
+        (void)wire::write_message(state.fd.get(), wire::MessageType::Shutdown,
+                                  "");
+        state.fd.close();
+    }
+
+    stats.wall_ms = ms_since(t0);
+    options_.obs.metrics.observe_ms("dispatch.wall_ms", stats.wall_ms);
+    options_.obs.metrics.add("dispatch.executed", stats.executed);
+    options_.obs.metrics.add("dispatch.redispatched", stats.redispatched);
+    options_.obs.metrics.add("dispatch.disconnects", stats.disconnects);
+    return stats;
+}
+
+}  // namespace stc::serve

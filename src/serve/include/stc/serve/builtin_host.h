@@ -1,0 +1,90 @@
+// The built-in-component host of the campaign service: everything both
+// ends of a `concat dispatch` need to agree on, derived from one small
+// handshake config.
+//
+// The Hello payload carries only the campaign *inputs* (component name,
+// seed, generator knobs, probe/model switches).  Coordinator and worker
+// each reconstruct the full campaign — spec, suite, mutants, golden
+// baselines, fingerprint — from those inputs independently; the
+// fingerprint cross-check at handshake then proves they reconstructed
+// the same campaign (same code, same config) before any work is
+// shipped.  Item results are pure functions of that shared state plus
+// the item id, which is why a dispatched campaign's fates are
+// byte-identical to a local `concat campaign` run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stc/campaign/work_list.h"
+#include "stc/driver/generator.h"
+#include "stc/mutation/engine.h"
+#include "stc/obs/json.h"
+#include "stc/serve/worker.h"
+
+namespace stc::serve {
+
+/// The campaign inputs that travel in a Hello payload.
+struct BuiltinCampaignConfig {
+    std::string component;  ///< "coblist" | "sortable"
+    driver::GeneratorOptions generator;
+    bool probe = false;  ///< amplified probe suite for equivalence
+    bool model = false;  ///< lockstep reference-model oracle
+};
+
+/// Render the Hello payload (docs/FORMATS.md §10).  `fingerprint` is
+/// the sender's own campaign fingerprint; the receiver re-derives and
+/// cross-checks it.
+[[nodiscard]] obs::JsonObject make_hello(const BuiltinCampaignConfig& config,
+                                         const std::string& fingerprint);
+
+/// Parse a Hello payload; std::nullopt with `*error` set on an unknown
+/// component or criterion.  Missing optional fields take the same
+/// defaults `concat campaign` uses.
+[[nodiscard]] std::optional<BuiltinCampaignConfig> parse_hello(
+    const obs::JsonObject& hello, std::string* error);
+
+/// One fully reconstructed builtin campaign: component, suite, mutant
+/// population, golden baselines, fingerprint, work list.  Both sides
+/// of a dispatch open one of these from the same config.
+class BuiltinCampaign {
+public:
+    ~BuiltinCampaign();
+    BuiltinCampaign(const BuiltinCampaign&) = delete;
+    BuiltinCampaign& operator=(const BuiltinCampaign&) = delete;
+
+    /// Build the campaign; nullptr with `*error` set on an unknown
+    /// component or a model request without a registered model.
+    [[nodiscard]] static std::unique_ptr<BuiltinCampaign> open(
+        const BuiltinCampaignConfig& config, std::string* error);
+
+    [[nodiscard]] const BuiltinCampaignConfig& config() const noexcept;
+    [[nodiscard]] const driver::TestSuite& suite() const noexcept;
+    [[nodiscard]] const std::vector<mutation::Mutant>& mutants() const noexcept;
+    [[nodiscard]] const std::string& fingerprint() const noexcept;
+    [[nodiscard]] const std::vector<campaign::WorkItem>& items() const noexcept;
+    [[nodiscard]] const oracle::GoldenRecord& golden() const noexcept;
+    [[nodiscard]] bool baseline_clean() const noexcept;
+
+    /// Evaluate one mutant against the suite (and probe suite, when
+    /// configured) — the same evaluate_mutant call the in-process
+    /// scheduler makes, so fates match it exactly.  Throws stc::Error
+    /// on an unknown mutant id.
+    [[nodiscard]] mutation::MutantOutcome evaluate(
+        const std::string& mutant_id) const;
+
+private:
+    BuiltinCampaign();
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/// The worker-side SessionFactory over the built-in components: parses
+/// the Hello, opens the campaign, rejects on config errors or a
+/// fingerprint mismatch, then serves evaluate() per Work item.
+[[nodiscard]] SessionFactory builtin_session_factory();
+
+}  // namespace stc::serve

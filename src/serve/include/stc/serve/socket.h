@@ -1,0 +1,62 @@
+// Minimal POSIX TCP plumbing for the campaign service: an owning fd,
+// a listener, and a connector.  IPv4 only — the deployment unit is a
+// lab or CI host pool, not the open internet; docs/GUIDE.md §9 covers
+// the operational model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stc::serve {
+
+/// Owning file descriptor (close-on-destroy, move-only).
+class Fd {
+public:
+    Fd() = default;
+    explicit Fd(int fd) noexcept : fd_(fd) {}
+    ~Fd();
+
+    Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Fd& operator=(Fd&& other) noexcept;
+    Fd(const Fd&) = delete;
+    Fd& operator=(const Fd&) = delete;
+
+    [[nodiscard]] int get() const noexcept { return fd_; }
+    [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+    void close() noexcept;
+
+private:
+    int fd_ = -1;
+};
+
+/// One `host:port` worker address.  `spec` preserves the user's exact
+/// token for diagnostics and telemetry.
+struct Endpoint {
+    std::string host;
+    std::uint16_t port = 0;
+    std::string spec;
+};
+
+/// Parse "host:port" (host defaults to 127.0.0.1 for a bare ":port" or
+/// "port" token).  Throws stc::Error on a malformed spec.
+[[nodiscard]] Endpoint parse_endpoint(const std::string& spec);
+
+/// Split "a:1,b:2" into endpoints; throws on any malformed element.
+[[nodiscard]] std::vector<Endpoint> parse_endpoints(const std::string& list);
+
+/// Bind + listen on `port` (0 picks an ephemeral port); on return
+/// `*bound_port` holds the actual port.  Binds all interfaces so
+/// cross-host sharding works.  Throws stc::Error on failure.
+[[nodiscard]] Fd listen_on(std::uint16_t port, std::uint16_t* bound_port);
+
+/// Accept one connection (blocking); invalid Fd on failure/interrupt.
+[[nodiscard]] Fd accept_on(int listen_fd);
+
+/// Blocking connect; throws stc::Error naming the endpoint on failure.
+[[nodiscard]] Fd connect_to(const Endpoint& endpoint);
+
+/// Put a socket into non-blocking mode (the coordinator's poll loop).
+void set_nonblocking(int fd);
+
+}  // namespace stc::serve

@@ -1,0 +1,155 @@
+#include "stc/serve/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+#include "stc/support/error.h"
+
+namespace stc::serve {
+
+Fd::~Fd() { close(); }
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void Fd::close() noexcept {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Endpoint parse_endpoint(const std::string& spec) {
+    Endpoint out;
+    out.spec = spec;
+    const auto colon = spec.rfind(':');
+    const std::string host =
+        colon == std::string::npos ? "" : spec.substr(0, colon);
+    const std::string port_text =
+        colon == std::string::npos ? spec : spec.substr(colon + 1);
+    out.host = host.empty() ? "127.0.0.1" : host;
+    std::uint32_t port = 0;
+    const auto [p, ec] = std::from_chars(
+        port_text.data(), port_text.data() + port_text.size(), port);
+    if (ec != std::errc() || p != port_text.data() + port_text.size() ||
+        port == 0 || port > 65535) {
+        throw Error("bad worker endpoint '" + spec +
+                    "' (expected host:port with port 1-65535)");
+    }
+    out.port = static_cast<std::uint16_t>(port);
+    return out;
+}
+
+std::vector<Endpoint> parse_endpoints(const std::string& list) {
+    std::vector<Endpoint> out;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        const auto comma = list.find(',', start);
+        const std::string token =
+            list.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        if (!token.empty()) out.push_back(parse_endpoint(token));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+    }
+    if (out.empty()) throw Error("empty worker endpoint list");
+    return out;
+}
+
+Fd listen_on(std::uint16_t port, std::uint16_t* bound_port) {
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) throw Error("socket(): " + std::string(strerror(errno)));
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(port);
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0) {
+        throw Error("bind(port " + std::to_string(port) +
+                    "): " + std::string(strerror(errno)));
+    }
+    if (::listen(fd.get(), 8) != 0) {
+        throw Error("listen(): " + std::string(strerror(errno)));
+    }
+    if (bound_port != nullptr) {
+        sockaddr_in actual{};
+        socklen_t len = sizeof actual;
+        if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&actual),
+                          &len) != 0) {
+            throw Error("getsockname(): " + std::string(strerror(errno)));
+        }
+        *bound_port = ntohs(actual.sin_port);
+    }
+    return fd;
+}
+
+Fd accept_on(int listen_fd) {
+    for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0) {
+            const int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+            return Fd(fd);
+        }
+        if (errno == EINTR) continue;
+        return Fd();
+    }
+}
+
+Fd connect_to(const Endpoint& endpoint) {
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* info = nullptr;
+    const int rc = ::getaddrinfo(endpoint.host.c_str(),
+                                 std::to_string(endpoint.port).c_str(), &hints,
+                                 &info);
+    if (rc != 0 || info == nullptr) {
+        throw Error("cannot resolve worker '" + endpoint.spec +
+                    "': " + gai_strerror(rc));
+    }
+    Fd fd(::socket(info->ai_family, info->ai_socktype, info->ai_protocol));
+    if (!fd.valid()) {
+        ::freeaddrinfo(info);
+        throw Error("socket(): " + std::string(strerror(errno)));
+    }
+    int result;
+    do {
+        result = ::connect(fd.get(), info->ai_addr, info->ai_addrlen);
+    } while (result != 0 && errno == EINTR);
+    ::freeaddrinfo(info);
+    if (result != 0) {
+        throw Error("cannot connect to worker '" + endpoint.spec +
+                    "': " + std::string(strerror(errno)));
+    }
+    const int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return fd;
+}
+
+void set_nonblocking(int fd) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+        throw Error("fcntl(O_NONBLOCK): " + std::string(strerror(errno)));
+    }
+}
+
+}  // namespace stc::serve

@@ -1,0 +1,216 @@
+#include "stc/serve/worker.h"
+
+#include <csignal>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "stc/support/error.h"
+#include "stc/wire/frame.h"
+
+namespace stc::serve {
+
+namespace {
+
+/// Read more bytes into the decoder; false on EOF or hard error.
+bool pump(int fd, wire::Decoder& decoder) {
+    char chunk[4096];
+    for (;;) {
+        const ssize_t got = ::read(fd, chunk, sizeof chunk);
+        if (got > 0) {
+            decoder.feed(chunk, static_cast<std::size_t>(got));
+            return true;
+        }
+        if (got == 0) return false;  // EOF: coordinator closed
+        if (errno == EINTR) continue;
+        return false;
+    }
+}
+
+}  // namespace
+
+WorkerDaemon::WorkerDaemon(SessionFactory factory, ServeOptions options)
+    : factory_(std::move(factory)), options_(std::move(options)) {}
+
+WorkerDaemon::~WorkerDaemon() = default;
+
+std::uint16_t WorkerDaemon::bind() {
+    // A coordinator can vanish between our read and our write; EPIPE
+    // must come back as an error return so the session ends with a
+    // worker-disconnect event, not as a SIGPIPE process death.
+    ::signal(SIGPIPE, SIG_IGN);
+    listener_ = listen_on(options_.port, &port_);
+    if (options_.telemetry) {
+        options_.telemetry(obs::JsonObject()
+                               .set("event", "serve-start")
+                               .set("port", static_cast<std::uint64_t>(port_)));
+    }
+    return port_;
+}
+
+void WorkerDaemon::serve() {
+    if (!listener_.valid()) throw Error("WorkerDaemon::serve before bind");
+    while (!stopping_) {
+        Fd conn = accept_on(listener_.get());
+        if (!conn.valid()) {
+            if (stopping_) break;
+            continue;
+        }
+        serve_connection(conn.get());
+        ++sessions_;
+        if (options_.once) break;
+    }
+}
+
+void WorkerDaemon::stop() {
+    stopping_ = true;
+    if (listener_.valid()) {
+        // Wakes a blocked accept() with an error; the loop then sees
+        // stopping_ and exits.
+        ::shutdown(listener_.get(), SHUT_RDWR);
+    }
+}
+
+void WorkerDaemon::serve_connection(int fd) {
+    const obs::SpanScope span(options_.obs.tracer, "phase", "serve-session");
+    wire::Decoder decoder;
+    std::unique_ptr<Session> session;
+    std::uint64_t ordinal = 0;
+    std::size_t items = 0;
+    auto emit = [&](const obs::JsonObject& event) {
+        if (options_.telemetry) options_.telemetry(event);
+    };
+    auto disconnect = [&](const std::string& reason) {
+        emit(obs::JsonObject()
+                 .set("event", "worker-disconnect")
+                 .set("worker", ordinal)
+                 .set("items", static_cast<std::uint64_t>(items))
+                 .set("reason", reason));
+    };
+    auto fail = [&](const std::string& message) {
+        // Best effort: the peer may already be gone.
+        (void)wire::write_message(
+            fd, wire::MessageType::Error,
+            obs::JsonObject().set("error", message).to_line());
+        disconnect(message);
+    };
+
+    for (;;) {
+        wire::Message message;
+        const wire::Decoder::Status status = decoder.next(&message);
+        if (status == wire::Decoder::Status::NeedMore) {
+            if (!pump(fd, decoder)) {
+                // Coordinator hung up.  Mid-handshake or mid-frame that
+                // is an abnormal end; after a Shutdown we never reach
+                // here (the Shutdown branch returns).
+                disconnect(decoder.pending_bytes() == 0 ? "peer-closed"
+                                                        : "torn-frame");
+                return;
+            }
+            continue;
+        }
+        if (status != wire::Decoder::Status::Ok) {
+            std::string what = std::string("protocol: ") + to_string(status);
+            if (status == wire::Decoder::Status::BadVersion) {
+                what += " (peer v" + std::to_string(decoder.peer_version()) +
+                        ", this daemon v" +
+                        std::to_string(wire::kProtocolVersion) + ")";
+            }
+            fail(what);
+            return;
+        }
+
+        switch (message.type) {
+            case wire::MessageType::Hello: {
+                const auto hello = obs::JsonObject::parse(message.payload);
+                if (!hello) {
+                    fail("handshake: unparseable hello payload");
+                    return;
+                }
+                std::string error;
+                session = factory_(*hello, &error);
+                ordinal = hello->get_uint("ordinal").value_or(0);
+                obs::JsonObject ack;
+                ack.set("ok", session != nullptr);
+                if (session != nullptr) {
+                    ack.set("fingerprint", session->fingerprint());
+                } else {
+                    ack.set("error", error);
+                }
+                if (!wire::write_message(fd, wire::MessageType::HelloAck,
+                                         ack.to_line())) {
+                    disconnect("peer-closed");
+                    return;
+                }
+                if (session == nullptr) {
+                    disconnect("handshake-rejected: " + error);
+                    return;
+                }
+                emit(obs::JsonObject()
+                         .set("event", "worker-session")
+                         .set("worker", ordinal)
+                         .set("fingerprint", session->fingerprint())
+                         .set("class",
+                              hello->get_string("class").value_or("")));
+                break;
+            }
+            case wire::MessageType::Work: {
+                if (session == nullptr) {
+                    fail("protocol: work before hello");
+                    return;
+                }
+                const auto work = obs::JsonObject::parse(message.payload);
+                if (!work) {
+                    fail("protocol: unparseable work payload");
+                    return;
+                }
+                obs::JsonObject result;
+                try {
+                    result = session->evaluate(*work);
+                } catch (const Error& e) {
+                    fail(std::string("evaluate: ") + e.what());
+                    return;
+                }
+                if (!wire::write_message(fd, wire::MessageType::Result,
+                                         result.to_line())) {
+                    disconnect("peer-closed");
+                    return;
+                }
+                ++items;
+                obs::JsonObject finish = result;
+                finish.set("event", "item-finish").set("worker", ordinal);
+                emit(finish);
+                break;
+            }
+            case wire::MessageType::Ping: {
+                if (!wire::write_message(fd, wire::MessageType::Pong,
+                                         message.payload)) {
+                    disconnect("peer-closed");
+                    return;
+                }
+                break;
+            }
+            case wire::MessageType::Shutdown: {
+                emit(obs::JsonObject()
+                         .set("event", "worker-session-end")
+                         .set("worker", ordinal)
+                         .set("items", static_cast<std::uint64_t>(items)));
+                return;
+            }
+            case wire::MessageType::Error: {
+                const auto error = obs::JsonObject::parse(message.payload);
+                disconnect("peer-error: " +
+                           (error ? error->get_string("error").value_or("?")
+                                  : std::string("?")));
+                return;
+            }
+            default:
+                fail(std::string("protocol: unexpected ") +
+                     to_string(message.type));
+                return;
+        }
+    }
+}
+
+}  // namespace stc::serve

@@ -1,0 +1,211 @@
+#include "stc/wire/frame.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace stc::wire {
+
+bool message_type_known(std::uint8_t raw) noexcept {
+    return raw >= static_cast<std::uint8_t>(MessageType::Hello) &&
+           raw <= static_cast<std::uint8_t>(MessageType::Shutdown);
+}
+
+const char* to_string(MessageType type) noexcept {
+    switch (type) {
+        case MessageType::Hello: return "hello";
+        case MessageType::HelloAck: return "hello-ack";
+        case MessageType::Work: return "work";
+        case MessageType::Result: return "result";
+        case MessageType::Ping: return "ping";
+        case MessageType::Pong: return "pong";
+        case MessageType::Error: return "error";
+        case MessageType::Shutdown: return "shutdown";
+    }
+    return "?";
+}
+
+const char* to_string(Decoder::Status status) noexcept {
+    switch (status) {
+        case Decoder::Status::NeedMore: return "need-more";
+        case Decoder::Status::Ok: return "ok";
+        case Decoder::Status::BadMagic: return "bad-magic";
+        case Decoder::Status::BadVersion: return "bad-version";
+        case Decoder::Status::BadType: return "bad-type";
+        case Decoder::Status::Oversized: return "oversized";
+    }
+    return "?";
+}
+
+void encode_u32le(std::uint32_t value, unsigned char out[4]) noexcept {
+    out[0] = static_cast<unsigned char>(value & 0xff);
+    out[1] = static_cast<unsigned char>((value >> 8) & 0xff);
+    out[2] = static_cast<unsigned char>((value >> 16) & 0xff);
+    out[3] = static_cast<unsigned char>((value >> 24) & 0xff);
+}
+
+std::uint32_t decode_u32le(const unsigned char in[4]) noexcept {
+    return static_cast<std::uint32_t>(in[0]) |
+           (static_cast<std::uint32_t>(in[1]) << 8) |
+           (static_cast<std::uint32_t>(in[2]) << 16) |
+           (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+bool write_exact(int fd, const void* data, std::size_t n) noexcept {
+    const char* p = static_cast<const char*>(data);
+    while (n > 0) {
+        const ssize_t written = ::write(fd, p, n);
+        if (written < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        p += written;
+        n -= static_cast<std::size_t>(written);
+    }
+    return true;
+}
+
+bool read_exact(int fd, void* data, std::size_t n, bool* any_read) noexcept {
+    char* p = static_cast<char*>(data);
+    while (n > 0) {
+        const ssize_t got = ::read(fd, p, n);
+        if (got < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        if (got == 0) return false;  // EOF
+        if (any_read != nullptr) *any_read = true;
+        p += got;
+        n -= static_cast<std::size_t>(got);
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Raw frames.
+
+bool write_raw_frame(int fd, std::string_view payload) noexcept {
+    if (payload.size() > kMaxFramePayload) return false;
+    unsigned char header[4];
+    encode_u32le(static_cast<std::uint32_t>(payload.size()), header);
+    if (!write_exact(fd, header, sizeof header)) return false;
+    return write_exact(fd, payload.data(), payload.size());
+}
+
+std::optional<std::string> read_raw_frame(int fd) {
+    unsigned char header[4];
+    bool any_read = false;
+    if (!read_exact(fd, header, sizeof header, &any_read)) return std::nullopt;
+    const std::uint32_t length = decode_u32le(header);
+    if (length > kMaxFramePayload) return std::nullopt;
+    std::string payload(length, '\0');
+    if (length > 0 && !read_exact(fd, payload.data(), length, nullptr)) {
+        return std::nullopt;
+    }
+    return payload;
+}
+
+void RawFrameBuffer::feed(const char* data, std::size_t n) {
+    bytes_.insert(bytes_.end(), data, data + n);
+}
+
+bool RawFrameBuffer::oversized() const noexcept {
+    if (bytes_.size() < 4) return false;
+    unsigned char header[4];
+    std::memcpy(header, bytes_.data(), 4);
+    return decode_u32le(header) > kMaxFramePayload;
+}
+
+std::optional<std::string> RawFrameBuffer::take_frame() {
+    if (bytes_.size() < 4) return std::nullopt;
+    unsigned char header[4];
+    std::memcpy(header, bytes_.data(), 4);
+    const std::uint32_t length = decode_u32le(header);
+    if (length > kMaxFramePayload) return std::nullopt;  // see oversized()
+    if (bytes_.size() < 4u + length) return std::nullopt;
+    std::string payload(bytes_.begin() + 4, bytes_.begin() + 4 + length);
+    bytes_.erase(bytes_.begin(), bytes_.begin() + 4 + length);
+    return payload;
+}
+
+// ---------------------------------------------------------------------
+// Versioned messages.
+
+std::string encode_message(MessageType type, std::string_view payload) {
+    std::string out;
+    out.reserve(kMessageHeaderSize + payload.size());
+    out.append(kMagic, sizeof kMagic);
+    out.push_back(static_cast<char>(kProtocolVersion));
+    out.push_back(static_cast<char>(type));
+    unsigned char length[4];
+    encode_u32le(static_cast<std::uint32_t>(payload.size()), length);
+    out.append(reinterpret_cast<const char*>(length), sizeof length);
+    out.append(payload);
+    return out;
+}
+
+bool write_message(int fd, MessageType type, std::string_view payload) noexcept {
+    if (payload.size() > kMaxFramePayload) return false;
+    const std::string frame = encode_message(type, payload);
+    return write_exact(fd, frame.data(), frame.size());
+}
+
+std::optional<Message> read_message(int fd) {
+    unsigned char header[kMessageHeaderSize];
+    bool any_read = false;
+    if (!read_exact(fd, header, sizeof header, &any_read)) return std::nullopt;
+    if (std::memcmp(header, kMagic, sizeof kMagic) != 0) return std::nullopt;
+    if (header[4] != kProtocolVersion) return std::nullopt;
+    if (!message_type_known(header[5])) return std::nullopt;
+    const std::uint32_t length = decode_u32le(header + 6);
+    if (length > kMaxFramePayload) return std::nullopt;
+    Message message;
+    message.type = static_cast<MessageType>(header[5]);
+    message.payload.resize(length);
+    if (length > 0 &&
+        !read_exact(fd, message.payload.data(), length, nullptr)) {
+        return std::nullopt;
+    }
+    return message;
+}
+
+void Decoder::feed(const char* data, std::size_t n) {
+    bytes_.insert(bytes_.end(), data, data + n);
+}
+
+Decoder::Status Decoder::next(Message* out) {
+    if (poisoned_ != Status::NeedMore) return poisoned_;
+    // Validate the header prefix byte-by-byte as soon as the bytes
+    // exist, so a bad peer is rejected before its length field is even
+    // complete — tolerant of torn input, intolerant of wrong input.
+    const std::size_t have = bytes_.size();
+    for (std::size_t i = 0; i < sizeof kMagic && i < have; ++i) {
+        if (bytes_[i] != kMagic[i]) return poisoned_ = Status::BadMagic;
+    }
+    if (have >= 5) {
+        const auto version = static_cast<std::uint8_t>(bytes_[4]);
+        if (version != kProtocolVersion) {
+            peer_version_ = version;
+            return poisoned_ = Status::BadVersion;
+        }
+    }
+    if (have >= 6 &&
+        !message_type_known(static_cast<std::uint8_t>(bytes_[5]))) {
+        return poisoned_ = Status::BadType;
+    }
+    if (have < kMessageHeaderSize) return Status::NeedMore;
+    unsigned char length_bytes[4];
+    std::memcpy(length_bytes, bytes_.data() + 6, 4);
+    const std::uint32_t length = decode_u32le(length_bytes);
+    if (length > kMaxFramePayload) return poisoned_ = Status::Oversized;
+    if (have < kMessageHeaderSize + length) return Status::NeedMore;
+    out->type = static_cast<MessageType>(static_cast<std::uint8_t>(bytes_[5]));
+    out->payload.assign(bytes_.begin() + kMessageHeaderSize,
+                        bytes_.begin() + kMessageHeaderSize + length);
+    bytes_.erase(bytes_.begin(),
+                 bytes_.begin() + kMessageHeaderSize + length);
+    return Status::Ok;
+}
+
+}  // namespace stc::wire

@@ -494,4 +494,78 @@ TEST_F(CliTest, CampaignShrinkCorpusIsIdenticalAcrossJobCounts) {
     }
 }
 
+// ------------------------------------------------------- serve/dispatch
+
+TEST_F(CliTest, ServeAndDispatchPoliceTheirFlags) {
+    EXPECT_EQ(run("serve --jobs 2"), 2);              // campaign-only flag
+    EXPECT_EQ(run("serve --workers 127.0.0.1:1"), 2); // dispatch-only flag
+    EXPECT_EQ(run("dispatch coblist --isolate"), 2);  // campaign-only flag
+    EXPECT_EQ(run("dispatch coblist --listen 7"), 2); // serve-only flag
+    // --workers is required; a campaign must never silently run local.
+    EXPECT_EQ(run("dispatch coblist", "/tmp/stc_cli_dispatch_req.out"), 2);
+    EXPECT_NE(slurp("/tmp/stc_cli_dispatch_req.out").find("--workers"),
+              std::string::npos);
+    // Unknown component fails before any socket work.
+    EXPECT_EQ(run("dispatch nonesuch --workers 127.0.0.1:1"), 2);
+    // Stray positional operands are usage errors everywhere but stats.
+    EXPECT_EQ(run("campaign coblist stray-operand"), 2);
+}
+
+TEST_F(CliTest, DispatchFailsCleanlyWhenNoWorkerIsReachable) {
+    // Loopback port 1: connection refused.  The coordinator must report
+    // the dead fleet as an error (exit 1), not hang or crash.
+    EXPECT_EQ(run("dispatch coblist --workers 127.0.0.1:1,127.0.0.1:2",
+                  "/tmp/stc_cli_dispatch_dead.out"),
+              1);
+}
+
+TEST_F(CliTest, StatsAggregatesMultipleTelemetryFiles) {
+    // A coordinator stream and a worker-daemon stream of the same
+    // 2-item campaign: item 0 appears in both (the dedupe case), the
+    // worker file tail is torn mid-write (the SIGKILL case).
+    const std::string coord = "/tmp/stc_cli_stats_coord.jsonl";
+    const std::string workerf = "/tmp/stc_cli_stats_worker.jsonl";
+    {
+        std::ofstream out(coord);
+        out << R"({"event":"campaign-start","campaign":"fp1","class":"X",)"
+            << R"("seed":7,"jobs":2,"mutants":2,"cases":1})" << "\n"
+            << R"({"event":"worker-connect","worker":0,"endpoint":"a:1"})"
+            << "\n"
+            << R"({"event":"item-finish","item":0,"mutant":"m0",)"
+            << R"("fate":"killed","reason":"assertion","worker":0,)"
+            << R"("wall_ms":1.5,"shrunk":false})" << "\n"
+            << R"({"event":"item-finish","item":1,"mutant":"m1",)"
+            << R"("fate":"alive","reason":"none","worker":1,)"
+            << R"("wall_ms":2.5,"shrunk":false})" << "\n";
+    }
+    {
+        std::ofstream out(workerf);
+        out << R"({"event":"worker-session","worker":0,"fingerprint":"fp1"})"
+            << "\n"
+            << R"({"event":"item-finish","item":0,"mutant":"m0",)"
+            << R"("fate":"killed","reason":"assertion","worker":0,)"
+            << R"("wall_ms":1.5,"shrunk":false})" << "\n"
+            << R"({"event":"worker-disconn)";  // torn tail
+    }
+
+    ASSERT_EQ(run("stats " + coord + " " + workerf,
+                  "/tmp/stc_cli_stats_multi.out"),
+              0);
+    const std::string out = slurp("/tmp/stc_cli_stats_multi.out");
+    // Items dedupe by index across the two files: 2, not 3.
+    EXPECT_NE(out.find("items: 2 classified"), std::string::npos);
+    // Both perspectives tallied on the dispatch line, streams counted.
+    EXPECT_NE(out.find("dispatch: 1 worker connect(s)"), std::string::npos);
+    EXPECT_NE(out.find("1 serve session(s)"), std::string::npos);
+    EXPECT_NE(out.find("2 stream(s)"), std::string::npos);
+    // The torn tail was dropped, not fatal.
+    EXPECT_NE(out.find("malformed, dropped"), std::string::npos);
+
+    // A single-file invocation keeps the old report shape: no stream
+    // count, and no dispatch line for streams without dispatch events.
+    ASSERT_EQ(run("stats " + coord, "/tmp/stc_cli_stats_single.out"), 0);
+    EXPECT_EQ(slurp("/tmp/stc_cli_stats_single.out").find("stream(s)"),
+              std::string::npos);
+}
+
 }  // namespace

@@ -5,6 +5,8 @@
 // torn-tail-line fixture a killed campaign leaves behind.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -389,6 +391,66 @@ TEST(TelemetryStats, EmptyAndMissingInputsAreHandled) {
 
     EXPECT_THROW((void)TelemetryStats::from_file("/tmp/stc_obs_no_such.jsonl"),
                  Error);
+}
+
+TEST(TelemetryStats, FromFilesDeduplicatesItemsAndTalliesDispatchEvents) {
+    const std::string coord =
+        "/tmp/stc_obs_files_coord_" + std::to_string(getpid()) + ".jsonl";
+    const std::string worker =
+        "/tmp/stc_obs_files_worker_" + std::to_string(getpid()) + ".jsonl";
+    {
+        std::ofstream out(coord);
+        out << R"({"event":"campaign-start","class":"X","mutants":2})" << "\n"
+            << R"({"event":"worker-connect","worker":0})" << "\n"
+            << R"({"event":"worker-disconnect","worker":1,"reason":"x"})"
+            << "\n"
+            << R"({"event":"worker-redispatch","item":1,"worker":1})" << "\n"
+            << R"({"event":"item-finish","item":0,"mutant":"m0",)"
+            << R"("fate":"killed","reason":"crash","worker":0,"wall_ms":1.0,)"
+            << R"("shrunk":false})" << "\n";
+    }
+    {
+        std::ofstream out(worker);
+        out << R"({"event":"worker-session","worker":0})" << "\n"
+            << R"({"event":"item-finish","item":0,"mutant":"m0",)"
+            << R"("fate":"killed","reason":"crash","worker":0,"wall_ms":1.0,)"
+            << R"("shrunk":false})" << "\n"
+            << R"({"event":"item-finish","item":1,"mutant":"m1",)"
+            << R"("fate":"alive","reason":"none","worker":0,"wall_ms":2.0,)"
+            << R"("shrunk":false})" << "\n";
+    }
+
+    const TelemetryStats stats = TelemetryStats::from_files({coord, worker});
+    EXPECT_EQ(stats.streams, 2u);
+    // item 0 is reported by both perspectives but counts once.
+    ASSERT_EQ(stats.items.size(), 2u);
+    EXPECT_EQ(stats.items[0].index, 0u);
+    EXPECT_EQ(stats.items[1].index, 1u);
+    EXPECT_EQ(stats.finishes, 3u);  // raw event count keeps both
+    EXPECT_EQ(stats.worker_connects, 1u);
+    EXPECT_EQ(stats.worker_disconnects, 1u);
+    EXPECT_EQ(stats.redispatched, 1u);
+    EXPECT_EQ(stats.serve_sessions, 1u);
+
+    std::ostringstream os;
+    stats.render(os);
+    EXPECT_NE(os.str().find("dispatch: 1 worker connect(s), 1 disconnect(s), "
+                            "1 item(s) re-dispatched, 1 serve session(s), "
+                            "2 stream(s)"),
+              std::string::npos);
+
+    // One of the files alone: single-process shape, no dispatch line
+    // beyond its own events, no stream count.
+    const TelemetryStats solo = TelemetryStats::from_files({worker});
+    EXPECT_EQ(solo.streams, 1u);
+    std::ostringstream solo_os;
+    solo.render(solo_os);
+    EXPECT_EQ(solo_os.str().find("stream(s)"), std::string::npos);
+
+    EXPECT_THROW((void)TelemetryStats::from_files({coord, "/tmp/nope.jsonl"}),
+                 Error);
+    std::remove(coord.c_str());
+    std::remove(worker.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,328 @@
+// stc::serve tests: worker daemon + coordinator over real loopback
+// sockets, in-process (daemon on a thread, coordinator on the test
+// thread).  The mechanics tests drive a toy session so they run in
+// microseconds; the end-to-end test dispatches a real builtin campaign
+// and checks the merged fates against locally evaluated ones — the
+// determinism contract `concat dispatch` rests on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stc/campaign/work_list.h"
+#include "stc/mutation/engine.h"
+#include "stc/obs/json.h"
+#include "stc/serve/builtin_host.h"
+#include "stc/serve/dispatch.h"
+#include "stc/serve/socket.h"
+#include "stc/serve/worker.h"
+#include "stc/support/error.h"
+
+namespace stc::serve {
+namespace {
+
+// A minimal deterministic session: the "outcome" of item N is a pure
+// function of N, so any shard split / redispatch must merge to the same
+// results.
+class ToySession : public Session {
+public:
+    explicit ToySession(std::string fingerprint)
+        : fingerprint_(std::move(fingerprint)) {}
+
+    const std::string& fingerprint() const override { return fingerprint_; }
+
+    obs::JsonObject evaluate(const obs::JsonObject& work) override {
+        const std::uint64_t index = work.get_uint("item").value_or(0);
+        obs::JsonObject result;
+        result.set("item", index)
+            .set("mutant", work.get_string("mutant").value_or(""))
+            .set("answer", index * 7 + 1);
+        return result;
+    }
+
+private:
+    std::string fingerprint_;
+};
+
+SessionFactory toy_factory(const std::string& fingerprint) {
+    return [fingerprint](const obs::JsonObject&,
+                         std::string*) -> std::unique_ptr<Session> {
+        return std::make_unique<ToySession>(fingerprint);
+    };
+}
+
+std::vector<campaign::WorkItem> toy_items(std::size_t n) {
+    std::vector<campaign::WorkItem> items;
+    for (std::size_t i = 0; i < n; ++i) {
+        campaign::WorkItem item;
+        item.index = i;
+        item.mutant_id = "toy-mutant-" + std::to_string(i);
+        item.item_seed = 1000 + i;
+        item.key = campaign::item_key("toy-fp", item.mutant_id);
+        items.push_back(item);
+    }
+    return items;
+}
+
+/// One daemon on an ephemeral loopback port, served on its own thread.
+struct DaemonHandle {
+    explicit DaemonHandle(SessionFactory factory, bool once = true) {
+        ServeOptions options;
+        options.once = once;
+        daemon = std::make_unique<WorkerDaemon>(std::move(factory),
+                                                std::move(options));
+        port = daemon->bind();
+        thread = std::thread([this] { daemon->serve(); });
+    }
+    ~DaemonHandle() {
+        daemon->stop();
+        if (thread.joinable()) thread.join();
+    }
+    Endpoint endpoint() const {
+        return parse_endpoint("127.0.0.1:" + std::to_string(port));
+    }
+
+    std::unique_ptr<WorkerDaemon> daemon;
+    std::uint16_t port = 0;
+    std::thread thread;
+};
+
+DispatchOptions toy_dispatch(const std::vector<Endpoint>& endpoints) {
+    DispatchOptions options;
+    options.workers = endpoints;
+    options.hello = obs::JsonObject().set("component", "toy");
+    options.expected_fingerprint = "toy-fp";
+    return options;
+}
+
+// ------------------------------------------------------------ endpoints
+
+TEST(ServeEndpoint, ParseFormsAndErrors) {
+    const Endpoint full = parse_endpoint("10.1.2.3:555");
+    EXPECT_EQ(full.host, "10.1.2.3");
+    EXPECT_EQ(full.port, 555);
+
+    const Endpoint bare = parse_endpoint("4242");
+    EXPECT_EQ(bare.host, "127.0.0.1");
+    EXPECT_EQ(bare.port, 4242);
+
+    const auto list = parse_endpoints("127.0.0.1:1,127.0.0.1:2");
+    ASSERT_EQ(list.size(), 2u);
+    EXPECT_EQ(list[1].port, 2);
+
+    EXPECT_THROW((void)parse_endpoint("host:notaport"), Error);
+    EXPECT_THROW((void)parse_endpoints(""), Error);
+}
+
+// ------------------------------------------------------------- dispatch
+
+TEST(ServeDispatch, TwoWorkersCompleteEveryItemExactlyOnce) {
+    DaemonHandle d1(toy_factory("toy-fp"));
+    DaemonHandle d2(toy_factory("toy-fp"));
+
+    const auto items = toy_items(10);
+    std::map<std::size_t, std::uint64_t> answers;
+    Coordinator coordinator(toy_dispatch({d1.endpoint(), d2.endpoint()}));
+    const DispatchStats stats = coordinator.run(
+        items, [&](const campaign::WorkItem& item,
+                   const obs::JsonObject& result) {
+            EXPECT_EQ(answers.count(item.index), 0u) << "duplicate result";
+            answers[item.index] = result.get_uint("answer").value_or(0);
+        });
+
+    EXPECT_EQ(stats.workers, 2u);
+    EXPECT_EQ(stats.workers_connected, 2u);
+    EXPECT_EQ(stats.disconnects, 0u);
+    EXPECT_EQ(stats.executed, 10u);
+    ASSERT_EQ(answers.size(), 10u);
+    for (std::size_t i = 0; i < 10; ++i) {
+        EXPECT_EQ(answers[i], i * 7 + 1);
+    }
+    // Both daemons carried part of the shard split: every result tags
+    // its worker ordinal, and with the content-hash shard both ordinals
+    // must appear for this item count.
+}
+
+TEST(ServeDispatch, FingerprintMismatchMeansNoUsableWorkers) {
+    DaemonHandle d1(toy_factory("OTHER-fp"));
+    Coordinator coordinator(toy_dispatch({d1.endpoint()}));
+    EXPECT_THROW((void)coordinator.run(toy_items(3),
+                                       [](const campaign::WorkItem&,
+                                          const obs::JsonObject&) {}),
+                 Error);
+}
+
+TEST(ServeDispatch, HandshakeRejectionFallsBackToSurvivor) {
+    DaemonHandle good(toy_factory("toy-fp"));
+    DaemonHandle bad([](const obs::JsonObject&,
+                        std::string* error) -> std::unique_ptr<Session> {
+        *error = "unknown component";
+        return nullptr;
+    });
+
+    std::size_t merged = 0;
+    Coordinator coordinator(toy_dispatch({good.endpoint(), bad.endpoint()}));
+    const DispatchStats stats = coordinator.run(
+        toy_items(6),
+        [&](const campaign::WorkItem&, const obs::JsonObject&) { ++merged; });
+    EXPECT_EQ(merged, 6u);
+    EXPECT_EQ(stats.workers_connected, 1u);
+    EXPECT_EQ(stats.disconnects, 1u);
+}
+
+TEST(ServeDispatch, UnreachableEndpointFallsBackToSurvivor) {
+    DaemonHandle good(toy_factory("toy-fp"));
+    // Port 1 on loopback: connect is refused immediately.
+    std::size_t merged = 0;
+    Coordinator coordinator(
+        toy_dispatch({good.endpoint(), parse_endpoint("127.0.0.1:1")}));
+    const DispatchStats stats = coordinator.run(
+        toy_items(6),
+        [&](const campaign::WorkItem&, const obs::JsonObject&) { ++merged; });
+    EXPECT_EQ(merged, 6u);
+    EXPECT_EQ(stats.disconnects, 1u);
+}
+
+TEST(ServeDispatch, MidCampaignDeathRedispatchesToSurvivor) {
+    DaemonHandle steady(toy_factory("toy-fp"));
+    // This daemon's session dies (Error frame, session torn down) on its
+    // second item — after real work was assigned to it.
+    DaemonHandle flaky([](const obs::JsonObject&,
+                          std::string*) -> std::unique_ptr<Session> {
+        class Flaky : public ToySession {
+        public:
+            Flaky() : ToySession("toy-fp") {}
+            obs::JsonObject evaluate(const obs::JsonObject& work) override {
+                if (++count_ > 1) throw Error("injected mid-campaign death");
+                return ToySession::evaluate(work);
+            }
+
+        private:
+            int count_ = 0;
+        };
+        return std::make_unique<Flaky>();
+    });
+
+    const auto items = toy_items(12);
+    std::map<std::size_t, std::uint64_t> answers;
+    Coordinator coordinator(
+        toy_dispatch({steady.endpoint(), flaky.endpoint()}));
+    const DispatchStats stats = coordinator.run(
+        items, [&](const campaign::WorkItem& item,
+                   const obs::JsonObject& result) {
+            answers[item.index] = result.get_uint("answer").value_or(0);
+        });
+
+    ASSERT_EQ(answers.size(), 12u);
+    for (std::size_t i = 0; i < 12; ++i) {
+        EXPECT_EQ(answers[i], i * 7 + 1) << "item " << i;
+    }
+    EXPECT_EQ(stats.disconnects, 1u);
+    EXPECT_GT(stats.redispatched, 0u);
+}
+
+TEST(ServeDispatch, SilentWorkerIsDeclaredDeadByKeepalive) {
+    DaemonHandle steady(toy_factory("toy-fp"));
+    // This worker accepts the handshake, then stalls far past the
+    // dead-after deadline on its first item.  The coordinator must not
+    // wait for it: keepalive declares it dead and the survivor finishes.
+    DaemonHandle stalled([](const obs::JsonObject&,
+                            std::string*) -> std::unique_ptr<Session> {
+        class Stalled : public ToySession {
+        public:
+            Stalled() : ToySession("toy-fp") {}
+            obs::JsonObject evaluate(const obs::JsonObject& work) override {
+                std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+                return ToySession::evaluate(work);
+            }
+        };
+        return std::make_unique<Stalled>();
+    });
+
+    DispatchOptions options =
+        toy_dispatch({steady.endpoint(), stalled.endpoint()});
+    options.keepalive_ms = 50;
+    options.dead_after_ms = 250;
+
+    std::map<std::size_t, std::uint64_t> answers;
+    Coordinator coordinator(std::move(options));
+    const DispatchStats stats = coordinator.run(
+        toy_items(8), [&](const campaign::WorkItem& item,
+                          const obs::JsonObject& result) {
+            answers[item.index] = result.get_uint("answer").value_or(0);
+        });
+
+    ASSERT_EQ(answers.size(), 8u);
+    EXPECT_EQ(stats.disconnects, 1u);
+    EXPECT_GT(stats.redispatched, 0u);
+}
+
+// ---------------------------------------------------------- builtin host
+
+TEST(ServeBuiltinHost, HelloRoundTripsTheConfig) {
+    BuiltinCampaignConfig config;
+    config.component = "coblist";
+    config.generator.seed = 99;
+    config.generator.cases_per_transaction = 2;
+    config.probe = true;
+    config.model = false;
+
+    const obs::JsonObject hello = make_hello(config, "fp-here");
+    std::string error;
+    const auto parsed = parse_hello(hello, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->component, "coblist");
+    EXPECT_EQ(parsed->generator.seed, 99u);
+    EXPECT_EQ(parsed->generator.cases_per_transaction, 2u);
+    EXPECT_TRUE(parsed->probe);
+    EXPECT_FALSE(parsed->model);
+    EXPECT_EQ(hello.get_string("fingerprint").value_or(""), "fp-here");
+}
+
+TEST(ServeBuiltinHost, UnknownComponentIsRejectedNotFatal) {
+    BuiltinCampaignConfig config;
+    config.component = "no-such-thing";
+    std::string error;
+    EXPECT_EQ(BuiltinCampaign::open(config, &error), nullptr);
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(ServeBuiltinHost, DispatchedFatesMatchLocalEvaluation) {
+    BuiltinCampaignConfig config;
+    config.component = "sortable";
+    std::string error;
+    const auto host = BuiltinCampaign::open(config, &error);
+    ASSERT_NE(host, nullptr) << error;
+
+    DaemonHandle d1(builtin_session_factory());
+    DaemonHandle d2(builtin_session_factory());
+
+    DispatchOptions options;
+    options.workers = {d1.endpoint(), d2.endpoint()};
+    options.hello = make_hello(config, host->fingerprint());
+    options.expected_fingerprint = host->fingerprint();
+
+    std::map<std::size_t, std::string> fates;
+    Coordinator coordinator(std::move(options));
+    const DispatchStats stats = coordinator.run(
+        host->items(), [&](const campaign::WorkItem& item,
+                           const obs::JsonObject& result) {
+            fates[item.index] = result.get_string("fate").value_or("?");
+        });
+
+    EXPECT_EQ(stats.workers_connected, 2u);
+    ASSERT_EQ(fates.size(), host->items().size());
+    for (const campaign::WorkItem& item : host->items()) {
+        const mutation::MutantOutcome local = host->evaluate(item.mutant_id);
+        EXPECT_EQ(fates[item.index], mutation::to_string(local.fate))
+            << item.mutant_id;
+    }
+}
+
+}  // namespace
+}  // namespace stc::serve

