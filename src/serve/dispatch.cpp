@@ -34,8 +34,12 @@ struct WorkerState {
     Fd fd;
     wire::Decoder decoder;
     Phase phase = Phase::Dead;
-    std::deque<std::size_t> queue;       ///< assigned item indices
-    std::ptrdiff_t in_flight = kNoItem;  ///< index of the item sent, or -1
+    /// Assigned positions in the caller's `items` vector.  Positions,
+    /// not WorkItem::index: under `--resume` the caller ships only the
+    /// pending subset, so items[pos].index need not equal pos.  The
+    /// item's global index travels on the wire and in telemetry.
+    std::deque<std::size_t> queue;
+    std::ptrdiff_t in_flight = kNoItem;  ///< position of the item sent, or -1
     Clock::time_point last_heard;
     bool ping_outstanding = false;
 };
@@ -104,18 +108,19 @@ DispatchStats Coordinator::run(const std::vector<campaign::WorkItem>& items,
                  .set("unfinished",
                       static_cast<std::uint64_t>(unfinished.size())));
         if (unfinished.empty() || live_count() == 0) return;
-        for (const std::size_t index : unfinished) {
+        for (const std::size_t pos : unfinished) {
             std::size_t target = redispatch_cursor;
             do {
                 target = (target + 1) % workers.size();
             } while (workers[target].phase == WorkerState::Phase::Dead);
             redispatch_cursor = target;
-            workers[target].queue.push_back(index);
+            workers[target].queue.push_back(pos);
             ++stats.redispatched;
             emit(obs::JsonObject()
                      .set("event", "worker-redispatch")
-                     .set("item", static_cast<std::uint64_t>(index))
-                     .set("mutant", items[index].mutant_id)
+                     .set("item",
+                          static_cast<std::uint64_t>(items[pos].index))
+                     .set("mutant", items[pos].mutant_id)
                      .set("from", static_cast<std::uint64_t>(w))
                      .set("to", static_cast<std::uint64_t>(target)));
         }
@@ -164,29 +169,30 @@ DispatchStats Coordinator::run(const std::vector<campaign::WorkItem>& items,
     // Deterministic partition by content key; shares of unreachable
     // workers go straight through the redispatch path.
     std::vector<std::size_t> orphaned;
-    for (const campaign::WorkItem& item : items) {
-        const std::size_t shard = campaign::shard_of(item.key, workers.size());
+    for (std::size_t pos = 0; pos < items.size(); ++pos) {
+        const std::size_t shard =
+            campaign::shard_of(items[pos].key, workers.size());
         if (workers[shard].phase == WorkerState::Phase::Dead) {
-            orphaned.push_back(item.index);
+            orphaned.push_back(pos);
         } else {
-            workers[shard].queue.push_back(item.index);
+            workers[shard].queue.push_back(pos);
         }
     }
-    for (const std::size_t index : orphaned) {
+    for (const std::size_t pos : orphaned) {
         std::size_t target = redispatch_cursor;
         do {
             target = (target + 1) % workers.size();
         } while (workers[target].phase == WorkerState::Phase::Dead);
         redispatch_cursor = target;
-        workers[target].queue.push_back(index);
+        workers[target].queue.push_back(pos);
         ++stats.redispatched;
         emit(obs::JsonObject()
                  .set("event", "worker-redispatch")
-                 .set("item", static_cast<std::uint64_t>(index))
-                 .set("mutant", items[index].mutant_id)
+                 .set("item", static_cast<std::uint64_t>(items[pos].index))
+                 .set("mutant", items[pos].mutant_id)
                  .set("from",
                       static_cast<std::uint64_t>(campaign::shard_of(
-                          items[index].key, workers.size())))
+                          items[pos].key, workers.size())))
                  .set("to", static_cast<std::uint64_t>(target)));
     }
 
@@ -240,21 +246,24 @@ DispatchStats Coordinator::run(const std::vector<campaign::WorkItem>& items,
                     fail_worker(w, "protocol: unparseable result");
                     return false;
                 }
+                // The wire carries the item's global index; translate
+                // back to the in-flight position in `items`.
+                const std::size_t pos =
+                    static_cast<std::size_t>(state.in_flight);
                 const auto index = result->get_uint("item");
                 if (!index ||
-                    *index != static_cast<std::uint64_t>(state.in_flight)) {
+                    *index != static_cast<std::uint64_t>(items[pos].index)) {
                     fail_worker(w, "protocol: result for wrong item");
                     return false;
                 }
                 state.in_flight = kNoItem;
-                const std::size_t slot = static_cast<std::size_t>(*index);
-                if (!completed[slot]) {
-                    completed[slot] = true;
+                if (!completed[pos]) {
+                    completed[pos] = true;
                     --remaining;
                     ++stats.executed;
                     obs::JsonObject merged = *result;
                     merged.set("worker", static_cast<std::uint64_t>(w));
-                    on_result(items[slot], merged);
+                    on_result(items[pos], merged);
                 }
                 return true;
             }
@@ -294,9 +303,9 @@ DispatchStats Coordinator::run(const std::vector<campaign::WorkItem>& items,
                 state.queue.pop_front();  // finished elsewhere meanwhile
             }
             if (state.queue.empty()) continue;
-            const std::size_t index = state.queue.front();
+            const std::size_t pos = state.queue.front();
             state.queue.pop_front();
-            const campaign::WorkItem& item = items[index];
+            const campaign::WorkItem& item = items[pos];
             const obs::JsonObject work =
                 obs::JsonObject()
                     .set("item", static_cast<std::uint64_t>(item.index))
@@ -308,7 +317,7 @@ DispatchStats Coordinator::run(const std::vector<campaign::WorkItem>& items,
                                    std::string(std::strerror(errno)));
                 continue;
             }
-            state.in_flight = static_cast<std::ptrdiff_t>(index);
+            state.in_flight = static_cast<std::ptrdiff_t>(pos);
             emit(obs::JsonObject()
                      .set("event", "item-start")
                      .set("item", static_cast<std::uint64_t>(item.index))

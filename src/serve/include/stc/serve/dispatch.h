@@ -71,9 +71,12 @@ public:
 
     explicit Coordinator(DispatchOptions options);
 
-    /// Drive `items` to completion across the workers.  Throws
-    /// stc::Error when no worker survives the handshake or all workers
-    /// die with items unfinished.
+    /// Drive `items` to completion across the workers.  `items` may be
+    /// any subset of a campaign's work list (e.g. the pending remainder
+    /// of a `--resume`): bookkeeping is positional, and the wire
+    /// carries each item's global WorkItem::index.  Throws stc::Error
+    /// when no worker survives the handshake or all workers die with
+    /// items unfinished.
     DispatchStats run(const std::vector<campaign::WorkItem>& items,
                       const ResultHandler& on_result);
 

@@ -45,10 +45,13 @@ struct Endpoint {
 /// Split "a:1,b:2" into endpoints; throws on any malformed element.
 [[nodiscard]] std::vector<Endpoint> parse_endpoints(const std::string& list);
 
-/// Bind + listen on `port` (0 picks an ephemeral port); on return
-/// `*bound_port` holds the actual port.  Binds all interfaces so
-/// cross-host sharding works.  Throws stc::Error on failure.
-[[nodiscard]] Fd listen_on(std::uint16_t port, std::uint16_t* bound_port);
+/// Bind + listen on `host:port` (0 picks an ephemeral port); on return
+/// `*bound_port` holds the actual port.  `host` is a dotted-quad
+/// listen address: "127.0.0.1" (the safe default — the protocol has no
+/// authentication) or "0.0.0.0" for deliberate cross-host exposure.
+/// Throws stc::Error on failure.
+[[nodiscard]] Fd listen_on(const std::string& host, std::uint16_t port,
+                           std::uint16_t* bound_port);
 
 /// Accept one connection (blocking); invalid Fd on failure/interrupt.
 [[nodiscard]] Fd accept_on(int listen_fd);

@@ -59,6 +59,10 @@ struct ServeOptions {
     /// TCP port to listen on; 0 picks an ephemeral port (bind() reports
     /// the choice — the in-process test/bench path).
     std::uint16_t port = 0;
+    /// Listen address.  The protocol has no authentication, so the
+    /// default is loopback-only; `concat serve --bind 0.0.0.0` opts in
+    /// to cross-host exposure (docs/FORMATS.md §10 trust model).
+    std::string bind_host = "127.0.0.1";
     /// Exit the serve loop after one coordinator session (CI gates and
     /// tests; a long-lived daemon keeps accepting).
     bool once = false;

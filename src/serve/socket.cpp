@@ -71,7 +71,8 @@ std::vector<Endpoint> parse_endpoints(const std::string& list) {
     return out;
 }
 
-Fd listen_on(std::uint16_t port, std::uint16_t* bound_port) {
+Fd listen_on(const std::string& host, std::uint16_t port,
+             std::uint16_t* bound_port) {
     Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
     if (!fd.valid()) throw Error("socket(): " + std::string(strerror(errno)));
     const int one = 1;
@@ -79,11 +80,14 @@ Fd listen_on(std::uint16_t port, std::uint16_t* bound_port) {
 
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        throw Error("bad listen address '" + host +
+                    "' (expected an IPv4 address, e.g. 127.0.0.1 or 0.0.0.0)");
+    }
     addr.sin_port = htons(port);
     if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
                sizeof addr) != 0) {
-        throw Error("bind(port " + std::to_string(port) +
+        throw Error("bind(" + host + ":" + std::to_string(port) +
                     "): " + std::string(strerror(errno)));
     }
     if (::listen(fd.get(), 8) != 0) {

@@ -40,7 +40,7 @@ std::uint16_t WorkerDaemon::bind() {
     // must come back as an error return so the session ends with a
     // worker-disconnect event, not as a SIGPIPE process death.
     ::signal(SIGPIPE, SIG_IGN);
-    listener_ = listen_on(options_.port, &port_);
+    listener_ = listen_on(options_.bind_host, options_.port, &port_);
     if (options_.telemetry) {
         options_.telemetry(obs::JsonObject()
                                .set("event", "serve-start")
@@ -123,6 +123,12 @@ void WorkerDaemon::serve_connection(int fd) {
 
         switch (message.type) {
             case wire::MessageType::Hello: {
+                if (session != nullptr) {
+                    // Mirrors the coordinator's duplicate-HelloAck
+                    // handling: a session is configured exactly once.
+                    fail("protocol: hello after handshake");
+                    return;
+                }
                 const auto hello = obs::JsonObject::parse(message.payload);
                 if (!hello) {
                     fail("handshake: unparseable hello payload");

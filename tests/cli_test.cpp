@@ -501,6 +501,17 @@ TEST_F(CliTest, ServeAndDispatchPoliceTheirFlags) {
     EXPECT_EQ(run("serve --workers 127.0.0.1:1"), 2); // dispatch-only flag
     EXPECT_EQ(run("dispatch coblist --isolate"), 2);  // campaign-only flag
     EXPECT_EQ(run("dispatch coblist --listen 7"), 2); // serve-only flag
+    EXPECT_EQ(run("dispatch coblist --bind 0.0.0.0"), 2);  // serve-only flag
+    // Keepalive deadlines land in int milliseconds; values past INT_MAX
+    // would wrap negative and insta-kill every worker.
+    EXPECT_EQ(run("dispatch coblist --workers 127.0.0.1:1 "
+                  "--keepalive-ms 2147483648"),
+              2);
+    EXPECT_EQ(run("dispatch coblist --workers 127.0.0.1:1 "
+                  "--dead-after-ms 99999999999"),
+              2);
+    // A bind address must be a literal IPv4 address.
+    EXPECT_EQ(run("serve --listen 0 --bind not-an-address"), 1);
     // --workers is required; a campaign must never silently run local.
     EXPECT_EQ(run("dispatch coblist", "/tmp/stc_cli_dispatch_req.out"), 2);
     EXPECT_NE(slurp("/tmp/stc_cli_dispatch_req.out").find("--workers"),

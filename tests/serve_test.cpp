@@ -22,6 +22,7 @@
 #include "stc/serve/socket.h"
 #include "stc/serve/worker.h"
 #include "stc/support/error.h"
+#include "stc/wire/frame.h"
 
 namespace stc::serve {
 namespace {
@@ -148,6 +149,53 @@ TEST(ServeDispatch, TwoWorkersCompleteEveryItemExactlyOnce) {
     // must appear for this item count.
 }
 
+TEST(ServeDispatch, ResumedSubsetKeepsGlobalIndices) {
+    DaemonHandle steady(toy_factory("toy-fp"));
+    // A mid-campaign death on top of the subset exercises the
+    // redispatch bookkeeping with non-identity indices too.
+    DaemonHandle flaky([](const obs::JsonObject&,
+                          std::string*) -> std::unique_ptr<Session> {
+        class Flaky : public ToySession {
+        public:
+            Flaky() : ToySession("toy-fp") {}
+            obs::JsonObject evaluate(const obs::JsonObject& work) override {
+                if (++count_ > 1) throw Error("injected mid-campaign death");
+                return ToySession::evaluate(work);
+            }
+
+        private:
+            int count_ = 0;
+        };
+        return std::make_unique<Flaky>();
+    });
+
+    // The --resume shape: only the pending remainder of the work list
+    // is shipped, so pending[i].index != i.  Results must still slot
+    // under each item's global index.
+    std::vector<campaign::WorkItem> pending;
+    for (const campaign::WorkItem& item : toy_items(12)) {
+        if (item.index % 3 != 0) pending.push_back(item);
+    }
+    ASSERT_EQ(pending.size(), 8u);
+
+    std::map<std::size_t, std::uint64_t> answers;
+    Coordinator coordinator(
+        toy_dispatch({steady.endpoint(), flaky.endpoint()}));
+    const DispatchStats stats = coordinator.run(
+        pending, [&](const campaign::WorkItem& item,
+                     const obs::JsonObject& result) {
+            EXPECT_EQ(answers.count(item.index), 0u) << "duplicate result";
+            answers[item.index] = result.get_uint("answer").value_or(0);
+        });
+
+    EXPECT_EQ(stats.executed, 8u);
+    ASSERT_EQ(answers.size(), 8u);
+    for (const campaign::WorkItem& item : pending) {
+        EXPECT_EQ(answers[item.index], item.index * 7 + 1)
+            << "item " << item.index;
+    }
+}
+
 TEST(ServeDispatch, FingerprintMismatchMeansNoUsableWorkers) {
     DaemonHandle d1(toy_factory("OTHER-fp"));
     Coordinator coordinator(toy_dispatch({d1.endpoint()}));
@@ -260,6 +308,33 @@ TEST(ServeDispatch, SilentWorkerIsDeclaredDeadByKeepalive) {
     ASSERT_EQ(answers.size(), 8u);
     EXPECT_EQ(stats.disconnects, 1u);
     EXPECT_GT(stats.redispatched, 0u);
+}
+
+// --------------------------------------------------------------- worker
+
+TEST(ServeWorker, SecondHelloIsAProtocolError) {
+    DaemonHandle daemon(toy_factory("toy-fp"));
+    const Fd conn = connect_to(daemon.endpoint());
+    const std::string hello =
+        obs::JsonObject().set("component", "toy").to_line();
+
+    ASSERT_TRUE(
+        wire::write_message(conn.get(), wire::MessageType::Hello, hello));
+    const auto ack = wire::read_message(conn.get());
+    ASSERT_TRUE(ack.has_value());
+    EXPECT_EQ(ack->type, wire::MessageType::HelloAck);
+
+    // A session is configured exactly once: a second Hello must fail
+    // the connection, not silently reconfigure it.
+    ASSERT_TRUE(
+        wire::write_message(conn.get(), wire::MessageType::Hello, hello));
+    const auto reply = wire::read_message(conn.get());
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->type, wire::MessageType::Error);
+    const auto payload = obs::JsonObject::parse(reply->payload);
+    ASSERT_TRUE(payload.has_value());
+    EXPECT_NE(payload->get_string("error").value_or("").find("hello"),
+              std::string::npos);
 }
 
 // ---------------------------------------------------------- builtin host

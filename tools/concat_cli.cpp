@@ -26,6 +26,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -94,8 +95,8 @@ int usage(std::ostream& os) {
           "                 concat shrink <coblist|sortable> --case FILE\n"
           "                 [--mutant ID] [--max-shrink-steps N] [--corpus DIR]\n"
           "  serve          campaign worker daemon (docs/FORMATS.md §10):\n"
-          "                 concat serve [--listen PORT] [--once]\n"
-          "                 [--telemetry-out FILE]\n"
+          "                 concat serve [--listen PORT] [--bind ADDR]\n"
+          "                 [--once] [--telemetry-out FILE]\n"
           "  dispatch       shard a campaign across serve daemons:\n"
           "                 concat dispatch <coblist|sortable>\n"
           "                 --workers host:port[,host:port...] [--seed N]\n"
@@ -138,6 +139,9 @@ int usage(std::ostream& os) {
           "  --top N         (stats) rows in the slowest-item table (default 10)\n"
           "  --listen PORT   (serve) TCP port to listen on (0 = ephemeral,\n"
           "                  printed on stdout)\n"
+          "  --bind ADDR     (serve) listen address (default 127.0.0.1; the\n"
+          "                  protocol is unauthenticated — 0.0.0.0 opts in to\n"
+          "                  cross-host exposure)\n"
           "  --once          (serve) exit after one coordinator session\n"
           "  --workers LIST  (dispatch) comma-separated host:port daemons\n"
           "  --keepalive-ms N  (dispatch) silence before a ping (default 500)\n"
@@ -173,6 +177,7 @@ struct Options {
     std::uint64_t timeout_ms = 5000;               // --timeout-ms
     std::uint64_t rlimit_as_mb = 0;                // --rlimit-as
     std::uint64_t listen_port = 0;                 // serve --listen
+    std::string bind_host = "127.0.0.1";           // serve --bind
     bool once = false;                             // serve --once
     std::optional<std::string> workers;            // dispatch --workers
     std::uint64_t keepalive_ms = 500;              // dispatch --keepalive-ms
@@ -233,7 +238,7 @@ bool flag_allowed(const std::string& command, const std::string& flag) {
     }
     if (command == "stats") return any_of({"--top"});
     if (command == "serve") {
-        return any_of({"--listen", "--once", "--telemetry-out"});
+        return any_of({"--listen", "--bind", "--once", "--telemetry-out"});
     }
     if (command == "dispatch") {
         return any_of({"--seed", "--max-visits", "--cases", "--criterion",
@@ -435,24 +440,32 @@ std::optional<Options> parse_args(int argc, char** argv) {
                 return std::nullopt;
             }
             out.listen_port = *n;
+        } else if (arg == "--bind") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            out.bind_host = *v;
         } else if (arg == "--once") {
             out.once = true;
         } else if (arg == "--workers") {
             const auto v = next();
             if (!v) return std::nullopt;
             out.workers = *v;
-        } else if (arg == "--keepalive-ms") {
+        } else if (arg == "--keepalive-ms" || arg == "--dead-after-ms") {
             const auto v = next();
             if (!v) return std::nullopt;
             const auto n = parse_count(arg, *v);
             if (!n) return std::nullopt;
-            out.keepalive_ms = *n;
-        } else if (arg == "--dead-after-ms") {
-            const auto v = next();
-            if (!v) return std::nullopt;
-            const auto n = parse_count(arg, *v);
-            if (!n) return std::nullopt;
-            out.dead_after_ms = *n;
+            // The dispatch options hold these as int milliseconds; a
+            // larger value would wrap negative and insta-kill every
+            // worker's keepalive.
+            if (*n > static_cast<std::uint64_t>(
+                         std::numeric_limits<int>::max())) {
+                std::cerr << "concat dispatch: " << arg << " too large (max "
+                          << std::numeric_limits<int>::max() << ")\n";
+                return std::nullopt;
+            }
+            (arg == "--keepalive-ms" ? out.keepalive_ms : out.dead_after_ms) =
+                *n;
         } else if (arg == "-o") {
             const auto v = next();
             if (!v) return std::nullopt;
@@ -1186,6 +1199,7 @@ int cmd_serve(const Options& options) {
     }
     serve::ServeOptions serve_options;
     serve_options.port = static_cast<std::uint16_t>(options.listen_port);
+    serve_options.bind_host = options.bind_host;
     serve_options.once = options.once;
     serve_options.obs = options.obs;
     if (sink) {
@@ -1299,52 +1313,59 @@ int cmd_dispatch(const Options& options) {
         };
     }
 
-    serve::Coordinator coordinator(std::move(dispatch_options));
-    const serve::DispatchStats stats = coordinator.run(
-        pending,
-        [&](const campaign::WorkItem& item, const obs::JsonObject& result) {
-            // The Result payload is the sandbox outcome codec plus
-            // item/wall_ms/worker — decode_outcome tolerates the extras.
-            mutation::MutantOutcome outcome =
-                sandbox::decode_outcome(result.to_line())
-                    .value_or(
-                        sandbox::outcome_from_termination("worker-exit:-3"));
-            outcome.mutant = &mutants[item.index];
-            const double wall_ms = result.get_double("wall_ms").value_or(0.0);
-            outcomes[item.index] = outcome;
-            obs::JsonObject finish;
-            finish.set("event", "item-finish")
-                .set("item", static_cast<std::uint64_t>(item.index))
-                .set("mutant", item.mutant_id)
-                .set("worker", result.get_uint("worker").value_or(0))
-                .set("fate", mutation::to_string(outcome.fate))
-                .set("reason", oracle::to_string(outcome.reason))
-                .set("hit", outcome.hit_by_suite)
-                .set("probe_kill", outcome.killed_by_probe)
-                .set("model_only", outcome.model_only)
-                .set("shrunk", false)
-                .set("item_seed", item.item_seed)
-                .set("wall_ms", wall_ms);
-            if (!outcome.sandbox.empty()) {
-                finish.set("sandbox", outcome.sandbox);
-            }
-            emit_event(finish);
-            if (store) {
-                campaign::ItemRecord record;
-                record.key = item.key;
-                record.mutant_id = item.mutant_id;
-                record.item_index = item.index;
-                record.fate = mutation::to_string(outcome.fate);
-                record.reason = oracle::to_string(outcome.reason);
-                record.hit_by_suite = outcome.hit_by_suite;
-                record.killed_by_probe = outcome.killed_by_probe;
-                record.model_only = outcome.model_only;
-                record.item_seed = item.item_seed;
-                record.wall_ms = wall_ms;
-                record.sandbox = outcome.sandbox;
-                store->append(record);
-            }
-        });
+    auto merge_result = [&](const campaign::WorkItem& item,
+                            const obs::JsonObject& result) {
+        // The Result payload is the sandbox outcome codec plus
+        // item/wall_ms/worker — decode_outcome tolerates the extras.
+        mutation::MutantOutcome outcome =
+            sandbox::decode_outcome(result.to_line())
+                .value_or(
+                    sandbox::outcome_from_termination("worker-exit:-3"));
+        outcome.mutant = &mutants[item.index];
+        const double wall_ms = result.get_double("wall_ms").value_or(0.0);
+        outcomes[item.index] = outcome;
+        obs::JsonObject finish;
+        finish.set("event", "item-finish")
+            .set("item", static_cast<std::uint64_t>(item.index))
+            .set("mutant", item.mutant_id)
+            .set("worker", result.get_uint("worker").value_or(0))
+            .set("fate", mutation::to_string(outcome.fate))
+            .set("reason", oracle::to_string(outcome.reason))
+            .set("hit", outcome.hit_by_suite)
+            .set("probe_kill", outcome.killed_by_probe)
+            .set("model_only", outcome.model_only)
+            .set("shrunk", false)
+            .set("item_seed", item.item_seed)
+            .set("wall_ms", wall_ms);
+        if (!outcome.sandbox.empty()) {
+            finish.set("sandbox", outcome.sandbox);
+        }
+        emit_event(finish);
+        if (store) {
+            campaign::ItemRecord record;
+            record.key = item.key;
+            record.mutant_id = item.mutant_id;
+            record.item_index = item.index;
+            record.fate = mutation::to_string(outcome.fate);
+            record.reason = oracle::to_string(outcome.reason);
+            record.hit_by_suite = outcome.hit_by_suite;
+            record.killed_by_probe = outcome.killed_by_probe;
+            record.model_only = outcome.model_only;
+            record.item_seed = item.item_seed;
+            record.wall_ms = wall_ms;
+            record.sandbox = outcome.sandbox;
+            store->append(record);
+        }
+    };
+
+    // A fully-resumed dispatch has nothing to ship: don't require a
+    // reachable worker just to execute zero items.
+    serve::DispatchStats stats;
+    stats.workers = endpoints.size();
+    if (!pending.empty()) {
+        serve::Coordinator coordinator(std::move(dispatch_options));
+        stats = coordinator.run(pending, merge_result);
+    }
 
     mutation::MutationRun run;
     run.outcomes = std::move(outcomes);
