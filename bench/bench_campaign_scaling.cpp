@@ -81,9 +81,15 @@ struct DispatchOutcome {
     std::map<std::size_t, std::string> fates;  // item index -> fate string
     double wall_ms = 0.0;
     std::size_t items = 0;
+    std::size_t streamed_events = 0;  // telemetry events received (streaming)
+    std::size_t streamed_spans = 0;   // worker spans absorbed (streaming)
 };
 
-DispatchOutcome run_dispatched(std::size_t workers) {
+/// `streaming` turns on the full minor-2 observability path: an enabled
+/// coordinator tracer (so every worker streams its spans back) plus
+/// event streaming at a 100ms snapshot cadence — the cost the
+/// obs-streaming-on / obs-off row pair in BENCH_campaign.json bounds.
+DispatchOutcome run_dispatched(std::size_t workers, bool streaming = false) {
     using namespace stc;
 
     serve::BuiltinCampaignConfig config;
@@ -115,6 +121,16 @@ DispatchOutcome run_dispatched(std::size_t workers) {
     options.expected_fingerprint = host->fingerprint();
 
     DispatchOutcome out;
+    obs::Tracer tracer;
+    if (streaming) {
+        tracer = obs::Tracer::make();
+        options.obs.tracer = tracer;
+        options.stream_telemetry = true;
+        options.telemetry_interval_ms = 100;
+        options.telemetry = [&out](const obs::JsonObject&) {
+            ++out.streamed_events;
+        };
+    }
     out.items = host->items().size();
     const auto t0 = std::chrono::steady_clock::now();
     serve::Coordinator coordinator(std::move(options));
@@ -126,6 +142,7 @@ DispatchOutcome run_dispatched(std::size_t workers) {
                           });
     const auto t1 = std::chrono::steady_clock::now();
     out.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (streaming) out.streamed_spans = tracer.events().size();
 
     for (Daemon& d : daemons) {
         d.daemon->stop();
@@ -230,6 +247,29 @@ int main(int argc, char** argv) {
                 }
             }
         }
+        // The observability row pair: the same 2-worker dispatch with
+        // the full streaming path off and on.  The delta is the cost of
+        // distributed tracing + telemetry streaming, and the streaming
+        // row must still merge identical fates (observability is a side
+        // channel, never a participant).
+        const DispatchOutcome obs_off = run_dispatched(2, false);
+        const DispatchOutcome obs_on = run_dispatched(2, true);
+        add_row("dispatch-workers-2-obs-off", obs_off.items, obs_off.wall_ms);
+        add_row("dispatch-workers-2-obs-streaming", obs_on.items,
+                obs_on.wall_ms);
+        std::cout << "  dispatch workers=2 obs-off        wall="
+                  << obs_off.wall_ms << "ms\n"
+                  << "  dispatch workers=2 obs-streaming  wall="
+                  << obs_on.wall_ms << "ms  (" << obs_on.streamed_events
+                  << " streamed event(s), " << obs_on.streamed_spans
+                  << " span(s))\n";
+        if (obs_on.fates != obs_off.fates) dispatch_identical = false;
+        if (obs_on.streamed_events == 0 || obs_on.streamed_spans == 0) {
+            std::cout << "FAIL: streaming run produced no streamed "
+                         "telemetry\n";
+            dispatch_identical = false;
+        }
+
         std::cout << "dispatched fates identical to local: "
                   << (dispatch_identical ? "yes" : "NO — DETERMINISM BROKEN")
                   << "\n";

@@ -39,6 +39,14 @@ struct HistogramSnapshot {
     [[nodiscard]] double mean_ms() const noexcept {
         return count == 0 ? 0.0 : sum_ms / static_cast<double>(count);
     }
+
+    /// Quantile estimate from the log2 buckets: the upper bound of the
+    /// first bucket at which the cumulative count reaches q*count,
+    /// clamped to the observed max (a log2 upper bound can overshoot
+    /// the largest actual observation by up to 2x).  q in [0,1]; 0 when
+    /// the histogram is empty.  Resolution is the bucket width — a
+    /// bound, not an exact order statistic (docs/FORMATS.md §6).
+    [[nodiscard]] double percentile(double q) const noexcept;
 };
 
 class Metrics {

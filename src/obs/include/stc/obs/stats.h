@@ -15,7 +15,10 @@
 #include <iosfwd>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "stc/obs/json.h"
 
 namespace stc::obs {
 
@@ -44,6 +47,17 @@ struct TelemetryStats {
         std::uint64_t worker = 0;
         std::size_t items = 0;
         double busy_ms = 0.0;
+    };
+
+    /// Per-operator wall-time distribution over the timed items
+    /// (exact order statistics — the raw wall_ms values are at hand,
+    /// unlike the bucketed obs::metrics histograms).
+    struct OperatorLatency {
+        std::string op;  ///< mutation operator, e.g. "IndVarRepReq"
+        std::size_t items = 0;
+        double p50_ms = 0.0;
+        double p90_ms = 0.0;
+        double p99_ms = 0.0;
     };
 
     // Identity, from the last campaign-start event.
@@ -75,6 +89,9 @@ struct TelemetryStats {
     std::size_t worker_disconnects = 0;
     std::size_t redispatched = 0;
     std::size_t serve_sessions = 0;
+    /// Streamed worker metrics snapshots ("metrics-snapshot" events,
+    /// docs/FORMATS.md §11) seen in the stream.
+    std::size_t metrics_snapshots = 0;
 
     std::vector<Item> items;  ///< sorted by index
     std::size_t shrunk_items = 0;  ///< item-finish events with a persisted reproducer
@@ -139,6 +156,20 @@ struct TelemetryStats {
     /// worker; usable directly for incremental aggregation).
     void absorb_stream(std::istream& in);
 
+    /// Fold one line into this summary: blank lines are skipped,
+    /// unparseable ones bump malformed_lines, events dispatch to
+    /// absorb_event.  The incremental entry point used by the live
+    /// followers; items are NOT re-sorted (see sort_items).
+    void absorb_line(std::string_view line);
+
+    /// Fold one already-parsed event into this summary.
+    void absorb_event(const JsonObject& event);
+
+    /// Re-sort items by index (absorb_stream does this after each whole
+    /// stream; incremental absorb_line callers invoke it before any
+    /// order-sensitive rendering).
+    void sort_items();
+
     /// fate -> item count, over the deduplicated items.
     [[nodiscard]] std::map<std::string, std::size_t> fate_counts() const;
 
@@ -156,9 +187,54 @@ struct TelemetryStats {
     /// Per-worker load, sorted by worker id.
     [[nodiscard]] std::vector<WorkerLoad> worker_loads() const;
 
+    /// Per-operator p50/p90/p99 wall time over the timed items, sorted
+    /// by operator name.  The operator is parsed out of the mutant id
+    /// ("Class::Method@site.Operator.detail" -> "Operator"); items with
+    /// unrecognizable ids group under "?".
+    [[nodiscard]] std::vector<OperatorLatency> operator_latencies() const;
+
     /// Render the summary: header, fate breakdown, kill-reason
     /// histogram, the `top` slowest items, worker utilization.
     void render(std::ostream& os, std::size_t top = 10) const;
+
+    /// Render one compact live snapshot (the `concat stats --follow` /
+    /// `concat dispatch --progress` view): progress against
+    /// declared_mutants, fate counts, items/sec and ETA computed from
+    /// `elapsed_s` on the follower's clock, per-worker load, and the
+    /// per-operator p50/p90/p99 line.
+    void render_follow(std::ostream& os, double elapsed_s) const;
+
+    /// Machine-readable mirror of render(): one JSON object covering
+    /// the header, fates, kill reasons, oracle strength, sandbox kinds,
+    /// worker loads, operator latencies, the `top` slowest items, and
+    /// the fuzz section (docs/FORMATS.md §11).
+    void write_json(std::ostream& os, std::size_t top = 10) const;
+
+private:
+    /// index -> slot in items, maintained by absorb_event and rebuilt
+    /// by sort_items (sorting invalidates slots).
+    std::map<std::uint64_t, std::size_t> by_index_;
+};
+
+/// Incremental reader over a growing telemetry JSONL file — the
+/// `--follow` primitive.  Each poll() absorbs the complete lines
+/// appended since the previous poll; a torn tail (bytes after the last
+/// newline) is held back until its newline arrives, so a writer caught
+/// mid-line never produces a malformed-line count or a half-parsed
+/// event.  The file may not exist yet at construction; poll() simply
+/// finds nothing.
+class TelemetryTail {
+public:
+    explicit TelemetryTail(std::string path) : path_(std::move(path)) {}
+
+    /// Absorb newly appended complete lines into `stats`; returns how
+    /// many lines were absorbed.
+    std::size_t poll(TelemetryStats& stats);
+
+private:
+    std::string path_;
+    std::uint64_t offset_ = 0;
+    std::string partial_;
 };
 
 }  // namespace stc::obs

@@ -48,6 +48,21 @@ std::string json_number(double d) {
 
 }  // namespace
 
+double HistogramSnapshot::percentile(double q) const noexcept {
+    if (count == 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const double target = q * static_cast<double>(count);
+    std::uint64_t cumulative = 0;
+    for (const auto& [le_ms, n] : buckets) {
+        cumulative += n;
+        if (static_cast<double>(cumulative) >= target) {
+            return std::min(le_ms, max_ms);
+        }
+    }
+    return max_ms;
+}
+
 struct Metrics::State {
     struct Histogram {
         std::uint64_t count = 0;
@@ -143,12 +158,15 @@ void Metrics::write_text(std::ostream& os) const {
     }
     if (!histogram_rows.empty()) {
         if (!counter_rows.empty()) os << "\n";
-        support::TextTable table(
-            {"histogram", "count", "sum ms", "mean ms", "min ms", "max ms"});
+        support::TextTable table({"histogram", "count", "sum ms", "mean ms",
+                                  "min ms", "max ms", "p50 ms", "p90 ms",
+                                  "p99 ms"});
         for (const auto& h : histogram_rows) {
             table.add_row({h.name, std::to_string(h.count), format_ms(h.sum_ms),
                            format_ms(h.mean_ms()), format_ms(h.min_ms),
-                           format_ms(h.max_ms)});
+                           format_ms(h.max_ms), format_ms(h.percentile(0.50)),
+                           format_ms(h.percentile(0.90)),
+                           format_ms(h.percentile(0.99))});
         }
         table.render(os);
     }
@@ -177,7 +195,11 @@ void Metrics::write_json(std::ostream& os) const {
            << ",\"sum_ms\":" << json_number(h.sum_ms)
            << ",\"mean_ms\":" << json_number(h.mean_ms())
            << ",\"min_ms\":" << json_number(h.min_ms)
-           << ",\"max_ms\":" << json_number(h.max_ms) << ",\"buckets\":[";
+           << ",\"max_ms\":" << json_number(h.max_ms)
+           << ",\"p50_ms\":" << json_number(h.percentile(0.50))
+           << ",\"p90_ms\":" << json_number(h.percentile(0.90))
+           << ",\"p99_ms\":" << json_number(h.percentile(0.99))
+           << ",\"buckets\":[";
         bool first_bucket = true;
         for (const auto& [le_ms, count] : h.buckets) {
             if (!first_bucket) os << ',';

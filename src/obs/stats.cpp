@@ -1,6 +1,7 @@
 #include "stc/obs/stats.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <ostream>
@@ -30,17 +31,39 @@ TelemetryStats TelemetryStats::from_stream(std::istream& in) {
 }
 
 void TelemetryStats::absorb_stream(std::istream& in) {
+    ++streams;
+    std::string line;
+    while (std::getline(in, line)) absorb_line(line);
+    sort_items();
+}
+
+void TelemetryStats::absorb_line(std::string_view line) {
+    if (support::trim(std::string(line)).empty()) return;
+    ++lines;
+    const auto event = JsonObject::parse(line);
+    if (!event || !event->get_string("event")) {
+        ++malformed_lines;  // e.g. the torn tail of a killed run
+        return;
+    }
+    absorb_event(*event);
+}
+
+void TelemetryStats::sort_items() {
+    std::sort(items.begin(), items.end(),
+              [](const Item& a, const Item& b) { return a.index < b.index; });
+    by_index_.clear();
+    for (std::size_t slot = 0; slot < items.size(); ++slot) {
+        by_index_[items[slot].index] = slot;
+    }
+}
+
+void TelemetryStats::absorb_event(const JsonObject& event) {
     TelemetryStats& out = *this;
-    ++out.streams;
-    // index -> slot in out.items; later generations (and later input
+
+    // Items deduplicate by index; later generations (and later input
     // streams) overwrite earlier, so coordinator + worker files agree
     // on one row per item.
-    std::map<std::uint64_t, std::size_t> by_index;
-    for (std::size_t slot = 0; slot < out.items.size(); ++slot) {
-        by_index[out.items[slot].index] = slot;
-    }
-
-    auto upsert = [&](const JsonObject& event, bool finished) {
+    auto upsert = [&](bool finished) {
         const auto index = event.get_uint("item");
         if (!index) return;
         Item item;
@@ -55,7 +78,7 @@ void TelemetryStats::absorb_stream(std::istream& in) {
             item.worker = event.get_uint("worker").value_or(0);
             item.has_timing = true;
         }
-        const auto [it, inserted] = by_index.emplace(*index, out.items.size());
+        const auto [it, inserted] = by_index_.emplace(*index, out.items.size());
         if (inserted) {
             out.items.push_back(std::move(item));
         } else {
@@ -63,77 +86,69 @@ void TelemetryStats::absorb_stream(std::istream& in) {
         }
     };
 
-    std::string line;
-    while (std::getline(in, line)) {
-        if (support::trim(line).empty()) continue;
-        ++out.lines;
-        const auto event = JsonObject::parse(line);
-        if (!event || !event->get_string("event")) {
-            ++out.malformed_lines;  // e.g. the torn tail of a killed run
-            continue;
-        }
-        const std::string kind = *event->get_string("event");
+    {
+        const std::string kind = *event.get_string("event");
         if (kind == "campaign-start") {
             ++out.generations;
-            out.campaign = event->get_string("campaign").value_or("");
-            out.class_name = event->get_string("class").value_or("");
-            out.seed = event->get_uint("seed").value_or(0);
-            out.jobs = event->get_uint("jobs").value_or(0);
-            out.declared_mutants = event->get_uint("mutants").value_or(0);
-            out.cases = event->get_uint("cases").value_or(0);
-            out.model = event->get_bool("model").value_or(false);
+            out.campaign = event.get_string("campaign").value_or("");
+            out.class_name = event.get_string("class").value_or("");
+            out.seed = event.get_uint("seed").value_or(0);
+            out.jobs = event.get_uint("jobs").value_or(0);
+            out.declared_mutants = event.get_uint("mutants").value_or(0);
+            out.cases = event.get_uint("cases").value_or(0);
+            out.model = event.get_bool("model").value_or(false);
             // A new generation re-declares its kill-reason rows.
             out.declared_kill_reasons.clear();
         } else if (kind == "kill-reason") {
-            if (const auto name = event->get_string("reason")) {
+            if (const auto name = event.get_string("reason")) {
                 out.declared_kill_reasons.push_back(*name);
             }
         } else if (kind == "item-start") {
             ++out.starts;
         } else if (kind == "item-finish") {
             ++out.finishes;
-            if (event->get_bool("shrunk").value_or(false)) ++out.shrunk_items;
-            upsert(*event, true);
+            if (event.get_bool("shrunk").value_or(false)) ++out.shrunk_items;
+            upsert(true);
         } else if (kind == "item-resumed") {
             ++out.resumes;
-            upsert(*event, false);
+            upsert(false);
         } else if (kind == "campaign-end") {
             out.have_summary = true;
-            out.killed = event->get_uint("killed").value_or(0);
-            out.equivalent = event->get_uint("equivalent").value_or(0);
-            out.not_covered = event->get_uint("not_covered").value_or(0);
-            out.executed = event->get_uint("executed").value_or(0);
-            out.workers = event->get_uint("workers").value_or(0);
-            out.steals = event->get_uint("steals").value_or(0);
-            out.score = event->get_double("score").value_or(0.0);
-            out.wall_ms = event->get_double("wall_ms").value_or(0.0);
+            out.killed = event.get_uint("killed").value_or(0);
+            out.equivalent = event.get_uint("equivalent").value_or(0);
+            out.not_covered = event.get_uint("not_covered").value_or(0);
+            out.executed = event.get_uint("executed").value_or(0);
+            out.workers = event.get_uint("workers").value_or(0);
+            out.steals = event.get_uint("steals").value_or(0);
+            out.score = event.get_double("score").value_or(0.0);
+            out.wall_ms = event.get_double("wall_ms").value_or(0.0);
         } else if (kind == "fuzz-start") {
             ++out.fuzz_runs;
-            out.fuzz_class = event->get_string("class").value_or("");
-            out.fuzz_seed = event->get_uint("seed").value_or(0);
+            out.fuzz_class = event.get_string("class").value_or("");
+            out.fuzz_seed = event.get_uint("seed").value_or(0);
             // A new generation restarts the finding/verdict tallies.
             out.fuzz_findings.clear();
             out.fuzz_verdicts.clear();
             out.have_fuzz_summary = false;
         } else if (kind == "fuzz-finding") {
             FuzzFinding finding;
-            finding.key = event->get_string("key").value_or("?");
-            finding.verdict = event->get_string("verdict").value_or("?");
-            finding.iteration = event->get_uint("iteration").value_or(0);
-            finding.shrink_steps = event->get_uint("shrink_steps").value_or(0);
-            finding.calls = event->get_uint("calls").value_or(0);
+            finding.key = event.get_string("key").value_or("?");
+            finding.verdict = event.get_string("verdict").value_or("?");
+            finding.iteration = event.get_uint("iteration").value_or(0);
+            finding.shrink_steps = event.get_uint("shrink_steps").value_or(0);
+            finding.calls = event.get_uint("calls").value_or(0);
             out.fuzz_findings.push_back(std::move(finding));
         } else if (kind == "fuzz-verdict") {
-            const auto name = event->get_string("verdict");
+            const auto name = event.get_string("verdict");
             if (name) {
-                out.fuzz_verdicts[*name] = event->get_uint("count").value_or(0);
+                out.fuzz_verdicts[*name] = event.get_uint("count").value_or(0);
             }
         } else if (kind == "fuzz-end") {
             out.have_fuzz_summary = true;
-            out.fuzz_iterations = event->get_uint("iterations").value_or(0);
-            out.fuzz_executions = event->get_uint("executions").value_or(0);
-            out.fuzz_interesting = event->get_uint("interesting").value_or(0);
-            out.fuzz_population = event->get_uint("population").value_or(0);
+            out.fuzz_iterations = event.get_uint("iterations").value_or(0);
+            out.fuzz_executions = event.get_uint("executions").value_or(0);
+            out.fuzz_interesting = event.get_uint("interesting").value_or(0);
+            out.fuzz_population = event.get_uint("population").value_or(0);
         } else if (kind == "worker-connect") {
             ++out.worker_connects;
         } else if (kind == "worker-disconnect") {
@@ -142,13 +157,12 @@ void TelemetryStats::absorb_stream(std::istream& in) {
             ++out.redispatched;
         } else if (kind == "worker-session") {
             ++out.serve_sessions;
+        } else if (kind == "metrics-snapshot") {
+            ++out.metrics_snapshots;
         }
         // Unknown event kinds pass through untallied: the schema may
         // grow and old reporters should not reject new streams.
     }
-
-    std::sort(out.items.begin(), out.items.end(),
-              [](const Item& a, const Item& b) { return a.index < b.index; });
 }
 
 TelemetryStats TelemetryStats::from_file(const std::string& path) {
@@ -213,6 +227,53 @@ std::vector<TelemetryStats::WorkerLoad> TelemetryStats::worker_loads() const {
     std::vector<WorkerLoad> out;
     out.reserve(by_worker.size());
     for (const auto& [id, load] : by_worker) out.push_back(load);
+    return out;
+}
+
+namespace {
+
+/// "Class::Method@site.Operator.detail" -> "Operator"; "?" when the id
+/// does not follow the mutant naming scheme.
+std::string operator_of(const std::string& mutant) {
+    const std::size_t at = mutant.find('@');
+    if (at == std::string::npos) return "?";
+    const std::size_t first_dot = mutant.find('.', at + 1);
+    if (first_dot == std::string::npos) return "?";
+    std::size_t second_dot = mutant.find('.', first_dot + 1);
+    if (second_dot == std::string::npos) second_dot = mutant.size();
+    return mutant.substr(first_dot + 1, second_dot - first_dot - 1);
+}
+
+/// Exact order statistic over a sorted sample (nearest-rank).
+double exact_percentile(const std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    const double rank = q * static_cast<double>(sorted.size());
+    std::size_t index =
+        rank <= 1.0 ? 0 : static_cast<std::size_t>(std::ceil(rank)) - 1;
+    if (index >= sorted.size()) index = sorted.size() - 1;
+    return sorted[index];
+}
+
+}  // namespace
+
+std::vector<TelemetryStats::OperatorLatency>
+TelemetryStats::operator_latencies() const {
+    std::map<std::string, std::vector<double>> samples;
+    for (const Item& item : items) {
+        if (item.has_timing) samples[operator_of(item.mutant)].push_back(item.wall_ms);
+    }
+    std::vector<OperatorLatency> out;
+    out.reserve(samples.size());
+    for (auto& [op, values] : samples) {
+        std::sort(values.begin(), values.end());
+        OperatorLatency row;
+        row.op = op;
+        row.items = values.size();
+        row.p50_ms = exact_percentile(values, 0.50);
+        row.p90_ms = exact_percentile(values, 0.90);
+        row.p99_ms = exact_percentile(values, 0.99);
+        out.push_back(std::move(row));
+    }
     return out;
 }
 
@@ -385,6 +446,228 @@ void TelemetryStats::render(std::ostream& os, std::size_t top) const {
             table.render(os);
         }
     }
+}
+
+void TelemetryStats::render_follow(std::ostream& os, double elapsed_s) const {
+    const std::size_t done = items.size();
+    const std::uint64_t total = declared_mutants;
+
+    os << "follow: " << (class_name.empty() ? "?" : class_name) << "  " << done;
+    if (total != 0) os << "/" << total;
+    os << " item(s)";
+    const auto fates = fate_counts();
+    for (const auto& [fate, count] : fates) {
+        os << "  " << fate << "=" << count;
+    }
+    os << "\n";
+
+    os << "  rate ";
+    if (elapsed_s > 0.0 && done > 0) {
+        const double rate = static_cast<double>(done) / elapsed_s;
+        char buffer[64];
+        std::snprintf(buffer, sizeof buffer, "%.1f", rate);
+        os << buffer << " item(s)/s";
+        if (total > done) {
+            std::snprintf(buffer, sizeof buffer, "%.0f",
+                          static_cast<double>(total - done) / rate);
+            os << "  eta " << buffer << "s";
+        } else if (total != 0) {
+            os << "  eta 0s";
+        }
+    } else {
+        os << "- item(s)/s";
+    }
+    if (have_summary) os << "  [campaign complete]";
+    os << "\n";
+
+    const auto loads = worker_loads();
+    if (!loads.empty()) {
+        double total_busy = 0.0;
+        for (const WorkerLoad& load : loads) total_busy += load.busy_ms;
+        os << "  workers:";
+        for (const WorkerLoad& load : loads) {
+            os << "  w" << load.worker << " " << load.items << " ("
+               << support::percent(total_busy == 0.0
+                                       ? 0.0
+                                       : load.busy_ms / total_busy)
+               << ")";
+        }
+        os << "\n";
+    }
+
+    const auto operators = operator_latencies();
+    if (!operators.empty()) {
+        os << "  operator p50/p90/p99 ms:";
+        for (const OperatorLatency& row : operators) {
+            os << "  " << row.op << " " << format_ms(row.p50_ms) << "/"
+               << format_ms(row.p90_ms) << "/" << format_ms(row.p99_ms);
+        }
+        os << "\n";
+    }
+}
+
+namespace {
+
+/// Shortest round-trippable JSON number (same rendering JsonObject uses).
+std::string json_number(double d) {
+    if (!std::isfinite(d)) return "null";
+    char buffer[40];
+    std::snprintf(buffer, sizeof buffer, "%.17g", d);
+    return buffer;
+}
+
+void write_count_map(std::ostream& os, const char* key,
+                     const std::map<std::string, std::size_t>& counts) {
+    os << "\"" << key << "\":{";
+    bool first = true;
+    for (const auto& [name, count] : counts) {
+        if (!first) os << ',';
+        first = false;
+        os << '"' << json_escape(name) << "\":" << count;
+    }
+    os << "}";
+}
+
+}  // namespace
+
+void TelemetryStats::write_json(std::ostream& os, std::size_t top) const {
+    os << "{\"class\":\"" << json_escape(class_name) << "\",\"campaign\":\""
+       << json_escape(campaign) << "\",\"seed\":" << seed
+       << ",\"jobs\":" << jobs << ",\"declared_mutants\":" << declared_mutants
+       << ",\"cases\":" << cases << ",\"model\":" << (model ? "true" : "false")
+       << ",\"generations\":" << generations << ",\"lines\":" << lines
+       << ",\"malformed_lines\":" << malformed_lines
+       << ",\"streams\":" << streams << ",\"items\":" << items.size()
+       << ",\"executed\":" << finishes << ",\"resumed\":" << resumes
+       << ",\"shrunk\":" << shrunk_items;
+
+    os << ",\"dispatch\":{\"worker_connects\":" << worker_connects
+       << ",\"worker_disconnects\":" << worker_disconnects
+       << ",\"redispatched\":" << redispatched
+       << ",\"serve_sessions\":" << serve_sessions
+       << ",\"metrics_snapshots\":" << metrics_snapshots << "}";
+
+    if (have_summary) {
+        os << ",\"final\":{\"killed\":" << killed
+           << ",\"equivalent\":" << equivalent
+           << ",\"not_covered\":" << not_covered << ",\"executed\":" << executed
+           << ",\"workers\":" << workers << ",\"steals\":" << steals
+           << ",\"score\":" << json_number(score)
+           << ",\"wall_ms\":" << json_number(wall_ms) << "}";
+    } else {
+        os << ",\"final\":null";
+    }
+
+    os << ',';
+    write_count_map(os, "fates", fate_counts());
+    os << ',';
+    write_count_map(os, "kill_reasons", kill_reasons());
+    os << ",\"model_only_kills\":" << model_only_kills() << ',';
+    write_count_map(os, "sandbox", sandbox_kinds());
+
+    os << ",\"workers_load\":[";
+    bool first = true;
+    for (const WorkerLoad& load : worker_loads()) {
+        if (!first) os << ',';
+        first = false;
+        os << "{\"worker\":" << load.worker << ",\"items\":" << load.items
+           << ",\"busy_ms\":" << json_number(load.busy_ms) << "}";
+    }
+    os << "]";
+
+    os << ",\"operators\":[";
+    first = true;
+    for (const OperatorLatency& row : operator_latencies()) {
+        if (!first) os << ',';
+        first = false;
+        os << "{\"operator\":\"" << json_escape(row.op)
+           << "\",\"items\":" << row.items
+           << ",\"p50_ms\":" << json_number(row.p50_ms)
+           << ",\"p90_ms\":" << json_number(row.p90_ms)
+           << ",\"p99_ms\":" << json_number(row.p99_ms) << "}";
+    }
+    os << "]";
+
+    std::vector<const Item*> timed;
+    for (const Item& item : items) {
+        if (item.has_timing) timed.push_back(&item);
+    }
+    std::sort(timed.begin(), timed.end(), [](const Item* a, const Item* b) {
+        if (a->wall_ms != b->wall_ms) return a->wall_ms > b->wall_ms;
+        return a->index < b->index;
+    });
+    os << ",\"slowest\":[";
+    const std::size_t n = std::min(top, timed.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const Item& item = *timed[i];
+        if (i != 0) os << ',';
+        os << "{\"mutant\":\"" << json_escape(item.mutant) << "\",\"fate\":\""
+           << json_escape(item.fate) << "\",\"reason\":\""
+           << json_escape(item.reason)
+           << "\",\"wall_ms\":" << json_number(item.wall_ms)
+           << ",\"worker\":" << item.worker << "}";
+    }
+    os << "]";
+
+    if (fuzz_runs != 0) {
+        os << ",\"fuzz\":{\"runs\":" << fuzz_runs << ",\"class\":\""
+           << json_escape(fuzz_class) << "\",\"seed\":" << fuzz_seed
+           << ",\"iterations\":" << fuzz_iterations
+           << ",\"executions\":" << fuzz_executions
+           << ",\"interesting\":" << fuzz_interesting
+           << ",\"population\":" << fuzz_population << ",\"verdicts\":{";
+        first = true;
+        for (const auto& [verdict, count] : fuzz_verdicts) {
+            if (!first) os << ',';
+            first = false;
+            os << '"' << json_escape(verdict) << "\":" << count;
+        }
+        os << "},\"findings\":[";
+        first = true;
+        for (const FuzzFinding& finding : fuzz_findings) {
+            if (!first) os << ',';
+            first = false;
+            os << "{\"key\":\"" << json_escape(finding.key)
+               << "\",\"verdict\":\"" << json_escape(finding.verdict)
+               << "\",\"iteration\":" << finding.iteration
+               << ",\"shrink_steps\":" << finding.shrink_steps
+               << ",\"calls\":" << finding.calls << "}";
+        }
+        os << "]}";
+    }
+
+    os << "}\n";
+}
+
+std::size_t TelemetryTail::poll(TelemetryStats& stats) {
+    std::ifstream in(path_, std::ios::binary);
+    if (!in) return 0;
+    in.seekg(static_cast<std::streamoff>(offset_));
+    if (!in) return 0;
+
+    std::string fresh;
+    char chunk[4096];
+    for (;;) {
+        in.read(chunk, sizeof chunk);
+        const std::streamsize got = in.gcount();
+        if (got <= 0) break;
+        fresh.append(chunk, static_cast<std::size_t>(got));
+    }
+    offset_ += fresh.size();
+    partial_ += fresh;
+
+    std::size_t absorbed = 0;
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t newline = partial_.find('\n', start);
+        if (newline == std::string::npos) break;
+        stats.absorb_line(
+            std::string_view(partial_).substr(start, newline - start));
+        ++absorbed;
+        start = newline + 1;
+    }
+    partial_.erase(0, start);
+    return absorbed;
 }
 
 }  // namespace stc::obs

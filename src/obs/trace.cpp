@@ -16,15 +16,7 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// splitmix64 finalizer — decorrelates (tid, seq) pairs into well-mixed
-/// span ids.  Same construction as the campaign's seed derivation, kept
-/// local so obs stays below campaign in the layering.
-constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
-    x += 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return x ^ (x >> 31);
-}
+}  // namespace
 
 std::string hex16(std::uint64_t value) {
     char buffer[17];
@@ -37,8 +29,6 @@ std::uint64_t from_hex16(std::string_view text) {
     return std::strtoull(std::string(text).c_str(), nullptr, 16);
 }
 
-}  // namespace
-
 struct Tracer::State {
     struct ThreadData {
         int tid = 0;
@@ -48,6 +38,8 @@ struct Tracer::State {
 
     std::mutex mutex;
     Clock::time_point epoch = Clock::now();
+    int actor = 0;
+    std::uint64_t trace_id = 0;
     std::map<std::thread::id, ThreadData> threads;
     std::vector<TraceEvent> events;
 
@@ -65,22 +57,41 @@ struct Tracer::State {
     }
 };
 
-Tracer Tracer::make() {
+Tracer Tracer::make(int actor) {
     Tracer tracer;
     tracer.state_ = std::make_shared<State>();
+    tracer.state_->actor = actor;
     return tracer;
+}
+
+int Tracer::actor() const noexcept {
+    return state_ == nullptr ? 0 : state_->actor;
 }
 
 Tracer::Span Tracer::begin(std::string_view category, std::string_view name,
                            JsonObject args) const {
+    return begin_with_parent(category, name, 0, std::move(args));
+}
+
+Tracer::Span Tracer::begin_with_parent(std::string_view category,
+                                       std::string_view name,
+                                       std::uint64_t parent,
+                                       JsonObject args) const {
     Span span;
     if (state_ == nullptr) return span;  // inert: tid stays -1
 
     const std::lock_guard<std::mutex> lock(state_->mutex);
     State::ThreadData& self = state_->self();
     span.tid = self.tid;
-    span.id = mix64((static_cast<std::uint64_t>(self.tid) << 40u) ^
+    // The actor ordinal occupies the top bits so the id's deterministic
+    // inputs are globally unique across the processes of one campaign:
+    // same (actor, tid, seq) -> same id, different actor -> different id.
+    span.id = mix64((static_cast<std::uint64_t>(
+                         static_cast<std::uint32_t>(state_->actor))
+                     << 48u) ^
+                    (static_cast<std::uint64_t>(self.tid) << 40u) ^
                     self.next_seq++);
+    span.parent_override = parent;
     span.name = std::string(name);
     span.category = std::string(category);
     span.args = std::move(args);
@@ -103,10 +114,36 @@ void Tracer::end(Span&& span) const {
     event.ts_us = span.start_us;
     event.dur_us = now_us >= span.start_us ? now_us - span.start_us : 0;
     event.tid = span.tid;
+    event.actor = state_->actor;
     event.span_id = span.id;
-    event.parent_id = self.open.empty() ? 0 : self.open.back();
+    event.parent_id = span.parent_override != 0
+                          ? span.parent_override
+                          : (self.open.empty() ? 0 : self.open.back());
     event.args = std::move(span.args);
     state_->events.push_back(std::move(event));
+}
+
+void Tracer::absorb(TraceEvent event) const {
+    if (state_ == nullptr) return;
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->events.push_back(std::move(event));
+}
+
+void Tracer::set_trace_id(std::uint64_t id) const {
+    if (state_ == nullptr) return;
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->trace_id = id;
+}
+
+std::uint64_t Tracer::trace_id() const {
+    if (state_ == nullptr) return 0;
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->trace_id;
+}
+
+std::uint64_t Tracer::now_us() const {
+    if (state_ == nullptr) return 0;
+    return state_->us_since_epoch(Clock::now());
 }
 
 std::size_t Tracer::event_count() const {
@@ -121,9 +158,21 @@ std::vector<TraceEvent> Tracer::events() const {
     return state_->events;
 }
 
+std::vector<TraceEvent> Tracer::events_from(std::size_t cursor) const {
+    if (state_ == nullptr) return {};
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    if (cursor >= state_->events.size()) return {};
+    return std::vector<TraceEvent>(state_->events.begin() +
+                                       static_cast<std::ptrdiff_t>(cursor),
+                                   state_->events.end());
+}
+
 void Tracer::write_chrome_trace(std::ostream& os) const {
     const std::vector<TraceEvent> snapshot = events();
-    os << "{\"traceEvents\":[\n";
+    const std::uint64_t id = trace_id();
+    os << "{";
+    if (id != 0) os << "\"traceId\":\"" << hex16(id) << "\",";
+    os << "\"traceEvents\":[\n";
     bool first = true;
     for (const TraceEvent& e : snapshot) {
         if (!first) os << ",\n";
@@ -135,8 +184,8 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
         if (e.parent_id != 0) args.set("parent", hex16(e.parent_id));
         os << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
            << json_escape(e.category) << "\",\"ph\":\"X\",\"ts\":" << e.ts_us
-           << ",\"dur\":" << e.dur_us << ",\"pid\":1,\"tid\":" << e.tid
-           << ",\"args\":" << args.to_line() << "}";
+           << ",\"dur\":" << e.dur_us << ",\"pid\":" << (e.actor + 1)
+           << ",\"tid\":" << e.tid << ",\"args\":" << args.to_line() << "}";
     }
     os << "\n],\"displayTimeUnit\":\"ms\"}\n";
 }
@@ -149,7 +198,65 @@ SpanScope::SpanScope(const Tracer& tracer, std::string_view category,
     }
 }
 
+SpanScope::SpanScope(const Tracer& tracer, std::string_view category,
+                     std::string_view name, std::uint64_t parent,
+                     JsonObject args)
+    : tracer_(tracer) {
+    if (tracer_.enabled()) {
+        span_ = tracer_.begin_with_parent(category, name, parent,
+                                          std::move(args));
+    }
+}
+
 SpanScope::~SpanScope() { tracer_.end(std::move(span_)); }
+
+// ------------------------------------------------- wire/JSONL form
+
+JsonObject trace_event_to_json(const TraceEvent& event) {
+    JsonObject object;
+    object.set("name", event.name)
+        .set("cat", event.category)
+        .set("ts", event.ts_us)
+        .set("dur", event.dur_us)
+        .set("tid", event.tid)
+        .set("actor", event.actor)
+        .set("span", hex16(event.span_id));
+    if (event.parent_id != 0) object.set("parent", hex16(event.parent_id));
+    // The args object rides as one JSON-encoded string: JsonObject is
+    // deliberately flat, and the frame payload is itself a JsonObject.
+    if (event.args.size() > 0) object.set("args", event.args.to_line());
+    return object;
+}
+
+std::optional<TraceEvent> trace_event_from_json(const JsonObject& object) {
+    const auto name = object.get_string("name");
+    const auto cat = object.get_string("cat");
+    const auto ts = object.get_uint("ts");
+    const auto dur = object.get_uint("dur");
+    const auto tid = object.get_int("tid");
+    const auto actor = object.get_int("actor");
+    const auto span = object.get_string("span");
+    if (!name || !cat || !ts || !dur || !tid || !actor || !span) {
+        return std::nullopt;
+    }
+    TraceEvent event;
+    event.name = *name;
+    event.category = *cat;
+    event.ts_us = *ts;
+    event.dur_us = *dur;
+    event.tid = static_cast<int>(*tid);
+    event.actor = static_cast<int>(*actor);
+    event.span_id = from_hex16(*span);
+    if (const auto parent = object.get_string("parent")) {
+        event.parent_id = from_hex16(*parent);
+    }
+    if (const auto args = object.get_string("args")) {
+        auto parsed = JsonObject::parse(*args);
+        if (!parsed) return std::nullopt;
+        event.args = std::move(*parsed);
+    }
+    return event;
+}
 
 // ---------------------------------------------------------- parsing
 
@@ -264,8 +371,8 @@ std::optional<TraceEvent> parse_event(std::string_view obj) {
     const auto ts = fields->get_uint("ts");
     const auto dur = fields->get_uint("dur");
     const auto tid = fields->get_int("tid");
-    if (!name || !cat || !ph || *ph != "X" || !ts || !dur || !tid ||
-        !fields->has("pid")) {
+    const auto pid = fields->get_int("pid");
+    if (!name || !cat || !ph || *ph != "X" || !ts || !dur || !tid || !pid) {
         return std::nullopt;
     }
 
@@ -275,6 +382,7 @@ std::optional<TraceEvent> parse_event(std::string_view obj) {
     event.ts_us = *ts;
     event.dur_us = *dur;
     event.tid = static_cast<int>(*tid);
+    event.actor = static_cast<int>(*pid) - 1;
     if (args) {
         if (const auto span = args->get_string("span")) {
             event.span_id = from_hex16(*span);

@@ -105,7 +105,8 @@ BuiltinCampaign::BuiltinCampaign() : impl_(std::make_unique<Impl>()) {}
 BuiltinCampaign::~BuiltinCampaign() = default;
 
 std::unique_ptr<BuiltinCampaign> BuiltinCampaign::open(
-    const BuiltinCampaignConfig& config, std::string* error) {
+    const BuiltinCampaignConfig& config, std::string* error,
+    const obs::Context& obs) {
     if (config.component != "coblist" && config.component != "sortable") {
         if (error != nullptr) {
             *error = "unknown component '" + config.component +
@@ -117,6 +118,8 @@ std::unique_ptr<BuiltinCampaign> BuiltinCampaign::open(
     std::unique_ptr<BuiltinCampaign> out(new BuiltinCampaign());
     Impl& s = *out->impl_;
     s.config = config;
+    s.engine.obs = obs;
+    s.engine.runner.obs = obs;
     s.component.emplace(config.component == "coblist"
                             ? core::SelfTestableComponent(
                                   mfc::coblist_spec(), mfc::coblist_binding())
@@ -263,11 +266,11 @@ private:
 }  // namespace
 
 SessionFactory builtin_session_factory() {
-    return [](const obs::JsonObject& hello,
+    return [](const obs::JsonObject& hello, const obs::Context& obs,
               std::string* error) -> std::unique_ptr<Session> {
         const auto config = parse_hello(hello, error);
         if (!config) return nullptr;
-        auto campaign = BuiltinCampaign::open(*config, error);
+        auto campaign = BuiltinCampaign::open(*config, error, obs);
         if (campaign == nullptr) return nullptr;
         const std::string theirs = hello.get_string("fingerprint").value_or("");
         if (!theirs.empty() && theirs != campaign->fingerprint()) {

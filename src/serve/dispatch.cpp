@@ -42,6 +42,12 @@ struct WorkerState {
     std::ptrdiff_t in_flight = kNoItem;  ///< position of the item sent, or -1
     Clock::time_point last_heard;
     bool ping_outstanding = false;
+    /// Protocol minor rev the worker announced in HelloAck (1 when it
+    /// predates the field) — gates the end-of-session telemetry drain.
+    std::uint64_t proto_minor = 1;
+    /// Trace-clock time the in-flight Work was sent (the synthetic
+    /// item-dispatch span's start).
+    std::uint64_t sent_us = 0;
 };
 
 }  // namespace
@@ -59,13 +65,54 @@ DispatchStats Coordinator::run(const std::vector<campaign::WorkItem>& items,
     // write, not as a SIGPIPE death of the coordinator.
     ::signal(SIGPIPE, SIG_IGN);
     const auto t0 = Clock::now();
-    const obs::SpanScope span(options_.obs.tracer, "phase", "dispatch");
+    obs::Tracer& tracer = options_.obs.tracer;
+    if (tracer.enabled() && tracer.trace_id() == 0) {
+        // Mint the campaign-wide trace id from the fingerprint, so the
+        // same campaign always produces the same id (and reruns of a
+        // different campaign a different one).  Workers stamp it into
+        // their streamed trace files via Hello's "trace" field.
+        std::uint64_t id = 0;
+        for (const unsigned char c : options_.expected_fingerprint) {
+            id = obs::mix64(id ^ c);
+        }
+        tracer.set_trace_id(id != 0 ? id : 1);
+    }
+    const bool tracing = tracer.enabled();
+    const obs::SpanScope span(tracer, "phase", "dispatch");
+    // Per-item span id, minted by the coordinator and carried in the
+    // Work frame's "parent": the worker's work-item span parents on it,
+    // and the coordinator's synthetic item-dispatch span *is* it, which
+    // is what links dispatch -> wire -> evaluation in the merged trace.
+    auto item_span_id = [&](std::size_t pos) {
+        return obs::mix64(
+            tracer.trace_id() ^
+            obs::mix64(static_cast<std::uint64_t>(items[pos].index) + 1));
+    };
 
     DispatchStats stats;
     stats.workers = options_.workers.size();
 
     auto emit = [&](const obs::JsonObject& event) {
         if (options_.telemetry) options_.telemetry(event);
+    };
+    // A Telemetry frame (minor 2) is a worker-streamed span or JSONL
+    // event; both fold into the coordinator's own instruments.  Never
+    // fatal: a malformed payload is dropped, not a protocol error —
+    // telemetry must not be able to kill a campaign.
+    auto handle_telemetry = [&](const std::string& payload) {
+        const auto body = obs::JsonObject::parse(payload);
+        if (!body) return;
+        const std::string kind = body->get_string("kind").value_or("");
+        if (kind == "span") {
+            if (!tracing) return;
+            if (auto event = obs::trace_event_from_json(*body)) {
+                tracer.absorb(std::move(*event));
+            }
+        } else if (kind == "event") {
+            const auto data = body->get_string("data");
+            if (!data) return;
+            if (const auto event = obs::JsonObject::parse(*data)) emit(*event);
+        }
     };
 
     std::vector<WorkerState> workers(options_.workers.size());
@@ -146,6 +193,17 @@ DispatchStats Coordinator::run(const std::vector<campaign::WorkItem>& items,
         }
         obs::JsonObject hello = options_.hello;
         hello.set("ordinal", static_cast<std::uint64_t>(w));
+        hello.set("proto_minor", wire::kProtocolMinor);
+        if (tracing) {
+            hello.set("trace", obs::hex16(tracer.trace_id()))
+                .set("parent", obs::hex16(span.id()))
+                .set("now_us", tracer.now_us());
+        }
+        if (options_.stream_telemetry) {
+            hello.set("telemetry_interval_ms",
+                      static_cast<std::uint64_t>(
+                          std::max(0, options_.telemetry_interval_ms)));
+        }
         if (!wire::write_message(state.fd.get(), wire::MessageType::Hello,
                                  hello.to_line())) {
             emit(obs::JsonObject()
@@ -226,6 +284,7 @@ DispatchStats Coordinator::run(const std::vector<campaign::WorkItem>& items,
                     return false;
                 }
                 state.phase = WorkerState::Phase::Ready;
+                state.proto_minor = ack->get_uint("proto_minor").value_or(1);
                 ++stats.workers_connected;
                 emit(obs::JsonObject()
                          .set("event", "worker-connect")
@@ -257,6 +316,30 @@ DispatchStats Coordinator::run(const std::vector<campaign::WorkItem>& items,
                     return false;
                 }
                 state.in_flight = kNoItem;
+                if (tracing) {
+                    // The synthetic item-dispatch span covers the item's
+                    // whole round trip on the coordinator's clock; its id
+                    // is the minted per-item id the worker's work-item
+                    // span named as parent, closing the causal chain.
+                    obs::TraceEvent event;
+                    event.name = "item-dispatch";
+                    event.category = "dispatch";
+                    event.ts_us = state.sent_us;
+                    const std::uint64_t now_us = tracer.now_us();
+                    event.dur_us =
+                        now_us > state.sent_us ? now_us - state.sent_us : 0;
+                    event.tid = 0;
+                    event.actor = tracer.actor();
+                    event.span_id = item_span_id(pos);
+                    event.parent_id = span.id();
+                    event.args =
+                        obs::JsonObject()
+                            .set("item",
+                                 static_cast<std::uint64_t>(items[pos].index))
+                            .set("mutant", items[pos].mutant_id)
+                            .set("worker", static_cast<std::uint64_t>(w));
+                    tracer.absorb(std::move(event));
+                }
                 if (!completed[pos]) {
                     completed[pos] = true;
                     --remaining;
@@ -267,6 +350,9 @@ DispatchStats Coordinator::run(const std::vector<campaign::WorkItem>& items,
                 }
                 return true;
             }
+            case wire::MessageType::Telemetry:
+                handle_telemetry(message.payload);
+                return true;
             case wire::MessageType::Pong:
                 return true;  // silence clock already reset by the read
             case wire::MessageType::Error: {
@@ -306,11 +392,12 @@ DispatchStats Coordinator::run(const std::vector<campaign::WorkItem>& items,
             const std::size_t pos = state.queue.front();
             state.queue.pop_front();
             const campaign::WorkItem& item = items[pos];
-            const obs::JsonObject work =
+            obs::JsonObject work =
                 obs::JsonObject()
                     .set("item", static_cast<std::uint64_t>(item.index))
                     .set("mutant", item.mutant_id)
                     .set("item_seed", item.item_seed);
+            if (tracing) work.set("parent", obs::hex16(item_span_id(pos)));
             if (!wire::write_message(state.fd.get(), wire::MessageType::Work,
                                      work.to_line())) {
                 fail_worker(w, "write-failed: " +
@@ -318,6 +405,7 @@ DispatchStats Coordinator::run(const std::vector<campaign::WorkItem>& items,
                 continue;
             }
             state.in_flight = static_cast<std::ptrdiff_t>(pos);
+            state.sent_us = tracer.now_us();
             emit(obs::JsonObject()
                      .set("event", "item-start")
                      .set("item", static_cast<std::uint64_t>(item.index))
@@ -403,10 +491,52 @@ DispatchStats Coordinator::run(const std::vector<campaign::WorkItem>& items,
     }
 
     // Campaign complete: a polite Shutdown ends each surviving session.
-    for (WorkerState& state : workers) {
+    // A minor-2 worker flushes its tail telemetry (session-end event,
+    // the ended worker-session span, a final metrics snapshot) before
+    // closing, so when streaming was negotiated we keep reading its
+    // connection until EOF — bounded, in case the worker wedges.
+    const bool draining =
+        tracing || options_.stream_telemetry;
+    const auto drain_deadline =
+        Clock::now() + std::chrono::milliseconds(2000);
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+        WorkerState& state = workers[w];
         if (state.phase == WorkerState::Phase::Dead) continue;
         (void)wire::write_message(state.fd.get(), wire::MessageType::Shutdown,
                                   "");
+        if (!draining || state.proto_minor < 2) {
+            state.fd.close();
+            continue;
+        }
+        while (Clock::now() < drain_deadline) {
+            pollfd pfd{state.fd.get(), POLLIN, 0};
+            const int ready = ::poll(&pfd, 1, 100);
+            if (ready < 0 && errno != EINTR) break;
+            if (ready <= 0) continue;
+            char chunk[4096];
+            const ssize_t got = ::read(state.fd.get(), chunk, sizeof chunk);
+            if (got == 0) break;  // worker flushed and closed
+            if (got < 0) {
+                if (errno == EINTR || errno == EAGAIN) continue;
+                break;
+            }
+            state.decoder.feed(chunk, static_cast<std::size_t>(got));
+            bool poisoned = false;
+            for (;;) {
+                wire::Message message;
+                const wire::Decoder::Status status =
+                    state.decoder.next(&message);
+                if (status == wire::Decoder::Status::NeedMore) break;
+                if (status != wire::Decoder::Status::Ok) {
+                    poisoned = true;
+                    break;
+                }
+                if (message.type == wire::MessageType::Telemetry) {
+                    handle_telemetry(message.payload);
+                }
+            }
+            if (poisoned) break;
+        }
         state.fd.close();
     }
 

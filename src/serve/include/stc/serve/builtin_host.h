@@ -57,9 +57,13 @@ public:
     BuiltinCampaign& operator=(const BuiltinCampaign&) = delete;
 
     /// Build the campaign; nullptr with `*error` set on an unknown
-    /// component or a model request without a registered model.
+    /// component or a model request without a registered model.  `obs`
+    /// is wired into the mutation engine and runners, so evaluation
+    /// spans/metrics land in the caller's instruments (a worker
+    /// session's streaming tracer, or the process's own --trace-out).
     [[nodiscard]] static std::unique_ptr<BuiltinCampaign> open(
-        const BuiltinCampaignConfig& config, std::string* error);
+        const BuiltinCampaignConfig& config, std::string* error,
+        const obs::Context& obs = {});
 
     [[nodiscard]] const BuiltinCampaignConfig& config() const noexcept;
     [[nodiscard]] const driver::TestSuite& suite() const noexcept;

@@ -48,8 +48,18 @@ struct DispatchOptions {
     int dead_after_ms = 5000;
     obs::Context obs;
     /// JSONL telemetry sink (worker-connect / worker-disconnect /
-    /// worker-redispatch / item-start events); may be empty.
+    /// worker-redispatch / item-start events); may be empty.  When
+    /// streaming is negotiated, the workers' own events (item-finish,
+    /// worker-session, metrics-snapshot) arrive here too, making this
+    /// one sink fleet-wide (docs/FORMATS.md §11).
     std::function<void(const obs::JsonObject&)> telemetry;
+    /// Ask minor-2 workers to stream their telemetry events back over
+    /// the socket (the `--telemetry-out` fleet aggregation).
+    bool stream_telemetry = false;
+    /// Metrics-snapshot cadence requested from streaming workers
+    /// (`--telemetry-interval-ms`); 0 = item-fate events only, no
+    /// periodic snapshots.
+    int telemetry_interval_ms = 1000;
 };
 
 struct DispatchStats {

@@ -51,9 +51,14 @@ public:
 };
 
 /// Build a Session from a Hello payload, or nullptr with `*error` set
-/// (the HelloAck rejection message).
+/// (the HelloAck rejection message).  `obs` is the observability
+/// context the session's executors should record into: the daemon's own
+/// instruments normally, or a per-session streaming tracer/metrics pair
+/// when the coordinator negotiated telemetry streaming (protocol minor
+/// 2, docs/FORMATS.md §11).
 using SessionFactory = std::function<std::unique_ptr<Session>(
-    const obs::JsonObject& hello, std::string* error)>;
+    const obs::JsonObject& hello, const obs::Context& obs,
+    std::string* error)>;
 
 struct ServeOptions {
     /// TCP port to listen on; 0 picks an ephemeral port (bind() reports

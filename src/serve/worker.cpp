@@ -4,6 +4,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <sstream>
 #include <utility>
 
 #include "stc/support/error.h"
@@ -78,8 +80,78 @@ void WorkerDaemon::serve_connection(int fd) {
     std::unique_ptr<Session> session;
     std::uint64_t ordinal = 0;
     std::size_t items = 0;
+
+    // Streaming state (protocol minor 2, docs/FORMATS.md §11): set up at
+    // Hello when the coordinator announces minor >= 2 and asks for spans
+    // ("trace") and/or telemetry events ("telemetry_interval_ms").
+    std::uint64_t peer_minor = 1;
+    bool stream_events = false;
+    std::uint64_t telemetry_interval_ms = 0;
+    obs::Tracer session_tracer;    // enabled only when streaming spans
+    obs::Metrics session_metrics;  // enabled only when streaming events
+    obs::Tracer::Span session_span;
+    std::size_t span_cursor = 0;
+    // Worker span timestamps are rebased onto the coordinator's trace
+    // clock: Hello carries the coordinator's now_us, and the session
+    // tracer's epoch is "now" at Hello time, so the offset aligns the
+    // two timelines to within the handshake's network latency.
+    std::int64_t ts_offset_us = 0;
+    auto last_snapshot = std::chrono::steady_clock::now();
+
     auto emit = [&](const obs::JsonObject& event) {
         if (options_.telemetry) options_.telemetry(event);
+    };
+    auto send_telemetry = [&](const obs::JsonObject& payload) {
+        return wire::write_message(fd, wire::MessageType::Telemetry,
+                                   payload.to_line());
+    };
+    /// Ship one JSONL event to the coordinator's telemetry stream (and
+    /// the daemon's own sink).  False only on a dead socket.
+    auto emit_streamed = [&](const obs::JsonObject& event) {
+        emit(event);
+        if (!stream_events) return true;
+        return send_telemetry(obs::JsonObject()
+                                  .set("kind", "event")
+                                  .set("data", event.to_line()));
+    };
+    /// Ship the session tracer's newly completed spans.
+    auto drain_spans = [&] {
+        if (!session_tracer.enabled()) return true;
+        for (obs::TraceEvent event : session_tracer.events_from(span_cursor)) {
+            ++span_cursor;
+            const std::int64_t ts =
+                static_cast<std::int64_t>(event.ts_us) + ts_offset_us;
+            event.ts_us = ts > 0 ? static_cast<std::uint64_t>(ts) : 0;
+            auto payload = obs::trace_event_to_json(event);
+            payload.set("kind", "span");
+            if (!send_telemetry(payload)) return false;
+        }
+        return true;
+    };
+    /// Ship one metrics snapshot; `force` ignores the cadence (the
+    /// end-of-session flush).
+    auto snapshot_metrics = [&](bool force) {
+        if (!stream_events || !session_metrics.enabled()) return true;
+        const auto now = std::chrono::steady_clock::now();
+        if (!force) {
+            if (telemetry_interval_ms == 0) return true;
+            const auto since_ms =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    now - last_snapshot)
+                    .count();
+            if (since_ms < static_cast<std::int64_t>(telemetry_interval_ms)) {
+                return true;
+            }
+        }
+        last_snapshot = now;
+        std::ostringstream json;
+        session_metrics.write_json(json);
+        std::string text = json.str();
+        if (!text.empty() && text.back() == '\n') text.pop_back();
+        return emit_streamed(obs::JsonObject()
+                                 .set("event", "metrics-snapshot")
+                                 .set("worker", ordinal)
+                                 .set("metrics", text));
     };
     auto disconnect = [&](const std::string& reason) {
         emit(obs::JsonObject()
@@ -134,11 +206,42 @@ void WorkerDaemon::serve_connection(int fd) {
                     fail("handshake: unparseable hello payload");
                     return;
                 }
-                std::string error;
-                session = factory_(*hello, &error);
                 ordinal = hello->get_uint("ordinal").value_or(0);
+                peer_minor = hello->get_uint("proto_minor").value_or(1);
+                obs::Context session_obs = options_.obs;
+                if (peer_minor >= 2) {
+                    stream_events = hello->has("telemetry_interval_ms");
+                    telemetry_interval_ms =
+                        hello->get_uint("telemetry_interval_ms").value_or(0);
+                    if (const auto trace = hello->get_string("trace")) {
+                        // Span ids are qualified by actor = ordinal + 1
+                        // (the coordinator is actor 0), so the merged
+                        // trace is collision-free by construction.
+                        session_tracer = obs::Tracer::make(
+                            static_cast<int>(ordinal) + 1);
+                        session_tracer.set_trace_id(obs::from_hex16(*trace));
+                        ts_offset_us = static_cast<std::int64_t>(
+                                           hello->get_uint("now_us").value_or(
+                                               0)) -
+                                       static_cast<std::int64_t>(
+                                           session_tracer.now_us());
+                        session_span = session_tracer.begin_with_parent(
+                            "phase", "worker-session",
+                            obs::from_hex16(
+                                hello->get_string("parent").value_or("")),
+                            obs::JsonObject().set("worker", ordinal));
+                        session_obs.tracer = session_tracer;
+                    }
+                    if (stream_events) {
+                        session_metrics = obs::Metrics::make();
+                        session_obs.metrics = session_metrics;
+                    }
+                }
+                std::string error;
+                session = factory_(*hello, session_obs, &error);
                 obs::JsonObject ack;
                 ack.set("ok", session != nullptr);
+                ack.set("proto_minor", wire::kProtocolMinor);
                 if (session != nullptr) {
                     ack.set("fingerprint", session->fingerprint());
                 } else {
@@ -153,12 +256,16 @@ void WorkerDaemon::serve_connection(int fd) {
                     disconnect("handshake-rejected: " + error);
                     return;
                 }
-                emit(obs::JsonObject()
-                         .set("event", "worker-session")
-                         .set("worker", ordinal)
-                         .set("fingerprint", session->fingerprint())
-                         .set("class",
-                              hello->get_string("class").value_or("")));
+                if (!emit_streamed(
+                        obs::JsonObject()
+                            .set("event", "worker-session")
+                            .set("worker", ordinal)
+                            .set("fingerprint", session->fingerprint())
+                            .set("class",
+                                 hello->get_string("class").value_or("")))) {
+                    disconnect("peer-closed");
+                    return;
+                }
                 break;
             }
             case wire::MessageType::Work: {
@@ -173,6 +280,18 @@ void WorkerDaemon::serve_connection(int fd) {
                 }
                 obs::JsonObject result;
                 try {
+                    // The coordinator's "parent" is its minted per-item
+                    // span id: everything the evaluation records nests
+                    // under this span, which nests under that id in the
+                    // merged trace.
+                    const obs::SpanScope item_span(
+                        session_tracer, "serve", "work-item",
+                        obs::from_hex16(
+                            work->get_string("parent").value_or("")),
+                        obs::JsonObject()
+                            .set("item", work->get_uint("item").value_or(0))
+                            .set("mutant",
+                                 work->get_string("mutant").value_or("")));
                     result = session->evaluate(*work);
                 } catch (const Error& e) {
                     fail(std::string("evaluate: ") + e.what());
@@ -186,7 +305,11 @@ void WorkerDaemon::serve_connection(int fd) {
                 ++items;
                 obs::JsonObject finish = result;
                 finish.set("event", "item-finish").set("worker", ordinal);
-                emit(finish);
+                if (!emit_streamed(finish) || !drain_spans() ||
+                    !snapshot_metrics(false)) {
+                    disconnect("peer-closed");
+                    return;
+                }
                 break;
             }
             case wire::MessageType::Ping: {
@@ -198,10 +321,20 @@ void WorkerDaemon::serve_connection(int fd) {
                 break;
             }
             case wire::MessageType::Shutdown: {
-                emit(obs::JsonObject()
-                         .set("event", "worker-session-end")
-                         .set("worker", ordinal)
-                         .set("items", static_cast<std::uint64_t>(items)));
+                // Final flush, best effort: the coordinator keeps
+                // reading until EOF after its Shutdown, so the session
+                // span (ended here, not by RAII — it must be complete
+                // before the drain) and closing snapshot still arrive.
+                (void)emit_streamed(
+                    obs::JsonObject()
+                        .set("event", "worker-session-end")
+                        .set("worker", ordinal)
+                        .set("items", static_cast<std::uint64_t>(items)));
+                if (session_tracer.enabled()) {
+                    session_tracer.end(std::move(session_span));
+                    (void)drain_spans();
+                }
+                (void)snapshot_metrics(true);
                 return;
             }
             case wire::MessageType::Error: {

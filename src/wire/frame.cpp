@@ -9,7 +9,7 @@ namespace stc::wire {
 
 bool message_type_known(std::uint8_t raw) noexcept {
     return raw >= static_cast<std::uint8_t>(MessageType::Hello) &&
-           raw <= static_cast<std::uint8_t>(MessageType::Shutdown);
+           raw <= static_cast<std::uint8_t>(MessageType::Telemetry);
 }
 
 const char* to_string(MessageType type) noexcept {
@@ -22,6 +22,7 @@ const char* to_string(MessageType type) noexcept {
         case MessageType::Pong: return "pong";
         case MessageType::Error: return "error";
         case MessageType::Shutdown: return "shutdown";
+        case MessageType::Telemetry: return "telemetry";
     }
     return "?";
 }

@@ -42,20 +42,33 @@ inline constexpr char kMagic[4] = {'S', 'T', 'C', 'W'};
 /// header layout, the message-type table, or a payload schema.
 inline constexpr std::uint8_t kProtocolVersion = 1;
 
+/// Protocol *minor* revision, negotiated at the JSON level (Hello /
+/// HelloAck carry "proto_minor"; a peer that omits it is minor 1).
+/// Additions that old peers can safely ignore — new optional payload
+/// fields, new message types that are only sent once both sides have
+/// announced support — bump the minor, not kProtocolVersion.  Minor 2
+/// adds trace-context fields to Hello/Work and the Telemetry frame
+/// (docs/FORMATS.md §11).
+inline constexpr std::uint64_t kProtocolMinor = 2;
+
 /// Fixed header size of a versioned message (magic + version + type +
 /// u32le payload length).
 inline constexpr std::size_t kMessageHeaderSize = 10;
 
 /// Message types of protocol version 1 (docs/FORMATS.md §10).
+/// Telemetry arrived with minor rev 2: it is only ever sent to a peer
+/// that announced "proto_minor" >= 2 in the handshake, because a minor-1
+/// decoder treats type 9 as BadType and poisons the stream.
 enum class MessageType : std::uint8_t {
-    Hello = 1,     ///< coordinator -> worker: campaign handshake
-    HelloAck = 2,  ///< worker -> coordinator: accept / reject
-    Work = 3,      ///< coordinator -> worker: one campaign work item
-    Result = 4,    ///< worker -> coordinator: the item's outcome
-    Ping = 5,      ///< coordinator -> worker: keepalive probe
-    Pong = 6,      ///< worker -> coordinator: keepalive answer
-    Error = 7,     ///< either direction: fatal protocol/handshake error
-    Shutdown = 8,  ///< coordinator -> worker: campaign complete, close
+    Hello = 1,      ///< coordinator -> worker: campaign handshake
+    HelloAck = 2,   ///< worker -> coordinator: accept / reject
+    Work = 3,       ///< coordinator -> worker: one campaign work item
+    Result = 4,     ///< worker -> coordinator: the item's outcome
+    Ping = 5,       ///< coordinator -> worker: keepalive probe
+    Pong = 6,       ///< worker -> coordinator: keepalive answer
+    Error = 7,      ///< either direction: fatal protocol/handshake error
+    Shutdown = 8,   ///< coordinator -> worker: campaign complete, close
+    Telemetry = 9,  ///< worker -> coordinator: streamed obs event (minor 2)
 };
 
 /// True for the types above — a received type outside the table is a

@@ -579,4 +579,68 @@ TEST_F(CliTest, StatsAggregatesMultipleTelemetryFiles) {
               std::string::npos);
 }
 
+TEST_F(CliTest, StatsJsonEmitsTheMachineReadableSummary) {
+    const std::string telemetry = "/tmp/stc_cli_stats_json.jsonl";
+    {
+        std::ofstream out(telemetry);
+        out << R"({"event":"campaign-start","campaign":"fp1","class":"X",)"
+            << R"("seed":7,"jobs":2,"mutants":2,"cases":1})" << "\n"
+            << R"({"event":"item-finish","item":0,)"
+            << R"("mutant":"X::M@s0.IndVarRepReq.NULL","fate":"killed",)"
+            << R"("reason":"assertion","worker":0,"wall_ms":1.5,)"
+            << R"("shrunk":false})" << "\n"
+            << R"({"event":"campaign-end","campaign":"fp1","items":2,)"
+            << R"("executed":1,"killed":1,"equivalent":0,"not_covered":0,)"
+            << R"("score":1.0,"workers":2,"wall_ms":3.0})" << "\n";
+    }
+    ASSERT_EQ(run("stats " + telemetry + " --json",
+                  "/tmp/stc_cli_stats_json.out"),
+              0);
+    const std::string out = slurp("/tmp/stc_cli_stats_json.out");
+    EXPECT_EQ(out.rfind("{\"class\":\"X\"", 0), 0u);  // JSON, not text report
+    EXPECT_NE(out.find("\"fates\":{\"killed\":1}"), std::string::npos);
+    EXPECT_NE(out.find("\"operator\":\"IndVarRepReq\""), std::string::npos);
+    EXPECT_NE(out.find("\"final\":{\"killed\":1"), std::string::npos);
+    std::remove(telemetry.c_str());
+}
+
+TEST_F(CliTest, StatsFollowRendersSnapshotsAndExitsAtCampaignEnd) {
+    // Against an already-complete stream --follow renders at least one
+    // snapshot, sees the campaign-end, and exits 0 on its own — the
+    // test would hang here if the exit condition broke.
+    const std::string telemetry = "/tmp/stc_cli_stats_follow.jsonl";
+    {
+        std::ofstream out(telemetry);
+        out << R"({"event":"campaign-start","campaign":"fp1","class":"X",)"
+            << R"("seed":7,"jobs":1,"mutants":1,"cases":1})" << "\n"
+            << R"({"event":"item-finish","item":0,)"
+            << R"("mutant":"X::M@s0.IndVarRepReq.NULL","fate":"killed",)"
+            << R"("reason":"assertion","worker":0,"wall_ms":1.5,)"
+            << R"("shrunk":false})" << "\n"
+            << R"({"event":"campaign-end","campaign":"fp1","items":1,)"
+            << R"("executed":1,"killed":1,"equivalent":0,"not_covered":0,)"
+            << R"("score":1.0,"workers":1,"wall_ms":3.0})" << "\n";
+    }
+    ASSERT_EQ(run("stats --follow " + telemetry,
+                  "/tmp/stc_cli_stats_follow.out"),
+              0);
+    const std::string out = slurp("/tmp/stc_cli_stats_follow.out");
+    EXPECT_NE(out.find("follow: X  1/1 item(s)  killed=1"),
+              std::string::npos);
+    EXPECT_NE(out.find("[campaign complete]"), std::string::npos);
+
+    // --follow is a single-file tail; a second operand is a usage error.
+    EXPECT_EQ(run("stats --follow " + telemetry + " " + telemetry), 2);
+    std::remove(telemetry.c_str());
+}
+
+TEST_F(CliTest, FollowProgressAndJsonFlagsArePerCommand) {
+    EXPECT_EQ(run("stats /tmp/x.jsonl --progress"), 2);   // dispatch-only
+    EXPECT_EQ(run("stats /tmp/x.jsonl --telemetry-interval-ms 5"), 2);
+    EXPECT_EQ(run("dispatch coblist --follow"), 2);       // stats-only
+    EXPECT_EQ(run("dispatch coblist --json"), 2);         // stats-only
+    EXPECT_EQ(run("campaign coblist --progress"), 2);     // dispatch-only
+    EXPECT_EQ(run("serve --follow"), 2);                  // stats-only
+}
+
 }  // namespace

@@ -453,5 +453,325 @@ TEST(TelemetryStats, FromFilesDeduplicatesItemsAndTalliesDispatchEvents) {
     std::remove(worker.c_str());
 }
 
+// -------------------------------------------- distributed trace pieces
+
+TEST(Tracer, ActorQualifiesSpanIdsAndExportedPid) {
+    // The same span sequence on actor 0 and actor 1 must produce
+    // disjoint id sets — that is the whole no-collision-on-merge
+    // guarantee — and the actor shows up as Chrome "pid" actor+1.
+    auto collect = [](int actor) {
+        const Tracer tracer = Tracer::make(actor);
+        { const SpanScope a(tracer, "phase", "one"); }
+        { const SpanScope b(tracer, "phase", "two"); }
+        std::vector<std::uint64_t> ids;
+        for (const auto& e : tracer.events()) ids.push_back(e.span_id);
+        return ids;
+    };
+    const auto coordinator = collect(0);
+    const auto worker = collect(1);
+    ASSERT_EQ(coordinator.size(), 2u);
+    for (const std::uint64_t id : coordinator) {
+        for (const std::uint64_t other : worker) EXPECT_NE(id, other);
+    }
+    // Determinism survives the actor fold.
+    EXPECT_EQ(collect(1), collect(1));
+
+    const Tracer tracer = Tracer::make(3);
+    EXPECT_EQ(tracer.actor(), 3);
+    { const SpanScope s(tracer, "phase", "x"); }
+    std::ostringstream os;
+    tracer.write_chrome_trace(os);
+    EXPECT_NE(os.str().find("\"pid\":4"), std::string::npos);
+}
+
+TEST(Tracer, BeginWithParentOverridesStackButStillNestsChildren) {
+    const Tracer tracer = Tracer::make(1);
+    const std::uint64_t foreign_parent = 0xabcdef0123456789ULL;
+    std::uint64_t outer_id = 0;
+    {
+        const SpanScope outer(tracer, "serve", "work-item", foreign_parent);
+        outer_id = outer.id();
+        { const SpanScope inner(tracer, "mutant-evaluation", "m"); }
+    }
+    const auto events = tracer.events();
+    ASSERT_EQ(events.size(), 2u);
+    // inner closed first; it parents on the enclosing span normally.
+    EXPECT_EQ(events[0].name, "m");
+    EXPECT_EQ(events[0].parent_id, outer_id);
+    // outer's recorded parent is the foreign id, not the (empty) stack.
+    EXPECT_EQ(events[1].name, "work-item");
+    EXPECT_EQ(events[1].parent_id, foreign_parent);
+    // Parent 0 degrades to plain begin().
+    { const SpanScope plain(tracer, "phase", "p", std::uint64_t{0}); }
+    EXPECT_EQ(tracer.events().back().parent_id, 0u);
+}
+
+TEST(Tracer, AbsorbAndEventsFromSupportIncrementalDrain) {
+    const Tracer tracer = Tracer::make();
+    { const SpanScope a(tracer, "phase", "one"); }
+    EXPECT_EQ(tracer.events_from(0).size(), 1u);
+    EXPECT_TRUE(tracer.events_from(1).empty());
+    EXPECT_TRUE(tracer.events_from(99).empty());
+
+    TraceEvent foreign;
+    foreign.name = "streamed";
+    foreign.category = "serve";
+    foreign.ts_us = 10;
+    foreign.dur_us = 5;
+    foreign.actor = 2;
+    foreign.span_id = 42;
+    foreign.parent_id = 7;
+    tracer.absorb(foreign);
+    const auto tail = tracer.events_from(1);
+    ASSERT_EQ(tail.size(), 1u);
+    EXPECT_EQ(tail[0].name, "streamed");
+    EXPECT_EQ(tail[0].actor, 2);
+    EXPECT_EQ(tail[0].span_id, 42u);
+
+    Tracer disabled;
+    disabled.absorb(foreign);  // inert, not a crash
+    EXPECT_TRUE(disabled.events_from(0).empty());
+}
+
+TEST(Tracer, TraceIdExportsAndSurvivesTheParser) {
+    const Tracer tracer = Tracer::make();
+    EXPECT_EQ(tracer.trace_id(), 0u);
+    tracer.set_trace_id(0x1122334455667788ULL);
+    EXPECT_EQ(tracer.trace_id(), 0x1122334455667788ULL);
+    { const SpanScope s(tracer, "phase", "x"); }
+    std::ostringstream os;
+    tracer.write_chrome_trace(os);
+    EXPECT_NE(os.str().find("\"traceId\":\"1122334455667788\""),
+              std::string::npos);
+    std::istringstream is(os.str());
+    const auto parsed = parse_chrome_trace(is);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->size(), 1u);
+}
+
+TEST(Tracer, TraceEventWireJsonRoundTrips) {
+    TraceEvent event;
+    event.name = "work-item";
+    event.category = "serve";
+    event.ts_us = 123;
+    event.dur_us = 456;
+    event.tid = 2;
+    event.actor = 3;
+    event.span_id = 0xdeadbeefULL;
+    event.parent_id = 0xfeedULL;
+    event.args = JsonObject().set("item", std::uint64_t{7});
+
+    const JsonObject wire = trace_event_to_json(event);
+    const auto back = trace_event_from_json(wire);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->name, event.name);
+    EXPECT_EQ(back->category, event.category);
+    EXPECT_EQ(back->ts_us, event.ts_us);
+    EXPECT_EQ(back->dur_us, event.dur_us);
+    EXPECT_EQ(back->tid, event.tid);
+    EXPECT_EQ(back->actor, event.actor);
+    EXPECT_EQ(back->span_id, event.span_id);
+    EXPECT_EQ(back->parent_id, event.parent_id);
+    EXPECT_EQ(back->args.get_uint("item"), std::optional<std::uint64_t>(7));
+
+    // Root spans omit "parent" on the wire and come back as parent 0.
+    event.parent_id = 0;
+    const auto root = trace_event_from_json(trace_event_to_json(event));
+    ASSERT_TRUE(root.has_value());
+    EXPECT_EQ(root->parent_id, 0u);
+
+    EXPECT_FALSE(trace_event_from_json(JsonObject()).has_value());
+    EXPECT_FALSE(
+        trace_event_from_json(JsonObject().set("name", std::string("x")))
+            .has_value());
+}
+
+TEST(Metrics, HistogramPercentilesFromLog2Buckets) {
+    HistogramSnapshot empty;
+    EXPECT_EQ(empty.percentile(0.5), 0.0);
+
+    const Metrics metrics = Metrics::make();
+    // 90 fast calls in the (0.5, 1] bucket, 10 slow in (64, 128].
+    for (int i = 0; i < 90; ++i) metrics.observe_ms("m.eval_ms", 0.9);
+    for (int i = 0; i < 10; ++i) metrics.observe_ms("m.eval_ms", 100.0);
+    const auto hists = metrics.histograms();
+    ASSERT_EQ(hists.size(), 1u);
+    const HistogramSnapshot& h = hists[0];
+    // A percentile is the log2 bucket's upper bound (µs buckets, so
+    // 0.9ms lands in le-1.024ms), clamped to the observed max; p50/p90
+    // land in the fast bucket, p99 in the slow one.
+    EXPECT_EQ(h.percentile(0.50), 1.024);
+    EXPECT_EQ(h.percentile(0.90), 1.024);
+    EXPECT_EQ(h.percentile(0.99), 100.0);  // 131.072 clamped to max_ms
+    EXPECT_EQ(h.percentile(0.0), 1.024);   // first non-empty bucket
+    EXPECT_EQ(h.percentile(1.5), h.percentile(1.0));  // clamped q
+
+    std::ostringstream text;
+    metrics.write_text(text);
+    EXPECT_NE(text.str().find("p50 ms"), std::string::npos);
+    EXPECT_NE(text.str().find("p99 ms"), std::string::npos);
+    std::ostringstream json;
+    metrics.write_json(json);
+    EXPECT_NE(json.str().find("\"p50_ms\":1.024"), std::string::npos);
+    EXPECT_NE(json.str().find("\"p99_ms\":100"), std::string::npos);
+}
+
+// ------------------------------------------------- live follow pieces
+
+namespace {
+
+const char* const kFollowStream[] = {
+    R"({"event":"campaign-start","campaign":"fp","class":"CObList",)"
+    R"("seed":7,"jobs":2,"mutants":4,"cases":10,"model":false})",
+    R"({"event":"item-finish","item":0,)"
+    R"("mutant":"CObList::AddHead@s0.IndVarRepReq.NULL","fate":"killed",)"
+    R"("reason":"crash","worker":0,"wall_ms":2.0,"shrunk":false})",
+    R"({"event":"item-finish","item":1,)"
+    R"("mutant":"CObList::AddTail@s1.IndVarBitNeg.k","fate":"alive",)"
+    R"("reason":"none","worker":1,"wall_ms":6.0,"shrunk":false})",
+    R"({"event":"metrics-snapshot","worker":1,"metrics":"{}"})",
+};
+
+std::string join_lines(std::size_t n) {
+    std::string text;
+    for (std::size_t i = 0; i < n; ++i) {
+        text += kFollowStream[i];
+        text += "\n";
+    }
+    return text;
+}
+
+}  // namespace
+
+TEST(TelemetryStats, IncrementalAbsorbMatchesWholeStreamAbsorb) {
+    TelemetryStats incremental;
+    for (const char* line : kFollowStream) incremental.absorb_line(line);
+    incremental.sort_items();
+
+    std::istringstream stream(join_lines(4));
+    TelemetryStats whole;
+    whole.absorb_stream(stream);
+    whole.streams = 0;  // absorb_line feeds lines, not whole streams
+
+    std::ostringstream a;
+    std::ostringstream b;
+    incremental.render(a);
+    whole.render(b);
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_EQ(incremental.items.size(), 2u);
+    EXPECT_EQ(incremental.metrics_snapshots, 1u);
+
+    // Dedup-by-index holds incrementally too: a re-reported item (the
+    // coordinator's merge copy of a worker-streamed finish) updates in
+    // place instead of double-counting.
+    incremental.absorb_line(kFollowStream[1]);
+    incremental.sort_items();
+    EXPECT_EQ(incremental.items.size(), 2u);
+}
+
+TEST(TelemetryStats, RenderFollowShowsProgressLoadAndOperators) {
+    TelemetryStats stats;
+    for (const char* line : kFollowStream) stats.absorb_line(line);
+    stats.sort_items();
+
+    std::ostringstream os;
+    stats.render_follow(os, 4.0);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("follow: CObList  2/4 item(s)"), std::string::npos);
+    EXPECT_NE(text.find("alive=1"), std::string::npos);
+    EXPECT_NE(text.find("killed=1"), std::string::npos);
+    EXPECT_NE(text.find("rate 0.5 item(s)/s"), std::string::npos);
+    EXPECT_NE(text.find("eta 4s"), std::string::npos);
+    EXPECT_EQ(text.find("[campaign complete]"), std::string::npos);
+    EXPECT_NE(text.find("w0 1"), std::string::npos);
+    EXPECT_NE(text.find("w1 1"), std::string::npos);
+    EXPECT_NE(text.find("operator p50/p90/p99 ms:"), std::string::npos);
+    EXPECT_NE(text.find("IndVarRepReq"), std::string::npos);
+    EXPECT_NE(text.find("IndVarBitNeg"), std::string::npos);
+
+    stats.absorb_line(
+        R"({"event":"campaign-end","campaign":"fp","items":4,"executed":2,)"
+        R"("killed":1,"equivalent":0,"not_covered":0,"score":0.5,)"
+        R"("workers":2,"wall_ms":8.0})");
+    std::ostringstream done;
+    stats.render_follow(done, 4.0);
+    EXPECT_NE(done.str().find("[campaign complete]"), std::string::npos);
+
+    // No timing yet: rate renders as unknown, not a division blowup.
+    TelemetryStats fresh;
+    std::ostringstream zero;
+    fresh.render_follow(zero, 0.0);
+    EXPECT_NE(zero.str().find("- item(s)/s"), std::string::npos);
+}
+
+TEST(TelemetryStats, WriteJsonCoversSummaryFatesAndOperators) {
+    TelemetryStats stats;
+    for (const char* line : kFollowStream) stats.absorb_line(line);
+    stats.absorb_line(
+        R"({"event":"campaign-end","campaign":"fp","items":4,"executed":2,)"
+        R"("killed":1,"equivalent":0,"not_covered":0,"score":0.5,)"
+        R"("workers":2,"wall_ms":8.0})");
+    stats.sort_items();
+
+    std::ostringstream os;
+    stats.write_json(os, 1);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("\"class\":\"CObList\""), std::string::npos);
+    EXPECT_NE(text.find("\"declared_mutants\":4"), std::string::npos);
+    EXPECT_NE(text.find("\"fates\":{\"alive\":1,\"killed\":1}"),
+              std::string::npos);
+    EXPECT_NE(text.find("\"metrics_snapshots\":1"), std::string::npos);
+    EXPECT_NE(text.find("\"operators\":["), std::string::npos);
+    EXPECT_NE(text.find("\"operator\":\"IndVarRepReq\""), std::string::npos);
+    EXPECT_NE(text.find("\"final\":{"), std::string::npos);
+    EXPECT_NE(text.find("\"score\":0.5"), std::string::npos);
+    // --top bounds the slowest-item table: the 6ms item only.
+    EXPECT_NE(text.find("\"slowest\":["), std::string::npos);
+    EXPECT_NE(text.find("\"mutant\":\"CObList::AddTail@s1.IndVarBitNeg.k\","
+                        "\"fate\":\"alive\""),
+              std::string::npos);
+    EXPECT_EQ(text.find("\"mutant\":\"CObList::AddHead@s0.IndVarRepReq.NULL\","
+                        "\"fate\":\"killed\""),
+              std::string::npos);
+    // Interrupted stream: "final" is null, never a half summary.
+    TelemetryStats torn;
+    torn.absorb_line(kFollowStream[0]);
+    std::ostringstream torn_os;
+    torn.write_json(torn_os);
+    EXPECT_NE(torn_os.str().find("\"final\":null"), std::string::npos);
+}
+
+TEST(TelemetryTail, HoldsBackTornTailUntilTheNewlineArrives) {
+    const std::string path =
+        "/tmp/stc_obs_tail_" + std::to_string(getpid()) + ".jsonl";
+    std::remove(path.c_str());
+
+    TelemetryTail tail(path);
+    TelemetryStats stats;
+    EXPECT_EQ(tail.poll(stats), 0u);  // file does not exist yet
+
+    std::ofstream out(path, std::ios::binary);
+    out << kFollowStream[0] << "\n" << kFollowStream[1];  // torn second line
+    out.flush();
+    EXPECT_EQ(tail.poll(stats), 1u);
+    EXPECT_EQ(stats.generations, 1u);
+    EXPECT_EQ(stats.items.size(), 0u);
+    EXPECT_EQ(stats.malformed_lines, 0u);  // the torn tail never parsed
+
+    out << "\n";  // the newline completes the held-back line
+    out.flush();
+    EXPECT_EQ(tail.poll(stats), 1u);
+    ASSERT_EQ(stats.items.size(), 1u);
+    EXPECT_EQ(stats.items[0].fate, "killed");
+
+    EXPECT_EQ(tail.poll(stats), 0u);  // nothing new
+    out << kFollowStream[2] << "\n";
+    out.flush();
+    EXPECT_EQ(tail.poll(stats), 1u);
+    stats.sort_items();
+    EXPECT_EQ(stats.items.size(), 2u);
+    std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace stc::obs

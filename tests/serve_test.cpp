@@ -10,6 +10,8 @@
 #include <chrono>
 #include <map>
 #include <memory>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -17,6 +19,7 @@
 #include "stc/campaign/work_list.h"
 #include "stc/mutation/engine.h"
 #include "stc/obs/json.h"
+#include "stc/obs/trace.h"
 #include "stc/serve/builtin_host.h"
 #include "stc/serve/dispatch.h"
 #include "stc/serve/socket.h"
@@ -51,7 +54,7 @@ private:
 };
 
 SessionFactory toy_factory(const std::string& fingerprint) {
-    return [fingerprint](const obs::JsonObject&,
+    return [fingerprint](const obs::JsonObject&, const obs::Context&,
                          std::string*) -> std::unique_ptr<Session> {
         return std::make_unique<ToySession>(fingerprint);
     };
@@ -153,7 +156,7 @@ TEST(ServeDispatch, ResumedSubsetKeepsGlobalIndices) {
     DaemonHandle steady(toy_factory("toy-fp"));
     // A mid-campaign death on top of the subset exercises the
     // redispatch bookkeeping with non-identity indices too.
-    DaemonHandle flaky([](const obs::JsonObject&,
+    DaemonHandle flaky([](const obs::JsonObject&, const obs::Context&,
                           std::string*) -> std::unique_ptr<Session> {
         class Flaky : public ToySession {
         public:
@@ -207,7 +210,7 @@ TEST(ServeDispatch, FingerprintMismatchMeansNoUsableWorkers) {
 
 TEST(ServeDispatch, HandshakeRejectionFallsBackToSurvivor) {
     DaemonHandle good(toy_factory("toy-fp"));
-    DaemonHandle bad([](const obs::JsonObject&,
+    DaemonHandle bad([](const obs::JsonObject&, const obs::Context&,
                         std::string* error) -> std::unique_ptr<Session> {
         *error = "unknown component";
         return nullptr;
@@ -240,7 +243,7 @@ TEST(ServeDispatch, MidCampaignDeathRedispatchesToSurvivor) {
     DaemonHandle steady(toy_factory("toy-fp"));
     // This daemon's session dies (Error frame, session torn down) on its
     // second item — after real work was assigned to it.
-    DaemonHandle flaky([](const obs::JsonObject&,
+    DaemonHandle flaky([](const obs::JsonObject&, const obs::Context&,
                           std::string*) -> std::unique_ptr<Session> {
         class Flaky : public ToySession {
         public:
@@ -279,7 +282,7 @@ TEST(ServeDispatch, SilentWorkerIsDeclaredDeadByKeepalive) {
     // This worker accepts the handshake, then stalls far past the
     // dead-after deadline on its first item.  The coordinator must not
     // wait for it: keepalive declares it dead and the survivor finishes.
-    DaemonHandle stalled([](const obs::JsonObject&,
+    DaemonHandle stalled([](const obs::JsonObject&, const obs::Context&,
                             std::string*) -> std::unique_ptr<Session> {
         class Stalled : public ToySession {
         public:
@@ -397,6 +400,157 @@ TEST(ServeBuiltinHost, DispatchedFatesMatchLocalEvaluation) {
         EXPECT_EQ(fates[item.index], mutation::to_string(local.fate))
             << item.mutant_id;
     }
+}
+
+// ------------------------------------------- distributed trace streaming
+
+TEST(ServeDispatch, TwoWorkerSessionsMergeIntoOneCollisionFreeTrace) {
+    // The tentpole acceptance shape in miniature: coordinator + two
+    // in-process worker sessions, tracing and telemetry streaming
+    // negotiated, everything merged into ONE coordinator-side trace.
+    BuiltinCampaignConfig config;
+    config.component = "sortable";
+    std::string error;
+    const auto host = BuiltinCampaign::open(config, &error);
+    ASSERT_NE(host, nullptr) << error;
+
+    DaemonHandle d1(builtin_session_factory());
+    DaemonHandle d2(builtin_session_factory());
+
+    const obs::Tracer tracer = obs::Tracer::make();
+    std::vector<obs::JsonObject> events;
+    DispatchOptions options;
+    options.workers = {d1.endpoint(), d2.endpoint()};
+    options.hello = make_hello(config, host->fingerprint());
+    options.expected_fingerprint = host->fingerprint();
+    options.obs.tracer = tracer;
+    options.stream_telemetry = true;
+    options.telemetry_interval_ms = 0;  // fates only, no periodic snapshots
+    options.telemetry = [&](const obs::JsonObject& event) {
+        events.push_back(event);
+    };
+
+    std::size_t merged = 0;
+    Coordinator coordinator(std::move(options));
+    const DispatchStats stats = coordinator.run(
+        host->items(),
+        [&](const campaign::WorkItem&, const obs::JsonObject&) { ++merged; });
+    EXPECT_EQ(stats.workers_connected, 2u);
+    EXPECT_EQ(merged, host->items().size());
+
+    // The campaign-wide trace id was minted from the fingerprint.
+    EXPECT_NE(tracer.trace_id(), 0u);
+
+    // The merged trace: every span id unique across coordinator and both
+    // worker sessions, and the causal chain closed — each worker
+    // work-item span parents on a coordinator item-dispatch span, which
+    // parents on the dispatch root.
+    const auto all = tracer.events();
+    std::map<std::uint64_t, const obs::TraceEvent*> by_id;
+    for (const obs::TraceEvent& event : all) {
+        EXPECT_EQ(by_id.count(event.span_id), 0u)
+            << "duplicate span id " << obs::hex16(event.span_id);
+        by_id[event.span_id] = &event;
+    }
+
+    std::uint64_t dispatch_root = 0;
+    for (const obs::TraceEvent& event : all) {
+        if (event.name == "dispatch") dispatch_root = event.span_id;
+    }
+    ASSERT_NE(dispatch_root, 0u);
+
+    std::size_t item_spans = 0;
+    std::size_t work_spans = 0;
+    std::set<int> worker_actors;
+    for (const obs::TraceEvent& event : all) {
+        if (event.name == "item-dispatch") {
+            ++item_spans;
+            EXPECT_EQ(event.actor, 0);
+            EXPECT_EQ(event.parent_id, dispatch_root);
+        } else if (event.name == "work-item") {
+            ++work_spans;
+            worker_actors.insert(event.actor);
+            const auto parent = by_id.find(event.parent_id);
+            ASSERT_NE(parent, by_id.end())
+                << "work-item parent not in the merged trace";
+            EXPECT_EQ(parent->second->name, "item-dispatch");
+        }
+    }
+    EXPECT_EQ(item_spans, host->items().size());
+    EXPECT_EQ(work_spans, host->items().size());
+    // Both worker sessions contributed, with distinct actor ordinals
+    // (ordinal + 1), so the merged trace shows three Chrome pids.
+    EXPECT_EQ(worker_actors, (std::set<int>{1, 2}));
+
+    // The export is loadable trace JSON and round-trips every event.
+    std::ostringstream os;
+    tracer.write_chrome_trace(os);
+    std::istringstream is(os.str());
+    const auto parsed = obs::parse_chrome_trace(is);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->size(), all.size());
+
+    // Streamed telemetry arrived in-process: each item-finish twice (the
+    // coordinator merge copy + the worker's streamed copy), plus the
+    // session lifecycle events, plus a final forced metrics snapshot per
+    // worker even at interval 0.
+    std::map<std::string, std::size_t> kinds;
+    for (const obs::JsonObject& event : events) {
+        kinds[event.get_string("event").value_or("?")]++;
+    }
+    EXPECT_EQ(kinds["item-finish"], host->items().size());
+    EXPECT_EQ(kinds["worker-session"], 2u);
+    EXPECT_EQ(kinds["worker-session-end"], 2u);
+    EXPECT_EQ(kinds["metrics-snapshot"], 2u);
+}
+
+TEST(ServeWorker, Minor1CoordinatorNegotiatesNoStreaming) {
+    // A coordinator that never announces proto_minor (a minor-1 peer)
+    // must get the legacy behavior: no Telemetry frames on the socket,
+    // ack still carries the worker's minor for newer coordinators.
+    DaemonHandle daemon(toy_factory("toy-fp"));
+    const Fd fd = connect_to(daemon.endpoint());
+    ASSERT_TRUE(
+        wire::write_message(fd.get(), wire::MessageType::Hello,
+                            obs::JsonObject()
+                                .set("component", "toy")
+                                .set("trace", std::string("00000000000000ff"))
+                                .set("telemetry_interval_ms", std::uint64_t{0})
+                                .to_line()));
+
+    wire::Decoder decoder;
+    auto next_message = [&]() {
+        wire::Message message;
+        for (;;) {
+            const auto status = decoder.next(&message);
+            if (status == wire::Decoder::Status::Ok) return message;
+            EXPECT_EQ(status, wire::Decoder::Status::NeedMore);
+            char chunk[4096];
+            const ssize_t got = ::read(fd.get(), chunk, sizeof chunk);
+            if (got <= 0) {
+                ADD_FAILURE() << "connection closed mid-read";
+                return message;
+            }
+            decoder.feed(chunk, static_cast<std::size_t>(got));
+        }
+    };
+
+    const wire::Message ack = next_message();
+    ASSERT_EQ(ack.type, wire::MessageType::HelloAck);
+    const auto payload = obs::JsonObject::parse(ack.payload);
+    ASSERT_TRUE(payload.has_value());
+    EXPECT_EQ(payload->get_uint("proto_minor"),
+              std::optional<std::uint64_t>(wire::kProtocolMinor));
+
+    ASSERT_TRUE(wire::write_message(
+        fd.get(), wire::MessageType::Work,
+        obs::JsonObject().set("item", std::uint64_t{0}).set("mutant", "m").to_line()));
+    const wire::Message result = next_message();
+    // Streaming fields were present in the Hello but the peer is
+    // minor 1, so the very next frame is the Result — no Telemetry
+    // frame precedes it (a minor-1 decoder would reject type 9).
+    EXPECT_EQ(result.type, wire::MessageType::Result);
+    ASSERT_TRUE(wire::write_message(fd.get(), wire::MessageType::Shutdown, ""));
 }
 
 }  // namespace

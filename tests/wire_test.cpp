@@ -18,7 +18,7 @@ namespace {
 const MessageType kAllTypes[] = {
     MessageType::Hello, MessageType::HelloAck, MessageType::Work,
     MessageType::Result, MessageType::Ping,    MessageType::Pong,
-    MessageType::Error, MessageType::Shutdown,
+    MessageType::Error, MessageType::Shutdown, MessageType::Telemetry,
 };
 
 // --------------------------------------------------------------- helpers
@@ -44,7 +44,7 @@ TEST(WireBytes, EveryDeclaredTypeIsKnownAndNamed) {
         EXPECT_STRNE(to_string(type), "");
     }
     EXPECT_FALSE(message_type_known(0));
-    EXPECT_FALSE(message_type_known(9));
+    EXPECT_FALSE(message_type_known(10));
     EXPECT_FALSE(message_type_known(255));
 }
 
@@ -103,6 +103,29 @@ TEST(WireMessage, TruncationAtEveryByteOffsetIsNeedMore) {
         ASSERT_EQ(decoder.next(&message), Decoder::Status::Ok)
             << "cut at " << cut;
         EXPECT_EQ(message.payload, "{\"item\":1,\"mutant\":\"m\"}");
+    }
+}
+
+TEST(WireMessage, TelemetryFrameTruncationAtEveryByteOffsetIsNeedMore) {
+    // The minor-2 streaming frame gets the same torn-input guarantee as
+    // Work: a worker SIGKILLed mid-telemetry-push must leave the
+    // coordinator's decoder parked in NeedMore, not crashed or confused.
+    const std::string payload =
+        "{\"kind\":\"span\",\"name\":\"work-item\",\"cat\":\"serve\","
+        "\"ts\":12,\"dur\":34,\"tid\":0,\"actor\":1,"
+        "\"span\":\"00000000000000ab\",\"parent\":\"00000000000000cd\"}";
+    const std::string full = encode_message(MessageType::Telemetry, payload);
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+        Decoder decoder;
+        decoder.feed(full.data(), cut);
+        Message message;
+        EXPECT_EQ(decoder.next(&message), Decoder::Status::NeedMore)
+            << "cut at " << cut;
+        decoder.feed(full.data() + cut, full.size() - cut);
+        ASSERT_EQ(decoder.next(&message), Decoder::Status::Ok)
+            << "cut at " << cut;
+        EXPECT_EQ(message.type, MessageType::Telemetry);
+        EXPECT_EQ(message.payload, payload);
     }
 }
 

@@ -21,6 +21,7 @@
 // Other options are per-subcommand; an option that a subcommand does
 // not take is a usage error naming the flag (exit 2).
 #include <charconv>
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <filesystem>
@@ -30,6 +31,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "stc/campaign/scheduler.h"
@@ -102,10 +104,12 @@ int usage(std::ostream& os) {
           "                 --workers host:port[,host:port...] [--seed N]\n"
           "                 [--cases N] [--probe] [--model] [--resume FILE]\n"
           "                 [--keepalive-ms N] [--dead-after-ms N]\n"
-          "                 [--telemetry-out FILE] [-o REPORT]\n"
+          "                 [--telemetry-out FILE] [--progress]\n"
+          "                 [--telemetry-interval-ms N] [-o REPORT]\n"
           "  stats          summarize campaign telemetry stream(s):\n"
           "                 concat stats TELEMETRY.jsonl [MORE.jsonl...]\n"
-          "                 [--top N] [-o REPORT]\n"
+          "                 [--top N] [--json] [-o REPORT]\n"
+          "                 concat stats --follow TELEMETRY.jsonl\n"
           "options:\n"
           "  --trace-out F   (any command) Chrome trace-event JSON of this run\n"
           "  --metrics-out F (any command) metrics dump; JSON when F ends in .json\n"
@@ -137,6 +141,9 @@ int usage(std::ostream& os) {
           "  --max-shrink-steps N  shrink budget per finding (default 512)\n"
           "  --case FILE     (shrink) the corpus entry to re-shrink\n"
           "  --top N         (stats) rows in the slowest-item table (default 10)\n"
+          "  --follow        (stats) tail ONE growing telemetry file, re-render\n"
+          "                  a live snapshot per batch, exit at campaign-end\n"
+          "  --json          (stats) machine-readable summary instead of tables\n"
           "  --listen PORT   (serve) TCP port to listen on (0 = ephemeral,\n"
           "                  printed on stdout)\n"
           "  --bind ADDR     (serve) listen address (default 127.0.0.1; the\n"
@@ -147,6 +154,10 @@ int usage(std::ostream& os) {
           "  --keepalive-ms N  (dispatch) silence before a ping (default 500)\n"
           "  --dead-after-ms N (dispatch) silence before a worker is declared\n"
           "                  dead and its items re-dispatched (default 5000)\n"
+          "  --progress      (dispatch) render a live fleet snapshot to stderr\n"
+          "                  at the telemetry interval\n"
+          "  --telemetry-interval-ms N  (dispatch) worker metrics-snapshot and\n"
+          "                  --progress cadence (default 1000; 0 = fates only)\n"
           "  -o FILE         write output to FILE instead of stdout\n";
     return 2;
 }
@@ -166,6 +177,10 @@ struct Options {
     std::optional<std::string> trace_path;         // --trace-out (any command)
     std::optional<std::string> metrics_path;       // --metrics-out (any command)
     std::size_t top = 10;                          // stats --top
+    bool follow = false;                           // stats --follow
+    bool json_stats = false;                       // stats --json
+    bool progress = false;                         // dispatch --progress
+    std::uint64_t telemetry_interval_ms = 1000;    // dispatch
     std::size_t iters = 500;                       // fuzz --iters
     std::optional<std::string> corpus_dir;         // fuzz/shrink --corpus
     std::size_t max_shrink_steps = 512;            // fuzz/shrink/campaign
@@ -236,7 +251,7 @@ bool flag_allowed(const std::string& command, const std::string& flag) {
         return any_of(
             {"--case", "--mutant", "--max-shrink-steps", "--corpus", "--seed"});
     }
-    if (command == "stats") return any_of({"--top"});
+    if (command == "stats") return any_of({"--top", "--follow", "--json"});
     if (command == "serve") {
         return any_of({"--listen", "--bind", "--once", "--telemetry-out"});
     }
@@ -244,7 +259,8 @@ bool flag_allowed(const std::string& command, const std::string& flag) {
         return any_of({"--seed", "--max-visits", "--cases", "--criterion",
                        "--states", "--probe", "--model", "--workers",
                        "--resume", "--telemetry-out", "--keepalive-ms",
-                       "--dead-after-ms"});
+                       "--dead-after-ms", "--progress",
+                       "--telemetry-interval-ms"});
     }
     // Unknown command: main() reports it; don't reject its flags first.
     return true;
@@ -276,6 +292,11 @@ std::optional<Options> parse_args(int argc, char** argv) {
     // (or absent: an ephemeral-port daemon).
     int first = 3;
     if (out.command == "serve") {
+        first = 2;
+    } else if (out.command == "stats") {
+        // Flags may precede the file (`stats --follow F`); the loop
+        // below collects every positional into extra_inputs and the
+        // first one is promoted to the primary file afterwards.
         first = 2;
     } else {
         if (argc < 3) return std::nullopt;
@@ -430,6 +451,24 @@ std::optional<Options> parse_args(int argc, char** argv) {
             const auto n = parse_count(arg, *v);
             if (!n) return std::nullopt;
             out.top = *n;
+        } else if (arg == "--follow") {
+            out.follow = true;
+        } else if (arg == "--json") {
+            out.json_stats = true;
+        } else if (arg == "--progress") {
+            out.progress = true;
+        } else if (arg == "--telemetry-interval-ms") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            const auto n = parse_count(arg, *v);
+            if (!n) return std::nullopt;
+            if (*n > static_cast<std::uint64_t>(
+                         std::numeric_limits<int>::max())) {
+                std::cerr << "concat dispatch: " << arg << " too large (max "
+                          << std::numeric_limits<int>::max() << ")\n";
+                return std::nullopt;
+            }
+            out.telemetry_interval_ms = *n;
         } else if (arg == "--listen") {
             const auto v = next();
             if (!v) return std::nullopt;
@@ -475,6 +514,11 @@ std::optional<Options> parse_args(int argc, char** argv) {
                       << "'\n";
             return std::nullopt;
         }
+    }
+    if (out.command == "stats") {
+        if (out.extra_inputs.empty()) return std::nullopt;  // no file given
+        out.tspec_path = out.extra_inputs.front();
+        out.extra_inputs.erase(out.extra_inputs.begin());
     }
     return out;
 }
@@ -1175,13 +1219,46 @@ int cmd_shrink(const Options& options) {
 // files — e.g. a dispatch coordinator's stream plus each worker
 // daemon's — aggregate into one summary, items deduplicated by index.
 int cmd_stats(const Options& options) {
+    if (options.follow) {
+        // Live view over ONE growing file: poll its tail, re-render a
+        // compact snapshot after each batch of new lines, stop once the
+        // stream's campaign-end arrives (or on Ctrl-C, like tail -f).
+        // The torn-tail holdback in TelemetryTail makes a writer caught
+        // mid-line invisible here.
+        if (!options.extra_inputs.empty()) {
+            std::cerr << "concat stats: --follow takes exactly one file\n";
+            return 2;
+        }
+        using FollowClock = std::chrono::steady_clock;
+        const auto t0 = FollowClock::now();
+        obs::TelemetryTail tail(options.tspec_path);
+        obs::TelemetryStats stats;
+        auto render = [&] {
+            stats.sort_items();
+            const double elapsed_s =
+                std::chrono::duration<double>(FollowClock::now() - t0).count();
+            stats.render_follow(std::cout, elapsed_s);
+            std::cout << std::flush;
+        };
+        for (;;) {
+            const std::size_t fresh = tail.poll(stats);
+            if (fresh > 0) render();
+            if (stats.have_summary) break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        }
+        return 0;
+    }
     std::vector<std::string> paths;
     paths.push_back(options.tspec_path);
     paths.insert(paths.end(), options.extra_inputs.begin(),
                  options.extra_inputs.end());
     const obs::TelemetryStats stats = obs::TelemetryStats::from_files(paths);
     std::ostringstream out;
-    stats.render(out, options.top);
+    if (options.json_stats) {
+        stats.write_json(out, options.top);
+    } else {
+        stats.render(out, options.top);
+    }
     return emit(options, out.str());
 }
 
@@ -1238,7 +1315,7 @@ int cmd_dispatch(const Options& options) {
     config.model = options.model;
 
     std::string error;
-    const auto host = serve::BuiltinCampaign::open(config, &error);
+    const auto host = serve::BuiltinCampaign::open(config, &error, options.obs);
     if (!host) {
         std::cerr << "concat dispatch: " << error << "\n";
         return 2;
@@ -1254,8 +1331,32 @@ int cmd_dispatch(const Options& options) {
     if (options.telemetry_path) {
         sink = campaign::TelemetrySink::to_file(*options.telemetry_path);
     }
+    // --progress folds every telemetry event — the coordinator's own
+    // and the workers' streamed copies — into a live TelemetryStats and
+    // re-renders a compact snapshot to stderr at the telemetry
+    // interval.  stderr, so the stdout report stays byte-identical to
+    // the local run.
+    obs::TelemetryStats progress_stats;
+    const auto progress_t0 = std::chrono::steady_clock::now();
+    auto last_progress = progress_t0;
+    auto render_progress = [&] {
+        progress_stats.sort_items();
+        progress_stats.render_follow(
+            std::cerr, std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - progress_t0)
+                           .count());
+    };
     auto emit_event = [&](const obs::JsonObject& event) {
         if (sink) sink->emit(event);
+        if (!options.progress) return;
+        progress_stats.absorb_event(event);
+        const auto now = std::chrono::steady_clock::now();
+        if (now - last_progress < std::chrono::milliseconds(std::max<
+                std::uint64_t>(options.telemetry_interval_ms, 1))) {
+            return;
+        }
+        last_progress = now;
+        render_progress();
     };
 
     emit_event(obs::JsonObject()
@@ -1307,10 +1408,16 @@ int cmd_dispatch(const Options& options) {
     dispatch_options.keepalive_ms = static_cast<int>(options.keepalive_ms);
     dispatch_options.dead_after_ms = static_cast<int>(options.dead_after_ms);
     dispatch_options.obs = options.obs;
-    if (sink) {
-        dispatch_options.telemetry = [&sink](const obs::JsonObject& event) {
-            sink->emit(event);
-        };
+    // Event streaming is negotiated whenever the coordinator has
+    // somewhere to put the workers' events: a --telemetry-out sink (the
+    // fleet-wide JSONL) or a --progress view.  Span streaming rides on
+    // --trace-out alone (the Hello "trace" field, set by the
+    // coordinator when its tracer is enabled).
+    dispatch_options.stream_telemetry = sink.has_value() || options.progress;
+    dispatch_options.telemetry_interval_ms =
+        static_cast<int>(options.telemetry_interval_ms);
+    if (sink || options.progress) {
+        dispatch_options.telemetry = emit_event;
     }
 
     auto merge_result = [&](const campaign::WorkItem& item,
@@ -1397,6 +1504,7 @@ int cmd_dispatch(const Options& options) {
                  static_cast<std::uint64_t>(stats.workers_connected))
             .set("respawns", std::uint64_t{0})
             .set("wall_ms", stats.wall_ms));
+    if (options.progress) render_progress();  // the closing snapshot
 
     std::ostringstream report;
     mutation::render_campaign_report(report, run, suite.class_name,
