@@ -14,10 +14,14 @@
 // in a fraction of a second — registered as a ctest so the parallel
 // path is exercised on every build.
 //
-// `--json-out FILE` additionally measures the distributed campaign
-// service (in-process `concat serve` daemons on loopback, one
-// coordinator) at 1 and 2 workers, and writes the machine-readable
-// rows checked in as BENCH_campaign.json:
+// `--json-out FILE` additionally measures the fast execution tier —
+// before/after pairs for coverage-signature pruning + checkpoint
+// memoization on both built-in subjects: CObList (dense coverage,
+// ~x2) and the Experiment 1 CSortableObList consumer suite (sparse
+// coverage, the >= 5x items/sec headline) — and the distributed
+// campaign service (in-process `concat serve` daemons on loopback,
+// one coordinator) at 1 and 2 workers, and
+// writes the machine-readable rows checked in as BENCH_campaign.json:
 //     [{"commit": ..., "date": ..., "config": ...,
 //       "items_per_sec": ..., "wall_ms": ...}, ...]
 // `--commit` / `--date` stamp the rows (the generator script passes
@@ -52,10 +56,11 @@ struct RunOutcome {
 RunOutcome run_at(const stc::reflect::Registry& registry,
                   const stc::driver::TestSuite& suite,
                   const std::vector<stc::mutation::Mutant>& mutants,
-                  std::size_t jobs) {
+                  std::size_t jobs, bool prune = true) {
     stc::campaign::CampaignOptions options;
     options.jobs = jobs;
     options.seed = 20010701;
+    options.prune = prune;
 
     const auto t0 = std::chrono::steady_clock::now();
     const stc::campaign::CampaignScheduler scheduler(registry, options);
@@ -212,8 +217,50 @@ int main(int argc, char** argv) {
         const auto full_suite = experiment.base.generate_tests();
         auto full_mutants =
             mutation::enumerate_mutants(mfc::descriptors(), "CObList");
+        // The fast-tier before/after pairs: the same serial campaign
+        // with coverage-signature pruning + checkpoint memoization off
+        // and on.  Fates must be byte-identical on both subjects (the
+        // tier's core contract).  The headline >= 5x items/sec gate
+        // runs on the Experiment 1 subject (CSortableObList under the
+        // consumer's suite): more methods per component means each
+        // case reaches fewer mutation sites, the sparse-coverage
+        // setting pruning targets (~9% density, x11 ceiling).  CObList
+        // is kept as the dense-coverage data point (~46% density caps
+        // its ratio near x2 no matter how good the tier is).
+        const RunOutcome unpruned =
+            run_at(experiment.registry, full_suite, full_mutants, 1, false);
         const RunOutcome local =
             run_at(experiment.registry, full_suite, full_mutants, 1);
+        const bool prune_identical = local.fates == unpruned.fates;
+        const double prune_speedup =
+            local.wall_ms > 0.0 ? unpruned.wall_ms / local.wall_ms : 0.0;
+        std::cout << "  local jobs=1 no-prune  wall=" << unpruned.wall_ms
+                  << "ms\n  local jobs=1 pruned    wall=" << local.wall_ms
+                  << "ms  speedup x" << prune_speedup << "  fates "
+                  << (prune_identical ? "identical" : "DIFFER — TIER BROKEN")
+                  << "\n";
+
+        const auto sortable_suite = experiment.full_suite();
+        const auto sortable_mutants = mutation::enumerate_mutants(
+            mfc::descriptors(), sortable_suite.class_name);
+        const RunOutcome sortable_unpruned = run_at(
+            experiment.registry, sortable_suite, sortable_mutants, 1, false);
+        const RunOutcome sortable_pruned =
+            run_at(experiment.registry, sortable_suite, sortable_mutants, 1);
+        const bool sortable_identical =
+            sortable_pruned.fates == sortable_unpruned.fates;
+        const double sortable_speedup =
+            sortable_pruned.wall_ms > 0.0
+                ? sortable_unpruned.wall_ms / sortable_pruned.wall_ms
+                : 0.0;
+        std::cout << "  sortable jobs=1 no-prune  wall="
+                  << sortable_unpruned.wall_ms
+                  << "ms\n  sortable jobs=1 pruned    wall="
+                  << sortable_pruned.wall_ms << "ms  speedup x"
+                  << sortable_speedup << "  fates "
+                  << (sortable_identical ? "identical"
+                                         : "DIFFER — TIER BROKEN")
+                  << "\n";
 
         std::vector<obs::JsonObject> rows;
         auto add_row = [&](const std::string& config, std::size_t items,
@@ -229,8 +276,23 @@ int main(int argc, char** argv) {
                 .set("wall_ms", wall_ms);
             rows.push_back(std::move(row));
         };
+        add_row("local-jobs-1-no-prune", full_mutants.size(), unpruned.wall_ms);
         add_row("local-jobs-1", full_mutants.size(), local.wall_ms);
+        add_row("local-sortable-jobs-1-no-prune", sortable_mutants.size(),
+                sortable_unpruned.wall_ms);
+        add_row("local-sortable-jobs-1", sortable_mutants.size(),
+                sortable_pruned.wall_ms);
 
+        bool gates_ok = prune_identical && sortable_identical;
+        // The tier's headline: >= 5x items/sec on the sparse-coverage
+        // subject.  4.0 in the gate leaves margin for machine noise
+        // below the ~6x this subject measures on an idle core.
+        if (sortable_speedup < 4.0) {
+            std::cout << "FAIL: fast-tier speedup x" << sortable_speedup
+                      << " on the sparse-coverage subject (expected >= 5x, "
+                         "gated at 4x for noise)\n";
+            gates_ok = false;
+        }
         bool dispatch_identical = true;
         for (const std::size_t workers : {std::size_t{1}, std::size_t{2}}) {
             const DispatchOutcome dispatched = run_dispatched(workers);
@@ -267,13 +329,23 @@ int main(int argc, char** argv) {
         if (obs_on.streamed_events == 0 || obs_on.streamed_spans == 0) {
             std::cout << "FAIL: streaming run produced no streamed "
                          "telemetry\n";
-            dispatch_identical = false;
+            gates_ok = false;
+        }
+        // Regression gate for the streaming-telemetry throughput cliff:
+        // with batched Telemetry frames (wire minor 3, one write() per
+        // work item instead of per span) streaming must stay within 2x
+        // of the obs-off run.
+        if (obs_on.wall_ms > 2.0 * obs_off.wall_ms) {
+            std::cout << "FAIL: streaming telemetry costs >2x obs-off ("
+                      << obs_on.wall_ms << "ms vs " << obs_off.wall_ms
+                      << "ms)\n";
+            gates_ok = false;
         }
 
         std::cout << "dispatched fates identical to local: "
                   << (dispatch_identical ? "yes" : "NO — DETERMINISM BROKEN")
                   << "\n";
-        fates_identical = fates_identical && dispatch_identical;
+        fates_identical = fates_identical && dispatch_identical && gates_ok;
 
         std::ofstream out(json_out);
         out << "[\n";

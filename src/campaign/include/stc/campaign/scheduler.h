@@ -87,6 +87,18 @@ struct CampaignOptions {
     /// Per-item wall deadline and child rlimits; used only with
     /// `isolate`.
     sandbox::SandboxLimits sandbox;
+    /// The fast execution tier (`concat campaign --prune`, the default):
+    /// record a coverage-signature index during the golden run, skip
+    /// every (mutant, case) pair whose mutation site the case provably
+    /// never reaches, and resume covered cases from shared-prefix
+    /// checkpoints (stc/mutation/prune.h).  Fates are byte-identical to
+    /// the unpruned run — enforced by the differential harness in
+    /// tests/prune_test.cpp — but the store fingerprint absorbs the
+    /// prune-tier version, so pruned and unpruned stores never resume
+    /// into each other.  Silently disengaged when a manual oracle is
+    /// configured (the one detector that can kill a byte-identical
+    /// report); a lockstep model only disables the memoization half.
+    bool prune = true;
 };
 
 /// One (mutant x suite) work item.
@@ -108,6 +120,12 @@ struct CampaignStats {
     /// for in-process runs).
     std::size_t respawns = 0;
     double wall_ms = 0.0;      ///< item-execution phase only
+    /// Fast-tier accounting (all zero when pruning was not engaged).
+    bool pruned = false;            ///< the fast tier was engaged
+    std::uint64_t executed_pairs = 0;  ///< (mutant, case) pairs run
+    std::uint64_t pruned_pairs = 0;    ///< pairs skipped via the coverage index
+    std::uint64_t memoized_pairs = 0;  ///< executed pairs resumed mid-case
+    std::uint64_t memoized_calls = 0;  ///< body calls those resumes skipped
 };
 
 struct CampaignResult {

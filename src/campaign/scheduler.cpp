@@ -1,5 +1,6 @@
 #include "stc/campaign/scheduler.h"
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <optional>
@@ -11,6 +12,7 @@
 #include "stc/fuzz/fuzzer.h"
 #include "stc/fuzz/shrink.h"
 #include "stc/mutation/controller.h"
+#include "stc/mutation/prune.h"
 #include "stc/sandbox/codec.h"
 #include "stc/sandbox/worker_pool.h"
 #include "stc/support/error.h"
@@ -79,6 +81,13 @@ std::string CampaignScheduler::fingerprint(
     if (runner.model != nullptr && runner.model->valid() && oracle.use_model) {
         h = absorb(h, "model-oracle");
     }
+    // Same pattern for the fast execution tier: fates are identical by
+    // contract, but the token still enters the identity (only when the
+    // tier is engaged, preserving old stores) so a prune-rule revision —
+    // kPruneIndexVersion bump — invalidates rather than resumes.
+    if (options_.prune && !options_.engine.manual_oracle) {
+        h = absorb(h, mutation::kPruneIndexToken);
+    }
     if (probe_suite != nullptr) h = absorb_suite(h, *probe_suite);
     return to_hex(h);
 }
@@ -144,17 +153,63 @@ CampaignResult CampaignScheduler::run(
                                            : TelemetrySink::OpenMode::Append);
     }
 
+    // Fast execution tier: engaged unless disabled or a manual oracle is
+    // configured (the one detector that can kill a byte-identical
+    // report, breaking the skip-unreached-pairs premise).  A lockstep
+    // model only gates the memoization half — unreached cases still run
+    // byte-identically, model comparisons included.
+    const bool prune_engaged = options_.prune && !engine.manual_oracle;
+    const bool model_engaged = engine.runner.model != nullptr &&
+                               engine.runner.model->valid() &&
+                               engine.oracle.use_model;
+    const reflect::ClassBinding& binding = bindings_.at(suite.class_name);
+
     // Baseline golden runs, captured once, serially, before sharding
     // (the paper validates the original program's outputs up front).
+    // With pruning engaged the SAME single run also records the
+    // coverage-signature index — observation is free.
     oracle::GoldenRecord probe_golden;
+    mutation::CoverageIndex coverage;
+    mutation::CoverageIndex probe_coverage;
     {
         const auto phase_start = Clock::now();
         const obs::SpanScope span(options_.obs.tracer, "phase",
                                   "golden-baseline");
-        out.run.golden = oracle::GoldenRecord::from(run_suite());
+        if (prune_engaged) {
+            mutation::CoveredRun covered =
+                mutation::run_with_coverage(bindings_, engine.runner, suite);
+            out.run.golden = oracle::GoldenRecord::from(covered.result);
+            coverage = std::move(covered.index);
+            if (probe_suite != nullptr) {
+                mutation::CoveredRun probe_covered = mutation::run_with_coverage(
+                    bindings_, probe_opts, *probe_suite);
+                probe_golden = oracle::GoldenRecord::from(probe_covered.result);
+                probe_coverage = std::move(probe_covered.index);
+            }
+        } else {
+            out.run.golden = oracle::GoldenRecord::from(run_suite());
+            if (run_probe) probe_golden = oracle::GoldenRecord::from(run_probe());
+        }
         out.run.baseline_clean = out.run.golden.all_passed();
-        if (run_probe) probe_golden = oracle::GoldenRecord::from(run_probe());
         options_.obs.metrics.observe_ms("campaign.phase.baseline_ms",
+                                        ms_since(phase_start));
+    }
+
+    // Shared-prefix checkpoint ladders, built serially on the un-mutated
+    // component.  Read-only afterwards: safe for concurrent workers, and
+    // inherited copy-on-write by the forked sandbox children under
+    // --isolate.
+    mutation::PrunePlan plan;
+    if (prune_engaged) {
+        const auto phase_start = Clock::now();
+        const obs::SpanScope span(options_.obs.tracer, "phase", "prune-plan");
+        mutation::PrunePlanOptions plan_options;
+        plan_options.memoize = !model_engaged;
+        plan = mutation::build_prune_plan(runner, binding, suite,
+                                          std::move(coverage), &probe_runner,
+                                          probe_suite, std::move(probe_coverage),
+                                          plan_options);
+        options_.obs.metrics.observe_ms("campaign.phase.prune_plan_ms",
                                         ms_since(phase_start));
     }
 
@@ -187,10 +242,32 @@ CampaignResult CampaignScheduler::run(
                    .set("mutants", static_cast<std::uint64_t>(mutants.size()))
                    .set("cases", static_cast<std::uint64_t>(suite.cases.size()))
                    .set("probe", probe_suite != nullptr)
-                   .set("model", engine.runner.model != nullptr &&
-                                     engine.runner.model->valid() &&
-                                     engine.oracle.use_model)
+                   .set("model", model_engaged)
+                   .set("prune", prune_engaged)
                    .set("baseline_clean", out.run.baseline_clean));
+    if (prune_engaged) {
+        // Coverage-index record (docs/FORMATS.md §12): what the golden
+        // run learned, and the digest a reader can correlate across the
+        // with/without-prune telemetry of one campaign.
+        std::size_t checkpoints = 0;
+        for (const auto& cp : plan.case_plans) checkpoints += cp.checkpoints.size();
+        for (const auto& cp : plan.probe_case_plans) {
+            checkpoints += cp.checkpoints.size();
+        }
+        trace.emit(JsonObject()
+                       .set("event", "coverage-index")
+                       .set("campaign", out.fingerprint)
+                       .set("version", mutation::kPruneIndexVersion)
+                       .set("cases", static_cast<std::uint64_t>(
+                                         plan.coverage.cases().size()))
+                       .set("pairs", static_cast<std::uint64_t>(
+                                         plan.coverage.pair_count()))
+                       .set("probe_pairs", static_cast<std::uint64_t>(
+                                               plan.probe_coverage.pair_count()))
+                       .set("checkpoints",
+                            static_cast<std::uint64_t>(checkpoints))
+                       .set("digest", to_hex(plan.coverage.fingerprint())));
+    }
 
     // Resume pass (single-threaded, before the pool starts): restore
     // finished items, queue the rest.
@@ -317,6 +394,39 @@ CampaignResult CampaignScheduler::run(
         }
     };
 
+    // Fast-tier accounting.  Atomic because thread-pool workers sum
+    // their per-item stats concurrently; the isolate loop is
+    // single-threaded but reuses the same counters.
+    std::atomic<std::uint64_t> executed_pairs{0};
+    std::atomic<std::uint64_t> pruned_pairs{0};
+    std::atomic<std::uint64_t> memoized_pairs{0};
+    std::atomic<std::uint64_t> memoized_calls{0};
+    const auto add_pair_stats = [&](const mutation::PruneStats& s) {
+        executed_pairs.fetch_add(s.executed_pairs, std::memory_order_relaxed);
+        pruned_pairs.fetch_add(s.pruned_pairs, std::memory_order_relaxed);
+        memoized_pairs.fetch_add(s.memoized_pairs, std::memory_order_relaxed);
+        memoized_calls.fetch_add(s.memoized_calls, std::memory_order_relaxed);
+    };
+    const auto fill_prune_stats = [&] {
+        out.stats.pruned = prune_engaged;
+        out.stats.executed_pairs = executed_pairs.load();
+        out.stats.pruned_pairs = pruned_pairs.load();
+        out.stats.memoized_pairs = memoized_pairs.load();
+        out.stats.memoized_calls = memoized_calls.load();
+        if (prune_engaged) {
+            options_.obs.metrics.add("campaign.executed_pairs",
+                                     out.stats.executed_pairs);
+            options_.obs.metrics.add("campaign.pruned_pairs",
+                                     out.stats.pruned_pairs);
+            options_.obs.metrics.add("campaign.memoized_pairs",
+                                     out.stats.memoized_pairs);
+            options_.obs.metrics.add("campaign.memoized_calls",
+                                     out.stats.memoized_calls);
+        }
+    };
+    const driver::TestRunner* maybe_probe_runner =
+        probe_suite != nullptr ? &probe_runner : nullptr;
+
     // Parallel phase: each pending item evaluates on some worker and
     // writes only its own outcome slot.
     const auto t0 = Clock::now();
@@ -339,6 +449,18 @@ CampaignResult CampaignScheduler::run(
 
         const sandbox::Job job = [&](const std::string& payload) {
             const std::size_t slot = std::stoull(payload);
+            if (prune_engaged) {
+                // The plan was built pre-fork: the child inherits the
+                // checkpoint prototypes copy-on-write and never writes
+                // them (clones only), so the pages stay shared.
+                mutation::PruneStats item_stats;
+                const mutation::MutantOutcome outcome =
+                    mutation::evaluate_mutant_pruned(
+                        *pending[slot]->mutant, runner, binding, suite,
+                        out.run.golden, maybe_probe_runner, probe_suite,
+                        probe_golden, plan, engine, &item_stats);
+                return sandbox::encode_outcome(outcome, &item_stats);
+            }
             return sandbox::encode_outcome(mutation::evaluate_mutant(
                 *pending[slot]->mutant, run_suite, out.run.golden, run_probe,
                 probe_golden, engine));
@@ -369,11 +491,14 @@ CampaignResult CampaignScheduler::run(
         pool.run(payloads, [&](std::size_t slot, sandbox::TaskResult result) {
             const CampaignItem& item = *pending[slot];
             mutation::MutantOutcome outcome;
+            mutation::PruneStats item_stats;
             if (result.ok()) {
                 const auto decoded = sandbox::decode_outcome(result.payload);
                 outcome = decoded ? *decoded
                                   : sandbox::outcome_from_termination(
                                         "worker-exit:-3");  // garbled reply
+                item_stats = sandbox::decode_outcome_stats(result.payload);
+                add_pair_stats(item_stats);
             } else {
                 outcome = sandbox::outcome_from_termination(result.outcome());
             }
@@ -399,6 +524,11 @@ CampaignResult CampaignScheduler::run(
                 .set("shrunk", false)
                 .set("item_seed", item.item_seed)
                 .set("wall_ms", result.wall_ms);
+            if (prune_engaged) {
+                finish.set("executed_pairs", item_stats.executed_pairs)
+                    .set("pruned_pairs", item_stats.pruned_pairs)
+                    .set("memoized_pairs", item_stats.memoized_pairs);
+            }
             if (!outcome.sandbox.empty()) {
                 finish.set("sandbox", outcome.sandbox);
             }
@@ -422,6 +552,7 @@ CampaignResult CampaignScheduler::run(
         });
         out.stats.respawns = pool.stats().respawned;
         out.stats.executed = pending.size();
+        fill_prune_stats();
         out.stats.wall_ms = ms_since(t0);
         options_.obs.metrics.observe_ms("campaign.phase.items_ms",
                                         out.stats.wall_ms);
@@ -453,6 +584,11 @@ CampaignResult CampaignScheduler::run(
                             static_cast<std::uint64_t>(out.stats.workers))
                        .set("respawns",
                             static_cast<std::uint64_t>(out.stats.respawns))
+                       .set("pruned", out.stats.pruned)
+                       .set("executed_pairs", out.stats.executed_pairs)
+                       .set("pruned_pairs", out.stats.pruned_pairs)
+                       .set("memoized_pairs", out.stats.memoized_pairs)
+                       .set("memoized_calls", out.stats.memoized_calls)
                        .set("wall_ms", out.stats.wall_ms));
         return out;
     }
@@ -470,29 +606,42 @@ CampaignResult CampaignScheduler::run(
                     .set("queue", static_cast<std::uint64_t>(context.queue_depth))
                     .set("stolen", context.stolen));
 
+            mutation::PruneStats item_stats;
             const mutation::MutantOutcome outcome =
-                mutation::evaluate_mutant(*item->mutant, run_suite, out.run.golden,
-                                          run_probe, probe_golden, engine);
+                prune_engaged
+                    ? mutation::evaluate_mutant_pruned(
+                          *item->mutant, runner, binding, suite, out.run.golden,
+                          maybe_probe_runner, probe_suite, probe_golden, plan,
+                          engine, &item_stats)
+                    : mutation::evaluate_mutant(*item->mutant, run_suite,
+                                                out.run.golden, run_probe,
+                                                probe_golden, engine);
+            if (prune_engaged) add_pair_stats(item_stats);
             outcomes[item->index] = outcome;
             if (shrink_kills && outcome.fate == mutation::MutantFate::Killed) {
                 shrunk_flags[item->index] = shrink_kill(*item) ? 1 : 0;
             }
             const double wall = ms_since(item_start);
 
-            trace.emit(
-                JsonObject()
-                    .set("event", "item-finish")
-                    .set("item", static_cast<std::uint64_t>(item->index))
-                    .set("mutant", item->mutant->id())
-                    .set("worker", static_cast<std::uint64_t>(context.worker))
-                    .set("fate", mutation::to_string(outcome.fate))
-                    .set("reason", oracle::to_string(outcome.reason))
-                    .set("hit", outcome.hit_by_suite)
-                    .set("probe_kill", outcome.killed_by_probe)
-                    .set("model_only", outcome.model_only)
-                    .set("shrunk", shrunk_flags[item->index] != 0)
-                    .set("item_seed", item->item_seed)
-                    .set("wall_ms", wall));
+            JsonObject finish;
+            finish.set("event", "item-finish")
+                .set("item", static_cast<std::uint64_t>(item->index))
+                .set("mutant", item->mutant->id())
+                .set("worker", static_cast<std::uint64_t>(context.worker))
+                .set("fate", mutation::to_string(outcome.fate))
+                .set("reason", oracle::to_string(outcome.reason))
+                .set("hit", outcome.hit_by_suite)
+                .set("probe_kill", outcome.killed_by_probe)
+                .set("model_only", outcome.model_only)
+                .set("shrunk", shrunk_flags[item->index] != 0)
+                .set("item_seed", item->item_seed)
+                .set("wall_ms", wall);
+            if (prune_engaged) {
+                finish.set("executed_pairs", item_stats.executed_pairs)
+                    .set("pruned_pairs", item_stats.pruned_pairs)
+                    .set("memoized_pairs", item_stats.memoized_pairs);
+            }
+            trace.emit(finish);
 
             if (store != nullptr) {
                 ItemRecord record;
@@ -519,6 +668,7 @@ CampaignResult CampaignScheduler::run(
     }
     out.stats.executed = pending.size();
     for (const unsigned char flag : shrunk_flags) out.stats.shrunk += flag;
+    fill_prune_stats();
     out.stats.wall_ms = ms_since(t0);
     options_.obs.metrics.observe_ms("campaign.phase.items_ms",
                                     out.stats.wall_ms);
@@ -547,6 +697,11 @@ CampaignResult CampaignScheduler::run(
                    .set("score", out.run.score())
                    .set("workers", static_cast<std::uint64_t>(out.stats.workers))
                    .set("steals", out.stats.steals)
+                   .set("pruned", out.stats.pruned)
+                   .set("executed_pairs", out.stats.executed_pairs)
+                   .set("pruned_pairs", out.stats.pruned_pairs)
+                   .set("memoized_pairs", out.stats.memoized_pairs)
+                   .set("memoized_calls", out.stats.memoized_calls)
                    .set("wall_ms", out.stats.wall_ms));
 
     return out;

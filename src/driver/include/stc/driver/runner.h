@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -88,6 +89,38 @@ struct SuiteResult {
     }
 };
 
+/// Observation hook announcing test-case call boundaries.  Implemented
+/// by stc::mutation's coverage recorder: together with the mutation
+/// layer's site sink it turns one golden run into a CoverageIndex keyed
+/// by (test case, mutation site, first-hit call index).
+///
+/// Call-index convention: construction and the optional entry-state
+/// application are index 0; body call `i` is `test_case.calls[i]`
+/// (1-based, calls[0] being the constructor); the implicit wrap-up
+/// destruction is index calls.size().
+class CaseObserver {
+public:
+    virtual void on_case_begin(const TestCase& test_case) = 0;
+    /// Entering call index `call_index` (fires before the call executes).
+    virtual void on_call(std::size_t call_index) = 0;
+
+protected:
+    ~CaseObserver() = default;
+};
+
+/// Snapshot of a test case's execution front just before body call
+/// `resume_call`: a behavioural copy of the CUT plus the observation
+/// stream accumulated so far.  Produced by TestRunner::capture_case on
+/// the un-mutated component; consumed by run_case_from, which replays
+/// only the suffix.  Sharing one checkpoint across every case with an
+/// identical birth prefix is the campaign's shared-prefix memoization
+/// (stc/mutation/prune.h).
+struct CaseCheckpoint {
+    std::size_t resume_call = 0;
+    std::shared_ptr<void> prototype;  ///< destroyed through the class binding
+    std::string observations;         ///< observation log up to resume_call
+};
+
 struct RunnerOptions {
     bool check_invariants = true;   ///< invariant before/after every call (Fig. 6)
     bool capture_reports = true;    ///< call Reporter at end of each case
@@ -108,11 +141,15 @@ struct RunnerOptions {
     /// verdicts are the signal; campaigns leave this off and classify
     /// the side channel differentially instead.
     bool promote_divergence = false;
-    /// Observability: suite/test-case/method-call/invariant-check spans,
-    /// verdict and assertion counters, per-case latency.  Disabled by
+    /// Observability: suite/test-case/method-call spans, verdict,
+    /// assertion and invariant-check counters, per-case latency.  Disabled by
     /// default at near-zero cost; safe to share across runner copies on
     /// worker threads.
     obs::Context obs;
+    /// Per-call progress hook for coverage capture.  Fires only on full
+    /// runs (never on run_case_from resumes).  Non-owning; must outlive
+    /// the runner.
+    CaseObserver* observer = nullptr;
 };
 
 /// Executes test suites against registered class bindings.
@@ -124,7 +161,35 @@ public:
     [[nodiscard]] TestResult run_case(const reflect::ClassBinding& binding,
                                       const TestCase& test_case) const;
 
+    /// Run `test_case` un-mutated, capturing a CaseCheckpoint just before
+    /// each body call index in `boundaries` (sorted ascending, each in
+    /// [1, calls.size())).  Capture stops early when the case fails, a
+    /// boundary lies past an explicit destructor, or a clone refuses; the
+    /// returned vector holds whatever was captured.  Returns empty when
+    /// the class has no cloner.
+    [[nodiscard]] std::vector<CaseCheckpoint> capture_case(
+        const reflect::ClassBinding& binding, const TestCase& test_case,
+        const std::vector<std::size_t>& boundaries) const;
+
+    /// Replay only the suffix of `test_case` from `checkpoint`.  The
+    /// result is byte-identical to run_case whenever execution up to
+    /// checkpoint.resume_call is equivalent to the capture run — the
+    /// pruned campaign evaluator guarantees that through the coverage
+    /// index (no mutation site of the active mutant is consulted before
+    /// resume_call).  No model lockstep runs (callers gate memoization
+    /// off when a model is attached).  A clone failure propagates as
+    /// ReflectError: callers fall back to a full run_case.
+    [[nodiscard]] TestResult run_case_from(
+        const reflect::ClassBinding& binding, const TestCase& test_case,
+        const CaseCheckpoint& checkpoint) const;
+
 private:
+    TestResult run_case_impl(const reflect::ClassBinding& binding,
+                             const TestCase& test_case,
+                             const CaseCheckpoint* resume,
+                             const std::vector<std::size_t>* boundaries,
+                             std::vector<CaseCheckpoint>* captured) const;
+
     const reflect::Registry& registry_;
     RunnerOptions options_;
 };

@@ -107,6 +107,29 @@ std::string render_return(const domain::Value& v) {
 
 TestResult TestRunner::run_case(const reflect::ClassBinding& binding,
                                 const TestCase& test_case) const {
+    return run_case_impl(binding, test_case, nullptr, nullptr, nullptr);
+}
+
+std::vector<CaseCheckpoint> TestRunner::capture_case(
+    const reflect::ClassBinding& binding, const TestCase& test_case,
+    const std::vector<std::size_t>& boundaries) const {
+    std::vector<CaseCheckpoint> out;
+    if (boundaries.empty() || !binding.has_cloner()) return out;
+    (void)run_case_impl(binding, test_case, nullptr, &boundaries, &out);
+    return out;
+}
+
+TestResult TestRunner::run_case_from(const reflect::ClassBinding& binding,
+                                     const TestCase& test_case,
+                                     const CaseCheckpoint& checkpoint) const {
+    return run_case_impl(binding, test_case, &checkpoint, nullptr, nullptr);
+}
+
+TestResult TestRunner::run_case_impl(const reflect::ClassBinding& binding,
+                                     const TestCase& test_case,
+                                     const CaseCheckpoint* resume,
+                                     const std::vector<std::size_t>* boundaries,
+                                     std::vector<CaseCheckpoint>* captured) const {
     TestResult result;
     result.case_id = test_case.id;
 
@@ -146,44 +169,59 @@ TestResult TestRunner::run_case(const reflect::ClassBinding& binding,
         }
     };
 
+    // Invariant evaluations are counted (runner.invariant_checks), not
+    // traced: one span per InvariantTest() ran after every method call
+    // and was over half of a campaign trace's volume — finer than the
+    // method-call granularity the trace promises, and heavy enough to
+    // distort the streamed-telemetry path it was meant to observe.
     auto observe_invariant = [&](void* object) {
         options_.obs.metrics.add("runner.invariant_checks");
-        const obs::SpanScope span(options_.obs.tracer, "invariant-check",
-                                  "InvariantTest");
         check_invariant(binding, object);
     };
 
-    // --- Construction -----------------------------------------------------
-    const MethodCall* ctor = nullptr;
-    try {
-        ctor = &test_case.constructor_call();
-    } catch (const Error& e) {
-        record_failure(Verdict::SetupError, e.what());
-        finish();
-        return result;
-    }
+    CaseObserver* const observer =
+        resume == nullptr ? options_.observer : nullptr;
+    if (observer != nullptr) observer->on_case_begin(test_case);
 
+    // --- Construction (or checkpoint resume) -------------------------------
+    const MethodCall* ctor = nullptr;
     void* raw = nullptr;
-    current_method = ctor->render();
-    try {
-        raw = binding.construct(ctor->arguments);
-    } catch (const bit::AssertionViolation& av) {
-        result.assertion_kind = av.assertion_kind();
-        record_failure(Verdict::AssertionViolation, av.what());
-        finish();
-        return result;
-    } catch (const CrashSignal& cs) {
-        record_failure(Verdict::Crash, cs.what());
-        finish();
-        return result;
-    } catch (const ReflectError& re) {
-        record_failure(Verdict::SetupError, re.what());
-        finish();
-        return result;
-    } catch (const std::exception& e) {
-        record_failure(Verdict::UncaughtException, e.what());
-        finish();
-        return result;
+    if (resume != nullptr) {
+        // Clone failures propagate uncaught: the caller falls back to a
+        // full run rather than recording a fabricated verdict.
+        raw = binding.clone(resume->prototype.get());
+        observations << resume->observations;
+        current_method = "<resume>";
+    } else {
+        try {
+            ctor = &test_case.constructor_call();
+        } catch (const Error& e) {
+            record_failure(Verdict::SetupError, e.what());
+            finish();
+            return result;
+        }
+
+        current_method = ctor->render();
+        try {
+            raw = binding.construct(ctor->arguments);
+        } catch (const bit::AssertionViolation& av) {
+            result.assertion_kind = av.assertion_kind();
+            record_failure(Verdict::AssertionViolation, av.what());
+            finish();
+            return result;
+        } catch (const CrashSignal& cs) {
+            record_failure(Verdict::Crash, cs.what());
+            finish();
+            return result;
+        } catch (const ReflectError& re) {
+            record_failure(Verdict::SetupError, re.what());
+            finish();
+            return result;
+        } catch (const std::exception& e) {
+            record_failure(Verdict::UncaughtException, e.what());
+            finish();
+            return result;
+        }
     }
 
     CutGuard cut(binding, raw);
@@ -217,7 +255,8 @@ TestResult TestRunner::run_case(const reflect::ClassBinding& binding,
             model_diverge(method, call_index, "state", predicted, live);
         }
     };
-    if (options_.model != nullptr && options_.model->valid()) {
+    if (resume == nullptr && options_.model != nullptr &&
+        options_.model->valid()) {
         try {
             model = options_.model->factory();
             model_engaged =
@@ -234,7 +273,9 @@ TestResult TestRunner::run_case(const reflect::ClassBinding& binding,
     }
 
     // --- Optional mid-life entry: apply the predefined state (§3.3) -------
-    if (!test_case.entry_state.empty()) {
+    // A checkpoint resume skips this: entry-state application is part of
+    // call index 0, already folded into the checkpointed prefix.
+    if (resume == nullptr && !test_case.entry_state.empty()) {
         current_method = "<set-state:" + test_case.entry_state + ">";
         try {
             binding.apply_state(cut.get(), test_case.entry_state);
@@ -262,9 +303,50 @@ TestResult TestRunner::run_case(const reflect::ClassBinding& binding,
         }
     }
 
+    // --- Checkpoint capture (prefix memoization producer) ------------------
+    // A checkpoint at boundary k snapshots the CUT and observation stream
+    // *before* body call k executes.  Cloning happens with no mutant
+    // active; a refusal stops further capture (suffix runs stay full).
+    std::size_t next_boundary = 0;
+    bool capturing = captured != nullptr && boundaries != nullptr;
+    auto snapshot = [&](std::size_t call_index) -> bool {
+        if (!cut.alive()) return false;
+        void* copy = nullptr;
+        try {
+            copy = binding.clone(cut.get());
+        } catch (...) {
+            return false;
+        }
+        captured->push_back(CaseCheckpoint{
+            call_index,
+            std::shared_ptr<void>(copy,
+                                  [b = &binding](void* p) {
+                                      try {
+                                          b->destroy(p);
+                                      } catch (...) {
+                                      }
+                                  }),
+            observations.str()});
+        return true;
+    };
+
     // --- Body: methods along the transaction, invariant around each -------
     try {
-        for (std::size_t i = 1; i < test_case.calls.size(); ++i) {
+        const std::size_t first_call =
+            resume != nullptr ? resume->resume_call : 1;
+        for (std::size_t i = first_call; i < test_case.calls.size(); ++i) {
+            if (observer != nullptr) observer->on_call(i);
+            if (capturing) {
+                while (next_boundary < boundaries->size() &&
+                       (*boundaries)[next_boundary] < i) {
+                    ++next_boundary;
+                }
+                if (next_boundary < boundaries->size() &&
+                    (*boundaries)[next_boundary] == i) {
+                    capturing = snapshot(i);
+                    ++next_boundary;
+                }
+            }
             const MethodCall& call = test_case.calls[i];
             current_method = call.render();
             options_.obs.metrics.add("runner.method_calls");
@@ -352,6 +434,9 @@ TestResult TestRunner::run_case(const reflect::ClassBinding& binding,
         // still end with the object's destruction (delete CUT in Fig. 6).
         if (result.verdict == Verdict::Pass) {
             if (cut.alive()) {
+                if (observer != nullptr) {
+                    observer->on_call(test_case.calls.size());
+                }
                 if (options_.capture_reports) {
                     state_report = capture_state(binding, cut.get());
                 }

@@ -1,5 +1,7 @@
 #include "stc/mfc/coblist.h"
 
+#include <map>
+
 #include "stc/mutation/descriptor.h"
 
 namespace stc::mfc {
@@ -101,6 +103,31 @@ CObList::CObList(int nBlockSize) : m_nBlockSize(nBlockSize) {
 CObList::~CObList() {
     // Pool-wise teardown: immune to corrupted links, never double-frees.
     for (const CNode* node : owned_) delete node;
+}
+
+void CObList::CopyStateFrom(const CObList& source) {
+    m_nBlockSize = source.m_nBlockSize;
+    m_nCount = source.m_nCount;
+    std::map<const CNode*, CNode*> twins;
+    for (const CNode* node : source.owned_) {
+        CNode* twin = new CNode{};
+        owned_.insert(twin);
+        twins.emplace(node, twin);
+    }
+    // Foreign pointers map to themselves: still outside the pool, so
+    // checked() faults on the copy exactly where it would on the source.
+    const auto twin_of = [&twins](CNode* node) -> CNode* {
+        const auto it = twins.find(node);
+        return it != twins.end() ? it->second : node;
+    };
+    for (const auto& [node, twin] : twins) {
+        twin->data = node->data;
+        twin->pNext = twin_of(node->pNext);
+        twin->pPrev = twin_of(node->pPrev);
+    }
+    m_pNodeHead = twin_of(source.m_pNodeHead);
+    m_pNodeTail = twin_of(source.m_pNodeTail);
+    m_pNodeFree = twin_of(source.m_pNodeFree);
 }
 
 // ---- Node pool ---------------------------------------------------------------

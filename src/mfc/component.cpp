@@ -165,6 +165,19 @@ std::string text_of(const CObject* object) {
 template <typename T>
 void add_list_wrappers(reflect::Binder<T>& b) {
     b.template ctor<>();
+    // Representation-faithful copy for campaign prefix memoization
+    // (CObList::CopyStateFrom): the node-pool graph is cloned
+    // isomorphically — chain, free-list order, count — because a mutated
+    // suffix resumed from the checkpoint may read the representation
+    // itself (m_pNodeFree, head/tail links); a behavioural re-AddTail
+    // copy leaves a different free list and changes which fault fires.
+    // Raw member writes only, never a mutation site, so cloning while a
+    // mutant is active cannot perturb its hit flag.
+    b.cloner([](const T& source) {
+        auto copy = std::make_unique<T>();
+        copy->CopyStateFrom(source);
+        return copy.release();
+    });
     b.method("AddHead", static_cast<POSITION (T::*)(CObject*)>(&T::AddHead));
     b.method("AddTail", static_cast<POSITION (T::*)(CObject*)>(&T::AddTail));
     b.method("GetCount", &T::GetCount);

@@ -103,6 +103,20 @@ public:
     void AssertValid() const override;
     [[nodiscard]] std::string ToText() const override;
 
+    /// Representation-faithful copy for campaign checkpoint memoization
+    /// (stc::mutation::build_prune_plan): rebuilds this freshly
+    /// constructed, empty list into an isomorphic image of `source` —
+    /// node-pool graph, element chain, free-list order and count.  A
+    /// behavioural copy (re-AddTail the elements) is NOT enough: a
+    /// mutated suffix resumed from the checkpoint may read the
+    /// representation itself (m_pNodeFree, head/tail links), and a
+    /// free list of a different length would change which fault fires.
+    /// Touches raw members only — never a mutation site — so cloning
+    /// while a mutant is active cannot perturb its hit flag.  Elements
+    /// (CObject*) are shared; foreign node pointers (possible only in
+    /// corrupted state, which checkpoints never capture) stay foreign.
+    void CopyStateFrom(const CObList& source);
+
 protected:
     // Node pool (MFC block allocator surface: a free list of recycled
     // nodes).  Nodes are only ever deleted in the destructor, from the

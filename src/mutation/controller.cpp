@@ -23,4 +23,16 @@ MutantActivation::~MutantActivation() {
     MutationController::instance().mutant_ = nullptr;
 }
 
+CoverageScope::CoverageScope(CoverageSink& sink) {
+    auto& c = MutationController::instance();
+    if (c.sink_ != nullptr) {
+        throw ContractError("a coverage sink is already installed");
+    }
+    c.sink_ = &sink;
+}
+
+CoverageScope::~CoverageScope() {
+    MutationController::instance().sink_ = nullptr;
+}
+
 }  // namespace stc::mutation

@@ -22,6 +22,22 @@ public:
     explicit StructuralFault(const std::string& what) : CrashSignal(what) {}
 };
 
+/// Observer of mutation-site consultations (the coverage-signature
+/// recorder seam).  While one is installed on a thread, every
+/// MutFrame::use/use_real/use_ptr call on that thread reports its
+/// (descriptor, site ordinal) pair — regardless of whether any mutant is
+/// active — so a golden run can record exactly which sites each test
+/// case reaches.  Implementations must be cheap: the callback sits on
+/// the instrumented hot path.
+class CoverageSink {
+public:
+    virtual void on_site(const MethodDescriptor& method,
+                         std::size_t site) = 0;
+
+protected:
+    ~CoverageSink() = default;
+};
+
 /// Per-thread single active mutant.
 class MutationController {
 public:
@@ -34,10 +50,14 @@ public:
     [[nodiscard]] bool hit() const noexcept { return hit_; }
     void reset_hit() noexcept { hit_ = false; }
 
+    [[nodiscard]] CoverageSink* coverage_sink() const noexcept { return sink_; }
+
 private:
     friend class MutantActivation;
+    friend class CoverageScope;
     const Mutant* mutant_ = nullptr;
     bool hit_ = false;
+    CoverageSink* sink_ = nullptr;
 };
 
 /// RAII activation of one mutant; non-nestable (activating while another
@@ -49,6 +69,18 @@ public:
 
     MutantActivation(const MutantActivation&) = delete;
     MutantActivation& operator=(const MutantActivation&) = delete;
+};
+
+/// RAII installation of a coverage sink on the current thread;
+/// non-nestable for the same reason as MutantActivation (two recorders
+/// on one thread would each see only a torn half of the sites).
+class CoverageScope {
+public:
+    explicit CoverageScope(CoverageSink& sink);
+    ~CoverageScope();
+
+    CoverageScope(const CoverageScope&) = delete;
+    CoverageScope& operator=(const CoverageScope&) = delete;
 };
 
 }  // namespace stc::mutation

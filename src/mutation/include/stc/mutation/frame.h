@@ -125,7 +125,14 @@ private:
     }
 
     [[nodiscard]] const Mutant* relevant_mutant(std::size_t site) const noexcept {
-        const Mutant* m = MutationController::instance().active();
+        const MutationController& c = MutationController::instance();
+        // Coverage recording is unconditional while a sink is installed:
+        // the golden run has no active mutant, yet must learn which
+        // sites each case reaches (stc/mutation/coverage.h).
+        if (CoverageSink* sink = c.coverage_sink()) {
+            sink->on_site(descriptor_, site);
+        }
+        const Mutant* m = c.active();
         if (m == nullptr || m->method != &descriptor_ || m->site_index != site) {
             return nullptr;
         }

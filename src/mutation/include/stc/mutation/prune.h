@@ -1,0 +1,118 @@
+// The fast campaign execution tier: coverage-signature pruning plus
+// shared-prefix memoization.
+//
+// Both optimisations rest on one determinism fact: an execution that
+// never consults a mutant's use-site is byte-identical to the golden
+// run.  Hence
+//   * a (mutant, case) pair whose site the case provably never reaches
+//     (per the CoverageIndex from the golden run) can be skipped
+//     outright — it can neither hit nor kill;
+//   * a case whose first consult of the site happens at call k may start
+//     from a checkpoint of the un-mutated execution taken before any
+//     call <= k, because the mutated run is identical up to that point.
+//
+// Checkpoints are behavioural copies (ClassBinding cloner) captured once
+// per distinct birth prefix on the un-mutated component and shared by
+// every case with that prefix and by every mutant — the "execute the
+// un-mutated prefix once per group" memoization.  Fate identity with
+// evaluate_mutant is the contract, enforced end-to-end by the
+// differential harness in tests/prune_test.cpp.
+//
+// Manual oracles are the one detector that breaks the premise (they may
+// reject a byte-identical Pass report), so the campaign scheduler keeps
+// pruning off whenever one is configured; a lockstep model only gates
+// the memoization half (resumed suffixes skip model comparison).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stc/mutation/coverage.h"
+#include "stc/mutation/engine.h"
+
+namespace stc::mutation {
+
+/// Version of the pruned execution tier, absorbed into the campaign
+/// store fingerprint (as "prune-index-v1") when pruning is engaged so a
+/// resumed store never mixes fates produced under different pruning
+/// semantics.  Bump on any change to the skip/memoize rules.
+inline constexpr std::uint64_t kPruneIndexVersion = 1;
+inline constexpr const char* kPruneIndexToken = "prune-index-v1";
+
+/// Per-case checkpoint ladder, ascending by resume_call.  The evaluator
+/// picks the deepest checkpoint not past the mutant's first-hit call.
+struct CasePlan {
+    std::vector<driver::CaseCheckpoint> checkpoints;
+};
+
+/// Everything the pruned evaluator needs besides the golden records:
+/// coverage indices for suite and probe, and the shared-prefix
+/// checkpoint ladders (index-aligned with the respective case lists).
+/// Built once, before the parallel phase, on the un-mutated component;
+/// read-only afterwards (checkpoint prototypes are cloned, never
+/// mutated, so concurrent evaluation and copy-on-write fork inheritance
+/// under --isolate are both safe).
+struct PrunePlan {
+    CoverageIndex coverage;
+    CoverageIndex probe_coverage;
+    std::vector<CasePlan> case_plans;
+    std::vector<CasePlan> probe_case_plans;
+};
+
+/// Work avoided/performed by one (or many summed) pruned evaluations.
+struct PruneStats {
+    std::uint64_t executed_pairs = 0;  ///< (mutant, case) pairs actually run
+    std::uint64_t pruned_pairs = 0;    ///< pairs skipped as provably unreached
+    std::uint64_t memoized_pairs = 0;  ///< executed pairs resumed mid-case
+    std::uint64_t memoized_calls = 0;  ///< body calls those resumes skipped
+
+    PruneStats& operator+=(const PruneStats& other) noexcept {
+        executed_pairs += other.executed_pairs;
+        pruned_pairs += other.pruned_pairs;
+        memoized_pairs += other.memoized_pairs;
+        memoized_calls += other.memoized_calls;
+        return *this;
+    }
+};
+
+struct PrunePlanOptions {
+    /// Cap on checkpoints captured per distinct case (boundaries are the
+    /// case's distinct first-hit call indices, shallowest first).
+    std::size_t max_checkpoints_per_case = 6;
+    /// Capture no checkpoint shallower than this body-call index
+    /// (resuming at call 1 saves only the constructor).
+    std::size_t min_resume_call = 2;
+    /// Disable the memoization half entirely (pruning still applies);
+    /// set when a lockstep model is attached to the runner.
+    bool memoize = true;
+};
+
+/// Build the checkpoint ladders for `suite` (and `probe_suite`, which
+/// may be null along with `probe_runner`) from their recorded coverage.
+/// `coverage` and `probe_coverage` are moved into the returned plan.
+/// Runs each distinct birth prefix once on the un-mutated component;
+/// must be called with no mutant active.  Suite and probe ladders are
+/// captured with their own runners (probe observations differ — it
+/// observes every call) and never shared across the two.
+[[nodiscard]] PrunePlan build_prune_plan(
+    const driver::TestRunner& runner, const reflect::ClassBinding& binding,
+    const driver::TestSuite& suite, CoverageIndex coverage,
+    const driver::TestRunner* probe_runner, const driver::TestSuite* probe_suite,
+    CoverageIndex probe_coverage, const PrunePlanOptions& options = {});
+
+/// Drop-in replacement for evaluate_mutant: identical fates (the
+/// differential harness in tests/prune_test.cpp is the net), ~an order
+/// of magnitude less execution.  `probe_runner`/`probe_suite` may be
+/// null (no equivalence probing).  `options.manual_oracle` must be
+/// empty — callers gate pruning off instead.  Thread-safe under the
+/// same conditions as evaluate_mutant; `stats`, when given, is summed
+/// into without synchronisation (use one per worker).
+[[nodiscard]] MutantOutcome evaluate_mutant_pruned(
+    const Mutant& mutant, const driver::TestRunner& runner,
+    const reflect::ClassBinding& binding, const driver::TestSuite& suite,
+    const oracle::GoldenRecord& golden, const driver::TestRunner* probe_runner,
+    const driver::TestSuite* probe_suite,
+    const oracle::GoldenRecord& probe_golden, const PrunePlan& plan,
+    const EngineOptions& options, PruneStats* stats = nullptr);
+
+}  // namespace stc::mutation

@@ -1,0 +1,276 @@
+#include "stc/mutation/prune.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace stc::mutation {
+
+namespace {
+
+/// Identity-exact encoding of one argument value.  Pointer/object
+/// arguments encode their *address*: two prefixes only share a
+/// checkpoint when they pass the very same objects, which is the only
+/// sharing that is sound without knowing the component's semantics
+/// (value-equal but distinct elements could later be distinguished by
+/// identity, e.g. CObList::Find).
+void encode_value(std::ostringstream& os, const domain::Value& v) {
+    switch (v.kind()) {
+        case domain::ValueKind::Empty: os << "e;"; break;
+        case domain::ValueKind::Int: os << "i" << v.as_int() << ";"; break;
+        case domain::ValueKind::Real: os << "r" << v.as_number() << ";"; break;
+        case domain::ValueKind::String: os << "s" << v.as_string() << ";"; break;
+        case domain::ValueKind::Pointer: os << "p" << v.as_pointer() << ";"; break;
+        case domain::ValueKind::Object:
+            os << "o" << v.as_object().ptr << ";";
+            break;
+    }
+}
+
+/// Signature of a case's birth prefix: entry state plus calls[0..depth).
+/// Cases with equal signatures execute identically up to body call
+/// `depth`, so a checkpoint captured from one serves them all.
+std::string prefix_signature(const driver::TestCase& tc, std::size_t depth) {
+    std::ostringstream os;
+    os << tc.entry_state << '\x1f';
+    for (std::size_t j = 0; j < depth && j < tc.calls.size(); ++j) {
+        const driver::MethodCall& call = tc.calls[j];
+        os << call.method_name << '(';
+        for (const domain::Value& v : call.arguments) encode_value(os, v);
+        os << ')' << (call.expect_rejection ? '!' : '.')
+           << (call.is_destructor ? '~' : '.') << '\x1f';
+    }
+    return os.str();
+}
+
+std::vector<CasePlan> build_ladders(
+    const driver::TestRunner& runner, const reflect::ClassBinding& binding,
+    const driver::TestSuite& suite, const CoverageIndex& coverage,
+    const PrunePlanOptions& options,
+    std::map<std::string, driver::CaseCheckpoint>& cache) {
+    std::vector<CasePlan> plans(suite.cases.size());
+    for (std::size_t i = 0; i < suite.cases.size(); ++i) {
+        const driver::TestCase& tc = suite.cases[i];
+        const CoverageIndex::CaseCoverage* cc = coverage.find(tc.id);
+        if (cc == nullptr || tc.calls.size() < 2) continue;
+
+        // Candidate boundaries: the case's distinct first-hit call
+        // indices.  A checkpoint anywhere else would either be unusable
+        // (past every first hit) or dominated by one of these.
+        std::set<std::size_t> bounds;
+        const std::size_t deepest = tc.calls.size() - 1;
+        for (const auto& [key, h] : cc->first_hit) {
+            if (h >= options.min_resume_call && h <= deepest) bounds.insert(h);
+        }
+
+        std::vector<driver::CaseCheckpoint>& ladder = plans[i].checkpoints;
+        std::vector<std::size_t> need;
+        std::size_t kept = 0;
+        for (const std::size_t k : bounds) {
+            if (kept >= options.max_checkpoints_per_case) break;
+            ++kept;
+            const auto it = cache.find(prefix_signature(tc, k));
+            if (it != cache.end()) {
+                driver::CaseCheckpoint shared = it->second;
+                shared.resume_call = k;  // same prefix, this case's depth
+                ladder.push_back(std::move(shared));
+            } else {
+                need.push_back(k);
+            }
+        }
+        if (!need.empty()) {
+            for (driver::CaseCheckpoint& cp :
+                 runner.capture_case(binding, tc, need)) {
+                cache.emplace(prefix_signature(tc, cp.resume_call), cp);
+                ladder.push_back(std::move(cp));
+            }
+        }
+        std::sort(ladder.begin(), ladder.end(),
+                  [](const driver::CaseCheckpoint& a,
+                     const driver::CaseCheckpoint& b) {
+                      return a.resume_call < b.resume_call;
+                  });
+    }
+    return plans;
+}
+
+/// Run one covering case, resumed from the deepest usable checkpoint.
+driver::TestResult run_one(const driver::TestRunner& runner,
+                           const reflect::ClassBinding& binding,
+                           const driver::TestCase& tc,
+                           const CoverageIndex& coverage,
+                           const std::vector<CasePlan>& plans, std::size_t index,
+                           const Mutant& mutant, PruneStats& stats) {
+    ++stats.executed_pairs;
+    const driver::CaseCheckpoint* best = nullptr;
+    if (index < plans.size()) {
+        // Sound resume depth: at or before the first call that consults
+        // the mutant's site (execution is un-mutated until then).
+        const std::optional<std::size_t> bound = coverage.first_hit(tc.id, mutant);
+        if (bound.has_value()) {
+            for (const driver::CaseCheckpoint& cp : plans[index].checkpoints) {
+                if (cp.resume_call > *bound) break;
+                best = &cp;
+            }
+        }
+    }
+    if (best != nullptr) {
+        try {
+            driver::TestResult r = runner.run_case_from(binding, tc, *best);
+            ++stats.memoized_pairs;
+            stats.memoized_calls += best->resume_call - 1;
+            return r;
+        } catch (const ReflectError&) {
+            // Clone refused at evaluation time: full run is always sound.
+        }
+    }
+    return runner.run_case(binding, tc);
+}
+
+std::vector<std::size_t> covering_indices(const CoverageIndex& coverage,
+                                          const driver::TestSuite& suite,
+                                          const Mutant& mutant) {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < suite.cases.size(); ++i) {
+        if (coverage.covers(suite.cases[i].id, mutant)) out.push_back(i);
+    }
+    return out;
+}
+
+}  // namespace
+
+PrunePlan build_prune_plan(const driver::TestRunner& runner,
+                           const reflect::ClassBinding& binding,
+                           const driver::TestSuite& suite, CoverageIndex coverage,
+                           const driver::TestRunner* probe_runner,
+                           const driver::TestSuite* probe_suite,
+                           CoverageIndex probe_coverage,
+                           const PrunePlanOptions& options) {
+    PrunePlan plan;
+    plan.coverage = std::move(coverage);
+    plan.probe_coverage = std::move(probe_coverage);
+    plan.case_plans.resize(suite.cases.size());
+    if (probe_suite != nullptr) {
+        plan.probe_case_plans.resize(probe_suite->cases.size());
+    }
+    if (!options.memoize || !binding.has_cloner()) return plan;
+
+    {
+        std::map<std::string, driver::CaseCheckpoint> cache;
+        plan.case_plans =
+            build_ladders(runner, binding, suite, plan.coverage, options, cache);
+    }
+    if (probe_suite != nullptr && probe_runner != nullptr) {
+        std::map<std::string, driver::CaseCheckpoint> cache;
+        plan.probe_case_plans = build_ladders(*probe_runner, binding, *probe_suite,
+                                              plan.probe_coverage, options, cache);
+    }
+    return plan;
+}
+
+MutantOutcome evaluate_mutant_pruned(
+    const Mutant& mutant, const driver::TestRunner& runner,
+    const reflect::ClassBinding& binding, const driver::TestSuite& suite,
+    const oracle::GoldenRecord& golden, const driver::TestRunner* probe_runner,
+    const driver::TestSuite* probe_suite,
+    const oracle::GoldenRecord& probe_golden, const PrunePlan& plan,
+    const EngineOptions& options, PruneStats* stats) {
+    if (options.manual_oracle) {
+        throw ContractError(
+            "pruned evaluation cannot honour a manual oracle; run unpruned");
+    }
+    auto& controller = MutationController::instance();
+
+    using ObsClock = std::chrono::steady_clock;
+    const bool metered = options.obs.metrics.enabled();
+    const ObsClock::time_point eval_start =
+        metered ? ObsClock::now() : ObsClock::time_point{};
+    const obs::SpanScope eval_span(options.obs.tracer, "mutant-evaluation",
+                                   mutant.id());
+    const auto meter_fate = [&](const MutantOutcome& outcome) {
+        if (!metered) return;
+        options.obs.metrics.add(std::string("mutation.fate.") +
+                                to_string(outcome.fate));
+        options.obs.metrics.observe_ms(
+            "mutation.eval_ms",
+            std::chrono::duration<double, std::milli>(ObsClock::now() -
+                                                      eval_start)
+                .count());
+    };
+
+    PruneStats local;
+    MutantOutcome outcome;
+    outcome.mutant = &mutant;
+
+    const std::vector<std::size_t> covering =
+        covering_indices(plan.coverage, suite, mutant);
+    local.pruned_pairs +=
+        static_cast<std::uint64_t>(suite.cases.size() - covering.size());
+
+    if (!covering.empty()) {
+        const MutantActivation activation(mutant);
+        driver::SuiteResult mutated;
+        mutated.results.reserve(covering.size());
+        for (const std::size_t index : covering) {
+            mutated.results.push_back(run_one(runner, binding,
+                                              suite.cases[index], plan.coverage,
+                                              plan.case_plans, index, mutant,
+                                              local));
+        }
+        outcome.hit_by_suite = controller.hit();
+        const oracle::DifferentialKill differential =
+            oracle::classify_suite_differential(golden, mutated, options.oracle,
+                                                {}, options.obs);
+        outcome.reason = differential.with_model;
+        outcome.model_only = differential.model_only();
+    }
+
+    const auto finish = [&](MutantFate fate) {
+        outcome.fate = fate;
+        meter_fate(outcome);
+        if (stats != nullptr) *stats += local;
+        return outcome;
+    };
+
+    if (outcome.reason != oracle::KillReason::None) {
+        return finish(MutantFate::Killed);
+    }
+
+    if (probe_runner == nullptr || probe_suite == nullptr) {
+        return finish(outcome.hit_by_suite ? MutantFate::Alive
+                                           : MutantFate::NotCovered);
+    }
+
+    const std::vector<std::size_t> probe_covering =
+        covering_indices(plan.probe_coverage, *probe_suite, mutant);
+    local.pruned_pairs += static_cast<std::uint64_t>(probe_suite->cases.size() -
+                                                     probe_covering.size());
+
+    bool probe_hit = false;
+    oracle::KillReason probe_reason = oracle::KillReason::None;
+    if (!probe_covering.empty()) {
+        const MutantActivation activation(mutant);
+        driver::SuiteResult probed;
+        probed.results.reserve(probe_covering.size());
+        for (const std::size_t index : probe_covering) {
+            probed.results.push_back(
+                run_one(*probe_runner, binding, probe_suite->cases[index],
+                        plan.probe_coverage, plan.probe_case_plans, index,
+                        mutant, local));
+        }
+        probe_hit = controller.hit();
+        probe_reason =
+            oracle::classify_suite(probe_golden, probed, {}, {}, options.obs);
+    }
+
+    if (probe_reason != oracle::KillReason::None) {
+        outcome.killed_by_probe = true;
+        return finish(MutantFate::Alive);  // killable, just not by `suite`
+    }
+    return finish(probe_hit ? MutantFate::EquivalentPresumed
+                            : MutantFate::NotCovered);
+}
+
+}  // namespace stc::mutation

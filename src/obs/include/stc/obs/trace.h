@@ -8,7 +8,6 @@
 //   phase              one pipeline stage (generate, baseline, items...)
 //   test-case          one TestCase executed by a runner
 //   method-call        one CUT method invocation inside a case
-//   invariant-check    one InvariantTest() evaluation
 //   oracle-compare     one golden-vs-observed suite classification
 //   mutant-evaluation  one mutant's full classification (campaign item)
 //

@@ -19,6 +19,15 @@ void ClassBinding::set_state_setter(StateSetter setter) {
     state_setter_ = std::move(setter);
 }
 
+void ClassBinding::set_cloner(Cloner cloner) { cloner_ = std::move(cloner); }
+
+void* ClassBinding::clone(const void* object) const {
+    if (!cloner_) {
+        throw ReflectError("class '" + name_ + "' has no cloner bound");
+    }
+    return cloner_(object);
+}
+
 void ClassBinding::apply_state(void* object, const std::string& state) const {
     if (!state_setter_) {
         throw ReflectError("class '" + name_ + "' has no set/reset capability");

@@ -194,6 +194,16 @@ public:
         return *this;
     }
 
+    /// Register the behavioural-copy capability: `fn(source)` returns a
+    /// heap-allocated copy destroyable by the bound destructor.  Enables
+    /// campaign prefix memoization (ClassBinding::Cloner).
+    Binder& cloner(std::function<T*(const T&)> fn) {
+        binding_.set_cloner([fn = std::move(fn)](const void* obj) -> void* {
+            return fn(*static_cast<const T*>(obj));
+        });
+        return *this;
+    }
+
     /// Consume the accumulated binding.
     [[nodiscard]] ClassBinding take() { return std::move(binding_); }
 

@@ -35,6 +35,14 @@ public:
     /// The set/reset capability of §3.3: put an object into a named
     /// predefined internal state, independent of its current state.
     using StateSetter = std::function<void(void*, const std::string&)>;
+    /// Behavioural copy: build a fresh instance whose *observable* state
+    /// (reports, invariants, responses to any further call sequence)
+    /// matches the source object's.  Raw addresses may differ — the
+    /// driver never renders them.  Optional capability: it enables the
+    /// campaign prefix-memoization tier (stc/driver/runner.h
+    /// capture_case/run_case_from); classes without one simply run every
+    /// case from its constructor.
+    using Cloner = std::function<void*(const void*)>;
 
     ClassBinding() = default;
     explicit ClassBinding(std::string name) : name_(std::move(name)) {}
@@ -46,6 +54,7 @@ public:
     void set_destructor(Deleter deleter);
     void set_bit_caster(BitCaster caster);
     void set_state_setter(StateSetter setter);
+    void set_cloner(Cloner cloner);
 
     [[nodiscard]] bool has_constructor(std::size_t arity) const;
     [[nodiscard]] bool has_method(const std::string& name, std::size_t arity) const;
@@ -72,6 +81,13 @@ public:
         return static_cast<bool>(state_setter_);
     }
 
+    /// Behavioural copy of `object` (see Cloner).  Throws ReflectError
+    /// when the class registered no cloner.
+    [[nodiscard]] void* clone(const void* object) const;
+    [[nodiscard]] bool has_cloner() const noexcept {
+        return static_cast<bool>(cloner_);
+    }
+
     /// Registered method (name, arity) pairs, for introspection tests.
     [[nodiscard]] std::vector<std::pair<std::string, std::size_t>> methods() const;
 
@@ -82,6 +98,7 @@ private:
     Deleter deleter_;
     BitCaster bit_caster_;
     StateSetter state_setter_;
+    Cloner cloner_;
 };
 
 /// Name -> binding registry handed to the driver.  An explicit object

@@ -6,14 +6,40 @@
 
 namespace stc::sandbox {
 
-std::string encode_outcome(const mutation::MutantOutcome& outcome) {
+std::string encode_outcome(const mutation::MutantOutcome& outcome,
+                           const mutation::PruneStats* stats) {
     obs::JsonObject object;
     object.set("fate", mutation::to_string(outcome.fate));
     object.set("reason", oracle::to_string(outcome.reason));
     object.set("hit", outcome.hit_by_suite);
     object.set("probe_kill", outcome.killed_by_probe);
     object.set("model_only", outcome.model_only);
+    if (stats != nullptr) {
+        object.set("executed_pairs",
+                   static_cast<std::uint64_t>(stats->executed_pairs));
+        object.set("pruned_pairs",
+                   static_cast<std::uint64_t>(stats->pruned_pairs));
+        object.set("memoized_pairs",
+                   static_cast<std::uint64_t>(stats->memoized_pairs));
+        object.set("memoized_calls",
+                   static_cast<std::uint64_t>(stats->memoized_calls));
+    }
     return object.to_line();
+}
+
+mutation::PruneStats decode_outcome_stats(std::string_view payload) {
+    mutation::PruneStats stats;
+    const auto object = obs::JsonObject::parse(payload);
+    if (!object) return stats;
+    const auto grab = [&](const char* key) -> std::uint64_t {
+        const auto value = object->get_int(key);
+        return value && *value >= 0 ? static_cast<std::uint64_t>(*value) : 0;
+    };
+    stats.executed_pairs = grab("executed_pairs");
+    stats.pruned_pairs = grab("pruned_pairs");
+    stats.memoized_pairs = grab("memoized_pairs");
+    stats.memoized_calls = grab("memoized_calls");
+    return stats;
 }
 
 std::optional<mutation::MutantOutcome> decode_outcome(

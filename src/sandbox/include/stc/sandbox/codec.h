@@ -21,14 +21,23 @@
 
 #include "stc/driver/runner.h"
 #include "stc/mutation/engine.h"
+#include "stc/mutation/prune.h"
 
 namespace stc::sandbox {
 
 /// Serialize the child-computed outcome (fate/reason/hit/probe-kill).
 /// The mutant pointer does not travel; the parent rebinds it by item
-/// index.
+/// index.  `stats`, when given, rides along as executed/pruned/memoized
+/// pair counters (pruned campaign items; decoded tolerantly so replies
+/// without them yield zeros).
 [[nodiscard]] std::string encode_outcome(
-    const mutation::MutantOutcome& outcome);
+    const mutation::MutantOutcome& outcome,
+    const mutation::PruneStats* stats = nullptr);
+
+/// Prune counters of a reply frame; all-zero when the reply carried
+/// none (unpruned run or pre-prune encoder).
+[[nodiscard]] mutation::PruneStats decode_outcome_stats(
+    std::string_view payload);
 
 /// Parse a reply frame; std::nullopt on malformed input (a worker that
 /// printed garbage).  `mutant` is left null.

@@ -7,6 +7,7 @@
 #include "stc/core/self_testable.h"
 #include "stc/mfc/component.h"
 #include "stc/model/model.h"
+#include "stc/mutation/coverage.h"
 #include "stc/sandbox/codec.h"
 #include "stc/support/error.h"
 #include "stc/tfm/coverage.h"
@@ -45,6 +46,7 @@ obs::JsonObject make_hello(const BuiltinCampaignConfig& config,
         .set("states", config.generator.include_entry_states)
         .set("probe", config.probe)
         .set("model", config.model)
+        .set("prune", config.prune)
         .set("fingerprint", fingerprint);
 }
 
@@ -80,6 +82,10 @@ std::optional<BuiltinCampaignConfig> parse_hello(const obs::JsonObject& hello,
         hello.get_bool("states").value_or(false);
     config.probe = hello.get_bool("probe").value_or(false);
     config.model = hello.get_bool("model").value_or(false);
+    // A pre-prune coordinator never prunes; defaulting to false keeps
+    // such mixed pairs agreeing (their fingerprints match too, since
+    // neither absorbs the prune token).
+    config.prune = hello.get_bool("prune").value_or(false);
     return config;
 }
 
@@ -99,6 +105,9 @@ struct BuiltinCampaign::Impl {
     bool baseline_clean = false;
     std::string fingerprint;
     std::vector<campaign::WorkItem> items;
+    const reflect::ClassBinding* binding = nullptr;
+    bool prune_engaged = false;
+    mutation::PrunePlan plan;
 };
 
 BuiltinCampaign::BuiltinCampaign() : impl_(std::make_unique<Impl>()) {}
@@ -159,6 +168,7 @@ std::unique_ptr<BuiltinCampaign> BuiltinCampaign::open(
     campaign::CampaignOptions campaign_options;
     campaign_options.seed = config.generator.seed;
     campaign_options.engine = s.engine;
+    campaign_options.prune = config.prune;
     const campaign::CampaignScheduler scheduler(s.component->registry(),
                                                 campaign_options);
     s.fingerprint =
@@ -173,10 +183,42 @@ std::unique_ptr<BuiltinCampaign> BuiltinCampaign::open(
     driver::RunnerOptions probe_opts = s.engine.runner;
     probe_opts.observe_each_call = true;
     s.probe_runner.emplace(s.component->registry(), probe_opts);
-    s.golden = oracle::GoldenRecord::from(s.runner->run(s.suite));
+    s.prune_engaged = config.prune && s.engine.manual_oracle == nullptr;
+    mutation::CoverageIndex coverage;
+    mutation::CoverageIndex probe_coverage;
+    if (s.prune_engaged) {
+        auto covered = mutation::run_with_coverage(s.component->registry(),
+                                                   s.engine.runner, s.suite);
+        s.golden = oracle::GoldenRecord::from(covered.result);
+        coverage = std::move(covered.index);
+    } else {
+        s.golden = oracle::GoldenRecord::from(s.runner->run(s.suite));
+    }
     s.baseline_clean = s.golden.all_passed();
     if (s.probe) {
-        s.probe_golden = oracle::GoldenRecord::from(s.probe_runner->run(*s.probe));
+        if (s.prune_engaged) {
+            auto covered = mutation::run_with_coverage(s.component->registry(),
+                                                       probe_opts, *s.probe);
+            s.probe_golden = oracle::GoldenRecord::from(covered.result);
+            probe_coverage = std::move(covered.index);
+        } else {
+            s.probe_golden =
+                oracle::GoldenRecord::from(s.probe_runner->run(*s.probe));
+        }
+    }
+    s.binding = &s.component->registry().at(s.suite.class_name);
+    if (s.prune_engaged) {
+        // Same plan the in-process scheduler builds: memoization stands
+        // down under a lockstep model (resumed runs skip the model leg),
+        // coverage pruning stays on.
+        mutation::PrunePlanOptions plan_options;
+        plan_options.memoize = s.engine.runner.model == nullptr ||
+                               !s.engine.runner.model->valid() ||
+                               !s.engine.oracle.use_model;
+        s.plan = mutation::build_prune_plan(
+            *s.runner, *s.binding, s.suite, std::move(coverage),
+            s.probe ? &*s.probe_runner : nullptr, s.probe ? &*s.probe : nullptr,
+            std::move(probe_coverage), plan_options);
     }
     return out;
 }
@@ -202,9 +244,12 @@ const oracle::GoldenRecord& BuiltinCampaign::golden() const noexcept {
 bool BuiltinCampaign::baseline_clean() const noexcept {
     return impl_->baseline_clean;
 }
+bool BuiltinCampaign::pruned() const noexcept {
+    return impl_->prune_engaged;
+}
 
 mutation::MutantOutcome BuiltinCampaign::evaluate(
-    const std::string& mutant_id) const {
+    const std::string& mutant_id, mutation::PruneStats* stats) const {
     const Impl& s = *impl_;
     const mutation::Mutant* mutant = nullptr;
     for (const auto& m : s.mutants) {
@@ -216,6 +261,13 @@ mutation::MutantOutcome BuiltinCampaign::evaluate(
     if (mutant == nullptr) {
         throw Error("unknown mutant '" + mutant_id +
                     "' for component " + s.config.component);
+    }
+    if (s.prune_engaged) {
+        return mutation::evaluate_mutant_pruned(
+            *mutant, *s.runner, *s.binding, s.suite, s.golden,
+            s.probe ? &*s.probe_runner : nullptr,
+            s.probe ? &*s.probe : nullptr, s.probe_golden, s.plan, s.engine,
+            stats);
     }
     const mutation::MutationEngine::SuiteExecutor run_suite = [&s] {
         return s.runner->run(s.suite);
@@ -247,11 +299,16 @@ public:
             throw Error("work frame missing 'item' or 'mutant'");
         }
         const auto t0 = Clock::now();
-        const mutation::MutantOutcome outcome = campaign_->evaluate(*mutant_id);
+        mutation::PruneStats stats;
+        const mutation::MutantOutcome outcome =
+            campaign_->evaluate(*mutant_id, &stats);
         const double wall = ms_since(t0);
         // Result payload = the sandbox outcome codec (the merge decodes
         // with sandbox::decode_outcome) plus the dispatch bookkeeping.
-        auto payload = obs::JsonObject::parse(sandbox::encode_outcome(outcome));
+        // Prune counters ride along only when the fast tier ran, so an
+        // unpruned reply carries no misleading zeros.
+        auto payload = obs::JsonObject::parse(sandbox::encode_outcome(
+            outcome, campaign_->pruned() ? &stats : nullptr));
         if (!payload) throw Error("outcome did not round-trip");
         payload->set("item", *item)
             .set("mutant", *mutant_id)

@@ -9,8 +9,10 @@
 #include <csignal>
 #include <cstring>
 #include <deque>
+#include <string_view>
 #include <utility>
 
+#include "stc/serve/span_codec.h"
 #include "stc/support/error.h"
 #include "stc/wire/frame.h"
 
@@ -95,12 +97,23 @@ DispatchStats Coordinator::run(const std::vector<campaign::WorkItem>& items,
     auto emit = [&](const obs::JsonObject& event) {
         if (options_.telemetry) options_.telemetry(event);
     };
-    // A Telemetry frame (minor 2) is a worker-streamed span or JSONL
-    // event; both fold into the coordinator's own instruments.  Never
-    // fatal: a malformed payload is dropped, not a protocol error —
-    // telemetry must not be able to kill a campaign.
-    auto handle_telemetry = [&](const std::string& payload) {
-        const auto body = obs::JsonObject::parse(payload);
+    // A Telemetry frame is one worker-streamed span or JSONL event
+    // (minor 2), or many of them newline-joined (minor 3 batching);
+    // each folds into the coordinator's own instruments.  Never fatal:
+    // a malformed payload is dropped, not a protocol error — telemetry
+    // must not be able to kill a campaign.
+    auto handle_telemetry_line = [&](std::string_view line) {
+        // Canonical span lines (the overwhelming majority of streamed
+        // telemetry) skip the generic JSON round-trip; anything the
+        // strict scanner rejects falls through to the generic path.
+        if (is_span_line(line)) {
+            if (!tracing) return;
+            if (auto fast = parse_span_line(line)) {
+                tracer.absorb(std::move(*fast));
+                return;
+            }
+        }
+        const auto body = obs::JsonObject::parse(line);
         if (!body) return;
         const std::string kind = body->get_string("kind").value_or("");
         if (kind == "span") {
@@ -112,6 +125,18 @@ DispatchStats Coordinator::run(const std::vector<campaign::WorkItem>& items,
             const auto data = body->get_string("data");
             if (!data) return;
             if (const auto event = obs::JsonObject::parse(*data)) emit(*event);
+        }
+    };
+    auto handle_telemetry = [&](const std::string& payload) {
+        std::size_t start = 0;
+        while (start < payload.size()) {
+            std::size_t end = payload.find('\n', start);
+            if (end == std::string::npos) end = payload.size();
+            if (end > start) {
+                handle_telemetry_line(
+                    std::string_view(payload).substr(start, end - start));
+            }
+            start = end + 1;
         }
     };
 

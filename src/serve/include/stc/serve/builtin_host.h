@@ -22,6 +22,7 @@
 #include "stc/campaign/work_list.h"
 #include "stc/driver/generator.h"
 #include "stc/mutation/engine.h"
+#include "stc/mutation/prune.h"
 #include "stc/obs/json.h"
 #include "stc/serve/worker.h"
 
@@ -33,6 +34,10 @@ struct BuiltinCampaignConfig {
     driver::GeneratorOptions generator;
     bool probe = false;  ///< amplified probe suite for equivalence
     bool model = false;  ///< lockstep reference-model oracle
+    /// Coverage-signature pruning + prefix memoization (the campaign
+    /// fast tier).  Part of the fingerprint, so both ends must agree —
+    /// the handshake cross-check enforces it.
+    bool prune = true;
 };
 
 /// Render the Hello payload (docs/FORMATS.md §10).  `fingerprint` is
@@ -72,13 +77,19 @@ public:
     [[nodiscard]] const std::vector<campaign::WorkItem>& items() const noexcept;
     [[nodiscard]] const oracle::GoldenRecord& golden() const noexcept;
     [[nodiscard]] bool baseline_clean() const noexcept;
+    /// True when the fast tier is engaged for this campaign.
+    [[nodiscard]] bool pruned() const noexcept;
 
     /// Evaluate one mutant against the suite (and probe suite, when
     /// configured) — the same evaluate_mutant call the in-process
     /// scheduler makes, so fates match it exactly.  Throws stc::Error
-    /// on an unknown mutant id.
+    /// on an unknown mutant id.  With the fast tier engaged the pruned
+    /// evaluator runs instead (same fates, enforced by
+    /// tests/prune_test.cpp); `stats`, when given, accumulates its
+    /// executed/pruned/memoized pair counters.
     [[nodiscard]] mutation::MutantOutcome evaluate(
-        const std::string& mutant_id) const;
+        const std::string& mutant_id,
+        mutation::PruneStats* stats = nullptr) const;
 
 private:
     BuiltinCampaign();

@@ -48,8 +48,13 @@ inline constexpr std::uint8_t kProtocolVersion = 1;
 /// fields, new message types that are only sent once both sides have
 /// announced support — bump the minor, not kProtocolVersion.  Minor 2
 /// adds trace-context fields to Hello/Work and the Telemetry frame
-/// (docs/FORMATS.md §11).
-inline constexpr std::uint64_t kProtocolMinor = 2;
+/// (docs/FORMATS.md §11).  Minor 3 batches Telemetry: one frame may
+/// carry many newline-joined JSON payloads (workers coalesce per work
+/// item instead of paying a write() syscall per span, the fix for the
+/// ~17x streaming-telemetry throughput cliff).  Batched frames are
+/// only ever sent to a peer that announced minor >= 3; toward a
+/// minor-2 peer the worker keeps emitting one payload per frame.
+inline constexpr std::uint64_t kProtocolMinor = 3;
 
 /// Fixed header size of a versioned message (magic + version + type +
 /// u32le payload length).

@@ -13,6 +13,8 @@
 #include "stc/mfc/component.h"
 #include "stc/model/model.h"
 #include "stc/mutation/engine.h"
+#include "stc/mutation/coverage.h"
+#include "stc/mutation/prune.h"
 #include "stc/support/rng.h"
 #include "stc/tfm/coverage.h"
 #include "stc/tspec/builder.h"
@@ -319,6 +321,89 @@ TEST_P(MutationAlgebra, MoreTestCasesNeverKillFewerMutants) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MutationAlgebra, ::testing::Values(31, 41, 59));
+
+// ----------------------------------------------- pruned-fate equivalence
+
+class PruneEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PruneEquivalence, PrunedEvaluationIsFateIdenticalPerMutant) {
+    // The fast campaign tier (coverage-signature pruning + shared-prefix
+    // memoization) must be invisible in every reported fate: for any
+    // generated suite/probe pair and every mutant, evaluate_mutant_pruned
+    // classifies exactly as the exhaustive evaluate_mutant — while
+    // provably executing fewer (mutant, case) pairs.
+    const std::uint64_t seed = GetParam();
+    reflect::Registry registry;
+    reflect::ClassBinding cloning = stc::testing::counter_binding();
+    cloning.set_cloner([](const void* object) -> void* {
+        return new stc::testing::Counter(
+            *static_cast<const stc::testing::Counter*>(object));
+    });
+    registry.add(std::move(cloning));
+    const reflect::ClassBinding& binding = registry.at("Counter");
+
+    driver::GeneratorOptions gen;
+    gen.seed = seed;
+    gen.cases_per_transaction = 1 + static_cast<int>(seed % 3);
+    const auto suite =
+        driver::DriverGenerator(stc::testing::counter_spec(), gen).generate();
+    driver::GeneratorOptions probe_gen;
+    probe_gen.seed = seed ^ 0x9e3779b97f4a7c15ULL;
+    probe_gen.cases_per_transaction = 2;
+    const auto probe =
+        driver::DriverGenerator(stc::testing::counter_spec(), probe_gen)
+            .generate();
+    const auto mutants = mutation::enumerate_mutants(
+        stc::testing::counter_descriptors(), "Counter");
+
+    const mutation::EngineOptions options;
+    driver::RunnerOptions probe_opts = options.runner;
+    probe_opts.observe_each_call = true;
+    const driver::TestRunner runner(registry, options.runner);
+    const driver::TestRunner probe_runner(registry, probe_opts);
+
+    // Unpruned reference leg.
+    const auto golden = oracle::GoldenRecord::from(runner.run(suite));
+    const auto probe_golden = oracle::GoldenRecord::from(probe_runner.run(probe));
+    const mutation::MutationEngine::SuiteExecutor run_suite =
+        [&runner, &suite] { return runner.run(suite); };
+    const mutation::MutationEngine::SuiteExecutor run_probe =
+        [&probe_runner, &probe] { return probe_runner.run(probe); };
+
+    // Pruned leg: coverage index from the instrumented golden run, then
+    // the shared-prefix checkpoint ladders.
+    auto covered = mutation::run_with_coverage(registry, options.runner, suite);
+    auto probe_covered = mutation::run_with_coverage(registry, probe_opts, probe);
+    ASSERT_EQ(covered.result.results.size(), golden.size());
+    const mutation::PrunePlan plan = mutation::build_prune_plan(
+        runner, binding, suite, std::move(covered.index), &probe_runner, &probe,
+        std::move(probe_covered.index));
+
+    mutation::PruneStats stats;
+    for (const auto& mutant : mutants) {
+        const auto slow = mutation::evaluate_mutant(
+            mutant, run_suite, golden, run_probe, probe_golden, options);
+        const auto fast = mutation::evaluate_mutant_pruned(
+            mutant, runner, binding, suite, golden, &probe_runner, &probe,
+            probe_golden, plan, options, &stats);
+        EXPECT_EQ(fast.fate, slow.fate) << mutant.id();
+        EXPECT_EQ(fast.reason, slow.reason) << mutant.id();
+        EXPECT_EQ(fast.hit_by_suite, slow.hit_by_suite) << mutant.id();
+        EXPECT_EQ(fast.killed_by_probe, slow.killed_by_probe) << mutant.id();
+        EXPECT_EQ(fast.model_only, slow.model_only) << mutant.id();
+    }
+
+    // The fast tier really pruned: strictly fewer executed (mutant, case)
+    // pairs than the exhaustive mutants x (suite + probe) product, and
+    // memoized pairs are a subset of executed ones.
+    EXPECT_GT(stats.pruned_pairs, 0u);
+    EXPECT_LT(stats.executed_pairs,
+              mutants.size() * (suite.cases.size() + probe.cases.size()));
+    EXPECT_LE(stats.memoized_pairs, stats.executed_pairs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PruneEquivalence,
+                         ::testing::Values(5, 23, 47, 91, 137, 4242));
 
 // --------------------------------------------------------- runner algebra
 

@@ -23,6 +23,7 @@
 #include "stc/serve/builtin_host.h"
 #include "stc/serve/dispatch.h"
 #include "stc/serve/socket.h"
+#include "stc/serve/span_codec.h"
 #include "stc/serve/worker.h"
 #include "stc/support/error.h"
 #include "stc/wire/frame.h"
@@ -551,6 +552,113 @@ TEST(ServeWorker, Minor1CoordinatorNegotiatesNoStreaming) {
     // frame precedes it (a minor-1 decoder would reject type 9).
     EXPECT_EQ(result.type, wire::MessageType::Result);
     ASSERT_TRUE(wire::write_message(fd.get(), wire::MessageType::Shutdown, ""));
+}
+
+// --- Streamed-span codec ---------------------------------------------------
+
+TEST(SpanCodec, RoundTripsEveryField) {
+    obs::TraceEvent event;
+    event.name = "CObList::AddHead";
+    event.category = "method-call";
+    event.ts_us = 123456789;
+    event.dur_us = 42;
+    event.tid = 3;
+    event.actor = 2;
+    event.span_id = 0xdeadbeefcafe0001ULL;
+    event.parent_id = 0x0123456789abcdefULL;
+
+    std::string line;
+    append_span_line(line, event);
+    ASSERT_TRUE(is_span_line(line));
+
+    const auto fast = parse_span_line(line);
+    ASSERT_TRUE(fast.has_value());
+    EXPECT_EQ(fast->name, event.name);
+    EXPECT_EQ(fast->category, event.category);
+    EXPECT_EQ(fast->ts_us, event.ts_us);
+    EXPECT_EQ(fast->dur_us, event.dur_us);
+    EXPECT_EQ(fast->tid, event.tid);
+    EXPECT_EQ(fast->actor, event.actor);
+    EXPECT_EQ(fast->span_id, event.span_id);
+    EXPECT_EQ(fast->parent_id, event.parent_id);
+    EXPECT_EQ(fast->args.size(), 0u);
+
+    // The canonical line is ordinary JSON: the generic path must agree
+    // with the fast path field for field (the fallback contract).
+    const auto body = obs::JsonObject::parse(line);
+    ASSERT_TRUE(body.has_value());
+    EXPECT_EQ(body->get_string("kind").value_or(""), "span");
+    const auto generic = obs::trace_event_from_json(*body);
+    ASSERT_TRUE(generic.has_value());
+    EXPECT_EQ(generic->name, fast->name);
+    EXPECT_EQ(generic->span_id, fast->span_id);
+    EXPECT_EQ(generic->parent_id, fast->parent_id);
+}
+
+TEST(SpanCodec, ArgsBearingSpanFallsBackToGenericParse) {
+    // An args value is itself a JSON line, so its quotes arrive escaped
+    // and the escape-free fast scanner must hand the line to the
+    // generic parser — which recovers the args object exactly.
+    obs::TraceEvent event;
+    event.name = "s3.IndVarRepExt.m_pNodeFree";
+    event.category = "mutant-evaluation";
+    event.span_id = 0x3ULL;
+    event.args.set("case", "s3.t1.c0").set("call", std::uint64_t{7});
+
+    std::string line;
+    append_span_line(line, event);
+    ASSERT_TRUE(is_span_line(line));
+    EXPECT_FALSE(parse_span_line(line).has_value());
+
+    const auto body = obs::JsonObject::parse(line);
+    ASSERT_TRUE(body.has_value());
+    const auto generic = obs::trace_event_from_json(*body);
+    ASSERT_TRUE(generic.has_value());
+    EXPECT_EQ(generic->name, event.name);
+    EXPECT_EQ(generic->args.to_line(), event.args.to_line());
+}
+
+TEST(SpanCodec, RootSpanOmitsParent) {
+    obs::TraceEvent event;
+    event.name = "items";
+    event.category = "phase";
+    event.span_id = 0x1ULL;
+
+    std::string line;
+    append_span_line(line, event);
+    const auto fast = parse_span_line(line);
+    ASSERT_TRUE(fast.has_value());
+    EXPECT_EQ(fast->parent_id, 0u);
+    EXPECT_EQ(fast->args.size(), 0u);
+    EXPECT_EQ(line.find("parent"), std::string::npos);
+    EXPECT_EQ(line.find("args"), std::string::npos);
+}
+
+TEST(SpanCodec, EscapedNameFallsBackToGenericParse) {
+    obs::TraceEvent event;
+    event.name = "weird \"quoted\" name\n";
+    event.category = "method-call";
+    event.span_id = 0x2ULL;
+
+    std::string line;
+    append_span_line(line, event);
+    // The strict scanner refuses escapes; the generic path must still
+    // recover the exact name (the write side escaped it correctly).
+    EXPECT_FALSE(parse_span_line(line).has_value());
+    const auto body = obs::JsonObject::parse(line);
+    ASSERT_TRUE(body.has_value());
+    const auto generic = obs::trace_event_from_json(*body);
+    ASSERT_TRUE(generic.has_value());
+    EXPECT_EQ(generic->name, event.name);
+}
+
+TEST(SpanCodec, RejectsNonCanonicalLines) {
+    EXPECT_FALSE(is_span_line(R"({"kind":"event","data":"{}"})"));
+    // Same JSON value, different field order: generic-path territory.
+    EXPECT_FALSE(is_span_line(
+        R"({"name":"x","cat":"phase","kind":"span","ts":0})"));
+    EXPECT_FALSE(parse_span_line(R"({"kind":"span","name":"x"})").has_value());
+    EXPECT_FALSE(parse_span_line("").has_value());
 }
 
 }  // namespace

@@ -83,7 +83,8 @@ int usage(std::ostream& os) {
           "                 [--cases N] [--probe] [--resume FILE]\n"
           "                 [--shrink-corpus DIR] [--max-shrink-steps N]\n"
           "                 [--isolate [--timeout-ms N] [--rlimit-as MB]]\n"
-          "                 [--model] [--telemetry-out FILE] [-o REPORT]\n"
+          "                 [--model] [--no-prune] [--telemetry-out FILE]\n"
+          "                 [-o REPORT]\n"
           "  fuzz           coverage-guided transaction fuzzing of a built-in\n"
           "                 component:\n"
           "                 concat fuzz <coblist|sortable> [--iters N] [--seed N]\n"
@@ -102,7 +103,8 @@ int usage(std::ostream& os) {
           "  dispatch       shard a campaign across serve daemons:\n"
           "                 concat dispatch <coblist|sortable>\n"
           "                 --workers host:port[,host:port...] [--seed N]\n"
-          "                 [--cases N] [--probe] [--model] [--resume FILE]\n"
+          "                 [--cases N] [--probe] [--model] [--no-prune]\n"
+          "                 [--resume FILE]\n"
           "                 [--keepalive-ms N] [--dead-after-ms N]\n"
           "                 [--telemetry-out FILE] [--progress]\n"
           "                 [--telemetry-interval-ms N] [-o REPORT]\n"
@@ -135,6 +137,11 @@ int usage(std::ostream& os) {
           "  --rlimit-as MB  (with --isolate) worker address-space cap (RLIMIT_AS)\n"
           "  --model         (campaign, fuzz, run) lockstep reference-model\n"
           "                  oracle (stc::model): kills/verdicts on divergence\n"
+          "  --prune / --no-prune  (campaign, dispatch) the fast execution\n"
+          "                  tier: skip (mutant, case) pairs the coverage\n"
+          "                  index proves unreachable and resume covered\n"
+          "                  cases from shared-prefix checkpoints; fates are\n"
+          "                  byte-identical either way (default on)\n"
           "  --iters N       (fuzz) exploration executions (default 500)\n"
           "  --corpus D      (fuzz, shrink) corpus directory for reproducers\n"
           "  --mutant ID     (fuzz, shrink, run) activate this mutant while running\n"
@@ -189,6 +196,7 @@ struct Options {
     std::optional<std::string> shrink_corpus;      // campaign --shrink-corpus
     bool isolate = false;                          // campaign/fuzz --isolate
     bool model = false;                            // campaign/fuzz/run --model
+    bool prune = true;                             // campaign/dispatch --prune
     std::uint64_t timeout_ms = 5000;               // --timeout-ms
     std::uint64_t rlimit_as_mb = 0;                // --rlimit-as
     std::uint64_t listen_port = 0;                 // serve --listen
@@ -235,7 +243,7 @@ bool flag_allowed(const std::string& command, const std::string& flag) {
                        "--states", "--jobs", "--probe", "--resume",
                        "--telemetry-out", "--shrink-corpus",
                        "--max-shrink-steps", "--isolate", "--timeout-ms",
-                       "--rlimit-as", "--model"});
+                       "--rlimit-as", "--model", "--prune", "--no-prune"});
     }
     if (command == "fuzz") {
         return any_of({"--iters", "--seed", "--corpus", "--max-shrink-steps",
@@ -257,7 +265,8 @@ bool flag_allowed(const std::string& command, const std::string& flag) {
     }
     if (command == "dispatch") {
         return any_of({"--seed", "--max-visits", "--cases", "--criterion",
-                       "--states", "--probe", "--model", "--workers",
+                       "--states", "--probe", "--model", "--prune",
+                       "--no-prune", "--workers",
                        "--resume", "--telemetry-out", "--keepalive-ms",
                        "--dead-after-ms", "--progress",
                        "--telemetry-interval-ms"});
@@ -433,6 +442,10 @@ std::optional<Options> parse_args(int argc, char** argv) {
             out.isolate = true;
         } else if (arg == "--model") {
             out.model = true;
+        } else if (arg == "--prune") {
+            out.prune = true;
+        } else if (arg == "--no-prune") {
+            out.prune = false;
         } else if (arg == "--timeout-ms") {
             const auto v = next();
             if (!v) return std::nullopt;
@@ -764,6 +777,7 @@ int cmd_campaign(const Options& options) {
         campaign_options.sandbox.timeout_ms = options.timeout_ms;
         campaign_options.sandbox.rlimit_as_mb = options.rlimit_as_mb;
     }
+    campaign_options.prune = options.prune;
     if (options.model) {
         // Lockstep differential oracle: the runner carries the model as
         // a passive side channel (no promotion), so verdicts, reports
@@ -794,6 +808,13 @@ int cmd_campaign(const Options& options) {
               << " respawns=" << result.stats.respawns
               << " shrunk=" << result.stats.shrunk
               << " wall_ms=" << result.stats.wall_ms << "\n";
+    if (result.stats.pruned) {
+        std::cerr << "prune stats: executed_pairs="
+                  << result.stats.executed_pairs
+                  << " pruned_pairs=" << result.stats.pruned_pairs
+                  << " memoized_pairs=" << result.stats.memoized_pairs
+                  << " memoized_calls=" << result.stats.memoized_calls << "\n";
+    }
 
     return emit(options, report.str());
 }
@@ -1313,6 +1334,7 @@ int cmd_dispatch(const Options& options) {
     config.generator = options.generator;
     config.probe = options.probe;
     config.model = options.model;
+    config.prune = options.prune;
 
     std::string error;
     const auto host = serve::BuiltinCampaign::open(config, &error, options.obs);
@@ -1369,6 +1391,7 @@ int cmd_dispatch(const Options& options) {
                    .set("cases", static_cast<std::uint64_t>(suite.cases.size()))
                    .set("probe", options.probe)
                    .set("model", options.model)
+                   .set("prune", host->pruned())
                    .set("baseline_clean", host->baseline_clean()));
 
     // Resume pass, same contract as the in-process scheduler: restore
@@ -1420,6 +1443,7 @@ int cmd_dispatch(const Options& options) {
         dispatch_options.telemetry = emit_event;
     }
 
+    mutation::PruneStats prune_totals;
     auto merge_result = [&](const campaign::WorkItem& item,
                             const obs::JsonObject& result) {
         // The Result payload is the sandbox outcome codec plus
@@ -1431,6 +1455,7 @@ int cmd_dispatch(const Options& options) {
         outcome.mutant = &mutants[item.index];
         const double wall_ms = result.get_double("wall_ms").value_or(0.0);
         outcomes[item.index] = outcome;
+        prune_totals += sandbox::decode_outcome_stats(result.to_line());
         obs::JsonObject finish;
         finish.set("event", "item-finish")
             .set("item", static_cast<std::uint64_t>(item.index))
@@ -1503,6 +1528,11 @@ int cmd_dispatch(const Options& options) {
             .set("workers",
                  static_cast<std::uint64_t>(stats.workers_connected))
             .set("respawns", std::uint64_t{0})
+            .set("pruned", host->pruned())
+            .set("executed_pairs", prune_totals.executed_pairs)
+            .set("pruned_pairs", prune_totals.pruned_pairs)
+            .set("memoized_pairs", prune_totals.memoized_pairs)
+            .set("memoized_calls", prune_totals.memoized_calls)
             .set("wall_ms", stats.wall_ms));
     if (options.progress) render_progress();  // the closing snapshot
 
@@ -1518,6 +1548,13 @@ int cmd_dispatch(const Options& options) {
               << " redispatched=" << stats.redispatched
               << " disconnects=" << stats.disconnects
               << " wall_ms=" << stats.wall_ms << "\n";
+    if (host->pruned()) {
+        std::cerr << "prune stats: executed_pairs="
+                  << prune_totals.executed_pairs
+                  << " pruned_pairs=" << prune_totals.pruned_pairs
+                  << " memoized_pairs=" << prune_totals.memoized_pairs
+                  << " memoized_calls=" << prune_totals.memoized_calls << "\n";
+    }
 
     return emit(options, report.str());
 }
