@@ -35,11 +35,13 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "shop_targets.h"
 #include "stc/campaign/scheduler.h"
 #include "stc/campaign/thread_pool.h"
 #include "stc/obs/json.h"
 #include "stc/serve/builtin_host.h"
 #include "stc/serve/dispatch.h"
+#include "stc/tfm/coverage.h"
 #include "stc/serve/worker.h"
 #include "stc/support/error.h"
 
@@ -293,6 +295,45 @@ int main(int argc, char** argv) {
                          "gated at 4x for noise)\n";
             gates_ok = false;
         }
+        // The assembly row (stc::assembly): Wallet's interface mutants
+        // evaluated through the Shop product's public interface under
+        // the all-links criterion — the same campaign the EXPERIMENTS.md
+        // interface-vs-assembly delta table and the CI assembly gate
+        // run (all-transactions would enumerate ~100k product
+        // transactions).  Kills must include the product-only ones, so
+        // the row doubles as a cheap conformance gate.
+        examples::register_example_targets();
+        serve::BuiltinCampaignConfig shop_config;
+        shop_config.component = "shop";
+        shop_config.generator.criterion = tfm::Criterion::AllEdges;
+        std::string shop_error;
+        const auto shop = serve::BuiltinCampaign::open(shop_config,
+                                                       &shop_error);
+        if (shop == nullptr) throw Error("bench: " + shop_error);
+        const auto shop_t0 = std::chrono::steady_clock::now();
+        std::size_t shop_killed = 0;
+        for (const auto& item : shop->items()) {
+            if (shop->evaluate(item.mutant_id).fate ==
+                mutation::MutantFate::Killed) {
+                ++shop_killed;
+            }
+        }
+        const auto shop_t1 = std::chrono::steady_clock::now();
+        const double shop_wall =
+            std::chrono::duration<double, std::milli>(shop_t1 - shop_t0)
+                .count();
+        add_row("assembly-shop-all-links-jobs-1", shop->items().size(),
+                shop_wall);
+        std::cout << "  assembly shop all-links  wall=" << shop_wall
+                  << "ms  (" << shop->items().size() << " item(s), "
+                  << shop_killed << " killed)\n";
+        if (!shop->baseline_clean() || shop_killed == 0) {
+            std::cout << "FAIL: assembly campaign unhealthy (baseline "
+                      << (shop->baseline_clean() ? "clean" : "DIRTY")
+                      << ", " << shop_killed << " kill(s))\n";
+            gates_ok = false;
+        }
+
         bool dispatch_identical = true;
         for (const std::size_t workers : {std::size_t{1}, std::size_t{2}}) {
             const DispatchOutcome dispatched = run_dispatched(workers);

@@ -1,0 +1,93 @@
+// The assembled shop (GUIDE §12): Wallet + Ledger + Inventory glued by
+// StockControl and exported as ONE self-testable component.  The
+// role-to-role calls — Purchase→Withdraw→Record, Sell→Ship/Deposit→
+// Record — are the hidden actions of the assembly product
+// (stc::assembly); only Purchase/Sell/Balance/OnHand/AuditCount are
+// observable.
+//
+// The two ledger write-throughs are `emits` wires in shop.tspec: the
+// facade checks them with STC_MUST_EMIT, so a component that silently
+// absorbs the booking (the classic write-through-dropped-by-NULL
+// collaboration fault) dies with Verdict::IllegalQuiescence — the ioco
+// notion of illegal quiescence — instead of surviving unobserved as it
+// does under the intraclass wallet campaign.
+#pragma once
+
+#include <ostream>
+
+#include "stc/bit/assertions.h"
+#include "stc/bit/built_in_test.h"
+#include "stock_control.h"
+
+namespace stc::examples {
+
+class Shop : public bit::BuiltInTest {
+public:
+    /// Till float deposited at birth.  Campaign transactions are bounded
+    /// (costs at most 100 per step, paths at most a few hundred steps),
+    /// so the wallet never runs dry: every hidden Withdraw really moves
+    /// money and therefore MUST book with the audit ledger.
+    static constexpr int kFloat = 1000000;
+
+    Shop() : control_(&wallet_, &stock_) {
+        wallet_.Attach(&ledger_);
+        wallet_.Deposit(kFloat);
+        audit_base_ = ledger_.Count();  // the float booking is not a trade
+    }
+
+    int Purchase(int sku, int cost) {
+        const int before = ledger_.Count();
+        const int paid = control_.Purchase(sku, cost);
+        STC_MUST_EMIT("ledger.Record", ledger_.Count() > before,
+                      "a purchase must book its payment with the audit ledger");
+        return paid;
+    }
+
+    int Sell(int price) {
+        const int before = ledger_.Count();
+        const int sku = control_.Sell(price);
+        STC_MUST_EMIT("ledger.Record", ledger_.Count() > before,
+                      "a sale must book its takings with the audit ledger");
+        return sku;
+    }
+
+    [[nodiscard]] int Balance() const { return wallet_.Balance(); }
+    [[nodiscard]] int OnHand() const { return stock_.OnHand(); }
+
+    /// Trade bookings observed on the audit ledger (the float excluded).
+    [[nodiscard]] int AuditCount() const {
+        return ledger_.Count() - audit_base_;
+    }
+
+    // ---- Built-in test capabilities (delegating composition) ----------
+    void InvariantTest() const override {
+        // Bookings never exceed trades (duplicates would show here; a
+        // *dropped* booking is the must-emit obligation above, left to
+        // the quiescence check so the kill reason stays honest).
+        STC_CLASS_INVARIANT(AuditCount() >= 0 &&
+                            AuditCount() <=
+                                control_.Purchases() + control_.Sales());
+        wallet_.InvariantTest();
+        ledger_.InvariantTest();
+        stock_.InvariantTest();
+        control_.InvariantTest();
+    }
+
+    void Reporter(std::ostream& os) const override {
+        os << "Shop{balance=" << Balance() << ", on_hand=" << OnHand()
+           << ", audit=" << AuditCount() << ", ";
+        control_.Reporter(os);
+        os << ", ";
+        ledger_.Reporter(os);
+        os << "}";
+    }
+
+private:
+    Ledger ledger_;
+    Wallet wallet_;
+    Inventory stock_;
+    StockControl control_;
+    int audit_base_ = 0;
+};
+
+}  // namespace stc::examples

@@ -1,0 +1,165 @@
+#include "shop_component.h"
+
+#include "stc/reflect/binder.h"
+#include "stc/support/error.h"
+#include "stc/tspec/builder.h"
+
+namespace stc::examples {
+
+using tspec::MethodCategory;
+
+namespace {
+
+// The role models deliberately put each method in exactly one TFM node:
+// the synchronous product of such roles is deterministic by
+// construction (one successor per action per state).
+
+// Wallet as seen inside the shop: Attach is the facade's business (done
+// once at birth), so the role model is just the money motions plus the
+// balance query.
+tspec::ComponentSpec wallet_role_spec() {
+    tspec::SpecBuilder b("Wallet");
+    b.method("m1", "Wallet", MethodCategory::Constructor);
+    b.method("m2", "~Wallet", MethodCategory::Destructor);
+    b.method("m3", "Deposit", MethodCategory::New).param_range("amount", 1, 100);
+    b.method("m4", "Withdraw", MethodCategory::New, "int")
+        .param_range("amount", 1, 100);
+    b.method("m5", "Balance", MethodCategory::New, "int");
+
+    b.node("w1", true, {"m1"});
+    b.node("w2", false, {"m3"});  // Deposit
+    b.node("w3", false, {"m4"});  // Withdraw
+    b.node("w4", false, {"m5"});  // Balance
+    b.node("w5", false, {"m2"});  // death
+    b.edge("w1", "w2").edge("w1", "w3").edge("w1", "w4");
+    b.edge("w2", "w2").edge("w2", "w3").edge("w2", "w4").edge("w2", "w5");
+    b.edge("w3", "w2").edge("w3", "w3").edge("w3", "w4").edge("w3", "w5");
+    b.edge("w4", "w2").edge("w4", "w3").edge("w4", "w4").edge("w4", "w5");
+    return b.build();
+}
+
+// The audit trail: Record only ever fires as a hidden action (wired
+// from Wallet's Deposit/Withdraw), Count is exported as AuditCount.
+tspec::ComponentSpec ledger_role_spec() {
+    tspec::SpecBuilder b("Ledger");
+    b.method("m1", "Ledger", MethodCategory::Constructor);
+    b.method("m2", "~Ledger", MethodCategory::Destructor);
+    b.method("m3", "Record", MethodCategory::New).param_range("delta", -100, 100);
+    b.method("m4", "Count", MethodCategory::New, "int");
+
+    b.node("l1", true, {"m1"});
+    b.node("l2", false, {"m3"});  // Record
+    b.node("l3", false, {"m4"});  // Count
+    b.node("l4", false, {"m2"});  // death
+    b.edge("l1", "l2").edge("l1", "l3").edge("l1", "l4");
+    b.edge("l2", "l2").edge("l2", "l3").edge("l2", "l4");
+    b.edge("l3", "l2").edge("l3", "l3").edge("l3", "l4");
+    return b.build();
+}
+
+// Stock as seen inside the shop: Receive/Ship are hidden (wired from
+// Purchase/Sell), OnHand is exported.  Ship is not enabled at birth —
+// StockControl's ordering guarantees stock on hand at every Ship.
+tspec::ComponentSpec stock_role_spec() {
+    tspec::SpecBuilder b("Inventory");
+    b.method("m1", "Inventory", MethodCategory::Constructor);
+    b.method("m2", "~Inventory", MethodCategory::Destructor);
+    b.method("m3", "Receive", MethodCategory::New).param_range("sku", 0, 9999);
+    b.method("m4", "Ship", MethodCategory::New, "int");
+    b.method("m5", "OnHand", MethodCategory::New, "int");
+
+    b.node("s1", true, {"m1"});
+    b.node("s2", false, {"m3"});  // Receive
+    b.node("s3", false, {"m4"});  // Ship
+    b.node("s4", false, {"m5"});  // OnHand
+    b.node("s5", false, {"m2"});  // death
+    b.edge("s1", "s2").edge("s1", "s4").edge("s1", "s5");
+    b.edge("s2", "s2").edge("s2", "s3").edge("s2", "s4").edge("s2", "s5");
+    b.edge("s3", "s2").edge("s3", "s3").edge("s3", "s4").edge("s3", "s5");
+    b.edge("s4", "s2").edge("s4", "s3").edge("s4", "s4").edge("s4", "s5");
+    return b.build();
+}
+
+// The coordinator's protocol is the load-bearing model: Sell only after
+// a Purchase and never twice in a row, so sales never outnumber
+// purchases in any prefix — stock is provably non-empty at every Ship.
+tspec::ComponentSpec control_role_spec() {
+    tspec::SpecBuilder b("StockControl");
+    b.method("m1", "StockControl", MethodCategory::Constructor);
+    b.method("m2", "~StockControl", MethodCategory::Destructor);
+    b.method("m3", "Purchase", MethodCategory::New, "int")
+        .param_range("sku", 0, 9999)
+        .param_range("cost", 1, 100);
+    b.method("m4", "Sell", MethodCategory::New, "int")
+        .param_range("price", 1, 100);
+
+    b.node("c1", true, {"m1"});
+    b.node("c2", false, {"m3"});  // Purchase
+    b.node("c3", false, {"m4"});  // Sell
+    b.node("c4", false, {"m2"});  // death
+    b.edge("c1", "c2");
+    b.edge("c2", "c2").edge("c2", "c3").edge("c2", "c4");
+    b.edge("c3", "c2").edge("c3", "c4");
+    return b.build();
+}
+
+}  // namespace
+
+tspec::ComponentSpec shop_role_spec_for(const std::string& class_name) {
+    if (class_name == "Wallet") return wallet_role_spec();
+    if (class_name == "Ledger") return ledger_role_spec();
+    if (class_name == "Inventory") return stock_role_spec();
+    if (class_name == "StockControl") return control_role_spec();
+    throw SpecError("no built-in role t-spec for class '" + class_name + "'");
+}
+
+std::map<std::string, tspec::ComponentSpec> shop_role_specs() {
+    std::map<std::string, tspec::ComponentSpec> specs;
+    specs.emplace("wallet", wallet_role_spec());
+    specs.emplace("ledger", ledger_role_spec());
+    specs.emplace("stock", stock_role_spec());
+    specs.emplace("control", control_role_spec());
+    return specs;
+}
+
+tspec::AssemblySpec shop_assembly() {
+    tspec::AssemblySpec a;
+    a.name = "Shop";
+    a.roles.push_back({"wallet", "Wallet", ""});
+    a.roles.push_back({"ledger", "Ledger", ""});
+    a.roles.push_back({"stock", "Inventory", ""});
+    a.roles.push_back({"control", "StockControl", ""});
+
+    // Purchase = pay (Withdraw -> must-emit Record) + shelve (Receive).
+    a.wiring.push_back({"control", "m3", "wallet", "m4", false});
+    a.wiring.push_back({"control", "m3", "stock", "m3", false});
+    a.wiring.push_back({"wallet", "m4", "ledger", "m3", true});
+    // Sell = ship (Ship) + bank (Deposit -> must-emit Record).
+    a.wiring.push_back({"control", "m4", "stock", "m4", false});
+    a.wiring.push_back({"control", "m4", "wallet", "m3", false});
+    a.wiring.push_back({"wallet", "m3", "ledger", "m3", true});
+
+    a.exports.push_back({"control", "m3", "Purchase"});
+    a.exports.push_back({"control", "m4", "Sell"});
+    a.exports.push_back({"wallet", "m5", "Balance"});
+    a.exports.push_back({"stock", "m5", "OnHand"});
+    a.exports.push_back({"ledger", "m4", "AuditCount"});
+    return a;
+}
+
+assembly::Product shop_product() {
+    return assembly::build_product(shop_assembly(), shop_role_specs());
+}
+
+reflect::ClassBinding shop_binding() {
+    reflect::Binder<Shop> b("Shop");
+    b.ctor<>();
+    b.method("Purchase", &Shop::Purchase);
+    b.method("Sell", &Shop::Sell);
+    b.method("Balance", &Shop::Balance);
+    b.method("OnHand", &Shop::OnHand);
+    b.method("AuditCount", &Shop::AuditCount);
+    return b.take();
+}
+
+}  // namespace stc::examples

@@ -1,0 +1,41 @@
+// Assembly packaging of the shop trio: per-role t-specs (the models the
+// synchronous product is computed from), the assembly description
+// (mirrored by the checked-in examples/shop/shop.tspec), the computed
+// product, and the reflection binding of the Shop facade.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "shop.h"
+#include "stc/assembly/product.h"
+#include "stc/reflect/class_binding.h"
+#include "stc/tspec/assembly.h"
+#include "stc/tspec/model.h"
+
+namespace stc::examples {
+
+/// Role t-spec for one class of the trio ("Wallet", "Ledger",
+/// "Inventory", "StockControl"); throws stc::SpecError for any other
+/// name.  `concat assemble` resolves roles without a spec_file here.
+[[nodiscard]] tspec::ComponentSpec shop_role_spec_for(
+    const std::string& class_name);
+
+/// All four role t-specs keyed by role id (wallet/ledger/stock/control),
+/// ready for assembly::build_product.
+[[nodiscard]] std::map<std::string, tspec::ComponentSpec> shop_role_specs();
+
+/// The assembly description: roles, wiring (ledger write-throughs are
+/// `emits` wires), exported interface.  Textually mirrored by
+/// examples/shop/shop.tspec.
+[[nodiscard]] tspec::AssemblySpec shop_assembly();
+
+/// The synchronous product of shop_assembly() over shop_role_specs():
+/// Shop's observable t-spec plus construction stats.
+[[nodiscard]] assembly::Product shop_product();
+
+/// Reflection binding of the Shop facade; method names match the
+/// product's exported interface.
+[[nodiscard]] reflect::ClassBinding shop_binding();
+
+}  // namespace stc::examples

@@ -1,0 +1,67 @@
+// Till-and-stock coordinator of the shop assembly: Purchase pays for an
+// item out of the wallet and shelves it; Sell ships the cheapest item
+// and banks the price.  StockControl itself never touches the audit
+// Ledger — the bookings are the Wallet's own write-through obligation,
+// which is exactly why the assembly wires Withdraw/Deposit to
+// Ledger.Record as `emits` (must-emit) hidden actions.
+#pragma once
+
+#include <ostream>
+
+#include "inventory.h"
+#include "stc/bit/assertions.h"
+#include "stc/bit/built_in_test.h"
+#include "wallet.h"
+
+namespace stc::examples {
+
+class StockControl : public bit::BuiltInTest {
+public:
+    StockControl(Wallet* wallet, Inventory* stock)
+        : wallet_(wallet), stock_(stock) {
+        STC_PRECONDITION(wallet != nullptr && stock != nullptr);
+    }
+
+    /// Pay `cost` from the wallet, shelve item `sku`; returns the amount
+    /// actually paid.
+    int Purchase(int sku, int cost) {
+        STC_PRECONDITION(sku >= 0 && cost > 0);
+        const int paid = wallet_->Withdraw(cost);
+        stock_->Receive(sku);
+        ++purchases_;
+        return paid;
+    }
+
+    /// Ship the cheapest item, bank `price`; returns the shipped SKU.
+    /// The assembly's control TFM only enables Sell with stock on hand,
+    /// so shipping never comes up empty.
+    int Sell(int price) {
+        STC_PRECONDITION(price > 0);
+        const int sku = stock_->Ship();
+        STC_POSTCONDITION(sku >= 0);
+        wallet_->Deposit(price);
+        ++sales_;
+        return sku;
+    }
+
+    [[nodiscard]] int Purchases() const noexcept { return purchases_; }
+    [[nodiscard]] int Sales() const noexcept { return sales_; }
+
+    void InvariantTest() const override {
+        STC_CLASS_INVARIANT(purchases_ >= 0 && sales_ >= 0 &&
+                            sales_ <= purchases_);
+    }
+
+    void Reporter(std::ostream& os) const override {
+        os << "StockControl{purchases=" << purchases_ << ", sales=" << sales_
+           << "}";
+    }
+
+private:
+    Wallet* wallet_;
+    Inventory* stock_;
+    int purchases_ = 0;
+    int sales_ = 0;
+};
+
+}  // namespace stc::examples

@@ -1,0 +1,87 @@
+// stc::assembly — compositional testing of component assemblies.
+//
+// Given per-class t-specs (stc::tspec) and an assembly block naming
+// roles, role-to-role wiring and the exported interface, this module
+// computes the *synchronous product* TFM of the composition:
+//
+//   - a product state is the tuple of per-role TFM nodes;
+//   - an exported action steps the owning role along one of its TFM
+//     links, then the wiring closure fires: every wire whose caller is
+//     that (role, method) pair steps the callee role too, as a hidden
+//     internal action, recursively (chains of wires compose; cyclic
+//     chains are rejected statically);
+//   - only exported actions remain observable — the hidden actions are
+//     the tau-steps of the ioco literature, and wires marked `emits`
+//     carry an output obligation whose violation at run time is the
+//     Verdict::IllegalQuiescence of the conformance oracle;
+//   - assembly death is the joint death of every role: enabled exactly
+//     in the product states where each role's current node links to one
+//     of its death nodes.
+//
+// The result is an ordinary tspec::ComponentSpec whose TFM nodes are
+// the *reachable* product states (unreachable tuples are pruned during
+// the breadth-first construction and reported in the stats), so every
+// downstream consumer — transaction enumeration, test generation,
+// mutation campaigns, `concat assemble validate/dot/transactions` —
+// works on assemblies unchanged.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stc/tspec/assembly.h"
+#include "stc/tspec/model.h"
+
+namespace stc::assembly {
+
+struct ProductOptions {
+    /// Explosion guard: construction aborts (SpecError) when more than
+    /// this many distinct product tuples become reachable.  The fuzz
+    /// harness leans on this to keep adversarial inputs cheap.
+    std::size_t max_states = 20000;
+};
+
+struct ProductStats {
+    /// |nodes(role 1)| * ... * |nodes(role n)|: every conceivable tuple.
+    std::size_t conceivable_tuples = 0;
+    /// Tuples actually reachable from the joint birth state — the
+    /// pruning headline (conceivable - reachable tuples never become
+    /// product nodes).
+    std::size_t reachable_tuples = 0;
+    std::size_t product_nodes = 0;  ///< synthesized TFM nodes (incl. birth/death)
+    std::size_t product_edges = 0;
+    std::size_t hidden_wires = 0;   ///< wires in the assembly description
+    /// Hidden-action steps taken during construction (tau-transitions
+    /// folded into observable product links).
+    std::size_t hidden_steps = 0;
+    /// Non-fatal observations: exports never enabled, hidden actions
+    /// blocked in particular states (the export is disabled there), TFM
+    /// diagnostics of the synthesized graph.
+    std::vector<std::string> notes;
+};
+
+struct Product {
+    tspec::ComponentSpec spec;  ///< the synchronous product as a t-spec
+    ProductStats stats;
+};
+
+/// Compute the synchronous product of `assembly` over `role_specs`
+/// (keyed by role id; every role must be present and its class name
+/// must match).  Throws stc::SpecError on semantic errors: missing or
+/// mismatched role specs, wires or exports naming unknown methods or
+/// constructors/destructors, cyclic hidden-action chains, a
+/// nondeterministic product (one state, one exported action, two
+/// successor states), unreachable assembly death, or a state-count
+/// explosion past `options.max_states`.
+[[nodiscard]] Product build_product(
+    const tspec::AssemblySpec& assembly,
+    const std::map<std::string, tspec::ComponentSpec>& role_specs,
+    const ProductOptions& options = {});
+
+/// Human-readable stats block for `concat assemble` (one "key: value"
+/// line each, stable order).
+[[nodiscard]] std::string describe(const ProductStats& stats);
+
+}  // namespace stc::assembly

@@ -1,0 +1,480 @@
+#include "stc/assembly/product.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "stc/support/error.h"
+#include "stc/tfm/graph.h"
+
+namespace stc::assembly {
+
+namespace {
+
+/// Cap on recorded per-state notes (blocked hidden actions): product
+/// construction stays cheap on adversarial inputs and the stats block
+/// stays readable.
+constexpr std::size_t kMaxStateNotes = 50;
+
+struct Role {
+    const tspec::RoleSpec* decl = nullptr;
+    const tspec::ComponentSpec* spec = nullptr;
+    tfm::Graph graph;
+    tfm::NodeIndex birth = 0;
+    std::vector<bool> can_die;  ///< node links to one of the role's death nodes
+};
+
+/// Successors of `from` whose method group contains `method` as a real
+/// (non-negative) call: the TFM links this action may take.  Returns
+/// the count and the first hit; >1 means the product is
+/// nondeterministic for this action in this state.
+std::pair<std::size_t, tfm::NodeIndex> step_candidates(const tfm::Graph& g,
+                                                       tfm::NodeIndex from,
+                                                       const std::string& method) {
+    std::size_t count = 0;
+    tfm::NodeIndex hit = 0;
+    for (const tfm::NodeIndex s : g.successors(from)) {
+        for (const std::string& entry : g.node(s).method_ids) {
+            if (!tspec::is_negative_call(entry) && entry == method) {
+                if (count++ == 0) hit = s;
+                break;
+            }
+        }
+    }
+    return {count, hit};
+}
+
+using Tuple = std::vector<tfm::NodeIndex>;
+
+struct Builder {
+    const tspec::AssemblySpec& assembly;
+    const ProductOptions& options;
+    std::vector<Role> roles;
+    ProductStats stats;
+
+    /// (caller role index, caller method) -> callee steps, declaration order.
+    std::map<std::pair<std::size_t, std::string>,
+             std::vector<std::pair<std::size_t, std::string>>>
+        triggers;
+
+    struct ExportedAction {
+        std::size_t role = 0;
+        std::string method;           ///< method id in the role's t-spec
+        std::string product_method;   ///< method id in the product t-spec
+        std::string public_name;      ///< name on the assembly interface
+    };
+    std::vector<ExportedAction> actions;
+
+    std::size_t state_notes = 0;
+
+    [[nodiscard]] std::string tuple_text(const Tuple& t) const {
+        std::string out = "(";
+        for (std::size_t i = 0; i < roles.size(); ++i) {
+            if (i != 0) out += ", ";
+            out += roles[i].decl->id + "=" + roles[i].graph.node(t[i]).id;
+        }
+        return out + ")";
+    }
+
+    void note_blocked(const std::string& public_name, std::size_t role_idx,
+                      const std::string& method, const Tuple& t) {
+        if (state_notes == kMaxStateNotes) {
+            stats.notes.push_back("further blocked-action notes suppressed");
+        }
+        if (state_notes++ >= kMaxStateNotes) return;
+        stats.notes.push_back("export '" + public_name + "' disabled in " +
+                              tuple_text(t) + ": hidden action " +
+                              roles[role_idx].decl->id + "." + method +
+                              " has no TFM link there");
+    }
+
+    /// Advance `role_idx` on a hidden `method`, then fire its chained
+    /// wires.  False = blocked somewhere down the chain (the observable
+    /// action is disabled in this state).
+    bool apply_hidden(std::size_t role_idx, const std::string& method, Tuple& t,
+                      const std::string& public_name, const Tuple& origin) {
+        const auto [count, hit] =
+            step_candidates(roles[role_idx].graph, t[role_idx], method);
+        if (count == 0) {
+            note_blocked(public_name, role_idx, method, origin);
+            return false;
+        }
+        if (count > 1) {
+            throw SpecError("assembly '" + assembly.name +
+                            "' product is nondeterministic: hidden action " +
+                            roles[role_idx].decl->id + "." + method + " in " +
+                            tuple_text(t) + " has " + std::to_string(count) +
+                            " TFM links");
+        }
+        t[role_idx] = hit;
+        ++stats.hidden_steps;
+        const auto it = triggers.find({role_idx, method});
+        if (it != triggers.end()) {
+            for (const auto& [callee, callee_method] : it->second) {
+                if (!apply_hidden(callee, callee_method, t, public_name, origin)) {
+                    return false;
+                }
+            }
+        }
+        return true;
+    }
+
+    /// Fire exported action `k` from tuple `t`; nullopt when disabled.
+    std::optional<Tuple> fire(std::size_t k, const Tuple& t) {
+        const ExportedAction& a = actions[k];
+        const auto [count, hit] =
+            step_candidates(roles[a.role].graph, t[a.role], a.method);
+        if (count == 0) return std::nullopt;
+        if (count > 1) {
+            throw SpecError("assembly '" + assembly.name +
+                            "' product is nondeterministic: exported action '" +
+                            a.public_name + "' in " + tuple_text(t) + " has " +
+                            std::to_string(count) + " TFM links");
+        }
+        Tuple next = t;
+        next[a.role] = hit;
+        const auto it = triggers.find({a.role, a.method});
+        if (it != triggers.end()) {
+            for (const auto& [callee, callee_method] : it->second) {
+                if (!apply_hidden(callee, callee_method, next, a.public_name, t)) {
+                    return std::nullopt;
+                }
+            }
+        }
+        return next;
+    }
+
+    [[nodiscard]] bool death_enabled(const Tuple& t) const {
+        for (std::size_t i = 0; i < roles.size(); ++i) {
+            if (!roles[i].can_die[t[i]]) return false;
+        }
+        return true;
+    }
+};
+
+/// Reject wiring whose hidden-action chains can loop: wire edges
+/// (caller role.method) -> (callee role.method) composed transitively
+/// must form a DAG, or closure would never terminate.
+void check_wiring_acyclic(const tspec::AssemblySpec& assembly) {
+    std::map<std::string, std::vector<std::string>> graph;
+    for (const auto& w : assembly.wiring) {
+        graph[w.caller_role + "." + w.caller_method].push_back(
+            w.callee_role + "." + w.callee_method);
+    }
+    std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+    std::vector<std::pair<std::string, std::size_t>> dfs;
+    for (const auto& [start, _] : graph) {
+        if (color[start] != 0) continue;
+        dfs.push_back({start, 0});
+        color[start] = 1;
+        while (!dfs.empty()) {
+            auto& [node, next] = dfs.back();
+            const auto it = graph.find(node);
+            if (it == graph.end() || next >= it->second.size()) {
+                color[node] = 2;
+                dfs.pop_back();
+                continue;
+            }
+            const std::string& succ = it->second[next++];
+            if (color[succ] == 1) {
+                throw SpecError("assembly '" + assembly.name +
+                                "' has a cyclic hidden-action chain through " +
+                                succ);
+            }
+            if (color[succ] == 0) {
+                color[succ] = 1;
+                dfs.push_back({succ, 0});
+            }
+        }
+    }
+}
+
+}  // namespace
+
+Product build_product(
+    const tspec::AssemblySpec& assembly,
+    const std::map<std::string, tspec::ComponentSpec>& role_specs,
+    const ProductOptions& options) {
+    Builder b{assembly, options, {}, {}, {}, {}, 0};
+    b.stats.hidden_wires = assembly.wiring.size();
+
+    // --- Roles: spec lookup, validation, per-role TFM --------------------
+    std::map<std::string, std::size_t> role_index;
+    std::size_t conceivable = 1;
+    for (const auto& decl : assembly.roles) {
+        const auto it = role_specs.find(decl.id);
+        if (it == role_specs.end()) {
+            throw SpecError("assembly '" + assembly.name + "': no t-spec for role '" +
+                            decl.id + "'");
+        }
+        if (it->second.class_name != decl.class_name) {
+            throw SpecError("role '" + decl.id + "' declares class '" +
+                            decl.class_name + "' but its t-spec describes '" +
+                            it->second.class_name + "'");
+        }
+        Role role;
+        role.decl = &decl;
+        role.spec = &it->second;
+        role.graph = it->second.build_tfm();  // ensure_valid() inside
+        const auto births = role.graph.birth_nodes();
+        if (births.size() != 1) {
+            throw SpecError("role '" + decl.id + "' needs exactly one starting node, has " +
+                            std::to_string(births.size()));
+        }
+        role.birth = births.front();
+        role.can_die.assign(role.graph.node_count(), false);
+        for (tfm::NodeIndex n = 0; n < role.graph.node_count(); ++n) {
+            for (const tfm::NodeIndex s : role.graph.successors(n)) {
+                if (role.graph.is_death(s)) {
+                    role.can_die[n] = true;
+                    break;
+                }
+            }
+        }
+        role_index[decl.id] = b.roles.size();
+        b.roles.push_back(std::move(role));
+        const std::size_t nodes = b.roles.back().graph.node_count();
+        if (nodes != 0 &&
+            conceivable > std::numeric_limits<std::size_t>::max() / nodes) {
+            conceivable = std::numeric_limits<std::size_t>::max();
+        } else {
+            conceivable *= nodes;
+        }
+    }
+    b.stats.conceivable_tuples = conceivable;
+
+    // --- Wiring: method existence, no ctor/dtor, acyclic chains ----------
+    auto plain_method = [&](std::size_t role_idx, const std::string& id,
+                            const char* what) -> const tspec::MethodSpec* {
+        const Role& role = b.roles[role_idx];
+        const tspec::MethodSpec* m = role.spec->find_method(id);
+        if (m == nullptr) {
+            throw SpecError(std::string(what) + " names unknown method '" + id +
+                            "' of role '" + role.decl->id + "'");
+        }
+        if (m->is_constructor() || m->is_destructor()) {
+            throw SpecError(std::string(what) + " may not name the constructor or "
+                            "destructor of role '" + role.decl->id +
+                            "' (birth and death are composed, not wired)");
+        }
+        return m;
+    };
+    auto resolve_role = [&](const std::string& id,
+                            const char* what) -> std::size_t {
+        const auto it = role_index.find(id);
+        if (it == role_index.end()) {
+            throw SpecError(std::string(what) + " names unknown role '" + id + "'");
+        }
+        return it->second;
+    };
+    for (const auto& w : assembly.wiring) {
+        const std::size_t caller = resolve_role(w.caller_role, "wire caller");
+        const std::size_t callee = resolve_role(w.callee_role, "wire callee");
+        (void)plain_method(caller, w.caller_method, "wire caller");
+        (void)plain_method(callee, w.callee_method, "wire callee");
+        b.triggers[{caller, w.caller_method}].push_back({callee, w.callee_method});
+    }
+    check_wiring_acyclic(assembly);
+
+    // --- Exports: the product's observable interface ---------------------
+    std::map<std::string, int> public_names;
+    for (const auto& e : assembly.exports) {
+        const std::size_t role_idx = resolve_role(e.role, "export");
+        const tspec::MethodSpec* m = plain_method(role_idx, e.method, "export");
+        Builder::ExportedAction action;
+        action.role = role_idx;
+        action.method = e.method;
+        action.product_method = "m" + std::to_string(b.actions.size() + 3);
+        action.public_name = e.alias.empty() ? m->name : e.alias;
+        if (++public_names[action.public_name] > 1) {
+            throw SpecError("assembly '" + assembly.name +
+                            "' exports two methods as '" + action.public_name +
+                            "'; give one an alias");
+        }
+        b.actions.push_back(std::move(action));
+    }
+
+    // --- Breadth-first product exploration (reachable tuples only) ------
+    Tuple start;
+    start.reserve(b.roles.size());
+    for (const Role& role : b.roles) start.push_back(role.birth);
+
+    std::map<Tuple, std::size_t> tuple_ids;
+    std::vector<Tuple> tuples;
+    std::vector<std::vector<std::pair<std::size_t, std::size_t>>> transitions;
+    std::deque<std::size_t> frontier;
+    auto intern = [&](const Tuple& t) {
+        const auto [it, fresh] = tuple_ids.try_emplace(t, tuples.size());
+        if (fresh) {
+            if (tuples.size() >= options.max_states) {
+                throw SpecError("assembly '" + assembly.name +
+                                "' product exceeds " +
+                                std::to_string(options.max_states) +
+                                " reachable states");
+            }
+            tuples.push_back(t);
+            transitions.emplace_back();
+            frontier.push_back(it->second);
+        }
+        return it->second;
+    };
+    (void)intern(start);
+    std::vector<bool> action_seen(b.actions.size(), false);
+    while (!frontier.empty()) {
+        const std::size_t id = frontier.front();
+        frontier.pop_front();
+        for (std::size_t k = 0; k < b.actions.size(); ++k) {
+            const Tuple from = tuples[id];  // copy: intern may reallocate
+            const auto next = b.fire(k, from);
+            if (!next) continue;
+            action_seen[k] = true;
+            const std::size_t to = intern(*next);  // may grow `transitions`
+            transitions[id].push_back({k, to});
+        }
+    }
+    b.stats.reachable_tuples = tuples.size();
+    for (std::size_t k = 0; k < b.actions.size(); ++k) {
+        if (!action_seen[k]) {
+            b.stats.notes.push_back("export '" + b.actions[k].public_name +
+                                    "' is never enabled in any reachable state");
+        }
+    }
+
+    bool any_death = false;
+    for (const Tuple& t : tuples) {
+        if (b.death_enabled(t)) {
+            any_death = true;
+            break;
+        }
+    }
+    if (!any_death) {
+        throw SpecError("assembly '" + assembly.name +
+                        "' can never die: no reachable state lets every role "
+                        "reach a death node");
+    }
+
+    // --- Synthesize the product t-spec -----------------------------------
+    // Node identity is (entering action, tuple): each product node
+    // groups exactly one method, so test generation over the product is
+    // unambiguous.  Ids follow discovery order (BFS tuple order, then
+    // export declaration order) and are therefore deterministic.
+    tspec::ComponentSpec spec;
+    spec.class_name = assembly.name;
+
+    tspec::MethodSpec ctor;
+    ctor.id = "m1";
+    ctor.name = assembly.name;
+    ctor.category = tspec::MethodCategory::Constructor;
+    spec.methods.push_back(std::move(ctor));
+    tspec::MethodSpec dtor;
+    dtor.id = "m2";
+    dtor.name = "~" + assembly.name;
+    dtor.category = tspec::MethodCategory::Destructor;
+    spec.methods.push_back(std::move(dtor));
+    for (const auto& action : b.actions) {
+        tspec::MethodSpec m = *b.roles[action.role].spec->find_method(action.method);
+        m.id = action.product_method;
+        m.name = action.public_name;
+        m.category = tspec::MethodCategory::New;
+        spec.methods.push_back(std::move(m));
+    }
+
+    std::map<std::pair<std::size_t, std::size_t>, std::string> pnode_ids;
+    std::size_t next_node = 1;
+    auto node_id = [&] { return "p" + std::to_string(next_node++); };
+    const std::string birth_id = node_id();
+    // Targets in deterministic discovery order.
+    for (std::size_t id = 0; id < tuples.size(); ++id) {
+        for (const auto& [k, to] : transitions[id]) {
+            pnode_ids.try_emplace({k, to}, "");
+        }
+    }
+    for (std::size_t id = 0; id < tuples.size(); ++id) {
+        for (const auto& [k, to] : transitions[id]) {
+            auto& slot = pnode_ids[{k, to}];
+            if (slot.empty()) slot = node_id();
+        }
+    }
+    const std::string death_id = node_id();
+
+    auto emit_node = [&](const std::string& id, bool is_start,
+                         const std::string& method) {
+        tspec::NodeSpec n;
+        n.id = id;
+        n.is_start = is_start;
+        n.method_ids.push_back(method);
+        spec.nodes.push_back(std::move(n));
+    };
+    auto emit_edges_from = [&](const std::string& from, std::size_t tuple_id) {
+        for (const auto& [k, to] : transitions[tuple_id]) {
+            spec.edges.push_back(tspec::EdgeSpec{from, pnode_ids.at({k, to})});
+        }
+        if (b.death_enabled(tuples[tuple_id])) {
+            spec.edges.push_back(tspec::EdgeSpec{from, death_id});
+        }
+    };
+
+    emit_node(birth_id, true, "m1");
+    emit_edges_from(birth_id, 0);
+    // Nodes in id order: walk the same discovery order again.
+    std::map<std::string, std::pair<std::size_t, std::size_t>> by_id;
+    for (const auto& [key, id] : pnode_ids) by_id[id] = key;
+    std::vector<std::pair<std::string, std::pair<std::size_t, std::size_t>>> ordered(
+        by_id.begin(), by_id.end());
+    std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& c) {
+        // "p2" < "p10": compare numerically past the 'p'.
+        return std::stoul(a.first.substr(1)) < std::stoul(c.first.substr(1));
+    });
+    for (const auto& [id, key] : ordered) {
+        emit_node(id, false, b.actions[key.first].product_method);
+        emit_edges_from(id, key.second);
+    }
+    emit_node(death_id, false, "m2");
+
+    for (auto& n : spec.nodes) {
+        int out = 0;
+        for (const auto& e : spec.edges) out += e.from == n.id ? 1 : 0;
+        n.declared_out_degree = out;
+    }
+
+    b.stats.product_nodes = spec.nodes.size();
+    b.stats.product_edges = spec.edges.size();
+
+    // Structural diagnostics of the synthesized TFM, surfaced as notes
+    // (`concat assemble validate` prints them).  The construction
+    // guarantees a birth and a reachable death; traps (states that can
+    // no longer reach death) are possible when role protocols diverge
+    // and show up here.
+    for (const auto& d : spec.build_tfm().diagnose()) {
+        b.stats.notes.push_back(std::string("tfm: ") + tfm::to_string(d.kind) +
+                                (d.node_id.empty() ? "" : " at " + d.node_id) +
+                                (d.detail.empty() ? "" : ": " + d.detail));
+    }
+
+    Product out;
+    out.spec = std::move(spec);
+    out.stats = std::move(b.stats);
+    return out;
+}
+
+std::string describe(const ProductStats& stats) {
+    std::ostringstream os;
+    os << "conceivable tuples: " << stats.conceivable_tuples << "\n"
+       << "reachable tuples:   " << stats.reachable_tuples << "\n"
+       << "pruned tuples:      "
+       << (stats.conceivable_tuples >= stats.reachable_tuples
+               ? stats.conceivable_tuples - stats.reachable_tuples
+               : 0)
+       << "\n"
+       << "product nodes:      " << stats.product_nodes << "\n"
+       << "product edges:      " << stats.product_edges << "\n"
+       << "hidden wires:       " << stats.hidden_wires << "\n"
+       << "hidden steps:       " << stats.hidden_steps << "\n";
+    for (const auto& note : stats.notes) os << "note: " << note << "\n";
+    return os.str();
+}
+
+}  // namespace stc::assembly

@@ -32,6 +32,11 @@ AssertionViolation::AssertionViolation(AssertionKind kind, std::string expressio
       file_(std::move(file)),
       line_(line) {}
 
+QuiescenceViolation::QuiescenceViolation(std::string action, std::string detail)
+    : Error("Illegal quiescence! (" + action + " was due: " + detail + ")"),
+      action_(std::move(action)),
+      detail_(std::move(detail)) {}
+
 namespace {
 // Process-wide totals across all threads; relaxed ordering is enough
 // because these are statistics, not synchronization.

@@ -48,6 +48,27 @@ private:
     int line_;
 };
 
+/// Thrown when an output obligation is silently absorbed: a call that
+/// the assembly's product TFM requires to produce an observable output
+/// completed without emitting one.  This is the ioco notion of *illegal
+/// quiescence* (a state may only be silent when the specification allows
+/// quiescence there); assembly facades raise it from their built-in test
+/// via STC_MUST_EMIT.  Deliberately not an AssertionViolation: the
+/// oracle ladder ranks the two channels separately.
+class QuiescenceViolation : public Error {
+public:
+    QuiescenceViolation(std::string action, std::string detail);
+
+    /// The observable action that was due (e.g. "Ledger.Record").
+    [[nodiscard]] const std::string& action() const noexcept { return action_; }
+    /// Why the obligation existed (e.g. "deposit must book a ledger entry").
+    [[nodiscard]] const std::string& detail() const noexcept { return detail_; }
+
+private:
+    std::string action_;
+    std::string detail_;
+};
+
 /// Per-thread assertion counters, reset per test session.
 ///
 /// Thread-safety contract (load-bearing for the campaign scheduler,
@@ -124,6 +145,25 @@ void check(AssertionKind kind, bool ok, const char* expression, const char* file
 #else
 #define STC_BIT_ASSERT_IMPL(kind, exp) \
     do {                               \
+    } while (false)
+#endif
+
+// Output obligation (ioco illegal quiescence): `emitted` must be true
+// after the enclosing method ran, else the component stayed silent where
+// the assembly specification demands an observable output.  Gated the
+// same way as the Fig. 5 macros: only in test mode, compiled out under
+// STC_BIT_DISABLED.
+#ifndef STC_BIT_DISABLED
+#define STC_MUST_EMIT(action, emitted, obligation)                          \
+    do {                                                                    \
+        if (::stc::bit::detail::assertions_active() &&                      \
+            !static_cast<bool>(emitted)) {                                  \
+            throw ::stc::bit::QuiescenceViolation(action, obligation);      \
+        }                                                                   \
+    } while (false)
+#else
+#define STC_MUST_EMIT(action, emitted, obligation) \
+    do {                                           \
     } while (false)
 #endif
 

@@ -40,6 +40,9 @@ enum class Verdict {
     ModelDivergence,     ///< the run disagreed with the lockstep reference
                          ///< model (only with RunnerOptions::promote_divergence;
                          ///< campaigns keep divergence as a side channel)
+    IllegalQuiescence,   ///< ioco: a call that must produce an observable
+                         ///< output was silently absorbed (assembly-level
+                         ///< bit::QuiescenceViolation)
 };
 
 [[nodiscard]] const char* to_string(Verdict v) noexcept;
@@ -56,7 +59,7 @@ inline constexpr Verdict kAllVerdicts[] = {
     Verdict::Pass,       Verdict::AssertionViolation,
     Verdict::Crash,      Verdict::UncaughtException,
     Verdict::SetupError, Verdict::ContractNotEnforced,
-    Verdict::ModelDivergence,
+    Verdict::ModelDivergence, Verdict::IllegalQuiescence,
 };
 
 struct TestResult {

@@ -18,6 +18,7 @@ const char* to_string(Verdict v) noexcept {
         case Verdict::SetupError: return "setup-error";
         case Verdict::ContractNotEnforced: return "contract-not-enforced";
         case Verdict::ModelDivergence: return "model-divergence";
+        case Verdict::IllegalQuiescence: return "illegal-quiescence";
     }
     return "?";
 }
@@ -209,6 +210,10 @@ TestResult TestRunner::run_case_impl(const reflect::ClassBinding& binding,
             record_failure(Verdict::AssertionViolation, av.what());
             finish();
             return result;
+        } catch (const bit::QuiescenceViolation& qv) {
+            record_failure(Verdict::IllegalQuiescence, qv.what());
+            finish();
+            return result;
         } catch (const CrashSignal& cs) {
             record_failure(Verdict::Crash, cs.what());
             finish();
@@ -286,6 +291,10 @@ TestResult TestRunner::run_case_impl(const reflect::ClassBinding& binding,
         } catch (const bit::AssertionViolation& av) {
             result.assertion_kind = av.assertion_kind();
             record_failure(Verdict::AssertionViolation, av.what());
+            finish();
+            return result;
+        } catch (const bit::QuiescenceViolation& qv) {
+            record_failure(Verdict::IllegalQuiescence, qv.what());
             finish();
             return result;
         } catch (const std::exception& e) {
@@ -454,6 +463,11 @@ TestResult TestRunner::run_case_impl(const reflect::ClassBinding& binding,
     } catch (const bit::AssertionViolation& av) {
         result.assertion_kind = av.assertion_kind();
         record_failure(Verdict::AssertionViolation, av.what());
+        if (options_.capture_reports && cut.alive()) {
+            state_report = capture_state(binding, cut.get());
+        }
+    } catch (const bit::QuiescenceViolation& qv) {
+        record_failure(Verdict::IllegalQuiescence, qv.what());
         if (options_.capture_reports && cut.alive()) {
             state_report = capture_state(binding, cut.get());
         }

@@ -34,6 +34,7 @@ bool is_failure(driver::Verdict v) noexcept {
         case driver::Verdict::UncaughtException:
         case driver::Verdict::ContractNotEnforced:
         case driver::Verdict::ModelDivergence:
+        case driver::Verdict::IllegalQuiescence:
             return true;
         case driver::Verdict::Pass:
         case driver::Verdict::SetupError:  // infrastructure, not the CUT

@@ -114,6 +114,8 @@ void MutationTable::render(std::ostream& os, const MutationRun& run) const {
 
     os << "kills by reason: crash=" << run.kills_by(oracle::KillReason::Crash)
        << "  assertion=" << run.kills_by(oracle::KillReason::Assertion)
+       << "  illegal-quiescence="
+       << run.kills_by(oracle::KillReason::IllegalQuiescence)
        << "  model-divergence=" << run.kills_by(oracle::KillReason::ModelDivergence)
        << "  output-diff=" << run.kills_by(oracle::KillReason::OutputDiff)
        << "  manual-oracle=" << run.kills_by(oracle::KillReason::ManualOracle) << "\n";

@@ -65,7 +65,9 @@ enum class KillReason {
     None,
     Crash,
     Assertion,
-    ModelDivergence,  ///< lockstep reference model disagreed (stc::model)
+    IllegalQuiescence,  ///< ioco: an output obligation was silently absorbed
+                        ///< (assembly-level quiescence BIT, stc::assembly)
+    ModelDivergence,    ///< lockstep reference model disagreed (stc::model)
     OutputDiff,
     ManualOracle,
 };
@@ -74,7 +76,8 @@ enum class KillReason {
 /// reporters that must render zero-count rows rather than silently
 /// dropping a kind).
 inline constexpr KillReason kAllKillReasons[] = {
-    KillReason::None,          KillReason::Crash,      KillReason::Assertion,
+    KillReason::None,          KillReason::Crash,
+    KillReason::Assertion,     KillReason::IllegalQuiescence,
     KillReason::ModelDivergence, KillReason::OutputDiff,
     KillReason::ManualOracle,
 };
@@ -92,6 +95,11 @@ inline constexpr KillReason kAllKillReasons[] = {
 struct OracleConfig {
     bool use_crashes = true;
     bool use_assertions = true;
+    /// ioco quiescence channel: an observed Verdict::IllegalQuiescence
+    /// the baseline did not show kills with KillReason::IllegalQuiescence.
+    /// Vacuous outside assembly-level testing (single-class components
+    /// never raise the quiescence BIT).
+    bool use_quiescence = true;
     bool use_output_diff = true;
     /// Differential channel: a run whose TestResult::model_divergence is
     /// non-empty while the golden baseline's is empty kills with
@@ -115,7 +123,8 @@ using ManualPredicate =
                                   const ManualPredicate& manual = {});
 
 /// Compare a whole suite run; returns the first (strongest) kill reason
-/// across cases, in order Crash > Assertion > OutputDiff > ManualOracle.
+/// across cases, in order Crash > Assertion > IllegalQuiescence >
+/// ModelDivergence > OutputDiff > ManualOracle.
 /// The observability context, when enabled, records an "oracle-compare"
 /// span plus oracle.suite_compares / oracle.kill.<reason> counters.
 [[nodiscard]] KillReason classify_suite(const GoldenRecord& golden,

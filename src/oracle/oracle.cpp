@@ -31,6 +31,7 @@ const char* to_string(KillReason reason) noexcept {
         case KillReason::None: return "alive";
         case KillReason::Crash: return "crash";
         case KillReason::Assertion: return "assertion";
+        case KillReason::IllegalQuiescence: return "illegal-quiescence";
         case KillReason::ModelDivergence: return "model-divergence";
         case KillReason::OutputDiff: return "output-diff";
         case KillReason::ManualOracle: return "manual-oracle";
@@ -61,6 +62,16 @@ KillReason classify(const GoldenEntry& golden, const driver::TestResult& observe
         return KillReason::Assertion;
     }
 
+    // (ii'') ioco illegal quiescence: an output obligation was silently
+    // absorbed while the original emitted.  Like an assertion it fires
+    // inside the (assembly-level) built-in test, but the signal is the
+    // *absence* of an output, so it ranks just below a violated contract.
+    if (config.use_quiescence &&
+        observed.verdict == Verdict::IllegalQuiescence &&
+        golden.verdict != Verdict::IllegalQuiescence) {
+        return KillReason::IllegalQuiescence;
+    }
+
     // (ii') the run diverged from the lockstep reference model while the
     // original conformed — the differential channel (stc::model).
     if (config.use_model && !observed.model_divergence.empty() &&
@@ -86,15 +97,19 @@ KillReason classify(const GoldenEntry& golden, const driver::TestResult& observe
 
 namespace {
 
-/// Kill-reason precedence: Crash > Assertion > ModelDivergence >
-/// OutputDiff > ManualOracle.  The differential channel sits between
-/// the paper's conditions (ii) and (iii): stronger than a bare output
-/// difference (it pinpoints the first wrong call), weaker than an
-/// embedded assertion (which fires inside the component itself).
+/// Kill-reason precedence: Crash > Assertion > IllegalQuiescence >
+/// ModelDivergence > OutputDiff > ManualOracle.  The differential
+/// channel sits between the paper's conditions (ii) and (iii): stronger
+/// than a bare output difference (it pinpoints the first wrong call),
+/// weaker than an embedded assertion (which fires inside the component
+/// itself).  Illegal quiescence sits directly below Assertion: it also
+/// fires inside a built-in test, but detects a *missing* output rather
+/// than a violated predicate.
 int strength(KillReason r) noexcept {
     switch (r) {
-        case KillReason::Crash: return 5;
-        case KillReason::Assertion: return 4;
+        case KillReason::Crash: return 6;
+        case KillReason::Assertion: return 5;
+        case KillReason::IllegalQuiescence: return 4;
         case KillReason::ModelDivergence: return 3;
         case KillReason::OutputDiff: return 2;
         case KillReason::ManualOracle: return 1;

@@ -1,6 +1,7 @@
 #include "stc/serve/builtin_host.h"
 
 #include <chrono>
+#include <map>
 #include <utility>
 
 #include "stc/campaign/scheduler.h"
@@ -30,7 +31,64 @@ std::optional<tfm::Criterion> criterion_from_string(const std::string& text) {
     return std::nullopt;
 }
 
+/// One mfc component target: an ElementPool arena kept alive behind the
+/// component, completions attached — the exact setup `concat campaign`
+/// used to hand-build.
+BuiltinTarget make_mfc_target(bool sortable) {
+    BuiltinTarget target;
+    target.make_component = [sortable] {
+        struct State {
+            mfc::ElementPool pool;
+            driver::CompletionRegistry completions;
+        };
+        auto state = std::make_shared<State>();
+        state->completions = mfc::make_completions(state->pool);
+        BuiltinComponent out;
+        out.keepalive = state;
+        out.component.emplace(sortable ? core::SelfTestableComponent(
+                                             mfc::sortable_spec(),
+                                             mfc::sortable_binding())
+                                       : core::SelfTestableComponent(
+                                             mfc::coblist_spec(),
+                                             mfc::coblist_binding()));
+        out.component->set_completions(state->completions);
+        out.completions = &state->completions;
+        return out;
+    };
+    target.mutants = [sortable] {
+        return mutation::enumerate_mutants(
+            mfc::descriptors(), sortable ? "CSortableObList" : "CObList");
+    };
+    return target;
+}
+
+std::map<std::string, BuiltinTarget>& target_registry() {
+    static std::map<std::string, BuiltinTarget> registry = [] {
+        std::map<std::string, BuiltinTarget> seeded;
+        seeded.emplace("coblist", make_mfc_target(false));
+        seeded.emplace("sortable", make_mfc_target(true));
+        return seeded;
+    }();
+    return registry;
+}
+
 }  // namespace
+
+void register_builtin_target(const std::string& name, BuiltinTarget target) {
+    target_registry()[name] = std::move(target);
+}
+
+const BuiltinTarget* find_builtin_target(const std::string& name) {
+    const auto& registry = target_registry();
+    const auto it = registry.find(name);
+    return it == registry.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> builtin_target_names() {
+    std::vector<std::string> names;
+    for (const auto& [name, _] : target_registry()) names.push_back(name);
+    return names;
+}
 
 obs::JsonObject make_hello(const BuiltinCampaignConfig& config,
                            const std::string& fingerprint) {
@@ -91,9 +149,7 @@ std::optional<BuiltinCampaignConfig> parse_hello(const obs::JsonObject& hello,
 
 struct BuiltinCampaign::Impl {
     BuiltinCampaignConfig config;
-    mfc::ElementPool pool;
-    std::optional<core::SelfTestableComponent> component;
-    std::optional<driver::CompletionRegistry> completions;
+    BuiltinComponent holder;
     driver::TestSuite suite;
     std::optional<driver::TestSuite> probe;
     std::vector<mutation::Mutant> mutants;
@@ -116,10 +172,15 @@ BuiltinCampaign::~BuiltinCampaign() = default;
 std::unique_ptr<BuiltinCampaign> BuiltinCampaign::open(
     const BuiltinCampaignConfig& config, std::string* error,
     const obs::Context& obs) {
-    if (config.component != "coblist" && config.component != "sortable") {
+    const BuiltinTarget* target = find_builtin_target(config.component);
+    if (target == nullptr) {
         if (error != nullptr) {
+            std::string known;
+            for (const auto& name : builtin_target_names()) {
+                known += known.empty() ? name : ", " + name;
+            }
             *error = "unknown component '" + config.component +
-                     "' (expected coblist or sortable)";
+                     "' (expected one of: " + known + ")";
         }
         return nullptr;
     }
@@ -129,16 +190,10 @@ std::unique_ptr<BuiltinCampaign> BuiltinCampaign::open(
     s.config = config;
     s.engine.obs = obs;
     s.engine.runner.obs = obs;
-    s.component.emplace(config.component == "coblist"
-                            ? core::SelfTestableComponent(
-                                  mfc::coblist_spec(), mfc::coblist_binding())
-                            : core::SelfTestableComponent(
-                                  mfc::sortable_spec(),
-                                  mfc::sortable_binding()));
-    s.completions.emplace(mfc::make_completions(s.pool));
-    s.component->set_completions(*s.completions);
+    s.holder = target->make_component();
+    auto& component = *s.holder.component;
 
-    s.suite = s.component->generate_tests(config.generator);
+    s.suite = component.generate_tests(config.generator);
     if (config.probe) {
         // Same amplification `concat campaign --probe` applies: a
         // decorrelated seed and one extra case per transaction.
@@ -146,10 +201,10 @@ std::unique_ptr<BuiltinCampaign> BuiltinCampaign::open(
         probe_options.seed = config.generator.seed ^ 0x9e3779b97f4a7c15ULL;
         probe_options.cases_per_transaction =
             config.generator.cases_per_transaction + 1;
-        s.probe = s.component->generate_tests(probe_options);
+        s.probe = component.generate_tests(probe_options);
     }
     s.mutants =
-        mutation::enumerate_mutants(mfc::descriptors(), s.suite.class_name);
+        target->mutants();
 
     if (config.model) {
         const driver::ModelBinding* binding =
@@ -169,7 +224,7 @@ std::unique_ptr<BuiltinCampaign> BuiltinCampaign::open(
     campaign_options.seed = config.generator.seed;
     campaign_options.engine = s.engine;
     campaign_options.prune = config.prune;
-    const campaign::CampaignScheduler scheduler(s.component->registry(),
+    const campaign::CampaignScheduler scheduler(component.registry(),
                                                 campaign_options);
     s.fingerprint =
         scheduler.fingerprint(s.suite, s.mutants, s.probe ? &*s.probe : nullptr);
@@ -179,15 +234,15 @@ std::unique_ptr<BuiltinCampaign> BuiltinCampaign::open(
     // Golden baselines, captured once per session (the scheduler's
     // "golden-baseline" phase, replicated here because each end of a
     // dispatch owns its own executors).
-    s.runner.emplace(s.component->registry(), s.engine.runner);
+    s.runner.emplace(component.registry(), s.engine.runner);
     driver::RunnerOptions probe_opts = s.engine.runner;
     probe_opts.observe_each_call = true;
-    s.probe_runner.emplace(s.component->registry(), probe_opts);
+    s.probe_runner.emplace(component.registry(), probe_opts);
     s.prune_engaged = config.prune && s.engine.manual_oracle == nullptr;
     mutation::CoverageIndex coverage;
     mutation::CoverageIndex probe_coverage;
     if (s.prune_engaged) {
-        auto covered = mutation::run_with_coverage(s.component->registry(),
+        auto covered = mutation::run_with_coverage(component.registry(),
                                                    s.engine.runner, s.suite);
         s.golden = oracle::GoldenRecord::from(covered.result);
         coverage = std::move(covered.index);
@@ -197,7 +252,7 @@ std::unique_ptr<BuiltinCampaign> BuiltinCampaign::open(
     s.baseline_clean = s.golden.all_passed();
     if (s.probe) {
         if (s.prune_engaged) {
-            auto covered = mutation::run_with_coverage(s.component->registry(),
+            auto covered = mutation::run_with_coverage(component.registry(),
                                                        probe_opts, *s.probe);
             s.probe_golden = oracle::GoldenRecord::from(covered.result);
             probe_coverage = std::move(covered.index);
@@ -206,7 +261,7 @@ std::unique_ptr<BuiltinCampaign> BuiltinCampaign::open(
                 oracle::GoldenRecord::from(s.probe_runner->run(*s.probe));
         }
     }
-    s.binding = &s.component->registry().at(s.suite.class_name);
+    s.binding = &component.registry().at(s.suite.class_name);
     if (s.prune_engaged) {
         // Same plan the in-process scheduler builds: memoization stands
         // down under a lockstep model (resumed runs skip the model leg),

@@ -14,12 +14,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "stc/campaign/work_list.h"
+#include "stc/core/self_testable.h"
 #include "stc/driver/generator.h"
 #include "stc/mutation/engine.h"
 #include "stc/mutation/prune.h"
@@ -28,9 +30,46 @@
 
 namespace stc::serve {
 
+/// A freshly constructed component under test, plus whatever arenas its
+/// completion closures point into.  `keepalive` owns the pools; it must
+/// outlive `component` (declaration order guarantees destruction order).
+struct BuiltinComponent {
+    std::shared_ptr<void> keepalive;
+    std::optional<core::SelfTestableComponent> component;
+    /// Completions the component was configured with (shrink replay
+    /// needs them); points into `keepalive`, may be null.
+    const driver::CompletionRegistry* completions = nullptr;
+};
+
+/// One campaign target name both ends of a dispatch can reconstruct
+/// from: how to make the component under test (with completions
+/// attached) and its mutant population.  The mutant population is
+/// independent of the component under test on purpose — an assembly
+/// target evaluates *member-class* mutants (e.g. Wallet's) through the
+/// assembly's public interface.
+struct BuiltinTarget {
+    std::function<BuiltinComponent()> make_component;
+    std::function<std::vector<mutation::Mutant>()> mutants;
+    /// Product of an assembly (stc::assembly): `concat campaign` and
+    /// `concat dispatch` require --assembly for these targets so a
+    /// caller cannot confuse single-class and composed campaigns.
+    bool assembly = false;
+};
+
+/// Register (or replace) a campaign target.  The mfc components
+/// ("coblist", "sortable") are pre-registered; examples add "wallet"
+/// and "shop" via stc::examples::register_example_targets().
+void register_builtin_target(const std::string& name, BuiltinTarget target);
+
+/// Look up a target; nullptr when unknown.
+[[nodiscard]] const BuiltinTarget* find_builtin_target(const std::string& name);
+
+/// Registered target names, sorted (for error messages and --help).
+[[nodiscard]] std::vector<std::string> builtin_target_names();
+
 /// The campaign inputs that travel in a Hello payload.
 struct BuiltinCampaignConfig {
-    std::string component;  ///< "coblist" | "sortable"
+    std::string component;  ///< a registered target name, e.g. "coblist"
     driver::GeneratorOptions generator;
     bool probe = false;  ///< amplified probe suite for equivalence
     bool model = false;  ///< lockstep reference-model oracle

@@ -8,6 +8,7 @@
 
 #include "stc/support/error.h"
 #include "stc/support/strings.h"
+#include "stc/tspec/assembly.h"
 
 namespace stc::tspec {
 
@@ -18,6 +19,7 @@ namespace {
 enum class Tok {
     Ident, String, Int, Real, Empty,
     LParen, RParen, LBracket, RBracket, Comma,
+    LBrace, RBrace,  // assembly block structure only
     End,
 };
 
@@ -47,6 +49,8 @@ public:
             case '[': advance(); return {Tok::LBracket, "[", 0, 0.0, line, col};
             case ']': advance(); return {Tok::RBracket, "]", 0, 0.0, line, col};
             case ',': advance(); return {Tok::Comma, ",", 0, 0.0, line, col};
+            case '{': advance(); return {Tok::LBrace, "{", 0, 0.0, line, col};
+            case '}': advance(); return {Tok::RBrace, "}", 0, 0.0, line, col};
             case '\'':
             case '"': return lex_string(c, line, col);
             case '<': return lex_empty(line, col);
@@ -203,6 +207,9 @@ struct Record {
     int line = 0;
 };
 
+[[noreturn]] void bind_fail(const Record& r, const std::string& msg);
+std::string text_of(const Arg& a);
+
 class RecordParser {
 public:
     explicit RecordParser(std::string_view text) : lexer_(text) { bump(); }
@@ -215,7 +222,100 @@ public:
         return out;
     }
 
+    /// Parse a whole `Assembly (<name>) { roles {…} wiring {…} exports {…} }`
+    /// document.  Reuses the record machinery for everything inside the
+    /// brace blocks, so comments/quoting/'<empty>' behave exactly as in
+    /// flat t-specs.
+    AssemblySpec parse_assembly_doc() {
+        if (cur_.kind != Tok::Ident ||
+            support::to_lower(cur_.text) != "assembly") {
+            fail("expected Assembly block");
+        }
+        const Record header = parse_record();
+        if (header.args.size() != 1) bind_fail(header, "expected (name)");
+        AssemblySpec spec;
+        spec.name = text_of(header.args[0]);
+        if (spec.name.empty()) bind_fail(header, "assembly name must not be empty");
+
+        expect(Tok::LBrace, "'{'");
+        while (cur_.kind != Tok::RBrace) {
+            if (cur_.kind != Tok::Ident) {
+                fail("expected section name (roles, wiring, exports)");
+            }
+            const std::string section = support::to_lower(cur_.text);
+            bump();
+            expect(Tok::LBrace, "'{'");
+            while (cur_.kind != Tok::RBrace) {
+                bind_assembly_record(spec, section, parse_record());
+            }
+            expect(Tok::RBrace, "'}'");
+        }
+        expect(Tok::RBrace, "'}'");
+        if (cur_.kind != Tok::End) fail("trailing input after assembly block");
+        return spec;
+    }
+
 private:
+    void bind_assembly_record(AssemblySpec& spec, const std::string& section,
+                              const Record& r) {
+        const std::string kind = support::to_lower(r.name);
+        if (section == "roles") {
+            if (kind != "role") bind_fail(r, "roles section takes Role records");
+            if (r.args.size() != 2 && r.args.size() != 3) {
+                bind_fail(r, "expected (id, class [, spec-file])");
+            }
+            RoleSpec role;
+            role.id = text_of(r.args[0]);
+            role.class_name = text_of(r.args[1]);
+            if (r.args.size() == 3) role.spec_file = text_of(r.args[2]);
+            if (role.id.empty() || role.class_name.empty()) {
+                bind_fail(r, "role id and class must not be empty");
+            }
+            if (spec.find_role(role.id) != nullptr) {
+                bind_fail(r, "duplicate role id '" + role.id + "'");
+            }
+            spec.roles.push_back(std::move(role));
+            return;
+        }
+        if (section == "wiring") {
+            if (kind != "wire") bind_fail(r, "wiring section takes Wire records");
+            if (r.args.size() != 4 && r.args.size() != 5) {
+                bind_fail(r, "expected (caller, method, callee, method [, emits|silent])");
+            }
+            WireSpec wire;
+            wire.caller_role = text_of(r.args[0]);
+            wire.caller_method = text_of(r.args[1]);
+            wire.callee_role = text_of(r.args[2]);
+            wire.callee_method = text_of(r.args[3]);
+            if (r.args.size() == 5) {
+                const std::string mode = support::to_lower(text_of(r.args[4]));
+                if (mode == "emits") {
+                    wire.must_emit = true;
+                } else if (mode != "silent") {
+                    bind_fail(r, "wire mode must be emits or silent, got '" +
+                                     text_of(r.args[4]) + "'");
+                }
+            }
+            spec.wiring.push_back(std::move(wire));
+            return;
+        }
+        if (section == "exports") {
+            if (kind != "export") {
+                bind_fail(r, "exports section takes Export records");
+            }
+            if (r.args.size() != 2 && r.args.size() != 3) {
+                bind_fail(r, "expected (role, method [, alias])");
+            }
+            ExportSpec exp;
+            exp.role = text_of(r.args[0]);
+            exp.method = text_of(r.args[1]);
+            if (r.args.size() == 3) exp.alias = text_of(r.args[2]);
+            spec.exports.push_back(std::move(exp));
+            return;
+        }
+        bind_fail(r, "unknown assembly section '" + section + "'");
+    }
+
     void bump() { cur_ = lexer_.next(); }
 
     [[noreturn]] void fail(const std::string& msg) const {
@@ -660,6 +760,100 @@ std::string print_tspec(const ComponentSpec& spec) {
     for (const auto& e : spec.edges) {
         out += "Edge (" + e.from + ", " + e.to + ")\n";
     }
+    return out;
+}
+
+// ------------------------------------------------------------- Assembly
+
+bool operator==(const RoleSpec& a, const RoleSpec& b) {
+    return a.id == b.id && a.class_name == b.class_name &&
+           a.spec_file == b.spec_file;
+}
+
+bool operator==(const WireSpec& a, const WireSpec& b) {
+    return a.caller_role == b.caller_role && a.caller_method == b.caller_method &&
+           a.callee_role == b.callee_role && a.callee_method == b.callee_method &&
+           a.must_emit == b.must_emit;
+}
+
+bool operator==(const ExportSpec& a, const ExportSpec& b) {
+    return a.role == b.role && a.method == b.method && a.alias == b.alias;
+}
+
+bool operator==(const AssemblySpec& a, const AssemblySpec& b) {
+    return a.name == b.name && a.roles == b.roles && a.wiring == b.wiring &&
+           a.exports == b.exports;
+}
+
+AssemblySpec parse_assembly(std::string_view text) {
+    RecordParser parser(text);
+    AssemblySpec spec = parser.parse_assembly_doc();
+
+    // Referential closure over the assembly's own roles.  Method-level
+    // checks need the per-class specs and live in stc::assembly.
+    if (spec.roles.empty()) {
+        throw SpecError("assembly '" + spec.name + "' declares no roles");
+    }
+    for (const auto& w : spec.wiring) {
+        if (spec.find_role(w.caller_role) == nullptr) {
+            throw SpecError("wire caller names unknown role '" + w.caller_role + "'");
+        }
+        if (spec.find_role(w.callee_role) == nullptr) {
+            throw SpecError("wire callee names unknown role '" + w.callee_role + "'");
+        }
+        if (w.caller_role == w.callee_role) {
+            throw SpecError("wire in role '" + w.caller_role +
+                            "' calls itself; self-wiring is not a hidden action");
+        }
+    }
+    if (spec.exports.empty()) {
+        throw SpecError("assembly '" + spec.name +
+                        "' exports nothing; its interface would be empty");
+    }
+    std::map<std::string, int> aliases;
+    for (const auto& e : spec.exports) {
+        if (spec.find_role(e.role) == nullptr) {
+            throw SpecError("export names unknown role '" + e.role + "'");
+        }
+        const std::string public_name =
+            e.alias.empty() ? e.role + "." + e.method : e.alias;
+        if (++aliases[public_name] > 1) {
+            throw SpecError("duplicate public name '" + public_name +
+                            "' on the assembly interface");
+        }
+    }
+    return spec;
+}
+
+std::string print_assembly(const AssemblySpec& spec) {
+    std::string out;
+    auto q = [](const std::string& s) { return "'" + s + "'"; };
+
+    out += "Assembly (" + q(spec.name) + ") {\n";
+    out += "  roles {\n";
+    for (const auto& r : spec.roles) {
+        out += "    Role (" + r.id + ", " + q(r.class_name);
+        if (!r.spec_file.empty()) out += ", " + q(r.spec_file);
+        out += ")\n";
+    }
+    out += "  }\n";
+    if (!spec.wiring.empty()) {
+        out += "  wiring {\n";
+        for (const auto& w : spec.wiring) {
+            out += "    Wire (" + w.caller_role + ", " + w.caller_method + ", " +
+                   w.callee_role + ", " + w.callee_method + ", " +
+                   (w.must_emit ? "emits" : "silent") + ")\n";
+        }
+        out += "  }\n";
+    }
+    out += "  exports {\n";
+    for (const auto& e : spec.exports) {
+        out += "    Export (" + e.role + ", " + e.method;
+        if (!e.alias.empty()) out += ", " + q(e.alias);
+        out += ")\n";
+    }
+    out += "  }\n";
+    out += "}\n";
     return out;
 }
 

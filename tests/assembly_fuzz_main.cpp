@@ -1,0 +1,301 @@
+// Fuzz driver for the assembly product builder (stc::assembly) and the
+// assembly-block grammar: random role specs are composed under random —
+// and deliberately adversarial — wiring and export tables, and the
+// resulting descriptions are pushed through build_product and the
+// print/parse round-trip.
+//
+// Invariants checked on every iteration:
+//   - build_product never crashes: it returns a product or throws
+//     stc::Error (SpecError), whatever the input;
+//   - dangling role refs, ctors/dtors or unknown methods in wires,
+//     cyclic hidden-action chains, duplicate public names and
+//     state-budget explosions are all *rejected* (an exception, not a
+//     mangled product);
+//   - a successful build has sane stats (reachable <= conceivable,
+//     birth + death present) and rebuilding is bit-identical;
+//   - print_assembly/parse_assembly is the identity on every valid
+//     description, and parse_assembly never crashes on corrupted text.
+//
+// `assembly_fuzz --smoke` is the CI entry (ctest): a seconds-scale
+// budget.  `assembly_fuzz --iters N [--seed S]` is the long-haul form.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stc/assembly/product.h"
+#include "stc/support/error.h"
+#include "stc/support/rng.h"
+#include "stc/tfm/graph.h"
+#include "stc/tspec/assembly.h"
+#include "stc/tspec/builder.h"
+
+namespace {
+
+using stc::support::Pcg32;
+using stc::tspec::AssemblySpec;
+using stc::tspec::MethodCategory;
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what, std::uint64_t iteration) {
+    if (ok) return;
+    std::cerr << "assembly_fuzz: FAILED at iteration " << iteration << ": "
+              << what << "\n";
+    ++g_failures;
+}
+
+/// A small structurally valid role spec: birth node, one node per
+/// plain method chained in order (plus random extra edges), death
+/// node reachable from every method node.
+stc::tspec::ComponentSpec random_role(Pcg32& rng, const std::string& cls,
+                                      std::size_t method_count) {
+    stc::tspec::SpecBuilder b(cls);
+    b.method("m1", cls, MethodCategory::Constructor);
+    b.method("m2", "~" + cls, MethodCategory::Destructor);
+    std::vector<std::string> nodes;
+    for (std::size_t k = 0; k < method_count; ++k) {
+        const std::string id = "m" + std::to_string(3 + k);
+        b.method(id, "Op" + std::to_string(k), MethodCategory::New);
+        const std::string node = "n" + std::to_string(2 + k);
+        b.node(node, false, {id});
+        nodes.push_back(node);
+    }
+    const std::string death = "n" + std::to_string(2 + method_count);
+    b.node("n1", true, {"m1"});
+    b.node(death, false, {"m2"});
+    // Dedup so random extras never repeat a chain edge (a duplicate
+    // link is a spec inconsistency, not the composition's concern).
+    std::set<std::pair<std::string, std::string>> edges;
+    edges.emplace("n1", nodes.front());
+    for (std::size_t k = 0; k + 1 < nodes.size(); ++k) {
+        edges.emplace(nodes[k], nodes[k + 1]);
+    }
+    for (const auto& node : nodes) {
+        edges.emplace(node, death);
+        // Random extra structure: self-loops and back edges.
+        if (rng.index(2) == 0) edges.emplace(node, node);
+        if (nodes.size() > 1 && rng.index(3) == 0) {
+            edges.emplace(node, nodes[rng.index(nodes.size())]);
+        }
+    }
+    for (const auto& [from, to] : edges) b.edge(from, to);
+    return b.build();
+}
+
+struct Fixture {
+    AssemblySpec assembly;
+    std::map<std::string, stc::tspec::ComponentSpec> specs;
+};
+
+/// A random well-formed assembly: 2-3 roles, wires only from lower to
+/// higher role index (acyclic by construction), unique export aliases.
+Fixture random_fixture(Pcg32& rng) {
+    Fixture f;
+    f.assembly.name = "Fuzz";
+    const std::size_t role_count = 2 + rng.index(2);
+    std::vector<std::vector<std::string>> methods(role_count);
+    for (std::size_t r = 0; r < role_count; ++r) {
+        const std::string id = "r" + std::to_string(r);
+        const std::string cls = "C" + std::to_string(r);
+        const std::size_t method_count = 1 + rng.index(2);
+        f.assembly.roles.push_back({id, cls, ""});
+        f.specs.emplace(id, random_role(rng, cls, method_count));
+        for (std::size_t k = 0; k < method_count; ++k) {
+            methods[r].push_back("m" + std::to_string(3 + k));
+        }
+    }
+    const std::size_t wires = rng.index(4);
+    for (std::size_t w = 0; w < wires && role_count >= 2; ++w) {
+        const std::size_t caller = rng.index(role_count - 1);
+        const std::size_t callee =
+            caller + 1 + rng.index(role_count - caller - 1);
+        f.assembly.wiring.push_back(
+            {"r" + std::to_string(caller),
+             methods[caller][rng.index(methods[caller].size())],
+             "r" + std::to_string(callee),
+             methods[callee][rng.index(methods[callee].size())],
+             rng.index(2) == 0});
+    }
+    for (std::size_t r = 0; r < role_count; ++r) {
+        f.assembly.exports.push_back({"r" + std::to_string(r), methods[r][0],
+                                      "Pub" + std::to_string(r)});
+    }
+    return f;
+}
+
+/// build_product under a tight state budget; returns true when it
+/// threw (any stc::Error).  Crashes are the fuzzer's failure mode.
+bool build_throws(const Fixture& f, std::uint64_t iteration,
+                  std::string* rendered = nullptr) {
+    stc::assembly::ProductOptions options;
+    options.max_states = 500;
+    try {
+        const auto product =
+            stc::assembly::build_product(f.assembly, f.specs, options);
+        check(product.stats.reachable_tuples <=
+                  product.stats.conceivable_tuples,
+              "reachable tuples exceed conceivable", iteration);
+        check(product.stats.product_nodes >= 2,
+              "product lost its birth/death nodes", iteration);
+        check(product.spec.validate().empty(),
+              "product spec failed validation", iteration);
+        if (rendered != nullptr) {
+            *rendered = stc::assembly::describe(product.stats) +
+                        product.spec.build_tfm().to_dot();
+        }
+        return false;
+    } catch (const stc::Error&) {
+        return true;
+    }
+}
+
+void one_iteration(Pcg32& rng, std::uint64_t iteration) {
+    Fixture f = random_fixture(rng);
+
+    switch (rng.index(8)) {
+        case 0: {  // well-formed: success or clean rejection, and
+                   // rebuilding must be bit-identical.
+            std::string first;
+            if (!build_throws(f, iteration, &first)) {
+                std::string second;
+                check(!build_throws(f, iteration, &second) && first == second,
+                      "rebuild of the same assembly differed", iteration);
+            }
+            break;
+        }
+        case 1: {  // dangling role in a wire or export
+            if (f.assembly.wiring.empty() || rng.index(2) == 0) {
+                f.assembly.exports[rng.index(f.assembly.exports.size())].role =
+                    "ghost";
+            } else {
+                auto& wire =
+                    f.assembly.wiring[rng.index(f.assembly.wiring.size())];
+                (rng.index(2) == 0 ? wire.caller_role : wire.callee_role) =
+                    "ghost";
+            }
+            check(build_throws(f, iteration),
+                  "dangling role ref was not rejected", iteration);
+            break;
+        }
+        case 2: {  // ctor/dtor or unknown method in a wire or export
+            const std::string bad =
+                rng.index(3) == 0 ? "m1" : (rng.index(2) == 0 ? "m2" : "m99");
+            if (f.assembly.wiring.empty() || rng.index(2) == 0) {
+                f.assembly.exports[rng.index(f.assembly.exports.size())]
+                    .method = bad;
+            } else {
+                auto& wire =
+                    f.assembly.wiring[rng.index(f.assembly.wiring.size())];
+                (rng.index(2) == 0 ? wire.caller_method
+                                   : wire.callee_method) = bad;
+            }
+            check(build_throws(f, iteration),
+                  "ctor/dtor/unknown method in wiring was not rejected",
+                  iteration);
+            break;
+        }
+        case 3: {  // cyclic hidden-action chain
+            if (f.assembly.wiring.empty()) break;
+            const auto& wire = f.assembly.wiring.front();
+            // Close the loop: callee's method calls back into the caller's.
+            f.assembly.wiring.push_back({wire.callee_role, wire.callee_method,
+                                         wire.caller_role, wire.caller_method,
+                                         false});
+            check(build_throws(f, iteration),
+                  "cyclic hidden-action chain was not rejected", iteration);
+            break;
+        }
+        case 4: {  // duplicate public names
+            f.assembly.exports.push_back(f.assembly.exports.front());
+            check(build_throws(f, iteration),
+                  "duplicate public name was not rejected", iteration);
+            break;
+        }
+        case 5: {  // state budget explosion
+            stc::assembly::ProductOptions tiny;
+            tiny.max_states = 1;
+            try {
+                (void)stc::assembly::build_product(f.assembly, f.specs, tiny);
+                check(false, "state explosion guard did not fire", iteration);
+            } catch (const stc::Error&) {
+            }
+            break;
+        }
+        case 6: {  // grammar round-trip on the pristine description
+            const std::string text = stc::tspec::print_assembly(f.assembly);
+            try {
+                const AssemblySpec back = stc::tspec::parse_assembly(text);
+                check(back == f.assembly,
+                      "print/parse round-trip changed the assembly",
+                      iteration);
+            } catch (const stc::Error&) {
+                check(false, "printer emitted unparseable text", iteration);
+            }
+            break;
+        }
+        default: {  // corrupted text: parse may reject, must not crash
+            std::string text = stc::tspec::print_assembly(f.assembly);
+            const std::size_t edits = 1 + rng.index(4);
+            for (std::size_t e = 0; e < edits && !text.empty(); ++e) {
+                const std::size_t at = rng.index(text.size());
+                switch (rng.index(3)) {
+                    case 0:
+                        text[at] = static_cast<char>(rng.index(256));
+                        break;
+                    case 1:
+                        text.erase(at, 1 + rng.index(8));
+                        break;
+                    default:
+                        text.insert(at, "((}{'m1',", 1 + rng.index(9));
+                        break;
+                }
+            }
+            try {
+                (void)stc::tspec::parse_assembly(text);
+            } catch (const stc::Error&) {
+            }
+            break;
+        }
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::uint64_t iterations = 20000;
+    std::uint64_t seed = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            iterations = 2000;
+        } else if (arg == "--iters" && i + 1 < argc) {
+            iterations = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--seed" && i + 1 < argc) {
+            seed = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            std::cerr
+                << "usage: assembly_fuzz [--smoke] [--iters N] [--seed S]\n";
+            return 2;
+        }
+    }
+
+    Pcg32 rng(seed);
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+        one_iteration(rng, i);
+        if (g_failures > 10) break;  // enough signal; stop the spew
+    }
+
+    if (g_failures != 0) {
+        std::cerr << "assembly_fuzz: " << g_failures
+                  << " invariant failure(s)\n";
+        return 1;
+    }
+    std::cout << "assembly_fuzz: " << iterations << " iteration(s), seed "
+              << seed << ", all invariants held\n";
+    return 0;
+}

@@ -1,0 +1,334 @@
+// stc::assembly — the synchronous product and its grammar: round-trips
+// of the assembly block, referential validation, product construction
+// over the shop trio, and every rejection path (dangling roles, cyclic
+// wiring, nondeterminism, joint death, state explosion).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "shop_component.h"
+#include "stc/assembly/product.h"
+#include "stc/support/error.h"
+#include "stc/tfm/graph.h"
+#include "stc/tspec/assembly.h"
+#include "stc/tspec/builder.h"
+#include "test_paths.h"
+
+namespace stc {
+namespace {
+
+using examples::shop_assembly;
+using examples::shop_product;
+using examples::shop_role_specs;
+using tspec::AssemblySpec;
+using tspec::MethodCategory;
+using tspec::parse_assembly;
+using tspec::print_assembly;
+
+// ---------------------------------------------------------------- grammar
+
+TEST(AssemblyGrammar, PrintParseRoundTrip) {
+    AssemblySpec a;
+    a.name = "Pair";
+    a.roles.push_back({"left", "Alpha", ""});
+    a.roles.push_back({"right", "Beta", "beta.tspec"});
+    a.wiring.push_back({"left", "m3", "right", "m3", true});
+    a.wiring.push_back({"right", "m4", "left", "m4", false});
+    a.exports.push_back({"left", "m3", "Go"});
+    a.exports.push_back({"right", "m4", ""});
+
+    const AssemblySpec back = parse_assembly(print_assembly(a));
+    EXPECT_TRUE(back == a);
+    // And the rendering is a fixed point.
+    EXPECT_EQ(print_assembly(back), print_assembly(a));
+}
+
+TEST(AssemblyGrammar, ShopFileMirrorsTheInCodeSpec) {
+    std::ifstream in(std::string(STC_SOURCE_DIR) + "/examples/shop/shop.tspec");
+    ASSERT_TRUE(in.good());
+    std::stringstream text;
+    text << in.rdbuf();
+    const AssemblySpec parsed = parse_assembly(text.str());
+    EXPECT_TRUE(parsed == shop_assembly());
+}
+
+TEST(AssemblyGrammar, SyntaxProblemsAreParseErrors) {
+    // Not an assembly block at all.
+    EXPECT_THROW((void)parse_assembly("Class ('X')"), ParseError);
+    // Missing braces / unterminated block.
+    EXPECT_THROW((void)parse_assembly("Assembly ('A')"), ParseError);
+    EXPECT_THROW((void)parse_assembly("Assembly ('A') { roles {"), ParseError);
+    // Section name must be an identifier.
+    EXPECT_THROW((void)parse_assembly("Assembly ('A') { 42 { } }"), ParseError);
+    // Trailing input after the closing brace.
+    EXPECT_THROW((void)parse_assembly(
+                     "Assembly ('A') { roles { Role (r, 'C') } "
+                     "exports { Export (r, m3) } } junk"),
+                 ParseError);
+}
+
+TEST(AssemblyGrammar, RecordProblemsAreSpecErrors) {
+    const auto wrap = [](const std::string& body) {
+        return "Assembly ('A') { " + body + " }";
+    };
+    // Unknown section, wrong record kind, wrong arity, bad wire mode.
+    EXPECT_THROW((void)parse_assembly(wrap("stuff { Role (r, 'C') }")), SpecError);
+    EXPECT_THROW((void)parse_assembly(wrap("roles { Wire (a, b, c, d) }")),
+                 SpecError);
+    EXPECT_THROW((void)parse_assembly(wrap("roles { Role (r) }")), SpecError);
+    EXPECT_THROW((void)parse_assembly(
+                     wrap("roles { Role (r, 'C') Role (r, 'D') }")),
+                 SpecError);
+    EXPECT_THROW((void)parse_assembly(
+                     wrap("roles { Role (r, 'C') } wiring "
+                          "{ Wire (r, m3, r, m4, loudly) } "
+                          "exports { Export (r, m3) }")),
+                 SpecError);
+}
+
+TEST(AssemblyGrammar, ReferentialProblemsAreSpecErrors) {
+    // No roles at all.
+    EXPECT_THROW((void)parse_assembly("Assembly ('A') { exports { Export (r, m3) } }"),
+                 SpecError);
+    // Wires naming unknown roles, and self-wiring.
+    EXPECT_THROW((void)parse_assembly(
+                     "Assembly ('A') { roles { Role (r, 'C') } "
+                     "wiring { Wire (ghost, m3, r, m3) } "
+                     "exports { Export (r, m3) } }"),
+                 SpecError);
+    EXPECT_THROW((void)parse_assembly(
+                     "Assembly ('A') { roles { Role (r, 'C') } "
+                     "wiring { Wire (r, m3, ghost, m3) } "
+                     "exports { Export (r, m3) } }"),
+                 SpecError);
+    EXPECT_THROW((void)parse_assembly(
+                     "Assembly ('A') { roles { Role (r, 'C') } "
+                     "wiring { Wire (r, m3, r, m4) } "
+                     "exports { Export (r, m3) } }"),
+                 SpecError);
+    // Empty interface, exports of unknown roles, duplicate public names.
+    EXPECT_THROW((void)parse_assembly(
+                     "Assembly ('A') { roles { Role (r, 'C') } exports { } }"),
+                 SpecError);
+    EXPECT_THROW((void)parse_assembly(
+                     "Assembly ('A') { roles { Role (r, 'C') } "
+                     "exports { Export (ghost, m3) } }"),
+                 SpecError);
+    EXPECT_THROW((void)parse_assembly(
+                     "Assembly ('A') { roles { Role (r, 'C') Role (s, 'C') } "
+                     "exports { Export (r, m3, 'Go') Export (s, m3, 'Go') } }"),
+                 SpecError);
+}
+
+// ---------------------------------------------------------------- product
+
+// Minimal two-role fixture: Alpha.Go (m3) is wired to Beta.Poke (m3).
+tspec::ComponentSpec alpha_spec() {
+    tspec::SpecBuilder b("Alpha");
+    b.method("m1", "Alpha", MethodCategory::Constructor);
+    b.method("m2", "~Alpha", MethodCategory::Destructor);
+    b.method("m3", "Go", MethodCategory::New);
+    b.node("a1", true, {"m1"});
+    b.node("a2", false, {"m3"});
+    b.node("a3", false, {"m2"});
+    b.edge("a1", "a2").edge("a2", "a2").edge("a2", "a3");
+    return b.build();
+}
+
+tspec::ComponentSpec beta_spec() {
+    tspec::SpecBuilder b("Beta");
+    b.method("m1", "Beta", MethodCategory::Constructor);
+    b.method("m2", "~Beta", MethodCategory::Destructor);
+    b.method("m3", "Poke", MethodCategory::New);
+    b.node("b1", true, {"m1"});
+    b.node("b2", false, {"m3"});
+    b.node("b3", false, {"m2"});
+    b.edge("b1", "b2").edge("b2", "b2").edge("b2", "b3");
+    return b.build();
+}
+
+AssemblySpec pair_assembly() {
+    AssemblySpec a;
+    a.name = "Pair";
+    a.roles.push_back({"a", "Alpha", ""});
+    a.roles.push_back({"b", "Beta", ""});
+    a.wiring.push_back({"a", "m3", "b", "m3", true});
+    a.exports.push_back({"a", "m3", "Go"});
+    return a;
+}
+
+std::map<std::string, tspec::ComponentSpec> pair_specs() {
+    std::map<std::string, tspec::ComponentSpec> specs;
+    specs.emplace("a", alpha_spec());
+    specs.emplace("b", beta_spec());
+    return specs;
+}
+
+TEST(Product, PairProductIsATinyChain) {
+    const auto product = assembly::build_product(pair_assembly(), pair_specs());
+    // Birth, the (Go, (a2,b2)) node, death.
+    EXPECT_EQ(product.stats.conceivable_tuples, 9u);
+    EXPECT_EQ(product.stats.reachable_tuples, 2u);
+    EXPECT_EQ(product.spec.nodes.size(), 3u);
+    EXPECT_EQ(product.spec.class_name, "Pair");
+    ASSERT_EQ(product.spec.methods.size(), 3u);
+    EXPECT_EQ(product.spec.methods[2].name, "Go");
+
+    const tfm::Graph g = product.spec.build_tfm();
+    const auto ts = g.enumerate_transactions();
+    ASSERT_FALSE(ts.empty());
+    for (const auto& t : ts) EXPECT_TRUE(g.is_valid_transaction(t.path));
+}
+
+TEST(Product, MissingRoleSpecRejected) {
+    auto specs = pair_specs();
+    specs.erase("b");
+    EXPECT_THROW((void)assembly::build_product(pair_assembly(), specs), SpecError);
+}
+
+TEST(Product, ClassMismatchRejected) {
+    auto specs = pair_specs();
+    specs.at("b") = alpha_spec();  // declares class Alpha for role b (Beta)
+    EXPECT_THROW((void)assembly::build_product(pair_assembly(), specs), SpecError);
+}
+
+TEST(Product, UnknownMethodsAndCtorsInWiresRejected) {
+    auto a = pair_assembly();
+    a.wiring[0].callee_method = "m9";
+    EXPECT_THROW((void)assembly::build_product(a, pair_specs()), SpecError);
+    a = pair_assembly();
+    a.wiring[0].callee_method = "m1";  // constructors are composed, not wired
+    EXPECT_THROW((void)assembly::build_product(a, pair_specs()), SpecError);
+    a = pair_assembly();
+    a.exports[0].method = "m2";
+    EXPECT_THROW((void)assembly::build_product(a, pair_specs()), SpecError);
+}
+
+TEST(Product, DanglingRoleRefsRejected) {
+    // Hand-built specs (not via parse_assembly) may dangle: the builder
+    // must reject them cleanly rather than crash — the fuzz harness
+    // leans on this.
+    auto a = pair_assembly();
+    a.wiring[0].caller_role = "ghost";
+    EXPECT_THROW((void)assembly::build_product(a, pair_specs()), SpecError);
+    a = pair_assembly();
+    a.exports[0].role = "ghost";
+    EXPECT_THROW((void)assembly::build_product(a, pair_specs()), SpecError);
+}
+
+TEST(Product, CyclicHiddenChainsRejected) {
+    auto a = pair_assembly();
+    a.wiring.push_back({"b", "m3", "a", "m3", false});  // closes the loop
+    EXPECT_THROW((void)assembly::build_product(a, pair_specs()), SpecError);
+}
+
+TEST(Product, DuplicatePublicNamesRejected) {
+    auto a = pair_assembly();
+    a.exports.push_back({"b", "m3", "Go"});
+    EXPECT_THROW((void)assembly::build_product(a, pair_specs()), SpecError);
+}
+
+TEST(Product, NondeterministicRoleRejected) {
+    // Two successor nodes of a1 both group m3: one exported action, two
+    // product states.
+    tspec::SpecBuilder b("Alpha");
+    b.method("m1", "Alpha", MethodCategory::Constructor);
+    b.method("m2", "~Alpha", MethodCategory::Destructor);
+    b.method("m3", "Go", MethodCategory::New);
+    b.node("a1", true, {"m1"});
+    b.node("a2", false, {"m3"});
+    b.node("a2x", false, {"m3"});
+    b.node("a3", false, {"m2"});
+    b.edge("a1", "a2").edge("a1", "a2x").edge("a2", "a3").edge("a2x", "a3");
+
+    auto specs = pair_specs();
+    specs.at("a") = b.build();
+    EXPECT_THROW((void)assembly::build_product(pair_assembly(), specs), SpecError);
+}
+
+TEST(Product, JointDeathMustBeReachable) {
+    // Beta can only die at birth, Alpha never at birth: once Go fires
+    // the roles disagree forever, and from the joint birth state Alpha
+    // cannot die — no reachable state lets the assembly die.
+    tspec::SpecBuilder b("Beta");
+    b.method("m1", "Beta", MethodCategory::Constructor);
+    b.method("m2", "~Beta", MethodCategory::Destructor);
+    b.method("m3", "Poke", MethodCategory::New);
+    b.node("b1", true, {"m1"});
+    b.node("b2", false, {"m3"});
+    b.node("b3", false, {"m2"});
+    b.edge("b1", "b2").edge("b1", "b3").edge("b2", "b2");
+
+    auto specs = pair_specs();
+    specs.at("b") = b.build();
+    EXPECT_THROW((void)assembly::build_product(pair_assembly(), specs), SpecError);
+}
+
+TEST(Product, StateExplosionGuard) {
+    assembly::ProductOptions options;
+    options.max_states = 1;
+    EXPECT_THROW(
+        (void)assembly::build_product(shop_assembly(), shop_role_specs(), options),
+        SpecError);
+}
+
+// ------------------------------------------------------------------- shop
+
+TEST(ShopAssembly, ProductBuildsCleanly) {
+    const auto product = shop_product();
+    // 5 * 4 * 5 * 4 conceivable tuples; reachability prunes hard.
+    EXPECT_EQ(product.stats.conceivable_tuples, 400u);
+    EXPECT_LT(product.stats.reachable_tuples, product.stats.conceivable_tuples);
+    EXPECT_GT(product.stats.reachable_tuples, 1u);
+    EXPECT_EQ(product.stats.hidden_wires, 6u);
+    EXPECT_GT(product.stats.hidden_steps, 0u);
+    // Clean construction: no disabled exports, no blocked hidden
+    // actions, no TFM diagnostics — the shop models were built for it.
+    EXPECT_TRUE(product.stats.notes.empty());
+
+    const auto& methods = product.spec.methods;
+    ASSERT_EQ(methods.size(), 7u);
+    EXPECT_EQ(methods[0].name, "Shop");
+    EXPECT_EQ(methods[1].name, "~Shop");
+    EXPECT_EQ(methods[2].name, "Purchase");
+    EXPECT_EQ(methods[3].name, "Sell");
+    EXPECT_EQ(methods[4].name, "Balance");
+    EXPECT_EQ(methods[5].name, "OnHand");
+    EXPECT_EQ(methods[6].name, "AuditCount");
+    ASSERT_EQ(methods[2].parameters.size(), 2u);  // Purchase(sku, cost)
+}
+
+TEST(ShopAssembly, ProductTransactionsAreValid) {
+    const auto product = shop_product();
+    const tfm::Graph g = product.spec.build_tfm();
+    EXPECT_TRUE(g.diagnose().empty());
+
+    tfm::EnumerationOptions options;
+    options.max_transactions = 500;
+    const auto ts = g.enumerate_transactions(options);
+    ASSERT_FALSE(ts.empty());
+    for (const auto& t : ts) EXPECT_TRUE(g.is_valid_transaction(t.path));
+}
+
+TEST(ShopAssembly, ProductIsDeterministicallyOrdered) {
+    // Two independent constructions yield byte-identical specs — the
+    // fleet determinism gate builds on this.
+    const auto p1 = shop_product();
+    const auto p2 = shop_product();
+    EXPECT_EQ(p1.spec.build_tfm().to_dot(), p2.spec.build_tfm().to_dot());
+    EXPECT_EQ(assembly::describe(p1.stats), assembly::describe(p2.stats));
+}
+
+TEST(ShopAssembly, DescribeMentionsPruning) {
+    const auto product = shop_product();
+    const std::string text = assembly::describe(product.stats);
+    EXPECT_NE(text.find("conceivable tuples: 400"), std::string::npos);
+    EXPECT_NE(text.find("pruned tuples"), std::string::npos);
+    EXPECT_NE(text.find("hidden wires:       6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stc

@@ -3,8 +3,10 @@
 // serial/parallel determinism, resumability without re-execution, and
 // well-formed telemetry.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <cstdio>
 #include <fstream>
 #include <iterator>
 #include <set>
@@ -599,13 +601,51 @@ TEST(FateStrings, RoundTrip) {
     EXPECT_FALSE(mutation::fate_from_string("zombie").has_value());
 
     using oracle::KillReason;
-    for (const KillReason reason :
-         {KillReason::None, KillReason::Crash, KillReason::Assertion,
-          KillReason::OutputDiff, KillReason::ManualOracle}) {
-        EXPECT_EQ(oracle::kill_reason_from_string(oracle::to_string(reason)),
-                  reason);
+    // Exhaustive over the declared enumeration, so adding a reason (as
+    // IllegalQuiescence was) without its string breaks here, not in a
+    // resume file.
+    std::set<std::string> names;
+    for (const KillReason reason : oracle::kAllKillReasons) {
+        const char* text = oracle::to_string(reason);
+        EXPECT_TRUE(names.insert(text).second) << text;
+        EXPECT_EQ(oracle::kill_reason_from_string(text), reason);
     }
+    EXPECT_EQ(names.size(), std::size(oracle::kAllKillReasons));
+    EXPECT_EQ(names.count("illegal-quiescence"), 1u);
     EXPECT_FALSE(oracle::kill_reason_from_string("boredom").has_value());
+}
+
+TEST(ResultStoreFile, EveryKillReasonSurvivesResume) {
+    // One record per kill reason through the JSONL store's write → crash
+    // → reopen cycle: a reason the resume path cannot parse would
+    // silently re-execute the item (or worse, mis-fate it).
+    const std::string path = "/tmp/stc_store_reasons_" +
+                             std::to_string(getpid()) + ".jsonl";
+    std::remove(path.c_str());
+    {
+        ResultStore store(path, "fp-reasons");
+        std::size_t index = 0;
+        for (const oracle::KillReason reason : oracle::kAllKillReasons) {
+            ItemRecord r;
+            r.key = "k" + std::to_string(index);
+            r.mutant_id = "Wallet::Deposit@s" + std::to_string(index);
+            r.item_index = index++;
+            r.fate = reason == oracle::KillReason::None ? "alive" : "killed";
+            r.reason = oracle::to_string(reason);
+            r.hit_by_suite = true;
+            store.append(r);
+        }
+    }
+    ResultStore reopened(path, "fp-reasons");
+    EXPECT_EQ(reopened.loaded(), std::size(oracle::kAllKillReasons));
+    EXPECT_EQ(reopened.dropped(), 0u);
+    std::size_t index = 0;
+    for (const oracle::KillReason reason : oracle::kAllKillReasons) {
+        const ItemRecord* r = reopened.find("k" + std::to_string(index++));
+        ASSERT_NE(r, nullptr) << oracle::to_string(reason);
+        EXPECT_EQ(oracle::kill_reason_from_string(r->reason), reason);
+    }
+    std::remove(path.c_str());
 }
 
 }  // namespace

@@ -434,8 +434,9 @@ TEST_F(CliTest, ModelCampaignReportsOracleStrengthAndStatsKeepZeroRows) {
     // the oracle-strength breakdown for model campaigns.
     ASSERT_EQ(run("stats " + telemetry, "/tmp/stc_cli_model_stats.out"), 0);
     const std::string out = slurp("/tmp/stc_cli_model_stats.out");
-    for (const char* reason : {"crash", "assertion", "model-divergence",
-                               "output-diff", "manual-oracle"}) {
+    for (const char* reason :
+         {"crash", "assertion", "illegal-quiescence", "model-divergence",
+          "output-diff", "manual-oracle"}) {
         EXPECT_NE(out.find(reason), std::string::npos) << reason;
     }
     EXPECT_NE(out.find("| oracle strength"), std::string::npos);
@@ -492,6 +493,87 @@ TEST_F(CliTest, CampaignShrinkCorpusIsIdenticalAcrossJobCounts) {
         EXPECT_EQ(entry.suite.size(), 1u);
         EXPECT_FALSE(entry.mutant_id.empty());
     }
+}
+
+// ------------------------------------------------------------- assembly
+
+TEST_F(CliTest, AssembleReportsProductStatsAndRendersArtifacts) {
+    const std::string shop =
+        std::string(STC_SOURCE_DIR) + "/examples/shop/shop.tspec";
+    ASSERT_EQ(run("assemble " + shop, "/tmp/stc_cli_assemble.out"), 0);
+    const std::string out = slurp("/tmp/stc_cli_assemble.out");
+    EXPECT_NE(out.find("assembly Shop: 4 role(s), 6 wire(s), 5 export(s)"),
+              std::string::npos);
+    EXPECT_NE(out.find("conceivable tuples: 400"), std::string::npos);
+    EXPECT_NE(out.find("hidden wires:"), std::string::npos);
+    EXPECT_NE(out.find("product Shop: valid"), std::string::npos);
+
+    ASSERT_EQ(run("assemble " + shop + " --dot",
+                  "/tmp/stc_cli_assemble_dot.out"),
+              0);
+    EXPECT_NE(slurp("/tmp/stc_cli_assemble_dot.out").find("digraph tfm"),
+              std::string::npos);
+
+    ASSERT_EQ(run("assemble " + shop + " --transactions --criterion all-links",
+                  "/tmp/stc_cli_assemble_tx.out"),
+              0);
+    EXPECT_NE(
+        slurp("/tmp/stc_cli_assemble_tx.out").find("transaction(s) selected"),
+        std::string::npos);
+
+    EXPECT_EQ(run("assemble /tmp/definitely_not_there.tspec"), 1);
+    EXPECT_EQ(run("assemble " + tspec_path_), 1);  // class t-spec, not assembly
+    EXPECT_EQ(run("assemble " + shop + " --jobs 2"), 2);  // campaign-only flag
+}
+
+TEST_F(CliTest, AssemblyCampaignKillsCollaborationFaultsTheWalletRunMisses) {
+    // The ISSUE's §6 comparison in miniature: the write-through NULL
+    // mutants drop ledger bookings silently, survive the intraclass
+    // wallet campaign (the pool Ledger is unobserved), and die through
+    // the shop assembly's public interface — by illegal quiescence,
+    // the ioco output-obligation channel.
+    const std::string shop_rep = "/tmp/stc_cli_shop_rep.txt";
+    ASSERT_EQ(run("campaign shop --assembly --criterion all-links --jobs 2 "
+                  "-o " + shop_rep,
+                  "/tmp/stc_cli_shop_camp.log"),
+              0);
+    const std::string report = slurp(shop_rep);
+    EXPECT_NE(report.find("illegal-quiescence="), std::string::npos);
+    EXPECT_EQ(report.find("illegal-quiescence=0"), std::string::npos);
+    EXPECT_NE(report.find("Wallet::Deposit@s2.IndVarRepReq.NULL  killed  "
+                          "[illegal-quiescence]"),
+              std::string::npos);
+    EXPECT_NE(report.find("Wallet::Withdraw@s3.IndVarRepReq.NULL  killed  "
+                          "[illegal-quiescence]"),
+              std::string::npos);
+
+    const std::string wallet_rep = "/tmp/stc_cli_wallet_rep.txt";
+    ASSERT_EQ(run("campaign wallet --criterion all-links -o " + wallet_rep,
+                  "/tmp/stc_cli_wallet_camp.log"),
+              0);
+    const std::string baseline = slurp(wallet_rep);
+    EXPECT_NE(baseline.find("Wallet::Deposit@s2.IndVarRepReq.NULL  alive"),
+              std::string::npos);
+    EXPECT_NE(baseline.find("Wallet::Withdraw@s3.IndVarRepReq.NULL  alive"),
+              std::string::npos);
+    EXPECT_NE(baseline.find("illegal-quiescence=0"), std::string::npos);
+}
+
+TEST_F(CliTest, AssemblyTargetsRequireTheAssemblyFlag) {
+    // Both directions, both entry points: the flag and the target's
+    // registered kind must agree before any work (or socket) happens.
+    EXPECT_EQ(run("campaign shop", "/tmp/stc_cli_shop_noflag.out"), 2);
+    EXPECT_NE(slurp("/tmp/stc_cli_shop_noflag.out").find("--assembly"),
+              std::string::npos);
+    EXPECT_EQ(run("campaign wallet --assembly"), 2);
+    EXPECT_EQ(run("campaign coblist --assembly"), 2);
+    EXPECT_EQ(run("dispatch shop --workers 127.0.0.1:1"), 2);
+    EXPECT_EQ(run("dispatch sortable --assembly --workers 127.0.0.1:1"), 2);
+    // And an unknown target names the registered ones.
+    EXPECT_EQ(run("campaign nonesuch", "/tmp/stc_cli_unknown_target.out"), 2);
+    const std::string err = slurp("/tmp/stc_cli_unknown_target.out");
+    EXPECT_NE(err.find("shop"), std::string::npos);
+    EXPECT_NE(err.find("wallet"), std::string::npos);
 }
 
 // ------------------------------------------------------- serve/dispatch

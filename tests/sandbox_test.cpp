@@ -329,6 +329,43 @@ TEST(SandboxCodec, OutcomeRoundTripsAndTerminationIsAKill) {
     EXPECT_EQ(terminated.sandbox, "crash-signal:11");
 }
 
+TEST(SandboxCodec, EveryKillReasonSurvivesTheOutcomeCodec) {
+    // A reason the codec cannot ship silently downgrades an isolated
+    // campaign's report (the frame decodes to nullopt → respawn churn),
+    // so the whole enumeration — IllegalQuiescence included — must
+    // round-trip bit-exactly.
+    for (const oracle::KillReason reason : oracle::kAllKillReasons) {
+        mutation::MutantOutcome outcome;
+        outcome.fate = reason == oracle::KillReason::None
+                           ? mutation::MutantFate::Alive
+                           : mutation::MutantFate::Killed;
+        outcome.reason = reason;
+        outcome.hit_by_suite = true;
+        const auto back = decode_outcome(encode_outcome(outcome));
+        ASSERT_TRUE(back.has_value()) << oracle::to_string(reason);
+        EXPECT_EQ(back->fate, outcome.fate) << oracle::to_string(reason);
+        EXPECT_EQ(back->reason, reason) << oracle::to_string(reason);
+    }
+}
+
+TEST(SandboxCodec, EveryVerdictSurvivesTheResultCodec) {
+    // The fuzz replay channel ships raw TestResults; same exhaustive
+    // contract for the verdict enumeration.
+    for (const driver::Verdict verdict : driver::kAllVerdicts) {
+        driver::TestResult result;
+        result.case_id = "tc_7";
+        result.verdict = verdict;
+        result.failed_method = "m3";
+        result.message = "obligation 'ledger.Record' silently absorbed";
+        const auto back = decode_result(encode_result(result));
+        ASSERT_TRUE(back.has_value()) << driver::to_string(verdict);
+        EXPECT_EQ(back->verdict, verdict) << driver::to_string(verdict);
+        EXPECT_EQ(back->case_id, "tc_7");
+        EXPECT_EQ(back->failed_method, "m3");
+        EXPECT_EQ(back->message, result.message);
+    }
+}
+
 // ------------------------------------------------------ isolated campaign
 
 class IsolatedCampaignTest : public ::testing::Test {
@@ -456,7 +493,13 @@ protected:
             } else if (id.find("::Hang@") != std::string::npos) {
                 EXPECT_EQ(outcome.sandbox, "timeout");
             } else if (id.find("::Gobble@") != std::string::npos) {
-                EXPECT_EQ(outcome.sandbox, "resource-limit");
+                // The allocation bomb normally dies at RLIMIT_AS, but
+                // on a CPU-starved box the wall-clock deadline can fire
+                // while the hoard is still being zeroed.  Either kind
+                // proves the sandbox contained it.
+                EXPECT_TRUE(outcome.sandbox == "resource-limit" ||
+                            outcome.sandbox == "timeout")
+                    << "sandbox=" << outcome.sandbox;
             }
         }
     }

@@ -16,8 +16,10 @@
 #include <thread>
 #include <vector>
 
+#include "shop_targets.h"
 #include "stc/campaign/work_list.h"
 #include "stc/mutation/engine.h"
+#include "stc/tfm/coverage.h"
 #include "stc/obs/json.h"
 #include "stc/obs/trace.h"
 #include "stc/serve/builtin_host.h"
@@ -369,6 +371,39 @@ TEST(ServeBuiltinHost, UnknownComponentIsRejectedNotFatal) {
     std::string error;
     EXPECT_EQ(BuiltinCampaign::open(config, &error), nullptr);
     EXPECT_FALSE(error.empty());
+}
+
+TEST(ServeBuiltinHost, RegistryServesTheExampleAssemblyTarget) {
+    examples::register_example_targets();
+    examples::register_example_targets();  // idempotent: replace, not grow
+
+    const BuiltinTarget* shop = find_builtin_target("shop");
+    ASSERT_NE(shop, nullptr);
+    EXPECT_TRUE(shop->assembly);
+    const BuiltinTarget* wallet = find_builtin_target("wallet");
+    ASSERT_NE(wallet, nullptr);
+    EXPECT_FALSE(wallet->assembly);
+    const std::vector<std::string> names = builtin_target_names();
+    EXPECT_EQ(names, (std::vector<std::string>{"coblist", "shop", "sortable",
+                                               "wallet"}));
+
+    // The worker-side reconstruction path (`open`) works for the
+    // assembly product, and the ioco channel reaches the dispatch
+    // evaluator: the write-through mutant that survives the intraclass
+    // wallet campaign is killed here by illegal quiescence.
+    BuiltinCampaignConfig config;
+    config.component = "shop";
+    config.generator.criterion = tfm::Criterion::AllEdges;
+    std::string error;
+    const auto host = BuiltinCampaign::open(config, &error);
+    ASSERT_NE(host, nullptr) << error;
+    EXPECT_TRUE(host->baseline_clean());
+    EXPECT_EQ(host->suite().class_name, "Shop");
+
+    const auto outcome =
+        host->evaluate("Wallet::Deposit@s2.IndVarRepReq.NULL");
+    EXPECT_EQ(outcome.fate, mutation::MutantFate::Killed);
+    EXPECT_EQ(outcome.reason, oracle::KillReason::IllegalQuiescence);
 }
 
 TEST(ServeBuiltinHost, DispatchedFatesMatchLocalEvaluation) {

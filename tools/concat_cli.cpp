@@ -8,6 +8,8 @@
 //   concat print <tspec>                        normalized round-trip
 //   concat dot <tspec>                          Graphviz rendering of the TFM
 //   concat transactions <tspec> [options]       enumerate transactions
+//   concat assemble <assembly-tspec> [options]  synchronous product of an
+//                                               assembly (stc::assembly)
 //   concat suite <tspec> [options] [-o FILE]    generate + save a test suite
 //   concat gen <tspec> [options] [-o FILE]      generate C++ driver source
 //   concat fuzz <component> [options]           coverage-guided fuzz loop
@@ -28,12 +30,16 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "shop_component.h"
+#include "shop_targets.h"
+#include "stc/assembly/product.h"
 #include "stc/campaign/scheduler.h"
 #include "stc/campaign/seed.h"
 #include "stc/campaign/telemetry.h"
@@ -58,6 +64,7 @@
 #include "stc/support/error.h"
 #include "stc/support/strings.h"
 #include "stc/tfm/coverage.h"
+#include "stc/tspec/assembly.h"
 #include "stc/tspec/parser.h"
 
 namespace {
@@ -72,15 +79,20 @@ int usage(std::ostream& os) {
           "  print          normalized t-spec (round-trip through the parser)\n"
           "  dot            Graphviz DOT of the transaction flow model\n"
           "  transactions   enumerate transactions (birth -> death paths)\n"
+          "  assemble       build the synchronous product of an assembly:\n"
+          "                 concat assemble ASSEMBLY.tspec [--dot]\n"
+          "                 [--transactions [--max-visits N] [--criterion C]]\n"
+          "                 default output: construction stats + validation\n"
           "  coverage       node/link coverage of the selected criterion\n"
           "  suite          generate a test suite (concat-suite text format)\n"
           "  gen            generate C++ driver source (paper Figs. 6-7)\n"
           "  replan         classify a frozen suite against a NEW release:\n"
           "                 concat replan OLD.tspec --new NEW.tspec --frozen S.txt\n"
           "                 [-o STILL_VALID.txt]\n"
-          "  campaign       parallel mutation campaign over a built-in component:\n"
-          "                 concat campaign <coblist|sortable> [--jobs N] [--seed N]\n"
-          "                 [--cases N] [--probe] [--resume FILE]\n"
+          "  campaign       parallel mutation campaign over a registered\n"
+          "                 component (coblist, sortable, wallet, shop):\n"
+          "                 concat campaign <component> [--assembly] [--jobs N]\n"
+          "                 [--seed N] [--cases N] [--probe] [--resume FILE]\n"
           "                 [--shrink-corpus DIR] [--max-shrink-steps N]\n"
           "                 [--isolate [--timeout-ms N] [--rlimit-as MB]]\n"
           "                 [--model] [--no-prune] [--telemetry-out FILE]\n"
@@ -101,7 +113,7 @@ int usage(std::ostream& os) {
           "                 concat serve [--listen PORT] [--bind ADDR]\n"
           "                 [--once] [--telemetry-out FILE]\n"
           "  dispatch       shard a campaign across serve daemons:\n"
-          "                 concat dispatch <coblist|sortable>\n"
+          "                 concat dispatch <component> [--assembly]\n"
           "                 --workers host:port[,host:port...] [--seed N]\n"
           "                 [--cases N] [--probe] [--model] [--no-prune]\n"
           "                 [--resume FILE]\n"
@@ -125,6 +137,11 @@ int usage(std::ostream& os) {
           "  --log FILE      (gen) log file used by the generated driver\n"
           "  --new FILE      (replan) the new release's t-spec\n"
           "  --frozen FILE   (replan) the frozen concat-suite file\n"
+          "  --assembly      (campaign, dispatch) the target is an assembly\n"
+          "                  product; required for assembly targets, rejected\n"
+          "                  for single-class ones\n"
+          "  --dot           (assemble) Graphviz DOT of the product TFM\n"
+          "  --transactions  (assemble) enumerate the product's transactions\n"
           "  --jobs N        (campaign) worker threads; 0 = all cores (default 1)\n"
           "  --probe         (campaign) amplified probe suite for equivalence\n"
           "  --resume FILE   (campaign) resumable result store (JSONL)\n"
@@ -194,6 +211,9 @@ struct Options {
     std::optional<std::string> mutant_id;          // fuzz/shrink --mutant
     std::optional<std::string> case_path;          // shrink --case
     std::optional<std::string> shrink_corpus;      // campaign --shrink-corpus
+    bool assembly = false;                         // campaign/dispatch --assembly
+    bool dot_product = false;                      // assemble --dot
+    bool list_transactions = false;                // assemble --transactions
     bool isolate = false;                          // campaign/fuzz --isolate
     bool model = false;                            // campaign/fuzz/run --model
     bool prune = true;                             // campaign/dispatch --prune
@@ -229,6 +249,10 @@ bool flag_allowed(const std::string& command, const std::string& flag) {
     if (command == "transactions" || command == "coverage") {
         return any_of({"--max-visits", "--criterion"});
     }
+    if (command == "assemble") {
+        return any_of(
+            {"--max-visits", "--criterion", "--dot", "--transactions"});
+    }
     if (command == "suite") {
         return any_of(
             {"--seed", "--max-visits", "--cases", "--criterion", "--states"});
@@ -243,7 +267,8 @@ bool flag_allowed(const std::string& command, const std::string& flag) {
                        "--states", "--jobs", "--probe", "--resume",
                        "--telemetry-out", "--shrink-corpus",
                        "--max-shrink-steps", "--isolate", "--timeout-ms",
-                       "--rlimit-as", "--model", "--prune", "--no-prune"});
+                       "--rlimit-as", "--model", "--prune", "--no-prune",
+                       "--assembly"});
     }
     if (command == "fuzz") {
         return any_of({"--iters", "--seed", "--corpus", "--max-shrink-steps",
@@ -269,7 +294,7 @@ bool flag_allowed(const std::string& command, const std::string& flag) {
                        "--no-prune", "--workers",
                        "--resume", "--telemetry-out", "--keepalive-ms",
                        "--dead-after-ms", "--progress",
-                       "--telemetry-interval-ms"});
+                       "--telemetry-interval-ms", "--assembly"});
     }
     // Unknown command: main() reports it; don't reject its flags first.
     return true;
@@ -438,6 +463,12 @@ std::optional<Options> parse_args(int argc, char** argv) {
             const auto v = next();
             if (!v) return std::nullopt;
             out.shrink_corpus = *v;
+        } else if (arg == "--assembly") {
+            out.assembly = true;
+        } else if (arg == "--dot") {
+            out.dot_product = true;
+        } else if (arg == "--transactions") {
+            out.list_transactions = true;
         } else if (arg == "--isolate") {
             out.isolate = true;
         } else if (arg == "--model") {
@@ -635,6 +666,57 @@ int cmd_transactions(const Options& options, const tspec::ComponentSpec& spec) {
     return emit(options, out.str());
 }
 
+// `concat assemble ASSEMBLY.tspec`: parse an assembly block, resolve
+// each role's t-spec and build the synchronous product (stc::assembly).
+// Roles with a `spec "file"` clause load that t-spec relative to the
+// assembly file's directory; roles without one resolve to the built-in
+// example specs by class name (Wallet, Ledger, Inventory,
+// StockControl).  Default output is the construction stats plus the
+// synthesized spec's validation verdict; --dot renders the product TFM
+// and --transactions enumerates its transactions, exactly as the plain
+// `dot` / `transactions` commands do for a single-class t-spec.
+int cmd_assemble(const Options& options) {
+    const auto assembly = tspec::parse_assembly(read_file(options.tspec_path));
+    std::map<std::string, tspec::ComponentSpec> role_specs;
+    const auto base = std::filesystem::path(options.tspec_path).parent_path();
+    for (const auto& role : assembly.roles) {
+        if (!role.spec_file.empty()) {
+            role_specs.emplace(role.id, tspec::parse_tspec(read_file(
+                                            (base / role.spec_file).string())));
+        } else {
+            role_specs.emplace(role.id,
+                               examples::shop_role_spec_for(role.class_name));
+        }
+    }
+    const auto product = assembly::build_product(assembly, role_specs);
+
+    if (options.dot_product) {
+        return emit(options, product.spec.build_tfm().to_dot());
+    }
+    if (options.list_transactions) {
+        return cmd_transactions(options, product.spec);
+    }
+
+    std::ostringstream out;
+    out << "assembly " << assembly.name << ": " << assembly.roles.size()
+        << " role(s), " << assembly.wiring.size() << " wire(s), "
+        << assembly.exports.size() << " export(s)\n"
+        << assembly::describe(product.stats);
+    // build_product already rejects hard errors; re-validating the
+    // synthesized spec here keeps the command an end-to-end check.
+    const auto spec_problems = product.spec.validate();
+    for (const auto& p : spec_problems) {
+        out << "product spec: [" << p.where << "] " << p.message << "\n";
+    }
+    out << "product " << product.spec.class_name << ": "
+        << (spec_problems.empty() ? "valid" : "INVALID") << " ("
+        << product.spec.methods.size() << " method(s), "
+        << product.spec.nodes.size() << " node(s), "
+        << product.spec.edges.size() << " edge(s))\n";
+    const int rc = emit(options, out.str());
+    return spec_problems.empty() ? rc : 1;
+}
+
 int cmd_coverage(const Options& options, const tspec::ComponentSpec& spec) {
     const auto graph = spec.build_tfm();
     const auto all = graph.enumerate_transactions(options.generator.enumeration);
@@ -719,30 +801,51 @@ int cmd_replan(const Options& options, const tspec::ComponentSpec& old_spec) {
     return 0;
 }
 
-// `concat campaign <coblist|sortable>`: run an interface-mutation
-// campaign over one of the built-in self-testable MFC components, the
-// paper's experimental subjects, sharded across --jobs workers.  The
-// report (stdout or -o) lists one line per mutant in enumeration order
-// plus the Table 2/3 aggregation — byte-identical for any --jobs value,
-// tracing on or off; scheduling-dependent detail (worker ids, wall
-// times, queue depths) goes to the --telemetry-out JSONL stream, spans
-// to --trace-out, and timing stats to stderr.
-int cmd_campaign(const Options& options) {
-    const std::string which = options.tspec_path;
-    if (which != "coblist" && which != "sortable") {
-        std::cerr << "concat campaign: unknown component '" << which
-                  << "' (expected coblist or sortable)\n";
+/// Assembly targets and --assembly must travel together: a campaign or
+/// dispatch over an assembly product states so explicitly, and a
+/// single-class target rejects the flag — the report headers look alike
+/// and a silent mixup would invalidate the interface-vs-assembly
+/// comparison.  Returns the exit code (0 = consistent).
+int check_assembly_flag(const std::string& command, const Options& options,
+                        const serve::BuiltinTarget& target) {
+    if (target.assembly && !options.assembly) {
+        std::cerr << "concat " << command << ": '" << options.tspec_path
+                  << "' is an assembly product; pass --assembly\n";
         return 2;
     }
+    if (!target.assembly && options.assembly) {
+        std::cerr << "concat " << command << ": '" << options.tspec_path
+                  << "' is a single-class component; drop --assembly\n";
+        return 2;
+    }
+    return 0;
+}
 
-    mfc::ElementPool pool;
-    core::SelfTestableComponent component =
-        which == "coblist"
-            ? core::SelfTestableComponent(mfc::coblist_spec(), mfc::coblist_binding())
-            : core::SelfTestableComponent(mfc::sortable_spec(),
-                                          mfc::sortable_binding());
-    const driver::CompletionRegistry completions = mfc::make_completions(pool);
-    component.set_completions(completions);
+// `concat campaign <component>`: run an interface-mutation campaign
+// over a registered target — the built-in MFC components (coblist,
+// sortable), the intraclass wallet, or the shop assembly product
+// (--assembly) — sharded across --jobs workers.  The report (stdout or
+// -o) lists one line per mutant in enumeration order plus the Table 2/3
+// aggregation — byte-identical for any --jobs value, tracing on or off;
+// scheduling-dependent detail (worker ids, wall times, queue depths)
+// goes to the --telemetry-out JSONL stream, spans to --trace-out, and
+// timing stats to stderr.
+int cmd_campaign(const Options& options) {
+    const std::string which = options.tspec_path;
+    const serve::BuiltinTarget* target = serve::find_builtin_target(which);
+    if (target == nullptr) {
+        std::cerr << "concat campaign: unknown component '" << which
+                  << "' (expected one of: "
+                  << support::join(serve::builtin_target_names(), ", ")
+                  << ")\n";
+        return 2;
+    }
+    if (const int rc = check_assembly_flag("campaign", options, *target)) {
+        return rc;
+    }
+
+    const serve::BuiltinComponent holder = target->make_component();
+    const core::SelfTestableComponent& component = *holder.component;
 
     const driver::TestSuite suite = component.generate_tests(options.generator);
 
@@ -755,8 +858,7 @@ int cmd_campaign(const Options& options) {
         probe = component.generate_tests(probe_options);
     }
 
-    const auto mutants =
-        mutation::enumerate_mutants(mfc::descriptors(), suite.class_name);
+    const auto mutants = target->mutants();
 
     campaign::CampaignOptions campaign_options;
     campaign_options.jobs = options.jobs;
@@ -770,7 +872,9 @@ int cmd_campaign(const Options& options) {
         campaign_options.shrink_corpus_dir = *options.shrink_corpus;
         campaign_options.max_shrink_steps = options.max_shrink_steps;
         campaign_options.spec = &component.spec();
-        campaign_options.completions = &completions;
+        // Null for targets without pointer-typed parameters (the shop
+        // assembly): persist_entry then skips recompletion on replay.
+        campaign_options.completions = holder.completions;
     }
     if (options.isolate) {
         campaign_options.isolate = true;
@@ -1329,6 +1433,14 @@ int cmd_dispatch(const Options& options) {
         std::cerr << "concat dispatch: --workers is required\n";
         return 2;
     }
+    // Unknown names fall through to open(), whose error lists the
+    // registered targets.
+    if (const serve::BuiltinTarget* target =
+            serve::find_builtin_target(options.tspec_path)) {
+        if (const int rc = check_assembly_flag("dispatch", options, *target)) {
+            return rc;
+        }
+    }
     serve::BuiltinCampaignConfig config;
     config.component = options.tspec_path;
     config.generator = options.generator;
@@ -1595,8 +1707,10 @@ int flush_observability(const Options& options) {
 }
 
 int dispatch(const Options& options) {
-    // Campaign, fuzz, run, shrink and stats do not read a t-spec file.
+    // Campaign, fuzz, run, shrink and stats do not read a t-spec file;
+    // assemble reads an *assembly* file and parses it itself.
     if (options.command == "campaign") return cmd_campaign(options);
+    if (options.command == "assemble") return cmd_assemble(options);
     if (options.command == "fuzz") return cmd_fuzz(options);
     if (options.command == "run") return cmd_run(options);
     if (options.command == "shrink") return cmd_shrink(options);
@@ -1628,6 +1742,11 @@ int dispatch(const Options& options) {
 }  // namespace
 
 int main(int argc, char** argv) {
+    // The example targets (wallet, shop) join the pre-registered mfc
+    // ones before any command resolves a component name — including a
+    // serve daemon's handshake-time lookup.
+    stc::examples::register_example_targets();
+
     auto options = parse_args(argc, argv);
     if (!options) return usage(std::cerr);
 
