@@ -41,10 +41,41 @@ struct ItemRecord {
     /// and isolated items that completed normally.  Serialized only
     /// when non-empty, so in-process stores are byte-unchanged.
     std::string sandbox;
+    /// Killed by a killer `stc::kill` synthesized after the campaign
+    /// (MutantOutcome::synthesized).  Serialized only when true, so
+    /// stores a kill pass never touched are byte-unchanged.
+    bool synthesized = false;
 
     [[nodiscard]] JsonObject to_json() const;
     [[nodiscard]] static std::optional<ItemRecord> from_json(const JsonObject& o);
 };
+
+/// A read-only look at a result store on disk — unlike opening a
+/// ResultStore, peeking never truncates, rewrites, or appends.
+/// `stc::kill` uses this to enumerate a finished campaign's survivors:
+/// a fingerprint mismatch there is a hard error naming the store, not a
+/// silent start-over.
+struct StorePeek {
+    std::string fingerprint;          ///< store-header campaign value
+    std::vector<ItemRecord> records;  ///< file order (append order)
+    std::size_t dropped = 0;          ///< torn/unparseable lines skipped
+
+    [[nodiscard]] const ItemRecord* find(const std::string& key) const;
+};
+
+/// Read `path` without modifying it.  std::nullopt with `*error` set
+/// when the file is missing/unreadable or its header is not a store
+/// header.  Torn or malformed record lines are counted in `dropped`
+/// and skipped, mirroring the ResultStore recovery rules.
+[[nodiscard]] std::optional<StorePeek> peek_store(const std::string& path,
+                                                  std::string* error);
+
+/// Rewrite `path` from scratch: header for `fingerprint`, then
+/// `records` in order.  Used by `stc::kill` to publish raised fates;
+/// byte-deterministic for identical inputs.  Throws stc::Error when the
+/// file cannot be written.
+void rewrite_store(const std::string& path, const std::string& fingerprint,
+                   const std::vector<ItemRecord>& records);
 
 /// Append-only, thread-safe store of completed items.
 class ResultStore {

@@ -22,6 +22,7 @@ JsonObject ItemRecord::to_json() const {
         .set("wall_ms", wall_ms);
     if (model_only) o.set("model_only", true);
     if (!sandbox.empty()) o.set("sandbox", sandbox);
+    if (synthesized) o.set("synthesized", true);
     return o;
 }
 
@@ -48,7 +49,78 @@ std::optional<ItemRecord> ItemRecord::from_json(const JsonObject& o) {
     r.item_seed = o.get_uint("item_seed").value_or(0);
     r.wall_ms = o.get_double("wall_ms").value_or(0.0);
     r.sandbox = o.get_string("sandbox").value_or("");
+    r.synthesized = o.get_bool("synthesized").value_or(false);
     return r;
+}
+
+const ItemRecord* StorePeek::find(const std::string& key) const {
+    for (const ItemRecord& r : records) {
+        if (r.key == key) return &r;
+    }
+    return nullptr;
+}
+
+std::optional<StorePeek> peek_store(const std::string& path,
+                                    std::string* error) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error != nullptr) *error = "cannot open result store: " + path;
+        return {};
+    }
+    const std::string content{std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>()};
+    const bool terminated = !content.empty() && content.back() == '\n';
+    StorePeek out;
+    std::size_t pos = 0;
+    bool header_line = true;
+    while (pos < content.size()) {
+        const std::size_t nl = content.find('\n', pos);
+        const bool last = nl == std::string::npos;
+        const std::string_view line(content.data() + pos,
+                                    (last ? content.size() : nl) - pos);
+        pos = last ? content.size() : nl + 1;
+        const bool torn = last && !terminated;
+        if (header_line) {
+            header_line = false;
+            const auto header = JsonObject::parse(line);
+            const auto campaign =
+                header ? header->get_string("campaign") : std::nullopt;
+            if (!header || header->get_string("event") != "store-header" ||
+                !campaign || torn) {
+                if (error != nullptr) {
+                    *error = "not a result store (bad header): " + path;
+                }
+                return {};
+            }
+            out.fingerprint = *campaign;
+            continue;
+        }
+        const auto parsed = JsonObject::parse(line);
+        auto record = parsed ? ItemRecord::from_json(*parsed) : std::nullopt;
+        if (!record || torn) {
+            ++out.dropped;
+            continue;
+        }
+        out.records.push_back(std::move(*record));
+    }
+    if (header_line) {
+        if (error != nullptr) *error = "empty result store: " + path;
+        return {};
+    }
+    return out;
+}
+
+void rewrite_store(const std::string& path, const std::string& fingerprint,
+                   const std::vector<ItemRecord>& records) {
+    std::ofstream out(path, std::ios::trunc);
+    JsonObject header;
+    header.set("event", "store-header").set("campaign", fingerprint);
+    out << header.to_line() << '\n';
+    for (const ItemRecord& record : records) {
+        out << record.to_json().to_line() << '\n';
+    }
+    out.flush();
+    if (!out) throw Error("cannot rewrite result store: " + path);
 }
 
 ResultStore::ResultStore(const std::string& path, const std::string& fingerprint)

@@ -56,6 +56,7 @@ bool restore_outcome(const ItemRecord& record, mutation::MutantOutcome* out) {
     out->killed_by_probe = record.killed_by_probe;
     out->model_only = record.model_only;
     out->sandbox = record.sandbox;
+    out->synthesized = record.synthesized;
     return true;
 }
 

@@ -1,0 +1,333 @@
+#include "stc/kill/kill.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+#include "stc/campaign/seed.h"
+#include "stc/fuzz/corpus.h"
+#include "stc/fuzz/fuzzer.h"
+#include "stc/mutation/controller.h"
+#include "stc/support/error.h"
+#include "stc/support/strings.h"
+
+namespace stc::kill {
+
+namespace {
+
+double score_of(std::size_t killed, std::size_t total,
+                std::size_t equivalent) noexcept {
+    const std::size_t denom = total - equivalent;
+    if (denom == 0) return 1.0;
+    return static_cast<double>(killed) / static_cast<double>(denom);
+}
+
+std::string basename_of(const std::string& path) {
+    const std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+driver::TestSuite single_case_suite(const std::string& class_name,
+                                    std::uint64_t seed,
+                                    const driver::TestCase& tc) {
+    driver::TestSuite suite;
+    suite.class_name = class_name;
+    suite.seed = seed;
+    suite.cases.push_back(tc);
+    return suite;
+}
+
+/// Shrink a verified killer while preserving its exact classification:
+/// a candidate still counts only when the clean leg passes AND the
+/// mutated leg is killed for the SAME reason (a killer must not drift
+/// from, say, an assertion kill to an output diff while shrinking —
+/// the corpus records the reason).
+fuzz::ShrinkResult shrink_killer(const KillContext& context,
+                                 const KillOptions& options,
+                                 const tfm::Graph& graph,
+                                 const mutation::Mutant& mutant,
+                                 const driver::TestCase& killer,
+                                 oracle::KillReason reason) {
+    driver::RunnerOptions ro = options.search.runner;
+    ro.promote_divergence = false;
+    ro.log_path.clear();
+    ro.observer = nullptr;
+    const driver::TestRunner runner(*context.registry, ro);
+    const std::string& class_name = context.spec->class_name;
+
+    const fuzz::Predicate still_kills = [&](const driver::TestCase& tc) {
+        const driver::TestSuite suite =
+            single_case_suite(class_name, options.seed, tc);
+        const driver::SuiteResult clean = runner.run(suite);
+        for (const driver::TestResult& r : clean.results) {
+            if (!r.passed()) return false;
+        }
+        const oracle::GoldenRecord golden = oracle::GoldenRecord::from(clean);
+        driver::SuiteResult mutated;
+        {
+            const mutation::MutantActivation activation(mutant);
+            mutated = runner.run(suite);
+        }
+        const oracle::DifferentialKill diff = oracle::classify_suite_differential(
+            golden, mutated, options.search.oracle, {}, options.obs);
+        return diff.with_model == reason;
+    };
+
+    fuzz::ShrinkOptions shrink_options;
+    shrink_options.max_steps = options.max_shrink_steps;
+    shrink_options.obs = options.obs;
+    return fuzz::shrink_case(*context.spec, graph, killer, still_kills,
+                             shrink_options);
+}
+
+/// Persist the shrunk killer into the regression corpus.  The recorded
+/// verdict is whatever the replay environment observes (mutant active,
+/// divergence promoted), and persist_entry refuses entries whose
+/// serialized form does not replay — so a checked-in killer is a real
+/// regression test, not a transcript.  Returns the corpus basename, or
+/// "" when the kill is not corpus-replayable (e.g. pure output-diff
+/// kills, which pass in isolation).
+std::string persist_killer(const KillContext& context,
+                           const KillOptions& options,
+                           const mutation::Mutant& mutant,
+                           const KillItem& item) {
+    const reflect::ClassBinding* binding =
+        context.registry->find(context.spec->class_name);
+    if (binding == nullptr) return "";
+
+    driver::RunnerOptions ro = options.search.runner;
+    ro.promote_divergence = true;  // divergence kills must fail on replay
+    ro.log_path.clear();
+    ro.observer = nullptr;
+    const driver::TestRunner runner(*context.registry, ro);
+    const fuzz::CaseRunner case_runner = [&](const driver::TestCase& tc) {
+        const mutation::MutantActivation activation(mutant);
+        return runner.run_case(*binding, tc);
+    };
+
+    const driver::TestResult observed = case_runner(item.killer);
+    if (observed.passed()) return "";
+
+    fuzz::CorpusEntry entry;
+    entry.suite.class_name = context.spec->class_name;
+    entry.suite.cases.push_back(item.killer);
+    entry.verdict = observed.verdict;
+    entry.failed_method = observed.failed_method;
+    entry.mutant_id = item.mutant_id;
+    entry.kill_reason = oracle::to_string(item.reason);
+    const std::uint64_t entry_seed =
+        campaign::derive_item_seed(options.seed, item.mutant_id, "kill-corpus");
+    const fuzz::PersistOutcome persisted = fuzz::persist_entry(
+        options.corpus_dir, entry, context.completions, case_runner, entry_seed);
+    return persisted.reproducible ? basename_of(persisted.path) : "";
+}
+
+}  // namespace
+
+double KillRun::score_before() const noexcept {
+    return score_of(killed_before, total, equivalent);
+}
+
+double KillRun::score_after() const noexcept {
+    return score_of(killed_after, total, equivalent);
+}
+
+KillRun kill_survivors(const KillContext& context,
+                       std::vector<campaign::ItemRecord>& records,
+                       const KillOptions& options) {
+    if (context.spec == nullptr || context.registry == nullptr ||
+        context.mutants == nullptr) {
+        throw ContractError("kill_survivors needs spec, registry and mutants");
+    }
+    const obs::SpanScope run_span(options.obs.tracer, "phase", "kill-run");
+
+    KillRun run;
+    std::vector<std::size_t> survivor_indices;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const std::string& fate = records[i].fate;
+        if (fate == "killed") ++run.killed_before;
+        if (fate == "equivalent") ++run.equivalent;
+        if (fate == "alive") survivor_indices.push_back(i);
+    }
+    run.total = records.size();
+    run.survivors = survivor_indices.size();
+    run.killed_after = run.killed_before;
+
+    std::map<std::string, const mutation::Mutant*> by_id;
+    for (const mutation::Mutant& mutant : *context.mutants) {
+        by_id.emplace(mutant.id(), &mutant);
+    }
+    for (const std::size_t i : survivor_indices) {
+        if (by_id.find(records[i].mutant_id) == by_id.end()) {
+            throw Error("result store names an unknown mutant: " +
+                        records[i].mutant_id);
+        }
+    }
+
+    campaign::TelemetrySink telemetry = options.telemetry;
+    {
+        obs::JsonObject event;
+        event.set("event", "kill-run-start")
+            .set("class", context.spec->class_name)
+            .set("survivors", static_cast<std::uint64_t>(run.survivors))
+            .set("budget_states",
+                 static_cast<std::uint64_t>(options.search.budget_states))
+            .set("max_depth", static_cast<std::uint64_t>(options.search.max_depth))
+            .set("seed", options.seed);
+        telemetry.emit(std::move(event));
+    }
+
+    const ProductSearch search(*context.spec, *context.registry,
+                               context.completions, options.search);
+    const tfm::Graph tfm_graph = context.spec->build_tfm();
+    const tfm::Graph widened_graph =
+        ProductSearch::specification_graph(*context.spec);
+
+    // One survivor end-to-end (search -> shrink -> persist); internally
+    // sequential and seed-deterministic, so item results are a pure
+    // function of (survivor, options) and --jobs cannot perturb them.
+    const auto process = [&](std::size_t record_index) -> KillItem {
+        KillItem item;
+        item.record_index = record_index;
+        item.mutant_id = records[record_index].mutant_id;
+        const mutation::Mutant& mutant = *by_id.at(item.mutant_id);
+
+        const SearchOutcome outcome = search.find_killer(mutant);
+        item.status = outcome.status;
+        item.stats = outcome.stats;
+        item.widened = outcome.widened;
+        if (outcome.status != SearchStatus::Verified) return item;
+
+        item.reason = outcome.reason;
+        item.model_only = outcome.model_only;
+        item.candidate_calls = outcome.killer.calls.size();
+        item.shrink = shrink_killer(context, options,
+                                    outcome.widened ? widened_graph : tfm_graph,
+                                    mutant, outcome.killer, outcome.reason);
+        item.killer = item.shrink.minimized;
+        if (!options.corpus_dir.empty()) {
+            item.corpus_file = persist_killer(context, options, mutant, item);
+        }
+        return item;
+    };
+
+    std::vector<KillItem> items(survivor_indices.size());
+    const std::size_t jobs =
+        std::max<std::size_t>(1, std::min(options.jobs, items.size()));
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < survivor_indices.size(); ++i) {
+            items[i] = process(survivor_indices[i]);
+        }
+    } else {
+        std::atomic<std::size_t> next{0};
+        std::vector<std::thread> workers;
+        workers.reserve(jobs);
+        for (std::size_t w = 0; w < jobs; ++w) {
+            workers.emplace_back([&] {
+                for (std::size_t i = next.fetch_add(1); i < items.size();
+                     i = next.fetch_add(1)) {
+                    items[i] = process(survivor_indices[i]);
+                }
+            });
+        }
+        for (std::thread& worker : workers) worker.join();
+    }
+
+    // Fold results back in survivor order: record updates and telemetry
+    // are emitted here, post-hoc, so the stream never depends on which
+    // worker finished first.
+    for (KillItem& item : items) {
+        {
+            obs::JsonObject event;
+            event.set("event", "kill-start").set("mutant", item.mutant_id);
+            telemetry.emit(std::move(event));
+        }
+        if (item.status == SearchStatus::Verified) {
+            obs::JsonObject candidate;
+            candidate.set("event", "kill-candidate")
+                .set("mutant", item.mutant_id)
+                .set("calls", static_cast<std::uint64_t>(item.candidate_calls))
+                .set("states",
+                     static_cast<std::uint64_t>(item.stats.states_expanded))
+                .set("widened", item.widened);
+            telemetry.emit(std::move(candidate));
+
+            obs::JsonObject verified;
+            verified.set("event", "kill-verified")
+                .set("mutant", item.mutant_id)
+                .set("reason", oracle::to_string(item.reason))
+                .set("calls",
+                     static_cast<std::uint64_t>(item.killer.calls.size()))
+                .set("shrink_steps",
+                     static_cast<std::uint64_t>(item.shrink.steps));
+            if (item.model_only) verified.set("model_only", true);
+            if (!item.corpus_file.empty()) verified.set("corpus", item.corpus_file);
+            telemetry.emit(std::move(verified));
+
+            campaign::ItemRecord& record = records[item.record_index];
+            record.fate = "killed";
+            record.reason = oracle::to_string(item.reason);
+            record.model_only = item.model_only;
+            record.synthesized = true;
+            ++run.killed_after;
+            ++run.verified;
+            options.obs.metrics.add("kill.verified");
+        } else {
+            obs::JsonObject gave_up;
+            gave_up.set("event", "kill-gave-up")
+                .set("mutant", item.mutant_id)
+                .set("status", to_string(item.status))
+                .set("states",
+                     static_cast<std::uint64_t>(item.stats.states_expanded))
+                .set("armed",
+                     static_cast<std::uint64_t>(item.stats.armed_states));
+            telemetry.emit(std::move(gave_up));
+            options.obs.metrics.add("kill.gave_up");
+        }
+    }
+    run.items = std::move(items);
+
+    {
+        obs::JsonObject event;
+        event.set("event", "kill-run-end")
+            .set("verified", static_cast<std::uint64_t>(run.verified))
+            .set("killed_before", static_cast<std::uint64_t>(run.killed_before))
+            .set("killed_after", static_cast<std::uint64_t>(run.killed_after))
+            .set("score_before", support::percent(run.score_before()))
+            .set("score_after", support::percent(run.score_after()));
+        telemetry.emit(std::move(event));
+    }
+    return run;
+}
+
+void render_kill_report(std::ostream& os, const KillRun& run,
+                        const std::string& class_name,
+                        const KillOptions& options) {
+    os << "kill: " << class_name << ", " << run.survivors << " survivor(s), seed "
+       << options.seed << ", budget " << options.search.budget_states
+       << " state(s), depth " << options.search.max_depth << "\n\n";
+    for (const KillItem& item : run.items) {
+        os << item.mutant_id << "  ";
+        if (item.status == SearchStatus::Verified) {
+            os << "killed  [" << oracle::to_string(item.reason) << "]";
+            if (item.model_only) os << "  (model-only)";
+            if (item.widened) os << "  (widened)";
+            os << "  killer: " << item.killer.calls.size() << " call(s)";
+            if (!item.corpus_file.empty()) os << "  corpus: " << item.corpus_file;
+        } else {
+            os << "gave-up  [" << to_string(item.status) << "]";
+        }
+        os << "\n";
+    }
+    if (!run.items.empty()) os << "\n";
+    os << "raised by synthesis: " << run.verified << "\n"
+       << "score: " << support::percent(run.score_before()) << " -> "
+       << support::percent(run.score_after()) << "  (" << run.killed_after << "/"
+       << run.total << " killed, " << run.equivalent
+       << " presumed equivalent)\n";
+}
+
+}  // namespace stc::kill

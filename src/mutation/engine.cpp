@@ -53,6 +53,14 @@ std::size_t MutationRun::kills_model_only() const noexcept {
     return n;
 }
 
+std::size_t MutationRun::kills_synthesized() const noexcept {
+    std::size_t n = 0;
+    for (const auto& o : outcomes) {
+        n += (o.fate == MutantFate::Killed && o.synthesized) ? 1 : 0;
+    }
+    return n;
+}
+
 std::size_t MutationRun::not_covered() const noexcept {
     std::size_t n = 0;
     for (const auto& o : outcomes) n += o.fate == MutantFate::NotCovered ? 1 : 0;

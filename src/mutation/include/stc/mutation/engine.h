@@ -65,6 +65,12 @@ struct MutantOutcome {
     /// completion — so the field never perturbs the determinism
     /// contract between in-process and isolated runs.
     std::string sandbox;
+    /// Killed by a test case `stc::kill` synthesized AFTER the campaign
+    /// (bounded reachability over the TFM x reference-model product),
+    /// not by the generated suite.  Always false for outcomes the
+    /// engine itself produces; set only when a kill pass rewrites the
+    /// result store, so pre-kill reports are byte-unchanged.
+    bool synthesized = false;
 };
 
 struct EngineOptions {
@@ -95,6 +101,10 @@ struct MutationRun {
     /// headline: how much the differential oracle adds over the
     /// assertion/crash/output-diff detectors (docs/GUIDE.md §8).
     [[nodiscard]] std::size_t kills_model_only() const noexcept;
+
+    /// Mutants killed by post-campaign killer synthesis (stc::kill) —
+    /// the "raised by synthesis: N" line of the campaign report.
+    [[nodiscard]] std::size_t kills_synthesized() const noexcept;
 
     /// The paper's mutation score: killed / (total - equivalent).
     /// NaN-free: returns 1.0 when no non-equivalent mutants exist.

@@ -131,6 +131,11 @@ void MutationTable::render(std::ostream& os, const MutationRun& run) const {
     os << "survivors: not-covered=" << not_covered
        << "  killable-but-missed=" << killed_by_probe
        << "  presumed-equivalent=" << run.equivalent() << "\n";
+    // Only after a kill pass raised fates — absent otherwise, keeping
+    // every pre-synthesis report byte-identical.
+    if (run.kills_synthesized() > 0) {
+        os << "raised by synthesis: " << run.kills_synthesized() << "\n";
+    }
 }
 
 void MutationTable::render_csv(std::ostream& os) const {
@@ -195,6 +200,10 @@ void render_campaign_report(std::ostream& os, const MutationRun& run,
             // have let this mutant survive.  Only ever set under a
             // model oracle, so model-less reports are byte-unchanged.
             if (outcome.model_only) os << "  (model-only)";
+            // Killed by a post-campaign synthesized test (stc::kill),
+            // not by the generated suite.  Only ever set by a kill
+            // pass, so pre-kill reports are byte-unchanged.
+            if (outcome.synthesized) os << "  (synthesized)";
         }
         // Sandbox termination kind, set only for items whose isolated
         // worker died — absent everywhere else, so in-process,

@@ -125,6 +125,37 @@ struct TelemetryStats {
     std::uint64_t fuzz_interesting = 0;
     std::uint64_t fuzz_population = 0;
 
+    // Kill stream (kill-run-start / kill-start / kill-candidate /
+    // kill-verified / kill-gave-up / kill-run-end events, emitted by
+    // `concat kill`; docs/FORMATS.md §14).  A telemetry file may hold a
+    // campaign, a kill pass, or both (a campaign store raised in place).
+    struct KillAttempt {
+        std::string mutant;
+        /// "verified", or the gave-up status ("site-unreachable" /
+        /// "search-exhausted" / "budget-exhausted"); "searching" when
+        /// the stream was cut between kill-start and its outcome.
+        std::string outcome = "searching";
+        std::string reason;                  ///< kill reason when verified
+        std::uint64_t candidate_calls = 0;   ///< killer length before shrinking
+        std::uint64_t calls = 0;             ///< killer length after shrinking
+        std::uint64_t shrink_steps = 0;
+        std::uint64_t states = 0;            ///< search budget consumed
+        bool widened = false;                ///< spec-alphabet (phase 2) killer
+        std::string corpus;                  ///< reproducer basename; may be ""
+    };
+    std::size_t kill_runs = 0;  ///< kill-run-start events
+    std::string kill_class;
+    std::uint64_t kill_survivors = 0;
+    std::uint64_t kill_budget_states = 0;
+    std::uint64_t kill_max_depth = 0;
+    std::vector<KillAttempt> kill_attempts;  ///< dedupe by mutant, last wins
+    bool have_kill_summary = false;          ///< kill-run-end seen
+    std::uint64_t kill_verified = 0;
+    std::uint64_t kill_killed_before = 0;
+    std::uint64_t kill_killed_after = 0;
+    std::string kill_score_before;  ///< rendered percents, e.g. "94.4%"
+    std::string kill_score_after;
+
     // Final summary, from the last campaign-end event (absent when the
     // run was interrupted).
     bool have_summary = false;
@@ -214,6 +245,9 @@ private:
     /// index -> slot in items, maintained by absorb_event and rebuilt
     /// by sort_items (sorting invalidates slots).
     std::map<std::uint64_t, std::size_t> by_index_;
+    /// mutant id -> slot in kill_attempts (kill events carry no index;
+    /// the mutant id is the natural key).
+    std::map<std::string, std::size_t> kill_by_mutant_;
 };
 
 /// Incremental reader over a growing telemetry JSONL file — the

@@ -149,6 +149,56 @@ void TelemetryStats::absorb_event(const JsonObject& event) {
             out.fuzz_executions = event.get_uint("executions").value_or(0);
             out.fuzz_interesting = event.get_uint("interesting").value_or(0);
             out.fuzz_population = event.get_uint("population").value_or(0);
+        } else if (kind == "kill-run-start") {
+            ++out.kill_runs;
+            out.kill_class = event.get_string("class").value_or("");
+            out.kill_survivors = event.get_uint("survivors").value_or(0);
+            out.kill_budget_states = event.get_uint("budget_states").value_or(0);
+            out.kill_max_depth = event.get_uint("max_depth").value_or(0);
+            // A new pass restarts the attempt tallies.
+            out.kill_attempts.clear();
+            out.kill_by_mutant_.clear();
+            out.have_kill_summary = false;
+        } else if (kind == "kill-start" || kind == "kill-candidate" ||
+                   kind == "kill-verified" || kind == "kill-gave-up") {
+            const auto mutant = event.get_string("mutant");
+            if (mutant) {
+                const auto [it, inserted] =
+                    out.kill_by_mutant_.emplace(*mutant,
+                                                out.kill_attempts.size());
+                if (inserted) {
+                    KillAttempt attempt;
+                    attempt.mutant = *mutant;
+                    out.kill_attempts.push_back(std::move(attempt));
+                }
+                KillAttempt& attempt = out.kill_attempts[it->second];
+                if (kind == "kill-start") {
+                    attempt = KillAttempt{};
+                    attempt.mutant = *mutant;
+                } else if (kind == "kill-candidate") {
+                    attempt.candidate_calls = event.get_uint("calls").value_or(0);
+                    attempt.states = event.get_uint("states").value_or(0);
+                    attempt.widened = event.get_bool("widened").value_or(false);
+                } else if (kind == "kill-verified") {
+                    attempt.outcome = "verified";
+                    attempt.reason = event.get_string("reason").value_or("?");
+                    attempt.calls = event.get_uint("calls").value_or(0);
+                    attempt.shrink_steps =
+                        event.get_uint("shrink_steps").value_or(0);
+                    attempt.corpus = event.get_string("corpus").value_or("");
+                } else {  // kill-gave-up
+                    attempt.outcome = event.get_string("status").value_or("?");
+                    attempt.states = event.get_uint("states").value_or(0);
+                }
+            }
+        } else if (kind == "kill-run-end") {
+            out.have_kill_summary = true;
+            out.kill_verified = event.get_uint("verified").value_or(0);
+            out.kill_killed_before = event.get_uint("killed_before").value_or(0);
+            out.kill_killed_after = event.get_uint("killed_after").value_or(0);
+            out.kill_score_before =
+                event.get_string("score_before").value_or("");
+            out.kill_score_after = event.get_string("score_after").value_or("");
         } else if (kind == "worker-connect") {
             ++out.worker_connects;
         } else if (kind == "worker-disconnect") {
@@ -446,6 +496,40 @@ void TelemetryStats::render(std::ostream& os, std::size_t top) const {
             table.render(os);
         }
     }
+
+    if (kill_runs != 0) {
+        os << "\nkill: " << (kill_class.empty() ? "?" : kill_class) << "  "
+           << kill_survivors << " survivor(s), budget " << kill_budget_states
+           << " state(s), depth " << kill_max_depth << "\n";
+        if (have_kill_summary) {
+            os << "  " << kill_verified << " verified, killed "
+               << kill_killed_before << " -> " << kill_killed_after
+               << ", score " << kill_score_before << " -> " << kill_score_after
+               << "\n";
+        } else {
+            os << "  final: no kill-run-end event (interrupted pass)\n";
+        }
+        if (!kill_attempts.empty()) {
+            support::TextTable table({"survivor", "outcome", "reason", "states",
+                                      "calls", "corpus"});
+            for (const KillAttempt& attempt : kill_attempts) {
+                std::string outcome = attempt.outcome;
+                if (attempt.widened && attempt.outcome == "verified") {
+                    outcome += " (widened)";
+                }
+                table.add_row(
+                    {attempt.mutant, outcome,
+                     attempt.outcome == "verified" ? attempt.reason : "-",
+                     std::to_string(attempt.states),
+                     attempt.outcome == "verified"
+                         ? std::to_string(attempt.calls)
+                         : "-",
+                     attempt.corpus.empty() ? "-" : attempt.corpus});
+            }
+            os << "\n";
+            table.render(os);
+        }
+    }
 }
 
 void TelemetryStats::render_follow(std::ostream& os, double elapsed_s) const {
@@ -632,6 +716,34 @@ void TelemetryStats::write_json(std::ostream& os, std::size_t top) const {
                << "\",\"iteration\":" << finding.iteration
                << ",\"shrink_steps\":" << finding.shrink_steps
                << ",\"calls\":" << finding.calls << "}";
+        }
+        os << "]}";
+    }
+
+    if (kill_runs != 0) {
+        os << ",\"kill\":{\"runs\":" << kill_runs << ",\"class\":\""
+           << json_escape(kill_class) << "\",\"survivors\":" << kill_survivors
+           << ",\"budget_states\":" << kill_budget_states
+           << ",\"max_depth\":" << kill_max_depth
+           << ",\"verified\":" << kill_verified
+           << ",\"killed_before\":" << kill_killed_before
+           << ",\"killed_after\":" << kill_killed_after
+           << ",\"score_before\":\"" << json_escape(kill_score_before)
+           << "\",\"score_after\":\"" << json_escape(kill_score_after)
+           << "\",\"attempts\":[";
+        first = true;
+        for (const KillAttempt& attempt : kill_attempts) {
+            if (!first) os << ',';
+            first = false;
+            os << "{\"mutant\":\"" << json_escape(attempt.mutant)
+               << "\",\"outcome\":\"" << json_escape(attempt.outcome)
+               << "\",\"reason\":\"" << json_escape(attempt.reason)
+               << "\",\"candidate_calls\":" << attempt.candidate_calls
+               << ",\"calls\":" << attempt.calls
+               << ",\"shrink_steps\":" << attempt.shrink_steps
+               << ",\"states\":" << attempt.states
+               << ",\"widened\":" << (attempt.widened ? "true" : "false")
+               << ",\"corpus\":\"" << json_escape(attempt.corpus) << "\"}";
         }
         os << "]}";
     }

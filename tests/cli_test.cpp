@@ -495,6 +495,105 @@ TEST_F(CliTest, CampaignShrinkCorpusIsIdenticalAcrossJobCounts) {
     }
 }
 
+// ----------------------------------------------------------------- kill
+
+TEST_F(CliTest, KillValidatesItsStoreAndGating) {
+    const std::string store =
+        "/tmp/stc_cli_kill_none_" + std::to_string(getpid()) + ".jsonl";
+
+    // Option gating: the pass is explicit about what it targets.
+    EXPECT_EQ(run("kill coblist --resume " + store,
+                  "/tmp/stc_cli_kill_noalive.out"),
+              2);
+    EXPECT_NE(slurp("/tmp/stc_cli_kill_noalive.out").find("--alive"),
+              std::string::npos);
+    EXPECT_EQ(run("kill coblist --alive"), 2);  // no store named
+    EXPECT_EQ(run("kill nonesuch --alive --resume " + store), 2);
+
+    // Assembly gating, both directions (mirrors campaign/fuzz).
+    EXPECT_EQ(run("kill shop --alive --resume " + store,
+                  "/tmp/stc_cli_kill_asm.out"),
+              2);
+    EXPECT_NE(slurp("/tmp/stc_cli_kill_asm.out").find("single-class"),
+              std::string::npos);
+    EXPECT_EQ(run("kill coblist --assembly --alive --resume " + store), 2);
+
+    // A missing store is a hard error that names the store.
+    EXPECT_EQ(run("kill coblist --alive --resume " + store,
+                  "/tmp/stc_cli_kill_missing.out"),
+              2);
+    EXPECT_NE(slurp("/tmp/stc_cli_kill_missing.out").find(store),
+              std::string::npos);
+
+    // So is one whose header does not parse.
+    {
+        std::ofstream out(store);
+        out << "this is not a result store\n";
+    }
+    EXPECT_EQ(run("kill coblist --alive --resume " + store), 2);
+    std::remove(store.c_str());
+}
+
+TEST_F(CliTest, KillRaisesTheStoredScoreAndGuardsTheFingerprint) {
+    const std::string base =
+        "/tmp/stc_cli_kill_" + std::to_string(getpid());
+    const std::string store = base + "_store.jsonl";
+    std::remove(store.c_str());
+
+    // A finished model campaign leaves survivors in the store.
+    ASSERT_EQ(run("campaign coblist --model --resume " + store +
+                      " -o " + base + "_campaign.txt",
+                  base + "_campaign.log"),
+              0);
+
+    // A store from different campaign options (here: no --model) is
+    // rejected by fingerprint, naming the store.
+    EXPECT_EQ(run("kill coblist --alive --resume " + store,
+                  base + "_mismatch.out"),
+              2);
+    EXPECT_NE(slurp(base + "_mismatch.out").find("different campaign"),
+              std::string::npos);
+
+    // The pass itself verifies killers and raises the stored score.
+    ASSERT_EQ(run("kill coblist --alive --model --resume " + store +
+                      " -o " + base + "_kill.txt",
+                  base + "_kill.log"),
+              0);
+    const std::string report = slurp(base + "_kill.txt");
+    EXPECT_NE(report.find("raised by synthesis: 2"), std::string::npos);
+    EXPECT_NE(report.find("score: 94.4% -> 96.0%"), std::string::npos);
+
+    // The rewritten store replays through campaign --resume with the
+    // synthesized kills visible.
+    ASSERT_EQ(run("campaign coblist --model --resume " + store +
+                      " -o " + base + "_resumed.txt",
+                  base + "_resumed.log"),
+              0);
+    const std::string resumed = slurp(base + "_resumed.txt");
+    EXPECT_NE(resumed.find("raised by synthesis: 2"), std::string::npos);
+    EXPECT_NE(resumed.find("(synthesized)"), std::string::npos);
+
+    // With no survivors left to target, the pass is a clean no-op.
+    std::string emptied = slurp(store);
+    for (std::string::size_type at = 0;
+         (at = emptied.find("\"fate\":\"alive\"", at)) != std::string::npos;) {
+        emptied.replace(at, 14, "\"fate\":\"equivalent\"");
+    }
+    const std::string none = base + "_none.jsonl";
+    {
+        std::ofstream out(none);
+        out << emptied;
+    }
+    EXPECT_EQ(run("kill coblist --alive --model --resume " + none,
+                  base + "_none.out"),
+              0);
+    EXPECT_NE(slurp(base + "_none.out").find("nothing to kill"),
+              std::string::npos);
+
+    std::remove(store.c_str());
+    std::remove(none.c_str());
+}
+
 // ------------------------------------------------------------- assembly
 
 TEST_F(CliTest, AssembleReportsProductStatsAndRendersArtifacts) {

@@ -6,12 +6,15 @@
 #include <set>
 #include <sstream>
 
+#include "stc/campaign/result_store.h"
 #include "stc/core/self_testable.h"
 #include "stc/driver/runner.h"
 #include "stc/driver/suite_io.h"
 #include "stc/fuzz/shrink.h"
+#include "stc/kill/kill.h"
 #include "stc/mfc/component.h"
 #include "stc/model/model.h"
+#include "stc/mutation/controller.h"
 #include "stc/mutation/engine.h"
 #include "stc/mutation/coverage.h"
 #include "stc/mutation/prune.h"
@@ -484,6 +487,91 @@ TEST_P(ModelConformance, RandomTransactionsNeverDivergeUnmutated) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ModelConformance,
                          ::testing::Values(11, 22, 97, 1234, 98765));
+
+// ---------------------------------------------- verified-killer contract
+
+/// The differential contract every synthesized killer must honour, for
+/// every search seed: a verified killer (a) passes on the unmutated
+/// CUT — it is a legitimate test, not a crash reproducer — and
+/// (b) fails with the target mutant active.  The kill pass shrinks
+/// every killer before reporting it, so the checked test case is the
+/// synthesized-then-shrunk one, proving ddmin preserves both legs.
+class KillerContract : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KillerContract, VerifiedKillersPassCleanAndFailMutated) {
+    mfc::ElementPool pool;
+    core::SelfTestableComponent component(mfc::coblist_spec(),
+                                          mfc::coblist_binding());
+    driver::CompletionRegistry completions = mfc::make_completions(pool);
+    component.set_completions(completions);
+    const std::vector<mutation::Mutant> mutants =
+        mutation::enumerate_mutants(mfc::descriptors(), "CObList");
+    const driver::ModelBinding* model = model::binding_for("CObList");
+    ASSERT_NE(model, nullptr);
+
+    // The two CObList survivors the kill pass verifiably kills through
+    // the widened spec alphabet (EXPERIMENTS.md).
+    std::vector<campaign::ItemRecord> records;
+    for (const char* id :
+         {"CObList::RemoveHead@s4.IndVarRepGlob.m_pNodeTail",
+          "CObList::RemoveHead@s4.IndVarRepLoc.pOldNode"}) {
+        campaign::ItemRecord r;
+        r.key = std::string("k-") + id;
+        r.mutant_id = id;
+        r.fate = "alive";
+        records.push_back(std::move(r));
+    }
+
+    kill::KillContext context;
+    context.spec = &component.spec();
+    context.registry = &component.registry();
+    context.completions = &completions;
+    context.mutants = &mutants;
+
+    kill::KillOptions options;
+    options.seed = GetParam();
+    options.search.seed = GetParam();
+    options.search.budget_states = 1024;
+    options.search.runner.model = model;
+    const kill::KillRun run =
+        kill::kill_survivors(context, records, options);
+    ASSERT_EQ(run.verified, records.size());
+
+    driver::RunnerOptions ro;
+    ro.model = model;
+    const driver::TestRunner runner(component.registry(), ro);
+    const reflect::ClassBinding& binding = component.registry().at("CObList");
+    for (const kill::KillItem& item : run.items) {
+        ASSERT_EQ(item.status, kill::SearchStatus::Verified)
+            << item.mutant_id;
+        // The reported killer is the shrunk one.
+        ASSERT_FALSE(item.killer.calls.empty());
+        EXPECT_LE(item.killer.calls.size(), item.candidate_calls);
+
+        // (a) Clean leg: passes on the unmutated CUT.
+        const driver::TestResult clean = runner.run_case(binding, item.killer);
+        EXPECT_EQ(clean.verdict, driver::Verdict::Pass)
+            << item.mutant_id << " seed " << GetParam() << ": "
+            << clean.message;
+
+        // (b) Mutated leg: fails with the target mutant active.
+        const mutation::Mutant* target = nullptr;
+        for (const mutation::Mutant& m : mutants) {
+            if (m.id() == item.mutant_id) target = &m;
+        }
+        ASSERT_NE(target, nullptr) << item.mutant_id;
+        driver::TestResult mutated;
+        {
+            const mutation::MutantActivation activation(*target);
+            mutated = runner.run_case(binding, item.killer);
+        }
+        EXPECT_NE(mutated.verdict, driver::Verdict::Pass)
+            << item.mutant_id << " seed " << GetParam();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KillerContract,
+                         ::testing::Values(1, 2, 3, 4, 5));
 
 }  // namespace
 }  // namespace stc

@@ -51,6 +51,7 @@
 #include "stc/fuzz/fuzzer.h"
 #include "stc/fuzz/shrink.h"
 #include "stc/history/version_diff.h"
+#include "stc/kill/kill.h"
 #include "stc/mfc/component.h"
 #include "stc/model/model.h"
 #include "stc/mutation/controller.h"
@@ -97,6 +98,14 @@ int usage(std::ostream& os) {
           "                 [--isolate [--timeout-ms N] [--rlimit-as MB]]\n"
           "                 [--model] [--no-prune] [--telemetry-out FILE]\n"
           "                 [-o REPORT]\n"
+          "  kill           synthesize killers for a finished campaign's\n"
+          "                 surviving mutants (bounded product-state search;\n"
+          "                 every killer is execution-verified and shrunk):\n"
+          "                 concat kill <component> --alive --resume FILE\n"
+          "                 [--model] [--budget-states N] [--max-depth N]\n"
+          "                 [--jobs N] [--seed N] [--cases N] [--probe]\n"
+          "                 [--corpus DIR] [--max-shrink-steps N]\n"
+          "                 [--no-prune] [--telemetry-out FILE] [-o REPORT]\n"
           "  fuzz           coverage-guided transaction fuzzing of a built-in\n"
           "                 component:\n"
           "                 concat fuzz <coblist|sortable> [--iters N] [--seed N]\n"
@@ -144,23 +153,31 @@ int usage(std::ostream& os) {
           "  --transactions  (assemble) enumerate the product's transactions\n"
           "  --jobs N        (campaign) worker threads; 0 = all cores (default 1)\n"
           "  --probe         (campaign) amplified probe suite for equivalence\n"
-          "  --resume FILE   (campaign) resumable result store (JSONL)\n"
-          "  --telemetry-out F (campaign, fuzz) JSONL telemetry\n"
+          "  --resume FILE   (campaign) resumable result store (JSONL);\n"
+          "                  (kill) the finished campaign's store to read\n"
+          "                  survivors from and publish raised fates into\n"
+          "  --telemetry-out F (campaign, fuzz, kill) JSONL telemetry\n"
           "  --shrink-corpus D (campaign) shrink each kill into corpus dir D\n"
           "  --isolate       (campaign, fuzz) run each item in a forked sandbox\n"
           "                  worker: a real crash/hang/OOM kills only the worker\n"
           "  --timeout-ms N  (with --isolate) per-item wall deadline, then SIGKILL\n"
           "                  (default 5000; 0 disables)\n"
           "  --rlimit-as MB  (with --isolate) worker address-space cap (RLIMIT_AS)\n"
-          "  --model         (campaign, fuzz, run) lockstep reference-model\n"
+          "  --model         (campaign, fuzz, run, kill) lockstep reference-model\n"
           "                  oracle (stc::model): kills/verdicts on divergence\n"
           "  --prune / --no-prune  (campaign, dispatch) the fast execution\n"
           "                  tier: skip (mutant, case) pairs the coverage\n"
           "                  index proves unreachable and resume covered\n"
           "                  cases from shared-prefix checkpoints; fates are\n"
           "                  byte-identical either way (default on)\n"
+          "  --alive         (kill) target the store's surviving mutants —\n"
+          "                  required, so the subject of the pass is explicit\n"
+          "  --budget-states N  (kill) product states the search may enqueue\n"
+          "                  per mutant, across all value rounds (default 4096)\n"
+          "  --max-depth N   (kill) longest explored call path (default 12)\n"
           "  --iters N       (fuzz) exploration executions (default 500)\n"
-          "  --corpus D      (fuzz, shrink) corpus directory for reproducers\n"
+          "  --corpus D      (fuzz, shrink, kill) corpus directory for\n"
+          "                  reproducers\n"
           "  --mutant ID     (fuzz, shrink, run) activate this mutant while running\n"
           "  --max-shrink-steps N  shrink budget per finding (default 512)\n"
           "  --case FILE     (shrink) the corpus entry to re-shrink\n"
@@ -211,6 +228,9 @@ struct Options {
     std::optional<std::string> mutant_id;          // fuzz/shrink --mutant
     std::optional<std::string> case_path;          // shrink --case
     std::optional<std::string> shrink_corpus;      // campaign --shrink-corpus
+    bool alive = false;                            // kill --alive
+    std::size_t budget_states = 4096;              // kill --budget-states
+    std::size_t max_depth = 12;                    // kill --max-depth
     bool assembly = false;                         // campaign/dispatch --assembly
     bool dot_product = false;                      // assemble --dot
     bool list_transactions = false;                // assemble --transactions
@@ -269,6 +289,13 @@ bool flag_allowed(const std::string& command, const std::string& flag) {
                        "--max-shrink-steps", "--isolate", "--timeout-ms",
                        "--rlimit-as", "--model", "--prune", "--no-prune",
                        "--assembly"});
+    }
+    if (command == "kill") {
+        return any_of({"--alive", "--budget-states", "--max-depth", "--seed",
+                       "--max-visits", "--cases", "--criterion", "--states",
+                       "--jobs", "--probe", "--resume", "--telemetry-out",
+                       "--corpus", "--max-shrink-steps", "--model", "--prune",
+                       "--no-prune", "--assembly"});
     }
     if (command == "fuzz") {
         return any_of({"--iters", "--seed", "--corpus", "--max-shrink-steps",
@@ -463,6 +490,20 @@ std::optional<Options> parse_args(int argc, char** argv) {
             const auto v = next();
             if (!v) return std::nullopt;
             out.shrink_corpus = *v;
+        } else if (arg == "--alive") {
+            out.alive = true;
+        } else if (arg == "--budget-states") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            const auto n = parse_count(arg, *v);
+            if (!n) return std::nullopt;
+            out.budget_states = *n;
+        } else if (arg == "--max-depth") {
+            const auto v = next();
+            if (!v) return std::nullopt;
+            const auto n = parse_count(arg, *v);
+            if (!n) return std::nullopt;
+            out.max_depth = *n;
         } else if (arg == "--assembly") {
             out.assembly = true;
         } else if (arg == "--dot") {
@@ -919,6 +960,151 @@ int cmd_campaign(const Options& options) {
                   << " memoized_pairs=" << result.stats.memoized_pairs
                   << " memoized_calls=" << result.stats.memoized_calls << "\n";
     }
+
+    return emit(options, report.str());
+}
+
+// `concat kill <component> --alive --resume FILE`: synthesize killers
+// for the surviving mutants of a finished campaign (stc::kill).  The
+// store is matched against the re-derived campaign fingerprint — the
+// same options must be passed here as to the campaign run — and raised
+// fates are written back so `concat campaign --resume` and `concat
+// stats` reflect the new score.  The report is a pure function of
+// (component, store, seed, budget): byte-identical across --jobs.
+int cmd_kill(const Options& options) {
+    const std::string which = options.tspec_path;
+    const serve::BuiltinTarget* target = serve::find_builtin_target(which);
+    if (target == nullptr) {
+        std::cerr << "concat kill: unknown component '" << which
+                  << "' (expected one of: "
+                  << support::join(serve::builtin_target_names(), ", ")
+                  << ")\n";
+        return 2;
+    }
+    // Killer synthesis pairs one class's TFM with one reference model;
+    // an assembly product has neither, so both directions of the
+    // campaign/dispatch --assembly gating collapse to a rejection here.
+    if (target->assembly) {
+        std::cerr << "concat kill: '" << which
+                  << "' is an assembly product; killer synthesis runs on "
+                     "single-class components only\n";
+        return 2;
+    }
+    if (options.assembly) {
+        std::cerr << "concat kill: '" << which
+                  << "' is a single-class component; drop --assembly\n";
+        return 2;
+    }
+    if (!options.alive) {
+        std::cerr << "concat kill: pass --alive (the pass targets the "
+                     "store's surviving mutants)\n";
+        return 2;
+    }
+    if (!options.store_path) {
+        std::cerr << "concat kill: --resume FILE is required (the finished "
+                     "campaign's result store)\n";
+        return 2;
+    }
+
+    const serve::BuiltinComponent holder = target->make_component();
+    const core::SelfTestableComponent& component = *holder.component;
+
+    // Re-derive the campaign identity exactly as `concat campaign` did:
+    // same suite, same probe derivation, same oracle/runner/prune
+    // configuration — a mismatch means the store answers a different
+    // campaign's question and must not be "raised".
+    const driver::TestSuite suite = component.generate_tests(options.generator);
+    std::optional<driver::TestSuite> probe;
+    if (options.probe) {
+        driver::GeneratorOptions probe_options = options.generator;
+        probe_options.seed = options.generator.seed ^ 0x9e3779b97f4a7c15ULL;
+        probe_options.cases_per_transaction =
+            options.generator.cases_per_transaction + 1;
+        probe = component.generate_tests(probe_options);
+    }
+    const auto mutants = target->mutants();
+
+    campaign::CampaignOptions campaign_options;
+    campaign_options.seed = options.generator.seed;
+    campaign_options.prune = options.prune;
+    const driver::ModelBinding* model_binding = nullptr;
+    if (options.model) {
+        const auto resolved = resolve_model("kill", suite.class_name);
+        if (!resolved) return 2;
+        model_binding = *resolved;
+        campaign_options.engine.runner.model = model_binding;
+    }
+    const campaign::CampaignScheduler scheduler(component.registry(),
+                                                campaign_options);
+    const std::string fingerprint =
+        scheduler.fingerprint(suite, mutants, probe ? &*probe : nullptr);
+
+    std::string store_error;
+    auto peek = campaign::peek_store(*options.store_path, &store_error);
+    if (!peek) {
+        std::cerr << "concat kill: " << store_error << "\n";
+        return 2;
+    }
+    if (peek->fingerprint != fingerprint) {
+        std::cerr << "concat kill: result store '" << *options.store_path
+                  << "' belongs to a different campaign (store header "
+                  << peek->fingerprint << ", expected " << fingerprint
+                  << "); pass the same options as the campaign run\n";
+        return 2;
+    }
+
+    std::size_t survivors = 0;
+    for (const auto& record : peek->records) {
+        if (record.fate == "alive") ++survivors;
+    }
+    if (survivors == 0) {
+        return emit(options, "kill: " + suite.class_name +
+                                 ": nothing to kill (no surviving mutants in " +
+                                 *options.store_path + ")\n");
+    }
+
+    kill::KillContext context;
+    context.spec = &component.spec();
+    context.registry = &component.registry();
+    context.completions = holder.completions;
+    context.mutants = &mutants;
+
+    kill::KillOptions kill_options;
+    kill_options.seed = options.generator.seed;
+    kill_options.jobs =
+        options.jobs == 0 ? std::thread::hardware_concurrency() : options.jobs;
+    if (options.corpus_dir) kill_options.corpus_dir = *options.corpus_dir;
+    kill_options.max_shrink_steps = options.max_shrink_steps;
+    kill_options.obs = options.obs;
+    kill_options.search.seed = options.generator.seed;
+    kill_options.search.budget_states = options.budget_states;
+    kill_options.search.max_depth = options.max_depth;
+    kill_options.search.runner.obs = options.obs;
+    kill_options.search.runner.model = model_binding;
+    kill_options.search.obs = options.obs;
+    if (options.telemetry_path) {
+        kill_options.telemetry = campaign::TelemetrySink::to_file(
+            *options.telemetry_path, obs::JsonlSink::OpenMode::Truncate);
+    }
+
+    const kill::KillRun run =
+        kill::kill_survivors(context, peek->records, kill_options);
+    campaign::rewrite_store(*options.store_path, fingerprint, peek->records);
+
+    std::ostringstream report;
+    kill::render_kill_report(report, run, suite.class_name, kill_options);
+
+    // Search-effort numbers go to stderr like campaign timing stats:
+    // they are deterministic, but they are diagnostics, not results.
+    std::size_t states = 0;
+    std::size_t executed = 0;
+    for (const auto& item : run.items) {
+        states += item.stats.states_expanded;
+        executed += item.stats.candidates_executed;
+    }
+    std::cerr << "kill stats: campaign=" << fingerprint
+              << " survivors=" << run.survivors << " verified=" << run.verified
+              << " states=" << states << " candidates=" << executed << "\n";
 
     return emit(options, report.str());
 }
@@ -1710,6 +1896,7 @@ int dispatch(const Options& options) {
     // Campaign, fuzz, run, shrink and stats do not read a t-spec file;
     // assemble reads an *assembly* file and parses it itself.
     if (options.command == "campaign") return cmd_campaign(options);
+    if (options.command == "kill") return cmd_kill(options);
     if (options.command == "assemble") return cmd_assemble(options);
     if (options.command == "fuzz") return cmd_fuzz(options);
     if (options.command == "run") return cmd_run(options);
